@@ -1,0 +1,165 @@
+//! Microbenchmarks over the Active Messages engine: ping-pong latency,
+//! bandwidth sweeps, and hot-spot throughput — the measurements the paper
+//! reports for its communication prototypes.
+
+use now_net::{Network, NodeId};
+use now_sim::{SimDuration, SimTime};
+
+use crate::{ActiveMessages, AmConfig, Notification};
+
+/// One point of a sweep: message size against achieved metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchPoint {
+    /// Message payload, bytes.
+    pub bytes: u64,
+    /// Metric value (µs for latency, Mbps for bandwidth).
+    pub value: f64,
+}
+
+/// Round-trip time of a `bytes`-byte request plus its reply, averaged over
+/// `iters` back-to-back exchanges between nodes 0 and 1.
+///
+/// # Panics
+///
+/// Panics if the network has fewer than two nodes or `iters` is zero.
+pub fn ping_pong(net: Network, config: AmConfig, bytes: u64, iters: u32) -> SimDuration {
+    assert!(net.nodes() >= 2, "ping-pong needs two nodes");
+    assert!(iters > 0, "need at least one iteration");
+    let mut am = ActiveMessages::new(net, config, 1);
+    let mut start = SimTime::ZERO;
+    let mut total = SimDuration::ZERO;
+    for _ in 0..iters {
+        am.request_at(start, NodeId(0), NodeId(1), bytes);
+        let mut reply_at = None;
+        while let Some(n) = am.advance() {
+            if let Notification::ReplyDelivered { at, .. } = n {
+                reply_at = Some(at);
+                break;
+            }
+        }
+        let at = reply_at.expect("lossless ping must complete");
+        total += at.saturating_since(start);
+        start = at;
+    }
+    total / u64::from(iters)
+}
+
+/// Achieved one-way bandwidth (Mbps) for a stream of `count` requests of
+/// each size in `sizes`, sender pipelining up to the credit limit.
+pub fn bandwidth_sweep(
+    net: Network,
+    config: AmConfig,
+    sizes: &[u64],
+    count: u32,
+) -> Vec<BenchPoint> {
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let mut am = ActiveMessages::new(net.clone(), config, 2);
+            for _ in 0..count {
+                am.request_at(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
+            }
+            let notes = am.run_to_completion();
+            let last = notes
+                .iter()
+                .filter_map(|n| match n {
+                    Notification::RequestDelivered { at, .. } => Some(*at),
+                    _ => None,
+                })
+                .max()
+                .expect("stream must deliver");
+            let secs = last.saturating_since(SimTime::ZERO).as_secs_f64();
+            BenchPoint {
+                bytes,
+                value: bytes as f64 * 8.0 * count as f64 / secs / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// Throughput (requests/s handled) when `senders` nodes all target node 0 —
+/// the hot-spot pattern that stresses receive-link and buffer behaviour.
+pub fn hotspot_throughput(net: Network, config: AmConfig, senders: u32, per_sender: u32) -> f64 {
+    assert!(net.nodes() > senders, "need a receiver beyond the senders");
+    let mut am = ActiveMessages::new(net, config, 3);
+    for s in 1..=senders {
+        for i in 0..per_sender {
+            am.request_at(
+                SimTime::from_micros(u64::from(i)),
+                NodeId(s),
+                NodeId(0),
+                64,
+            );
+        }
+    }
+    let notes = am.run_to_completion();
+    let last = notes
+        .iter()
+        .filter_map(|n| match n {
+            Notification::RequestDelivered { at, .. } => Some(*at),
+            _ => None,
+        })
+        .max()
+        .expect("hotspot must deliver");
+    let total = u64::from(senders) * u64::from(per_sender);
+    total as f64 / last.saturating_since(SimTime::ZERO).as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_net::presets;
+
+    #[test]
+    fn ping_pong_cm5_matches_paper_scale() {
+        // CM-5 AM: ~1.7 µs overhead each side, ~4 µs latency; round trip
+        // should be in the low tens of microseconds including the reply.
+        let rtt = ping_pong(presets::cm5(2), AmConfig::default(), 16, 10);
+        let us = rtt.as_micros_f64();
+        assert!((10.0..40.0).contains(&us), "CM-5 RTT {us} µs");
+    }
+
+    #[test]
+    fn ping_pong_tcp_is_an_order_of_magnitude_slower_than_am() {
+        let am = ping_pong(presets::am_fddi(2), AmConfig::default(), 64, 5);
+        let tcp = ping_pong(presets::tcp_ethernet(2), AmConfig::default(), 64, 5);
+        let ratio = tcp.ratio(am);
+        assert!(ratio > 8.0, "TCP/AM round-trip ratio {ratio}");
+    }
+
+    #[test]
+    fn bandwidth_grows_with_message_size() {
+        // Generous timeout: large in-flight windows must not trip spurious
+        // retransmissions during a bandwidth test.
+        let config = AmConfig {
+            credits: 8,
+            timeout: now_sim::SimDuration::from_secs(1),
+            ..AmConfig::default()
+        };
+        let points = bandwidth_sweep(
+            presets::am_atm(2),
+            config,
+            &[64, 512, 4_096, 32_768],
+            16,
+        );
+        assert!(points.windows(2).all(|w| w[0].value < w[1].value));
+        // Large messages approach the 155-Mbps wire.
+        assert!(points.last().unwrap().value > 80.0);
+    }
+
+    #[test]
+    fn hotspot_scales_until_receiver_saturates() {
+        let config = AmConfig { credits: 8, ..AmConfig::default() };
+        let t2 = hotspot_throughput(presets::am_atm(8), config, 2, 50);
+        let t6 = hotspot_throughput(presets::am_atm(8), config, 6, 50);
+        // More senders should not reduce total delivered throughput.
+        assert!(t6 > t2 * 0.8, "hotspot collapse: {t2} vs {t6}");
+    }
+
+    #[test]
+    fn ping_pong_is_deterministic() {
+        let a = ping_pong(presets::am_atm(2), AmConfig::default(), 256, 8);
+        let b = ping_pong(presets::am_atm(2), AmConfig::default(), 256, 8);
+        assert_eq!(a, b);
+    }
+}

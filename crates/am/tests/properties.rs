@@ -1,0 +1,131 @@
+//! Property tests for the Active Messages protocol invariants.
+
+use now_am::{ActiveMessages, AmConfig, Notification};
+use now_net::{presets, NodeId};
+use now_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A random workload: (send offset µs, src, dst-offset) triples.
+fn workload(nodes: u32) -> impl Strategy<Value = Vec<(u64, u32, u32)>> {
+    prop::collection::vec((0u64..5_000, 0..nodes, 1..nodes), 1..60)
+}
+
+proptest! {
+    /// Exactly-once delivery: every accepted request is delivered exactly
+    /// once and acknowledged exactly once, under any loss rate below 1.
+    #[test]
+    fn exactly_once_under_loss(
+        sends in workload(5),
+        loss in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let config = AmConfig {
+            loss_probability: loss,
+            timeout: SimDuration::from_micros(700),
+            max_retries: 200,
+            ..AmConfig::default()
+        };
+        let mut am = ActiveMessages::new(presets::am_atm(5), config, seed);
+        let mut expected = 0u64;
+        for (t, src, doff) in sends {
+            let dst = (src + doff) % 5;
+            if dst == src { continue; }
+            am.request_at(SimTime::from_micros(t), NodeId(src), NodeId(dst), 64);
+            expected += 1;
+        }
+        let notes = am.run_to_completion();
+        let s = am.stats();
+        prop_assert_eq!(s.delivered, expected, "deliveries");
+        prop_assert_eq!(s.replies, expected, "replies");
+        prop_assert_eq!(s.failed, 0, "no failures below retry budget");
+        let delivered_ids: std::collections::HashSet<_> = notes
+            .iter()
+            .filter_map(|n| match n {
+                Notification::RequestDelivered { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(delivered_ids.len() as u64, expected, "ids unique");
+    }
+
+    /// Credit conservation: when the system quiesces, every (src, dst) pair
+    /// has all its credits back.
+    #[test]
+    fn credits_conserved(sends in workload(4), seed in any::<u64>()) {
+        let mut am = ActiveMessages::new(presets::am_atm(4), AmConfig::default(), seed);
+        let mut pairs = std::collections::HashSet::new();
+        for (t, src, doff) in sends {
+            let dst = (src + doff) % 4;
+            if dst == src { continue; }
+            am.request_at(SimTime::from_micros(t), NodeId(src), NodeId(dst), 128);
+            pairs.insert((src, dst));
+        }
+        let _ = am.run_to_completion();
+        for (src, dst) in pairs {
+            prop_assert_eq!(
+                am.credits_available(NodeId(src), NodeId(dst)),
+                AmConfig::default().credits
+            );
+        }
+    }
+
+    /// Determinism: same seed and workload, same notification stream.
+    #[test]
+    fn replay_identical(sends in workload(4), seed in any::<u64>(), loss in 0.0f64..0.4) {
+        let run = || {
+            let config = AmConfig {
+                loss_probability: loss,
+                timeout: SimDuration::from_micros(900),
+                max_retries: 100,
+                ..AmConfig::default()
+            };
+            let mut am = ActiveMessages::new(presets::am_atm(4), config, seed);
+            for (t, src, doff) in &sends {
+                let dst = (src + doff) % 4;
+                if dst == *src { continue; }
+                am.request_at(SimTime::from_micros(*t), NodeId(*src), NodeId(dst), 64);
+            }
+            am.run_to_completion()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Descheduling any subset of receivers and rescheduling them later
+    /// never loses a request.
+    #[test]
+    fn scheduling_never_loses_requests(
+        sends in workload(4),
+        desched_mask in 1u32..15, // at least one node descheduled, node 0 excluded below
+        seed in any::<u64>(),
+    ) {
+        let config = AmConfig {
+            timeout: SimDuration::from_micros(600),
+            max_retries: 500,
+            recv_buffer_msgs: 2,
+            ..AmConfig::default()
+        };
+        let mut am = ActiveMessages::new(presets::am_atm(4), config, seed);
+        for n in 1..4u32 {
+            if desched_mask & (1 << n) != 0 {
+                am.set_running(NodeId(n), false);
+            }
+        }
+        let mut expected = 0u64;
+        for (t, src, doff) in sends {
+            let dst = (src + doff) % 4;
+            if dst == src { continue; }
+            am.request_at(SimTime::from_micros(t), NodeId(src), NodeId(dst), 64);
+            expected += 1;
+        }
+        // Let traffic churn against the descheduled receivers, then wake
+        // everyone and drain.
+        let mut notes = am.advance_until(SimTime::from_micros(8_000));
+        for n in 0..4u32 {
+            notes.extend(am.set_running(NodeId(n), true));
+        }
+        notes.extend(am.run_to_completion());
+        let s = am.stats();
+        prop_assert_eq!(s.delivered, expected);
+        prop_assert_eq!(s.failed, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! `repro` — regenerate the tables and figures of *A Case for NOW*.
+//!
+//! ```text
+//! repro                  # everything (the two-day Table 3 trace takes ~1 min)
+//! repro --table4 --fig2  # just those artifacts
+//! repro --fast           # everything, with Table 3 on a 12-hour trace
+//! repro --ablations      # design-choice sweeps (not in the paper)
+//! ```
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--fast")
+        .map(|a| a.trim_start_matches("--"))
+        .collect();
+    let all = selected.is_empty();
+    let want = |name: &str| all || selected.contains(&name);
+
+    if want("table1") {
+        println!("{}", now_bench::table1());
+    }
+    if want("fig1") || want("figure1") {
+        println!("{}", now_bench::figure1());
+    }
+    if want("table2") {
+        println!("{}", now_bench::table2());
+    }
+    if want("fig2") || want("figure2") {
+        println!("{}", now_bench::figure2());
+    }
+    if want("table3") {
+        println!("{}", now_bench::table3(!fast));
+    }
+    if want("table4") {
+        println!("{}", now_bench::table4());
+    }
+    if want("fig3") || want("figure3") {
+        println!("{}", now_bench::figure3());
+    }
+    if want("fig4") || want("figure4") {
+        println!("{}", now_bench::figure4());
+    }
+    if want("nfs") {
+        println!("{}", now_bench::nfs_study());
+    }
+    if want("comm") {
+        println!("{}", now_bench::comm_layers());
+    }
+    if want("restore") {
+        println!("{}", now_bench::restore_study());
+    }
+    // Ablations are opt-in: they are design-choice sweeps, not paper
+    // artifacts.
+    if selected.contains(&"ablations") {
+        println!("{}", now_bench::ablations::all());
+    }
+}

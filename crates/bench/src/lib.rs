@@ -1,0 +1,332 @@
+//! # now-bench — regenerating every table and figure of *A Case for NOW*
+//!
+//! Each `table*`/`figure*` function reruns one of the paper's experiments
+//! on the simulated NOW and renders it as text (via
+//! [`now_sim::report`]). The `repro` binary prints any or all of them;
+//! the Criterion benches in `benches/` time the underlying subsystems.
+//!
+//! Everything here is deterministic: fixed seeds, fixed configurations,
+//! same output every run. `EXPERIMENTS.md` at the workspace root records
+//! the paper-reported values next to these regenerated ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+
+use now_models::gator;
+use now_models::{cost, nfs as nfs_model, remote_access, techtrend};
+use now_sim::report::{render_figure, Series, TextTable};
+use now_sim::SimDuration;
+
+/// The master seed used for every stochastic experiment in the harness.
+pub const SEED: u64 = 42;
+
+/// Table 1: MPP engineering lag and its performance cost.
+pub fn table1() -> String {
+    let mut t = TextTable::new(&[
+        "MPP",
+        "Node processor",
+        "MPP year",
+        "Workstation year",
+        "Lag (yr)",
+        "Perf forfeited @50%/yr",
+    ]);
+    t.title("Table 1 - MPPs vs workstations with the same microprocessor");
+    for row in techtrend::table1_rows() {
+        let lag = row.lag_years();
+        let forfeit = techtrend::AnnualImprovement::CONSERVATIVE.performance_forfeit(lag);
+        t.row_owned(vec![
+            row.mpp.clone(),
+            row.node_processor.clone(),
+            format!("{:.1}", row.mpp_year),
+            format!("{:.1}", row.workstation_year),
+            format!("{lag:.1}"),
+            format!("{forfeit:.2}x"),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 1: price of a 128-processor configuration under each packaging.
+pub fn figure1() -> String {
+    let mut t = TextTable::new(&["Configuration", "Price ($M)", "Relative"]);
+    t.title("Figure 1 - price of 128 SuperSparc CPUs + 4 GB DRAM + 128 GB disk + 128 screens");
+    for sys in cost::CostModel::paper_defaults().figure1() {
+        t.row_owned(vec![
+            sys.packaging.label(),
+            format!("{:.2}", sys.total / 1e6),
+            format!("{:.2}x", sys.relative),
+        ]);
+    }
+    t.render()
+}
+
+/// Table 2: time to service an 8-KB file-cache miss.
+pub fn table2() -> String {
+    let model = remote_access::AccessModel::paper_defaults();
+    let mut t = TextTable::new(&[
+        "Component",
+        "Ethernet rem. mem (us)",
+        "Ethernet rem. disk (us)",
+        "ATM rem. mem (us)",
+        "ATM rem. disk (us)",
+    ]);
+    t.title("Table 2 - 8-KB miss service time, Ethernet vs 155-Mbps ATM");
+    let cells = model.table2();
+    let s = |f: fn(&remote_access::ServiceTime) -> f64| -> Vec<String> {
+        cells.iter().map(|(_, _, st)| format!("{:.0}", f(st))).collect()
+    };
+    let copies = s(|st| st.memory_copy_us);
+    let overheads = s(|st| st.net_overhead_us);
+    let transfers = s(|st| st.data_transfer_us);
+    let disks = s(|st| st.disk_us);
+    let totals = s(|st| st.total_us());
+    for (label, vals) in [
+        ("Memory copy", &copies),
+        ("Net overhead", &overheads),
+        ("Data transfer", &transfers),
+        ("Disk", &disks),
+        ("Total", &totals),
+    ] {
+        t.row_owned(vec![
+            label.to_string(),
+            vals[0].clone(),
+            vals[1].clone(),
+            vals[2].clone(),
+            vals[3].clone(),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 2: multigrid execution time vs problem size on the three memory
+/// configurations. The three machine curves are independent, so they run
+/// on separate threads (crossbeam scope).
+pub fn figure2() -> String {
+    use now_mem::multigrid::{figure2_sizes, run, MemoryConfig};
+    let configs = [
+        ("32 MB + disk paging", MemoryConfig::local32_disk()),
+        ("128 MB local DRAM", MemoryConfig::local128()),
+        ("32 MB + network RAM", MemoryConfig::local32_netram()),
+    ];
+    let mut series: Vec<Series> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|(name, cfg)| {
+                scope.spawn(move |_| {
+                    let points = figure2_sizes()
+                        .into_iter()
+                        .map(|mb| (mb as f64, run(mb, cfg.clone()).total.as_secs_f64()))
+                        .collect::<Vec<_>>();
+                    Series::new(name, points)
+                })
+            })
+            .collect();
+        for h in handles {
+            series.push(h.join().expect("figure 2 worker"));
+        }
+    })
+    .expect("crossbeam scope");
+    render_figure(
+        "Figure 2 - multigrid execution time vs problem size",
+        "problem size (MB)",
+        "execution time (s)",
+        &series,
+    )
+}
+
+/// Table 3: cooperative caching on the 42-workstation trace.
+///
+/// `full_length` selects the paper's two-day trace (slow; used by the
+/// repro binary) or a 12-hour version (used in tests).
+pub fn table3(full_length: bool) -> String {
+    use now_cache::{simulate, CacheConfig, Policy};
+    use now_trace::fs::{FsTrace, FsTraceConfig};
+    let mut cfg = FsTraceConfig::paper_defaults();
+    if !full_length {
+        cfg.duration = SimDuration::from_secs(12 * 3600);
+    }
+    let trace = FsTrace::generate(&cfg, SEED);
+    let mut t = TextTable::new(&["Policy", "Cache miss rate (%)", "Read response (ms)"]);
+    t.title("Table 3 - cooperative caching: 42 workstations, 16 MB/client, 128 MB server");
+    for (name, policy) in [
+        ("Client-server", Policy::ClientServer),
+        ("Cooperative (greedy fwd)", Policy::GreedyForwarding),
+        ("Cooperative (n-chance)", Policy::NChance { n: 2 }),
+    ] {
+        let r = simulate(&trace, &CacheConfig::table3(policy));
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{:.1}", r.disk_read_rate() * 100.0),
+            format!("{:.2}", r.avg_read_response().as_millis_f64()),
+        ]);
+    }
+    t.render()
+}
+
+/// Table 4: the Gator atmospheric model across machine configurations.
+pub fn table4() -> String {
+    let mut t = TextTable::new(&[
+        "Machine",
+        "ODE (s)",
+        "Transport (s)",
+        "Input (s)",
+        "Total (s)",
+        "Cost ($M)",
+    ]);
+    t.title("Table 4 - Gator atmospheric chemical tracer model");
+    for p in gator::table4() {
+        t.row_owned(vec![
+            p.machine.clone(),
+            format!("{:.0}", p.ode_s),
+            format!("{:.0}", p.transport_s),
+            format!("{:.0}", p.input_s),
+            format!("{:.0}", p.total_s()),
+            format!("{:.0}", p.cost_millions),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 3: MPP-workload dilation on a NOW vs cluster size.
+pub fn figure3() -> String {
+    let points = now_glunix::mixed::figure3_series(SEED);
+    let series = [Series::new("32-node LANL workload on a NOW", points)];
+    render_figure(
+        "Figure 3 - slowdown of the 32-node MPP workload on a NOW with sequential users",
+        "workstations in NOW",
+        "execution dilation (dedicated MPP = 1.0)",
+        &series,
+    )
+}
+
+/// Figure 4: local vs gang scheduling slowdown per application.
+pub fn figure4() -> String {
+    let series: Vec<Series> = now_glunix::cosched::figure4_series()
+        .into_iter()
+        .map(|(name, points)| Series::new(&name, points))
+        .collect();
+    render_figure(
+        "Figure 4 - slowdown of local scheduling relative to coscheduling",
+        "competing jobs per node",
+        "slowdown vs gang scheduling",
+        &series,
+    )
+}
+
+/// In-text NFS study: message-size distribution and the bandwidth-alone
+/// improvement.
+pub fn nfs_study() -> String {
+    use now_trace::nfs::{NfsTrace, NfsTraceConfig};
+    let trace = NfsTrace::generate(&NfsTraceConfig::paper_defaults(), SEED);
+    let mix = trace.size_mix();
+    let imp_bw = nfs_model::improvement(
+        nfs_model::StackCoefficients::TCP_ETHERNET,
+        nfs_model::StackCoefficients::TCP_ATM,
+        &mix,
+    );
+    let imp_oh = nfs_model::improvement(
+        nfs_model::StackCoefficients::TCP_ETHERNET,
+        nfs_model::StackCoefficients::SOCKETS_OVER_AM,
+        &mix,
+    );
+    let mut t = TextTable::new(&["Metric", "Value"]);
+    t.title("NFS trace study - 230 clients, one week (synthetic)");
+    t.row_owned(vec![
+        "Messages under 200 bytes".into(),
+        format!("{:.1}%", trace.small_message_fraction() * 100.0),
+    ]);
+    t.row_owned(vec![
+        "Improvement from 8.7x bandwidth alone (TCP/ATM)".into(),
+        format!("{:.0}%", imp_bw * 100.0),
+    ]);
+    t.row_owned(vec![
+        "Improvement from attacking overhead (sockets/AM)".into(),
+        format!("{:.0}%", imp_oh * 100.0),
+    ]);
+    t.render()
+}
+
+/// In-text communication-layer comparison: one-way times, bandwidths, and
+/// half-power points per stack.
+pub fn comm_layers() -> String {
+    use now_net::presets;
+    let mut t = TextTable::new(&[
+        "Stack",
+        "One-way small msg (us)",
+        "Peak bandwidth (Mbps)",
+        "Half-power point (B)",
+    ]);
+    t.title("Communication layers on the simulated hardware");
+    let nets: [(&str, now_net::Network); 6] = [
+        ("TCP / shared Ethernet", presets::tcp_ethernet(4)),
+        ("TCP / switched ATM", presets::tcp_atm(4)),
+        ("single-copy TCP / FDDI", presets::single_copy_tcp_fddi(4)),
+        ("sockets over AM / FDDI", presets::sockets_am_fddi(4)),
+        ("HPAM / Medusa FDDI", presets::am_fddi(4)),
+        ("AM / CM-5", presets::cm5(4)),
+    ];
+    for (name, mut net) in nets {
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{:.0}", net.one_way_small_message_us()),
+            format!("{:.0}", net.bandwidth_at_mbps(1 << 20, 4)),
+            format!("{}", net.half_power_point_bytes()),
+        ]);
+    }
+    t.render()
+}
+
+/// In-text migration claim: restoring 64 MB of memory state.
+pub fn restore_study() -> String {
+    use now_glunix::migrate::MigrationModel;
+    let mut t = TextTable::new(&["I/O path", "64-MB restore (s)"]);
+    t.title("Memory restore time for the interactive-user guarantee");
+    for (name, m) in [
+        ("ATM + parallel file system", MigrationModel::now_atm_pfs()),
+        ("ATM + single server disk", MigrationModel::now_atm_single_disk()),
+    ] {
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{:.1}", m.transfer_time(64).as_secs_f64()),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_report_renders_nonempty() {
+        for (name, text) in [
+            ("table1", table1()),
+            ("figure1", figure1()),
+            ("table2", table2()),
+            ("table4", table4()),
+            ("nfs", nfs_study()),
+            ("comm", comm_layers()),
+            ("restore", restore_study()),
+        ] {
+            assert!(text.lines().count() > 3, "{name} too short:\n{text}");
+        }
+    }
+
+    #[test]
+    fn table2_prints_the_paper_totals() {
+        let t = table2();
+        for expected in ["6900", "21700", "1050", "15850"] {
+            assert!(t.contains(expected), "missing {expected} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table4_keeps_the_order_of_magnitude_story() {
+        let t = table4();
+        assert!(t.contains("RS-6000 (256)"));
+        assert!(t.contains("low-overhead msgs"));
+    }
+}

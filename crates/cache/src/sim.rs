@@ -1,0 +1,571 @@
+//! The trace-driven cooperative-caching simulator.
+
+use std::collections::{HashMap, HashSet};
+
+use now_mem::{LruCache, Touch};
+use now_sim::{SimDuration, SimRng};
+use now_trace::fs::{AccessKind, BlockId, FsTrace};
+use serde::{Deserialize, Serialize};
+
+/// Which caching algorithm manages the cluster's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Private client caches in front of a shared server cache.
+    ClientServer,
+    /// Server forwards misses to clients that cache the block.
+    GreedyForwarding,
+    /// Greedy forwarding plus singlet recirculation: a client evicting the
+    /// last cached copy pushes it to a random peer, up to `n` times.
+    NChance {
+        /// Recirculation budget per block.
+        n: u32,
+    },
+    /// Centralized coordination: each client keeps `local_fraction` of its
+    /// cache under private LRU; the remainder of the aggregate client
+    /// memory is one globally-LRU-managed pool (Dahlin et al.'s upper
+    /// bound on practical policies).
+    Centralized {
+        /// Fraction of each client cache managed privately.
+        local_fraction: f64,
+    },
+}
+
+/// Where a read was served from, with its cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessCosts {
+    /// Hit in the requesting client's own memory.
+    pub local_mem: SimDuration,
+    /// Hit in the server's memory or another client's memory (one network
+    /// round trip for an 8-KB block over switched ATM — Table 2).
+    pub remote_mem: SimDuration,
+    /// Served from the server disk (network + disk — Table 2).
+    pub disk: SimDuration,
+}
+
+impl AccessCosts {
+    /// The constants behind Table 3 (derived from Table 2's ATM column):
+    /// 250 µs local, 1,050 µs remote memory, 15,850 µs disk.
+    pub fn paper_defaults() -> Self {
+        AccessCosts {
+            local_mem: SimDuration::from_micros(250),
+            remote_mem: SimDuration::from_micros(1_050),
+            disk: SimDuration::from_micros(15_850),
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Blocks each client caches (16 MB at 8 KB/block = 2,048).
+    pub client_blocks: usize,
+    /// Blocks the server caches (128 MB = 16,384).
+    pub server_blocks: usize,
+    /// Algorithm under test.
+    pub policy: Policy,
+    /// Service-time constants.
+    pub costs: AccessCosts,
+    /// Seed for the (deterministic) random peer choice in N-Chance.
+    pub seed: u64,
+}
+
+impl CacheConfig {
+    /// Table 3's configuration: 16-MB clients, 128-MB server.
+    pub fn table3(policy: Policy) -> Self {
+        CacheConfig {
+            client_blocks: 2_048,
+            server_blocks: 16_384,
+            policy,
+            costs: AccessCosts::paper_defaults(),
+            seed: 1,
+        }
+    }
+
+    /// A small configuration proportioned like Table 3, for fast tests
+    /// with [`now_trace::fs::FsTraceConfig::small`].
+    pub fn small(policy: Policy) -> Self {
+        CacheConfig {
+            client_blocks: 64,
+            server_blocks: 512,
+            policy,
+            costs: AccessCosts::paper_defaults(),
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Read accesses simulated.
+    pub reads: u64,
+    /// Write accesses simulated.
+    pub writes: u64,
+    /// Reads served from the requester's own cache.
+    pub local_hits: u64,
+    /// Reads served from another client's cache (forwarding policies).
+    pub remote_client_hits: u64,
+    /// Reads served from the server's memory.
+    pub server_hits: u64,
+    /// Reads that went to disk.
+    pub disk_reads: u64,
+    /// Total read service time.
+    pub read_time: SimDuration,
+    /// Singlet forwards performed (N-Chance).
+    pub forwards: u64,
+}
+
+impl SimResult {
+    /// Fraction of reads served from disk — Table 3's "cache miss rate".
+    pub fn disk_read_rate(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        self.disk_reads as f64 / self.reads as f64
+    }
+
+    /// Mean read response time — Table 3's second column.
+    pub fn avg_read_response(&self) -> SimDuration {
+        if self.reads == 0 {
+            return SimDuration::ZERO;
+        }
+        self.read_time / self.reads
+    }
+
+    /// Fraction of reads hitting the requester's own cache.
+    pub fn local_hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        self.local_hits as f64 / self.reads as f64
+    }
+}
+
+struct Cluster {
+    clients: Vec<LruCache<BlockId>>,
+    server: LruCache<BlockId>,
+    /// The globally coordinated pool (Centralized policy only).
+    global: Option<LruCache<BlockId>>,
+    /// Which clients cache each block (maintained for all policies; only
+    /// consulted by the forwarding ones).
+    directory: HashMap<BlockId, HashSet<u32>>,
+    /// Recirculation counts for blocks currently recirculating (N-Chance).
+    recirc: HashMap<BlockId, u32>,
+    rng: SimRng,
+}
+
+impl Cluster {
+    fn remove_from_directory(&mut self, block: BlockId, client: u32) {
+        if let Some(set) = self.directory.get_mut(&block) {
+            set.remove(&client);
+            if set.is_empty() {
+                self.directory.remove(&block);
+            }
+        }
+    }
+
+    /// Inserts `block` into `client`'s cache, handling the eviction chain
+    /// according to `policy`.
+    fn insert_into_client(&mut self, client: u32, block: BlockId, write: bool, policy: Policy) {
+        let touch = self.clients[client as usize].touch(block, write);
+        self.directory.entry(block).or_default().insert(client);
+        if let Touch::MissEvicted { victim, .. } = touch {
+            self.handle_eviction(client, victim, policy);
+        }
+    }
+
+    fn handle_eviction(&mut self, client: u32, victim: BlockId, policy: Policy) {
+        self.remove_from_directory(victim, client);
+        if let Policy::Centralized { .. } = policy {
+            // A locally evicted block moves to the coordinated pool (if it
+            // is not already there) — global LRU decides when it truly
+            // leaves client memory.
+            if let Some(global) = self.global.as_mut() {
+                global.touch(victim, false);
+            }
+            return;
+        }
+        let Policy::NChance { n } = policy else {
+            self.recirc.remove(&victim);
+            return;
+        };
+        let still_cached = self.directory.contains_key(&victim);
+        if still_cached {
+            // Not a singlet: safe to drop (another client still has it).
+            self.recirc.remove(&victim);
+            return;
+        }
+        let count = self.recirc.get(&victim).copied().unwrap_or(0);
+        if count >= n || self.clients.len() < 2 {
+            self.recirc.remove(&victim);
+            return; // recirculation budget exhausted: drop
+        }
+        // Forward the singlet to a random *other* client.
+        let mut target = self.rng.index(self.clients.len()) as u32;
+        if target == client {
+            target = (target + 1) % self.clients.len() as u32;
+        }
+        self.recirc.insert(victim, count + 1);
+        // The forwarded block lands as that client's MRU block; its own
+        // eviction chain is handled recursively.
+        let touch = self.clients[target as usize].touch(victim, false);
+        self.directory.entry(victim).or_default().insert(target);
+        if let Touch::MissEvicted { victim: next, .. } = touch {
+            self.handle_eviction(target, next, policy);
+        }
+    }
+}
+
+/// Runs the trace through the cluster under `config`.
+///
+/// # Panics
+///
+/// Panics if the trace names a client beyond its own `clients` count.
+pub fn simulate(trace: &FsTrace, config: &CacheConfig) -> SimResult {
+    let (client_blocks, global) = match config.policy {
+        Policy::Centralized { local_fraction } => {
+            assert!(
+                (0.0..1.0).contains(&local_fraction),
+                "local fraction must be in [0, 1)"
+            );
+            let local = ((config.client_blocks as f64 * local_fraction) as usize).max(1);
+            let pool = (config.client_blocks - local) * trace.clients as usize;
+            (local, Some(LruCache::new(pool.max(1))))
+        }
+        _ => (config.client_blocks, None),
+    };
+    let mut cluster = Cluster {
+        clients: (0..trace.clients)
+            .map(|_| LruCache::new(client_blocks))
+            .collect(),
+        server: LruCache::new(config.server_blocks),
+        global,
+        directory: HashMap::new(),
+        recirc: HashMap::new(),
+        rng: SimRng::new(config.seed),
+    };
+    let mut r = SimResult {
+        reads: 0,
+        writes: 0,
+        local_hits: 0,
+        remote_client_hits: 0,
+        server_hits: 0,
+        disk_reads: 0,
+        read_time: SimDuration::ZERO,
+        forwards: 0,
+    };
+    let forwarding = matches!(
+        config.policy,
+        Policy::GreedyForwarding | Policy::NChance { .. }
+    );
+
+    for access in &trace.accesses {
+        let client = access.client;
+        assert!(client < trace.clients, "client out of range in trace");
+        let block = access.block;
+        let write = access.kind == AccessKind::Write;
+
+        if write {
+            r.writes += 1;
+            // Write-through: update local cache, invalidate other copies
+            // and the server's cached copy (it will re-read from disk).
+            let holders: Vec<u32> = cluster
+                .directory
+                .get(&block)
+                .map(|s| s.iter().copied().filter(|&c| c != client).collect())
+                .unwrap_or_default();
+            for holder in holders {
+                cluster.clients[holder as usize].remove(&block);
+                cluster.remove_from_directory(block, holder);
+            }
+            cluster.server.remove(&block);
+            if let Some(global) = cluster.global.as_mut() {
+                global.remove(&block);
+            }
+            cluster.recirc.remove(&block);
+            cluster.insert_into_client(client, block, true, config.policy);
+            continue;
+        }
+
+        r.reads += 1;
+        // Reads reset a block's recirculation budget: it earned its keep.
+        cluster.recirc.remove(&block);
+
+        // 1. Local cache.
+        if cluster.clients[client as usize].contains(&block) {
+            cluster.insert_into_client(client, block, false, config.policy);
+            r.local_hits += 1;
+            r.read_time += config.costs.local_mem;
+            continue;
+        }
+
+        // 1b. The globally coordinated pool (Centralized policy): another
+        // client's memory, reached through the manager in one hop.
+        if let Some(global) = cluster.global.as_mut() {
+            if global.contains(&block) {
+                global.touch(block, false);
+                cluster.insert_into_client(client, block, false, config.policy);
+                r.remote_client_hits += 1;
+                r.read_time += config.costs.remote_mem;
+                continue;
+            }
+        }
+
+        // 2. Server memory.
+        if cluster.server.contains(&block) {
+            cluster.server.touch(block, false);
+            cluster.insert_into_client(client, block, false, config.policy);
+            r.server_hits += 1;
+            r.read_time += config.costs.remote_mem;
+            continue;
+        }
+
+        // 3. Another client's memory (forwarding policies only; the
+        // baseline server has no directory).
+        if forwarding {
+            let other = cluster
+                .directory
+                .get(&block)
+                .and_then(|s| s.iter().copied().find(|&c| c != client));
+            if let Some(_holder) = other {
+                r.remote_client_hits += 1;
+                r.forwards += 1;
+                r.read_time += config.costs.remote_mem;
+                cluster.insert_into_client(client, block, false, config.policy);
+                continue;
+            }
+        }
+
+        // 4. Server disk; the block also lands in the server cache.
+        r.disk_reads += 1;
+        r.read_time += config.costs.disk;
+        if let Touch::MissEvicted { .. } = cluster.server.touch(block, false) {
+            // Server eviction needs no bookkeeping: directory tracks
+            // clients only.
+        }
+        cluster.insert_into_client(client, block, false, config.policy);
+    }
+    r
+}
+
+/// Sweeps client-cache capacity, returning `(client_mb, disk_read_rate)`
+/// for a fixed policy — the ablation behind "how much client memory does
+/// cooperation need?".
+pub fn sweep_client_cache(
+    trace: &FsTrace,
+    policy: Policy,
+    client_mbs: &[u64],
+) -> Vec<(u64, f64)> {
+    client_mbs
+        .iter()
+        .map(|&mb| {
+            let mut config = CacheConfig::table3(policy);
+            config.client_blocks = (mb * 1024 * 1024 / 8_192) as usize;
+            (mb, simulate(trace, &config).disk_read_rate())
+        })
+        .collect()
+}
+
+/// Sweeps the N-Chance recirculation budget, returning `(n, disk_read_rate)`.
+pub fn sweep_nchance(trace: &FsTrace, ns: &[u32]) -> Vec<(u32, f64)> {
+    ns.iter()
+        .map(|&n| {
+            let config = CacheConfig::table3(Policy::NChance { n });
+            (n, simulate(trace, &config).disk_read_rate())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_trace::fs::{FsTrace, FsTraceConfig};
+
+    fn trace() -> FsTrace {
+        FsTrace::generate(&FsTraceConfig::small(), 42)
+    }
+
+    #[test]
+    fn every_read_is_classified_once() {
+        let t = trace();
+        for policy in [
+            Policy::ClientServer,
+            Policy::GreedyForwarding,
+            Policy::NChance { n: 2 },
+        ] {
+            let r = simulate(&t, &CacheConfig::small(policy));
+            assert_eq!(
+                r.local_hits + r.remote_client_hits + r.server_hits + r.disk_reads,
+                r.reads,
+                "{policy:?}"
+            );
+            assert_eq!(r.reads + r.writes, t.len() as u64);
+        }
+    }
+
+    #[test]
+    fn baseline_never_uses_remote_clients() {
+        let r = simulate(&trace(), &CacheConfig::small(Policy::ClientServer));
+        assert_eq!(r.remote_client_hits, 0);
+        assert_eq!(r.forwards, 0);
+    }
+
+    #[test]
+    fn forwarding_reduces_disk_reads() {
+        let t = trace();
+        let base = simulate(&t, &CacheConfig::small(Policy::ClientServer));
+        let greedy = simulate(&t, &CacheConfig::small(Policy::GreedyForwarding));
+        assert!(
+            greedy.disk_reads < base.disk_reads,
+            "greedy {} vs base {}",
+            greedy.disk_reads,
+            base.disk_reads
+        );
+        assert!(greedy.remote_client_hits > 0);
+    }
+
+    #[test]
+    fn nchance_beats_greedy() {
+        // Recirculating singlets into idle clients' caches keeps more of
+        // the aggregate memory useful.
+        let t = trace();
+        let greedy = simulate(&t, &CacheConfig::small(Policy::GreedyForwarding));
+        let nchance = simulate(&t, &CacheConfig::small(Policy::NChance { n: 2 }));
+        assert!(
+            nchance.disk_read_rate() <= greedy.disk_read_rate(),
+            "n-chance {} vs greedy {}",
+            nchance.disk_read_rate(),
+            greedy.disk_read_rate()
+        );
+    }
+
+    #[test]
+    fn response_time_tracks_disk_rate() {
+        let t = trace();
+        let base = simulate(&t, &CacheConfig::small(Policy::ClientServer));
+        let coop = simulate(&t, &CacheConfig::small(Policy::NChance { n: 2 }));
+        assert!(coop.avg_read_response() < base.avg_read_response());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = trace();
+        let a = simulate(&t, &CacheConfig::small(Policy::NChance { n: 2 }));
+        let b = simulate(&t, &CacheConfig::small(Policy::NChance { n: 2 }));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn writes_invalidate_other_copies() {
+        // Build a tiny trace by hand: client 0 reads a block, client 1
+        // writes it, client 0 reads again — the second read must not be a
+        // local hit on a stale copy.
+        use now_sim::SimTime;
+        use now_trace::fs::{FsAccess, FileId};
+        let block = BlockId { file: FileId(0), block: 0 };
+        let t = FsTrace {
+            accesses: vec![
+                FsAccess { time: SimTime::from_secs(1), client: 0, block, kind: AccessKind::Read },
+                FsAccess { time: SimTime::from_secs(2), client: 1, block, kind: AccessKind::Write },
+                FsAccess { time: SimTime::from_secs(3), client: 0, block, kind: AccessKind::Read },
+            ],
+            file_blocks: vec![1],
+            clients: 2,
+        };
+        let r = simulate(&t, &CacheConfig::small(Policy::NChance { n: 2 }));
+        assert_eq!(r.reads, 2);
+        // First read: disk. Second read after invalidation: served from
+        // client 1 (the writer) — a remote client hit, not a local hit.
+        assert_eq!(r.local_hits, 0);
+        assert_eq!(r.disk_reads, 1);
+        assert_eq!(r.remote_client_hits, 1);
+    }
+
+    #[test]
+    fn centralized_is_at_least_as_good_as_nchance() {
+        // The coordinated pool is the near-optimal upper bound the
+        // practical algorithms chase.
+        let t = trace();
+        let nchance = simulate(&t, &CacheConfig::small(Policy::NChance { n: 2 }));
+        let central = simulate(
+            &t,
+            &CacheConfig::small(Policy::Centralized { local_fraction: 0.2 }),
+        );
+        assert!(
+            central.disk_read_rate() <= nchance.disk_read_rate() * 1.15,
+            "centralized {} vs n-chance {}",
+            central.disk_read_rate(),
+            nchance.disk_read_rate()
+        );
+        assert!(central.remote_client_hits > 0, "pool must be used");
+    }
+
+    #[test]
+    fn centralized_writes_invalidate_the_pool() {
+        use now_sim::SimTime;
+        use now_trace::fs::{FsAccess, FileId};
+        let block = BlockId { file: FileId(0), block: 0 };
+        let mk = |client, secs, kind| FsAccess {
+            time: SimTime::from_secs(secs),
+            client,
+            block,
+            kind,
+        };
+        let t = FsTrace {
+            accesses: vec![
+                mk(0, 1, AccessKind::Read),   // 0 caches it
+                mk(1, 2, AccessKind::Read),   // 1 caches it
+                mk(1, 3, AccessKind::Write),  // 1 rewrites: all copies stale
+                mk(2, 4, AccessKind::Read),   // must not see a stale pool copy
+            ],
+            file_blocks: vec![1],
+            clients: 3,
+        };
+        let r = simulate(
+            &t,
+            &CacheConfig::small(Policy::Centralized { local_fraction: 0.2 }),
+        );
+        // Reads: 0 -> disk; 1 -> pool/peer or disk; 2 -> writer's cache is
+        // not reachable under Centralized (no directory), so pool miss ->
+        // disk. The key property: never a stale hit, which would show as 3
+        // remote hits with only 1 disk read.
+        assert_eq!(r.reads, 3);
+        assert!(r.disk_reads >= 2, "stale pool data served: {r:?}");
+    }
+
+    #[test]
+    fn cache_size_sweep_is_monotone() {
+        let t = trace();
+        let sweep = sweep_client_cache(&t, Policy::GreedyForwarding, &[1, 4, 16]);
+        assert_eq!(sweep.len(), 3);
+        assert!(
+            sweep[0].1 >= sweep[2].1,
+            "more cache cannot mean more misses: {sweep:?}"
+        );
+    }
+
+    #[test]
+    fn nchance_budget_sweep_helps_then_saturates() {
+        let t = trace();
+        let sweep = sweep_nchance(&t, &[0, 1, 2, 4]);
+        assert!(sweep[0].1 >= sweep[1].1, "{sweep:?}");
+        // Returns are diminishing: n=4 is not much better than n=2.
+        assert!(sweep[3].1 >= sweep[2].1 * 0.8, "{sweep:?}");
+    }
+
+    #[test]
+    fn costs_are_ordered() {
+        let c = AccessCosts::paper_defaults();
+        assert!(c.local_mem < c.remote_mem);
+        assert!(c.remote_mem.as_micros_f64() * 10.0 < c.disk.as_micros_f64() * 1.05);
+    }
+
+    #[test]
+    fn zero_reads_yield_zero_rates() {
+        use now_trace::fs::FsTrace;
+        let t = FsTrace { accesses: vec![], file_blocks: vec![], clients: 1 };
+        let r = simulate(&t, &CacheConfig::small(Policy::ClientServer));
+        assert_eq!(r.disk_read_rate(), 0.0);
+        assert_eq!(r.avg_read_response(), SimDuration::ZERO);
+    }
+}

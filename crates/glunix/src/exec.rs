@@ -1,0 +1,387 @@
+//! Remote execution of sequential jobs — `glurun`, the everyday face of
+//! GLUnix.
+//!
+//! Sequential jobs submitted anywhere in the building run on the
+//! least-loaded available workstation, inside a software-fault-isolation
+//! sandbox (the 3–7 percent tax from [`crate::sfi`]). Jobs checkpoint
+//! periodically; when a node crashes, its jobs restart elsewhere from the
+//! last checkpoint — "programs can restart from their last checkpoint,
+//! while programs running on other CPUs continue unaffected."
+
+use now_sim::{EventQueue, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::sfi::{InstructionMix, SfiModel};
+
+/// A sequential job submitted to GLUnix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeqJob {
+    /// Submission time.
+    pub arrival: SimTime,
+    /// CPU demand on a dedicated, un-sandboxed workstation.
+    pub service: SimDuration,
+}
+
+/// Scheduler parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Apply the SFI sandbox (GLUnix interposition) to remote jobs.
+    pub sandbox: bool,
+    /// Checkpoint period; on node failure a job loses at most this much
+    /// progress.
+    pub checkpoint_every: SimDuration,
+    /// Time to restart from a checkpoint on a new node (fetch image from
+    /// xFS and resume).
+    pub restart_cost: SimDuration,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            sandbox: true,
+            checkpoint_every: SimDuration::from_secs(300),
+            restart_cost: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Outcome of one batch run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecOutcome {
+    /// Completion time per job, in submission order.
+    pub completions: Vec<SimTime>,
+    /// Job count placed on each node.
+    pub placements: Vec<u32>,
+    /// Restarts performed due to node failures.
+    pub restarts: u64,
+}
+
+impl ExecOutcome {
+    /// Mean response time in seconds.
+    pub fn mean_response_s(&self, jobs: &[SeqJob]) -> f64 {
+        assert_eq!(jobs.len(), self.completions.len());
+        if jobs.is_empty() {
+            return 0.0;
+        }
+        jobs.iter()
+            .zip(&self.completions)
+            .map(|(j, c)| c.saturating_since(j.arrival).as_secs_f64())
+            .sum::<f64>()
+            / jobs.len() as f64
+    }
+}
+
+/// Runs `jobs` on `nodes` workstations with least-loaded placement.
+/// `failures` is a list of `(time, node)` crash events: the node drops its
+/// jobs (restarted elsewhere from checkpoint) and stays down.
+///
+/// Jobs time-share a node processor-sharing style: with `k` jobs on a
+/// node, each progresses at rate `1/k`.
+///
+/// # Panics
+///
+/// Panics if there are no nodes, or all nodes fail while jobs remain.
+pub fn run_batch(
+    jobs: &[SeqJob],
+    nodes: u32,
+    failures: &[(SimTime, u32)],
+    config: &ExecConfig,
+) -> ExecOutcome {
+    assert!(nodes > 0, "need at least one workstation");
+    let sfi = SfiModel::optimised();
+    let factor = if config.sandbox {
+        sfi.overhead_factor(InstructionMix::typical_integer())
+    } else {
+        1.0
+    };
+
+    #[derive(Debug, Clone, Copy)]
+    enum Ev {
+        Arrive(usize),
+        NodeFails(u32),
+        /// Progress re-evaluation point (a completion estimate).
+        Check,
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Running {
+        node: u32,
+        /// Sandboxed work remaining.
+        remaining: SimDuration,
+        /// Work completed at the last checkpoint.
+        checkpointed: SimDuration,
+        /// Total sandboxed demand (for checkpoint bookkeeping).
+        total: SimDuration,
+        last_update: SimTime,
+        /// Elapsed nanoseconds not yet converted to progress (the
+        /// remainder of the elapsed/share division) — without it, frequent
+        /// settlements would silently discard sub-share slivers and the
+        /// simulation would crawl.
+        carry_ns: u64,
+    }
+
+    let mut q = EventQueue::new();
+    for (i, j) in jobs.iter().enumerate() {
+        q.schedule_at(j.arrival, Ev::Arrive(i));
+    }
+    for &(t, n) in failures {
+        q.schedule_at(t, Ev::NodeFails(n));
+    }
+
+    let mut node_up = vec![true; nodes as usize];
+    let mut node_jobs = vec![0u32; nodes as usize];
+    let mut placements = vec![0u32; nodes as usize];
+    let mut running: Vec<Option<Running>> = vec![None; jobs.len()];
+    let mut completions: Vec<Option<SimTime>> = vec![None; jobs.len()];
+    let mut restarts = 0u64;
+    let mut outstanding = 0usize;
+
+    // Progress accounting: advance every running job by elapsed/load.
+    fn settle(
+        running: &mut [Option<Running>],
+        node_jobs: &[u32],
+        now: SimTime,
+        checkpoint_every: SimDuration,
+    ) {
+        for r in running.iter_mut().flatten() {
+            let share = u64::from(node_jobs[r.node as usize].max(1));
+            let elapsed = now.saturating_since(r.last_update).as_nanos() + r.carry_ns;
+            let progressed = SimDuration::from_nanos(elapsed / share);
+            r.carry_ns = elapsed % share;
+            r.remaining = r.remaining.saturating_sub(progressed);
+            // Right after a restart, remaining may exceed the original
+            // demand by the restart cost; progress saturates at zero.
+            let done_after = r.total.saturating_sub(r.remaining);
+            // Checkpoints taken at fixed progress intervals.
+            let cp = checkpoint_every;
+            if !cp.is_zero() {
+                let k = done_after.as_nanos() / cp.as_nanos();
+                let cp_done = SimDuration::from_nanos(k * cp.as_nanos());
+                if cp_done > r.checkpointed {
+                    r.checkpointed = cp_done.min(done_after);
+                }
+            }
+            r.last_update = now;
+        }
+    }
+
+    // Completion estimate: schedule a Check at the earliest finish time.
+    fn schedule_check(
+        q: &mut EventQueue<Ev>,
+        running: &[Option<Running>],
+        node_jobs: &[u32],
+    ) {
+        let mut earliest: Option<SimTime> = None;
+        for r in running.iter().flatten() {
+            let share = u64::from(node_jobs[r.node as usize].max(1));
+            let eta = r.last_update + r.remaining * share;
+            earliest = Some(earliest.map_or(eta, |e| e.min(eta)));
+        }
+        if let Some(t) = earliest {
+            q.schedule_at(t, Ev::Check);
+        }
+    }
+
+    let place = |node_up: &[bool], node_jobs: &[u32]| -> u32 {
+        node_up
+            .iter()
+            .enumerate()
+            .filter(|(_, &up)| up)
+            .min_by_key(|(n, _)| (node_jobs[*n], *n))
+            .map(|(n, _)| n as u32)
+            .expect("at least one node is up")
+    };
+
+    while let Some((now, ev)) = q.pop() {
+        settle(&mut running, &node_jobs, now, config.checkpoint_every);
+        match ev {
+            Ev::Arrive(i) => {
+                let demand = jobs[i].service.mul_f64(factor);
+                let node = place(&node_up, &node_jobs);
+                node_jobs[node as usize] += 1;
+                placements[node as usize] += 1;
+                running[i] = Some(Running {
+                    node,
+                    remaining: demand,
+                    checkpointed: SimDuration::ZERO,
+                    total: demand,
+                    last_update: now,
+                    carry_ns: 0,
+                });
+                outstanding += 1;
+            }
+            Ev::NodeFails(n) => {
+                if !node_up[n as usize] {
+                    continue;
+                }
+                node_up[n as usize] = false;
+                node_jobs[n as usize] = 0;
+                assert!(
+                    node_up.iter().any(|&u| u),
+                    "all nodes failed with jobs outstanding"
+                );
+                for r in running.iter_mut().flatten() {
+                    if r.node == n {
+                        // Restart elsewhere from the checkpoint: lose
+                        // progress since it, pay the restart cost.
+                        restarts += 1;
+                        let new_node = place(&node_up, &node_jobs);
+                        node_jobs[new_node as usize] += 1;
+                        placements[new_node as usize] += 1;
+                        r.node = new_node;
+                        r.remaining =
+                            r.total.saturating_sub(r.checkpointed) + config.restart_cost;
+                        r.last_update = now;
+                        r.carry_ns = 0;
+                    }
+                }
+            }
+            Ev::Check => {}
+        }
+        // Reap finished jobs.
+        for (i, slot) in running.iter_mut().enumerate() {
+            if let Some(r) = slot {
+                if r.remaining.is_zero() {
+                    node_jobs[r.node as usize] -= 1;
+                    completions[i] = Some(now);
+                    *slot = None;
+                    outstanding -= 1;
+                }
+            }
+        }
+        if outstanding > 0 || !q.is_empty() {
+            schedule_check(&mut q, &running, &node_jobs);
+        }
+        if outstanding == 0 && q.is_empty() {
+            break;
+        }
+    }
+
+    ExecOutcome {
+        completions: completions
+            .into_iter()
+            .map(|c| c.expect("every job completes"))
+            .collect(),
+        placements,
+        restarts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(at_s: u64, service_s: u64) -> SeqJob {
+        SeqJob {
+            arrival: SimTime::from_secs(at_s),
+            service: SimDuration::from_secs(service_s),
+        }
+    }
+
+    fn no_sandbox() -> ExecConfig {
+        ExecConfig {
+            sandbox: false,
+            ..ExecConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_job_completes_after_its_service() {
+        let jobs = [job(0, 100)];
+        let out = run_batch(&jobs, 4, &[], &no_sandbox());
+        assert_eq!(out.completions[0], SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn sandbox_adds_three_to_seven_percent() {
+        let jobs = [job(0, 1_000)];
+        let bare = run_batch(&jobs, 1, &[], &no_sandbox());
+        let sandboxed = run_batch(&jobs, 1, &[], &ExecConfig::default());
+        let ratio = sandboxed.completions[0].as_secs_f64() / bare.completions[0].as_secs_f64();
+        assert!((1.03..=1.095).contains(&ratio), "SFI tax {ratio}");
+    }
+
+    #[test]
+    fn load_balancer_spreads_jobs() {
+        let jobs: Vec<SeqJob> = (0..8).map(|_| job(0, 50)).collect();
+        let out = run_batch(&jobs, 4, &[], &no_sandbox());
+        assert_eq!(out.placements, vec![2, 2, 2, 2]);
+        // With perfect spreading, two jobs share each node: 100 s each.
+        for c in &out.completions {
+            assert_eq!(*c, SimTime::from_secs(100));
+        }
+    }
+
+    #[test]
+    fn timesharing_slows_colocated_jobs() {
+        // Two jobs on one node finish in 2x their service.
+        let jobs = [job(0, 100), job(0, 100)];
+        let out = run_batch(&jobs, 1, &[], &no_sandbox());
+        assert_eq!(out.completions[0], SimTime::from_secs(200));
+        assert_eq!(out.completions[1], SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn staggered_arrivals_use_processor_sharing() {
+        // Job A alone for 100 s (half done), then shares with B.
+        let jobs = [job(0, 200), job(100, 50)];
+        let out = run_batch(&jobs, 1, &[], &no_sandbox());
+        // From t=100: A has 100 left, B has 50; sharing halves rates. B
+        // finishes at t=200 (50 done in 100 s of half-rate). A then has 50
+        // left, full rate: done at 250.
+        assert_eq!(out.completions[1], SimTime::from_secs(200));
+        assert_eq!(out.completions[0], SimTime::from_secs(250));
+    }
+
+    #[test]
+    fn node_failure_restarts_from_checkpoint() {
+        let config = ExecConfig {
+            sandbox: false,
+            checkpoint_every: SimDuration::from_secs(100),
+            restart_cost: SimDuration::from_secs(10),
+        };
+        // One 1,000-s job; its node dies at t=250 (after the t=200
+        // checkpoint). It restarts elsewhere with 800 s + 10 s to go.
+        let jobs = [job(0, 1_000)];
+        let out = run_batch(&jobs, 2, &[(SimTime::from_secs(250), 0)], &config);
+        assert_eq!(out.restarts, 1);
+        assert_eq!(out.completions[0], SimTime::from_secs(250 + 800 + 10));
+    }
+
+    #[test]
+    fn other_nodes_jobs_are_unaffected_by_a_crash() {
+        let config = no_sandbox();
+        let jobs = [job(0, 500), job(0, 500)];
+        // Three nodes, jobs on 0 and 1; node 0 dies at 100 and its job
+        // restarts on the empty node 2 -- node 1's job never notices.
+        let out = run_batch(&jobs, 3, &[(SimTime::from_secs(100), 0)], &config);
+        let unaffected = out.completions.iter().filter(|&&c| c == SimTime::from_secs(500)).count();
+        assert_eq!(unaffected, 1, "{:?}", out.completions);
+        assert_eq!(out.restarts, 1);
+        // The restarted job pays its lost progress plus the restart cost.
+        let restarted = *out.completions.iter().max().unwrap();
+        assert_eq!(restarted, SimTime::from_secs(100 + 500 + 5));
+    }
+
+    #[test]
+    fn failure_loses_at_most_one_checkpoint_interval() {
+        let config = ExecConfig {
+            sandbox: false,
+            checkpoint_every: SimDuration::from_secs(50),
+            restart_cost: SimDuration::ZERO,
+        };
+        let jobs = [job(0, 400)];
+        let out = run_batch(&jobs, 2, &[(SimTime::from_secs(399), 0)], &config);
+        // Progress 399 s, checkpoint at 350: remaining 50; finish 399+50.
+        assert_eq!(out.completions[0], SimTime::from_secs(449));
+    }
+
+    #[test]
+    fn deterministic() {
+        let jobs: Vec<SeqJob> = (0..20).map(|i| job(i * 3, 40 + i)).collect();
+        let fails = [(SimTime::from_secs(60), 1u32)];
+        let a = run_batch(&jobs, 5, &fails, &ExecConfig::default());
+        let b = run_batch(&jobs, 5, &fails, &ExecConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! # now-glunix — the global operating-system layer
+//!
+//! GLUnix glues the workstations' unmodified local Unixes into one system:
+//! jobs see a single machine, resources are recruited building-wide, and
+//! the two sociological guarantees hold — interactive users never lose
+//! their machine (or its memory contents), and parallel jobs get
+//! coscheduled, migratable processors.
+//!
+//! The crate covers each piece the paper describes:
+//!
+//! * [`membership`] — who is in the NOW, who is idle, failure detection;
+//!   node crashes affect only their own processes.
+//! * [`sfi`] — software fault isolation, the technology that lets GLUnix
+//!   interpose a protected global-OS layer at user level for a 3–7 percent
+//!   overhead.
+//! * [`migrate`] — process migration with memory save/restore over the
+//!   parallel file system and ATM (64 MB in under 4 seconds).
+//! * [`cosched`] — parallel-application models (random small messages,
+//!   Column, Em3d, Connect) under gang vs uncoordinated local scheduling:
+//!   **Figure 4**.
+//! * [`mixed`] — the trace-driven study overlaying the LANL parallel
+//!   workload on interactively-used workstations: **Figure 3**.
+//! * [`exec`] — `glurun`: least-loaded remote execution of sequential
+//!   jobs with SFI sandboxing and checkpoint/restart on node failure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cosched;
+pub mod crossval;
+pub mod exec;
+pub mod membership;
+pub mod migrate;
+pub mod mixed;
+pub mod sfi;

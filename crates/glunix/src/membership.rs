@@ -1,0 +1,229 @@
+//! Cluster membership and idle detection.
+//!
+//! GLUnix must keep operating as workstations crash, reboot, join, and
+//! leave — "if a workstation fails, it only affects the programs using
+//! that CPU." Membership is tracked with heartbeats; a node missing
+//! [`MembershipConfig::miss_limit`] consecutive heartbeats is declared
+//! failed and its processes become restart candidates. Idle detection
+//! implements the paper's rule: a machine is *available* after one minute
+//! with no user activity.
+
+use std::collections::BTreeMap;
+
+use now_sim::{SimDuration, SimTime};
+use now_trace::usage::MachineUsage;
+use serde::{Deserialize, Serialize};
+
+/// A node's liveness state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Heartbeating normally.
+    Up,
+    /// Declared failed (missed heartbeats).
+    Failed,
+    /// Administratively removed (hot-swap upgrade).
+    Removed,
+}
+
+/// Membership parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MembershipConfig {
+    /// Heartbeat period.
+    pub heartbeat: SimDuration,
+    /// Consecutive misses before a node is declared failed.
+    pub miss_limit: u32,
+    /// User inactivity before a machine counts as available (paper: one
+    /// minute).
+    pub idle_threshold: SimDuration,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            heartbeat: SimDuration::from_secs(1),
+            miss_limit: 3,
+            idle_threshold: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// The membership service.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    config: MembershipConfig,
+    /// Last heartbeat heard from each node.
+    last_heard: BTreeMap<u32, SimTime>,
+    state: BTreeMap<u32, NodeState>,
+}
+
+impl Membership {
+    /// Boots a cluster of `nodes` nodes, all up at time zero.
+    pub fn new(nodes: u32, config: MembershipConfig) -> Self {
+        Membership {
+            config,
+            last_heard: (0..nodes).map(|n| (n, SimTime::ZERO)).collect(),
+            state: (0..nodes).map(|n| (n, NodeState::Up)).collect(),
+        }
+    }
+
+    /// Records a heartbeat from `node` at `now`. A failed node that
+    /// heartbeats again has rebooted and rejoins.
+    pub fn heartbeat(&mut self, node: u32, now: SimTime) {
+        self.last_heard.insert(node, now);
+        self.state.insert(node, NodeState::Up);
+    }
+
+    /// Sweeps for failures at `now`: nodes silent past the miss limit are
+    /// declared failed. Returns the newly failed nodes.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<u32> {
+        let deadline = self.config.heartbeat * u64::from(self.config.miss_limit);
+        let mut newly_failed = Vec::new();
+        for (&node, state) in self.state.iter_mut() {
+            if *state != NodeState::Up {
+                continue;
+            }
+            let heard = self.last_heard[&node];
+            if now.saturating_since(heard) > deadline {
+                *state = NodeState::Failed;
+                newly_failed.push(node);
+            }
+        }
+        newly_failed
+    }
+
+    /// Administratively removes a node (hot-swap).
+    pub fn remove(&mut self, node: u32) {
+        self.state.insert(node, NodeState::Removed);
+    }
+
+    /// Adds a brand-new node at `now` (hot-add).
+    pub fn add(&mut self, node: u32, now: SimTime) {
+        self.last_heard.insert(node, now);
+        self.state.insert(node, NodeState::Up);
+    }
+
+    /// Current state of a node.
+    pub fn state(&self, node: u32) -> Option<NodeState> {
+        self.state.get(&node).copied()
+    }
+
+    /// Nodes currently up.
+    pub fn up_nodes(&self) -> Vec<u32> {
+        self.state
+            .iter()
+            .filter(|(_, &s)| s == NodeState::Up)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Whether a machine is *available* for external work at `now` given
+    /// its usage record: up, and no user activity within the idle
+    /// threshold.
+    pub fn available(&self, node: u32, usage: &MachineUsage, now: SimTime) -> bool {
+        if self.state(node) != Some(NodeState::Up) {
+            return false;
+        }
+        // Active right now?
+        if usage.is_active(now) {
+            return false;
+        }
+        // Active within the threshold window?
+        let window_start = SimTime::ZERO.max(now - self.config.idle_threshold.min(now - SimTime::ZERO));
+        usage.active_time(window_start, now).is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_trace::usage::ActivePeriod;
+
+    fn quiet_machine() -> MachineUsage {
+        MachineUsage { periods: vec![] }
+    }
+
+    fn machine_active(from_s: u64, to_s: u64) -> MachineUsage {
+        MachineUsage {
+            periods: vec![ActivePeriod {
+                start: SimTime::from_secs(from_s),
+                end: SimTime::from_secs(to_s),
+            }],
+        }
+    }
+
+    #[test]
+    fn all_up_initially() {
+        let m = Membership::new(4, MembershipConfig::default());
+        assert_eq!(m.up_nodes(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn silent_node_is_declared_failed() {
+        let mut m = Membership::new(3, MembershipConfig::default());
+        let t = SimTime::from_secs(10);
+        m.heartbeat(0, t);
+        m.heartbeat(2, t);
+        // Node 1 has been silent since t=0; the limit is 3 s.
+        let failed = m.sweep(t);
+        assert_eq!(failed, vec![1]);
+        assert_eq!(m.state(1), Some(NodeState::Failed));
+        assert_eq!(m.up_nodes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn reboot_rejoins() {
+        let mut m = Membership::new(2, MembershipConfig::default());
+        m.sweep(SimTime::from_secs(10));
+        assert_eq!(m.state(0), Some(NodeState::Failed));
+        m.heartbeat(0, SimTime::from_secs(20));
+        assert_eq!(m.state(0), Some(NodeState::Up));
+    }
+
+    #[test]
+    fn sweep_reports_each_failure_once() {
+        let mut m = Membership::new(2, MembershipConfig::default());
+        let first = m.sweep(SimTime::from_secs(10));
+        assert_eq!(first.len(), 2);
+        let second = m.sweep(SimTime::from_secs(20));
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    fn hot_swap_remove_and_add() {
+        let mut m = Membership::new(2, MembershipConfig::default());
+        m.remove(1);
+        assert_eq!(m.state(1), Some(NodeState::Removed));
+        assert_eq!(m.up_nodes(), vec![0]);
+        m.add(5, SimTime::from_secs(1));
+        assert_eq!(m.up_nodes(), vec![0, 5]);
+    }
+
+    #[test]
+    fn availability_follows_the_one_minute_rule() {
+        let mut m = Membership::new(1, MembershipConfig::default());
+        let usage = machine_active(100, 200);
+        // During activity: not available.
+        m.heartbeat(0, SimTime::from_secs(150));
+        assert!(!m.available(0, &usage, SimTime::from_secs(150)));
+        // 30 s after the user left: still within the one-minute window.
+        m.heartbeat(0, SimTime::from_secs(230));
+        assert!(!m.available(0, &usage, SimTime::from_secs(230)));
+        // 61 s after: available.
+        m.heartbeat(0, SimTime::from_secs(261));
+        assert!(m.available(0, &usage, SimTime::from_secs(261)));
+    }
+
+    #[test]
+    fn failed_node_is_never_available() {
+        let mut m = Membership::new(1, MembershipConfig::default());
+        m.sweep(SimTime::from_secs(100));
+        assert!(!m.available(0, &quiet_machine(), SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn untouched_machine_is_available_immediately() {
+        let mut m = Membership::new(1, MembershipConfig::default());
+        m.heartbeat(0, SimTime::from_secs(5));
+        assert!(m.available(0, &quiet_machine(), SimTime::from_secs(5)));
+    }
+}

@@ -1,0 +1,160 @@
+//! Process migration with memory state: the mechanism behind both
+//! guarantees.
+//!
+//! When a user returns to their workstation, GLUnix migrates the external
+//! process off it — *and restores the machine's saved memory contents*, so
+//! the interactive user never notices. The feasibility hinges on the NOW's
+//! own technologies: "With ATM bandwidth and a parallel file system, 64
+//! Mbytes of DRAM can be restored in under 4 seconds."
+
+use now_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The I/O path available for saving and restoring memory images.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationModel {
+    /// The node's network link bandwidth, MB/s (ATM: 19.4).
+    pub link_mb_s: f64,
+    /// The file system's sustained bandwidth for the image, MB/s
+    /// (parallel file system: hundreds; a single disk: ~2–6).
+    pub fs_mb_s: f64,
+    /// Fixed per-migration coordination cost.
+    pub fixed: SimDuration,
+}
+
+impl MigrationModel {
+    /// The NOW configuration: 155-Mbps ATM link + parallel file system at
+    /// 80 percent of 256 × 2-MB/s disks.
+    pub fn now_atm_pfs() -> Self {
+        MigrationModel {
+            link_mb_s: 19.4,
+            fs_mb_s: 410.0,
+            fixed: SimDuration::from_millis(100),
+        }
+    }
+
+    /// The conventional configuration: same link, one NFS server disk.
+    pub fn now_atm_single_disk() -> Self {
+        MigrationModel {
+            link_mb_s: 19.4,
+            fs_mb_s: 2.0,
+            fixed: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Time to move a `mem_mb`-MB memory image one way (save *or*
+    /// restore): bottlenecked by the slower of the node's link and the
+    /// file system.
+    pub fn transfer_time(&self, mem_mb: u64) -> SimDuration {
+        let bw = self.link_mb_s.min(self.fs_mb_s);
+        self.fixed + SimDuration::from_secs_f64(mem_mb as f64 / bw)
+    }
+
+    /// Full migration of a process with `mem_mb` MB of state: save on the
+    /// source, restore on the destination. The two transfers use different
+    /// links and pipeline through the file system, so the wall-clock cost
+    /// is one transfer plus a pipeline bubble.
+    pub fn migration_time(&self, mem_mb: u64) -> SimDuration {
+        self.transfer_time(mem_mb) + self.fixed * 2
+    }
+}
+
+/// The paper's daily-disruption budget: external processes may delay any
+/// interactive user at most this many times per day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisruptionBudget {
+    /// Maximum user-visible delays per day.
+    pub per_day: u32,
+}
+
+impl Default for DisruptionBudget {
+    fn default() -> Self {
+        DisruptionBudget { per_day: 4 }
+    }
+}
+
+/// Tracks per-machine disruption counts against the budget.
+#[derive(Debug, Clone)]
+pub struct DisruptionTracker {
+    budget: DisruptionBudget,
+    counts: Vec<u32>,
+}
+
+impl DisruptionTracker {
+    /// A tracker for `machines` machines.
+    pub fn new(machines: u32, budget: DisruptionBudget) -> Self {
+        DisruptionTracker {
+            budget,
+            counts: vec![0; machines as usize],
+        }
+    }
+
+    /// May external work still be placed on `machine` today?
+    pub fn may_disrupt(&self, machine: u32) -> bool {
+        self.counts[machine as usize] < self.budget.per_day
+    }
+
+    /// Records that the user of `machine` was delayed once.
+    pub fn record(&mut self, machine: u32) {
+        self.counts[machine as usize] += 1;
+    }
+
+    /// Midnight: the budget resets.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restore_64mb_in_under_4_seconds_with_pfs() {
+        // The paper's headline migration number.
+        let m = MigrationModel::now_atm_pfs();
+        let t = m.transfer_time(64);
+        assert!(
+            t < SimDuration::from_secs(4),
+            "64 MB restore took {t}"
+        );
+        assert!(t > SimDuration::from_secs(3), "ATM link should be the bottleneck: {t}");
+    }
+
+    #[test]
+    fn single_disk_makes_restore_painful() {
+        let m = MigrationModel::now_atm_single_disk();
+        let t = m.transfer_time(64);
+        assert!(
+            t > SimDuration::from_secs(30),
+            "2 MB/s should take >30 s, got {t}"
+        );
+    }
+
+    #[test]
+    fn migration_is_roughly_twice_a_transfer() {
+        let m = MigrationModel::now_atm_pfs();
+        let one = m.transfer_time(64);
+        let full = m.migration_time(64);
+        assert!(full > one);
+        assert!(full < one * 2);
+    }
+
+    #[test]
+    fn transfer_scales_with_memory() {
+        let m = MigrationModel::now_atm_pfs();
+        assert!(m.transfer_time(128) > m.transfer_time(64));
+    }
+
+    #[test]
+    fn disruption_budget_limits_placements() {
+        let mut t = DisruptionTracker::new(2, DisruptionBudget { per_day: 2 });
+        assert!(t.may_disrupt(0));
+        t.record(0);
+        t.record(0);
+        assert!(!t.may_disrupt(0));
+        assert!(t.may_disrupt(1), "budgets are per machine");
+        t.reset();
+        assert!(t.may_disrupt(0), "midnight resets the budget");
+    }
+}

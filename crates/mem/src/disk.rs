@@ -1,0 +1,118 @@
+//! The 1994 workstation disk: big, cheap, and slow to get started.
+//!
+//! The paper's I/O-bottleneck argument rests on disks improving in
+//! *capacity* but not *performance*; the constants here reproduce the
+//! 14.8-ms 8-KB access of Table 2 while exposing the seek/rotation/transfer
+//! split, so sequential streaming (which amortises the mechanical parts)
+//! can be modelled separately from random access.
+
+use now_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Timing model of one disk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskModel {
+    /// Average seek time.
+    pub avg_seek: SimDuration,
+    /// Average rotational delay (half a revolution).
+    pub avg_rotation: SimDuration,
+    /// Media transfer rate, MB/s.
+    pub transfer_mb_s: f64,
+    /// Fixed controller/driver overhead per request.
+    pub controller: SimDuration,
+}
+
+impl DiskModel {
+    /// A 1994 workstation disk (5,400 rpm class): 8-ms seek, 5.6-ms
+    /// rotation, 6.5-MB/s media rate. An 8-KB random access costs 14.8 ms,
+    /// matching Table 2.
+    pub fn workstation_1994() -> Self {
+        DiskModel {
+            avg_seek: SimDuration::from_micros(8_000),
+            avg_rotation: SimDuration::from_micros(5_560),
+            transfer_mb_s: 6.5,
+            controller: SimDuration::from_micros(20),
+        }
+    }
+
+    /// Time for one random access of `bytes`.
+    pub fn random_access(&self, bytes: u64) -> SimDuration {
+        self.controller + self.avg_seek + self.avg_rotation + self.transfer_time(bytes)
+    }
+
+    /// Media transfer time alone for `bytes` (no seek/rotation) — the
+    /// steady-state cost per block when streaming sequentially.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / (self.transfer_mb_s * 1e6))
+    }
+
+    /// Effective time per block when reading `blocks` consecutive blocks of
+    /// `bytes` each: one seek+rotation amortised over the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn sequential_per_block(&self, bytes: u64, blocks: u64) -> SimDuration {
+        assert!(blocks > 0, "a run has at least one block");
+        let mechanical = self.controller + self.avg_seek + self.avg_rotation;
+        self.transfer_time(bytes) + mechanical / blocks
+    }
+
+    /// Sustained sequential bandwidth in MB/s (long runs).
+    pub fn sequential_mb_s(&self) -> f64 {
+        self.transfer_mb_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_8kb_access_is_14_8_ms() {
+        // Table 2's disk constant.
+        let d = DiskModel::workstation_1994();
+        let ms = d.random_access(8_192).as_millis_f64();
+        assert!((14.3..15.3).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn sequential_amortises_the_mechanics() {
+        let d = DiskModel::workstation_1994();
+        let random = d.random_access(8_192);
+        let streamed = d.sequential_per_block(8_192, 1_000);
+        assert!(
+            streamed.as_micros_f64() * 8.0 < random.as_micros_f64(),
+            "streaming {streamed} vs random {random}"
+        );
+        // Long-run cost approaches pure transfer time.
+        let pure = d.transfer_time(8_192);
+        assert!(streamed.as_micros_f64() < pure.as_micros_f64() * 1.05);
+    }
+
+    #[test]
+    fn single_block_run_equals_random_access() {
+        let d = DiskModel::workstation_1994();
+        assert_eq!(d.sequential_per_block(8_192, 1), d.random_access(8_192));
+    }
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let d = DiskModel::workstation_1994();
+        let t1 = d.transfer_time(8_192);
+        let t2 = d.transfer_time(16_384);
+        // Each conversion rounds to the nanosecond independently.
+        let diff = t2.as_nanos().abs_diff(t1.as_nanos() * 2);
+        assert!(diff <= 2, "non-linear by {diff} ns");
+    }
+
+    #[test]
+    fn bigger_transfers_still_dominated_by_mechanics_at_8kb() {
+        // The I/O-bottleneck premise: for small blocks, mechanical time is
+        // >90% of a random access.
+        let d = DiskModel::workstation_1994();
+        let mech = d.avg_seek + d.avg_rotation;
+        let total = d.random_access(8_192);
+        assert!(mech.as_micros_f64() / total.as_micros_f64() > 0.85);
+    }
+}

@@ -1,0 +1,243 @@
+//! An exact least-recently-used cache over copyable keys.
+//!
+//! Used for page frames here and for file-block caches in `now-cache`.
+//! Recency is tracked with a monotone counter and an ordered index, giving
+//! `O(log n)` operations and exact (not approximate) LRU order — important
+//! because cache-policy experiments compare algorithms whose differences
+//! can be subtle.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// The result of touching a key in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Touch<K> {
+    /// The key was present.
+    Hit,
+    /// The key was inserted; nothing was evicted (cache had room).
+    MissInserted,
+    /// The key was inserted and the least-recently-used entry was evicted.
+    MissEvicted {
+        /// The evicted key.
+        victim: K,
+        /// Whether the victim had been marked dirty.
+        dirty: bool,
+    },
+}
+
+/// An exact-LRU cache mapping keys to a dirty bit.
+///
+/// # Example
+///
+/// ```
+/// use now_mem::LruCache;
+///
+/// let mut lru = LruCache::new(2);
+/// lru.touch(1, false);
+/// lru.touch(2, false);
+/// lru.touch(1, false);          // 1 is now most recent
+/// let t = lru.touch(3, false);  // evicts 2, the LRU
+/// assert!(matches!(t, now_mem::Touch::MissEvicted { victim: 2, .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache<K> {
+    capacity: usize,
+    /// key -> (recency stamp, dirty)
+    entries: HashMap<K, (u64, bool)>,
+    /// recency stamp -> key (unique stamps)
+    order: BTreeMap<u64, K>,
+    clock: u64,
+}
+
+impl<K: Eq + Hash + Copy> LruCache<K> {
+    /// Creates a cache holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            order: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if `key` is resident (does not affect recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Accesses `key`, making it most-recently-used; inserts on miss,
+    /// evicting the LRU entry if full. `write` marks the entry dirty
+    /// (sticky until eviction or removal).
+    pub fn touch(&mut self, key: K, write: bool) -> Touch<K> {
+        self.clock += 1;
+        if let Some((stamp, dirty)) = self.entries.get_mut(&key) {
+            self.order.remove(&*stamp);
+            *stamp = self.clock;
+            *dirty |= write;
+            self.order.insert(self.clock, key);
+            return Touch::Hit;
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            let (&oldest, &victim) = self.order.iter().next().expect("full cache has entries");
+            self.order.remove(&oldest);
+            let (_, dirty) = self.entries.remove(&victim).expect("indexed entry exists");
+            Some((victim, dirty))
+        } else {
+            None
+        };
+        self.entries.insert(key, (self.clock, write));
+        self.order.insert(self.clock, key);
+        match evicted {
+            Some((victim, dirty)) => Touch::MissEvicted { victim, dirty },
+            None => Touch::MissInserted,
+        }
+    }
+
+    /// Removes `key` if present, returning its dirty bit.
+    pub fn remove(&mut self, key: &K) -> Option<bool> {
+        let (stamp, dirty) = self.entries.remove(key)?;
+        self.order.remove(&stamp);
+        Some(dirty)
+    }
+
+    /// The least-recently-used key, if any (does not affect recency).
+    pub fn lru(&self) -> Option<&K> {
+        self.order.values().next()
+    }
+
+    /// Iterates over resident keys in LRU-to-MRU order.
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.order.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_basics() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.touch(1, false), Touch::MissInserted);
+        assert_eq!(c.touch(1, false), Touch::Hit);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+    }
+
+    #[test]
+    fn evicts_exact_lru_order() {
+        let mut c = LruCache::new(3);
+        c.touch(1, false);
+        c.touch(2, false);
+        c.touch(3, false);
+        c.touch(1, false); // order now 2,3,1
+        assert_eq!(
+            c.touch(4, false),
+            Touch::MissEvicted { victim: 2, dirty: false }
+        );
+        assert_eq!(
+            c.touch(5, false),
+            Touch::MissEvicted { victim: 3, dirty: false }
+        );
+        assert!(c.contains(&1));
+    }
+
+    #[test]
+    fn dirty_bit_is_sticky_and_reported_on_eviction() {
+        let mut c = LruCache::new(1);
+        c.touch(7, true);
+        c.touch(7, false); // read does not clean it
+        let t = c.touch(8, false);
+        assert_eq!(t, Touch::MissEvicted { victim: 7, dirty: true });
+    }
+
+    #[test]
+    fn remove_returns_dirty_state() {
+        let mut c = LruCache::new(4);
+        c.touch(1, true);
+        c.touch(2, false);
+        assert_eq!(c.remove(&1), Some(true));
+        assert_eq!(c.remove(&2), Some(false));
+        assert_eq!(c.remove(&99), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_peek_matches_eviction_choice() {
+        let mut c = LruCache::new(3);
+        for k in [10, 20, 30] {
+            c.touch(k, false);
+        }
+        c.touch(10, false);
+        assert_eq!(c.lru(), Some(&20));
+        let t = c.touch(40, false);
+        assert!(matches!(t, Touch::MissEvicted { victim: 20, .. }));
+    }
+
+    #[test]
+    fn iter_is_lru_to_mru() {
+        let mut c = LruCache::new(3);
+        c.touch(1, false);
+        c.touch(2, false);
+        c.touch(3, false);
+        c.touch(1, false);
+        let order: Vec<i32> = c.iter().copied().collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut c = LruCache::new(5);
+        for k in 0..1_000 {
+            c.touch(k, k % 3 == 0);
+            assert!(c.len() <= 5);
+        }
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn sequential_scan_bigger_than_cache_always_misses() {
+        // The classic LRU pathology that makes unaided paging thrash: a
+        // cyclic scan one element larger than the cache never hits.
+        let mut c = LruCache::new(10);
+        for _ in 0..3 {
+            for k in 0..11 {
+                let _ = c.touch(k, false);
+            }
+        }
+        let mut hits = 0;
+        for k in 0..11 {
+            if matches!(c.touch(k, false), Touch::Hit) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 0, "cyclic scan defeats LRU entirely");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        LruCache::<u32>::new(0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The multigrid application model behind Figure 2.
+//!
+//! Figure 2 plots estimated execution time of an iterative multigrid solver
+//! as the problem grows, on three machines: 32 MB of DRAM plus disk
+//! paging, 128 MB of DRAM, and 32 MB plus paging to other machines' DRAM.
+//! The qualitative claims:
+//!
+//! * while the problem fits in local DRAM all three are identical;
+//! * past local DRAM, network RAM runs **10–30 percent slower** than a
+//!   machine with enough DRAM;
+//! * thrashing to disk is **5–10× slower** than network RAM.
+//!
+//! The model runs a fixed number of smoothing iterations over the problem's
+//! pages through a real [`Pager`], so the curves come from LRU behaviour
+//! and the Table 2 cost constants, not from asserting the conclusion.
+
+use now_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::{DiskModel, NetworkRam, PageId, Pager, PagerStats, RemoteAccessCost};
+
+/// Bytes per page (8 KB, as in Table 2).
+pub const PAGE_BYTES: u64 = 8_192;
+
+/// Application parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultigridConfig {
+    /// Sustained scalar floating-point rate of the workstation, MFLOPS.
+    pub mflops: f64,
+    /// Floating-point operations per grid point per smoothing sweep.
+    pub flops_per_point: f64,
+    /// Smoothing sweeps (V-cycle work folded in) per run.
+    pub sweeps: u32,
+}
+
+impl MultigridConfig {
+    /// A 1994 high-end workstation: 40 MFLOPS sustained, 12 flops per
+    /// point per sweep, 5 sweeps.
+    pub fn paper_defaults() -> Self {
+        MultigridConfig {
+            mflops: 40.0,
+            flops_per_point: 12.0,
+            sweeps: 5,
+        }
+    }
+
+    /// Pure computation time per page per sweep (1,024 doubles per 8-KB
+    /// page).
+    pub fn compute_per_page(&self) -> SimDuration {
+        let points = PAGE_BYTES as f64 / 8.0;
+        SimDuration::from_secs_f64(points * self.flops_per_point / (self.mflops * 1e6))
+    }
+}
+
+/// The three memory configurations of Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MemoryConfig {
+    /// All problem pages fit (or not) in `mb` of local DRAM; overflow pages
+    /// to the local disk.
+    LocalWithDisk {
+        /// Local DRAM, MB.
+        mb: u64,
+    },
+    /// `mb` of local DRAM; overflow pages to idle machines' DRAM over the
+    /// network, spilling to disk only if the pool fills.
+    LocalWithNetRam {
+        /// Local DRAM, MB.
+        mb: u64,
+        /// Idle machines donating memory.
+        hosts: u32,
+        /// Donated DRAM per idle machine, MB.
+        mb_per_host: u64,
+        /// Remote page access cost model.
+        cost: RemoteAccessCost,
+    },
+}
+
+impl MemoryConfig {
+    /// Figure 2's "32 Mbytes of DRAM plus disk" machine.
+    pub fn local32_disk() -> Self {
+        MemoryConfig::LocalWithDisk { mb: 32 }
+    }
+
+    /// Figure 2's "128 Mbytes of DRAM" machine.
+    pub fn local128() -> Self {
+        MemoryConfig::LocalWithDisk { mb: 128 }
+    }
+
+    /// Figure 2's "32 Mbytes plus paging to DRAM on other machines"
+    /// machine: sixteen idle hosts donating 16 MB each over ATM.
+    pub fn local32_netram() -> Self {
+        MemoryConfig::LocalWithNetRam {
+            mb: 32,
+            hosts: 16,
+            mb_per_host: 16,
+            cost: RemoteAccessCost::table2_atm(),
+        }
+    }
+
+    fn build_pager(&self) -> Pager {
+        let disk = DiskModel::workstation_1994();
+        match *self {
+            MemoryConfig::LocalWithDisk { mb } => {
+                Pager::with_disk((mb * 1024 * 1024 / PAGE_BYTES) as usize, PAGE_BYTES, disk)
+            }
+            MemoryConfig::LocalWithNetRam { mb, hosts, mb_per_host, cost } => Pager::with_netram(
+                (mb * 1024 * 1024 / PAGE_BYTES) as usize,
+                PAGE_BYTES,
+                NetworkRam::new(hosts, mb_per_host * 1024 * 1024 / PAGE_BYTES, cost, PAGE_BYTES),
+                disk,
+            ),
+        }
+    }
+}
+
+/// Result of one multigrid run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Pure computation time.
+    pub compute: SimDuration,
+    /// Processor stall charged to paging.
+    pub stall: SimDuration,
+    /// Total execution time.
+    pub total: SimDuration,
+    /// Pager counters.
+    pub pager: PagerStats,
+}
+
+impl RunResult {
+    /// Slowdown relative to another run.
+    pub fn slowdown_vs(&self, other: &RunResult) -> f64 {
+        self.total.as_secs_f64() / other.total.as_secs_f64()
+    }
+}
+
+/// Runs a `problem_mb`-MB multigrid problem under `memory` with the paper's
+/// application parameters.
+pub fn run(problem_mb: u64, memory: MemoryConfig) -> RunResult {
+    run_with(problem_mb, memory, MultigridConfig::paper_defaults())
+}
+
+/// Runs with explicit application parameters.
+///
+/// # Panics
+///
+/// Panics if the problem is empty.
+pub fn run_with(problem_mb: u64, memory: MemoryConfig, app: MultigridConfig) -> RunResult {
+    assert!(problem_mb > 0, "problem must have pages");
+    let pages = problem_mb * 1024 * 1024 / PAGE_BYTES;
+    let mut pager = memory.build_pager();
+    let per_page = app.compute_per_page();
+    let mut compute = SimDuration::ZERO;
+    let mut stall = SimDuration::ZERO;
+    for _sweep in 0..app.sweeps {
+        for p in 0..pages {
+            // A smoothing sweep reads and writes each page in order.
+            let (_, s) = pager.access(PageId(p), true, per_page);
+            compute += per_page;
+            stall += s;
+        }
+    }
+    RunResult {
+        compute,
+        stall,
+        total: compute + stall,
+        pager: pager.stats(),
+    }
+}
+
+/// The problem sizes (MB) Figure 2 sweeps.
+pub fn figure2_sizes() -> Vec<u64> {
+    vec![8, 16, 24, 32, 48, 64, 80, 96, 112, 120]
+}
+
+/// Generates the three Figure 2 curves as `(size_mb, seconds)` series in
+/// the order: 32 MB + disk, 128 MB, 32 MB + network RAM.
+pub fn figure2_series() -> [(String, Vec<(f64, f64)>); 3] {
+    let configs = [
+        ("32 MB + disk paging", MemoryConfig::local32_disk()),
+        ("128 MB local DRAM", MemoryConfig::local128()),
+        ("32 MB + network RAM", MemoryConfig::local32_netram()),
+    ];
+    configs.map(|(name, cfg)| {
+        let points = figure2_sizes()
+            .into_iter()
+            .map(|mb| (mb as f64, run(mb, cfg.clone()).total.as_secs_f64()))
+            .collect();
+        (name.to_string(), points)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configs_identical_when_problem_fits() {
+        let small = 24; // < 32 MB
+        let disk = run(small, MemoryConfig::local32_disk());
+        let big = run(small, MemoryConfig::local128());
+        let netram = run(small, MemoryConfig::local32_netram());
+        assert_eq!(disk.total, big.total);
+        assert_eq!(netram.total, big.total);
+        assert_eq!(disk.pager.disk_faults, 0);
+        assert_eq!(netram.pager.netram_faults, 0);
+    }
+
+    #[test]
+    fn netram_is_10_to_30_percent_slower_than_big_dram() {
+        // The paper: "programs run 10 to 30 percent slower using network
+        // RAM than if the program fits entirely in local DRAM."
+        for mb in [64, 96, 120] {
+            let netram = run(mb, MemoryConfig::local32_netram());
+            let big = run(mb, MemoryConfig::local128());
+            let slowdown = netram.slowdown_vs(&big);
+            assert!(
+                (1.08..=1.35).contains(&slowdown),
+                "{mb} MB: netram slowdown {slowdown}"
+            );
+        }
+    }
+
+    #[test]
+    fn netram_is_5_to_10x_faster_than_disk_thrash() {
+        // The paper: "using network RAM is 5 to 10 times faster than
+        // thrashing to disk."
+        for mb in [64, 96, 120] {
+            let netram = run(mb, MemoryConfig::local32_netram());
+            let disk = run(mb, MemoryConfig::local32_disk());
+            let speedup = disk.slowdown_vs(&netram);
+            assert!(
+                (4.0..=11.0).contains(&speedup),
+                "{mb} MB: netram speedup over disk {speedup}"
+            );
+        }
+    }
+
+    #[test]
+    fn big_dram_machine_never_pages_up_to_its_capacity() {
+        let r = run(120, MemoryConfig::local128());
+        assert_eq!(r.pager.disk_faults, 0);
+        assert_eq!(r.pager.netram_faults, 0);
+        assert_eq!(r.stall.as_nanos(), r.pager.soft_faults * 50_000);
+    }
+
+    #[test]
+    fn execution_time_grows_with_problem_size() {
+        for cfg in [
+            MemoryConfig::local32_disk(),
+            MemoryConfig::local128(),
+            MemoryConfig::local32_netram(),
+        ] {
+            let mut last = SimDuration::ZERO;
+            for mb in [16, 48, 96] {
+                let r = run(mb, cfg.clone());
+                assert!(r.total > last, "{cfg:?} not monotone at {mb} MB");
+                last = r.total;
+            }
+        }
+    }
+
+    #[test]
+    fn thrashing_onset_is_at_local_capacity() {
+        // At 32 MB the problem exactly fills the frames: no steady-state
+        // faults. Just past it, faulting starts.
+        let at = run(32, MemoryConfig::local32_disk());
+        assert_eq!(at.pager.disk_faults, 0);
+        let past = run(40, MemoryConfig::local32_disk());
+        assert!(past.pager.disk_faults > 0);
+    }
+
+    #[test]
+    fn figure2_series_has_three_labelled_curves() {
+        // (Uses the same code path as the repro binary; small smoke check.)
+        let series = figure2_series();
+        assert_eq!(series.len(), 3);
+        for (name, points) in &series {
+            assert!(!name.is_empty());
+            assert_eq!(points.len(), figure2_sizes().len());
+        }
+        // Disk curve ends far above the netram curve.
+        let disk_end = series[0].1.last().unwrap().1;
+        let netram_end = series[2].1.last().unwrap().1;
+        assert!(disk_end > 4.0 * netram_end);
+    }
+
+    #[test]
+    fn pager_sees_every_access() {
+        let r = run(16, MemoryConfig::local128());
+        let pages = 16 * 1024 * 1024 / PAGE_BYTES;
+        assert_eq!(r.pager.accesses, pages * 5);
+    }
+}

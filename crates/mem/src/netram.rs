@@ -1,0 +1,282 @@
+//! Network RAM: the aggregate idle DRAM of the building as a paging
+//! device.
+//!
+//! A faulting workstation sends a small request to a host holding the page
+//! and receives the 8-KB page back; the cost is Table 2's remote-memory
+//! column (1.05 ms over ATM) rather than the 14.8-ms disk. The pool tracks
+//! per-host capacity so a paging-intensive job actually consumes idle
+//! memory somewhere, and spills to disk when the building is out of free
+//! DRAM.
+
+use std::collections::HashMap;
+
+use now_net::Network;
+use now_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::PageId;
+
+/// Cost of one remote-memory page access.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteAccessCost {
+    /// Fixed cost per access: request message, software overhead, copies.
+    pub fixed: SimDuration,
+    /// Per-byte transfer cost (reciprocal of effective bandwidth).
+    pub per_byte: SimDuration,
+}
+
+impl RemoteAccessCost {
+    /// Table 2's 155-Mbps ATM column: 650 µs fixed (copy + overhead), 8 KB
+    /// in 400 µs on the wire — 1.05 ms total for a page.
+    pub fn table2_atm() -> Self {
+        RemoteAccessCost {
+            fixed: SimDuration::from_micros(650),
+            per_byte: SimDuration::from_nanos(49), // ≈400 µs / 8,192 B
+        }
+    }
+
+    /// Table 2's Ethernet column: same fixed software cost, 6.25 ms of
+    /// wire time per 8-KB page — 6.9 ms total.
+    pub fn table2_ethernet() -> Self {
+        RemoteAccessCost {
+            fixed: SimDuration::from_micros(650),
+            per_byte: SimDuration::from_nanos(763), // ≈6,250 µs / 8,192 B
+        }
+    }
+
+    /// Derives the cost from a live [`Network`] by probing a small request
+    /// and a page-sized response between nodes 0 and 1.
+    pub fn from_network(net: &mut Network, page_bytes: u64) -> Self {
+        let small = net.one_way_small_message_us();
+        let mbps = net.bandwidth_at_mbps(page_bytes, 4);
+        RemoteAccessCost {
+            fixed: SimDuration::from_micros_f64(small * 2.0), // request + response software
+            per_byte: SimDuration::from_secs_f64(8.0 / (mbps * 1e6)),
+        }
+    }
+
+    /// Cost of one access of `bytes`.
+    pub fn access(&self, bytes: u64) -> SimDuration {
+        self.fixed + self.per_byte * bytes
+    }
+
+    /// Steady-state per-page cost when pages stream with prefetching: the
+    /// wire/bandwidth term only (fixed costs overlap the pipeline).
+    pub fn pipelined(&self, bytes: u64) -> SimDuration {
+        self.per_byte * bytes
+    }
+}
+
+/// The building-wide pool of idle DRAM.
+///
+/// # Example
+///
+/// ```
+/// use now_mem::{NetworkRam, RemoteAccessCost, PageId};
+///
+/// let mut pool = NetworkRam::new(4, 1_000, RemoteAccessCost::table2_atm(), 8_192);
+/// assert_eq!(pool.free_pages(), 4_000);
+/// assert!(pool.store(PageId(7)));
+/// assert!(pool.holds(PageId(7)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkRam {
+    hosts: u32,
+    per_host_pages: u64,
+    cost: RemoteAccessCost,
+    page_bytes: u64,
+    /// Which host holds each page.
+    locations: HashMap<PageId, u32>,
+    /// Used pages per host.
+    used: Vec<u64>,
+    next_host: u32,
+}
+
+impl NetworkRam {
+    /// Creates a pool of `hosts` idle machines donating `per_host_pages`
+    /// page frames each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no hosts or no frames.
+    pub fn new(hosts: u32, per_host_pages: u64, cost: RemoteAccessCost, page_bytes: u64) -> Self {
+        assert!(hosts > 0, "network RAM needs at least one idle host");
+        assert!(per_host_pages > 0, "hosts must donate at least one frame");
+        NetworkRam {
+            hosts,
+            per_host_pages,
+            cost,
+            page_bytes,
+            locations: HashMap::new(),
+            used: vec![0; hosts as usize],
+            next_host: 0,
+        }
+    }
+
+    /// Total free frames across the pool (departed hosts contribute none).
+    pub fn free_pages(&self) -> u64 {
+        self.used
+            .iter()
+            .map(|&u| self.per_host_pages - u)
+            .sum()
+    }
+
+    /// True if the pool currently holds `page`.
+    pub fn holds(&self, page: PageId) -> bool {
+        self.locations.contains_key(&page)
+    }
+
+    /// Stores `page` on some idle host (round-robin over hosts with room).
+    /// Returns `false` if the pool is full — the caller must spill to disk.
+    pub fn store(&mut self, page: PageId) -> bool {
+        if self.locations.contains_key(&page) {
+            return true;
+        }
+        for _ in 0..self.hosts {
+            let h = self.next_host;
+            self.next_host = (self.next_host + 1) % self.hosts;
+            if self.used[h as usize] < self.per_host_pages {
+                self.used[h as usize] += 1;
+                self.locations.insert(page, h);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fetches `page` back from the pool, freeing its frame. Returns the
+    /// access cost, or `None` if the pool does not hold the page.
+    pub fn fetch(&mut self, page: PageId) -> Option<SimDuration> {
+        let host = self.locations.remove(&page)?;
+        self.used[host as usize] -= 1;
+        Some(self.cost.access(self.page_bytes))
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> RemoteAccessCost {
+        self.cost
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// A host departed (its user returned): all its pages are lost and the
+    /// ids that must be recovered from disk are returned. Capacity shrinks.
+    pub fn evict_host(&mut self, host: u32) -> Vec<PageId> {
+        assert!(host < self.hosts, "host out of range");
+        let lost: Vec<PageId> = self
+            .locations
+            .iter()
+            .filter(|(_, &h)| h == host)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in &lost {
+            self.locations.remove(p);
+        }
+        self.used[host as usize] = self.per_host_pages; // mark unusable
+        lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> NetworkRam {
+        NetworkRam::new(3, 4, RemoteAccessCost::table2_atm(), 8_192)
+    }
+
+    #[test]
+    fn table2_atm_page_cost_is_about_1050us() {
+        let c = RemoteAccessCost::table2_atm();
+        let us = c.access(8_192).as_micros_f64();
+        assert!((1_000.0..1_110.0).contains(&us), "got {us}");
+    }
+
+    #[test]
+    fn table2_ethernet_page_cost_is_about_6900us() {
+        let c = RemoteAccessCost::table2_ethernet();
+        let us = c.access(8_192).as_micros_f64();
+        assert!((6_700.0..7_100.0).contains(&us), "got {us}");
+    }
+
+    #[test]
+    fn pipelined_cost_is_wire_only() {
+        let c = RemoteAccessCost::table2_atm();
+        assert!(c.pipelined(8_192) < c.access(8_192));
+        let us = c.pipelined(8_192).as_micros_f64();
+        assert!((350.0..450.0).contains(&us), "got {us}");
+    }
+
+    #[test]
+    fn store_and_fetch_roundtrip() {
+        let mut p = pool();
+        assert!(p.store(PageId(1)));
+        assert!(p.holds(PageId(1)));
+        assert_eq!(p.free_pages(), 11);
+        let cost = p.fetch(PageId(1)).unwrap();
+        assert!(cost > SimDuration::ZERO);
+        assert!(!p.holds(PageId(1)));
+        assert_eq!(p.free_pages(), 12);
+    }
+
+    #[test]
+    fn fetch_of_absent_page_is_none() {
+        let mut p = pool();
+        assert_eq!(p.fetch(PageId(42)), None);
+    }
+
+    #[test]
+    fn pool_fills_and_rejects() {
+        let mut p = pool();
+        for i in 0..12 {
+            assert!(p.store(PageId(i)), "frame {i} should fit");
+        }
+        assert_eq!(p.free_pages(), 0);
+        assert!(!p.store(PageId(99)), "full pool must refuse");
+    }
+
+    #[test]
+    fn double_store_is_idempotent() {
+        let mut p = pool();
+        assert!(p.store(PageId(5)));
+        assert!(p.store(PageId(5)));
+        assert_eq!(p.free_pages(), 11);
+    }
+
+    #[test]
+    fn pages_spread_across_hosts() {
+        let mut p = pool();
+        for i in 0..6 {
+            p.store(PageId(i));
+        }
+        // Round-robin: each of 3 hosts holds 2.
+        assert!(p.used.iter().all(|&u| u == 2), "{:?}", p.used);
+    }
+
+    #[test]
+    fn evicting_a_host_loses_its_pages_and_capacity() {
+        let mut p = pool();
+        for i in 0..6 {
+            p.store(PageId(i));
+        }
+        let lost = p.evict_host(1);
+        assert_eq!(lost.len(), 2);
+        for page in &lost {
+            assert!(!p.holds(*page));
+        }
+        // Host 1's 4 frames are unusable; hosts 0 and 2 still hold 2 pages
+        // each, leaving 2 free frames apiece.
+        assert_eq!(p.free_pages(), 4);
+    }
+
+    #[test]
+    fn from_network_matches_fabric_scale() {
+        let mut net = now_net::presets::am_atm(4);
+        let c = RemoteAccessCost::from_network(&mut net, 8_192);
+        // AM over ATM should beat the Table 2 kernel-driver constants.
+        assert!(c.access(8_192) < RemoteAccessCost::table2_atm().access(8_192));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for LRU and pager invariants.
+
+use now_mem::{DiskModel, LruCache, NetworkRam, PageId, Pager, RemoteAccessCost, Touch};
+use now_sim::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    /// The cache never exceeds capacity and `contains` agrees with
+    /// touch-hit behaviour.
+    #[test]
+    fn lru_capacity_and_membership(
+        cap in 1usize..32,
+        keys in prop::collection::vec(0u64..64, 1..300),
+    ) {
+        let mut c = LruCache::new(cap);
+        for &k in &keys {
+            let contained = c.contains(&k);
+            let t = c.touch(k, false);
+            prop_assert_eq!(matches!(t, Touch::Hit), contained);
+            prop_assert!(c.len() <= cap);
+            prop_assert!(c.contains(&k), "just-touched key resident");
+        }
+    }
+
+    /// The LRU cache behaves identically to a naive reference
+    /// implementation (vector ordered by recency).
+    #[test]
+    fn lru_matches_reference_model(
+        cap in 1usize..16,
+        ops in prop::collection::vec((0u64..32, any::<bool>()), 1..200),
+    ) {
+        let mut c = LruCache::new(cap);
+        let mut reference: Vec<u64> = Vec::new(); // LRU at front, MRU at back
+        for &(k, w) in &ops {
+            let t = c.touch(k, w);
+            if let Some(pos) = reference.iter().position(|&x| x == k) {
+                prop_assert!(matches!(t, Touch::Hit));
+                reference.remove(pos);
+                reference.push(k);
+            } else {
+                reference.push(k);
+                if reference.len() > cap {
+                    let victim = reference.remove(0);
+                    match t {
+                        Touch::MissEvicted { victim: v, .. } => prop_assert_eq!(v, victim),
+                        other => prop_assert!(false, "expected eviction, got {other:?}"),
+                    }
+                } else {
+                    prop_assert!(matches!(t, Touch::MissInserted));
+                }
+            }
+        }
+        let got: Vec<u64> = c.iter().copied().collect();
+        prop_assert_eq!(got, reference);
+    }
+
+    /// Pager conservation: hits + faults == accesses, and every page ever
+    /// touched is either resident, in the pool, or on disk — re-accessing
+    /// it never yields a soft fault twice.
+    #[test]
+    fn pager_accounts_every_access(
+        frames in 1usize..16,
+        pool_pages in 4u64..32,
+        accesses in prop::collection::vec((0u64..48, any::<bool>()), 1..300),
+    ) {
+        let pool = NetworkRam::new(4, pool_pages, RemoteAccessCost::table2_atm(), 8_192);
+        let mut p = Pager::with_netram(frames, 8_192, pool, DiskModel::workstation_1994());
+        let mut seen = std::collections::HashSet::new();
+        for &(page, write) in &accesses {
+            let (kind, _) = p.access(PageId(page), write, SimDuration::from_micros(100));
+            let first = seen.insert(page);
+            prop_assert_eq!(
+                matches!(kind, now_mem::FaultKind::SoftFault),
+                first,
+                "soft fault iff first touch of {}",
+                page
+            );
+        }
+        let s = p.stats();
+        prop_assert_eq!(s.accesses as usize, accesses.len());
+        prop_assert_eq!(s.hits + s.soft_faults + s.netram_faults + s.disk_faults, s.accesses);
+        prop_assert_eq!(s.soft_faults as usize, seen.len());
+    }
+
+    /// Stall time is monotone in the access stream: adding accesses never
+    /// reduces cumulative stall.
+    #[test]
+    fn pager_stall_monotone(accesses in prop::collection::vec(0u64..32, 2..100)) {
+        let mut p = Pager::with_disk(4, 8_192, DiskModel::workstation_1994());
+        let mut last = SimDuration::ZERO;
+        for &page in &accesses {
+            p.access(PageId(page), true, SimDuration::ZERO);
+            let s = p.stats().stall;
+            prop_assert!(s >= last);
+            last = s;
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Volume-economics cost model behind Figure 1: the price of a 128-processor
+//! configuration built from workstations, multiprocessor servers, or an MPP.
+//!
+//! Two effects drive the figure:
+//!
+//! 1. **Bell's rule** — doubling manufacturing volume cuts unit cost to 90
+//!    percent, so low-volume packaging (servers, MPPs) pays a premium on the
+//!    same silicon.
+//! 2. **Integration premium** — repackaging desktop parts into a dense
+//!    chassis adds engineering cost that a small sales volume must amortise.
+//!
+//! The model prices a fixed resource bundle — 128 × 40-MHz SuperSparc, 128 ×
+//! 32 MB DRAM, 128 GB disk, 128 screens, and a scalable interconnect — under
+//! each packaging, and reproduces the paper's headline: the large servers and
+//! MPPs cost about **twice** the most cost-effective workstation build.
+
+use serde::{Deserialize, Serialize};
+
+/// Bell's rule of thumb: each doubling of volume multiplies unit cost by 0.9.
+///
+/// # Example
+///
+/// ```
+/// use now_models::cost::bells_rule_cost_factor;
+///
+/// // The paper: PCs outship supercomputers ~30,000:1, predicting ~5x cost
+/// // advantage for the PC part.
+/// let factor = bells_rule_cost_factor(30_000.0);
+/// assert!(factor > 4.0 && factor < 6.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `volume_ratio < 1`.
+pub fn bells_rule_cost_factor(volume_ratio: f64) -> f64 {
+    assert!(volume_ratio >= 1.0, "volume ratio must be at least 1");
+    // cost_small / cost_large = 0.9^log2(ratio); the advantage is its inverse.
+    1.0 / 0.9f64.powf(volume_ratio.log2())
+}
+
+/// How a 128-processor system is packaged, following Figure 1's x-axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Packaging {
+    /// Desktop workstations with `cpus_per_box` processors each, networked.
+    Workstation {
+        /// Processors per desktop box (1, 2, or 4 for the SparcStation-10).
+        cpus_per_box: u32,
+    },
+    /// Mid-range multiprocessor server (SparcCenter-1000: up to 8 CPUs).
+    SmallServer,
+    /// Large multiprocessor server (SparcCenter-2000: up to 20 CPUs).
+    LargeServer,
+    /// 128-node MPP (CM-5 / CS-2 class).
+    Mpp,
+}
+
+impl Packaging {
+    /// Display name matching the paper's figure labels.
+    pub fn label(self) -> String {
+        match self {
+            Packaging::Workstation { cpus_per_box } => {
+                format!("SS-10 x{cpus_per_box} ({cpus_per_box} CPU/box)")
+            }
+            Packaging::SmallServer => "SparcCenter-1000 (8 CPU)".to_string(),
+            Packaging::LargeServer => "SparcCenter-2000 (20 CPU)".to_string(),
+            Packaging::Mpp => "128-node MPP (CM-5/CS-2)".to_string(),
+        }
+    }
+}
+
+/// Per-unit component prices for the common resource bundle, in dollars.
+///
+/// Defaults are early-1994 university list prices consistent with the
+/// constants the paper quotes ($40/MB desktop DRAM).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentPrices {
+    /// One 40-MHz SuperSparc CPU module.
+    pub cpu: f64,
+    /// One megabyte of DRAM at desktop volume (the paper: $40/MB).
+    pub dram_per_mb: f64,
+    /// One gigabyte of disk.
+    pub disk_per_gb: f64,
+    /// One screen (monitor or X-terminal).
+    pub screen: f64,
+    /// Desktop chassis, power, packaging per box.
+    pub desktop_chassis: f64,
+    /// Per-node share of a scalable interconnect (switch ports + cables).
+    pub network_per_node: f64,
+}
+
+impl ComponentPrices {
+    /// Early-1994 prices used for the reproduction.
+    pub fn paper_defaults() -> Self {
+        ComponentPrices {
+            cpu: 4_000.0,
+            dram_per_mb: 40.0,
+            disk_per_gb: 1_000.0,
+            screen: 1_500.0,
+            desktop_chassis: 3_000.0,
+            network_per_node: 1_000.0,
+        }
+    }
+}
+
+/// The fixed resource bundle of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Figure1Bundle {
+    /// Total processors (128 in the paper).
+    pub cpus: u32,
+    /// DRAM per processor, MB (32 in the paper).
+    pub dram_mb_per_cpu: u32,
+    /// Disk per processor, GB (1 in the paper).
+    pub disk_gb_per_cpu: u32,
+    /// Screens (one per processor in the paper).
+    pub screens: u32,
+}
+
+impl Figure1Bundle {
+    /// The paper's bundle: 128 CPUs, 128 × 32 MB, 128 GB disk, 128 screens.
+    pub fn paper_defaults() -> Self {
+        Figure1Bundle {
+            cpus: 128,
+            dram_mb_per_cpu: 32,
+            disk_gb_per_cpu: 1,
+            screens: 128,
+        }
+    }
+}
+
+/// The Figure 1 cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Component prices at desktop volume.
+    pub prices: ComponentPrices,
+    /// Resource bundle to price.
+    pub bundle: Figure1Bundle,
+}
+
+/// A priced configuration: one bar of Figure 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PricedSystem {
+    /// The packaging priced.
+    pub packaging: Packaging,
+    /// Total system price in dollars.
+    pub total: f64,
+    /// Price relative to the cheapest configuration in the same figure
+    /// (filled in by [`CostModel::figure1`]).
+    pub relative: f64,
+}
+
+impl CostModel {
+    /// The model with all paper defaults.
+    pub fn paper_defaults() -> Self {
+        CostModel {
+            prices: ComponentPrices::paper_defaults(),
+            bundle: Figure1Bundle::paper_defaults(),
+        }
+    }
+
+    /// Volume (units/year) assumed for each packaging, used with Bell's rule
+    /// to scale component costs. Desktop boxes ship in the hundreds of
+    /// thousands; big servers in the thousands; MPPs in the hundreds.
+    fn annual_volume(packaging: Packaging) -> f64 {
+        match packaging {
+            Packaging::Workstation { .. } => 300_000.0,
+            // Server and MPP vendors buy the same commodity CPUs and DRAM,
+            // so their effective component volume is higher than their
+            // system volume; these figures blend the two.
+            Packaging::SmallServer => 10_000.0,
+            Packaging::LargeServer => 5_000.0,
+            Packaging::Mpp => 2_000.0,
+        }
+    }
+
+    /// Extra engineering cost per node for integrated packaging (dense
+    /// boards, custom backplanes, cooling), amortised over the sales volume.
+    fn integration_premium_per_node(packaging: Packaging) -> f64 {
+        match packaging {
+            Packaging::Workstation { .. } => 0.0,
+            Packaging::SmallServer => 1_500.0,
+            Packaging::LargeServer => 2_500.0,
+            Packaging::Mpp => 3_000.0,
+        }
+    }
+
+    /// Prices one packaging choice for the bundle.
+    pub fn price(&self, packaging: Packaging) -> f64 {
+        let b = &self.bundle;
+        let p = &self.prices;
+        // Bell's-rule multiplier relative to desktop volume.
+        let volume_factor = bells_rule_cost_factor(300_000.0)
+            / bells_rule_cost_factor(Self::annual_volume(packaging));
+
+        // Boxes needed and their shared costs.
+        let (boxes, chassis_each, screens_are_xterms) = match packaging {
+            Packaging::Workstation { cpus_per_box } => {
+                assert!(cpus_per_box > 0, "a workstation needs at least one CPU");
+                let boxes = b.cpus.div_ceil(cpus_per_box);
+                (boxes as f64, p.desktop_chassis, false)
+            }
+            // Server/MPP chassis grow with node count; modelled per node below.
+            Packaging::SmallServer => ((b.cpus as f64 / 8.0).ceil(), 8.0 * p.desktop_chassis, true),
+            Packaging::LargeServer => {
+                ((b.cpus as f64 / 20.0).ceil(), 20.0 * p.desktop_chassis, true)
+            }
+            Packaging::Mpp => (1.0, 128.0 * p.desktop_chassis, true),
+        };
+
+        let silicon = b.cpus as f64 * p.cpu
+            + (b.cpus * b.dram_mb_per_cpu) as f64 * p.dram_per_mb
+            + (b.cpus * b.disk_gb_per_cpu) as f64 * p.disk_per_gb;
+
+        // Screens: a desktop IS the screen's host; servers/MPPs need separate
+        // X-terminals, which cost a bit more than a bare monitor.
+        let screen_unit = if screens_are_xterms { p.screen * 1.5 } else { p.screen };
+        let screens = b.screens as f64 * screen_unit;
+
+        // Interconnect: workstations buy switch ports; integrated systems
+        // embed the network (already in the integration premium), but still
+        // pay per-node link hardware.
+        let network = b.cpus as f64 * p.network_per_node;
+
+        let chassis = boxes * chassis_each;
+        let integration = b.cpus as f64 * Self::integration_premium_per_node(packaging);
+
+        (silicon * volume_factor) + chassis + screens + network + integration
+    }
+
+    /// Prices the paper's six configurations and normalises to the cheapest.
+    pub fn figure1(&self) -> Vec<PricedSystem> {
+        let configs = [
+            Packaging::Workstation { cpus_per_box: 1 },
+            Packaging::Workstation { cpus_per_box: 2 },
+            Packaging::Workstation { cpus_per_box: 4 },
+            Packaging::SmallServer,
+            Packaging::LargeServer,
+            Packaging::Mpp,
+        ];
+        let totals: Vec<f64> = configs.iter().map(|&c| self.price(c)).collect();
+        let min = totals.iter().copied().fold(f64::INFINITY, f64::min);
+        configs
+            .iter()
+            .zip(totals)
+            .map(|(&packaging, total)| PricedSystem {
+                packaging,
+                total,
+                relative: total / min,
+            })
+            .collect()
+    }
+}
+
+/// The paper's DRAM price comparison: $40/MB for a personal computer versus
+/// $600/MB for the Cray M90 — a 15× multiplier on the identical commodity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramPriceComparison {
+    /// Dollars per MB at desktop volume.
+    pub desktop_per_mb: f64,
+    /// Dollars per MB in the supercomputer.
+    pub supercomputer_per_mb: f64,
+}
+
+impl DramPriceComparison {
+    /// January 1994 figures from the paper.
+    pub fn paper_defaults() -> Self {
+        DramPriceComparison {
+            desktop_per_mb: 40.0,
+            supercomputer_per_mb: 600.0,
+        }
+    }
+
+    /// The price multiplier (paper: 15×).
+    pub fn multiplier(&self) -> f64 {
+        self.supercomputer_per_mb / self.desktop_per_mb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bells_rule_30000x_volume_is_about_5x_cost() {
+        // "over the past five years the volume of personal computers shipped
+        // per supercomputer has been about 30,000:1. Thus, Bell's rule
+        // predicts a fivefold cost advantage."
+        let f = bells_rule_cost_factor(30_000.0);
+        assert!((4.5..=5.5).contains(&f), "got {f}");
+    }
+
+    #[test]
+    fn bells_rule_unit_ratio_is_neutral() {
+        assert!((bells_rule_cost_factor(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bells_rule_doubling_is_ten_percent() {
+        let f = bells_rule_cost_factor(2.0);
+        assert!((f - 1.0 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn bells_rule_rejects_sub_unity() {
+        bells_rule_cost_factor(0.5);
+    }
+
+    #[test]
+    fn dram_multiplier_is_15x() {
+        assert!((DramPriceComparison::paper_defaults().multiplier() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_way_workstation_is_cheapest() {
+        // Figure 1: the most cost-effective configuration is the 4-CPU
+        // desktop box (fewer chassis than 1-CPU, no server premium).
+        let fig = CostModel::paper_defaults().figure1();
+        let min = fig
+            .iter()
+            .min_by(|a, b| a.total.partial_cmp(&b.total).unwrap())
+            .unwrap();
+        assert_eq!(min.packaging, Packaging::Workstation { cpus_per_box: 4 });
+    }
+
+    #[test]
+    fn servers_and_mpp_cost_about_twice_the_best_workstation() {
+        // "The price is twice as high for either the large multiprocessor
+        // servers or MPPs compared to the most cost-effective workstation."
+        let fig = CostModel::paper_defaults().figure1();
+        for sys in &fig {
+            match sys.packaging {
+                Packaging::LargeServer | Packaging::Mpp => {
+                    assert!(
+                        (1.6..=2.6).contains(&sys.relative),
+                        "{:?} relative price {} not ~2x",
+                        sys.packaging,
+                        sys.relative
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn relative_prices_are_normalised() {
+        let fig = CostModel::paper_defaults().figure1();
+        let min_rel = fig.iter().map(|s| s.relative).fold(f64::INFINITY, f64::min);
+        assert!((min_rel - 1.0).abs() < 1e-12);
+        assert!(fig.iter().all(|s| s.relative >= 1.0));
+    }
+
+    #[test]
+    fn single_cpu_workstations_cost_more_than_quad() {
+        // 128 separate boxes buy 128 chassis; quads buy 32.
+        let m = CostModel::paper_defaults();
+        let single = m.price(Packaging::Workstation { cpus_per_box: 1 });
+        let quad = m.price(Packaging::Workstation { cpus_per_box: 4 });
+        assert!(single > quad);
+    }
+
+    #[test]
+    fn mpp_is_most_expensive_packaging() {
+        let fig = CostModel::paper_defaults().figure1();
+        let mpp = fig.iter().find(|s| s.packaging == Packaging::Mpp).unwrap();
+        for sys in &fig {
+            assert!(mpp.total >= sys.total, "{:?} beat the MPP", sys.packaging);
+        }
+    }
+
+    #[test]
+    fn prices_scale_with_bundle() {
+        let mut m = CostModel::paper_defaults();
+        let base = m.price(Packaging::Mpp);
+        m.bundle.dram_mb_per_cpu *= 2;
+        assert!(m.price(Packaging::Mpp) > base);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let fig = CostModel::paper_defaults().figure1();
+        let mut labels: Vec<String> = fig.iter().map(|s| s.packaging.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), fig.len());
+    }
+}

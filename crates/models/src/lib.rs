@@ -1,0 +1,44 @@
+//! # now-models — the analytic models from *A Case for NOW*
+//!
+//! The paper's economic and performance arguments are analytic: plug in
+//! technology constants, read off who wins. This crate reimplements each of
+//! those models with the constants the paper reports, so the corresponding
+//! tables and figures can be regenerated and the sensitivity of each claim
+//! explored.
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Table 1 (MPP engineering lag) | [`techtrend`] |
+//! | Figure 1 (price of 128-CPU configurations) | [`cost`] |
+//! | Table 2 (8-KB miss service time) | [`remote_access`] |
+//! | Table 4 (Gator atmospheric model) | [`gator`] |
+//! | In-text NFS bandwidth-vs-overhead claim | [`nfs`] |
+//!
+//! All models are pure functions of their parameters: no randomness, no
+//! simulation state, no I/O. The event-driven cross-checks live in the
+//! simulator crates (`now-net`, `now-mem`, …); this crate is the paper's own
+//! arithmetic, made executable.
+//!
+//! # Example
+//!
+//! Reproduce the headline of Table 2 — remote memory over ATM beats every
+//! disk path by an order of magnitude:
+//!
+//! ```
+//! use now_models::remote_access::{AccessModel, Network, Target};
+//!
+//! let model = AccessModel::paper_defaults();
+//! let atm_mem = model.service_time(Network::Atm155, Target::RemoteMemory);
+//! let eth_disk = model.service_time(Network::Ethernet10, Target::RemoteDisk);
+//! assert!(atm_mem.total_us() * 10.0 < eth_disk.total_us() * 1.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod gator;
+pub mod nfs;
+pub mod remote_access;
+pub mod sensitivity;
+pub mod techtrend;

@@ -1,0 +1,174 @@
+//! Sensitivity analysis: how robust are the paper's conclusions to its
+//! constants?
+//!
+//! A position paper's numbers are points; these sweeps turn them into
+//! curves, answering the questions a skeptical reader would ask: *at what
+//! message overhead does the NOW stop competing with the C-90? How fast
+//! must the network be before remote memory beats disk? How wrong can
+//! Bell's rule be before the economics flip?*
+
+use serde::{Deserialize, Serialize};
+
+use crate::gator::{CommFabric, GatorWorkload, Machine};
+use crate::remote_access::AccessModel;
+
+/// One point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub x: f64,
+    /// The model output at that value.
+    pub y: f64,
+}
+
+/// Sweeps per-message software overhead on a 256-node ATM NOW and reports
+/// total Gator time — the curve behind "low-overhead messages buy the
+/// last order of magnitude".
+pub fn gator_vs_overhead(overheads_us: &[f64]) -> Vec<SweepPoint> {
+    let workload = GatorWorkload::paper_defaults();
+    overheads_us
+        .iter()
+        .map(|&o| {
+            let m = Machine {
+                name: "NOW sweep".to_string(),
+                nodes: 256,
+                mflops_per_node: 40.0,
+                fabric: CommFabric::Switched { per_node_mb_s: 19.4 },
+                msg_overhead_us: o,
+                io_mb_s: 410.0,
+                cost_millions: 5.0,
+            };
+            SweepPoint {
+                x: o,
+                y: m.predict(&workload).total_s(),
+            }
+        })
+        .collect()
+}
+
+/// The largest per-message overhead (µs) at which the 256-node NOW still
+/// beats a reference total time, found by bisection over `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if the bracket does not straddle the crossover.
+pub fn overhead_crossover_us(reference_total_s: f64, lo: f64, hi: f64) -> f64 {
+    let total = |o: f64| gator_vs_overhead(&[o])[0].y;
+    assert!(
+        total(lo) <= reference_total_s && total(hi) >= reference_total_s,
+        "bracket [{lo}, {hi}] does not straddle the crossover"
+    );
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if total(mid) <= reference_total_s {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+/// Sweeps network bandwidth and reports the speedup of remote memory over
+/// a local disk access for an 8-KB page — where does network RAM start to
+/// make sense?
+pub fn netram_speedup_vs_bandwidth(mbps: &[f64]) -> Vec<SweepPoint> {
+    let base = AccessModel::paper_defaults();
+    mbps.iter()
+        .map(|&bw| {
+            // Rebuild the service time with the swept wire rate.
+            let transfer_us = base.block_bytes as f64 * 8.0 / bw;
+            let remote_mem =
+                base.memory_copy_us + base.net_overhead_us + transfer_us;
+            SweepPoint {
+                x: bw,
+                y: base.disk_us / remote_mem,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the Bell's-rule volume exponent (cost multiplier per volume
+/// doubling) and reports the predicted cost advantage of a 30,000:1 volume
+/// ratio — how sensitive is the economics argument to the 0.9 constant?
+pub fn cost_advantage_vs_bell_constant(per_doubling: &[f64]) -> Vec<SweepPoint> {
+    per_doubling
+        .iter()
+        .map(|&k| {
+            assert!((0.0..1.0).contains(&k) || (k - 1.0).abs() < 1e-12);
+            SweepPoint {
+                x: k,
+                y: 1.0 / k.powf(30_000f64.log2()),
+            }
+        })
+        .collect()
+}
+
+/// The Table 2 "crossover bandwidth": the wire rate at which remote memory
+/// exactly ties a local disk access for an 8-KB page.
+pub fn netram_breakeven_mbps() -> f64 {
+    let m = AccessModel::paper_defaults();
+    // disk = copy + overhead + 8·B/bw  =>  bw = 8·B / (disk − copy − overhead)
+    let fixed = m.memory_copy_us + m.net_overhead_us;
+    m.block_bytes as f64 * 8.0 / (m.disk_us - fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gator_total_is_monotone_in_overhead() {
+        let pts = gator_vs_overhead(&[1.0, 10.0, 100.0, 1_000.0]);
+        assert!(pts.windows(2).all(|w| w[0].y < w[1].y));
+        // The endpoints span the Table 4 story: ~20 s to ~200+ s.
+        assert!(pts[0].y < 25.0);
+        assert!(pts[3].y > 150.0);
+    }
+
+    #[test]
+    fn overhead_crossover_against_the_c90_is_tens_of_microseconds() {
+        // The C-90 runs Gator in ~35 s on our model; the NOW matches it as
+        // long as per-message overhead stays below a few tens of µs —
+        // i.e., kernel TCP (≈450 µs) is disqualifying, AM (≈10 µs) is not.
+        let c90_total = 35.0;
+        let crossover = overhead_crossover_us(c90_total, 1.0, 1_000.0);
+        assert!(
+            (20.0..=120.0).contains(&crossover),
+            "crossover at {crossover} µs"
+        );
+    }
+
+    #[test]
+    fn netram_speedup_grows_and_saturates() {
+        let pts = netram_speedup_vs_bandwidth(&[10.0, 100.0, 155.0, 1_000.0, 10_000.0]);
+        assert!(pts.windows(2).all(|w| w[0].y < w[1].y));
+        // Saturation: fixed costs cap the speedup near disk/(copy+overhead).
+        let cap = 14_800.0 / 650.0;
+        assert!(pts.last().unwrap().y < cap);
+        assert!(pts.last().unwrap().y > cap * 0.9);
+    }
+
+    #[test]
+    fn breakeven_bandwidth_is_tiny_compared_to_atm() {
+        // Remote memory ties disk already at ~4.6 Mbps: the case for
+        // network RAM needs only a *modestly* fast network plus low
+        // overhead — exactly Table 2's message.
+        let bw = netram_breakeven_mbps();
+        assert!((2.0..=8.0).contains(&bw), "breakeven at {bw} Mbps");
+        // And at ATM rates the advantage is an order of magnitude.
+        let at_atm = netram_speedup_vs_bandwidth(&[155.0])[0].y;
+        assert!(at_atm > 10.0);
+    }
+
+    #[test]
+    fn bell_constant_sensitivity() {
+        // At the paper's 0.9, a 30,000:1 volume ratio gives ~5x; even a
+        // much weaker 0.95 effect still gives ~2x — the direction of the
+        // economics is robust.
+        let pts = cost_advantage_vs_bell_constant(&[0.90, 0.95]);
+        assert!((4.5..=5.5).contains(&pts[0].y), "{}", pts[0].y);
+        assert!((1.8..=2.7).contains(&pts[1].y), "{}", pts[1].y);
+    }
+}

@@ -1,0 +1,281 @@
+//! Technology-trend model behind Table 1: the performance cost of MPP
+//! engineering lag.
+//!
+//! The paper's argument: commodity microprocessor performance improves 50–100
+//! percent per year, so an MPP that ships one to two years after the
+//! workstation built from the same microprocessor has already forfeited a
+//! factor of 1.5–4 in per-node performance. Table 1 lists three MPPs and the
+//! year a workstation shipped with an equivalent processor; this module
+//! encodes those rows and computes the implied performance forfeit.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1: an MPP, its node processor, and the ship years.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MppLagRow {
+    /// MPP system name (e.g. `"T3D"`).
+    pub mpp: String,
+    /// Node processor description (e.g. `"150-MHz Alpha"`).
+    pub node_processor: String,
+    /// Midpoint of the MPP's ship window (e.g. 1993.5 for "1993–94").
+    pub mpp_year: f64,
+    /// Midpoint of the year an equivalent-processor workstation shipped.
+    pub workstation_year: f64,
+}
+
+impl MppLagRow {
+    /// Engineering lag in years (MPP ship year minus workstation ship year).
+    pub fn lag_years(&self) -> f64 {
+        self.mpp_year - self.workstation_year
+    }
+}
+
+/// The annual rate of microprocessor performance improvement, as a fraction
+/// (0.5 = 50 percent per year, the paper's conservative figure).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnualImprovement(pub f64);
+
+impl AnnualImprovement {
+    /// The paper's conservative rate: 50 percent per year.
+    pub const CONSERVATIVE: AnnualImprovement = AnnualImprovement(0.5);
+    /// The paper's aggressive rate: 100 percent per year.
+    pub const AGGRESSIVE: AnnualImprovement = AnnualImprovement(1.0);
+
+    /// The multiplicative performance factor forfeited by shipping
+    /// `lag_years` late: `(1 + rate)^lag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite.
+    pub fn performance_forfeit(self, lag_years: f64) -> f64 {
+        assert!(
+            self.0 > 0.0 && self.0.is_finite(),
+            "improvement rate must be positive and finite"
+        );
+        (1.0 + self.0).powf(lag_years)
+    }
+}
+
+/// The three rows of Table 1 as printed in the paper.
+///
+/// Year ranges like "1993–94" are encoded as midpoints (1993.5).
+pub fn table1_rows() -> Vec<MppLagRow> {
+    vec![
+        MppLagRow {
+            mpp: "T3D".to_string(),
+            node_processor: "150-MHz Alpha".to_string(),
+            mpp_year: 1993.5,
+            workstation_year: 1992.5,
+        },
+        MppLagRow {
+            mpp: "Paragon".to_string(),
+            node_processor: "50-MHz i860".to_string(),
+            mpp_year: 1992.5,
+            workstation_year: 1991.0,
+        },
+        MppLagRow {
+            mpp: "CM-5".to_string(),
+            node_processor: "32-MHz SS-2".to_string(),
+            mpp_year: 1991.5,
+            workstation_year: 1989.5,
+        },
+    ]
+}
+
+/// Workstation vs. supercomputer price/performance improvement rates from the
+/// paper's introduction (80 percent vs. 20–30 percent per year), and the
+/// number of years until the workstation curve overtakes a starting
+/// disadvantage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricePerformanceTrend {
+    /// Workstation annual price/performance improvement (paper: 0.8).
+    pub workstation_rate: f64,
+    /// Supercomputer annual price/performance improvement (paper: 0.2–0.3).
+    pub supercomputer_rate: f64,
+}
+
+impl PricePerformanceTrend {
+    /// The paper's stated rates: 80 percent vs. 25 percent (midpoint of
+    /// 20–30).
+    pub fn paper_defaults() -> Self {
+        PricePerformanceTrend {
+            workstation_rate: 0.8,
+            supercomputer_rate: 0.25,
+        }
+    }
+
+    /// How many years until workstations erase a supercomputer head start of
+    /// `factor`× in absolute price/performance.
+    ///
+    /// Solves `(1+w)^t = factor * (1+s)^t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor >= 1` and the workstation rate exceeds the
+    /// supercomputer rate.
+    pub fn years_to_overtake(&self, factor: f64) -> f64 {
+        assert!(factor >= 1.0, "head-start factor must be at least 1");
+        assert!(
+            self.workstation_rate > self.supercomputer_rate,
+            "workstations must improve faster for overtaking to happen"
+        );
+        factor.ln() / ((1.0 + self.workstation_rate) / (1.0 + self.supercomputer_rate)).ln()
+    }
+
+    /// The relative price/performance advantage of workstations after
+    /// `years` years, starting from parity.
+    pub fn advantage_after(&self, years: f64) -> f64 {
+        ((1.0 + self.workstation_rate) / (1.0 + self.supercomputer_rate)).powf(years)
+    }
+}
+
+/// The "killer workstation" trend: desktop floating-point performance as a
+/// fraction of one Cray C-90 processor.
+///
+/// The paper: "A top-end 1994 workstation provides roughly one third the
+/// performance of a Cray C90 processor" — and the desktop improves 50–100
+/// percent per year while the vector machine improves at supercomputer
+/// rates. This model projects when the desktop catches up outright.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KillerWorkstation {
+    /// Reference year of the anchor observation.
+    pub anchor_year: f64,
+    /// Workstation/C-90 performance ratio at the anchor (paper: 1/3).
+    pub anchor_ratio: f64,
+    /// Workstation annual performance improvement (0.5–1.0).
+    pub workstation_rate: f64,
+    /// Supercomputer-processor annual improvement (0.2–0.3).
+    pub supercomputer_rate: f64,
+}
+
+impl KillerWorkstation {
+    /// The paper's anchor: one third of a C-90 in 1994, with conservative
+    /// (50 percent) workstation growth against 25 percent for the vector
+    /// processor.
+    pub fn paper_defaults() -> Self {
+        KillerWorkstation {
+            anchor_year: 1994.0,
+            anchor_ratio: 1.0 / 3.0,
+            workstation_rate: 0.5,
+            supercomputer_rate: 0.25,
+        }
+    }
+
+    /// The workstation/C-90-processor performance ratio in `year`.
+    pub fn ratio_in(&self, year: f64) -> f64 {
+        let dt = year - self.anchor_year;
+        self.anchor_ratio
+            * ((1.0 + self.workstation_rate) / (1.0 + self.supercomputer_rate)).powf(dt)
+    }
+
+    /// The year the desktop matches one supercomputer processor.
+    pub fn parity_year(&self) -> f64 {
+        let growth = (1.0 + self.workstation_rate) / (1.0 + self.supercomputer_rate);
+        self.anchor_year + (1.0 / self.anchor_ratio).ln() / growth.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lags_are_one_to_two_years() {
+        for row in table1_rows() {
+            let lag = row.lag_years();
+            assert!(
+                (1.0..=2.0).contains(&lag),
+                "{} lag {lag} outside the paper's 1-2 year claim",
+                row.mpp
+            );
+        }
+    }
+
+    #[test]
+    fn two_year_lag_costs_more_than_factor_two() {
+        // The paper: "At 50-percent performance improvement per year, a
+        // two-year lag costs more than a factor of two."
+        let forfeit = AnnualImprovement::CONSERVATIVE.performance_forfeit(2.0);
+        assert!(forfeit > 2.0, "got {forfeit}");
+        assert!((forfeit - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggressive_rate_doubles_yearly() {
+        assert!((AnnualImprovement::AGGRESSIVE.performance_forfeit(1.0) - 2.0).abs() < 1e-12);
+        assert!((AnnualImprovement::AGGRESSIVE.performance_forfeit(3.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_lag_forfeits_nothing() {
+        assert!((AnnualImprovement::CONSERVATIVE.performance_forfeit(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cm5_has_the_longest_lag() {
+        let rows = table1_rows();
+        let cm5 = rows.iter().find(|r| r.mpp == "CM-5").unwrap();
+        for row in &rows {
+            assert!(cm5.lag_years() >= row.lag_years());
+        }
+    }
+
+    #[test]
+    fn workstations_overtake_a_5x_head_start_in_about_4_years() {
+        // Bell's rule gives supercomputers ~5x head start from volume alone;
+        // at 80% vs 25% annual improvement workstations erase it in ~4 years.
+        let trend = PricePerformanceTrend::paper_defaults();
+        let years = trend.years_to_overtake(5.0);
+        assert!(
+            (3.0..=5.5).contains(&years),
+            "overtake in {years} years, expected roughly 4"
+        );
+    }
+
+    #[test]
+    fn advantage_grows_monotonically() {
+        let trend = PricePerformanceTrend::paper_defaults();
+        assert!(trend.advantage_after(1.0) > 1.0);
+        assert!(trend.advantage_after(2.0) > trend.advantage_after(1.0));
+        assert!((trend.advantage_after(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "head-start factor")]
+    fn overtake_rejects_sub_unity_factor() {
+        PricePerformanceTrend::paper_defaults().years_to_overtake(0.5);
+    }
+
+    #[test]
+    fn killer_workstation_anchor_holds() {
+        let k = KillerWorkstation::paper_defaults();
+        assert!((k.ratio_in(1994.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn desktop_reaches_c90_parity_by_the_end_of_the_decade() {
+        // "NOWs will be the systems of choice for large-scale computing
+        // within a decade" — per node, the desktop alone gets there first.
+        let k = KillerWorkstation::paper_defaults();
+        let year = k.parity_year();
+        assert!(
+            (1997.0..=2001.0).contains(&year),
+            "parity in {year}"
+        );
+        assert!(k.ratio_in(year) >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn aggressive_growth_reaches_parity_sooner() {
+        let mut fast = KillerWorkstation::paper_defaults();
+        fast.workstation_rate = 1.0;
+        assert!(fast.parity_year() < KillerWorkstation::paper_defaults().parity_year());
+    }
+
+    #[test]
+    fn ratio_is_monotone_in_time() {
+        let k = KillerWorkstation::paper_defaults();
+        assert!(k.ratio_in(1996.0) > k.ratio_in(1995.0));
+        assert!(k.ratio_in(1990.0) < k.anchor_ratio);
+    }
+}

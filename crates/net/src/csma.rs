@@ -1,0 +1,214 @@
+//! CSMA/CD contention: why shared Ethernet is even worse than
+//! serialisation.
+//!
+//! The [`SharedBus`](crate::SharedBus) model queues transfers perfectly —
+//! an idealisation. Real 10-Mbps Ethernet arbitrates by carrier sense with
+//! collision detection and binary exponential backoff, and its *useful*
+//! utilisation collapses as stations contend: classic measurements put the
+//! knee near 60–80 percent offered load for small frames. This module
+//! models that effect, sharpening the paper's argument that the baseline
+//! NOW's shared medium cannot scale.
+
+use now_sim::{SimDuration, SimRng, SimTime};
+
+use crate::fabric::{Fabric, WireTiming};
+use crate::NodeId;
+
+/// Ethernet slot time (512 bit times at 10 Mbps).
+pub const SLOT: SimDuration = SimDuration::from_micros(51);
+
+/// A shared bus with CSMA/CD arbitration: before each frame, the sender
+/// contends with the currently backlogged stations; collisions burn slot
+/// times per binary exponential backoff before the frame wins the medium.
+#[derive(Debug, Clone)]
+pub struct CsmaBus {
+    nodes: u32,
+    bits_per_sec: f64,
+    frame_overhead: SimDuration,
+    propagation: SimDuration,
+    free_at: SimTime,
+    /// Stations estimated to be waiting for the medium right now, decayed
+    /// as the medium drains. Drives the collision probability.
+    backlog: u32,
+    rng: SimRng,
+    collisions: u64,
+    frames: u64,
+}
+
+impl CsmaBus {
+    /// Classic 10-Mbps Ethernet with CSMA/CD arbitration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two nodes.
+    pub fn ethernet_10(nodes: u32, seed: u64) -> Self {
+        assert!(nodes >= 2, "a network needs at least two nodes");
+        CsmaBus {
+            nodes,
+            bits_per_sec: 10e6,
+            frame_overhead: SimDuration::from_micros(10),
+            propagation: SimDuration::from_micros(5),
+            free_at: SimTime::ZERO,
+            backlog: 0,
+            rng: SimRng::new(seed),
+            collisions: 0,
+            frames: 0,
+        }
+    }
+
+    /// Collisions observed so far.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Frames carried so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Mean collisions per frame — the contention health metric.
+    pub fn collisions_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / self.frames as f64
+        }
+    }
+}
+
+impl Fabric for CsmaBus {
+    fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: SimTime) -> WireTiming {
+        assert_ne!(src, dst, "local transfers do not use the fabric");
+        assert!(src.0 < self.nodes && dst.0 < self.nodes, "node out of range");
+        // If we arrive while the medium is busy, we join the backlog;
+        // otherwise contention has drained.
+        if now >= self.free_at {
+            self.backlog = 0;
+        } else {
+            self.backlog = (self.backlog + 1).min(self.nodes - 1);
+        }
+        let mut start = now.max(self.free_at);
+
+        // Binary exponential backoff: with k backlogged stations wanting
+        // the idle medium, a given attempt collides with probability
+        // roughly k/(k+1); each collision costs a slot plus a random
+        // backoff drawn from a doubling window.
+        let mut attempt: u32 = 0;
+        while self.backlog > 0 {
+            let p_collide = f64::from(self.backlog) / f64::from(self.backlog + 1);
+            if !self.rng.chance(p_collide) {
+                break;
+            }
+            self.collisions += 1;
+            attempt = (attempt + 1).min(10);
+            let window = 1u64 << attempt.min(10);
+            let backoff = SLOT * self.rng.gen_range(0..window);
+            start = start + SLOT + backoff;
+            // Some contenders win earlier slots and drain.
+            self.backlog = self.backlog.saturating_sub(1);
+        }
+
+        let wire = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bits_per_sec);
+        let tx_done = start + self.frame_overhead + wire;
+        self.free_at = tx_done;
+        self.frames += 1;
+        WireTiming {
+            tx_start: start,
+            tx_done,
+            rx_done: tx_done + self.propagation,
+        }
+    }
+
+    fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    fn link_bits_per_sec(&self) -> f64 {
+        self.bits_per_sec
+    }
+
+    fn base_latency(&self) -> SimDuration {
+        self.frame_overhead + self.propagation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SharedBus;
+
+    /// Saturates the bus: all frames are offered essentially at once (as
+    /// stations with full queues would), so every arrival finds the medium
+    /// busy and joins the contention. Returns goodput in Mbps.
+    fn saturated_goodput(fabric: &mut dyn Fabric, stations: u32, frames: u32, bytes: u64) -> f64 {
+        let mut last = SimTime::ZERO;
+        for i in 0..frames {
+            let src = NodeId(i % stations);
+            let dst = NodeId((i + 1) % stations);
+            let out = fabric.transfer(src, dst, bytes, SimTime::from_nanos(u64::from(i)));
+            last = last.max(out.rx_done);
+        }
+        frames as f64 * bytes as f64 * 8.0 / last.as_secs_f64().max(1e-12) / 1e6
+    }
+
+    #[test]
+    fn uncontended_frame_matches_ideal_bus() {
+        let mut csma = CsmaBus::ethernet_10(4, 1);
+        let mut ideal = SharedBus::ethernet_10(4);
+        // A single isolated frame sees no backlog: identical timing.
+        let a = csma.transfer(NodeId(0), NodeId(1), 1_000, SimTime::ZERO);
+        let b = ideal.transfer(NodeId(0), NodeId(1), 1_000, SimTime::ZERO);
+        assert_eq!(a.rx_done, b.rx_done);
+        assert_eq!(csma.collisions(), 0);
+    }
+
+    #[test]
+    fn contention_burns_goodput_below_the_ideal_bus() {
+        let stations = 16;
+        let mut csma = CsmaBus::ethernet_10(stations, 7);
+        let mut ideal = SharedBus::ethernet_10(stations);
+        let g_csma = saturated_goodput(&mut csma, stations, 2_000, 200);
+        let g_ideal = saturated_goodput(&mut ideal, stations, 2_000, 200);
+        assert!(
+            g_csma < g_ideal * 0.9,
+            "CSMA {g_csma} Mbps should trail ideal {g_ideal} Mbps"
+        );
+        assert!(csma.collisions() > 0);
+    }
+
+    #[test]
+    fn small_frames_collide_more_than_large_ones() {
+        // Per byte carried, small frames spend far more time arbitrating.
+        let mut small = CsmaBus::ethernet_10(16, 3);
+        let mut large = CsmaBus::ethernet_10(16, 3);
+        saturated_goodput(&mut small, 16, 2_000, 64);
+        saturated_goodput(&mut large, 16, 2_000, 1_500);
+        let per_byte_small = small.collisions() as f64 / (2_000.0 * 64.0);
+        let per_byte_large = large.collisions() as f64 / (2_000.0 * 1_500.0);
+        assert!(
+            per_byte_small > per_byte_large * 2.0,
+            "small {per_byte_small} vs large {per_byte_large}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_a_seed() {
+        let run = |seed| {
+            let mut bus = CsmaBus::ethernet_10(8, seed);
+            saturated_goodput(&mut bus, 8, 500, 200);
+            (bus.collisions(), bus.frames())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).0, run(10).0);
+    }
+
+    #[test]
+    fn collision_rate_grows_with_stations() {
+        let rate = |stations| {
+            let mut bus = CsmaBus::ethernet_10(stations, 5);
+            saturated_goodput(&mut bus, stations, 2_000, 200);
+            bus.collisions_per_frame()
+        };
+        assert!(rate(32) > rate(4), "32 stations {} vs 4 {}", rate(32), rate(4));
+    }
+}

@@ -1,0 +1,156 @@
+//! The LogP abstract machine model (Culler et al., PPoPP 1993).
+//!
+//! The paper cites LogP as the vocabulary for its communication analysis:
+//! **L**atency in the network, **o**verhead on the processor, **g**ap
+//! between message injections, and **P** processors. The distinction the
+//! paper leans on — latency can overlap computation, overhead cannot — is
+//! expressed directly in [`LogP::round_trip`] and friends.
+
+use now_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// LogP parameters for a network and stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogP {
+    /// `L`: wire + switch latency for a small message.
+    pub latency: SimDuration,
+    /// `o`: processor overhead per send or receive.
+    pub overhead: SimDuration,
+    /// `g`: minimum interval between consecutive message injections
+    /// (reciprocal of per-node message bandwidth).
+    pub gap: SimDuration,
+    /// `P`: number of processors.
+    pub processors: u32,
+}
+
+impl LogP {
+    /// Time for a single small message, send to delivery: `o + L + o`.
+    pub fn one_way(&self) -> SimDuration {
+        self.overhead + self.latency + self.overhead
+    }
+
+    /// Request-reply round trip: `2(o + L + o)`.
+    pub fn round_trip(&self) -> SimDuration {
+        self.one_way() * 2
+    }
+
+    /// Time for one node to inject `n` messages: the first costs `o`, each
+    /// subsequent one waits `max(o, g)`.
+    pub fn inject_n(&self, n: u64) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        self.overhead + self.overhead.max(self.gap) * (n - 1)
+    }
+
+    /// CPU time lost to communication when sending `n` messages — the
+    /// overhead component only, since latency overlaps computation.
+    pub fn cpu_cost(&self, n: u64) -> SimDuration {
+        self.overhead * n
+    }
+
+    /// The minimum time to broadcast a small message to all `P-1` other
+    /// processors using the optimal LogP broadcast tree.
+    ///
+    /// Each informed processor repeatedly sends to uninformed ones; this is
+    /// the classic LogP broadcast recurrence, computed by simulation of the
+    /// greedy schedule.
+    pub fn broadcast(&self) -> SimDuration {
+        if self.processors <= 1 {
+            return SimDuration::ZERO;
+        }
+        // Each informed node can inject a new message every max(o, g); a
+        // message informs its target o + L + o after injection starts.
+        // Greedy: simulate informed nodes' next-free times.
+        let step = self.overhead.max(self.gap);
+        let mut informed: Vec<SimDuration> = vec![SimDuration::ZERO]; // time each node becomes free to send
+        let mut remaining = self.processors - 1;
+        let mut finish = SimDuration::ZERO;
+        while remaining > 0 {
+            // Pick the sender that can inject earliest.
+            let (idx, &free) = informed
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .expect("informed set is non-empty");
+            let arrive = free + self.overhead + self.latency + self.overhead;
+            informed[idx] = free + step;
+            informed.push(arrive);
+            finish = finish.max(arrive);
+            remaining -= 1;
+        }
+        finish
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm5ish() -> LogP {
+        LogP {
+            latency: SimDuration::from_micros(4),
+            overhead: SimDuration::from_nanos(1_700),
+            gap: SimDuration::from_micros(4),
+            processors: 64,
+        }
+    }
+
+    #[test]
+    fn one_way_and_round_trip() {
+        let p = cm5ish();
+        assert_eq!(p.one_way(), SimDuration::from_nanos(4_000 + 2 * 1_700));
+        assert_eq!(p.round_trip(), p.one_way() * 2);
+    }
+
+    #[test]
+    fn injection_rate_limited_by_gap() {
+        let p = cm5ish();
+        // gap > overhead here, so injections pace at g.
+        let t = p.inject_n(11);
+        assert_eq!(t, p.overhead + p.gap * 10);
+    }
+
+    #[test]
+    fn injection_rate_limited_by_overhead_when_larger() {
+        let p = LogP {
+            overhead: SimDuration::from_micros(10),
+            gap: SimDuration::from_micros(1),
+            ..cm5ish()
+        };
+        assert_eq!(p.inject_n(5), p.overhead * 5);
+    }
+
+    #[test]
+    fn inject_zero_is_free() {
+        assert_eq!(cm5ish().inject_n(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cpu_cost_counts_only_overhead() {
+        let p = cm5ish();
+        assert_eq!(p.cpu_cost(100), p.overhead * 100);
+        assert!(p.cpu_cost(100) < p.inject_n(100), "latency/gap not CPU time");
+    }
+
+    #[test]
+    fn broadcast_is_logarithmic_not_linear() {
+        let p = cm5ish();
+        let t64 = p.broadcast();
+        let linear = p.one_way() * 63;
+        assert!(t64 < linear / 4, "broadcast {t64} should beat linear {linear}");
+        // And grows with P.
+        let mut bigger = p;
+        bigger.processors = 1_024;
+        assert!(bigger.broadcast() > t64);
+    }
+
+    #[test]
+    fn broadcast_trivial_cases() {
+        let mut p = cm5ish();
+        p.processors = 1;
+        assert_eq!(p.broadcast(), SimDuration::ZERO);
+        p.processors = 2;
+        assert_eq!(p.broadcast(), p.one_way());
+    }
+}

@@ -1,0 +1,186 @@
+//! Ready-made network configurations matching the systems the paper
+//! measures or proposes.
+
+use crate::{HierarchicalFabric, Network, NicAttachment, SharedBus, SoftwareCosts, SwitchedFabric};
+
+/// Kernel TCP/IP over shared 10-Mbps Ethernet (SparcStation-10 measurement:
+/// 456 µs overhead+latency, 9 Mbps through TCP).
+pub fn tcp_ethernet(nodes: u32) -> Network {
+    Network::shared(
+        SharedBus::ethernet_10(nodes),
+        SoftwareCosts::tcp_kernel(),
+        NicAttachment::IoBus,
+    )
+}
+
+/// Kernel TCP/IP over switched 155-Mbps Synoptics ATM (626 µs, 78 Mbps).
+pub fn tcp_atm(nodes: u32) -> Network {
+    Network::switched(
+        SwitchedFabric::atm_155(nodes),
+        SoftwareCosts::tcp_kernel_atm(),
+        NicAttachment::IoBus,
+    )
+}
+
+/// Kernel TCP/IP on the Medusa FDDI wire — for like-for-like half-power
+/// comparisons with the AM stacks below.
+pub fn tcp_fddi(nodes: u32) -> Network {
+    Network::switched(
+        SwitchedFabric::fddi_medusa(nodes),
+        SoftwareCosts::tcp_kernel(),
+        NicAttachment::IoBus,
+    )
+}
+
+/// Single-copy TCP on the Medusa FDDI wire (half-power at ~760 bytes).
+pub fn single_copy_tcp_fddi(nodes: u32) -> Network {
+    Network::switched(
+        SwitchedFabric::fddi_medusa(nodes),
+        SoftwareCosts::single_copy_tcp(),
+        NicAttachment::GraphicsBus,
+    )
+}
+
+/// HPAM: user-level Active Messages on HP 735s with the Medusa FDDI board
+/// on the graphics bus (8 µs overhead, 8 µs latency, half-power at 175
+/// bytes).
+pub fn am_fddi(nodes: u32) -> Network {
+    Network::switched(
+        SwitchedFabric::fddi_medusa(nodes),
+        SoftwareCosts::am_hpam(),
+        NicAttachment::GraphicsBus,
+    )
+}
+
+/// Conventional sockets built over Active Messages on the same prototype
+/// (~25 µs one-way).
+pub fn sockets_am_fddi(nodes: u32) -> Network {
+    Network::switched(
+        SwitchedFabric::fddi_medusa(nodes),
+        SoftwareCosts::sockets_over_am(),
+        NicAttachment::GraphicsBus,
+    )
+}
+
+/// Active Messages over second-generation ATM — the NOW demonstration
+/// target configuration.
+pub fn am_atm(nodes: u32) -> Network {
+    Network::switched(
+        SwitchedFabric::atm_155(nodes),
+        SoftwareCosts::am_hpam(),
+        NicAttachment::GraphicsBus,
+    )
+}
+
+/// Active Messages over Myrinet — the retargeted-MPP-network alternative.
+pub fn am_myrinet(nodes: u32) -> Network {
+    Network::switched(
+        SwitchedFabric::myrinet(nodes),
+        SoftwareCosts::am_hpam(),
+        NicAttachment::MemoryBus,
+    )
+}
+
+/// The CM-5 with its native Active Messages (1.7 µs overhead, 4 µs
+/// latency): the MPP yardstick.
+pub fn cm5(nodes: u32) -> Network {
+    Network::switched(
+        SwitchedFabric::cm5(nodes),
+        SoftwareCosts::am_cm5(),
+        NicAttachment::MemoryBus,
+    )
+}
+
+/// PVM over kernel sockets on shared Ethernet — the baseline NOW of
+/// Table 4.
+pub fn pvm_ethernet(nodes: u32) -> Network {
+    Network::shared(
+        SharedBus::ethernet_10(nodes),
+        SoftwareCosts::pvm(),
+        NicAttachment::IoBus,
+    )
+}
+
+/// Active Messages across a multi-floor ATM building (floor switches
+/// under an OC-12 backbone) — the enterprise-scale NOW.
+pub fn am_atm_building(floors: u32, per_floor: u32) -> Network {
+    Network::hierarchical(
+        HierarchicalFabric::atm_building(floors, per_floor),
+        SoftwareCosts::am_hpam(),
+        NicAttachment::GraphicsBus,
+    )
+}
+
+/// PVM over kernel sockets on switched ATM — Table 4's "+ ATM" row.
+pub fn pvm_atm(nodes: u32) -> Network {
+    Network::switched(
+        SwitchedFabric::atm_155(nodes),
+        SoftwareCosts::pvm(),
+        NicAttachment::IoBus,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn all_presets_construct_and_probe() {
+        let mut nets = [
+            tcp_ethernet(4),
+            tcp_atm(4),
+            tcp_fddi(4),
+            single_copy_tcp_fddi(4),
+            am_fddi(4),
+            sockets_am_fddi(4),
+            am_atm(4),
+            am_myrinet(4),
+            cm5(4),
+            pvm_ethernet(4),
+            pvm_atm(4),
+        ];
+        for net in &mut nets {
+            let t = net.one_way_small_message_us();
+            assert!(t > 0.0 && t < 5_000.0, "one-way {t} µs out of range");
+            assert_eq!(net.nodes(), 4);
+        }
+    }
+
+    #[test]
+    fn building_preset_pays_for_the_backbone() {
+        let mut flat = am_atm(100);
+        let mut building = am_atm_building(4, 25);
+        // Same-floor cost is comparable; the building's far corner pays
+        // two more hops.
+        let flat_t = flat.one_way_small_message_us();
+        let near = {
+            let t0 = now_sim::SimTime::from_secs(1_000_000);
+            let out = building.transfer(NodeId(0), NodeId(1), 64, t0);
+            out.one_way(t0).as_micros_f64()
+        };
+        let far = {
+            let t0 = now_sim::SimTime::from_secs(2_000_000);
+            let out = building.transfer(NodeId(0), NodeId(99), 64, t0);
+            out.one_way(t0).as_micros_f64()
+        };
+        assert!((near - flat_t).abs() < 10.0, "near {near} vs flat {flat_t}");
+        assert!(far > near + 30.0, "far {far} vs near {near}");
+    }
+
+    #[test]
+    fn pvm_is_the_slowest_stack() {
+        let mut pvm = pvm_atm(4);
+        let mut tcp = tcp_atm(4);
+        assert!(pvm.one_way_small_message_us() > tcp.one_way_small_message_us());
+    }
+
+    #[test]
+    fn am_over_myrinet_approaches_the_10us_goal() {
+        // "Our target is to perform user-to-user communication of a small
+        // message among one hundred processors in 10 µs."
+        let mut net = am_myrinet(100);
+        let t = net.one_way_small_message_us();
+        assert!(t < 12.0, "got {t} µs");
+    }
+}

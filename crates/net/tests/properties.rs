@@ -1,0 +1,110 @@
+//! Property tests: conservation and ordering invariants of the fabric
+//! occupancy models.
+
+use now_net::{Fabric, Network, NodeId, SharedBus, SwitchedFabric, presets};
+use now_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn node_pair(nodes: u32) -> impl Strategy<Value = (NodeId, NodeId)> {
+    (0..nodes, 0..nodes)
+        .prop_filter("distinct", |(a, b)| a != b)
+        .prop_map(|(a, b)| (NodeId(a), NodeId(b)))
+}
+
+proptest! {
+    /// On the shared bus, transfers never overlap: each tx_start is at or
+    /// after the previous tx_done, regardless of who sends.
+    #[test]
+    fn shared_bus_never_overlaps(
+        xfers in prop::collection::vec((node_pair(6), 1u64..100_000, 0u64..10_000), 1..50)
+    ) {
+        let mut bus = SharedBus::ethernet_10(6);
+        let mut last_done = SimTime::ZERO;
+        let mut now = SimTime::ZERO;
+        for ((src, dst), bytes, gap) in xfers {
+            now += SimDuration::from_micros(gap);
+            let t = bus.transfer(src, dst, bytes, now);
+            prop_assert!(t.tx_start >= last_done);
+            prop_assert!(t.tx_start >= now);
+            prop_assert!(t.tx_done > t.tx_start);
+            last_done = t.tx_done;
+        }
+    }
+
+    /// On a switched fabric, per-node TX occupancy is exclusive: the same
+    /// sender's transfers never overlap, and timings are causally ordered.
+    #[test]
+    fn switched_tx_exclusive_per_sender(
+        xfers in prop::collection::vec((node_pair(6), 1u64..100_000, 0u64..10_000), 1..50)
+    ) {
+        let mut sw = SwitchedFabric::atm_155(6);
+        let mut tx_last: std::collections::HashMap<u32, SimTime> = Default::default();
+        let mut rx_last: std::collections::HashMap<u32, SimTime> = Default::default();
+        let mut now = SimTime::ZERO;
+        for ((src, dst), bytes, gap) in xfers {
+            now += SimDuration::from_micros(gap);
+            let t = sw.transfer(src, dst, bytes, now);
+            prop_assert!(t.tx_start >= now);
+            if let Some(&prev) = tx_last.get(&src.0) {
+                prop_assert!(t.tx_start >= prev, "sender link reused early");
+            }
+            if let Some(&prev) = rx_last.get(&dst.0) {
+                prop_assert!(t.rx_done >= prev, "receiver link reordered");
+            }
+            prop_assert!(t.rx_done > t.tx_start, "arrival after departure");
+            tx_last.insert(src.0, t.tx_done);
+            rx_last.insert(dst.0, t.rx_done);
+        }
+    }
+
+    /// More bytes never arrive sooner, all else equal.
+    #[test]
+    fn monotone_in_size(bytes in 1u64..1_000_000) {
+        let mut a = SwitchedFabric::myrinet(2);
+        let mut b = SwitchedFabric::myrinet(2);
+        let small = a.transfer(NodeId(0), NodeId(1), bytes, SimTime::ZERO);
+        let big = b.transfer(NodeId(0), NodeId(1), bytes + 1_000, SimTime::ZERO);
+        prop_assert!(big.rx_done >= small.rx_done);
+    }
+
+    /// Network::transfer is deterministic: identical call sequences on
+    /// identical networks produce identical outcomes.
+    #[test]
+    fn network_transfer_deterministic(
+        xfers in prop::collection::vec((node_pair(4), 1u64..65_536, 0u64..5_000), 1..30)
+    ) {
+        let run = |xfers: &[((NodeId, NodeId), u64, u64)]| {
+            let mut net = presets::am_atm(4);
+            let mut now = SimTime::ZERO;
+            let mut log = Vec::new();
+            for ((src, dst), bytes, gap) in xfers {
+                now += SimDuration::from_micros(*gap);
+                let out = net.transfer(*src, *dst, *bytes, now);
+                log.push(out);
+            }
+            log
+        };
+        prop_assert_eq!(run(&xfers), run(&xfers));
+    }
+
+    /// CPU overhead is independent of network congestion: the same transfer
+    /// later on a busy network costs the same CPU.
+    #[test]
+    fn overhead_is_congestion_independent(
+        (src, dst) in node_pair(4),
+        bytes in 1u64..65_536,
+    ) {
+        let mut quiet: Network = presets::tcp_atm(4);
+        let quiet_out = quiet.transfer(src, dst, bytes, SimTime::ZERO);
+        let mut busy: Network = presets::tcp_atm(4);
+        // Saturate the fabric first.
+        for _ in 0..16 {
+            busy.transfer(src, dst, 1_000_000, SimTime::ZERO);
+        }
+        let busy_out = busy.transfer(src, dst, bytes, SimTime::ZERO);
+        prop_assert_eq!(quiet_out.send_cpu, busy_out.send_cpu);
+        prop_assert_eq!(quiet_out.recv_cpu, busy_out.recv_cpu);
+        // But delivery is (weakly) later on the busy network.
+        prop_assert!(busy_out.delivered_at >= quiet_out.delivered_at);
+    }
+}

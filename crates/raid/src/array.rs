@@ -1,0 +1,863 @@
+//! The software RAID array: real bytes on simulated disks.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use now_mem::DiskModel;
+use now_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::layout::Raid5Layout;
+
+/// Redundancy scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RaidLevel {
+    /// Striping only: capacity and bandwidth, no redundancy.
+    Raid0,
+    /// Mirroring: every block on two disks.
+    Raid1,
+    /// Rotated parity: one disk's worth of XOR parity per stripe.
+    Raid5,
+}
+
+/// Array configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaidConfig {
+    /// Redundancy scheme.
+    pub level: RaidLevel,
+    /// Number of workstation disks in the array.
+    pub disks: u32,
+    /// Block (stripe-unit) size in bytes.
+    pub block_bytes: usize,
+}
+
+/// Errors from array operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaidError {
+    /// The data is unrecoverable (too many failed disks for the level).
+    DataLost,
+    /// The block was never written.
+    NotWritten,
+    /// A write supplied the wrong number of bytes.
+    WrongBlockSize {
+        /// Bytes expected per block.
+        expected: usize,
+        /// Bytes supplied.
+        got: usize,
+    },
+    /// The named disk does not exist.
+    NoSuchDisk,
+    /// The disk to reconstruct is still marked healthy.
+    DiskNotFailed,
+}
+
+impl std::fmt::Display for RaidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaidError::DataLost => write!(f, "data unrecoverable with current failures"),
+            RaidError::NotWritten => write!(f, "block was never written"),
+            RaidError::WrongBlockSize { expected, got } => {
+                write!(f, "block must be {expected} bytes, got {got}")
+            }
+            RaidError::NoSuchDisk => write!(f, "disk index out of range"),
+            RaidError::DiskNotFailed => write!(f, "disk is not failed"),
+        }
+    }
+}
+
+impl std::error::Error for RaidError {}
+
+/// Operation counters and accumulated service time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RaidStats {
+    /// Logical reads served.
+    pub reads: u64,
+    /// Logical writes served.
+    pub writes: u64,
+    /// Reads served in degraded mode (reconstructed from parity).
+    pub degraded_reads: u64,
+    /// Physical disk operations issued.
+    pub disk_ops: u64,
+    /// Total service time charged.
+    pub time: SimDuration,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SimDisk {
+    blocks: HashMap<u64, Bytes>,
+    failed: bool,
+}
+
+/// A software RAID over workstation disks.
+///
+/// All data is real: reads return exactly the bytes written, parity is
+/// maintained by XOR, and reconstruction rebuilds a failed disk's contents
+/// from its peers. Timing is charged per physical disk operation using
+/// [`DiskModel::workstation_1994`] semantics (parallel accesses across
+/// disks take the max; dependent phases add).
+#[derive(Debug, Clone)]
+pub struct SoftwareRaid {
+    config: RaidConfig,
+    layout: Option<Raid5Layout>, // Some for Raid5
+    disks: Vec<SimDisk>,
+    model: DiskModel,
+    stats: RaidStats,
+    /// Logical blocks ever written — distinguishes "never written" from
+    /// "written as all zeroes" during degraded reads and reconstruction.
+    written: std::collections::HashSet<u64>,
+}
+
+impl SoftwareRaid {
+    /// Creates an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disk count is too small for the level (RAID-0 needs 1,
+    /// RAID-1 needs 2, RAID-5 needs 3) or the block size is zero.
+    pub fn new(config: RaidConfig) -> Self {
+        assert!(config.block_bytes > 0, "blocks must have a size");
+        let min = match config.level {
+            RaidLevel::Raid0 => 1,
+            RaidLevel::Raid1 => 2,
+            RaidLevel::Raid5 => 3,
+        };
+        assert!(
+            config.disks >= min,
+            "{:?} needs at least {min} disks, got {}",
+            config.level,
+            config.disks
+        );
+        SoftwareRaid {
+            config,
+            layout: (config.level == RaidLevel::Raid5).then(|| Raid5Layout::new(config.disks)),
+            disks: (0..config.disks).map(|_| SimDisk::default()).collect(),
+            model: DiskModel::workstation_1994(),
+            stats: RaidStats::default(),
+            written: Default::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> RaidConfig {
+        self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RaidStats {
+        self.stats
+    }
+
+    /// Number of currently failed disks.
+    pub fn failed_disks(&self) -> u32 {
+        self.disks.iter().filter(|d| d.failed).count() as u32
+    }
+
+    /// The disk that holds logical block `logical`'s primary copy.
+    pub fn disk_of(&self, logical: u64) -> u32 {
+        match self.config.level {
+            RaidLevel::Raid0 => (logical % u64::from(self.config.disks)) as u32,
+            RaidLevel::Raid1 => (logical % u64::from(self.config.disks / 2 * 2) / 2 * 2) as u32,
+            RaidLevel::Raid5 => self.layout.expect("raid5 has layout").locate(logical).data_disk,
+        }
+    }
+
+    fn check_size(&self, data: &[u8]) -> Result<(), RaidError> {
+        if data.len() != self.config.block_bytes {
+            return Err(RaidError::WrongBlockSize {
+                expected: self.config.block_bytes,
+                got: data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn one_op(&mut self) -> SimDuration {
+        self.stats.disk_ops += 1;
+        self.model.random_access(self.config.block_bytes as u64)
+    }
+
+    fn parallel_ops(&mut self, n: u64) -> SimDuration {
+        // n accesses on distinct disks proceed in parallel: the phase takes
+        // one access time; all are counted.
+        self.stats.disk_ops += n;
+        if n == 0 {
+            SimDuration::ZERO
+        } else {
+            self.model.random_access(self.config.block_bytes as u64)
+        }
+    }
+
+    /// Writes one block. Returns the service time.
+    ///
+    /// # Errors
+    ///
+    /// [`RaidError::WrongBlockSize`] for a missized buffer;
+    /// [`RaidError::DataLost`] when failures exceed the level's tolerance.
+    pub fn write(&mut self, logical: u64, data: &[u8]) -> Result<SimDuration, RaidError> {
+        self.check_size(data)?;
+        self.stats.writes += 1;
+        self.written.insert(logical);
+        let data = Bytes::copy_from_slice(data);
+        let time = match self.config.level {
+            RaidLevel::Raid0 => {
+                let disk = self.disk_of(logical) as usize;
+                if self.disks[disk].failed {
+                    return Err(RaidError::DataLost);
+                }
+                self.disks[disk].blocks.insert(logical, data);
+                self.one_op()
+            }
+            RaidLevel::Raid1 => {
+                let primary = self.disk_of(logical) as usize;
+                let mirror = primary + 1;
+                if self.disks[primary].failed && self.disks[mirror].failed {
+                    return Err(RaidError::DataLost);
+                }
+                let mut writes = 0;
+                if !self.disks[primary].failed {
+                    self.disks[primary].blocks.insert(logical, data.clone());
+                    writes += 1;
+                }
+                if !self.disks[mirror].failed {
+                    self.disks[mirror].blocks.insert(logical, data);
+                    writes += 1;
+                }
+                self.parallel_ops(writes)
+            }
+            RaidLevel::Raid5 => self.write_raid5(logical, data)?,
+        };
+        self.stats.time += time;
+        Ok(time)
+    }
+
+    /// RAID-5 small write: read-modify-write of data and parity.
+    fn write_raid5(&mut self, logical: u64, data: Bytes) -> Result<SimDuration, RaidError> {
+        let layout = self.layout.expect("raid5 has layout");
+        let loc = layout.locate(logical);
+        let data_failed = self.disks[loc.data_disk as usize].failed;
+        let parity_failed = self.disks[loc.parity_disk as usize].failed;
+        if data_failed && parity_failed {
+            return Err(RaidError::DataLost);
+        }
+
+        // New parity = old parity XOR old data XOR new data. When either
+        // old value is unavailable (failed disk or never written) we
+        // recompute parity from the whole stripe instead.
+        let old_data = self.disks[loc.data_disk as usize]
+            .blocks
+            .get(&logical)
+            .cloned();
+        let time = if !data_failed && !parity_failed {
+            let old_parity = self.parity_block(loc.stripe);
+            // Whenever old parity exists, update it by XOR delta — never by
+            // re-reading stripe mates, which may sit on a failed disk and
+            // whose reconstructed values are encoded in the parity itself.
+            // An empty slot contributes zeroes, so its delta is just the
+            // new data.
+            let new_parity = match (old_data, old_parity) {
+                (Some(od), Some(op)) => {
+                    let mut p = op.to_vec();
+                    xor_into(&mut p, &od);
+                    xor_into(&mut p, &data);
+                    Bytes::from(p)
+                }
+                (None, Some(op)) => {
+                    let mut p = op.to_vec();
+                    xor_into(&mut p, &data);
+                    Bytes::from(p)
+                }
+                // No parity yet: first activity in this stripe (or parity
+                // lost to an earlier failure) — rebuild it from the mates.
+                (_, None) => self.recompute_parity(loc.stripe, logical, &data),
+            };
+            self.disks[loc.data_disk as usize].blocks.insert(logical, data);
+            self.set_parity(loc.stripe, new_parity);
+            // Read old data + old parity in parallel, then write data +
+            // parity in parallel: two dependent phases.
+            self.parallel_ops(2) + self.parallel_ops(2)
+        } else if parity_failed {
+            // Parity disk down: just write the data.
+            self.disks[loc.data_disk as usize].blocks.insert(logical, data);
+            self.one_op()
+        } else {
+            // Data disk down: fold the new data into parity so a degraded
+            // read reconstructs it. parity = XOR of all *other* live data
+            // blocks XOR new data.
+            let new_parity = self.recompute_parity(loc.stripe, logical, &data);
+            self.set_parity(loc.stripe, new_parity);
+            // Read the stripe mates, then write parity.
+            let mates = u64::from(layout.data_per_stripe()) - 1;
+            self.parallel_ops(mates) + self.one_op()
+        };
+        Ok(time)
+    }
+
+    /// XOR of every written data block in the stripe except `skip`, plus
+    /// `with` — i.e. the parity after `skip` takes the value `with`.
+    fn recompute_parity(&self, stripe: u64, skip: u64, with: &[u8]) -> Bytes {
+        let layout = self.layout.expect("raid5 has layout");
+        let mut parity = with.to_vec();
+        for mate in layout.stripe_mates(skip) {
+            if mate == skip {
+                continue;
+            }
+            let loc = layout.locate(mate);
+            if let Some(block) = self.disks[loc.data_disk as usize].blocks.get(&mate) {
+                xor_into(&mut parity, block);
+            }
+        }
+        let _ = stripe;
+        Bytes::from(parity)
+    }
+
+    fn parity_key(stripe: u64) -> u64 {
+        // Parity blocks live in the same per-disk maps under a disjoint key
+        // space (top bit set).
+        stripe | (1 << 63)
+    }
+
+    fn parity_block(&self, stripe: u64) -> Option<Bytes> {
+        let layout = self.layout.expect("raid5 has layout");
+        let disk = layout.parity_disk(stripe) as usize;
+        self.disks[disk].blocks.get(&Self::parity_key(stripe)).cloned()
+    }
+
+    fn set_parity(&mut self, stripe: u64, parity: Bytes) {
+        let layout = self.layout.expect("raid5 has layout");
+        let disk = layout.parity_disk(stripe) as usize;
+        if !self.disks[disk].failed {
+            self.disks[disk].blocks.insert(Self::parity_key(stripe), parity);
+        }
+    }
+
+    /// Writes one *full stripe* of fresh data blocks in a single parallel
+    /// phase: parity is computed in memory over the new data and every
+    /// disk receives exactly one write — the log-structured fast path that
+    /// sidesteps the RAID-5 small-write problem.
+    ///
+    /// `first_logical` must be stripe-aligned and `blocks` must supply
+    /// exactly one stripe's worth of data (`disks - 1` blocks for RAID-5).
+    /// For RAID-0/1 this degrades to per-block writes.
+    ///
+    /// # Errors
+    ///
+    /// [`RaidError::WrongBlockSize`] if any buffer is missized;
+    /// [`RaidError::DataLost`] if a needed disk is failed (the caller
+    /// should fall back to per-block writes in degraded mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_logical` is not stripe-aligned or `blocks` is not
+    /// exactly one stripe.
+    pub fn write_full_stripe(
+        &mut self,
+        first_logical: u64,
+        blocks: &[&[u8]],
+    ) -> Result<SimDuration, RaidError> {
+        let Some(layout) = self.layout else {
+            // Not RAID-5: no parity to batch; write each block.
+            let mut time = SimDuration::ZERO;
+            for (i, data) in blocks.iter().enumerate() {
+                time += self.write(first_logical + i as u64, data)?;
+            }
+            return Ok(time);
+        };
+        let per = u64::from(layout.data_per_stripe());
+        assert!(
+            first_logical % per == 0,
+            "full-stripe writes must be stripe-aligned"
+        );
+        assert_eq!(
+            blocks.len() as u64,
+            per,
+            "a full stripe needs exactly {per} data blocks"
+        );
+        for data in blocks {
+            self.check_size(data)?;
+        }
+        let stripe = first_logical / per;
+        // All target disks (data slots + parity) must be healthy; degraded
+        // stripes take the slow path.
+        let parity_disk = layout.parity_disk(stripe);
+        if self.disks[parity_disk as usize].failed {
+            return Err(RaidError::DataLost);
+        }
+        for i in 0..per {
+            let loc = layout.locate(first_logical + i);
+            if self.disks[loc.data_disk as usize].failed {
+                return Err(RaidError::DataLost);
+            }
+        }
+        // Parity over the new data only (the slots are fresh or fully
+        // superseded by this stripe).
+        let mut parity = vec![0u8; self.config.block_bytes];
+        for (i, data) in blocks.iter().enumerate() {
+            let logical = first_logical + i as u64;
+            xor_into(&mut parity, data);
+            let loc = layout.locate(logical);
+            self.disks[loc.data_disk as usize]
+                .blocks
+                .insert(logical, Bytes::copy_from_slice(data));
+            self.written.insert(logical);
+            self.stats.writes += 1;
+        }
+        self.set_parity(stripe, Bytes::from(parity));
+        // One parallel phase across all `disks` spindles.
+        let time = self.parallel_ops(u64::from(self.config.disks));
+        self.stats.time += time;
+        Ok(time)
+    }
+
+    /// Reads one block. Returns the bytes and the service time.
+    ///
+    /// # Errors
+    ///
+    /// [`RaidError::NotWritten`] if the block has never been written;
+    /// [`RaidError::DataLost`] when failures exceed the level's tolerance.
+    pub fn read(&mut self, logical: u64) -> Result<(Bytes, SimDuration), RaidError> {
+        self.stats.reads += 1;
+        let result = match self.config.level {
+            RaidLevel::Raid0 => {
+                let disk = self.disk_of(logical) as usize;
+                if self.disks[disk].failed {
+                    return Err(RaidError::DataLost);
+                }
+                let data = self.disks[disk]
+                    .blocks
+                    .get(&logical)
+                    .cloned()
+                    .ok_or(RaidError::NotWritten)?;
+                (data, self.one_op())
+            }
+            RaidLevel::Raid1 => {
+                let primary = self.disk_of(logical) as usize;
+                let mirror = primary + 1;
+                let disk = if !self.disks[primary].failed {
+                    primary
+                } else if !self.disks[mirror].failed {
+                    mirror
+                } else {
+                    return Err(RaidError::DataLost);
+                };
+                let data = self.disks[disk]
+                    .blocks
+                    .get(&logical)
+                    .cloned()
+                    .ok_or(RaidError::NotWritten)?;
+                (data, self.one_op())
+            }
+            RaidLevel::Raid5 => {
+                let layout = self.layout.expect("raid5 has layout");
+                let loc = layout.locate(logical);
+                if !self.disks[loc.data_disk as usize].failed {
+                    let data = self.disks[loc.data_disk as usize]
+                        .blocks
+                        .get(&logical)
+                        .cloned()
+                        .ok_or(RaidError::NotWritten)?;
+                    (data, self.one_op())
+                } else {
+                    // Degraded: XOR parity with the surviving stripe mates.
+                    if !self.written.contains(&logical) {
+                        return Err(RaidError::NotWritten);
+                    }
+                    if self.failed_disks() > 1 {
+                        return Err(RaidError::DataLost);
+                    }
+                    self.stats.degraded_reads += 1;
+                    let parity = self.parity_block(loc.stripe).ok_or(RaidError::NotWritten)?;
+                    let mut acc = parity.to_vec();
+                    let mut written_mates = 0;
+                    for mate in layout.stripe_mates(logical) {
+                        if mate == logical {
+                            continue;
+                        }
+                        let mloc = layout.locate(mate);
+                        if let Some(block) = self.disks[mloc.data_disk as usize].blocks.get(&mate)
+                        {
+                            xor_into(&mut acc, block);
+                            written_mates += 1;
+                        }
+                    }
+                    let time = self.parallel_ops(written_mates + 1);
+                    (Bytes::from(acc), time)
+                }
+            }
+        };
+        self.stats.time += result.1;
+        Ok(result)
+    }
+
+    /// Marks a disk as failed (a workstation crashed or left the NOW).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disk index is out of range.
+    pub fn fail_disk(&mut self, disk: u32) {
+        assert!((disk as usize) < self.disks.len(), "disk out of range");
+        self.disks[disk as usize].failed = true;
+        self.disks[disk as usize].blocks.clear(); // contents are gone
+    }
+
+    /// Rebuilds a failed disk's contents from the survivors onto a
+    /// replacement, returning the reconstruction time.
+    ///
+    /// # Errors
+    ///
+    /// [`RaidError::DiskNotFailed`] if the disk is healthy;
+    /// [`RaidError::DataLost`] if the level cannot reconstruct.
+    pub fn reconstruct(&mut self, disk: u32) -> Result<SimDuration, RaidError> {
+        if disk as usize >= self.disks.len() {
+            return Err(RaidError::NoSuchDisk);
+        }
+        if !self.disks[disk as usize].failed {
+            return Err(RaidError::DiskNotFailed);
+        }
+        match self.config.level {
+            RaidLevel::Raid0 => Err(RaidError::DataLost),
+            RaidLevel::Raid1 => {
+                let partner = if disk.is_multiple_of(2) { disk + 1 } else { disk - 1 };
+                if self.disks[partner as usize].failed {
+                    return Err(RaidError::DataLost);
+                }
+                let copied: Vec<(u64, Bytes)> = self.disks[partner as usize]
+                    .blocks
+                    .iter()
+                    .map(|(&k, v)| (k, v.clone()))
+                    .collect();
+                let n = copied.len() as u64;
+                self.disks[disk as usize].failed = false;
+                self.disks[disk as usize].blocks = copied.into_iter().collect();
+                let time = self.model.sequential_per_block(self.config.block_bytes as u64, n.max(1)) * n;
+                self.stats.disk_ops += 2 * n;
+                self.stats.time += time;
+                Ok(time)
+            }
+            RaidLevel::Raid5 => {
+                if self.failed_disks() > 1 {
+                    return Err(RaidError::DataLost);
+                }
+                let layout = self.layout.expect("raid5 has layout");
+                self.disks[disk as usize].failed = false;
+                // Rebuild every data block that maps to this disk, and every
+                // parity block it should hold, from the survivors.
+                let mut rebuilt: Vec<(u64, Bytes)> = Vec::new();
+                // Find all stripes that have any content.
+                let mut stripes: std::collections::BTreeSet<u64> = Default::default();
+                for d in &self.disks {
+                    for &key in d.blocks.keys() {
+                        let stripe = if key >> 63 == 1 {
+                            key & !(1 << 63)
+                        } else {
+                            key / u64::from(layout.data_per_stripe())
+                        };
+                        stripes.insert(stripe);
+                    }
+                }
+                for &stripe in &stripes {
+                    let per = u64::from(layout.data_per_stripe());
+                    // Data blocks on the rebuilt disk.
+                    for logical in stripe * per..(stripe + 1) * per {
+                        let loc = layout.locate(logical);
+                        if loc.data_disk != disk || !self.written.contains(&logical) {
+                            continue;
+                        }
+                        if let Some(parity) = self.parity_block(stripe) {
+                            let mut acc = parity.to_vec();
+                            for mate in layout.stripe_mates(logical) {
+                                if mate == logical {
+                                    continue;
+                                }
+                                let mloc = layout.locate(mate);
+                                if let Some(b) =
+                                    self.disks[mloc.data_disk as usize].blocks.get(&mate)
+                                {
+                                    xor_into(&mut acc, b);
+                                }
+                            }
+                            rebuilt.push((logical, Bytes::from(acc)));
+                        }
+                    }
+                    // Parity block on the rebuilt disk.
+                    if layout.parity_disk(stripe) == disk {
+                        let mut acc = vec![0u8; self.config.block_bytes];
+                        let mut any = false;
+                        for logical in stripe * per..(stripe + 1) * per {
+                            let loc = layout.locate(logical);
+                            if let Some(b) = self.disks[loc.data_disk as usize].blocks.get(&logical)
+                            {
+                                xor_into(&mut acc, b);
+                                any = true;
+                            }
+                        }
+                        if any {
+                            rebuilt.push((Self::parity_key(stripe), Bytes::from(acc)));
+                        }
+                    }
+                }
+                let n = rebuilt.len() as u64;
+                for (k, v) in rebuilt {
+                    self.disks[disk as usize].blocks.insert(k, v);
+                }
+                // Reconstruction streams all survivors in parallel and
+                // writes the replacement: bounded by one disk's sequential
+                // rate over the rebuilt volume.
+                let time =
+                    self.model.sequential_per_block(self.config.block_bytes as u64, n.max(1)) * n;
+                self.stats.disk_ops += n * u64::from(self.config.disks);
+                self.stats.time += time;
+                Ok(time)
+            }
+        }
+    }
+
+    /// Aggregate sequential read bandwidth of the array in MB/s, at the
+    /// paper's 80-percent parallel-file-system efficiency.
+    pub fn aggregate_bandwidth_mb_s(&self) -> f64 {
+        let data_disks = match self.config.level {
+            RaidLevel::Raid0 => u64::from(self.config.disks),
+            RaidLevel::Raid1 => u64::from(self.config.disks) / 2,
+            RaidLevel::Raid5 => u64::from(self.config.disks) - 1,
+        };
+        data_disks as f64 * self.model.sequential_mb_s() * 0.8
+    }
+}
+
+/// XORs `src` into `dst` element-wise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ (all blocks in an array share a size).
+fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "mismatched block sizes in XOR");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(fill: u8, size: usize) -> Vec<u8> {
+        (0..size).map(|i| fill ^ (i as u8)).collect()
+    }
+
+    fn raid5(disks: u32) -> SoftwareRaid {
+        SoftwareRaid::new(RaidConfig {
+            level: RaidLevel::Raid5,
+            disks,
+            block_bytes: 256,
+        })
+    }
+
+    #[test]
+    fn write_read_roundtrip_all_levels() {
+        for level in [RaidLevel::Raid0, RaidLevel::Raid1, RaidLevel::Raid5] {
+            let mut r = SoftwareRaid::new(RaidConfig {
+                level,
+                disks: 4,
+                block_bytes: 128,
+            });
+            for i in 0..20 {
+                r.write(i, &block(i as u8, 128)).unwrap();
+            }
+            for i in 0..20 {
+                let (data, _) = r.read(i).unwrap();
+                assert_eq!(&data[..], &block(i as u8, 128)[..], "{level:?} block {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn raid5_survives_any_single_disk_failure() {
+        for victim in 0..5 {
+            let mut r = raid5(5);
+            for i in 0..40 {
+                r.write(i, &block(i as u8, 256)).unwrap();
+            }
+            r.fail_disk(victim);
+            for i in 0..40 {
+                let (data, _) = r.read(i).unwrap();
+                assert_eq!(&data[..], &block(i as u8, 256)[..], "victim {victim}, block {i}");
+            }
+            assert!(r.stats().degraded_reads > 0);
+        }
+    }
+
+    #[test]
+    fn raid5_two_failures_lose_data() {
+        let mut r = raid5(5);
+        for i in 0..10 {
+            r.write(i, &block(7, 256)).unwrap();
+        }
+        r.fail_disk(0);
+        r.fail_disk(1);
+        let lost = (0..10).any(|i| r.read(i) == Err(RaidError::DataLost));
+        assert!(lost, "double failure must lose something");
+    }
+
+    #[test]
+    fn raid0_failure_loses_data_immediately() {
+        let mut r = SoftwareRaid::new(RaidConfig {
+            level: RaidLevel::Raid0,
+            disks: 4,
+            block_bytes: 64,
+        });
+        r.write(0, &block(1, 64)).unwrap();
+        r.fail_disk(r.disk_of(0));
+        assert_eq!(r.read(0), Err(RaidError::DataLost));
+    }
+
+    #[test]
+    fn raid1_reads_from_mirror_after_failure() {
+        let mut r = SoftwareRaid::new(RaidConfig {
+            level: RaidLevel::Raid1,
+            disks: 4,
+            block_bytes: 64,
+        });
+        for i in 0..8 {
+            r.write(i, &block(i as u8, 64)).unwrap();
+        }
+        r.fail_disk(0); // primaries of blocks on pair (0,1)
+        for i in 0..8 {
+            assert_eq!(&r.read(i).unwrap().0[..], &block(i as u8, 64)[..]);
+        }
+    }
+
+    #[test]
+    fn reconstruction_restores_exact_contents() {
+        let mut r = raid5(4);
+        for i in 0..30 {
+            r.write(i, &block(i as u8, 256)).unwrap();
+        }
+        r.fail_disk(2);
+        let time = r.reconstruct(2).unwrap();
+        assert!(time > SimDuration::ZERO);
+        assert_eq!(r.failed_disks(), 0);
+        // All reads now non-degraded and exact.
+        let before = r.stats().degraded_reads;
+        for i in 0..30 {
+            assert_eq!(&r.read(i).unwrap().0[..], &block(i as u8, 256)[..]);
+        }
+        assert_eq!(r.stats().degraded_reads, before, "no degraded reads after rebuild");
+    }
+
+    #[test]
+    fn reconstruct_healthy_disk_is_an_error() {
+        let mut r = raid5(4);
+        assert_eq!(r.reconstruct(1), Err(RaidError::DiskNotFailed));
+        assert_eq!(r.reconstruct(9), Err(RaidError::NoSuchDisk));
+    }
+
+    #[test]
+    fn writes_during_degraded_mode_survive_reconstruction() {
+        let mut r = raid5(4);
+        for i in 0..12 {
+            r.write(i, &block(i as u8, 256)).unwrap();
+        }
+        r.fail_disk(1);
+        // Overwrite some blocks while degraded — including ones whose data
+        // disk is the failed one.
+        for i in 0..12 {
+            r.write(i, &block(i as u8 ^ 0xFF, 256)).unwrap();
+        }
+        for i in 0..12 {
+            assert_eq!(&r.read(i).unwrap().0[..], &block(i as u8 ^ 0xFF, 256)[..], "degraded read {i}");
+        }
+        r.reconstruct(1).unwrap();
+        for i in 0..12 {
+            assert_eq!(&r.read(i).unwrap().0[..], &block(i as u8 ^ 0xFF, 256)[..], "post-rebuild read {i}");
+        }
+    }
+
+    #[test]
+    fn small_write_costs_four_ops_on_raid5() {
+        let mut r = raid5(4);
+        r.write(0, &block(1, 256)).unwrap();
+        let ops_before = r.stats().disk_ops;
+        r.write(0, &block(2, 256)).unwrap();
+        // Read-modify-write: 2 reads + 2 writes.
+        assert_eq!(r.stats().disk_ops - ops_before, 4);
+    }
+
+    #[test]
+    fn wrong_block_size_is_rejected() {
+        let mut r = raid5(4);
+        assert_eq!(
+            r.write(0, &[0u8; 10]),
+            Err(RaidError::WrongBlockSize { expected: 256, got: 10 })
+        );
+    }
+
+    #[test]
+    fn unwritten_block_reports_not_written() {
+        let mut r = raid5(4);
+        assert_eq!(r.read(5).map(|_| ()), Err(RaidError::NotWritten));
+    }
+
+    #[test]
+    fn aggregate_bandwidth_scales_with_disks() {
+        let small = raid5(4).aggregate_bandwidth_mb_s();
+        let big = raid5(16).aggregate_bandwidth_mb_s();
+        assert!((big / small - 5.0).abs() < 0.01, "15/3 data disks = 5x");
+        // Paper's Gator row: 256 disks at 2 MB/s with 80% efficiency ≈ 410
+        // MB/s; our disks are 6.5 MB/s so scale accordingly.
+        let gator_like = SoftwareRaid::new(RaidConfig {
+            level: RaidLevel::Raid0,
+            disks: 256,
+            block_bytes: 8_192,
+        });
+        let bw = gator_like.aggregate_bandwidth_mb_s();
+        assert!((bw - 256.0 * 6.5 * 0.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_stripe_write_costs_one_op_per_disk() {
+        let mut r = raid5(5); // 4 data + 1 parity per stripe
+        let data: Vec<Vec<u8>> = (0..4).map(|i| block(i, 256)).collect();
+        let views: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        r.write_full_stripe(0, &views).unwrap();
+        assert_eq!(r.stats().disk_ops, 5, "one op per spindle");
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(&r.read(i as u64).unwrap().0[..], &d[..]);
+        }
+    }
+
+    #[test]
+    fn full_stripe_write_survives_a_failure() {
+        let mut r = raid5(4);
+        let data: Vec<Vec<u8>> = (0..3).map(|i| block(0x40 | i, 256)).collect();
+        let views: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        r.write_full_stripe(3, &views).unwrap(); // stripe 1 (aligned: 3 % 3 == 0)
+        r.fail_disk(1);
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(&r.read(3 + i as u64).unwrap().0[..], &d[..], "block {i}");
+        }
+    }
+
+    #[test]
+    fn full_stripe_rejects_degraded_arrays() {
+        let mut r = raid5(4);
+        r.fail_disk(2);
+        let data: Vec<Vec<u8>> = (0..3).map(|i| block(i, 256)).collect();
+        let views: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        assert_eq!(r.write_full_stripe(0, &views), Err(RaidError::DataLost));
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe-aligned")]
+    fn full_stripe_requires_alignment() {
+        let mut r = raid5(4);
+        let data: Vec<Vec<u8>> = (0..3).map(|i| block(i, 256)).collect();
+        let views: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let _ = r.write_full_stripe(1, &views);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = RaidError::WrongBlockSize { expected: 8, got: 4 };
+        assert!(e.to_string().contains("8"));
+        assert!(RaidError::DataLost.to_string().contains("unrecoverable"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Availability arithmetic: why a serverless software RAID can beat a
+//! hardware RAID behind a single host.
+//!
+//! The paper's argument: a hardware RAID protects against *disk* failures,
+//! but the host computer it hangs off is a single point of failure — "if
+//! the host computer crashes, the RAID becomes unavailable." A software
+//! RAID on a NOW has no central host: any workstation can take over
+//! control, so only simultaneous multi-component failures lose service.
+
+use serde::{Deserialize, Serialize};
+
+/// Failure/repair parameters for one component class, in hours.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Mean time to failure of one disk.
+    pub disk_mttf_hours: f64,
+    /// Mean time to replace a failed disk and rebuild it.
+    pub mttr_hours: f64,
+    /// Mean time to failure of a host computer (crash, OS hang, power).
+    pub host_mttf_hours: f64,
+    /// Mean time for a crashed host to reboot and rejoin — host crashes
+    /// are transient and do not lose the disk's contents.
+    pub reboot_hours: f64,
+}
+
+impl FailureModel {
+    /// Mid-1990s figures: 200,000-hour disks, 1,000-hour hosts (about six
+    /// weeks between crashes, counting OS faults), 24-hour disk
+    /// replacement, 12-minute reboot.
+    pub fn paper_defaults() -> Self {
+        FailureModel {
+            disk_mttf_hours: 200_000.0,
+            mttr_hours: 24.0,
+            host_mttf_hours: 1_000.0,
+            reboot_hours: 0.2,
+        }
+    }
+
+    /// Mean time to *data loss* of an `n`-disk RAID-5 group: the standard
+    /// `MTTF² / (n(n-1)·MTTR)` double-failure window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn raid5_mttdl_hours(&self, n: u32) -> f64 {
+        assert!(n >= 2, "a parity group needs at least two disks");
+        self.disk_mttf_hours * self.disk_mttf_hours
+            / (f64::from(n) * f64::from(n - 1) * self.mttr_hours)
+    }
+
+    /// Mean time to data loss of an `n`-disk stripe with no redundancy:
+    /// any single failure loses data.
+    pub fn raid0_mttdl_hours(&self, n: u32) -> f64 {
+        assert!(n >= 1, "a stripe needs a disk");
+        self.disk_mttf_hours / f64::from(n)
+    }
+
+    /// Mean time to *service loss* of a hardware RAID behind one host:
+    /// whichever dies first — the (rare) double disk failure or the (not
+    /// rare) host.
+    pub fn hardware_raid_service_mttf_hours(&self, n: u32) -> f64 {
+        let raid = self.raid5_mttdl_hours(n);
+        // Independent exponential failure processes compose by rate
+        // addition.
+        1.0 / (1.0 / raid + 1.0 / self.host_mttf_hours)
+    }
+
+    /// Mean time to service loss of the serverless software RAID: any
+    /// single node (host+disk) outage degrades but does not stop service —
+    /// another workstation takes over — so service is lost only when a
+    /// second node goes down while the first is still out. Host crashes
+    /// are transient (reboot-length outages); disk failures last a
+    /// replacement cycle.
+    pub fn software_raid_service_mttf_hours(&self, n: u32) -> f64 {
+        assert!(n >= 2, "serverless RAID needs at least two nodes");
+        // Node outage rate and mean outage duration, mixing the two causes.
+        let rate = 1.0 / self.disk_mttf_hours + 1.0 / self.host_mttf_hours;
+        let mean_outage = (self.mttr_hours / self.disk_mttf_hours
+            + self.reboot_hours / self.host_mttf_hours)
+            / rate;
+        // Double-outage window: first outage at rate n·λ; a second of the
+        // remaining n−1 nodes must fail within the outage duration.
+        1.0 / (f64::from(n) * rate * f64::from(n - 1) * rate * mean_outage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raid5_vastly_outlives_raid0() {
+        let m = FailureModel::paper_defaults();
+        let r5 = m.raid5_mttdl_hours(16);
+        let r0 = m.raid0_mttdl_hours(16);
+        assert!(r5 / r0 > 100.0, "parity should buy orders of magnitude");
+    }
+
+    #[test]
+    fn host_dominates_hardware_raid_availability() {
+        // The paper's point: the RAID box hardly matters — the host does.
+        let m = FailureModel::paper_defaults();
+        let service = m.hardware_raid_service_mttf_hours(16);
+        assert!(
+            (service - m.host_mttf_hours).abs() / m.host_mttf_hours < 0.01,
+            "service MTTF {service} should be ≈ host MTTF {}",
+            m.host_mttf_hours
+        );
+    }
+
+    #[test]
+    fn serverless_raid_beats_hardware_raid_service_availability() {
+        let m = FailureModel::paper_defaults();
+        for n in [8, 16, 32] {
+            let hw = m.hardware_raid_service_mttf_hours(n);
+            let sw = m.software_raid_service_mttf_hours(n);
+            assert!(
+                sw > hw,
+                "n={n}: software {sw} h should beat hardware {hw} h"
+            );
+        }
+    }
+
+    #[test]
+    fn very_large_flat_groups_need_partitioning() {
+        // At building scale a single flat group's double-outage window
+        // catches up with the host MTTF — which is why xFS organises
+        // storage into bounded stripe groups rather than one 100-node
+        // parity group.
+        let m = FailureModel::paper_defaults();
+        let flat100 = m.software_raid_service_mttf_hours(100);
+        let group8 = m.software_raid_service_mttf_hours(8);
+        assert!(flat100 < m.hardware_raid_service_mttf_hours(100));
+        assert!(group8 > 50.0 * flat100, "small groups are the fix");
+    }
+
+    #[test]
+    fn bigger_groups_fail_sooner() {
+        let m = FailureModel::paper_defaults();
+        assert!(m.raid5_mttdl_hours(8) > m.raid5_mttdl_hours(32));
+        assert!(m.software_raid_service_mttf_hours(8) > m.software_raid_service_mttf_hours(32));
+    }
+
+    #[test]
+    fn faster_repair_improves_mttdl_linearly() {
+        let mut m = FailureModel::paper_defaults();
+        let slow = m.raid5_mttdl_hours(16);
+        m.mttr_hours /= 4.0;
+        let fast = m.raid5_mttdl_hours(16);
+        assert!((fast / slow - 4.0).abs() < 1e-9);
+    }
+}

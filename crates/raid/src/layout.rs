@@ -1,0 +1,146 @@
+//! RAID-5 left-symmetric layout arithmetic: which disk holds which block.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a logical block lives physically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeLocation {
+    /// Stripe number (row across all disks).
+    pub stripe: u64,
+    /// Disk holding the data block.
+    pub data_disk: u32,
+    /// Disk holding the stripe's parity.
+    pub parity_disk: u32,
+}
+
+/// Left-symmetric RAID-5 layout over `disks` disks.
+///
+/// Parity rotates right-to-left one disk per stripe (the classic layout
+/// that spreads both parity *and* data evenly), and data blocks fill the
+/// remaining slots in rotated order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Raid5Layout {
+    disks: u32,
+}
+
+impl Raid5Layout {
+    /// Creates a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than 3 disks (RAID-5 needs data + parity +
+    /// something to rotate against).
+    pub fn new(disks: u32) -> Self {
+        assert!(disks >= 3, "RAID-5 needs at least 3 disks, got {disks}");
+        Raid5Layout { disks }
+    }
+
+    /// Number of disks.
+    pub fn disks(&self) -> u32 {
+        self.disks
+    }
+
+    /// Data blocks per stripe.
+    pub fn data_per_stripe(&self) -> u32 {
+        self.disks - 1
+    }
+
+    /// The parity disk for a stripe.
+    pub fn parity_disk(&self, stripe: u64) -> u32 {
+        (self.disks - 1) - (stripe % u64::from(self.disks)) as u32
+    }
+
+    /// Maps a logical block number to its physical location.
+    pub fn locate(&self, logical: u64) -> StripeLocation {
+        let per = u64::from(self.data_per_stripe());
+        let stripe = logical / per;
+        let slot = (logical % per) as u32;
+        let parity_disk = self.parity_disk(stripe);
+        // Left-symmetric: data slots start just after the parity disk and
+        // wrap around it.
+        let data_disk = (parity_disk + 1 + slot) % self.disks;
+        StripeLocation {
+            stripe,
+            data_disk,
+            parity_disk,
+        }
+    }
+
+    /// All logical block numbers that share a stripe with `logical`.
+    pub fn stripe_mates(&self, logical: u64) -> Vec<u64> {
+        let per = u64::from(self.data_per_stripe());
+        let base = (logical / per) * per;
+        (base..base + per).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_rotates_across_all_disks() {
+        let l = Raid5Layout::new(5);
+        let disks: Vec<u32> = (0..5).map(|s| l.parity_disk(s)).collect();
+        let mut sorted = disks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4], "each disk takes a turn");
+        assert_eq!(l.parity_disk(0), l.parity_disk(5), "period = disk count");
+    }
+
+    #[test]
+    fn data_never_lands_on_the_parity_disk() {
+        let l = Raid5Layout::new(4);
+        for logical in 0..1_000 {
+            let loc = l.locate(logical);
+            assert_ne!(loc.data_disk, loc.parity_disk, "block {logical}");
+            assert!(loc.data_disk < 4);
+            assert!(loc.parity_disk < 4);
+        }
+    }
+
+    #[test]
+    fn blocks_within_a_stripe_use_distinct_disks() {
+        let l = Raid5Layout::new(6);
+        for stripe in 0..20u64 {
+            let per = u64::from(l.data_per_stripe());
+            let mut disks: Vec<u32> = (0..per)
+                .map(|i| l.locate(stripe * per + i).data_disk)
+                .collect();
+            disks.sort_unstable();
+            disks.dedup();
+            assert_eq!(disks.len() as u64, per, "stripe {stripe} collides");
+        }
+    }
+
+    #[test]
+    fn stripe_mates_share_the_stripe() {
+        let l = Raid5Layout::new(4);
+        let mates = l.stripe_mates(7);
+        assert_eq!(mates.len(), 3);
+        let stripe = l.locate(7).stripe;
+        for m in mates {
+            assert_eq!(l.locate(m).stripe, stripe);
+        }
+    }
+
+    #[test]
+    fn load_spreads_evenly_over_disks() {
+        let l = Raid5Layout::new(5);
+        let mut counts = vec![0u32; 5];
+        for logical in 0..4_000 {
+            counts[l.locate(logical).data_disk as usize] += 1;
+        }
+        // 4,000 blocks over 5 disks at 4 data-slots per stripe: 800 ± stripe
+        // rounding each.
+        for &c in &counts {
+            assert!((780..=820).contains(&c), "uneven: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn two_disk_raid5_rejected() {
+        Raid5Layout::new(2);
+    }
+}

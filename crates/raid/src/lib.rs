@@ -1,0 +1,53 @@
+//! # now-raid — redundant arrays of workstation disks
+//!
+//! The paper's storage argument: instead of buying a hardware RAID box
+//! (which costs 2× per byte and hangs off a single host that becomes the
+//! availability bottleneck), write data redundantly across the disks
+//! already inside the building's workstations, using the fast network as
+//! the I/O backplane. Any workstation can take over for a failed one, and
+//! parallel programs get the aggregate bandwidth of every spindle.
+//!
+//! This crate is a *functional* software RAID — real bytes, real XOR
+//! parity — with the timing model alongside:
+//!
+//! * [`SoftwareRaid`] — RAID-0 (striping), RAID-1 (mirroring), and RAID-5
+//!   (rotated parity) over simulated workstation disks, with degraded-mode
+//!   reads, disk failure, and full reconstruction.
+//! * [`StripeLog`] — the log-structured write path (used by xFS) that
+//!   batches small writes into full-stripe segments, dodging RAID-5's
+//!   read-modify-write small-write penalty.
+//! * [`availability`] — mean-time-to-data-loss arithmetic comparing a
+//!   central server, a hardware RAID behind one host, and the serverless
+//!   software RAID.
+//!
+//! # Example
+//!
+//! Survive a disk failure byte-for-byte:
+//!
+//! ```
+//! use now_raid::{RaidConfig, RaidLevel, SoftwareRaid};
+//!
+//! let mut raid = SoftwareRaid::new(RaidConfig {
+//!     level: RaidLevel::Raid5,
+//!     disks: 5,
+//!     block_bytes: 512,
+//! });
+//! let data = vec![0xAB; 512];
+//! raid.write(7, &data).unwrap();
+//! raid.fail_disk(raid.disk_of(7));
+//! let (back, _cost) = raid.read(7).unwrap();
+//! assert_eq!(&back[..], &data[..]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod layout;
+mod log;
+
+pub mod availability;
+
+pub use array::{RaidConfig, RaidError, RaidLevel, RaidStats, SoftwareRaid};
+pub use layout::{Raid5Layout, StripeLocation};
+pub use log::{SegmentId, StripeLog};

@@ -1,0 +1,261 @@
+//! Plain-text tables and series for the experiment harness.
+//!
+//! Every reproduced table and figure is ultimately printed as text. This
+//! module provides a small, dependency-free formatter that aligns columns and
+//! renders figure data as `(x, y)` series plus an ASCII sketch, so
+//! `repro --fig3`-style output is readable in a terminal and diffable in
+//! `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use now_sim::report::TextTable;
+///
+/// let mut t = TextTable::new(&["Machine", "Total (s)"]);
+/// t.row(&["C-90 (16)", "27"]);
+/// t.row(&["RS-6000 + low-overhead msgs", "21"]);
+/// let s = t.render();
+/// assert!(s.contains("C-90"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title line printed above the table.
+    pub fn title(&mut self, title: &str) -> &mut Self {
+        self.title = Some(title.to_string());
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has a different number of cells than the header.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned strings (convenient with `format!`).
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "== {title} ==");
+        }
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:<width$}", h, width = widths[i]);
+            if i + 1 < ncols {
+                line.push_str("  ");
+            }
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:<width$}", cell, width = widths[i]);
+                if i + 1 < ncols {
+                    line.push_str("  ");
+                }
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// A named `(x, y)` series — the data behind one curve of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Curve label, e.g. `"32 MB + network RAM"`.
+    pub name: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a named series from points.
+    pub fn new(name: &str, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.to_string(),
+            points,
+        }
+    }
+}
+
+/// Renders one or more series as a data listing plus an ASCII chart, the
+/// format used for every reproduced figure.
+///
+/// The chart is a crude sketch — the listing underneath is the ground truth
+/// recorded in `EXPERIMENTS.md`.
+pub fn render_figure(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(out, "x: {x_label}   y: {y_label}");
+
+    // Data listing.
+    for s in series {
+        let _ = writeln!(out, "-- {}", s.name);
+        for (x, y) in &s.points {
+            let _ = writeln!(out, "   {x:>12.4}  {y:>12.4}");
+        }
+    }
+
+    // ASCII sketch on a shared scale.
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.len() >= 2 {
+        let (xmin, xmax) = all
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (x, _)| {
+                (lo.min(*x), hi.max(*x))
+            });
+        let (ymin, ymax) = all
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, y)| {
+                (lo.min(*y), hi.max(*y))
+            });
+        if xmax > xmin && ymax > ymin {
+            const W: usize = 60;
+            const H: usize = 16;
+            let mut grid = vec![vec![b' '; W]; H];
+            let marks = [b'*', b'o', b'+', b'x', b'#', b'@'];
+            for (si, s) in series.iter().enumerate() {
+                let mark = marks[si % marks.len()];
+                for (x, y) in &s.points {
+                    let cx = (((x - xmin) / (xmax - xmin)) * (W - 1) as f64).round() as usize;
+                    let cy = (((y - ymin) / (ymax - ymin)) * (H - 1) as f64).round() as usize;
+                    grid[H - 1 - cy][cx] = mark;
+                }
+            }
+            let _ = writeln!(out, "   {ymax:.3} ┐");
+            for row in grid {
+                let _ = writeln!(out, "         │{}", String::from_utf8_lossy(&row));
+            }
+            let _ = writeln!(out, "   {ymin:.3} └{}", "─".repeat(W));
+            let _ = writeln!(out, "          {xmin:<.3}{:>pad$.3}", xmax, pad = W - 4);
+            let mut legend = String::new();
+            for (si, s) in series.iter().enumerate() {
+                let _ = write!(legend, "  {} {}", marks[si % marks.len()] as char, s.name);
+            }
+            let _ = writeln!(out, "{legend}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(&["a", "bbbb"]);
+        t.row(&["xxxx", "y"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[0], "a     bbbb");
+        assert_eq!(lines[2], "xxxx  y");
+    }
+
+    #[test]
+    fn table_title_and_len() {
+        let mut t = TextTable::new(&["c"]);
+        assert!(t.is_empty());
+        t.title("Table 3");
+        t.row(&["1"]).row(&["2"]);
+        assert_eq!(t.len(), 2);
+        assert!(t.render().starts_with("== Table 3 =="));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn figure_lists_all_points() {
+        let s = vec![
+            Series::new("up", vec![(0.0, 0.0), (1.0, 1.0)]),
+            Series::new("down", vec![(0.0, 1.0), (1.0, 0.0)]),
+        ];
+        let r = render_figure("Fig X", "x", "y", &s);
+        assert!(r.contains("-- up"));
+        assert!(r.contains("-- down"));
+        assert!(r.contains("0.0000"));
+        assert!(r.contains("1.0000"));
+        assert!(r.contains('*') && r.contains('o'), "both marks drawn");
+    }
+
+    #[test]
+    fn figure_with_single_point_omits_chart() {
+        let s = vec![Series::new("dot", vec![(1.0, 1.0)])];
+        let r = render_figure("Fig", "x", "y", &s);
+        assert!(r.contains("-- dot"));
+        assert!(!r.contains('┐'), "no axis for degenerate range");
+    }
+
+    #[test]
+    fn row_owned_accepts_formatted_cells() {
+        let mut t = TextTable::new(&["n", "sq"]);
+        for n in 1..=3 {
+            t.row_owned(vec![n.to_string(), (n * n).to_string()]);
+        }
+        assert_eq!(t.len(), 3);
+        assert!(t.render().contains("9"));
+    }
+}

@@ -1,0 +1,395 @@
+//! Simulated time: [`SimTime`] instants and [`SimDuration`] spans.
+//!
+//! Both are nanosecond counters under the hood. Nanosecond resolution matters
+//! because the paper's communication constants span five orders of magnitude:
+//! a CM-5 Active Message costs 1.7 µs of processor overhead while a disk
+//! access costs 14,800 µs, and sub-microsecond rounding would distort the
+//! small end.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time, measured in nanoseconds since the start of
+/// the simulation.
+///
+/// `SimTime` is ordered and supports the natural arithmetic with
+/// [`SimDuration`]: `time + duration -> time`, `time - time -> duration`.
+///
+/// # Example
+///
+/// ```
+/// use now_sim::{SimTime, SimDuration};
+///
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + SimDuration::from_millis(3);
+/// assert_eq!(t1 - t0, SimDuration::from_micros(3_000));
+/// assert!(t1 > t0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, measured in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use now_sim::SimDuration;
+///
+/// let per_byte = SimDuration::from_nanos(100); // 10 MB/s
+/// let transfer = per_byte * 8_192;
+/// assert_eq!(transfer.as_micros_f64(), 819.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; useful as an "infinitely far"
+    /// sentinel when computing the minimum of a set of deadlines.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates an instant `millis` milliseconds after simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates an instant `secs` seconds after simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Microseconds since simulation start, as a float (for reporting).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The duration since an earlier instant, saturating to zero if `earlier`
+    /// is actually later (useful when comparing racing deadlines).
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((secs * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Creates a duration from fractional microseconds, rounding to the
+    /// nearest nanosecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_micros_f64(micros: f64) -> Self {
+        Self::from_secs_f64(micros / 1e6)
+    }
+
+    /// Nanoseconds in this duration.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds, as a float (for reporting).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Milliseconds, as a float (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other` is larger.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Scales the duration by a non-negative factor, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "duration scale factor must be a non-negative finite number, got {factor}"
+        );
+        SimDuration((self.0 as f64 * factor).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// The ratio of two durations, as a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn ratio(self, other: SimDuration) -> f64 {
+        assert!(!other.is_zero(), "cannot take ratio against a zero duration");
+        self.0 as f64 / other.0 as f64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    /// Panics (in debug builds, via integer underflow) if `rhs` is later than
+    /// `self`; use [`SimTime::saturating_since`] when order is uncertain.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 - d.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, n: u64) -> SimDuration {
+        SimDuration(self.0 * n)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, n: u64) -> SimDuration {
+        SimDuration(self.0 / n)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    /// Formats with a human-scale unit: `ns`, `µs`, `ms`, or `s`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2}µs", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2}ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_scale() {
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2_000_000_000));
+    }
+
+    #[test]
+    fn time_duration_arithmetic() {
+        let t = SimTime::from_micros(100);
+        let d = SimDuration::from_micros(50);
+        assert_eq!(t + d, SimTime::from_micros(150));
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+        let mut t2 = t;
+        t2 += d;
+        assert_eq!(t2, SimTime::from_micros(150));
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let early = SimTime::from_micros(10);
+        let late = SimTime::from_micros(20);
+        assert_eq!(late.saturating_since(early), SimDuration::from_micros(10));
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1_500));
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_micros_f64(2.5), SimDuration::from_nanos(2_500));
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let d = SimDuration::from_micros(100);
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_micros(50));
+        assert_eq!(d.mul_f64(2.0), SimDuration::from_micros(200));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn mul_f64_rejects_negative() {
+        SimDuration::from_micros(1).mul_f64(-1.0);
+    }
+
+    #[test]
+    fn ratio_computes_factor() {
+        let a = SimDuration::from_micros(300);
+        let b = SimDuration::from_micros(100);
+        assert!((a.ratio(b) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero duration")]
+    fn ratio_rejects_zero_denominator() {
+        SimDuration::from_micros(1).ratio(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5.00µs");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5.00ms");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
+        assert_eq!(total, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn duration_scalar_ops() {
+        assert_eq!(SimDuration::from_micros(3) * 4, SimDuration::from_micros(12));
+        assert_eq!(SimDuration::from_micros(12) / 4, SimDuration::from_micros(3));
+        assert_eq!(
+            SimDuration::from_micros(5).saturating_sub(SimDuration::from_micros(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimDuration::from_nanos(7)),
+            Some(SimTime::from_nanos(7))
+        );
+    }
+}

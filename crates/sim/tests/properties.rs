@@ -1,0 +1,174 @@
+//! Property-based tests for the simulation kernel's core invariants.
+
+use now_sim::stats::{Accumulator, Percentiles};
+use now_sim::{EventQueue, SimDuration, SimRng, SimTime, ZipfSampler};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping yields events in non-decreasing time order regardless of the
+    /// insertion order.
+    #[test]
+    fn queue_pops_monotone(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Events scheduled at the same timestamp come out in insertion order.
+    #[test]
+    fn queue_equal_times_fifo(n in 1usize..300, t in 0u64..1_000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut expect = 0;
+        while let Some((_, i)) = q.pop() {
+            prop_assert_eq!(i, expect);
+            expect += 1;
+        }
+        prop_assert_eq!(expect, n);
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn queue_cancellation_is_exact(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule_at(SimTime::from_nanos(t), i)))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in &ids {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                q.cancel(*id);
+            } else {
+                kept.push(*i);
+            }
+        }
+        let mut delivered: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            delivered.push(i);
+        }
+        delivered.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(delivered, kept);
+    }
+
+    /// len() always equals the number of events that will still be delivered.
+    #[test]
+    fn queue_len_matches_deliveries(
+        ops in prop::collection::vec((0u64..1000, any::<bool>()), 1..100)
+    ) {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for (delay, do_cancel) in &ops {
+            let id = q.schedule_after(SimDuration::from_nanos(*delay + 1), ());
+            ids.push(id);
+            if *do_cancel {
+                // Cancel a pseudo-arbitrary earlier event.
+                let victim = ids[ids.len() / 2];
+                q.cancel(victim);
+            }
+        }
+        let expected = q.len();
+        let mut actual = 0;
+        while q.pop().is_some() {
+            actual += 1;
+        }
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Welford accumulator agrees with the two-pass computation.
+    #[test]
+    fn accumulator_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.add(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((acc.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((acc.population_variance() - var).abs() <= 1e-4 * (1.0 + var));
+    }
+
+    /// Merging accumulators over any split equals accumulating the whole.
+    #[test]
+    fn accumulator_merge_any_split(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut whole = Accumulator::new();
+        for &x in &xs { whole.add(x); }
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        for &x in &xs[..split] { a.add(x); }
+        for &x in &xs[split..] { b.add(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-8);
+        prop_assert!((a.population_variance() - whole.population_variance()).abs() < 1e-6);
+    }
+
+    /// Quantiles are members of the sample and are monotone in q.
+    #[test]
+    fn quantiles_monotone_and_members(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut p = Percentiles::new();
+        for &x in &xs { p.add(x); }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let mut last = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = p.quantile(q).unwrap();
+            prop_assert!(xs.contains(&v), "quantile must be an observed sample");
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// Zipf samples are always in range and the rank-frequency curve is
+    /// non-increasing (statistically) from rank 0 to the midpoint.
+    #[test]
+    fn zipf_in_range(n in 1usize..500, theta in 0.0f64..1.5, seed in any::<u64>()) {
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Replays from the same seed are identical across all distributions.
+    #[test]
+    fn rng_replay_identical(seed in any::<u64>()) {
+        let draw = |seed: u64| {
+            let mut r = SimRng::new(seed);
+            (
+                r.gen_range(0..1_000_000),
+                r.exponential(2.0),
+                r.pareto(1.0, 1.2),
+                r.normal(0.0, 1.0),
+                r.log_uniform(1.0, 100.0),
+                r.fork().gen_range(0..1_000_000),
+            )
+        };
+        prop_assert_eq!(draw(seed), draw(seed));
+    }
+
+    /// Time arithmetic round-trips: (t + d) - t == d and (t + d) - d == t.
+    #[test]
+    fn time_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(t);
+        let d = SimDuration::from_nanos(d);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+    }
+}

@@ -1,0 +1,430 @@
+//! Synthetic parallel-job log, standing in for the paper's month of traces
+//! from a 32-node CM-5 partition at Los Alamos National Laboratory (the
+//! parallel side of Figure 3).
+//!
+//! The original trace is described as "a mix of production and development
+//! runs on a 32-node system". The generator reproduces that structure:
+//!
+//! * **Development jobs** — frequent, short (seconds to minutes), small
+//!   node counts; submitted during working hours.
+//! * **Production jobs** — rarer, long (minutes to hours), using most or
+//!   all of the partition.
+//!
+//! Job node counts are powers of two up to the partition size, as CM-5
+//! partitions required. The offered load (utilisation of the dedicated MPP)
+//! is a configuration knob; Figure 3's shape depends on it.
+
+use now_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One parallel job in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelJob {
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Number of nodes the job needs (a power of two ≤ the partition size).
+    pub nodes: u32,
+    /// Service time on dedicated, coscheduled nodes.
+    pub service: SimDuration,
+    /// True for production runs, false for development runs.
+    pub production: bool,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobTraceConfig {
+    /// Partition size (paper: 32 nodes).
+    pub partition_nodes: u32,
+    /// Trace horizon.
+    pub duration: SimDuration,
+    /// Target utilisation of the dedicated partition in `[0, 1)`; arrival
+    /// rate is derived from it.
+    pub offered_load: f64,
+    /// Fraction of jobs that are production runs.
+    pub production_fraction: f64,
+    /// Submission window start within each day — supercomputer users work
+    /// during the daytime too, which is exactly why Figure 3 matters.
+    pub submit_start: SimDuration,
+    /// Submission window end within each day.
+    pub submit_end: SimDuration,
+}
+
+impl JobTraceConfig {
+    /// Figure 3 defaults: a 32-node partition at 50 percent utilisation
+    /// over one day, submissions between 8:00 and 18:00.
+    pub fn paper_defaults() -> Self {
+        JobTraceConfig {
+            partition_nodes: 32,
+            duration: SimDuration::from_secs(24 * 3600),
+            offered_load: 0.5,
+            production_fraction: 0.25,
+            submit_start: SimDuration::from_secs(8 * 3600),
+            submit_end: SimDuration::from_secs(18 * 3600),
+        }
+    }
+}
+
+/// A generated job log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobTrace {
+    /// Jobs in arrival order.
+    pub jobs: Vec<ParallelJob>,
+    /// The configuration that produced the log.
+    pub config: JobTraceConfig,
+}
+
+impl JobTrace {
+    /// Generates a job log. Deterministic in `(config, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition is empty or the offered load is not in
+    /// `(0, 1)`.
+    pub fn generate(config: &JobTraceConfig, seed: u64) -> JobTrace {
+        assert!(config.partition_nodes > 0, "partition must have nodes");
+        assert!(
+            config.offered_load > 0.0 && config.offered_load < 1.0,
+            "offered load must be in (0,1), got {}",
+            config.offered_load
+        );
+        let mut rng = SimRng::new(seed);
+
+        // Mean node-seconds per job, used to derive the arrival rate that
+        // hits the target utilisation. Service times are log-uniform, whose
+        // arithmetic mean is (hi-lo)/ln(hi/lo); node counts are uniform over
+        // powers of two, whose mean is the average of the choices.
+        let log_uniform_mean = |lo: f64, hi: f64| (hi - lo) / (hi / lo).ln();
+        let pow2_mean = |lo: u32, hi: u32| {
+            let mut sum = 0.0;
+            let mut n = 0.0;
+            let mut v = lo.next_power_of_two();
+            while v <= hi {
+                sum += v as f64;
+                n += 1.0;
+                v *= 2;
+            }
+            sum / n
+        };
+        let dev_mean_ns = log_uniform_mean(10.0, 1_200.0)
+            * pow2_mean(1, 8.min(config.partition_nodes));
+        let prod_mean_ns = log_uniform_mean(600.0, 4.0 * 3_600.0)
+            * pow2_mean(8, config.partition_nodes);
+        let mean_node_secs = (1.0 - config.production_fraction) * dev_mean_ns
+            + config.production_fraction * prod_mean_ns;
+        assert!(
+            config.submit_start < config.submit_end
+                && config.submit_end <= config.duration,
+            "submission window must fit in the day"
+        );
+        let capacity_node_secs =
+            config.partition_nodes as f64 * config.duration.as_secs_f64();
+        let jobs_target = capacity_node_secs * config.offered_load / mean_node_secs;
+        let window = (config.submit_end - config.submit_start).as_secs_f64();
+        let mean_interarrival = window / jobs_target;
+
+        let mut jobs = Vec::new();
+        let mut t = SimTime::ZERO
+            + config.submit_start
+            + SimDuration::from_secs_f64(rng.exponential(mean_interarrival));
+        let horizon = SimTime::ZERO + config.submit_end;
+        while t < horizon {
+            let production = rng.chance(config.production_fraction);
+            let (nodes, service_s) = if production {
+                let nodes = pow2_between(&mut rng, 8, config.partition_nodes);
+                (nodes, rng.log_uniform(600.0, 4.0 * 3600.0))
+            } else {
+                let nodes = pow2_between(&mut rng, 1, 8.min(config.partition_nodes));
+                (nodes, rng.log_uniform(10.0, 1_200.0))
+            };
+            jobs.push(ParallelJob {
+                arrival: t,
+                nodes,
+                service: SimDuration::from_secs_f64(service_s),
+                production,
+            });
+            t += SimDuration::from_secs_f64(rng.exponential(mean_interarrival));
+        }
+        JobTrace {
+            jobs,
+            config: config.clone(),
+        }
+    }
+
+    /// Total node-seconds of work in the log.
+    pub fn total_node_seconds(&self) -> f64 {
+        self.jobs
+            .iter()
+            .map(|j| j.nodes as f64 * j.service.as_secs_f64())
+            .sum()
+    }
+
+    /// Realised offered load relative to the dedicated partition.
+    pub fn realised_load(&self) -> f64 {
+        self.total_node_seconds()
+            / (self.config.partition_nodes as f64 * self.config.duration.as_secs_f64())
+    }
+
+    /// Serialises to a line format: a header, then one job per line
+    /// (`arrival_ns nodes service_ns P|D`).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let c = &self.config;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "jobtrace v1 partition={} duration={} load={} prod={} submit={}..{}",
+            c.partition_nodes,
+            c.duration.as_nanos(),
+            c.offered_load,
+            c.production_fraction,
+            c.submit_start.as_nanos(),
+            c.submit_end.as_nanos(),
+        );
+        for j in &self.jobs {
+            let _ = writeln!(
+                out,
+                "{} {} {} {}",
+                j.arrival.as_nanos(),
+                j.nodes,
+                j.service.as_nanos(),
+                if j.production { 'P' } else { 'D' }
+            );
+        }
+        out
+    }
+
+    /// Parses the format produced by [`JobTrace::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::fs::ParseTraceError`] describing the first
+    /// malformed line.
+    pub fn from_text(text: &str) -> Result<JobTrace, crate::fs::ParseTraceError> {
+        use crate::fs::ParseTraceError;
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| ParseTraceError::new(0, "empty input"))?;
+        if !header.starts_with("jobtrace v1") {
+            return Err(ParseTraceError::new(1, "missing `jobtrace v1` header"));
+        }
+        let field = |name: &str| -> Option<&str> {
+            header
+                .split(&format!("{name}="))
+                .nth(1)
+                .and_then(|s| s.split_whitespace().next())
+        };
+        let partition: u32 = field("partition")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ParseTraceError::new(1, "bad partition"))?;
+        let duration: u64 = field("duration")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ParseTraceError::new(1, "bad duration"))?;
+        let load: f64 = field("load")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ParseTraceError::new(1, "bad load"))?;
+        let prod: f64 = field("prod")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ParseTraceError::new(1, "bad prod"))?;
+        let submit = field("submit").ok_or_else(|| ParseTraceError::new(1, "bad submit"))?;
+        let (ss, se) = submit
+            .split_once("..")
+            .ok_or_else(|| ParseTraceError::new(1, "bad submit range"))?;
+        let submit_start = SimDuration::from_nanos(
+            ss.parse().map_err(|_| ParseTraceError::new(1, "bad submit start"))?,
+        );
+        let submit_end = SimDuration::from_nanos(
+            se.parse().map_err(|_| ParseTraceError::new(1, "bad submit end"))?,
+        );
+        let mut jobs = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let lineno = i + 2;
+            let mut parts = line.split_whitespace();
+            let mut next = |what: &'static str| {
+                parts.next().ok_or(ParseTraceError::new(lineno, what))
+            };
+            let arrival: u64 = next("missing arrival")?
+                .parse()
+                .map_err(|_| ParseTraceError::new(lineno, "bad arrival"))?;
+            let nodes: u32 = next("missing nodes")?
+                .parse()
+                .map_err(|_| ParseTraceError::new(lineno, "bad nodes"))?;
+            let service: u64 = next("missing service")?
+                .parse()
+                .map_err(|_| ParseTraceError::new(lineno, "bad service"))?;
+            let production = match next("missing class")? {
+                "P" => true,
+                "D" => false,
+                _ => return Err(ParseTraceError::new(lineno, "class must be P or D")),
+            };
+            jobs.push(ParallelJob {
+                arrival: SimTime::from_nanos(arrival),
+                nodes,
+                service: SimDuration::from_nanos(service),
+                production,
+            });
+        }
+        Ok(JobTrace {
+            jobs,
+            config: JobTraceConfig {
+                partition_nodes: partition,
+                duration: SimDuration::from_nanos(duration),
+                offered_load: load,
+                production_fraction: prod,
+                submit_start,
+                submit_end,
+            },
+        })
+    }
+
+    /// The makespan lower bound on a dedicated partition: arrival of first
+    /// job to completion of the last if all ran back-to-back perfectly.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+/// Samples a power of two in `[lo, hi]` (inclusive), uniform over the
+/// exponents.
+fn pow2_between(rng: &mut SimRng, lo: u32, hi: u32) -> u32 {
+    debug_assert!(lo >= 1 && lo <= hi);
+    let lo_exp = lo.next_power_of_two().trailing_zeros();
+    let hi_exp = if hi.is_power_of_two() {
+        hi.trailing_zeros()
+    } else {
+        hi.next_power_of_two().trailing_zeros() - 1
+    };
+    let exp = rng.gen_range(u64::from(lo_exp)..u64::from(hi_exp) + 1) as u32;
+    1 << exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> JobTrace {
+        JobTrace::generate(&JobTraceConfig::paper_defaults(), 3)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = JobTrace::generate(&JobTraceConfig::paper_defaults(), 8);
+        let b = JobTrace::generate(&JobTraceConfig::paper_defaults(), 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn node_counts_are_powers_of_two_within_partition() {
+        let t = trace();
+        assert!(!t.is_empty());
+        for j in &t.jobs {
+            assert!(j.nodes.is_power_of_two(), "{} not a power of two", j.nodes);
+            assert!(j.nodes <= t.config.partition_nodes);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_ordered_within_horizon() {
+        let t = trace();
+        let horizon = SimTime::ZERO + t.config.duration;
+        assert!(t.jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(t.jobs.iter().all(|j| j.arrival < horizon));
+    }
+
+    #[test]
+    fn realised_load_near_target() {
+        // Average over several seeds: the realised load should straddle the
+        // 0.5 target (individual days are noisy — production jobs are big).
+        let loads: Vec<f64> = (0..8)
+            .map(|s| JobTrace::generate(&JobTraceConfig::paper_defaults(), s).realised_load())
+            .collect();
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        assert!(
+            (0.25..=0.9).contains(&mean),
+            "mean realised load {mean} too far from 0.5 target"
+        );
+    }
+
+    #[test]
+    fn production_jobs_are_bigger_and_longer() {
+        // Aggregate across seeds so both classes are well-populated.
+        let mut prod_ns = 0.0;
+        let mut dev_ns = 0.0;
+        let mut prod_n = 0u32;
+        let mut dev_n = 0u32;
+        for seed in 0..4 {
+            let t = JobTrace::generate(&JobTraceConfig::paper_defaults(), seed);
+            for j in &t.jobs {
+                let ns = j.nodes as f64 * j.service.as_secs_f64();
+                if j.production {
+                    prod_ns += ns;
+                    prod_n += 1;
+                } else {
+                    dev_ns += ns;
+                    dev_n += 1;
+                }
+            }
+        }
+        assert!(prod_n > 0 && dev_n > 0);
+        assert!(
+            prod_ns / prod_n as f64 > 10.0 * (dev_ns / dev_n as f64),
+            "production node-seconds should dwarf development"
+        );
+    }
+
+    #[test]
+    fn development_jobs_are_the_majority() {
+        let t = trace();
+        let dev = t.jobs.iter().filter(|j| !j.production).count();
+        assert!(dev * 2 > t.len(), "dev {} of {}", dev, t.len());
+    }
+
+    #[test]
+    fn pow2_between_bounds() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..200 {
+            let v = pow2_between(&mut rng, 8, 32);
+            assert!(v.is_power_of_two());
+            assert!((8..=32).contains(&v));
+        }
+        for _ in 0..200 {
+            let v = pow2_between(&mut rng, 1, 8);
+            assert!((1..=8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let t = trace();
+        let back = JobTrace::from_text(&t.to_text()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(JobTrace::from_text("").is_err());
+        let mut text = trace().to_text();
+        text.push_str("1 2 3 X\n");
+        assert!(JobTrace::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn load_knob_scales_job_volume() {
+        let mut low_cfg = JobTraceConfig::paper_defaults();
+        low_cfg.offered_load = 0.1;
+        let mut high_cfg = JobTraceConfig::paper_defaults();
+        high_cfg.offered_load = 0.8;
+        let low: f64 = (0..4)
+            .map(|s| JobTrace::generate(&low_cfg, s).total_node_seconds())
+            .sum();
+        let high: f64 = (0..4)
+            .map(|s| JobTrace::generate(&high_cfg, s).total_node_seconds())
+            .sum();
+        assert!(high > low * 2.0, "load knob ineffective: {low} vs {high}");
+    }
+}

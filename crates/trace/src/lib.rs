@@ -1,0 +1,31 @@
+//! # now-trace — synthetic workloads standing in for the paper's traces
+//!
+//! Every simulation in *A Case for NOW* is driven by a trace the authors
+//! collected and never released:
+//!
+//! | Paper trace | Module here |
+//! |---|---|
+//! | Two-day file-system trace of 42 Berkeley workstations (Table 3) | [`fs`] |
+//! | 3,000 workstation-days of DECstation usage logs (Figure 3) | [`usage`] |
+//! | One month of LANL CM-5 parallel-job logs (Figure 3) | [`lanl`] |
+//! | One week of departmental NFS traffic, 230 clients (in-text) | [`nfs`] |
+//!
+//! Each module provides a deterministic, seeded generator whose *summary
+//! statistics* match what the paper reports about the original trace (file
+//! sharing and skew; ">60 percent of workstations available 100 percent of
+//! the time" during the day; a 32-node production/development job mix; "95
+//! percent of NFS messages under 200 bytes"). The claims the paper derives
+//! from its traces are functions of exactly those statistics, so matching
+//! them preserves each experiment's shape.
+//!
+//! Traces are ordinary `Vec`s of plain records; [`fs::FsTrace`],
+//! [`usage::UsageTrace`], and [`lanl::JobTrace`] also round-trip through a
+//! line-oriented text format for inspection and reuse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fs;
+pub mod lanl;
+pub mod nfs;
+pub mod usage;

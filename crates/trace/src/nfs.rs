@@ -1,0 +1,244 @@
+//! Synthetic NFS message trace, standing in for the paper's one-week trace
+//! of 230 departmental NFS clients.
+//!
+//! The paper's finding: although file data moves in large blocks, **95
+//! percent of NFS messages are under 200 bytes**, because metadata queries
+//! (`getattr`, `lookup`) dominate the message count — and those queries
+//! gate the data transfers behind them, coupling NFS performance to
+//! round-trip time rather than bandwidth.
+
+use now_sim::{SimRng, ZipfSampler};
+use serde::{Deserialize, Serialize};
+
+/// NFS operation categories with their typical wire sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NfsOp {
+    /// Attribute query (~100-byte request and reply).
+    GetAttr,
+    /// Name lookup (~130 bytes).
+    Lookup,
+    /// Directory read fragment (~180 bytes).
+    ReadDir,
+    /// Small write or create (~190 bytes).
+    SmallWrite,
+    /// 8-KB data block read.
+    ReadBlock,
+    /// 8-KB data block write.
+    WriteBlock,
+}
+
+impl NfsOp {
+    /// Message size on the wire, bytes.
+    pub fn wire_bytes(self) -> u64 {
+        match self {
+            NfsOp::GetAttr => 96,
+            NfsOp::Lookup => 128,
+            NfsOp::ReadDir => 180,
+            NfsOp::SmallWrite => 190,
+            NfsOp::ReadBlock => 8_192,
+            NfsOp::WriteBlock => 8_192,
+        }
+    }
+
+    /// True if this is a metadata operation (small message).
+    pub fn is_metadata(self) -> bool {
+        self.wire_bytes() < 200
+    }
+}
+
+/// One NFS message in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NfsMessage {
+    /// Issuing client.
+    pub client: u32,
+    /// Operation.
+    pub op: NfsOp,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NfsTraceConfig {
+    /// Number of clients (paper: 230).
+    pub clients: u32,
+    /// Total messages to generate.
+    pub messages: u64,
+    /// Probability weights for each op class, in the order
+    /// `[GetAttr, Lookup, ReadDir, SmallWrite, ReadBlock, WriteBlock]`.
+    pub op_weights: [f64; 6],
+}
+
+impl NfsTraceConfig {
+    /// A mix calibrated to the paper: 95 percent of messages below 200
+    /// bytes.
+    pub fn paper_defaults() -> Self {
+        NfsTraceConfig {
+            clients: 230,
+            messages: 100_000,
+            op_weights: [0.40, 0.35, 0.12, 0.08, 0.04, 0.01],
+        }
+    }
+}
+
+/// A generated NFS message trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NfsTrace {
+    /// The messages, in generation order.
+    pub messages: Vec<NfsMessage>,
+}
+
+impl NfsTrace {
+    /// Generates a trace. Deterministic in `(config, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights do not sum to a positive value or there are no
+    /// clients.
+    pub fn generate(config: &NfsTraceConfig, seed: u64) -> NfsTrace {
+        assert!(config.clients > 0, "need clients");
+        let total_w: f64 = config.op_weights.iter().sum();
+        assert!(total_w > 0.0, "op weights must sum to a positive value");
+        let ops = [
+            NfsOp::GetAttr,
+            NfsOp::Lookup,
+            NfsOp::ReadDir,
+            NfsOp::SmallWrite,
+            NfsOp::ReadBlock,
+            NfsOp::WriteBlock,
+        ];
+        let mut rng = SimRng::new(seed);
+        // Clients are not equally chatty: Zipf over clients.
+        let client_zipf = ZipfSampler::new(config.clients as usize, 0.6);
+        let mut messages = Vec::with_capacity(config.messages as usize);
+        for _ in 0..config.messages {
+            let mut u = rng.f64() * total_w;
+            let mut op = ops[ops.len() - 1];
+            for (i, &w) in config.op_weights.iter().enumerate() {
+                if u < w {
+                    op = ops[i];
+                    break;
+                }
+                u -= w;
+            }
+            messages.push(NfsMessage {
+                client: client_zipf.sample(&mut rng) as u32,
+                op,
+            });
+        }
+        NfsTrace { messages }
+    }
+
+    /// Fraction of messages under 200 bytes.
+    pub fn small_message_fraction(&self) -> f64 {
+        if self.messages.is_empty() {
+            return 0.0;
+        }
+        let small = self.messages.iter().filter(|m| m.op.is_metadata()).count();
+        small as f64 / self.messages.len() as f64
+    }
+
+    /// Collapses the trace to `(size, count)` pairs, the input format of
+    /// [`now_models::nfs`](https://docs.rs/now-models)'s improvement model.
+    pub fn size_mix(&self) -> Vec<(u64, u64)> {
+        use std::collections::BTreeMap;
+        let mut mix: BTreeMap<u64, u64> = BTreeMap::new();
+        for m in &self.messages {
+            *mix.entry(m.op.wire_bytes()).or_default() += 1;
+        }
+        mix.into_iter().collect()
+    }
+
+    /// Total bytes across all messages.
+    pub fn total_bytes(&self) -> u64 {
+        self.messages.iter().map(|m| m.op.wire_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> NfsTrace {
+        NfsTrace::generate(&NfsTraceConfig::paper_defaults(), 21)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = NfsTrace::generate(&NfsTraceConfig::paper_defaults(), 4);
+        let b = NfsTrace::generate(&NfsTraceConfig::paper_defaults(), 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ninety_five_percent_of_messages_are_small() {
+        let t = trace();
+        let f = t.small_message_fraction();
+        assert!(
+            (0.93..=0.97).contains(&f),
+            "small-message fraction {f}, paper says 95 percent"
+        );
+    }
+
+    #[test]
+    fn data_blocks_carry_most_of_the_bytes() {
+        // The flip side: 5 percent of the messages carry the vast majority
+        // of the bytes — which is why bandwidth alone looks (misleadingly)
+        // like the thing to fix.
+        let t = trace();
+        let block_bytes: u64 = t
+            .messages
+            .iter()
+            .filter(|m| !m.op.is_metadata())
+            .map(|m| m.op.wire_bytes())
+            .sum();
+        assert!(block_bytes as f64 / t.total_bytes() as f64 > 0.6);
+    }
+
+    #[test]
+    fn size_mix_accounts_for_every_message() {
+        let t = trace();
+        let mix = t.size_mix();
+        let total: u64 = mix.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total as usize, t.messages.len());
+        // Sizes are the distinct wire sizes.
+        assert!(mix.iter().all(|&(s, _)| s == 96 || s == 128 || s == 180 || s == 190 || s == 8_192));
+    }
+
+    #[test]
+    fn clients_within_range_and_skewed() {
+        let t = trace();
+        assert!(t.messages.iter().all(|m| m.client < 230));
+        let mut counts = vec![0u32; 230];
+        for m in &t.messages {
+            counts[m.client as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let mean = t.messages.len() as f64 / 230.0;
+        assert!(max as f64 > mean * 3.0, "client skew expected");
+    }
+
+    #[test]
+    fn all_op_classes_appear() {
+        let t = trace();
+        for op in [
+            NfsOp::GetAttr,
+            NfsOp::Lookup,
+            NfsOp::ReadDir,
+            NfsOp::SmallWrite,
+            NfsOp::ReadBlock,
+            NfsOp::WriteBlock,
+        ] {
+            assert!(
+                t.messages.iter().any(|m| m.op == op),
+                "{op:?} missing from trace"
+            );
+        }
+    }
+
+    #[test]
+    fn metadata_classification_matches_sizes() {
+        assert!(NfsOp::GetAttr.is_metadata());
+        assert!(NfsOp::Lookup.is_metadata());
+        assert!(!NfsOp::ReadBlock.is_metadata());
+        assert!(!NfsOp::WriteBlock.is_metadata());
+    }
+}

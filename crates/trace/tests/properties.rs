@@ -1,0 +1,79 @@
+//! Property tests for the trace generators and their text formats.
+
+use now_sim::SimDuration;
+use now_trace::fs::{FsTrace, FsTraceConfig};
+use now_trace::lanl::{JobTrace, JobTraceConfig};
+use now_trace::usage::{UsageTrace, UsageTraceConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// File-system traces round-trip through text for any seed and scale.
+    #[test]
+    fn fs_text_roundtrip(seed in any::<u64>(), clients in 1u32..8, secs in 100u64..2_000) {
+        let cfg = FsTraceConfig {
+            clients,
+            duration: SimDuration::from_secs(secs),
+            ..FsTraceConfig::small()
+        };
+        let t = FsTrace::generate(&cfg, seed);
+        let back = FsTrace::from_text(&t.to_text()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// Usage traces round-trip through text and keep availability stats.
+    #[test]
+    fn usage_text_roundtrip(seed in any::<u64>(), machines in 2u32..40) {
+        let mut cfg = UsageTraceConfig::paper_defaults();
+        cfg.machines = machines;
+        let t = UsageTrace::generate(&cfg, seed);
+        let back = UsageTrace::from_text(&t.to_text()).unwrap();
+        prop_assert_eq!(&t, &back);
+        prop_assert_eq!(t.fully_idle_fraction(), back.fully_idle_fraction());
+    }
+
+    /// Job traces round-trip through text.
+    #[test]
+    fn job_text_roundtrip(seed in any::<u64>(), load in 1u32..8) {
+        let mut cfg = JobTraceConfig::paper_defaults();
+        cfg.offered_load = f64::from(load) / 10.0;
+        let t = JobTrace::generate(&cfg, seed);
+        let back = JobTrace::from_text(&t.to_text()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// Generated usage traces always respect the working-day envelope and
+    /// interval ordering.
+    #[test]
+    fn usage_invariants(seed in any::<u64>(), machines in 1u32..32, idle in 0u32..10) {
+        let mut cfg = UsageTraceConfig::paper_defaults();
+        cfg.machines = machines;
+        cfg.fully_idle_fraction = f64::from(idle) / 10.0;
+        let t = UsageTrace::generate(&cfg, seed);
+        for m in &t.machines {
+            for w in m.periods.windows(2) {
+                prop_assert!(w[0].end <= w[1].start);
+            }
+            for p in &m.periods {
+                prop_assert!(p.start < p.end);
+            }
+        }
+    }
+
+    /// Job traces always respect partition bounds and the submission
+    /// window, at any load.
+    #[test]
+    fn job_invariants(seed in any::<u64>(), load in 1u32..9) {
+        let mut cfg = JobTraceConfig::paper_defaults();
+        cfg.offered_load = f64::from(load) / 10.0;
+        let t = JobTrace::generate(&cfg, seed);
+        for j in &t.jobs {
+            prop_assert!(j.nodes.is_power_of_two());
+            prop_assert!(j.nodes <= cfg.partition_nodes);
+            prop_assert!(j.arrival >= now_sim::SimTime::ZERO + cfg.submit_start);
+            prop_assert!(j.arrival < now_sim::SimTime::ZERO + cfg.submit_end);
+            prop_assert!(!j.service.is_zero());
+        }
+    }
+}

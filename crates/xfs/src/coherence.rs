@@ -1,0 +1,268 @@
+//! The write-back ownership protocol: shared-memory-multiprocessor cache
+//! coherence applied to file blocks.
+//!
+//! Each block has (at most) one *manager*, which tracks either a single
+//! **owner** holding a dirty, writable copy, or a **copyset** of clients
+//! holding read-shared copies. The state machine per block:
+//!
+//! ```text
+//!               read by c            write by c
+//!  Unowned ───────────────► Shared ─────────────► Owned(c)
+//!    ▲   read: add to copyset  │  write: invalidate copyset
+//!    │                         ▼
+//!    └──── owner writes back / is downgraded by a reader
+//! ```
+//!
+//! This module is the pure protocol: it decides what must happen (who
+//! supplies data, who gets invalidated) without touching caches or
+//! storage, so it can be tested exhaustively on its own and reused by the
+//! full file system in [`crate::Xfs`].
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+/// A client node index within the file system.
+pub type ClientId = u32;
+
+/// The manager's record for one block.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BlockEntry {
+    /// The client holding a dirty, exclusive copy (if any).
+    pub owner: Option<ClientId>,
+    /// Clients holding clean, read-shared copies.
+    pub copyset: HashSet<ClientId>,
+}
+
+/// What a reader must do, as decided by the manager.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadPlan {
+    /// Fetch from the current owner, who writes the block back and
+    /// downgrades to a shared copy.
+    FromOwner {
+        /// The (now former) owner supplying the data.
+        owner: ClientId,
+    },
+    /// Fetch from any client in the copyset (cooperative caching).
+    FromPeer {
+        /// The chosen supplier.
+        peer: ClientId,
+    },
+    /// Nobody caches it: fetch from storage.
+    FromStorage,
+}
+
+/// What a writer must do, as decided by the manager.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WritePlan {
+    /// Where the current data comes from (`None` if the writer already has
+    /// a valid copy or the block is new).
+    pub fetch: Option<ReadPlan>,
+    /// Clients whose copies must be invalidated.
+    pub invalidate: Vec<ClientId>,
+}
+
+impl BlockEntry {
+    /// True if no client caches the block.
+    pub fn is_unowned(&self) -> bool {
+        self.owner.is_none() && self.copyset.is_empty()
+    }
+
+    /// Plans a read by `reader` and applies the state transition.
+    ///
+    /// After this call the block is in the shared state with `reader` (and
+    /// the former owner, if any) in the copyset.
+    pub fn read(&mut self, reader: ClientId) -> ReadPlan {
+        if self.copyset.contains(&reader) || self.owner == Some(reader) {
+            // Already valid at the reader; no transition.
+            return if self.owner == Some(reader) {
+                ReadPlan::FromOwner { owner: reader }
+            } else {
+                ReadPlan::FromPeer { peer: reader }
+            };
+        }
+        let plan = if let Some(owner) = self.owner.take() {
+            // Downgrade: owner writes back and becomes a sharer.
+            self.copyset.insert(owner);
+            ReadPlan::FromOwner { owner }
+        } else if let Some(&peer) = self.copyset.iter().min() {
+            ReadPlan::FromPeer { peer }
+        } else {
+            ReadPlan::FromStorage
+        };
+        self.copyset.insert(reader);
+        plan
+    }
+
+    /// Plans a write by `writer` and applies the state transition: all
+    /// other copies are invalidated and `writer` becomes the owner.
+    pub fn write(&mut self, writer: ClientId) -> WritePlan {
+        let had_valid_copy =
+            self.owner == Some(writer) || self.copyset.contains(&writer);
+        let fetch = if had_valid_copy {
+            None
+        } else if let Some(owner) = self.owner {
+            Some(ReadPlan::FromOwner { owner })
+        } else if let Some(&peer) = self.copyset.iter().min() {
+            Some(ReadPlan::FromPeer { peer })
+        } else {
+            None // brand-new block: writer creates it
+        };
+        let mut invalidate: Vec<ClientId> = self
+            .copyset
+            .iter()
+            .copied()
+            .filter(|&c| c != writer)
+            .collect();
+        if let Some(owner) = self.owner {
+            if owner != writer {
+                invalidate.push(owner);
+            }
+        }
+        invalidate.sort_unstable();
+        self.owner = Some(writer);
+        self.copyset.clear();
+        WritePlan { fetch, invalidate }
+    }
+
+    /// The owner wrote the block back to storage (e.g. cache eviction or
+    /// sync): it keeps a clean shared copy.
+    pub fn writeback(&mut self, client: ClientId) {
+        if self.owner == Some(client) {
+            self.owner = None;
+            self.copyset.insert(client);
+        }
+    }
+
+    /// A client dropped its copy (eviction) or died: remove it from the
+    /// protocol state. Returns `true` if the client held the dirty owned
+    /// copy (whose data is lost unless it was written back first).
+    pub fn depart(&mut self, client: ClientId) -> bool {
+        self.copyset.remove(&client);
+        if self.owner == Some(client) {
+            self.owner = None;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_comes_from_storage() {
+        let mut e = BlockEntry::default();
+        assert_eq!(e.read(3), ReadPlan::FromStorage);
+        assert!(e.copyset.contains(&3));
+        assert_eq!(e.owner, None);
+    }
+
+    #[test]
+    fn second_reader_fetches_from_peer() {
+        let mut e = BlockEntry::default();
+        e.read(1);
+        assert_eq!(e.read(2), ReadPlan::FromPeer { peer: 1 });
+        assert_eq!(e.copyset.len(), 2);
+    }
+
+    #[test]
+    fn read_of_owned_block_downgrades_the_owner() {
+        let mut e = BlockEntry::default();
+        e.write(5);
+        assert_eq!(e.owner, Some(5));
+        let plan = e.read(2);
+        assert_eq!(plan, ReadPlan::FromOwner { owner: 5 });
+        assert_eq!(e.owner, None, "owner downgraded");
+        assert!(e.copyset.contains(&5) && e.copyset.contains(&2));
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut e = BlockEntry::default();
+        e.read(1);
+        e.read(2);
+        e.read(3);
+        let plan = e.write(2);
+        assert_eq!(plan.invalidate, vec![1, 3]);
+        assert_eq!(plan.fetch, None, "writer already had a valid copy");
+        assert_eq!(e.owner, Some(2));
+        assert!(e.copyset.is_empty());
+    }
+
+    #[test]
+    fn write_steals_ownership() {
+        let mut e = BlockEntry::default();
+        e.write(1);
+        let plan = e.write(2);
+        assert_eq!(plan.fetch, Some(ReadPlan::FromOwner { owner: 1 }));
+        assert_eq!(plan.invalidate, vec![1]);
+        assert_eq!(e.owner, Some(2));
+    }
+
+    #[test]
+    fn write_to_new_block_fetches_nothing() {
+        let mut e = BlockEntry::default();
+        let plan = e.write(7);
+        assert_eq!(plan.fetch, None);
+        assert!(plan.invalidate.is_empty());
+        assert_eq!(e.owner, Some(7));
+    }
+
+    #[test]
+    fn rewrite_by_owner_is_silent() {
+        let mut e = BlockEntry::default();
+        e.write(4);
+        let plan = e.write(4);
+        assert_eq!(plan.fetch, None);
+        assert!(plan.invalidate.is_empty());
+        assert_eq!(e.owner, Some(4));
+    }
+
+    #[test]
+    fn writeback_keeps_a_clean_copy() {
+        let mut e = BlockEntry::default();
+        e.write(4);
+        e.writeback(4);
+        assert_eq!(e.owner, None);
+        assert!(e.copyset.contains(&4));
+        // A later read comes from the peer, not storage.
+        assert_eq!(e.read(9), ReadPlan::FromPeer { peer: 4 });
+    }
+
+    #[test]
+    fn writeback_by_non_owner_is_a_no_op() {
+        let mut e = BlockEntry::default();
+        e.write(4);
+        e.writeback(5);
+        assert_eq!(e.owner, Some(4));
+    }
+
+    #[test]
+    fn depart_reports_dirty_loss() {
+        let mut e = BlockEntry::default();
+        e.write(4);
+        assert!(e.depart(4), "owned dirty copy lost");
+        assert!(e.is_unowned());
+        e.read(1);
+        assert!(!e.depart(1), "clean copy loss is harmless");
+    }
+
+    #[test]
+    fn states_never_hold_owner_and_nonempty_copyset_after_write() {
+        let mut e = BlockEntry::default();
+        for op in 0..50u32 {
+            let client = op % 5;
+            if op % 3 == 0 {
+                e.write(client);
+                assert!(e.copyset.is_empty(), "exclusive after write");
+                assert_eq!(e.owner, Some(client));
+            } else {
+                e.read(client);
+                assert!(e.owner.is_none() || e.copyset.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,973 @@
+//! The xFS façade: files, clients, managers, and storage glued together.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use now_mem::{LruCache, Touch};
+use now_raid::{RaidConfig, RaidError, RaidLevel, SoftwareRaid, StripeLog};
+use now_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::coherence::{BlockEntry, ClientId, ReadPlan};
+
+/// Identifies a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+/// A (file, block-index) pair — the coherence and storage unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+struct BlockKey {
+    file: FileId,
+    block: u32,
+}
+
+impl BlockKey {
+    fn log_key(self) -> u64 {
+        (u64::from(self.file.0) << 32) | u64::from(self.block)
+    }
+}
+
+/// File-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct XfsConfig {
+    /// Participating client workstations (every one is also a potential
+    /// manager and storage node — there is no server).
+    pub clients: u32,
+    /// How many of the clients act as managers (metadata is spread over
+    /// them by hashing).
+    pub managers: u32,
+    /// Disks in each storage stripe group.
+    pub storage_disks: u32,
+    /// Number of independent stripe groups. Blocks are spread over groups
+    /// by hash; each group is its own RAID-5 array and log, so parity
+    /// groups stay small (bounding the double-failure window) while
+    /// aggregate bandwidth scales.
+    pub stripe_groups: u32,
+    /// Block size in bytes.
+    pub block_bytes: usize,
+    /// Blocks each client caches.
+    pub client_cache_blocks: usize,
+}
+
+impl XfsConfig {
+    /// A small configuration for tests and examples: 8 clients, 4
+    /// managers, 5 disks, 512-byte blocks, 64-block caches.
+    pub fn small() -> Self {
+        XfsConfig {
+            clients: 8,
+            managers: 4,
+            storage_disks: 5,
+            stripe_groups: 1,
+            block_bytes: 512,
+            client_cache_blocks: 64,
+        }
+    }
+}
+
+/// Errors from file-system operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XfsError {
+    /// No file with that name/id.
+    NoSuchFile,
+    /// A file with that name already exists.
+    AlreadyExists,
+    /// Wrong buffer size for a block write.
+    WrongBlockSize {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes supplied.
+        got: usize,
+    },
+    /// Client id out of range or departed.
+    BadClient,
+    /// The storage layer failed (propagated RAID error).
+    Storage(RaidError),
+    /// The block was written only to a failed client's cache and is gone.
+    DataLost,
+    /// A malformed path (must be absolute, with no empty/`.`/`..`
+    /// components).
+    BadPath,
+}
+
+impl std::fmt::Display for XfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XfsError::NoSuchFile => write!(f, "no such file"),
+            XfsError::AlreadyExists => write!(f, "file already exists"),
+            XfsError::WrongBlockSize { expected, got } => {
+                write!(f, "block must be {expected} bytes, got {got}")
+            }
+            XfsError::BadClient => write!(f, "client unknown or departed"),
+            XfsError::Storage(e) => write!(f, "storage: {e}"),
+            XfsError::DataLost => write!(f, "data lost with failed client"),
+            XfsError::BadPath => write!(f, "malformed path"),
+        }
+    }
+}
+
+impl std::error::Error for XfsError {}
+
+impl From<RaidError> for XfsError {
+    fn from(e: RaidError) -> Self {
+        XfsError::Storage(e)
+    }
+}
+
+/// Operation counters and accumulated time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct XfsStats {
+    /// Block reads served.
+    pub reads: u64,
+    /// Block writes served.
+    pub writes: u64,
+    /// Reads satisfied by the requesting client's own cache.
+    pub local_hits: u64,
+    /// Reads supplied by another client's cache (cooperative transfer).
+    pub peer_transfers: u64,
+    /// Reads that reached the storage log.
+    pub storage_reads: u64,
+    /// Invalidation messages sent by managers.
+    pub invalidations: u64,
+    /// Owner write-backs forced by downgrades or evictions.
+    pub writebacks: u64,
+    /// Total simulated service time.
+    pub time: SimDuration,
+}
+
+#[derive(Debug)]
+struct ClientState {
+    /// Resident blocks with their data; dirty flag tracked by the LRU.
+    cache: LruCache<BlockKey>,
+    data: HashMap<BlockKey, Bytes>,
+    alive: bool,
+}
+
+/// Per-operation network cost constants (Active Messages over switched
+/// ATM, per the paper's target numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct NetCosts {
+    /// Small control message (request, grant, invalidate).
+    control: SimDuration,
+    /// A block transfer between two clients' memories.
+    block: SimDuration,
+}
+
+impl NetCosts {
+    fn am_atm(block_bytes: usize) -> Self {
+        NetCosts {
+            control: SimDuration::from_micros(20),
+            block: SimDuration::from_micros(30)
+                + SimDuration::from_nanos(52 * block_bytes as u64), // 155 Mbps
+        }
+    }
+}
+
+/// The serverless file system.
+///
+/// See the crate documentation for the design; every public operation
+/// charges simulated time to [`XfsStats::time`] and keeps the coherence
+/// protocol, the client caches, and the storage log consistent.
+#[derive(Debug)]
+pub struct Xfs {
+    config: XfsConfig,
+    clients: Vec<ClientState>,
+    /// Manager state, indexed by manager slot; entries keyed by block.
+    managers: Vec<HashMap<BlockKey, BlockEntry>>,
+    /// Which manager slot serves each key (rehashed on manager failure).
+    manager_of: Vec<u32>,
+    /// One log-structured RAID per stripe group.
+    logs: Vec<StripeLog>,
+    directory: HashMap<String, FileId>,
+    files: HashMap<FileId, u32>, // blocks written (size in blocks)
+    /// Exact byte lengths recorded by the whole-file helpers.
+    byte_lens: HashMap<FileId, u64>,
+    /// Namespace entries: canonical path -> is_directory.
+    namespace: std::collections::BTreeMap<String, bool>,
+    next_file: u32,
+    costs: NetCosts,
+    stats: XfsStats,
+}
+
+impl Xfs {
+    /// Boots a file system.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (no clients/managers, managers
+    /// exceeding clients, too few disks for RAID-5).
+    pub fn new(config: XfsConfig) -> Self {
+        assert!(config.clients > 0, "xFS needs clients");
+        assert!(
+            config.managers > 0 && config.managers <= config.clients,
+            "managers must be 1..=clients"
+        );
+        assert!(config.stripe_groups >= 1, "need at least one stripe group");
+        let logs = (0..config.stripe_groups)
+            .map(|_| {
+                StripeLog::new(SoftwareRaid::new(RaidConfig {
+                    level: RaidLevel::Raid5,
+                    disks: config.storage_disks,
+                    block_bytes: config.block_bytes,
+                }))
+            })
+            .collect();
+        Xfs {
+            config,
+            clients: (0..config.clients)
+                .map(|_| ClientState {
+                    cache: LruCache::new(config.client_cache_blocks),
+                    data: HashMap::new(),
+                    alive: true,
+                })
+                .collect(),
+            managers: (0..config.managers).map(|_| HashMap::new()).collect(),
+            manager_of: (0..config.managers).collect(),
+            logs,
+            directory: HashMap::new(),
+            files: HashMap::new(),
+            byte_lens: HashMap::new(),
+            namespace: Default::default(),
+            next_file: 0,
+            costs: NetCosts::am_atm(config.block_bytes),
+            stats: XfsStats::default(),
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.config.block_bytes
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> XfsStats {
+        self.stats
+    }
+
+    /// Direct access to the first stripe group's log (to fail/reconstruct
+    /// disks in failure experiments).
+    pub fn storage_mut(&mut self) -> &mut StripeLog {
+        &mut self.logs[0]
+    }
+
+    /// Direct access to a specific stripe group's log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn storage_group_mut(&mut self, group: u32) -> &mut StripeLog {
+        &mut self.logs[group as usize]
+    }
+
+    /// Number of stripe groups.
+    pub fn stripe_groups(&self) -> u32 {
+        self.logs.len() as u32
+    }
+
+    /// The stripe group that stores a given log key.
+    fn group_of_key(&self, log_key: u64) -> usize {
+        (log_key.wrapping_mul(0xD1B5_4A32_D192_ED03) >> 33) as usize % self.logs.len()
+    }
+
+    fn manager_slot(&self, key: BlockKey) -> u32 {
+        // Simple deterministic hash spread over manager slots.
+        let h = key
+            .log_key()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17);
+        self.manager_of[(h % self.manager_of.len() as u64) as usize]
+    }
+
+    fn check_client(&self, client: ClientId) -> Result<(), XfsError> {
+        match self.clients.get(client as usize) {
+            Some(c) if c.alive => Ok(()),
+            _ => Err(XfsError::BadClient),
+        }
+    }
+
+    /// Creates a file. Returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`XfsError::AlreadyExists`] if the name is taken.
+    pub fn create(&mut self, name: &str) -> Result<FileId, XfsError> {
+        if self.directory.contains_key(name) {
+            return Err(XfsError::AlreadyExists);
+        }
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        self.directory.insert(name.to_string(), id);
+        self.files.insert(id, 0);
+        self.stats.time += self.costs.control; // directory-manager update
+        Ok(id)
+    }
+
+    /// Looks a file up by name.
+    pub fn lookup(&self, name: &str) -> Option<FileId> {
+        self.directory.get(name).copied()
+    }
+
+    /// The file's size in blocks (highest block written + 1).
+    pub fn size_blocks(&self, file: FileId) -> Option<u32> {
+        self.files.get(&file).copied()
+    }
+
+    /// Writes one block of `file` as `client`.
+    ///
+    /// # Errors
+    ///
+    /// See [`XfsError`]; in particular the buffer must be exactly
+    /// [`Xfs::block_bytes`] long.
+    pub fn write(
+        &mut self,
+        client: ClientId,
+        file: FileId,
+        block: u32,
+        data: &[u8],
+    ) -> Result<(), XfsError> {
+        self.check_client(client)?;
+        if data.len() != self.config.block_bytes {
+            return Err(XfsError::WrongBlockSize {
+                expected: self.config.block_bytes,
+                got: data.len(),
+            });
+        }
+        let size = self.files.get_mut(&file).ok_or(XfsError::NoSuchFile)?;
+        *size = (*size).max(block + 1);
+        let key = BlockKey { file, block };
+        self.stats.writes += 1;
+        self.stats.time += self.costs.control; // ownership request
+
+        let slot = self.manager_slot(key);
+        let plan = self.managers[slot as usize]
+            .entry(key)
+            .or_default()
+            .write(client);
+        // Invalidate other copies.
+        for victim in &plan.invalidate {
+            self.stats.invalidations += 1;
+            self.stats.time += self.costs.control;
+            let vc = &mut self.clients[*victim as usize];
+            vc.cache.remove(&key);
+            vc.data.remove(&key);
+        }
+        // (A full-block write needs no fetch of the old contents.)
+        let _ = plan.fetch;
+        self.install(client, key, Bytes::copy_from_slice(data), true)?;
+        Ok(())
+    }
+
+    /// Reads one block of `file` as `client`.
+    ///
+    /// # Errors
+    ///
+    /// [`XfsError::NoSuchFile`] for unknown files, [`XfsError::Storage`]
+    /// wrapping [`RaidError::NotWritten`] for holes.
+    pub fn read(&mut self, client: ClientId, file: FileId, block: u32) -> Result<Bytes, XfsError> {
+        self.check_client(client)?;
+        if !self.files.contains_key(&file) {
+            return Err(XfsError::NoSuchFile);
+        }
+        let key = BlockKey { file, block };
+        self.stats.reads += 1;
+
+        // Local cache first — no manager involved.
+        if self.clients[client as usize].cache.contains(&key) {
+            self.clients[client as usize].cache.touch(key, false);
+            self.stats.local_hits += 1;
+            let data = self.clients[client as usize].data[&key].clone();
+            return Ok(data);
+        }
+
+        self.stats.time += self.costs.control; // ask the manager
+        let slot = self.manager_slot(key);
+        let plan = self.managers[slot as usize].entry(key).or_default().read(client);
+        let data = match plan {
+            ReadPlan::FromOwner { owner } if owner != client => {
+                // Owner supplies the data and writes it back (downgrade).
+                let data = self.clients[owner as usize]
+                    .data
+                    .get(&key)
+                    .cloned()
+                    .ok_or(XfsError::DataLost)?;
+                self.stats.peer_transfers += 1;
+                self.stats.writebacks += 1;
+                self.stats.time += self.costs.block;
+                let g = self.group_of_key(key.log_key());
+                let t = self.logs[g].write(key.log_key(), &data)?;
+                self.stats.time += t;
+                // Owner's copy is now clean.
+                self.clients[owner as usize].cache.remove(&key);
+                self.clients[owner as usize].cache.touch(key, false);
+                data
+            }
+            ReadPlan::FromPeer { peer } if peer != client => {
+                let data = self.clients[peer as usize]
+                    .data
+                    .get(&key)
+                    .cloned()
+                    .ok_or(XfsError::DataLost)?;
+                self.stats.peer_transfers += 1;
+                self.stats.time += self.costs.block;
+                data
+            }
+            ReadPlan::FromStorage => {
+                self.stats.storage_reads += 1;
+                let g = self.group_of_key(key.log_key());
+                match self.logs[g].read(key.log_key()) {
+                    Ok((data, t)) => {
+                        self.stats.time += t + self.costs.block;
+                        data
+                    }
+                    Err(e) => {
+                        // Roll back the registration the plan made: the
+                        // reader never obtained a copy.
+                        let entry = self.managers[slot as usize]
+                            .get_mut(&key)
+                            .expect("entry created by plan");
+                        entry.depart(client);
+                        if entry.is_unowned() {
+                            self.managers[slot as usize].remove(&key);
+                        }
+                        return Err(e.into());
+                    }
+                }
+            }
+            // Plans naming ourselves mean the manager already saw us as a
+            // holder; treat as local (can happen after manager rebuild).
+            ReadPlan::FromOwner { .. } | ReadPlan::FromPeer { .. } => self.clients
+                [client as usize]
+                .data
+                .get(&key)
+                .cloned()
+                .ok_or(XfsError::DataLost)?,
+        };
+        self.install(client, key, data.clone(), false)?;
+        Ok(data)
+    }
+
+    /// Inserts a block into a client cache, handling eviction write-back.
+    fn install(
+        &mut self,
+        client: ClientId,
+        key: BlockKey,
+        data: Bytes,
+        dirty: bool,
+    ) -> Result<(), XfsError> {
+        let touch = self.clients[client as usize].cache.touch(key, dirty);
+        self.clients[client as usize].data.insert(key, data);
+        if let Touch::MissEvicted { victim, dirty: victim_dirty } = touch {
+            let victim_data = self.clients[client as usize]
+                .data
+                .remove(&victim)
+                .expect("cached block has data");
+            if victim_dirty {
+                // Write-back before dropping the only dirty copy.
+                self.stats.writebacks += 1;
+                let g = self.group_of_key(victim.log_key());
+                let t = self.logs[g].write(victim.log_key(), &victim_data)?;
+                self.stats.time += t;
+                let slot = self.manager_slot(victim);
+                if let Some(entry) = self.managers[slot as usize].get_mut(&victim) {
+                    entry.writeback(client);
+                    entry.depart(client);
+                }
+            } else {
+                let slot = self.manager_slot(victim);
+                if let Some(entry) = self.managers[slot as usize].get_mut(&victim) {
+                    entry.depart(client);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes all of `client`'s dirty blocks to the storage log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn sync(&mut self, client: ClientId) -> Result<(), XfsError> {
+        self.check_client(client)?;
+        let dirty: Vec<BlockKey> = {
+            let c = &self.clients[client as usize];
+            c.cache
+                .iter()
+                .copied()
+                .filter(|k| {
+                    // A block is dirty iff this client owns it.
+                    let slot = self.manager_slot(*k);
+                    self.managers[slot as usize]
+                        .get(k)
+                        .is_some_and(|e| e.owner == Some(client))
+                })
+                .collect()
+        };
+        for key in dirty {
+            let data = self.clients[client as usize].data[&key].clone();
+            self.stats.writebacks += 1;
+            let g = self.group_of_key(key.log_key());
+            let t = self.logs[g].write(key.log_key(), &data)?;
+            self.stats.time += t;
+            let slot = self.manager_slot(key);
+            self.managers[slot as usize]
+                .get_mut(&key)
+                .expect("owned block has an entry")
+                .writeback(client);
+        }
+        for g in 0..self.logs.len() {
+            let t = self.logs[g].flush()?;
+            self.stats.time += t;
+        }
+        Ok(())
+    }
+
+    /// Deletes a file everywhere: caches, coherence state, and storage.
+    ///
+    /// # Errors
+    ///
+    /// [`XfsError::NoSuchFile`] if the name is unknown.
+    pub fn delete(&mut self, name: &str) -> Result<(), XfsError> {
+        let file = self.directory.remove(name).ok_or(XfsError::NoSuchFile)?;
+        let blocks = self.files.remove(&file).unwrap_or(0);
+        self.byte_lens.remove(&file);
+        self.namespace.remove(name);
+        for block in 0..blocks {
+            let key = BlockKey { file, block };
+            for c in &mut self.clients {
+                c.cache.remove(&key);
+                c.data.remove(&key);
+            }
+            let slot = self.manager_slot(key);
+            self.managers[slot as usize].remove(&key);
+            let g = self.group_of_key(key.log_key());
+            self.logs[g].delete(key.log_key());
+            self.stats.time += self.costs.control;
+        }
+        Ok(())
+    }
+
+    /// A client workstation crashes or leaves the NOW: its cache vanishes
+    /// and it is removed from all coherence state. Returns the keys whose
+    /// only (dirty) copy died with it — data recoverable only if it was
+    /// synced.
+    pub fn fail_client(&mut self, client: ClientId) -> Vec<(FileId, u32)> {
+        let Some(c) = self.clients.get_mut(client as usize) else {
+            return Vec::new();
+        };
+        c.alive = false;
+        c.cache = LruCache::new(self.config.client_cache_blocks);
+        c.data.clear();
+        let mut lost = Vec::new();
+        for mgr in &mut self.managers {
+            for (key, entry) in mgr.iter_mut() {
+                if entry.depart(client) {
+                    lost.push((key.file, key.block));
+                }
+            }
+        }
+        lost.sort_unstable();
+        lost
+    }
+
+    /// A failed client rejoins with a cold cache.
+    pub fn revive_client(&mut self, client: ClientId) {
+        if let Some(c) = self.clients.get_mut(client as usize) {
+            c.alive = true;
+        }
+    }
+
+    /// A manager node fails: its slot is reassigned to a surviving
+    /// manager, and the lost coherence state is *rebuilt by consulting the
+    /// clients* — the serverless property that any node can take over for
+    /// any other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if it was the last manager.
+    pub fn recover_manager(&mut self, failed_slot: u32) {
+        let survivors: Vec<u32> = (0..self.managers.len() as u32)
+            .filter(|&m| m != failed_slot)
+            .collect();
+        assert!(!survivors.is_empty(), "the last manager cannot fail");
+        // Reassign every hash bucket that pointed at the failed slot.
+        for (i, slot) in self.manager_of.iter_mut().enumerate() {
+            if *slot == failed_slot {
+                *slot = survivors[i % survivors.len()];
+            }
+        }
+        // The failed manager's entries are gone; rebuild from client
+        // caches: every resident copy re-registers. Dirty/ownership is
+        // re-derived from the LRU dirty bit (owners marked their entries
+        // dirty when they wrote).
+        let lost: Vec<BlockKey> = self.managers[failed_slot as usize].drain().map(|(k, _)| k).collect();
+        self.stats.time += self.costs.control * self.config.clients as u64; // broadcast
+        for key in lost {
+            let new_slot = self.manager_slot(key);
+            let entry = self.managers[new_slot as usize].entry(key).or_default();
+            for (cid, c) in self.clients.iter().enumerate() {
+                if !c.alive || !c.cache.contains(&key) {
+                    continue;
+                }
+                entry.copyset.insert(cid as u32);
+                self.stats.time += self.costs.control;
+            }
+        }
+        // Re-derive ownership: a client whose cached copy is dirty owns it.
+        // (The LRU tracks dirtiness; scan each client's dirty keys.)
+        for cid in 0..self.clients.len() as u32 {
+            let dirty_keys: Vec<BlockKey> = self.clients[cid as usize]
+                .cache
+                .iter()
+                .copied()
+                .filter(|k| self.client_block_dirty(cid, *k))
+                .collect();
+            for key in dirty_keys {
+                let slot = self.manager_slot(key);
+                let entry = self.managers[slot as usize].entry(key).or_default();
+                if entry.owner.is_none() && entry.copyset.contains(&cid) {
+                    entry.copyset.remove(&cid);
+                    entry.owner = Some(cid);
+                }
+            }
+        }
+    }
+
+    /// Whether `client`'s cached copy of `key` is dirty. Used by manager
+    /// recovery; dirtiness lives in the client LRU's dirty bit.
+    fn client_block_dirty(&self, client: ClientId, key: BlockKey) -> bool {
+        // The LRU does not expose per-key dirty queries; ownership in a
+        // *surviving* manager is authoritative. For keys whose manager
+        // state was lost, conservatively treat cached-and-previously-owned
+        // blocks as dirty via the surviving entry (if none, the client
+        // re-registers as a clean sharer and its data is still correct
+        // because writes always kept the latest bytes in `data`).
+        let slot = self.manager_slot(key);
+        self.managers[slot as usize]
+            .get(&key)
+            .is_some_and(|e| e.owner == Some(client))
+    }
+
+    // --- namespace plumbing used by the `namespace` module ---
+
+    pub(crate) fn namespace_contains(&self, canon: &str) -> bool {
+        self.namespace.contains_key(canon)
+    }
+
+    pub(crate) fn namespace_is_dir(&self, canon: &str) -> bool {
+        self.namespace.get(canon).copied() == Some(true)
+    }
+
+    pub(crate) fn namespace_insert_dir(&mut self, canon: String) {
+        self.namespace.insert(canon, true);
+    }
+
+    pub(crate) fn namespace_insert_file(&mut self, canon: String) {
+        self.namespace.insert(canon, false);
+    }
+
+    pub(crate) fn namespace_entries(&self) -> impl Iterator<Item = &str> {
+        self.namespace.keys().map(String::as_str)
+    }
+
+    pub(crate) fn set_byte_len(&mut self, file: FileId, len: u64) {
+        self.byte_lens.insert(file, len);
+    }
+
+    /// The exact byte length recorded by [`Xfs::write_file`], if any.
+    pub fn byte_len(&self, file: FileId) -> Option<u64> {
+        self.byte_lens.get(&file).copied()
+    }
+
+    /// Runs the log cleaner if the dead-block fraction exceeds
+    /// `threshold` (xFS's background segment cleaner, made explicit).
+    /// Returns `true` if a cleaning pass ran.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the rewrite pass.
+    pub fn maybe_clean(&mut self, threshold: f64) -> Result<bool, XfsError> {
+        let mut cleaned = false;
+        for g in 0..self.logs.len() {
+            if self.logs[g].dead_fraction() > threshold {
+                let t = self.logs[g].clean()?;
+                self.stats.time += t;
+                cleaned = true;
+            }
+        }
+        Ok(cleaned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(fs: &Xfs, fill: u8) -> Vec<u8> {
+        vec![fill; fs.block_bytes()]
+    }
+
+    fn fs() -> Xfs {
+        Xfs::new(XfsConfig::small())
+    }
+
+    #[test]
+    fn create_lookup_and_duplicate() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        assert_eq!(fs.lookup("/a"), Some(f));
+        assert_eq!(fs.lookup("/b"), None);
+        assert_eq!(fs.create("/a"), Err(XfsError::AlreadyExists));
+    }
+
+    #[test]
+    fn write_then_read_same_client() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        let data = blk(&fs, 0x5A);
+        fs.write(0, f, 0, &data).unwrap();
+        assert_eq!(&fs.read(0, f, 0).unwrap()[..], &data[..]);
+        assert_eq!(fs.stats().local_hits, 1, "own write is cached");
+    }
+
+    #[test]
+    fn cross_client_read_through_coherence() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        let data = blk(&fs, 0x11);
+        fs.write(0, f, 0, &data).unwrap();
+        let got = fs.read(1, f, 0).unwrap();
+        assert_eq!(&got[..], &data[..]);
+        // Served from the owner's cache, not storage.
+        assert_eq!(fs.stats().peer_transfers, 1);
+        assert_eq!(fs.stats().storage_reads, 0);
+        // The downgrade forced a write-back.
+        assert!(fs.stats().writebacks >= 1);
+    }
+
+    #[test]
+    fn write_invalidates_remote_copies() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        fs.write(0, f, 0, &blk(&fs, 1)).unwrap();
+        let _ = fs.read(1, f, 0).unwrap();
+        let _ = fs.read(2, f, 0).unwrap();
+        // Client 1 overwrites: clients 0 and 2 must lose their copies.
+        let v2 = blk(&fs, 2);
+        fs.write(1, f, 0, &v2).unwrap();
+        assert!(fs.stats().invalidations >= 2);
+        // Everyone now reads the new version.
+        for c in [0, 2, 3] {
+            assert_eq!(&fs.read(c, f, 0).unwrap()[..], &v2[..], "client {c}");
+        }
+    }
+
+    #[test]
+    fn sequential_consistency_of_block_values() {
+        // Interleaved writes by different clients: every read sees the
+        // most recent write.
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        for round in 0..20u8 {
+            let writer = u32::from(round) % 4;
+            let data = blk(&fs, round);
+            fs.write(writer, f, 0, &data).unwrap();
+            for reader in 0..8 {
+                assert_eq!(&fs.read(reader, f, 0).unwrap()[..], &data[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn size_tracks_highest_block() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        assert_eq!(fs.size_blocks(f), Some(0));
+        fs.write(0, f, 4, &blk(&fs, 1)).unwrap();
+        assert_eq!(fs.size_blocks(f), Some(5));
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_blocks() {
+        let mut fs = fs();
+        let f = fs.create("/big").unwrap();
+        let cache = XfsConfig::small().client_cache_blocks as u32;
+        // Write more blocks than the cache holds; early ones get evicted
+        // with write-back, and must still read correctly (from storage).
+        for b in 0..cache + 16 {
+            fs.write(0, f, b, &blk(&fs, b as u8)).unwrap();
+        }
+        fs.sync(0).unwrap();
+        for b in 0..cache + 16 {
+            assert_eq!(&fs.read(1, f, b).unwrap()[..], &blk(&fs, b as u8)[..], "block {b}");
+        }
+        assert!(fs.stats().storage_reads > 0, "some blocks came from the log");
+    }
+
+    #[test]
+    fn sync_then_client_failure_loses_nothing() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        for b in 0..10 {
+            fs.write(0, f, b, &blk(&fs, b as u8)).unwrap();
+        }
+        fs.sync(0).unwrap();
+        let lost = fs.fail_client(0);
+        assert!(lost.is_empty(), "synced data must not be reported lost");
+        for b in 0..10 {
+            assert_eq!(&fs.read(1, f, b).unwrap()[..], &blk(&fs, b as u8)[..]);
+        }
+    }
+
+    #[test]
+    fn unsynced_client_failure_reports_lost_blocks() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        fs.write(0, f, 0, &blk(&fs, 9)).unwrap();
+        let lost = fs.fail_client(0);
+        assert_eq!(lost, vec![(f, 0)]);
+        // The data is genuinely unrecoverable.
+        assert!(matches!(
+            fs.read(1, f, 0),
+            Err(XfsError::Storage(RaidError::NotWritten)) | Err(XfsError::DataLost)
+        ));
+    }
+
+    #[test]
+    fn failed_client_cannot_operate_until_revived() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        fs.fail_client(3);
+        assert_eq!(fs.write(3, f, 0, &blk(&fs, 1)), Err(XfsError::BadClient));
+        assert_eq!(fs.read(3, f, 0).map(|_| ()), Err(XfsError::BadClient));
+        fs.revive_client(3);
+        fs.write(3, f, 0, &blk(&fs, 1)).unwrap();
+    }
+
+    #[test]
+    fn storage_disk_failure_is_transparent_after_sync() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        for b in 0..30 {
+            fs.write(0, f, b, &blk(&fs, b as u8)).unwrap();
+        }
+        fs.sync(0).unwrap();
+        // Evict everything from caches by failing the writer client.
+        fs.fail_client(0);
+        // Kill a storage disk: RAID-5 degraded reads still serve.
+        fs.storage_mut().raid_mut().fail_disk(2);
+        for b in 0..30 {
+            assert_eq!(&fs.read(1, f, b).unwrap()[..], &blk(&fs, b as u8)[..], "degraded {b}");
+        }
+        // Reconstruct and read again.
+        fs.storage_mut().raid_mut().reconstruct(2).unwrap();
+        assert_eq!(&fs.read(2, f, 7).unwrap()[..], &blk(&fs, 7)[..]);
+    }
+
+    #[test]
+    fn manager_failure_recovers_from_clients() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        for b in 0..16 {
+            fs.write(0, f, b, &blk(&fs, b as u8)).unwrap();
+        }
+        fs.sync(0).unwrap();
+        let _ = fs.read(1, f, 3).unwrap();
+        fs.recover_manager(1);
+        // All data remains readable by everyone.
+        for b in 0..16 {
+            for c in [0, 1, 2] {
+                assert_eq!(&fs.read(c, f, b).unwrap()[..], &blk(&fs, b as u8)[..]);
+            }
+        }
+        // Writes still maintain coherence afterwards.
+        let v = blk(&fs, 0xEE);
+        fs.write(2, f, 3, &v).unwrap();
+        assert_eq!(&fs.read(1, f, 3).unwrap()[..], &v[..]);
+    }
+
+    #[test]
+    fn delete_removes_everything() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        fs.write(0, f, 0, &blk(&fs, 1)).unwrap();
+        fs.sync(0).unwrap();
+        fs.delete("/a").unwrap();
+        assert_eq!(fs.lookup("/a"), None);
+        assert_eq!(fs.read(1, f, 0).map(|_| ()), Err(XfsError::NoSuchFile));
+        // The name can be reused.
+        let f2 = fs.create("/a").unwrap();
+        assert_ne!(f, f2);
+        assert_eq!(fs.delete("/zzz"), Err(XfsError::NoSuchFile));
+    }
+
+    #[test]
+    fn stats_time_accumulates() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        let t0 = fs.stats().time;
+        fs.write(0, f, 0, &blk(&fs, 1)).unwrap();
+        let t1 = fs.stats().time;
+        assert!(t1 > t0);
+        let _ = fs.read(5, f, 0).unwrap();
+        assert!(fs.stats().time > t1);
+    }
+
+    #[test]
+    fn stripe_groups_fail_independently() {
+        let mut cfg = XfsConfig::small();
+        cfg.stripe_groups = 3;
+        let mut fs = Xfs::new(cfg);
+        assert_eq!(fs.stripe_groups(), 3);
+        let f = fs.create("/spread").unwrap();
+        let block_bytes = fs.block_bytes();
+        for b in 0..48 {
+            fs.write(0, f, b, &vec![b as u8; block_bytes]).unwrap();
+        }
+        fs.sync(0).unwrap();
+        fs.fail_client(0); // cold caches: force storage reads
+        // Kill one disk in group 1 AND one in group 2: each group is its
+        // own RAID-5, so both single failures are survivable — the bounded
+        // parity-group design from the availability analysis.
+        fs.storage_group_mut(1).raid_mut().fail_disk(0);
+        fs.storage_group_mut(2).raid_mut().fail_disk(3);
+        for b in 0..48 {
+            assert_eq!(fs.read(1, f, b).unwrap()[0], b as u8, "block {b}");
+        }
+        fs.storage_group_mut(1).raid_mut().reconstruct(0).unwrap();
+        fs.storage_group_mut(2).raid_mut().reconstruct(3).unwrap();
+        for b in 0..48 {
+            assert_eq!(fs.read(2, f, b).unwrap()[0], b as u8);
+        }
+    }
+
+    #[test]
+    fn cleaner_runs_when_garbage_accumulates() {
+        let mut fs = fs();
+        let f = fs.create("/churn").unwrap();
+        // Overwrite the same blocks many times and sync: the log fills
+        // with dead versions.
+        for round in 0..6u8 {
+            for b in 0..8 {
+                fs.write(0, f, b, &blk(&fs, round)).unwrap();
+            }
+            fs.sync(0).unwrap();
+        }
+        assert!(fs.storage_mut().dead_fraction() > 0.3);
+        assert!(fs.maybe_clean(0.3).unwrap(), "cleaner should trigger");
+        assert!(!fs.maybe_clean(0.3).unwrap(), "and then be done");
+        // Data unchanged after cleaning.
+        for b in 0..8 {
+            assert_eq!(&fs.read(1, f, b).unwrap()[..], &blk(&fs, 5)[..]);
+        }
+    }
+
+    #[test]
+    fn wrong_block_size_rejected() {
+        let mut fs = fs();
+        let f = fs.create("/a").unwrap();
+        assert_eq!(
+            fs.write(0, f, 0, &[1, 2, 3]),
+            Err(XfsError::WrongBlockSize { expected: 512, got: 3 })
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # now-xfs — the serverless network file system
+//!
+//! xFS removes the central file server entirely: "client workstations
+//! cooperate in all aspects of the file system — storing data, managing
+//! metadata, and enforcing protection." This crate implements the four
+//! features the paper lists, functionally (real bytes) with timing
+//! accounted per operation:
+//!
+//! 1. **Everything migrates** — management of any block can move between
+//!    nodes; the manager map is just a hash over live managers, and a
+//!    failed manager's state is rebuilt from the clients
+//!    ([`Xfs::recover_manager`]).
+//! 2. **Multiprocessor-style cache coherence** — a write-back *ownership*
+//!    protocol per block: one owner with a dirty copy, or any number of
+//!    read-shared copies, tracked by the block's manager
+//!    ([`coherence`]).
+//! 3. **Software RAID storage** — all data and metadata live in a
+//!    log-structured stripe log over [`now_raid::SoftwareRaid`], so full
+//!    stripes are written, parity survives a disk failure, and the cleaner
+//!    reclaims dead versions.
+//! 4. **Cooperative client caching** — a miss is served from another
+//!    client's memory before touching a disk, exactly as in `now-cache`,
+//!    but here with real bytes and coherence.
+//!
+//! # Example
+//!
+//! ```
+//! use now_xfs::{Xfs, XfsConfig};
+//!
+//! let mut fs = Xfs::new(XfsConfig::small());
+//! let f = fs.create("/etc/motd").unwrap();
+//! fs.write(0, f, 0, &vec![b'!'; fs.block_bytes()]).unwrap();
+//! // A different client reads through the coherence protocol.
+//! let data = fs.read(1, f, 0).unwrap();
+//! assert!(data.iter().all(|&b| b == b'!'));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coherence;
+mod fs;
+mod namespace;
+
+pub use fs::{FileId, Xfs, XfsConfig, XfsError, XfsStats};
+pub use namespace::Path;

@@ -1,0 +1,278 @@
+//! Hierarchical namespace over the flat file table: directories, paths,
+//! and whole-file convenience I/O.
+//!
+//! xFS distributes directory management just like block management; here
+//! the namespace is a plain tree kept alongside the flat
+//! name → [`FileId`](crate::FileId) map, giving the usual `mkdir` /
+//! `readdir` / path-resolution operations plus streaming helpers that
+//! read and write whole files as byte slices (padding the last block).
+
+use crate::{FileId, Xfs, XfsError};
+
+/// A parsed absolute path: non-empty components, no `.`/`..`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    components: Vec<String>,
+}
+
+impl Path {
+    /// Parses an absolute path.
+    ///
+    /// # Errors
+    ///
+    /// [`XfsError::BadPath`] unless the path starts with `/`, has at least
+    /// one component, and contains no empty, `.` or `..` components.
+    pub fn parse(raw: &str) -> Result<Path, XfsError> {
+        let Some(rest) = raw.strip_prefix('/') else {
+            return Err(XfsError::BadPath);
+        };
+        if rest.is_empty() {
+            return Err(XfsError::BadPath);
+        }
+        let components: Vec<String> = rest.split('/').map(str::to_string).collect();
+        if components
+            .iter()
+            .any(|c| c.is_empty() || c == "." || c == "..")
+        {
+            return Err(XfsError::BadPath);
+        }
+        Ok(Path { components })
+    }
+
+    /// The parent directory's components (empty for a top-level entry).
+    pub fn parent(&self) -> &[String] {
+        &self.components[..self.components.len() - 1]
+    }
+
+    /// The final component.
+    pub fn name(&self) -> &str {
+        self.components.last().expect("paths are non-empty")
+    }
+
+    /// All components.
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Canonical string form.
+    pub fn to_string_lossless(&self) -> String {
+        format!("/{}", self.components.join("/"))
+    }
+}
+
+impl Xfs {
+    /// Creates a directory. Parents must already exist.
+    ///
+    /// # Errors
+    ///
+    /// [`XfsError::BadPath`] for malformed paths, [`XfsError::NoSuchFile`]
+    /// for a missing parent, [`XfsError::AlreadyExists`] if taken.
+    pub fn mkdir(&mut self, raw: &str) -> Result<(), XfsError> {
+        let path = Path::parse(raw)?;
+        self.ensure_parent(&path)?;
+        let canon = path.to_string_lossless();
+        if self.namespace_contains(&canon) {
+            return Err(XfsError::AlreadyExists);
+        }
+        self.namespace_insert_dir(canon);
+        Ok(())
+    }
+
+    /// Creates a file at an absolute path whose parent directories exist.
+    ///
+    /// # Errors
+    ///
+    /// As [`Xfs::mkdir`], plus anything [`Xfs::create`] returns.
+    pub fn create_at(&mut self, raw: &str) -> Result<FileId, XfsError> {
+        let path = Path::parse(raw)?;
+        self.ensure_parent(&path)?;
+        let canon = path.to_string_lossless();
+        if self.namespace_contains(&canon) {
+            return Err(XfsError::AlreadyExists);
+        }
+        let id = self.create(&canon)?;
+        self.namespace_insert_file(canon);
+        Ok(id)
+    }
+
+    /// Lists the immediate children of a directory, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`XfsError::NoSuchFile`] if the directory does not exist.
+    pub fn readdir(&self, raw: &str) -> Result<Vec<String>, XfsError> {
+        let prefix = if raw == "/" {
+            String::new()
+        } else {
+            let path = Path::parse(raw)?;
+            let canon = path.to_string_lossless();
+            if !self.namespace_is_dir(&canon) {
+                return Err(XfsError::NoSuchFile);
+            }
+            canon
+        };
+        let mut children: Vec<String> = self
+            .namespace_entries()
+            .filter_map(|entry| {
+                let rest = entry.strip_prefix(&prefix)?.strip_prefix('/')?;
+                (!rest.is_empty() && !rest.contains('/')).then(|| rest.to_string())
+            })
+            .collect();
+        children.sort();
+        children.dedup();
+        Ok(children)
+    }
+
+    /// Writes `data` to the file at `path` (creating it), splitting into
+    /// blocks and zero-padding the tail. Issued by `client`; remembers the
+    /// byte length so [`Xfs::read_file`] returns exactly `data`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Xfs::create_at`] / [`Xfs::write`].
+    pub fn write_file(&mut self, client: u32, raw: &str, data: &[u8]) -> Result<FileId, XfsError> {
+        let id = match self.create_at(raw) {
+            Ok(id) => id,
+            Err(XfsError::AlreadyExists) => self.lookup(
+                &Path::parse(raw)?.to_string_lossless(),
+            )
+            .ok_or(XfsError::NoSuchFile)?,
+            Err(e) => return Err(e),
+        };
+        let bs = self.block_bytes();
+        for (i, chunk) in data.chunks(bs).enumerate() {
+            let mut block = chunk.to_vec();
+            block.resize(bs, 0);
+            self.write(client, id, i as u32, &block)?;
+        }
+        self.set_byte_len(id, data.len() as u64);
+        Ok(id)
+    }
+
+    /// Reads the whole file at `path` back as bytes (exactly the length
+    /// written by [`Xfs::write_file`]).
+    ///
+    /// # Errors
+    ///
+    /// [`XfsError::NoSuchFile`] for unknown paths; storage errors for
+    /// unsynced-and-lost data.
+    pub fn read_file(&mut self, client: u32, raw: &str) -> Result<Vec<u8>, XfsError> {
+        let canon = Path::parse(raw)?.to_string_lossless();
+        let id = self.lookup(&canon).ok_or(XfsError::NoSuchFile)?;
+        let len = self.byte_len(id).unwrap_or(0) as usize;
+        let blocks = self.size_blocks(id).unwrap_or(0);
+        let mut out = Vec::with_capacity(len);
+        for b in 0..blocks {
+            let data = self.read(client, id, b)?;
+            out.extend_from_slice(&data);
+        }
+        out.truncate(len);
+        Ok(out)
+    }
+
+    fn ensure_parent(&self, path: &Path) -> Result<(), XfsError> {
+        if path.parent().is_empty() {
+            return Ok(()); // top level always exists
+        }
+        let parent = format!("/{}", path.parent().join("/"));
+        if self.namespace_is_dir(&parent) {
+            Ok(())
+        } else {
+            Err(XfsError::NoSuchFile)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XfsConfig;
+
+    fn fs() -> Xfs {
+        Xfs::new(XfsConfig::small())
+    }
+
+    #[test]
+    fn path_parsing_accepts_and_rejects() {
+        assert!(Path::parse("/a/b/c").is_ok());
+        assert_eq!(Path::parse("/a/b/c").unwrap().name(), "c");
+        assert_eq!(Path::parse("/top").unwrap().parent().len(), 0);
+        for bad in ["", "/", "relative", "/a//b", "/a/./b", "/a/../b"] {
+            assert_eq!(Path::parse(bad), Err(XfsError::BadPath), "{bad}");
+        }
+    }
+
+    #[test]
+    fn mkdir_then_create_then_readdir() {
+        let mut fs = fs();
+        fs.mkdir("/home").unwrap();
+        fs.mkdir("/home/amd").unwrap();
+        fs.create_at("/home/amd/thesis.tex").unwrap();
+        fs.create_at("/home/amd/data.bin").unwrap();
+        assert_eq!(fs.readdir("/home").unwrap(), vec!["amd"]);
+        assert_eq!(
+            fs.readdir("/home/amd").unwrap(),
+            vec!["data.bin", "thesis.tex"]
+        );
+        assert_eq!(fs.readdir("/").unwrap(), vec!["home"]);
+    }
+
+    #[test]
+    fn missing_parent_is_an_error() {
+        let mut fs = fs();
+        assert_eq!(fs.mkdir("/a/b"), Err(XfsError::NoSuchFile));
+        assert_eq!(fs.create_at("/a/b/c"), Err(XfsError::NoSuchFile));
+    }
+
+    #[test]
+    fn duplicate_entries_rejected() {
+        let mut fs = fs();
+        fs.mkdir("/d").unwrap();
+        assert_eq!(fs.mkdir("/d"), Err(XfsError::AlreadyExists));
+        fs.create_at("/d/f").unwrap();
+        assert_eq!(fs.create_at("/d/f"), Err(XfsError::AlreadyExists));
+    }
+
+    #[test]
+    fn readdir_of_missing_dir_errors() {
+        let fs = fs();
+        assert_eq!(fs.readdir("/nope"), Err(XfsError::NoSuchFile));
+    }
+
+    #[test]
+    fn whole_file_roundtrip_exact_length() {
+        let mut fs = fs();
+        fs.mkdir("/data").unwrap();
+        // A length that is not a multiple of the block size.
+        let payload: Vec<u8> = (0..1_300u32).map(|i| (i % 251) as u8).collect();
+        fs.write_file(0, "/data/blob", &payload).unwrap();
+        let back = fs.read_file(5, "/data/blob").unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn write_file_overwrites_in_place() {
+        let mut fs = fs();
+        fs.write_file(0, "/f", b"first version, quite long").unwrap();
+        fs.write_file(1, "/f", b"second").unwrap();
+        assert_eq!(fs.read_file(2, "/f").unwrap(), b"second");
+    }
+
+    #[test]
+    fn empty_file_roundtrips() {
+        let mut fs = fs();
+        fs.write_file(0, "/empty", b"").unwrap();
+        assert_eq!(fs.read_file(1, "/empty").unwrap(), b"");
+    }
+
+    #[test]
+    fn whole_file_io_survives_failures() {
+        let mut fs = fs();
+        let payload: Vec<u8> = (0..5_000u32).map(|i| (i * 7 % 256) as u8).collect();
+        fs.write_file(2, "/big", &payload).unwrap();
+        fs.sync(2).unwrap();
+        fs.fail_client(2);
+        fs.storage_mut().raid_mut().fail_disk(1);
+        assert_eq!(fs.read_file(3, "/big").unwrap(), payload);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests: xFS behaves like a single coherent store under random
+//! multi-client operation interleavings and failures.
+
+use now_xfs::{Xfs, XfsConfig, XfsError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random op: (client, block, Some(fill) = write / None = read).
+fn ops(clients: u32, blocks: u32) -> impl Strategy<Value = Vec<(u32, u32, Option<u8>)>> {
+    prop::collection::vec(
+        (0..clients, 0..blocks, prop::option::of(any::<u8>())),
+        1..200,
+    )
+}
+
+fn small_fs() -> (Xfs, now_xfs::FileId) {
+    let mut fs = Xfs::new(XfsConfig {
+        clients: 4,
+        managers: 2,
+        storage_disks: 4,
+        stripe_groups: 2,
+        block_bytes: 64,
+        client_cache_blocks: 8, // tiny: forces eviction write-backs
+    });
+    let f = fs.create("/f").unwrap();
+    (fs, f)
+}
+
+proptest! {
+    /// Every read observes the latest write to its block, across clients,
+    /// caches, evictions, and write-backs.
+    #[test]
+    fn reads_see_latest_writes(script in ops(4, 16)) {
+        let (mut fs, f) = small_fs();
+        let mut model: HashMap<u32, u8> = HashMap::new();
+        for (client, block, action) in script {
+            match action {
+                Some(fill) => {
+                    fs.write(client, f, block, &[fill; 64]).unwrap();
+                    model.insert(block, fill);
+                }
+                None => match fs.read(client, f, block) {
+                    Ok(data) => {
+                        let expected = model.get(&block).copied();
+                        prop_assert_eq!(
+                            expected,
+                            Some(data[0]),
+                            "block {} read stale data", block
+                        );
+                        prop_assert!(data.iter().all(|&b| b == data[0]));
+                    }
+                    Err(e) => {
+                        prop_assert!(
+                            !model.contains_key(&block),
+                            "written block {} unreadable: {e}", block
+                        );
+                    }
+                },
+            }
+        }
+    }
+
+    /// Sync + any client failure never loses acknowledged-synced data, and
+    /// other clients keep full access.
+    #[test]
+    fn synced_data_survives_client_failure(
+        script in ops(4, 12),
+        victim in 0u32..4,
+    ) {
+        let (mut fs, f) = small_fs();
+        let mut model: HashMap<u32, u8> = HashMap::new();
+        for (client, block, action) in &script {
+            if let Some(fill) = action {
+                fs.write(*client, f, *block, &[*fill; 64]).unwrap();
+                model.insert(*block, *fill);
+            }
+        }
+        for c in 0..4 {
+            fs.sync(c).unwrap();
+        }
+        let lost = fs.fail_client(victim);
+        prop_assert!(lost.is_empty(), "nothing dirty after global sync");
+        let reader = (victim + 1) % 4;
+        for (block, fill) in &model {
+            let data = fs.read(reader, f, *block).unwrap();
+            prop_assert_eq!(data[0], *fill, "block {}", block);
+        }
+    }
+
+    /// Sync + storage-disk failure: RAID-5 degraded mode returns every
+    /// block intact, and reconstruction restores normal service.
+    #[test]
+    fn synced_data_survives_disk_failure(
+        writes in prop::collection::vec((0u32..24, any::<u8>()), 1..60),
+        disk in 0u32..4,
+    ) {
+        let (mut fs, f) = small_fs();
+        let mut model: HashMap<u32, u8> = HashMap::new();
+        for (block, fill) in &writes {
+            fs.write(0, f, *block, &[*fill; 64]).unwrap();
+            model.insert(*block, *fill);
+        }
+        fs.sync(0).unwrap();
+        fs.fail_client(0); // cold caches: force storage reads
+        fs.storage_mut().raid_mut().fail_disk(disk);
+        for (block, fill) in &model {
+            let data = fs.read(1, f, *block).unwrap();
+            prop_assert_eq!(data[0], *fill, "degraded block {}", block);
+        }
+        fs.storage_mut().raid_mut().reconstruct(disk).unwrap();
+        for (block, fill) in &model {
+            let data = fs.read(2, f, *block).unwrap();
+            prop_assert_eq!(data[0], *fill, "post-rebuild block {}", block);
+        }
+    }
+
+    /// Manager recovery in the middle of a workload preserves coherence:
+    /// reads after recovery still see the latest writes.
+    #[test]
+    fn manager_recovery_preserves_coherence(
+        before in ops(4, 12),
+        after in ops(4, 12),
+        slot in 0u32..2,
+    ) {
+        let (mut fs, f) = small_fs();
+        let mut model: HashMap<u32, u8> = HashMap::new();
+        let run = |fs: &mut Xfs, script: &[(u32, u32, Option<u8>)], model: &mut HashMap<u32, u8>| -> Result<(), TestCaseError> {
+            for (client, block, action) in script {
+                match action {
+                    Some(fill) => {
+                        fs.write(*client, f, *block, &[*fill; 64]).unwrap();
+                        model.insert(*block, *fill);
+                    }
+                    None => {
+                        if let Ok(data) = fs.read(*client, f, *block) {
+                            prop_assert_eq!(model.get(block).copied(), Some(data[0]));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        };
+        run(&mut fs, &before, &mut model)?;
+        // Sync so the failed manager's owners have clean storage copies.
+        for c in 0..4 {
+            fs.sync(c).unwrap();
+        }
+        fs.recover_manager(slot);
+        run(&mut fs, &after, &mut model)?;
+        for (block, fill) in &model {
+            let data = fs.read(3, f, *block).unwrap();
+            prop_assert_eq!(data[0], *fill, "final check block {}", block);
+        }
+    }
+
+    /// Unwritten blocks always error, never return garbage.
+    #[test]
+    fn holes_error_cleanly(reads in prop::collection::vec((0u32..4, 0u32..32), 1..40)) {
+        let (mut fs, f) = small_fs();
+        fs.write(0, f, 31, &[1; 64]).unwrap(); // size covers the range
+        for (client, block) in reads {
+            if block == 31 { continue; }
+            let r = fs.read(client, f, block);
+            prop_assert!(matches!(r, Err(XfsError::Storage(_))), "hole {block} -> {r:?}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Gator: the paper's motivating application — an atmospheric chemical
+//! tracer for the Los Angeles basin — evaluated across the machine
+//! spectrum and across NOW upgrade paths (Table 4, interactively).
+//!
+//! ```sh
+//! cargo run --release --example gator                # the paper's table
+//! cargo run --release --example gator -- 128 512    # custom NOW sizes
+//! ```
+
+use now_core::{Interconnect, NowCluster};
+use now_models::gator::{table4, GatorPrediction};
+
+fn print_row(p: &GatorPrediction) {
+    println!(
+        "{:<38} {:>9.0} {:>11.0} {:>9.0} {:>9.0} {:>9.1}",
+        p.machine,
+        p.ode_s,
+        p.transport_s,
+        p.input_s,
+        p.total_s(),
+        p.cost_millions
+    );
+}
+
+fn main() {
+    let sizes: Vec<u32> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+
+    println!(
+        "{:<38} {:>9} {:>11} {:>9} {:>9} {:>9}",
+        "Machine", "ODE (s)", "Transp (s)", "Input (s)", "Total (s)", "Cost ($M)"
+    );
+    println!("{}", "-".repeat(90));
+
+    // The paper's six rows.
+    for p in table4() {
+        print_row(&p);
+    }
+
+    println!();
+    println!("NOW upgrade path at custom sizes (Demmel–Smith model):");
+    let ladder = [
+        ("shared Ethernet + PVM", Interconnect::EthernetPvm),
+        ("switched ATM + TCP", Interconnect::AtmTcp),
+        ("switched ATM + Active Messages", Interconnect::AtmActiveMessages),
+        ("Myrinet + Active Messages", Interconnect::MyrinetActiveMessages),
+    ];
+    let sizes = if sizes.is_empty() { vec![64, 256] } else { sizes };
+    for nodes in sizes {
+        println!("-- {nodes} workstations");
+        for (label, interconnect) in ladder {
+            let now = NowCluster::builder()
+                .nodes(nodes)
+                .interconnect(interconnect)
+                .build();
+            let p = now.predict_gator();
+            println!(
+                "   {:<34} total {:>10.0} s  (transport {:>9.0} s, input {:>7.0} s)",
+                label,
+                p.total_s(),
+                p.transport_s,
+                p.input_s
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "Reading: each fix buys roughly an order of magnitude; with all three\n\
+         (switched fabric, parallel file system, low-overhead messages) the NOW\n\
+         competes with the C-90 at a fraction of the cost."
+    );
+}

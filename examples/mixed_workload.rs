@@ -1,0 +1,71 @@
+//! Mixed workload: overlay a 32-node MPP's job log on a building of
+//! interactively-used workstations (the Figure 3 scenario), and watch the
+//! scheduling disciplines fight (the Figure 4 scenario).
+//!
+//! ```sh
+//! cargo run --release --example mixed_workload
+//! ```
+
+use now_core::{AppSpec, NowCluster, Scheduling};
+use now_glunix::mixed::{dedicated_mpp, figure3_series};
+use now_trace::lanl::{JobTrace, JobTraceConfig};
+use now_trace::usage::{UsageTrace, UsageTraceConfig};
+
+fn main() {
+    // --- Figure 3: how many workstations replace a CM-5? ---
+    let jobs = JobTrace::generate(&JobTraceConfig::paper_defaults(), 7);
+    println!(
+        "parallel workload: {} jobs, {:.0} node-hours, offered load {:.2} on a 32-node MPP",
+        jobs.len(),
+        jobs.total_node_seconds() / 3600.0,
+        jobs.realised_load()
+    );
+    let mpp = dedicated_mpp(&jobs, 32);
+    println!(
+        "dedicated 32-node MPP: mean response {:.0} s, dilation {:.2}",
+        mpp.mean_response_s(),
+        mpp.mean_dilation()
+    );
+    println!();
+    println!("NOW size   dilation (dedicated = 1.0)");
+    for (n, dilation) in figure3_series(7) {
+        let bar = "#".repeat(((dilation - 1.0) * 100.0).round().max(0.0) as usize);
+        println!("{n:>8.0}   {dilation:>6.3}  {bar}");
+    }
+
+    // Per-cluster detail at the paper's headline point.
+    let mut ucfg = UsageTraceConfig::paper_defaults();
+    ucfg.machines = 64;
+    let usage = UsageTrace::generate(&ucfg, 8);
+    println!(
+        "\nusage trace at 64 machines: {:.0}% fully idle all day, {:.0}% mean daytime idle",
+        usage.fully_idle_fraction() * 100.0,
+        usage.mean_daytime_idle_fraction() * 100.0
+    );
+    let now = NowCluster::builder().nodes(64).build();
+    let outcome = now.run_mixed_workload(&jobs, &usage);
+    println!(
+        "64-workstation NOW: dilation {:.2} with {} migrations — \"almost a CM-5 for free\"",
+        outcome.mean_dilation(),
+        outcome.migrations
+    );
+
+    // --- Figure 4: why the jobs must be coscheduled ---
+    println!("\nscheduling discipline (slowdown of local vs gang, 2 competing jobs):");
+    let cluster = NowCluster::builder().nodes(16).build();
+    for app in AppSpec::figure4_apps() {
+        let gang = cluster.run_parallel(&app, Scheduling::Gang, 2);
+        let local = cluster.run_parallel(&app, Scheduling::Local, 2);
+        println!(
+            "  {:<20} gang {:>8.2} s   local {:>9.2} s   slowdown {:>7.1}x",
+            app.name,
+            gang.as_secs_f64(),
+            local.as_secs_f64(),
+            local.as_secs_f64() / gang.as_secs_f64()
+        );
+    }
+    println!(
+        "\nthe lesson of both figures: idle cycles are there for the taking,\n\
+         but only with migration on user return and coscheduled parallel slots."
+    );
+}

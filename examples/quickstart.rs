@@ -1,0 +1,73 @@
+//! Quickstart: boot a 100-node NOW (the Berkeley prototype's scale), use
+//! its serverless file system, recruit remote memory for an out-of-core
+//! job, and compare communication layers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use now_core::{Interconnect, NowCluster};
+
+fn main() {
+    // The Berkeley prototype: 100 workstations on switched ATM with
+    // user-level Active Messages.
+    let mut now = NowCluster::builder()
+        .nodes(100)
+        .interconnect(Interconnect::AtmActiveMessages)
+        .mem_mb_per_node(32)
+        .storage_disks(16)
+        .build();
+
+    println!("== a 100-node NOW ==");
+    println!(
+        "small-message one-way time: {:.1} µs (the paper's target: 10 µs)",
+        now.small_message_us()
+    );
+
+    // 1. The serverless file system: any client writes, any client reads,
+    //    no server anywhere.
+    let file = now.fs().create("/home/shared/results.dat").expect("fresh name");
+    let block_bytes = now.fs().block_bytes();
+    for block in 0..8u32 {
+        let data = vec![block as u8; block_bytes];
+        now.fs().write(0, file, block, &data).expect("write");
+    }
+    now.fs().sync(0).expect("sync");
+    let back = now.fs().read(99, file, 3).expect("read from the far side");
+    println!(
+        "xFS: node 99 read block 3 written by node 0: {} bytes, first = {}",
+        back.len(),
+        back[0]
+    );
+
+    // 2. Network RAM: a 96-MB problem on a 32-MB workstation.
+    let netram = now.run_out_of_core(96).expect("fast interconnect");
+    let disk = now.run_out_of_core_on_disk(96);
+    println!(
+        "out-of-core 96-MB multigrid: network RAM {:.1} s vs disk thrash {:.1} s ({:.1}x)",
+        netram.total.as_secs_f64(),
+        disk.total.as_secs_f64(),
+        disk.total.as_secs_f64() / netram.total.as_secs_f64()
+    );
+
+    // 3. Why the interconnect matters: the same job on commodity Ethernet.
+    let mut old_world = NowCluster::builder()
+        .nodes(100)
+        .interconnect(Interconnect::EthernetTcp)
+        .build();
+    println!(
+        "the same cluster on shared Ethernet + TCP: small message {:.0} µs, network RAM: {:?}",
+        old_world.small_message_us(),
+        old_world.run_out_of_core(96).expect_err("should refuse")
+    );
+
+    // 4. And the analytic bottom line: Gator on this machine.
+    let prediction = now.predict_gator();
+    println!(
+        "Gator prediction on this NOW: ODE {:.0} s + transport {:.0} s + input {:.0} s = {:.0} s",
+        prediction.ode_s,
+        prediction.transport_s,
+        prediction.input_s,
+        prediction.total_s()
+    );
+}

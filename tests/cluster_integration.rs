@@ -1,0 +1,142 @@
+//! Cross-crate integration: full-cluster scenarios through the public
+//! `now-core` API, exercising storage, memory, scheduling, and failure
+//! paths together.
+
+use now_core::{AppSpec, Interconnect, NowCluster, Scheduling};
+
+fn atm_cluster(nodes: u32) -> NowCluster {
+    NowCluster::builder()
+        .nodes(nodes)
+        .interconnect(Interconnect::AtmActiveMessages)
+        .build()
+}
+
+#[test]
+fn boot_write_crash_recover_verify() {
+    // The canonical NOW story: data written anywhere survives any single
+    // component failing — client, manager, or disk — with no server.
+    let mut now = atm_cluster(24);
+    let f = now.fs().create("/trace/day1").unwrap();
+    let bytes = now.fs().block_bytes();
+    for b in 0..64u32 {
+        let data = vec![(b % 251) as u8; bytes];
+        now.fs().write(b % 24, f, b, &data).unwrap();
+    }
+    for c in 0..24 {
+        now.fs().sync(c).unwrap();
+    }
+
+    // Client crash.
+    let lost = now.fs().fail_client(3);
+    assert!(lost.is_empty(), "synced data lost: {lost:?}");
+    // Manager crash.
+    now.fs().recover_manager(1);
+    // Disk crash + reconstruction.
+    now.fs().storage_mut().raid_mut().fail_disk(2);
+    for b in (0..64u32).step_by(7) {
+        let data = now.fs().read(5, f, b).unwrap();
+        assert_eq!(data[0], (b % 251) as u8, "degraded block {b}");
+    }
+    now.fs().storage_mut().raid_mut().reconstruct(2).unwrap();
+    for b in 0..64u32 {
+        let data = now.fs().read(7, f, b).unwrap();
+        assert_eq!(data[0], (b % 251) as u8, "post-recovery block {b}");
+    }
+}
+
+#[test]
+fn out_of_core_job_uses_the_buildings_memory() {
+    let mut now = atm_cluster(32);
+    let result = now.run_out_of_core(96).unwrap();
+    assert!(result.pager.netram_faults > 0, "must actually page remotely");
+    let disk = now.run_out_of_core_on_disk(96);
+    let speedup = disk.total.as_secs_f64() / result.total.as_secs_f64();
+    assert!(
+        speedup > 3.0,
+        "network RAM should clearly beat disk, got {speedup}x"
+    );
+}
+
+#[test]
+fn interconnect_choice_gates_capabilities() {
+    // The slow-network clusters refuse network RAM, matching the paper's
+    // Table 2 argument that Ethernet remote memory barely beats disk.
+    for slow in [Interconnect::EthernetTcp, Interconnect::EthernetPvm, Interconnect::AtmTcp] {
+        let mut now = NowCluster::builder().nodes(8).interconnect(slow).build();
+        assert!(now.run_out_of_core(64).is_err(), "{slow:?} should refuse");
+    }
+    for fast in [Interconnect::AtmActiveMessages, Interconnect::MyrinetActiveMessages] {
+        let mut now = NowCluster::builder().nodes(8).interconnect(fast).build();
+        assert!(now.run_out_of_core(64).is_ok(), "{fast:?} should work");
+    }
+}
+
+#[test]
+fn communication_upgrade_ladder_holds_end_to_end() {
+    // One-way small-message times, through the cluster API, reproduce the
+    // paper's ladder: PVM > TCP > sockets-class > AM.
+    let us = |i: Interconnect| {
+        NowCluster::builder().nodes(8).interconnect(i).build().small_message_us()
+    };
+    let pvm = us(Interconnect::EthernetPvm);
+    let tcp = us(Interconnect::AtmTcp);
+    let am = us(Interconnect::AtmActiveMessages);
+    let myri = us(Interconnect::MyrinetActiveMessages);
+    assert!(pvm > tcp, "PVM {pvm} vs TCP {tcp}");
+    assert!(tcp > am * 8.0, "order-of-magnitude claim: TCP {tcp} vs AM {am}");
+    assert!(myri < 12.0, "Myrinet AM should approach the 10 µs goal, got {myri}");
+}
+
+#[test]
+fn parallel_jobs_need_coscheduling_on_a_real_cluster() {
+    let now = atm_cluster(16);
+    let apps = AppSpec::figure4_apps();
+    // Tolerant app: local scheduling is nearly free.
+    let random = &apps[0];
+    let gang = now.run_parallel(random, Scheduling::Gang, 2);
+    let local = now.run_parallel(random, Scheduling::Local, 2);
+    assert!(local.as_secs_f64() / gang.as_secs_f64() < 1.6);
+    // Fine-grained app: local scheduling is catastrophic.
+    let connect = &apps[3];
+    let gang = now.run_parallel(connect, Scheduling::Gang, 2);
+    let local = now.run_parallel(connect, Scheduling::Local, 2);
+    assert!(local.as_secs_f64() / gang.as_secs_f64() > 10.0);
+}
+
+#[test]
+fn gator_prediction_through_the_cluster_matches_the_standalone_model() {
+    // The cluster façade must agree with now-models for a matching config.
+    let now = NowCluster::builder()
+        .nodes(256)
+        .interconnect(Interconnect::AtmActiveMessages)
+        .build();
+    let p = now.predict_gator();
+    let reference = now_models::gator::table4()
+        .into_iter()
+        .find(|r| r.machine.contains("low-overhead"))
+        .unwrap();
+    // Same fabric and overhead class: totals within 25 percent.
+    let ratio = p.total_s() / reference.total_s();
+    assert!(
+        (0.75..=1.25).contains(&ratio),
+        "cluster {} s vs model {} s",
+        p.total_s(),
+        reference.total_s()
+    );
+}
+
+#[test]
+fn membership_failures_and_storage_cooperate() {
+    // Kill nodes at the membership layer and at the FS layer coherently.
+    let mut now = atm_cluster(12);
+    let f = now.fs().create("/x").unwrap();
+    let bytes = now.fs().block_bytes();
+    now.fs().write(4, f, 0, &vec![9u8; bytes]).unwrap();
+    now.fs().sync(4).unwrap();
+
+    // Node 4 goes silent: membership notices, xFS drops it.
+    let failed = now.membership_mut().sweep(now_sim::SimTime::from_secs(100));
+    assert_eq!(failed.len(), 12, "nobody heartbeated in this test");
+    now.fs().fail_client(4);
+    assert_eq!(now.fs().read(0, f, 0).unwrap()[0], 9);
+}
