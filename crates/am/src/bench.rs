@@ -84,12 +84,7 @@ pub fn hotspot_throughput(net: Network, config: AmConfig, senders: u32, per_send
     let mut am = ActiveMessages::new(net, config, 3);
     for s in 1..=senders {
         for i in 0..per_sender {
-            am.request_at(
-                SimTime::from_micros(u64::from(i)),
-                NodeId(s),
-                NodeId(0),
-                64,
-            );
+            am.request_at(SimTime::from_micros(u64::from(i)), NodeId(s), NodeId(0), 64);
         }
     }
     let notes = am.run_to_completion();
@@ -136,12 +131,7 @@ mod tests {
             timeout: now_sim::SimDuration::from_secs(1),
             ..AmConfig::default()
         };
-        let points = bandwidth_sweep(
-            presets::am_atm(2),
-            config,
-            &[64, 512, 4_096, 32_768],
-            16,
-        );
+        let points = bandwidth_sweep(presets::am_atm(2), config, &[64, 512, 4_096, 32_768], 16);
         assert!(points.windows(2).all(|w| w[0].value < w[1].value));
         // Large messages approach the 155-Mbps wire.
         assert!(points.last().unwrap().value > 80.0);
@@ -149,7 +139,10 @@ mod tests {
 
     #[test]
     fn hotspot_scales_until_receiver_saturates() {
-        let config = AmConfig { credits: 8, ..AmConfig::default() };
+        let config = AmConfig {
+            credits: 8,
+            ..AmConfig::default()
+        };
         let t2 = hotspot_throughput(presets::am_atm(8), config, 2, 50);
         let t6 = hotspot_throughput(presets::am_atm(8), config, 6, 50);
         // More senders should not reduce total delivered throughput.

@@ -9,6 +9,7 @@
 //! group published.
 
 use now_net::{Network, NodeId};
+use now_probe::Probe;
 use now_sim::{SimDuration, SimTime};
 
 /// Maximum payload carried per fragment (an ATM-friendly unit well under
@@ -41,6 +42,21 @@ pub fn bulk_put(
     bytes: u64,
     start: SimTime,
 ) -> BulkOutcome {
+    bulk_put_probed(net, src, dst, bytes, start, &Probe::disabled())
+}
+
+/// [`bulk_put`] with telemetry: bumps `am.bulk.puts` / `am.bulk.fragments`
+/// / `am.bulk.bytes` and records the whole put's duration in the
+/// `am.bulk.put.ns` histogram. Note the per-fragment wire telemetry comes
+/// from whatever probe is attached to `net` itself.
+pub fn bulk_put_probed(
+    net: &mut Network,
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    start: SimTime,
+    probe: &Probe,
+) -> BulkOutcome {
     assert_ne!(src, dst, "bulk puts are remote");
     assert!(bytes > 0, "empty puts are not a thing");
     let mut remaining = bytes;
@@ -56,6 +72,12 @@ pub fn bulk_put(
         completed_at = out.delivered_at;
         now = out.sender_free_at;
         remaining -= chunk;
+    }
+    if probe.is_enabled() {
+        probe.count("am.bulk.puts", 1);
+        probe.count("am.bulk.fragments", fragments);
+        probe.count("am.bulk.bytes", bytes);
+        probe.record("am.bulk.put.ns", completed_at.saturating_since(start));
     }
     BulkOutcome {
         fragments,
@@ -160,7 +182,10 @@ mod tests {
         let mut net = presets::am_atm(2);
         let bytes = 1 << 20;
         let out = bulk_put(&mut net, NodeId(0), NodeId(1), bytes, SimTime::ZERO);
-        let secs = out.completed_at.saturating_since(SimTime::ZERO).as_secs_f64();
+        let secs = out
+            .completed_at
+            .saturating_since(SimTime::ZERO)
+            .as_secs_f64();
         let mbps = bytes as f64 * 8.0 / secs / 1e6;
         assert!(mbps > 120.0, "achieved {mbps} Mbps");
     }
@@ -199,8 +224,14 @@ mod tests {
     #[test]
     fn trivial_collectives() {
         let mut net = presets::am_atm(4);
-        assert_eq!(barrier(&mut net, 1, SimTime::from_micros(5)), SimTime::from_micros(5));
-        assert_eq!(broadcast(&mut net, 1, SimTime::from_micros(5)), SimTime::from_micros(5));
+        assert_eq!(
+            barrier(&mut net, 1, SimTime::from_micros(5)),
+            SimTime::from_micros(5)
+        );
+        assert_eq!(
+            broadcast(&mut net, 1, SimTime::from_micros(5)),
+            SimTime::from_micros(5)
+        );
     }
 
     #[test]
@@ -235,9 +266,6 @@ mod tests {
         // parallelism on a NOW.
         let mut net = presets::am_atm(100);
         let t = barrier(&mut net, 100, SimTime::ZERO).saturating_since(SimTime::ZERO);
-        assert!(
-            t < SimDuration::from_millis(1),
-            "100-node barrier took {t}"
-        );
+        assert!(t < SimDuration::from_millis(1), "100-node barrier took {t}");
     }
 }

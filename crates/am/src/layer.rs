@@ -3,6 +3,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use now_net::{Network, NodeId};
+use now_probe::Probe;
 use now_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -122,6 +123,8 @@ struct OutstandingReq {
     dst: NodeId,
     attempt: u32,
     timeout_event: EventId,
+    /// When the *first* attempt went on the wire (for RTT accounting).
+    issued: SimTime,
 }
 
 #[derive(Debug, Default)]
@@ -157,6 +160,7 @@ pub struct ActiveMessages {
     pending_params: HashMap<MsgId, (NodeId, NodeId, u64)>,
     next_id: u64,
     stats: AmStats,
+    probe: Probe,
 }
 
 impl ActiveMessages {
@@ -182,7 +186,17 @@ impl ActiveMessages {
             pending_params: HashMap::new(),
             next_id: 0,
             stats: AmStats::default(),
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches a telemetry probe. Counters mirror [`AmStats`] under
+    /// `am.*` names, the `am.rtt.ns` histogram tracks request-to-reply
+    /// round trips (measured from the first wire attempt), and the probe
+    /// is propagated to the underlying [`Network`].
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.net.set_probe(probe.clone());
+        self.probe = probe;
     }
 
     /// Current simulated time.
@@ -220,6 +234,7 @@ impl ActiveMessages {
         self.pending_params.insert(id, (src, dst, bytes));
         self.queue.schedule_at(at, Event::UserSend { id });
         self.stats.requests += 1;
+        self.probe.count("am.requests", 1);
         id
     }
 
@@ -297,7 +312,7 @@ impl ActiveMessages {
                     .get(&id)
                     .expect("user send for unknown id");
                 if *self.credits_mut(src, dst) > 0 {
-                    self.launch(id, now, 0);
+                    self.launch(id, now, 0, now);
                 } else {
                     self.stalled.entry((src, dst)).or_default().push_back(id);
                 }
@@ -310,22 +325,27 @@ impl ActiveMessages {
                 if req.attempt >= self.config.max_retries {
                     self.outstanding.remove(&id);
                     self.stats.failed += 1;
+                    self.probe.count("am.failed", 1);
                     // Release the credit so the pair does not deadlock.
                     self.return_credit(req.src, req.dst, now);
                     return Some(Notification::RequestFailed { id, at: now });
                 }
                 self.stats.retransmits += 1;
+                self.probe.count("am.retransmits", 1);
                 self.outstanding.remove(&id);
-                self.launch(id, now, req.attempt + 1);
+                self.launch(id, now, req.attempt + 1, req.issued);
                 None
             }
             Event::Arrive { id, src, dst, kind } => {
                 if self.rng.chance(self.config.loss_probability) {
                     self.stats.wire_losses += 1;
+                    self.probe.count("am.wire_losses", 1);
                     return None;
                 }
                 match kind {
-                    WireKind::Request { bytes, .. } => self.arrive_request(id, src, dst, bytes, now),
+                    WireKind::Request { bytes, .. } => {
+                        self.arrive_request(id, src, dst, bytes, now)
+                    }
                     WireKind::Reply => self.arrive_reply(id, dst, now),
                 }
             }
@@ -333,11 +353,10 @@ impl ActiveMessages {
     }
 
     /// Puts a request on the wire (first attempt or retransmission).
-    fn launch(&mut self, id: MsgId, now: SimTime, attempt: u32) {
-        let (src, dst, bytes) = *self
-            .pending_params
-            .get(&id)
-            .expect("launch for unknown id");
+    /// `issued` is when the request's first attempt launched, carried
+    /// across retransmissions for RTT accounting.
+    fn launch(&mut self, id: MsgId, now: SimTime, attempt: u32, issued: SimTime) {
+        let (src, dst, bytes) = *self.pending_params.get(&id).expect("launch for unknown id");
         if attempt == 0 {
             let c = self.credits_mut(src, dst);
             debug_assert!(*c > 0, "launch without credit");
@@ -364,6 +383,7 @@ impl ActiveMessages {
                 dst,
                 attempt,
                 timeout_event,
+                issued,
             },
         );
     }
@@ -381,6 +401,7 @@ impl ActiveMessages {
             // Duplicate (our reply was lost): re-reply, do not re-run the
             // handler.
             self.stats.duplicates += 1;
+            self.probe.count("am.duplicates", 1);
             self.send_reply(id, dst, src, now);
             return None;
         }
@@ -389,12 +410,14 @@ impl ActiveMessages {
         } else if ep.inbox.iter().any(|&(qid, _, _)| qid == id) {
             // A retransmission of a message we already buffered.
             self.stats.duplicates += 1;
+            self.probe.count("am.duplicates", 1);
             None
         } else if (ep.inbox.len() as u32) < self.config.recv_buffer_msgs {
             ep.inbox.push_back((id, src, bytes));
             None
         } else {
             self.stats.buffer_drops += 1;
+            self.probe.count("am.buffer_drops", 1);
             None // sender's timeout recovers it
         }
     }
@@ -410,8 +433,14 @@ impl ActiveMessages {
         let inserted = self.endpoints[dst.0 as usize].handled.insert(id);
         debug_assert!(inserted, "handler must run exactly once");
         self.stats.delivered += 1;
+        self.probe.count("am.delivered", 1);
         self.send_reply(id, dst, src, now);
-        Notification::RequestDelivered { id, src, dst, at: now }
+        Notification::RequestDelivered {
+            id,
+            src,
+            dst,
+            at: now,
+        }
     }
 
     fn send_reply(&mut self, id: MsgId, from: NodeId, to: NodeId, now: SimTime) {
@@ -434,6 +463,9 @@ impl ActiveMessages {
         debug_assert_eq!(req.src, at, "reply must return to the sender");
         self.queue.cancel(req.timeout_event);
         self.stats.replies += 1;
+        self.probe.count("am.replies", 1);
+        self.probe
+            .record("am.rtt.ns", now.saturating_since(req.issued));
         self.pending_params.remove(&id);
         self.return_credit(req.src, req.dst, now);
         Some(Notification::ReplyDelivered { id, at: now })
@@ -446,7 +478,7 @@ impl ActiveMessages {
             if let Some(next) = queue.pop_front() {
                 let c = self.credits_mut(src, dst);
                 debug_assert!(*c > 0);
-                self.launch(next, now, 0);
+                self.launch(next, now, 0, now);
             }
         }
     }
@@ -625,7 +657,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(failed, vec![id, id2], "both fail, second after credit release");
+        assert_eq!(
+            failed,
+            vec![id, id2],
+            "both fail, second after credit release"
+        );
         assert_eq!(am.stats().failed, 2);
         assert_eq!(am.credits_available(NodeId(0), NodeId(1)), 1);
     }

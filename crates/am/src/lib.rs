@@ -54,7 +54,5 @@ mod bulk;
 mod layer;
 
 pub use bench::{bandwidth_sweep, hotspot_throughput, ping_pong, BenchPoint};
-pub use bulk::{barrier, broadcast, bulk_put, BulkOutcome, FRAGMENT_BYTES};
-pub use layer::{
-    ActiveMessages, AmConfig, AmStats, MsgId, Notification,
-};
+pub use bulk::{barrier, broadcast, bulk_put, bulk_put_probed, BulkOutcome, FRAGMENT_BYTES};
+pub use layer::{ActiveMessages, AmConfig, AmStats, MsgId, Notification};

@@ -1,0 +1,83 @@
+//! A/B benches for the telemetry layer's core claim: a disabled
+//! [`now_probe::Probe`] adds no measurable cost to the hot paths it taps.
+//!
+//! Each workload runs three ways — no probe touched (the pre-telemetry
+//! baseline shape), an explicitly disabled probe, and a live
+//! [`now_probe::Registry`] probe — so `cargo bench` puts the disabled and
+//! baseline numbers side by side.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use now_net::{presets, Network, NodeId};
+use now_probe::{Probe, Registry};
+use now_sim::SimTime;
+
+const TRANSFERS: u64 = 4_096;
+
+fn drive(net: &mut Network) -> u64 {
+    let mut occupied = 0;
+    for i in 0..TRANSFERS {
+        let src = NodeId((i % 7) as u32);
+        let dst = NodeId(7);
+        let out = net.transfer(src, dst, 1_024 + (i % 5) * 512, SimTime::from_micros(i * 3));
+        occupied += out.delivered_at.as_nanos();
+    }
+    occupied
+}
+
+fn bench_network_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe_overhead/net_transfer");
+    g.throughput(Throughput::Elements(TRANSFERS));
+    g.bench_function("baseline_untouched", |b| {
+        b.iter(|| {
+            let mut net = presets::am_atm(8);
+            black_box(drive(&mut net))
+        })
+    });
+    g.bench_function("probe_disabled", |b| {
+        b.iter(|| {
+            let mut net = presets::am_atm(8);
+            net.set_probe(Probe::disabled());
+            black_box(drive(&mut net))
+        })
+    });
+    g.bench_function("probe_enabled", |b| {
+        let registry = Registry::new();
+        b.iter(|| {
+            let mut net = presets::am_atm(8);
+            net.set_probe(registry.probe());
+            black_box(drive(&mut net))
+        })
+    });
+    g.finish();
+}
+
+fn bench_multigrid(c: &mut Criterion) {
+    use now_mem::multigrid::{run_probed, MemoryConfig};
+    let mut g = c.benchmark_group("probe_overhead/multigrid_48mb");
+    g.sample_size(20);
+    g.bench_function("probe_disabled", |b| {
+        b.iter(|| {
+            black_box(run_probed(
+                48,
+                MemoryConfig::local32_netram(),
+                &Probe::disabled(),
+            ))
+        })
+    });
+    g.bench_function("probe_enabled", |b| {
+        let registry = Registry::new();
+        b.iter(|| {
+            black_box(run_probed(
+                48,
+                MemoryConfig::local32_netram(),
+                &registry.probe(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(probe_overhead, bench_network_transfer, bench_multigrid);
+criterion_main!(probe_overhead);

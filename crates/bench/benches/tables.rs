@@ -9,15 +9,21 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_table1_lag(c: &mut Criterion) {
-    c.bench_function("table1_mpp_lag", |b| b.iter(|| black_box(now_bench::table1())));
+    c.bench_function("table1_mpp_lag", |b| {
+        b.iter(|| black_box(now_bench::table1()))
+    });
 }
 
 fn bench_figure1_cost(c: &mut Criterion) {
-    c.bench_function("figure1_price_model", |b| b.iter(|| black_box(now_bench::figure1())));
+    c.bench_function("figure1_price_model", |b| {
+        b.iter(|| black_box(now_bench::figure1()))
+    });
 }
 
 fn bench_table2_miss_service(c: &mut Criterion) {
-    c.bench_function("table2_miss_service", |b| b.iter(|| black_box(now_bench::table2())));
+    c.bench_function("table2_miss_service", |b| {
+        b.iter(|| black_box(now_bench::table2()))
+    });
 }
 
 fn bench_fig2_netram(c: &mut Criterion) {
@@ -46,13 +52,20 @@ fn bench_table3_coopcache(c: &mut Criterion) {
         b.iter(|| black_box(simulate(&trace, &CacheConfig::table3(Policy::ClientServer))))
     });
     g.bench_function("n_chance", |b| {
-        b.iter(|| black_box(simulate(&trace, &CacheConfig::table3(Policy::NChance { n: 2 }))))
+        b.iter(|| {
+            black_box(simulate(
+                &trace,
+                &CacheConfig::table3(Policy::NChance { n: 2 }),
+            ))
+        })
     });
     g.finish();
 }
 
 fn bench_table4_gator(c: &mut Criterion) {
-    c.bench_function("table4_gator_model", |b| b.iter(|| black_box(now_bench::table4())));
+    c.bench_function("table4_gator_model", |b| {
+        b.iter(|| black_box(now_bench::table4()))
+    });
 }
 
 fn bench_fig3_mixed(c: &mut Criterion) {
@@ -65,7 +78,9 @@ fn bench_fig3_mixed(c: &mut Criterion) {
     let usage = UsageTrace::generate(&ucfg, 43);
     let mut g = c.benchmark_group("figure3_mixed_workload");
     g.sample_size(10);
-    g.bench_function("dedicated_mpp", |b| b.iter(|| black_box(dedicated_mpp(&jobs, 32))));
+    g.bench_function("dedicated_mpp", |b| {
+        b.iter(|| black_box(dedicated_mpp(&jobs, 32)))
+    });
     g.bench_function("now_64_workstations", |b| {
         b.iter(|| black_box(now_cluster(&jobs, &usage, &MixedConfig::paper_defaults())))
     });

@@ -89,9 +89,15 @@ pub fn migration_path() -> String {
     t.title("Ablation - memory restore path for process migration (48 workstations)");
     for (name, migration) in [
         ("ATM + parallel file system", MigrationModel::now_atm_pfs()),
-        ("ATM + single server disk", MigrationModel::now_atm_single_disk()),
+        (
+            "ATM + single server disk",
+            MigrationModel::now_atm_single_disk(),
+        ),
     ] {
-        let config = MixedConfig { process_mem_mb: 64, migration };
+        let config = MixedConfig {
+            process_mem_mb: 64,
+            migration,
+        };
         let out = now_cluster(&jobs, &usage, &config);
         t.row_owned(vec![
             name.to_string(),
@@ -112,7 +118,10 @@ pub fn scheduling_quantum() -> String {
     for q_ms in [25u64, 50, 100, 200] {
         let mut config = CoschedConfig::paper_defaults(2);
         config.quantum = SimDuration::from_millis(q_ms);
-        t.row_owned(vec![q_ms.to_string(), format!("{:.1}", slowdown(&em3d, &config))]);
+        t.row_owned(vec![
+            q_ms.to_string(),
+            format!("{:.1}", slowdown(&em3d, &config)),
+        ]);
     }
     t.render()
 }
@@ -178,7 +187,10 @@ mod tests {
     #[test]
     fn raid_write_path_shows_the_small_write_problem() {
         let report = raid_write_path();
-        assert!(report.contains("4.00"), "in-place should cost 4 ops:\n{report}");
+        assert!(
+            report.contains("4.00"),
+            "in-place should cost 4 ops:\n{report}"
+        );
         // The log path is well under 2 ops per write.
         assert!(report.contains("log-structured"));
     }

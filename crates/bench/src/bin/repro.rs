@@ -5,20 +5,56 @@
 //! repro --table4 --fig2  # just those artifacts
 //! repro --fast           # everything, with Table 3 on a 12-hour trace
 //! repro --ablations      # design-choice sweeps (not in the paper)
+//! repro --metrics table2           # append the probe snapshot (=text|csv|json)
+//! repro --trace-out now.json fig2  # write a Chrome/Perfetto trace
 //! ```
 
 use std::env;
+use std::process::exit;
+
+use now_probe::{Probe, Registry};
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| *a != "--fast")
-        .map(|a| a.trim_start_matches("--"))
-        .collect();
+    let mut fast = false;
+    let mut metrics: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--fast" {
+            fast = true;
+        } else if arg == "--metrics" {
+            metrics = Some("text".to_string());
+        } else if let Some(format) = arg.strip_prefix("--metrics=") {
+            if !matches!(format, "text" | "csv" | "json") {
+                eprintln!("unknown metrics format {format:?} (want text, csv, or json)");
+                exit(2);
+            }
+            metrics = Some(format.to_string());
+        } else if arg == "--trace-out" {
+            match it.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out needs a file path");
+                    exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+            trace_out = Some(path.to_string());
+        } else {
+            selected.push(arg.trim_start_matches("--").to_string());
+        }
+    }
     let all = selected.is_empty();
-    let want = |name: &str| all || selected.contains(&name);
+    let want = |name: &str| all || selected.iter().any(|s| s == name);
+
+    // Probing is on whenever any telemetry output was requested; otherwise
+    // every subsystem sees a disabled (free) probe.
+    let registry = (metrics.is_some() || trace_out.is_some()).then(Registry::new);
+    let probe = registry
+        .as_ref()
+        .map_or_else(Probe::disabled, Registry::probe);
 
     if want("table1") {
         println!("{}", now_bench::table1());
@@ -27,13 +63,13 @@ fn main() {
         println!("{}", now_bench::figure1());
     }
     if want("table2") {
-        println!("{}", now_bench::table2());
+        println!("{}", now_bench::table2_probed(&probe));
     }
     if want("fig2") || want("figure2") {
-        println!("{}", now_bench::figure2());
+        println!("{}", now_bench::figure2_probed(&probe));
     }
     if want("table3") {
-        println!("{}", now_bench::table3(!fast));
+        println!("{}", now_bench::table3_probed(!fast, &probe));
     }
     if want("table4") {
         println!("{}", now_bench::table4());
@@ -42,7 +78,7 @@ fn main() {
         println!("{}", now_bench::figure3());
     }
     if want("fig4") || want("figure4") {
-        println!("{}", now_bench::figure4());
+        println!("{}", now_bench::figure4_probed(&probe));
     }
     if want("nfs") {
         println!("{}", now_bench::nfs_study());
@@ -55,7 +91,24 @@ fn main() {
     }
     // Ablations are opt-in: they are design-choice sweeps, not paper
     // artifacts.
-    if selected.contains(&"ablations") {
+    if selected.iter().any(|s| s == "ablations") {
         println!("{}", now_bench::ablations::all());
+    }
+
+    if let Some(registry) = registry {
+        if let Some(format) = metrics {
+            match format.as_str() {
+                "csv" => print!("{}", registry.render_csv()),
+                "json" => println!("{}", registry.render_json()),
+                _ => println!("{}", registry.render_text()),
+            }
+        }
+        if let Some(path) = trace_out {
+            if let Err(e) = std::fs::write(&path, registry.chrome_trace()) {
+                eprintln!("cannot write trace to {path}: {e}");
+                exit(1);
+            }
+            eprintln!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+        }
     }
 }

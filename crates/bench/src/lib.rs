@@ -16,6 +16,7 @@ pub mod ablations;
 
 use now_models::gator;
 use now_models::{cost, nfs as nfs_model, remote_access, techtrend};
+use now_probe::Probe;
 use now_sim::report::{render_figure, Series, TextTable};
 use now_sim::SimDuration;
 
@@ -64,7 +65,33 @@ pub fn figure1() -> String {
 
 /// Table 2: time to service an 8-KB file-cache miss.
 pub fn table2() -> String {
+    table2_probed(&Probe::disabled())
+}
+
+/// [`table2`] with telemetry: publishes the fault-service decomposition as
+/// `netram.fault_service.*` gauges (µs), so a snapshot can be
+/// cross-checked against the table's printed constants.
+pub fn table2_probed(probe: &Probe) -> String {
     let model = remote_access::AccessModel::paper_defaults();
+    if probe.is_enabled() {
+        use remote_access::Network::{Atm155, Ethernet10};
+        probe.gauge_set("netram.fault_service.memory_copy_us", model.memory_copy_us);
+        probe.gauge_set(
+            "netram.fault_service.net_overhead_us",
+            model.net_overhead_us,
+        );
+        // Rounded to whole microseconds, like the table's printed cells
+        // (10 Mb/s division leaves float dust on the Ethernet transfer).
+        probe.gauge_set(
+            "netram.fault_service.transfer_ethernet_us",
+            model.transfer_time_us(Ethernet10).round(),
+        );
+        probe.gauge_set(
+            "netram.fault_service.transfer_atm_us",
+            model.transfer_time_us(Atm155).round(),
+        );
+        probe.gauge_set("netram.fault_service.disk_us", model.disk_us);
+    }
     let mut t = TextTable::new(&[
         "Component",
         "Ethernet rem. mem (us)",
@@ -75,7 +102,10 @@ pub fn table2() -> String {
     t.title("Table 2 - 8-KB miss service time, Ethernet vs 155-Mbps ATM");
     let cells = model.table2();
     let s = |f: fn(&remote_access::ServiceTime) -> f64| -> Vec<String> {
-        cells.iter().map(|(_, _, st)| format!("{:.0}", f(st))).collect()
+        cells
+            .iter()
+            .map(|(_, _, st)| format!("{:.0}", f(st)))
+            .collect()
     };
     let copies = s(|st| st.memory_copy_us);
     let overheads = s(|st| st.net_overhead_us);
@@ -102,33 +132,53 @@ pub fn table2() -> String {
 
 /// Figure 2: multigrid execution time vs problem size on the three memory
 /// configurations. The three machine curves are independent, so they run
-/// on separate threads (crossbeam scope).
+/// on separate scoped threads.
 pub fn figure2() -> String {
-    use now_mem::multigrid::{figure2_sizes, run, MemoryConfig};
+    figure2_probed(&Probe::disabled())
+}
+
+/// [`figure2`] with telemetry: every multigrid run fires the `pager.*` /
+/// `netram.*` probes and records a `mem/multigrid` span, tagged with the
+/// curve's index as the probe node (0 = disk, 1 = big DRAM, 2 = network
+/// RAM). Counter updates are atomic and the trace is sorted at export, so
+/// the snapshot is identical run to run despite the worker threads.
+pub fn figure2_probed(probe: &Probe) -> String {
+    use now_mem::multigrid::{figure2_sizes, run_probed, MemoryConfig};
     let configs = [
         ("32 MB + disk paging", MemoryConfig::local32_disk()),
         ("128 MB local DRAM", MemoryConfig::local128()),
         ("32 MB + network RAM", MemoryConfig::local32_netram()),
     ];
-    let mut series: Vec<Series> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    // One worker per curve; handles are joined in `configs` order so the
+    // legend is stable no matter which thread finishes first.
+    let series: Vec<Series> = std::thread::scope(|scope| {
         let handles: Vec<_> = configs
             .iter()
-            .map(|(name, cfg)| {
-                scope.spawn(move |_| {
+            .enumerate()
+            .map(|(node, (name, cfg))| {
+                let worker_probe = probe.for_node(node as u32);
+                scope.spawn(move || {
                     let points = figure2_sizes()
                         .into_iter()
-                        .map(|mb| (mb as f64, run(mb, cfg.clone()).total.as_secs_f64()))
+                        .map(|mb| {
+                            (
+                                mb as f64,
+                                run_probed(mb, cfg.clone(), &worker_probe)
+                                    .total
+                                    .as_secs_f64(),
+                            )
+                        })
                         .collect::<Vec<_>>();
                     Series::new(name, points)
                 })
             })
             .collect();
-        for h in handles {
-            series.push(h.join().expect("figure 2 worker"));
-        }
-    })
-    .expect("crossbeam scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("figure 2 worker"))
+            .collect()
+    });
+    debug_assert_eq!(series.len(), configs.len());
     render_figure(
         "Figure 2 - multigrid execution time vs problem size",
         "problem size (MB)",
@@ -142,7 +192,13 @@ pub fn figure2() -> String {
 /// `full_length` selects the paper's two-day trace (slow; used by the
 /// repro binary) or a 12-hour version (used in tests).
 pub fn table3(full_length: bool) -> String {
-    use now_cache::{simulate, CacheConfig, Policy};
+    table3_probed(full_length, &Probe::disabled())
+}
+
+/// [`table3`] with telemetry: the three policy runs fire the `cache.*`
+/// counters (aggregated across policies).
+pub fn table3_probed(full_length: bool, probe: &Probe) -> String {
+    use now_cache::{simulate_probed, CacheConfig, Policy};
     use now_trace::fs::{FsTrace, FsTraceConfig};
     let mut cfg = FsTraceConfig::paper_defaults();
     if !full_length {
@@ -156,7 +212,7 @@ pub fn table3(full_length: bool) -> String {
         ("Cooperative (greedy fwd)", Policy::GreedyForwarding),
         ("Cooperative (n-chance)", Policy::NChance { n: 2 }),
     ] {
-        let r = simulate(&trace, &CacheConfig::table3(policy));
+        let r = simulate_probed(&trace, &CacheConfig::table3(policy), probe);
         t.row_owned(vec![
             name.to_string(),
             format!("{:.1}", r.disk_read_rate() * 100.0),
@@ -204,7 +260,13 @@ pub fn figure3() -> String {
 
 /// Figure 4: local vs gang scheduling slowdown per application.
 pub fn figure4() -> String {
-    let series: Vec<Series> = now_glunix::cosched::figure4_series()
+    figure4_probed(&Probe::disabled())
+}
+
+/// [`figure4`] with telemetry: every gang and local run fires the
+/// `cosched.*` probes (slot fill, skew, migrations, stalls).
+pub fn figure4_probed(probe: &Probe) -> String {
+    let series: Vec<Series> = now_glunix::cosched::figure4_series_probed(probe)
         .into_iter()
         .map(|(name, points)| Series::new(&name, points))
         .collect();
@@ -286,7 +348,10 @@ pub fn restore_study() -> String {
     t.title("Memory restore time for the interactive-user guarantee");
     for (name, m) in [
         ("ATM + parallel file system", MigrationModel::now_atm_pfs()),
-        ("ATM + single server disk", MigrationModel::now_atm_single_disk()),
+        (
+            "ATM + single server disk",
+            MigrationModel::now_atm_single_disk(),
+        ),
     ] {
         t.row_owned(vec![
             name.to_string(),

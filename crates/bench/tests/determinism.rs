@@ -1,0 +1,62 @@
+//! Golden determinism: the same artifact run twice must render the same
+//! bytes, and so must every telemetry export taken alongside it. Figure 2
+//! is the interesting case — its three curves run on scoped threads, so
+//! this also pins the thread-collection order and the commutativity of
+//! probe counter updates.
+
+use now_probe::Registry;
+
+#[test]
+fn figure2_render_and_telemetry_are_byte_identical_across_runs() {
+    let run = || {
+        let registry = Registry::new();
+        let rendered = now_bench::figure2_probed(&registry.probe());
+        (
+            rendered,
+            registry.render_text(),
+            registry.render_csv(),
+            registry.render_json(),
+            registry.chrome_trace(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "figure 2 rendering drifted between runs");
+    assert_eq!(a.1, b.1, "probe text snapshot drifted between runs");
+    assert_eq!(a.2, b.2, "probe CSV snapshot drifted between runs");
+    assert_eq!(a.3, b.3, "probe JSON snapshot drifted between runs");
+    assert_eq!(a.4, b.4, "Chrome trace drifted between runs");
+}
+
+#[test]
+fn table2_gauges_match_paper_constants() {
+    // The acceptance cross-check: the published fault-service gauges are
+    // exactly Table 2's printed cells.
+    let registry = Registry::new();
+    now_bench::table2_probed(&registry.probe());
+    let csv = registry.render_csv();
+    for want in [
+        "gauge,netram.fault_service.memory_copy_us,250.0,",
+        "gauge,netram.fault_service.net_overhead_us,400.0,",
+        "gauge,netram.fault_service.transfer_ethernet_us,6250.0,",
+        "gauge,netram.fault_service.transfer_atm_us,400.0,",
+        "gauge,netram.fault_service.disk_us,14800.0,",
+    ] {
+        assert!(csv.contains(want), "missing {want:?} in:\n{csv}");
+    }
+}
+
+#[test]
+fn probe_free_runs_match_probed_runs() {
+    // Telemetry is an observer: the rendered artifact must not change
+    // when a live probe rides along.
+    let registry = Registry::new();
+    assert_eq!(
+        now_bench::table2(),
+        now_bench::table2_probed(&registry.probe())
+    );
+    assert_eq!(
+        now_bench::figure4(),
+        now_bench::figure4_probed(&registry.probe())
+    );
+}

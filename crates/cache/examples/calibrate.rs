@@ -4,8 +4,12 @@ use now_trace::fs::{FsTrace, FsTraceConfig};
 fn main() {
     let cfg = FsTraceConfig::paper_defaults();
     let trace = FsTrace::generate(&cfg, 42);
-    println!("trace: {} accesses, {} unique blocks, shared {:.3}",
-        trace.len(), trace.unique_blocks(), trace.shared_block_fraction());
+    println!(
+        "trace: {} accesses, {} unique blocks, shared {:.3}",
+        trace.len(),
+        trace.unique_blocks(),
+        trace.shared_block_fraction()
+    );
     for (name, policy) in [
         ("client-server", Policy::ClientServer),
         ("greedy", Policy::GreedyForwarding),

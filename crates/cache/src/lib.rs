@@ -39,4 +39,7 @@
 
 mod sim;
 
-pub use sim::{simulate, sweep_client_cache, sweep_nchance, AccessCosts, CacheConfig, Policy, SimResult};
+pub use sim::{
+    simulate, simulate_probed, sweep_client_cache, sweep_nchance, AccessCosts, CacheConfig, Policy,
+    SimResult,
+};

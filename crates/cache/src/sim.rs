@@ -3,6 +3,7 @@
 use std::collections::{HashMap, HashSet};
 
 use now_mem::{LruCache, Touch};
+use now_probe::Probe;
 use now_sim::{SimDuration, SimRng};
 use now_trace::fs::{AccessKind, BlockId, FsTrace};
 use serde::{Deserialize, Serialize};
@@ -222,6 +223,17 @@ impl Cluster {
 ///
 /// Panics if the trace names a client beyond its own `clients` count.
 pub fn simulate(trace: &FsTrace, config: &CacheConfig) -> SimResult {
+    simulate_probed(trace, config, &Probe::disabled())
+}
+
+/// [`simulate`] with telemetry: counters under `cache.*` mirror the
+/// returned [`SimResult`] (reads, writes, the four read-service classes,
+/// and forwards), so a registry-wide snapshot can cross-check Table 3.
+///
+/// # Panics
+///
+/// Panics if the trace names a client beyond its own `clients` count.
+pub fn simulate_probed(trace: &FsTrace, config: &CacheConfig, probe: &Probe) -> SimResult {
     let (client_blocks, global) = match config.policy {
         Policy::Centralized { local_fraction } => {
             assert!(
@@ -345,17 +357,23 @@ pub fn simulate(trace: &FsTrace, config: &CacheConfig) -> SimResult {
         }
         cluster.insert_into_client(client, block, false, config.policy);
     }
+    if probe.is_enabled() {
+        probe.count("cache.reads", r.reads);
+        probe.count("cache.writes", r.writes);
+        probe.count("cache.local_hits", r.local_hits);
+        probe.count("cache.remote_client_hits", r.remote_client_hits);
+        probe.count("cache.server_hits", r.server_hits);
+        probe.count("cache.disk_reads", r.disk_reads);
+        probe.count("cache.forwards", r.forwards);
+        probe.record("cache.read_time.ns", r.read_time);
+    }
     r
 }
 
 /// Sweeps client-cache capacity, returning `(client_mb, disk_read_rate)`
 /// for a fixed policy — the ablation behind "how much client memory does
 /// cooperation need?".
-pub fn sweep_client_cache(
-    trace: &FsTrace,
-    policy: Policy,
-    client_mbs: &[u64],
-) -> Vec<(u64, f64)> {
+pub fn sweep_client_cache(trace: &FsTrace, policy: Policy, client_mbs: &[u64]) -> Vec<(u64, f64)> {
     client_mbs
         .iter()
         .map(|&mb| {
@@ -461,13 +479,31 @@ mod tests {
         // writes it, client 0 reads again — the second read must not be a
         // local hit on a stale copy.
         use now_sim::SimTime;
-        use now_trace::fs::{FsAccess, FileId};
-        let block = BlockId { file: FileId(0), block: 0 };
+        use now_trace::fs::{FileId, FsAccess};
+        let block = BlockId {
+            file: FileId(0),
+            block: 0,
+        };
         let t = FsTrace {
             accesses: vec![
-                FsAccess { time: SimTime::from_secs(1), client: 0, block, kind: AccessKind::Read },
-                FsAccess { time: SimTime::from_secs(2), client: 1, block, kind: AccessKind::Write },
-                FsAccess { time: SimTime::from_secs(3), client: 0, block, kind: AccessKind::Read },
+                FsAccess {
+                    time: SimTime::from_secs(1),
+                    client: 0,
+                    block,
+                    kind: AccessKind::Read,
+                },
+                FsAccess {
+                    time: SimTime::from_secs(2),
+                    client: 1,
+                    block,
+                    kind: AccessKind::Write,
+                },
+                FsAccess {
+                    time: SimTime::from_secs(3),
+                    client: 0,
+                    block,
+                    kind: AccessKind::Read,
+                },
             ],
             file_blocks: vec![1],
             clients: 2,
@@ -489,7 +525,9 @@ mod tests {
         let nchance = simulate(&t, &CacheConfig::small(Policy::NChance { n: 2 }));
         let central = simulate(
             &t,
-            &CacheConfig::small(Policy::Centralized { local_fraction: 0.2 }),
+            &CacheConfig::small(Policy::Centralized {
+                local_fraction: 0.2,
+            }),
         );
         assert!(
             central.disk_read_rate() <= nchance.disk_read_rate() * 1.15,
@@ -503,8 +541,11 @@ mod tests {
     #[test]
     fn centralized_writes_invalidate_the_pool() {
         use now_sim::SimTime;
-        use now_trace::fs::{FsAccess, FileId};
-        let block = BlockId { file: FileId(0), block: 0 };
+        use now_trace::fs::{FileId, FsAccess};
+        let block = BlockId {
+            file: FileId(0),
+            block: 0,
+        };
         let mk = |client, secs, kind| FsAccess {
             time: SimTime::from_secs(secs),
             client,
@@ -513,17 +554,19 @@ mod tests {
         };
         let t = FsTrace {
             accesses: vec![
-                mk(0, 1, AccessKind::Read),   // 0 caches it
-                mk(1, 2, AccessKind::Read),   // 1 caches it
-                mk(1, 3, AccessKind::Write),  // 1 rewrites: all copies stale
-                mk(2, 4, AccessKind::Read),   // must not see a stale pool copy
+                mk(0, 1, AccessKind::Read),  // 0 caches it
+                mk(1, 2, AccessKind::Read),  // 1 caches it
+                mk(1, 3, AccessKind::Write), // 1 rewrites: all copies stale
+                mk(2, 4, AccessKind::Read),  // must not see a stale pool copy
             ],
             file_blocks: vec![1],
             clients: 3,
         };
         let r = simulate(
             &t,
-            &CacheConfig::small(Policy::Centralized { local_fraction: 0.2 }),
+            &CacheConfig::small(Policy::Centralized {
+                local_fraction: 0.2,
+            }),
         );
         // Reads: 0 -> disk; 1 -> pool/peer or disk; 2 -> writer's cache is
         // not reachable under Centralized (no directory), so pool miss ->
@@ -563,7 +606,11 @@ mod tests {
     #[test]
     fn zero_reads_yield_zero_rates() {
         use now_trace::fs::FsTrace;
-        let t = FsTrace { accesses: vec![], file_blocks: vec![], clients: 1 };
+        let t = FsTrace {
+            accesses: vec![],
+            file_blocks: vec![],
+            clients: 1,
+        };
         let r = simulate(&t, &CacheConfig::small(Policy::ClientServer));
         assert_eq!(r.disk_read_rate(), 0.0);
         assert_eq!(r.avg_read_response(), SimDuration::ZERO);

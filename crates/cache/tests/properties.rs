@@ -18,7 +18,11 @@ fn trace_from(ops: &[(u32, u32, u32, bool)], clients: u32) -> FsTrace {
                 file: FileId(file % 8),
                 block: block % 16,
             },
-            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            kind: if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
         })
         .collect();
     accesses.sort_by_key(|a| a.time);
@@ -34,7 +38,9 @@ fn policies() -> Vec<Policy> {
         Policy::ClientServer,
         Policy::GreedyForwarding,
         Policy::NChance { n: 2 },
-        Policy::Centralized { local_fraction: 0.25 },
+        Policy::Centralized {
+            local_fraction: 0.25,
+        },
     ]
 }
 

@@ -45,8 +45,8 @@ fn table3_shape_holds() {
 
     // Read response time improves by a large factor (paper: 80 percent,
     // i.e. 1.75x).
-    let speedup = base.avg_read_response().as_micros_f64()
-        / coop.avg_read_response().as_micros_f64();
+    let speedup =
+        base.avg_read_response().as_micros_f64() / coop.avg_read_response().as_micros_f64();
     assert!(
         (1.25..=2.5).contains(&speedup),
         "response-time improvement {speedup}"

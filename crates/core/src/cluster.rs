@@ -74,7 +74,10 @@ impl std::fmt::Display for NowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NowError::InterconnectTooSlow { operation } => {
-                write!(f, "{operation} requires a switched, low-overhead interconnect")
+                write!(
+                    f,
+                    "{operation} requires a switched, low-overhead interconnect"
+                )
             }
         }
     }
@@ -231,7 +234,9 @@ impl NowCluster {
     /// paper's Table 2 point).
     pub fn run_out_of_core(&mut self, problem_mb: u64) -> Result<RunResult, NowError> {
         if !self.interconnect.supports_network_ram() {
-            return Err(NowError::InterconnectTooSlow { operation: "network RAM" });
+            return Err(NowError::InterconnectTooSlow {
+                operation: "network RAM",
+            });
         }
         let cost = RemoteAccessCost::from_network(&mut self.network, 8_192);
         let config = MemoryConfig::LocalWithNetRam {
@@ -245,7 +250,12 @@ impl NowCluster {
 
     /// The same job thrashing to the local disk, for comparison.
     pub fn run_out_of_core_on_disk(&self, problem_mb: u64) -> RunResult {
-        multigrid::run(problem_mb, MemoryConfig::LocalWithDisk { mb: self.mem_mb_per_node })
+        multigrid::run(
+            problem_mb,
+            MemoryConfig::LocalWithDisk {
+                mb: self.mem_mb_per_node,
+            },
+        )
     }
 
     /// Runs a parallel application across the cluster under the given
@@ -276,16 +286,42 @@ impl NowCluster {
     /// the Demmel–Smith model with this cluster's parameters.
     pub fn predict_gator(&self) -> GatorPrediction {
         let (fabric, overhead_us) = match self.interconnect {
-            Interconnect::EthernetTcp => (CommFabric::SharedMedia { aggregate_mb_s: 1.25 }, 440.0),
-            Interconnect::EthernetPvm => (CommFabric::SharedMedia { aggregate_mb_s: 1.25 }, 1_000.0),
-            Interconnect::AtmTcp => (CommFabric::Switched { per_node_mb_s: 19.4 }, 626.0),
-            Interconnect::AtmActiveMessages => (CommFabric::Switched { per_node_mb_s: 19.4 }, 10.0),
-            Interconnect::MyrinetActiveMessages => {
-                (CommFabric::Switched { per_node_mb_s: 80.0 }, 8.0)
-            }
-            Interconnect::AtmBuildingActiveMessages => {
-                (CommFabric::Switched { per_node_mb_s: 19.4 }, 10.0)
-            }
+            Interconnect::EthernetTcp => (
+                CommFabric::SharedMedia {
+                    aggregate_mb_s: 1.25,
+                },
+                440.0,
+            ),
+            Interconnect::EthernetPvm => (
+                CommFabric::SharedMedia {
+                    aggregate_mb_s: 1.25,
+                },
+                1_000.0,
+            ),
+            Interconnect::AtmTcp => (
+                CommFabric::Switched {
+                    per_node_mb_s: 19.4,
+                },
+                626.0,
+            ),
+            Interconnect::AtmActiveMessages => (
+                CommFabric::Switched {
+                    per_node_mb_s: 19.4,
+                },
+                10.0,
+            ),
+            Interconnect::MyrinetActiveMessages => (
+                CommFabric::Switched {
+                    per_node_mb_s: 80.0,
+                },
+                8.0,
+            ),
+            Interconnect::AtmBuildingActiveMessages => (
+                CommFabric::Switched {
+                    per_node_mb_s: 19.4,
+                },
+                10.0,
+            ),
         };
         let machine = Machine {
             name: format!("NOW ({} nodes, {:?})", self.nodes, self.interconnect),
@@ -332,7 +368,9 @@ mod tests {
         let mut slow = cluster(Interconnect::EthernetTcp);
         assert_eq!(
             slow.run_out_of_core(64).unwrap_err(),
-            NowError::InterconnectTooSlow { operation: "network RAM" }
+            NowError::InterconnectTooSlow {
+                operation: "network RAM"
+            }
         );
         let mut fast = cluster(Interconnect::AtmActiveMessages);
         let r = fast.run_out_of_core(64).unwrap();

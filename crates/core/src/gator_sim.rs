@@ -152,7 +152,12 @@ mod tests {
         let mut net = presets::am_atm(256);
         let sim = simulate_gator(&mut net, 256, 40.0, &GatorWorkload::paper_defaults());
         let ode_dev = (sim.ode_s - model.ode_s).abs() / model.ode_s;
-        assert!(ode_dev < 0.05, "ODE: sim {} vs model {}", sim.ode_s, model.ode_s);
+        assert!(
+            ode_dev < 0.05,
+            "ODE: sim {} vs model {}",
+            sim.ode_s,
+            model.ode_s
+        );
         let tr_dev = (sim.transport_s - model.transport_s).abs() / model.transport_s;
         assert!(
             tr_dev < 0.5,
@@ -190,7 +195,11 @@ mod tests {
 
     #[test]
     fn deviation_metric_behaves() {
-        let sim = GatorSimResult { ode_s: 3.0, transport_s: 10.0, input_s: 5.0 };
+        let sim = GatorSimResult {
+            ode_s: 3.0,
+            transport_s: 10.0,
+            input_s: 5.0,
+        };
         let model = now_row("RS-6000 + low-overhead");
         assert!(sim.max_phase_deviation(&model) >= 0.0);
     }

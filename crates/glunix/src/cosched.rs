@@ -27,6 +27,7 @@
 //! modelling the quantum drift and interrupt jitter of real uncoordinated
 //! kernels.
 
+use now_probe::Probe;
 use now_sim::{SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
 
@@ -80,7 +81,9 @@ impl AppSpec {
                 name: "Column",
                 steps: 20,
                 compute_per_step: SimDuration::from_millis(2),
-                pattern: CommPattern::Burst { msgs_per_step: 6_000 },
+                pattern: CommPattern::Burst {
+                    msgs_per_step: 6_000,
+                },
             },
             AppSpec {
                 name: "Em3d",
@@ -164,6 +167,31 @@ struct Proc {
 ///
 /// Panics on degenerate configurations (fewer than 2 nodes, zero steps).
 pub fn run(app: &AppSpec, scheduling: Scheduling, config: &CoschedConfig) -> SimDuration {
+    run_probed(app, scheduling, config, &Probe::disabled())
+}
+
+/// [`run`] with telemetry:
+///
+/// * `cosched.quanta` — quanta elapsed until completion;
+/// * `cosched.slot_moves` — nodes whose app slot migrated between
+///   rotations (always zero under gang scheduling);
+/// * `cosched.sender_stalls` / `cosched.responder_blocked` — senders
+///   stalled on a full remote buffer, requesters blocked on a descheduled
+///   responder;
+/// * `cosched.scheduled_nodes` histogram — per-quantum count of nodes
+///   running the app (the slot-fill profile);
+/// * `cosched.slot_skew` histogram — per-rotation spread (max − min) of
+///   the app's slot across nodes.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (fewer than 2 nodes, zero steps).
+pub fn run_probed(
+    app: &AppSpec,
+    scheduling: Scheduling,
+    config: &CoschedConfig,
+    probe: &Probe,
+) -> SimDuration {
     assert!(config.nodes >= 2, "a parallel app needs at least two nodes");
     assert!(app.steps > 0, "the app must do something");
     let n = config.nodes as usize;
@@ -171,7 +199,9 @@ pub fn run(app: &AppSpec, scheduling: Scheduling, config: &CoschedConfig) -> Sim
     let mut procs: Vec<Proc> = (0..n)
         .map(|_| Proc {
             step: 0,
-            phase: Phase::Compute { remaining: app.compute_per_step },
+            phase: Phase::Compute {
+                remaining: app.compute_per_step,
+            },
             sent_step: -1,
         })
         .collect();
@@ -185,14 +215,28 @@ pub fn run(app: &AppSpec, scheduling: Scheduling, config: &CoschedConfig) -> Sim
         let rotation_pos = quantum_index % slots;
         if rotation_pos == 0 {
             // New rotation: place the app's slot on each node.
+            let mut moves = 0u64;
             for s in slot_of.iter_mut() {
-                *s = match scheduling {
+                let next = match scheduling {
                     Scheduling::Gang => 0,
                     Scheduling::Local => rng.gen_range(0..slots),
                 };
+                if quantum_index > 0 && next != *s {
+                    moves += 1;
+                }
+                *s = next;
+            }
+            if probe.is_enabled() {
+                probe.count("cosched.slot_moves", moves);
+                let skew = slot_of.iter().max().unwrap_or(&0) - slot_of.iter().min().unwrap_or(&0);
+                probe.histogram("cosched.slot_skew").record(skew);
             }
         }
         let scheduled: Vec<bool> = slot_of.iter().map(|&s| s == rotation_pos).collect();
+        if probe.is_enabled() {
+            let fill = scheduled.iter().filter(|&&s| s).count() as u64;
+            probe.histogram("cosched.scheduled_nodes").record(fill);
+        }
 
         // Scheduled processes drain their receive buffers first.
         for (p, &sched) in scheduled.iter().enumerate() {
@@ -204,7 +248,13 @@ pub fn run(app: &AppSpec, scheduling: Scheduling, config: &CoschedConfig) -> Sim
         // Advance scheduled processes until budgets exhaust or everyone
         // blocks.
         let mut budget: Vec<SimDuration> = (0..n)
-            .map(|p| if scheduled[p] { config.quantum } else { SimDuration::ZERO })
+            .map(|p| {
+                if scheduled[p] {
+                    config.quantum
+                } else {
+                    SimDuration::ZERO
+                }
+            })
             .collect();
         let mut progress = true;
         while progress {
@@ -214,7 +264,15 @@ pub fn run(app: &AppSpec, scheduling: Scheduling, config: &CoschedConfig) -> Sim
                     continue;
                 }
                 if advance(
-                    p, app, config, &mut procs, &mut inbox, &scheduled, &mut budget, &mut rng,
+                    p,
+                    app,
+                    config,
+                    &mut procs,
+                    &mut inbox,
+                    &scheduled,
+                    &mut budget,
+                    &mut rng,
+                    probe,
                 ) {
                     progress = true;
                 }
@@ -223,6 +281,7 @@ pub fn run(app: &AppSpec, scheduling: Scheduling, config: &CoschedConfig) -> Sim
 
         quantum_index += 1;
         if procs.iter().all(|p| p.phase == Phase::Finished) {
+            probe.count("cosched.quanta", quantum_index);
             return config.quantum * quantum_index;
         }
         // Safety valve: a genuinely wedged configuration would loop
@@ -246,6 +305,7 @@ fn advance(
     scheduled: &[bool],
     budget: &mut [SimDuration],
     rng: &mut SimRng,
+    probe: &Probe,
 ) -> bool {
     let n = procs.len();
     match procs[p].phase {
@@ -259,7 +319,10 @@ fn advance(
                 procs[p].phase = match app.pattern {
                     CommPattern::RandomSmall { .. } | CommPattern::Burst { .. } => {
                         let dst = pick_other(rng, n, p);
-                        Phase::Send { dst: dst as u32, sent: 0 }
+                        Phase::Send {
+                            dst: dst as u32,
+                            sent: 0,
+                        }
                     }
                     CommPattern::NeighborBarrier => {
                         // Sends to ring neighbors are tiny: complete them
@@ -269,7 +332,10 @@ fn advance(
                     }
                     CommPattern::RequestReply { .. } => {
                         let dst = pick_other(rng, n, p);
-                        Phase::Requests { dst: dst as u32, done: 0 }
+                        Phase::Requests {
+                            dst: dst as u32,
+                            done: 0,
+                        }
                     }
                 };
             } else {
@@ -299,8 +365,12 @@ fn advance(
                 } else {
                     // Buffer full at a descheduled receiver: the sender
                     // stalls for the rest of its quantum.
+                    probe.count("cosched.sender_stalls", 1);
                     budget[p] = SimDuration::ZERO;
-                    procs[p].phase = Phase::Send { dst: cur_dst as u32, sent: sent_total };
+                    procs[p].phase = Phase::Send {
+                        dst: cur_dst as u32,
+                        sent: sent_total,
+                    };
                     return sent_now > 0;
                 }
                 budget[p] -= config.msg_cpu;
@@ -311,7 +381,10 @@ fn advance(
                 procs[p].sent_step = i64::from(procs[p].step);
                 finish_step(p, procs, app);
             } else {
-                procs[p].phase = Phase::Send { dst: cur_dst as u32, sent: sent_total };
+                procs[p].phase = Phase::Send {
+                    dst: cur_dst as u32,
+                    sent: sent_total,
+                };
             }
             sent_now > 0
         }
@@ -340,8 +413,12 @@ fn advance(
                 if !scheduled[cur_dst] {
                     // The responder is not running: the request sits until
                     // a quantum where it is. Blocked.
+                    probe.count("cosched.responder_blocked", 1);
                     budget[p] = SimDuration::ZERO;
-                    procs[p].phase = Phase::Requests { dst: cur_dst as u32, done: done_total };
+                    procs[p].phase = Phase::Requests {
+                        dst: cur_dst as u32,
+                        done: done_total,
+                    };
                     return done_now > 0;
                 }
                 budget[p] -= config.rtt;
@@ -353,7 +430,10 @@ fn advance(
                 procs[p].sent_step = i64::from(procs[p].step);
                 finish_step(p, procs, app);
             } else {
-                procs[p].phase = Phase::Requests { dst: cur_dst as u32, done: done_total };
+                procs[p].phase = Phase::Requests {
+                    dst: cur_dst as u32,
+                    done: done_total,
+                };
             }
             done_now > 0
         }
@@ -368,7 +448,9 @@ fn finish_step(p: usize, procs: &mut [Proc], app: &AppSpec) {
         procs[p].sent_step = i64::MAX;
         Phase::Finished
     } else {
-        Phase::Compute { remaining: app.compute_per_step }
+        Phase::Compute {
+            remaining: app.compute_per_step,
+        }
     };
 }
 
@@ -383,21 +465,32 @@ fn pick_other(rng: &mut SimRng, n: usize, me: usize) -> usize {
 /// The slowdown of local scheduling relative to gang scheduling for the
 /// same application and competing load.
 pub fn slowdown(app: &AppSpec, config: &CoschedConfig) -> f64 {
-    let gang = run(app, Scheduling::Gang, config);
-    let local = run(app, Scheduling::Local, config);
+    slowdown_probed(app, config, &Probe::disabled())
+}
+
+/// [`slowdown`] with telemetry (both the gang and local runs fire the
+/// `cosched.*` probes described on [`run_probed`]).
+pub fn slowdown_probed(app: &AppSpec, config: &CoschedConfig, probe: &Probe) -> f64 {
+    let gang = run_probed(app, Scheduling::Gang, config, probe);
+    let local = run_probed(app, Scheduling::Local, config, probe);
     local.ratio(gang)
 }
 
 /// Generates the Figure 4 series: for each application, slowdown at 0..=3
 /// competing jobs.
 pub fn figure4_series() -> Vec<(String, Vec<(f64, f64)>)> {
+    figure4_series_probed(&Probe::disabled())
+}
+
+/// [`figure4_series`] with telemetry aggregated across every run.
+pub fn figure4_series_probed(probe: &Probe) -> Vec<(String, Vec<(f64, f64)>)> {
     AppSpec::figure4_apps()
         .iter()
         .map(|app| {
             let points = (0..=3)
                 .map(|j| {
                     let config = CoschedConfig::paper_defaults(j);
-                    (f64::from(j), slowdown(app, &config))
+                    (f64::from(j), slowdown_probed(app, &config, probe))
                 })
                 .collect();
             (app.name.to_string(), points)

@@ -174,10 +174,7 @@ mod tests {
         let config = CrossvalConfig::connect_like(0);
         let t = run_am(&config, Scheduling::Gang);
         // 200 chained RTTs of ~60 µs each, all nodes in parallel.
-        assert!(
-            t < SimDuration::from_millis(100),
-            "gang run took {t}"
-        );
+        assert!(t < SimDuration::from_millis(100), "gang run took {t}");
     }
 
     #[test]

@@ -166,11 +166,7 @@ pub fn run_batch(
     }
 
     // Completion estimate: schedule a Check at the earliest finish time.
-    fn schedule_check(
-        q: &mut EventQueue<Ev>,
-        running: &[Option<Running>],
-        node_jobs: &[u32],
-    ) {
+    fn schedule_check(q: &mut EventQueue<Ev>, running: &[Option<Running>], node_jobs: &[u32]) {
         let mut earliest: Option<SimTime> = None;
         for r in running.iter().flatten() {
             let share = u64::from(node_jobs[r.node as usize].max(1));
@@ -229,8 +225,7 @@ pub fn run_batch(
                         node_jobs[new_node as usize] += 1;
                         placements[new_node as usize] += 1;
                         r.node = new_node;
-                        r.remaining =
-                            r.total.saturating_sub(r.checkpointed) + config.restart_cost;
+                        r.remaining = r.total.saturating_sub(r.checkpointed) + config.restart_cost;
                         r.last_update = now;
                         r.carry_ns = 0;
                     }
@@ -355,7 +350,11 @@ mod tests {
         // Three nodes, jobs on 0 and 1; node 0 dies at 100 and its job
         // restarts on the empty node 2 -- node 1's job never notices.
         let out = run_batch(&jobs, 3, &[(SimTime::from_secs(100), 0)], &config);
-        let unaffected = out.completions.iter().filter(|&&c| c == SimTime::from_secs(500)).count();
+        let unaffected = out
+            .completions
+            .iter()
+            .filter(|&&c| c == SimTime::from_secs(500))
+            .count();
         assert_eq!(unaffected, 1, "{:?}", out.completions);
         assert_eq!(out.restarts, 1);
         // The restarted job pays its lost progress plus the restart cost.

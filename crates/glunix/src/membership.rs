@@ -128,7 +128,8 @@ impl Membership {
             return false;
         }
         // Active within the threshold window?
-        let window_start = SimTime::ZERO.max(now - self.config.idle_threshold.min(now - SimTime::ZERO));
+        let window_start =
+            SimTime::ZERO.max(now - self.config.idle_threshold.min(now - SimTime::ZERO));
         usage.active_time(window_start, now).is_zero()
     }
 }

@@ -114,11 +114,11 @@ mod tests {
         // The paper's headline migration number.
         let m = MigrationModel::now_atm_pfs();
         let t = m.transfer_time(64);
+        assert!(t < SimDuration::from_secs(4), "64 MB restore took {t}");
         assert!(
-            t < SimDuration::from_secs(4),
-            "64 MB restore took {t}"
+            t > SimDuration::from_secs(3),
+            "ATM link should be the bottleneck: {t}"
         );
-        assert!(t > SimDuration::from_secs(3), "ATM link should be the bottleneck: {t}");
     }
 
     #[test]

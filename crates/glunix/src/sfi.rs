@@ -95,7 +95,10 @@ mod tests {
         // The paper: "the overhead of enforcing firewalls in software can
         // fall to between 3 and 7 percent."
         let model = SfiModel::optimised();
-        for mix in [InstructionMix::typical_integer(), InstructionMix::typical_float()] {
+        for mix in [
+            InstructionMix::typical_integer(),
+            InstructionMix::typical_float(),
+        ] {
             let f = model.overhead_factor(mix);
             assert!(
                 (1.03..=1.095).contains(&f),
@@ -133,7 +136,10 @@ mod tests {
     #[test]
     fn zero_mix_is_free() {
         let m = SfiModel::optimised();
-        let mix = InstructionMix { stores: 0.0, indirect_branches: 0.0 };
+        let mix = InstructionMix {
+            stores: 0.0,
+            indirect_branches: 0.0,
+        };
         assert!((m.overhead_factor(mix) - 1.0).abs() < 1e-12);
     }
 }

@@ -154,11 +154,17 @@ mod tests {
         c.touch(1, false); // order now 2,3,1
         assert_eq!(
             c.touch(4, false),
-            Touch::MissEvicted { victim: 2, dirty: false }
+            Touch::MissEvicted {
+                victim: 2,
+                dirty: false
+            }
         );
         assert_eq!(
             c.touch(5, false),
-            Touch::MissEvicted { victim: 3, dirty: false }
+            Touch::MissEvicted {
+                victim: 3,
+                dirty: false
+            }
         );
         assert!(c.contains(&1));
     }
@@ -169,7 +175,13 @@ mod tests {
         c.touch(7, true);
         c.touch(7, false); // read does not clean it
         let t = c.touch(8, false);
-        assert_eq!(t, Touch::MissEvicted { victim: 7, dirty: true });
+        assert_eq!(
+            t,
+            Touch::MissEvicted {
+                victim: 7,
+                dirty: true
+            }
+        );
     }
 
     #[test]

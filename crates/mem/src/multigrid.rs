@@ -14,7 +14,8 @@
 //! pages through a real [`Pager`], so the curves come from LRU behaviour
 //! and the Table 2 cost constants, not from asserting the conclusion.
 
-use now_sim::SimDuration;
+use now_probe::Probe;
+use now_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::{DiskModel, NetworkRam, PageId, Pager, PagerStats, RemoteAccessCost};
@@ -103,10 +104,20 @@ impl MemoryConfig {
             MemoryConfig::LocalWithDisk { mb } => {
                 Pager::with_disk((mb * 1024 * 1024 / PAGE_BYTES) as usize, PAGE_BYTES, disk)
             }
-            MemoryConfig::LocalWithNetRam { mb, hosts, mb_per_host, cost } => Pager::with_netram(
+            MemoryConfig::LocalWithNetRam {
+                mb,
+                hosts,
+                mb_per_host,
+                cost,
+            } => Pager::with_netram(
                 (mb * 1024 * 1024 / PAGE_BYTES) as usize,
                 PAGE_BYTES,
-                NetworkRam::new(hosts, mb_per_host * 1024 * 1024 / PAGE_BYTES, cost, PAGE_BYTES),
+                NetworkRam::new(
+                    hosts,
+                    mb_per_host * 1024 * 1024 / PAGE_BYTES,
+                    cost,
+                    PAGE_BYTES,
+                ),
                 disk,
             ),
         }
@@ -139,15 +150,37 @@ pub fn run(problem_mb: u64, memory: MemoryConfig) -> RunResult {
     run_with(problem_mb, memory, MultigridConfig::paper_defaults())
 }
 
+/// [`run`] with telemetry: the pager's `pager.*` / `netram.*` probes fire,
+/// and the whole run is recorded as a `mem/multigrid` span of simulated
+/// time (with the problem size as an argument).
+pub fn run_probed(problem_mb: u64, memory: MemoryConfig, probe: &Probe) -> RunResult {
+    run_with_probed(problem_mb, memory, MultigridConfig::paper_defaults(), probe)
+}
+
 /// Runs with explicit application parameters.
 ///
 /// # Panics
 ///
 /// Panics if the problem is empty.
 pub fn run_with(problem_mb: u64, memory: MemoryConfig, app: MultigridConfig) -> RunResult {
+    run_with_probed(problem_mb, memory, app, &Probe::disabled())
+}
+
+/// [`run_with`] with telemetry (see [`run_probed`]).
+///
+/// # Panics
+///
+/// Panics if the problem is empty.
+pub fn run_with_probed(
+    problem_mb: u64,
+    memory: MemoryConfig,
+    app: MultigridConfig,
+    probe: &Probe,
+) -> RunResult {
     assert!(problem_mb > 0, "problem must have pages");
     let pages = problem_mb * 1024 * 1024 / PAGE_BYTES;
     let mut pager = memory.build_pager();
+    pager.set_probe(probe.clone());
     let per_page = app.compute_per_page();
     let mut compute = SimDuration::ZERO;
     let mut stall = SimDuration::ZERO;
@@ -159,10 +192,17 @@ pub fn run_with(problem_mb: u64, memory: MemoryConfig, app: MultigridConfig) -> 
             stall += s;
         }
     }
+    let total = compute + stall;
+    if probe.is_enabled() {
+        probe
+            .span("mem", "multigrid", SimTime::ZERO)
+            .arg("problem_mb", problem_mb as f64)
+            .end(SimTime::ZERO + total);
+    }
     RunResult {
         compute,
         stall,
-        total: compute + stall,
+        total,
         pager: pager.stats(),
     }
 }

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use now_net::Network;
+use now_probe::Probe;
 use now_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -90,6 +91,7 @@ pub struct NetworkRam {
     /// Used pages per host.
     used: Vec<u64>,
     next_host: u32,
+    probe: Probe,
 }
 
 impl NetworkRam {
@@ -110,15 +112,20 @@ impl NetworkRam {
             locations: HashMap::new(),
             used: vec![0; hosts as usize],
             next_host: 0,
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches a telemetry probe counting `netram.pages_out` (stores into
+    /// the pool), `netram.pages_in` (fetches back), and
+    /// `netram.pages_lost` (pages dropped when a donating host departs).
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// Total free frames across the pool (departed hosts contribute none).
     pub fn free_pages(&self) -> u64 {
-        self.used
-            .iter()
-            .map(|&u| self.per_host_pages - u)
-            .sum()
+        self.used.iter().map(|&u| self.per_host_pages - u).sum()
     }
 
     /// True if the pool currently holds `page`.
@@ -138,6 +145,7 @@ impl NetworkRam {
             if self.used[h as usize] < self.per_host_pages {
                 self.used[h as usize] += 1;
                 self.locations.insert(page, h);
+                self.probe.count("netram.pages_out", 1);
                 return true;
             }
         }
@@ -149,6 +157,7 @@ impl NetworkRam {
     pub fn fetch(&mut self, page: PageId) -> Option<SimDuration> {
         let host = self.locations.remove(&page)?;
         self.used[host as usize] -= 1;
+        self.probe.count("netram.pages_in", 1);
         Some(self.cost.access(self.page_bytes))
     }
 
@@ -176,6 +185,7 @@ impl NetworkRam {
             self.locations.remove(p);
         }
         self.used[host as usize] = self.per_host_pages; // mark unusable
+        self.probe.count("netram.pages_lost", lost.len() as u64);
         lost
     }
 }

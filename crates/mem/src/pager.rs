@@ -15,6 +15,7 @@
 //! * **Write-back** of dirty victims is asynchronous (it is counted, not
 //!   charged), as in real pagers with free-frame reserves.
 
+use now_probe::Probe;
 use now_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -89,6 +90,7 @@ pub struct Pager {
     on_disk: std::collections::HashSet<PageId>,
     last_access: Option<PageId>,
     stats: PagerStats,
+    probe: Probe,
 }
 
 impl Pager {
@@ -118,12 +120,25 @@ impl Pager {
             on_disk: Default::default(),
             last_access: None,
             stats: PagerStats::default(),
+            probe: Probe::disabled(),
         }
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> PagerStats {
         self.stats
+    }
+
+    /// Attaches a telemetry probe. Counters mirror [`PagerStats`] under
+    /// `pager.*` names; the `pager.soft.ns` / `pager.netram.ns` /
+    /// `pager.disk.ns` histograms break fault *service* time down by where
+    /// the page came from (before any overlap with computation), matching
+    /// the paper's Table 2 decomposition.
+    pub fn set_probe(&mut self, probe: Probe) {
+        if let Backing::NetRam { pool, .. } = &mut self.backing {
+            pool.set_probe(probe.clone());
+        }
+        self.probe = probe;
     }
 
     /// An idle host donating memory departed (its user returned): the
@@ -162,6 +177,7 @@ impl Pager {
         compute_since_last: SimDuration,
     ) -> (FaultKind, SimDuration) {
         self.stats.accesses += 1;
+        self.probe.count("pager.accesses", 1);
         let sequential = self
             .last_access
             .is_some_and(|last| page.0 == last.0.wrapping_add(1));
@@ -174,11 +190,22 @@ impl Pager {
         }
         if matches!(touch, Touch::Hit) {
             self.stats.hits += 1;
+            self.probe.count("pager.hits", 1);
             return (FaultKind::Hit, SimDuration::ZERO);
         }
 
         // Miss: classify and charge.
         let (kind, service) = self.fetch(page, sequential);
+        if self.probe.is_enabled() {
+            let (counter, histogram) = match kind {
+                FaultKind::Hit => unreachable!("a miss was classified"),
+                FaultKind::SoftFault => ("pager.soft_faults", "pager.soft.ns"),
+                FaultKind::NetRamFault => ("pager.netram_faults", "pager.netram.ns"),
+                FaultKind::DiskFault => ("pager.disk_faults", "pager.disk.ns"),
+            };
+            self.probe.count(counter, 1);
+            self.probe.record(histogram, service);
+        }
         let stall = match kind {
             FaultKind::SoftFault => service,
             // Sequential faults overlap the pipeline with computation.
@@ -192,6 +219,7 @@ impl Pager {
     fn evict(&mut self, victim: PageId, dirty: bool) {
         if dirty {
             self.stats.writebacks += 1;
+            self.probe.count("pager.writebacks", 1);
         }
         match &mut self.backing {
             Backing::Disk(_) => {
@@ -362,7 +390,10 @@ mod tests {
         // Random revisit: full Table 2 cost even with compute to spare.
         let (kind, stall) = p.access(PageId(3), false, SimDuration::from_secs(1));
         assert_eq!(kind, FaultKind::NetRamFault);
-        assert!((1_000.0..1_110.0).contains(&stall.as_micros_f64()), "{stall}");
+        assert!(
+            (1_000.0..1_110.0).contains(&stall.as_micros_f64()),
+            "{stall}"
+        );
     }
 
     #[test]
@@ -442,9 +473,6 @@ mod tests {
         }
         let s = p.stats();
         assert_eq!(s.accesses, 20);
-        assert_eq!(
-            s.hits + s.soft_faults + s.netram_faults + s.disk_faults,
-            20
-        );
+        assert_eq!(s.hits + s.soft_faults + s.netram_faults + s.disk_faults, 20);
     }
 }

@@ -200,9 +200,11 @@ impl CostModel {
             }
             // Server/MPP chassis grow with node count; modelled per node below.
             Packaging::SmallServer => ((b.cpus as f64 / 8.0).ceil(), 8.0 * p.desktop_chassis, true),
-            Packaging::LargeServer => {
-                ((b.cpus as f64 / 20.0).ceil(), 20.0 * p.desktop_chassis, true)
-            }
+            Packaging::LargeServer => (
+                (b.cpus as f64 / 20.0).ceil(),
+                20.0 * p.desktop_chassis,
+                true,
+            ),
             Packaging::Mpp => (1.0, 128.0 * p.desktop_chassis, true),
         };
 
@@ -212,7 +214,11 @@ impl CostModel {
 
         // Screens: a desktop IS the screen's host; servers/MPPs need separate
         // X-terminals, which cost a bit more than a bare monitor.
-        let screen_unit = if screens_are_xterms { p.screen * 1.5 } else { p.screen };
+        let screen_unit = if screens_are_xterms {
+            p.screen * 1.5
+        } else {
+            p.screen
+        };
         let screens = b.screens as f64 * screen_unit;
 
         // Interconnect: workstations buy switch ports; integrated systems

@@ -141,8 +141,7 @@ impl Machine {
                 // Every byte serialises on the shared medium; software
                 // overhead is paid in parallel on the nodes.
                 let wire = total_bytes / (aggregate_mb_s * 1e6);
-                let overhead =
-                    workload.messages / self.nodes as f64 * self.msg_overhead_us / 1e6;
+                let overhead = workload.messages / self.nodes as f64 * self.msg_overhead_us / 1e6;
                 // Per-node software overhead overlaps with waiting for the
                 // medium; whichever is larger governs.
                 wire.max(overhead)
@@ -157,8 +156,7 @@ impl Machine {
         };
         let transport_s = flops_s + comm_s;
 
-        let input_s =
-            (workload.input_gb * 1_000.0 + workload.output_mb) / self.io_mb_s;
+        let input_s = (workload.input_gb * 1_000.0 + workload.output_mb) / self.io_mb_s;
 
         GatorPrediction {
             machine: self.name.clone(),
@@ -179,7 +177,9 @@ pub fn table4_machines() -> Vec<Machine> {
             name: "C-90 (16)".to_string(),
             nodes: 16,
             mflops_per_node: 300.0,
-            fabric: CommFabric::Switched { per_node_mb_s: 2_400.0 },
+            fabric: CommFabric::Switched {
+                per_node_mb_s: 2_400.0,
+            },
             msg_overhead_us: 1.0,
             io_mb_s: 160.0,
             cost_millions: 30.0,
@@ -190,7 +190,9 @@ pub fn table4_machines() -> Vec<Machine> {
             name: "Paragon (256)".to_string(),
             nodes: 256,
             mflops_per_node: 12.0,
-            fabric: CommFabric::Switched { per_node_mb_s: 175.0 },
+            fabric: CommFabric::Switched {
+                per_node_mb_s: 175.0,
+            },
             msg_overhead_us: 150.0,
             io_mb_s: 256.0 * 2.0 * 0.8,
             cost_millions: 10.0,
@@ -202,7 +204,9 @@ pub fn table4_machines() -> Vec<Machine> {
             name: "RS-6000 (256)".to_string(),
             nodes: 256,
             mflops_per_node: 40.0,
-            fabric: CommFabric::SharedMedia { aggregate_mb_s: 1.25 },
+            fabric: CommFabric::SharedMedia {
+                aggregate_mb_s: 1.25,
+            },
             msg_overhead_us: 1_000.0,
             io_mb_s: 1.0,
             cost_millions: 4.0,
@@ -213,7 +217,9 @@ pub fn table4_machines() -> Vec<Machine> {
             name: "RS-6000 + ATM".to_string(),
             nodes: 256,
             mflops_per_node: 40.0,
-            fabric: CommFabric::Switched { per_node_mb_s: 19.4 },
+            fabric: CommFabric::Switched {
+                per_node_mb_s: 19.4,
+            },
             msg_overhead_us: 1_000.0,
             io_mb_s: 2.0,
             cost_millions: 5.0,
@@ -223,7 +229,9 @@ pub fn table4_machines() -> Vec<Machine> {
             name: "RS-6000 + parallel file system".to_string(),
             nodes: 256,
             mflops_per_node: 40.0,
-            fabric: CommFabric::Switched { per_node_mb_s: 19.4 },
+            fabric: CommFabric::Switched {
+                per_node_mb_s: 19.4,
+            },
             msg_overhead_us: 1_000.0,
             io_mb_s: 256.0 * 2.0 * 0.8,
             cost_millions: 5.0,
@@ -233,7 +241,9 @@ pub fn table4_machines() -> Vec<Machine> {
             name: "RS-6000 + low-overhead msgs".to_string(),
             nodes: 256,
             mflops_per_node: 40.0,
-            fabric: CommFabric::Switched { per_node_mb_s: 19.4 },
+            fabric: CommFabric::Switched {
+                per_node_mb_s: 19.4,
+            },
             msg_overhead_us: 10.0,
             io_mb_s: 256.0 * 2.0 * 0.8,
             cost_millions: 5.0,
@@ -244,7 +254,10 @@ pub fn table4_machines() -> Vec<Machine> {
 /// Predicts all six rows of Table 4 with the paper workload.
 pub fn table4() -> Vec<GatorPrediction> {
     let workload = GatorWorkload::paper_defaults();
-    table4_machines().iter().map(|m| m.predict(&workload)).collect()
+    table4_machines()
+        .iter()
+        .map(|m| m.predict(&workload))
+        .collect()
 }
 
 #[cfg(test)]
@@ -271,7 +284,11 @@ mod tests {
         // stated disk rate (3.9 GB / 160 MB/s = 24 s), so we allow 60%.
         let p = row("C-90");
         assert!(rel_err(p.ode_s, 7.0) < 0.1, "ode {}", p.ode_s);
-        assert!(rel_err(p.transport_s, 4.0) < 0.3, "transport {}", p.transport_s);
+        assert!(
+            rel_err(p.transport_s, 4.0) < 0.3,
+            "transport {}",
+            p.transport_s
+        );
         assert!(rel_err(p.input_s, 16.0) < 0.6, "input {}", p.input_s);
         assert!(rel_err(p.total_s(), 27.0) < 0.4, "total {}", p.total_s());
     }
@@ -281,7 +298,11 @@ mod tests {
         // Paper row: ODE 12, transport 24, input 10, total 46.
         let p = row("Paragon");
         assert!(rel_err(p.ode_s, 12.0) < 0.1, "ode {}", p.ode_s);
-        assert!(rel_err(p.transport_s, 24.0) < 0.3, "transport {}", p.transport_s);
+        assert!(
+            rel_err(p.transport_s, 24.0) < 0.3,
+            "transport {}",
+            p.transport_s
+        );
         assert!(rel_err(p.input_s, 10.0) < 0.1, "input {}", p.input_s);
     }
 
@@ -293,8 +314,16 @@ mod tests {
         let c90 = row("C-90");
         assert!(base.total_s() / c90.total_s() > 300.0);
         // Paper row: transport 23,340, input 4,030, total 27,374.
-        assert!(rel_err(base.transport_s, 23_340.0) < 0.1, "transport {}", base.transport_s);
-        assert!(rel_err(base.input_s, 4_030.0) < 0.1, "input {}", base.input_s);
+        assert!(
+            rel_err(base.transport_s, 23_340.0) < 0.1,
+            "transport {}",
+            base.transport_s
+        );
+        assert!(
+            rel_err(base.input_s, 4_030.0) < 0.1,
+            "input {}",
+            base.input_s
+        );
     }
 
     #[test]
@@ -304,7 +333,11 @@ mod tests {
         let gain = base.total_s() / atm.total_s();
         assert!((5.0..=30.0).contains(&gain), "ATM gain {gain}");
         // Paper row: transport 192, input 2,015, total 2,211.
-        assert!(rel_err(atm.transport_s, 192.0) < 0.3, "transport {}", atm.transport_s);
+        assert!(
+            rel_err(atm.transport_s, 192.0) < 0.3,
+            "transport {}",
+            atm.transport_s
+        );
         assert!(rel_err(atm.input_s, 2_015.0) < 0.1, "input {}", atm.input_s);
     }
 
@@ -324,7 +357,11 @@ mod tests {
         let gain = pfs.total_s() / am.total_s();
         assert!((5.0..=30.0).contains(&gain), "low-overhead gain {gain}");
         // Paper row: transport 8, input 10, total 21.
-        assert!(rel_err(am.transport_s, 8.0) < 0.3, "transport {}", am.transport_s);
+        assert!(
+            rel_err(am.transport_s, 8.0) < 0.3,
+            "transport {}",
+            am.transport_s
+        );
         assert!(rel_err(am.total_s(), 21.0) < 0.25, "total {}", am.total_s());
     }
 
@@ -365,7 +402,10 @@ mod tests {
         let t1 = m.predict(&w).transport_s;
         m.nodes = 512;
         let t2 = m.predict(&w).transport_s;
-        assert!(rel_err(t2, t1) < 0.05, "shared medium should not scale: {t1} vs {t2}");
+        assert!(
+            rel_err(t2, t1) < 0.05,
+            "shared medium should not scale: {t1} vs {t2}"
+        );
     }
 
     #[test]

@@ -86,10 +86,10 @@ pub fn improvement(old: StackCoefficients, new: StackCoefficients, mix: &[(u64, 
 /// data blocks. Counts are per 100 messages.
 pub fn paper_message_mix() -> Vec<(u64, u64)> {
     vec![
-        (96, 40),    // getattr/lookup requests
-        (128, 35),   // lookup replies, small attrs
-        (160, 20),   // directory fragments, small writes
-        (8_192, 5),  // data blocks
+        (96, 40),   // getattr/lookup requests
+        (128, 35),  // lookup replies, small attrs
+        (160, 20),  // directory fragments, small writes
+        (8_192, 5), // data blocks
     ]
 }
 
@@ -145,7 +145,10 @@ mod tests {
         let small = 128;
         let eth = StackCoefficients::TCP_ETHERNET.message_time_us(small);
         let atm = StackCoefficients::TCP_ATM.message_time_us(small);
-        assert!(atm > eth, "ATM {atm} should exceed Ethernet {eth} for tiny messages");
+        assert!(
+            atm > eth,
+            "ATM {atm} should exceed Ethernet {eth} for tiny messages"
+        );
     }
 
     #[test]
@@ -166,8 +169,16 @@ mod tests {
             bandwidth_mbps: 90.0,
         };
         let tcp = StackCoefficients::TCP_ETHERNET;
-        assert!(am.half_power_bytes() < 300.0, "AM {}", am.half_power_bytes());
-        assert!(tcp.half_power_bytes() > 400.0, "TCP {}", tcp.half_power_bytes());
+        assert!(
+            am.half_power_bytes() < 300.0,
+            "AM {}",
+            am.half_power_bytes()
+        );
+        assert!(
+            tcp.half_power_bytes() > 400.0,
+            "TCP {}",
+            tcp.half_power_bytes()
+        );
         assert!(am.half_power_bytes() < tcp.half_power_bytes());
     }
 
@@ -184,11 +195,7 @@ mod tests {
     #[test]
     fn improvement_is_zero_for_identical_stacks() {
         let mix = paper_message_mix();
-        let imp = improvement(
-            StackCoefficients::TCP_ATM,
-            StackCoefficients::TCP_ATM,
-            &mix,
-        );
+        let imp = improvement(StackCoefficients::TCP_ATM, StackCoefficients::TCP_ATM, &mix);
         assert!(imp.abs() < 1e-12);
     }
 }

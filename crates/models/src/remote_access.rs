@@ -206,7 +206,8 @@ mod tests {
     fn disk_component_only_on_disk_target() {
         let m = AccessModel::paper_defaults();
         assert_eq!(
-            m.service_time(Network::Atm155, Target::RemoteMemory).disk_us,
+            m.service_time(Network::Atm155, Target::RemoteMemory)
+                .disk_us,
             0.0
         );
         assert_eq!(

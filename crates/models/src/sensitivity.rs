@@ -33,7 +33,9 @@ pub fn gator_vs_overhead(overheads_us: &[f64]) -> Vec<SweepPoint> {
                 name: "NOW sweep".to_string(),
                 nodes: 256,
                 mflops_per_node: 40.0,
-                fabric: CommFabric::Switched { per_node_mb_s: 19.4 },
+                fabric: CommFabric::Switched {
+                    per_node_mb_s: 19.4,
+                },
                 msg_overhead_us: o,
                 io_mb_s: 410.0,
                 cost_millions: 5.0,
@@ -79,8 +81,7 @@ pub fn netram_speedup_vs_bandwidth(mbps: &[f64]) -> Vec<SweepPoint> {
         .map(|&bw| {
             // Rebuild the service time with the swept wire rate.
             let transfer_us = base.block_bytes as f64 * 8.0 / bw;
-            let remote_mem =
-                base.memory_copy_us + base.net_overhead_us + transfer_us;
+            let remote_mem = base.memory_copy_us + base.net_overhead_us + transfer_us;
             SweepPoint {
                 x: bw,
                 y: base.disk_us / remote_mem,

@@ -258,10 +258,7 @@ mod tests {
         // within a decade" — per node, the desktop alone gets there first.
         let k = KillerWorkstation::paper_defaults();
         let year = k.parity_year();
-        assert!(
-            (1997.0..=2001.0).contains(&year),
-            "parity in {year}"
-        );
+        assert!((1997.0..=2001.0).contains(&year), "parity in {year}");
         assert!(k.ratio_in(year) >= 1.0 - 1e-9);
     }
 

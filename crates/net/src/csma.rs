@@ -9,6 +9,7 @@
 //! models that effect, sharpening the paper's argument that the baseline
 //! NOW's shared medium cannot scale.
 
+use now_probe::Probe;
 use now_sim::{SimDuration, SimRng, SimTime};
 
 use crate::fabric::{Fabric, WireTiming};
@@ -33,6 +34,7 @@ pub struct CsmaBus {
     rng: SimRng,
     collisions: u64,
     frames: u64,
+    probe: Probe,
 }
 
 impl CsmaBus {
@@ -53,7 +55,15 @@ impl CsmaBus {
             rng: SimRng::new(seed),
             collisions: 0,
             frames: 0,
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches a telemetry probe. Every subsequent frame bumps
+    /// `csma.frames` / `csma.collisions` and records the
+    /// `csma.acquire_wait.ns` histogram (arbitration + queueing delay).
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// Collisions observed so far.
@@ -79,7 +89,10 @@ impl CsmaBus {
 impl Fabric for CsmaBus {
     fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: SimTime) -> WireTiming {
         assert_ne!(src, dst, "local transfers do not use the fabric");
-        assert!(src.0 < self.nodes && dst.0 < self.nodes, "node out of range");
+        assert!(
+            src.0 < self.nodes && dst.0 < self.nodes,
+            "node out of range"
+        );
         // If we arrive while the medium is busy, we join the backlog;
         // otherwise contention has drained.
         if now >= self.free_at {
@@ -94,6 +107,7 @@ impl Fabric for CsmaBus {
         // roughly k/(k+1); each collision costs a slot plus a random
         // backoff drawn from a doubling window.
         let mut attempt: u32 = 0;
+        let collisions_before = self.collisions;
         while self.backlog > 0 {
             let p_collide = f64::from(self.backlog) / f64::from(self.backlog + 1);
             if !self.rng.chance(p_collide) {
@@ -112,6 +126,13 @@ impl Fabric for CsmaBus {
         let tx_done = start + self.frame_overhead + wire;
         self.free_at = tx_done;
         self.frames += 1;
+        if self.probe.is_enabled() {
+            self.probe.count("csma.frames", 1);
+            self.probe
+                .count("csma.collisions", self.collisions - collisions_before);
+            self.probe
+                .record("csma.acquire_wait.ns", start.saturating_since(now));
+        }
         WireTiming {
             tx_start: start,
             tx_done,
@@ -209,6 +230,11 @@ mod tests {
             saturated_goodput(&mut bus, stations, 2_000, 200);
             bus.collisions_per_frame()
         };
-        assert!(rate(32) > rate(4), "32 stations {} vs 4 {}", rate(32), rate(4));
+        assert!(
+            rate(32) > rate(4),
+            "32 stations {} vs 4 {}",
+            rate(32),
+            rate(4)
+        );
     }
 }

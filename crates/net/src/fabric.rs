@@ -107,7 +107,10 @@ impl SharedBus {
 impl Fabric for SharedBus {
     fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: SimTime) -> WireTiming {
         assert_ne!(src, dst, "local transfers do not use the fabric");
-        assert!(src.0 < self.nodes && dst.0 < self.nodes, "node out of range");
+        assert!(
+            src.0 < self.nodes && dst.0 < self.nodes,
+            "node out of range"
+        );
         let tx_start = now.max(self.free_at);
         let occupy = self.frame_overhead + wire_time(bytes, self.bits_per_sec);
         let tx_done = tx_start + occupy;
@@ -190,7 +193,10 @@ impl SwitchedFabric {
 impl Fabric for SwitchedFabric {
     fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: SimTime) -> WireTiming {
         assert_ne!(src, dst, "local transfers do not use the fabric");
-        assert!(src.0 < self.nodes && dst.0 < self.nodes, "node out of range");
+        assert!(
+            src.0 < self.nodes && dst.0 < self.nodes,
+            "node out of range"
+        );
         let wire = wire_time(bytes, self.bits_per_sec);
         // Sender clocks out when its TX link frees.
         let tx_start = now.max(self.tx_free[src.0 as usize]);
@@ -348,7 +354,8 @@ mod tests {
             bus_done = bus_done.max(bus.transfer(s, d, bytes, SimTime::ZERO).rx_done);
             sw_done = sw_done.max(sw.transfer(s, d, bytes, SimTime::ZERO).rx_done);
         }
-        let ratio = (bus_done - SimTime::ZERO).as_secs_f64() / (sw_done - SimTime::ZERO).as_secs_f64();
+        let ratio =
+            (bus_done - SimTime::ZERO).as_secs_f64() / (sw_done - SimTime::ZERO).as_secs_f64();
         assert!((ratio - (n / 2) as f64).abs() < 0.01, "ratio {ratio}");
     }
 }

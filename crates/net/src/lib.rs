@@ -53,9 +53,9 @@ pub mod presets;
 pub use csma::{CsmaBus, SLOT};
 pub use fabric::{Fabric, SharedBus, SwitchedFabric, WireTiming};
 pub use logp::LogP;
-pub use topology::HierarchicalFabric;
 pub use network::{Network, NicAttachment, TransferOutcome};
 pub use stack::SoftwareCosts;
+pub use topology::HierarchicalFabric;
 
 use serde::{Deserialize, Serialize};
 

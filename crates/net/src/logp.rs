@@ -130,7 +130,10 @@ mod tests {
     fn cpu_cost_counts_only_overhead() {
         let p = cm5ish();
         assert_eq!(p.cpu_cost(100), p.overhead * 100);
-        assert!(p.cpu_cost(100) < p.inject_n(100), "latency/gap not CPU time");
+        assert!(
+            p.cpu_cost(100) < p.inject_n(100),
+            "latency/gap not CPU time"
+        );
     }
 
     #[test]
@@ -138,7 +141,10 @@ mod tests {
         let p = cm5ish();
         let t64 = p.broadcast();
         let linear = p.one_way() * 63;
-        assert!(t64 < linear / 4, "broadcast {t64} should beat linear {linear}");
+        assert!(
+            t64 < linear / 4,
+            "broadcast {t64} should beat linear {linear}"
+        );
         // And grows with P.
         let mut bigger = p;
         bigger.processors = 1_024;

@@ -1,6 +1,7 @@
 //! The [`Network`]: fabric + protocol stack + NIC placement, as one
 //! accountable transfer primitive.
 
+use now_probe::Probe;
 use now_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +104,10 @@ pub struct Network {
     fabric: FabricKind,
     stack: SoftwareCosts,
     nic: NicAttachment,
+    /// Telemetry tap; disabled by default and free when disabled. Probes
+    /// compare equal regardless of state, so this does not affect the
+    /// derived `PartialEq`.
+    probe: Probe,
 }
 
 impl Network {
@@ -112,6 +117,7 @@ impl Network {
             fabric: FabricKind::Shared(fabric),
             stack,
             nic,
+            probe: Probe::disabled(),
         }
     }
 
@@ -121,6 +127,7 @@ impl Network {
             fabric: FabricKind::Switched(fabric),
             stack,
             nic,
+            probe: Probe::disabled(),
         }
     }
 
@@ -134,6 +141,7 @@ impl Network {
             fabric: FabricKind::Hierarchical(fabric),
             stack,
             nic,
+            probe: Probe::disabled(),
         }
     }
 
@@ -150,6 +158,13 @@ impl Network {
     /// The NIC attachment point.
     pub fn nic(&self) -> NicAttachment {
         self.nic
+    }
+
+    /// Attaches a telemetry probe. Every subsequent [`Network::transfer`]
+    /// bumps the `net.transfers` / `net.bytes` counters and records the
+    /// `net.queue_wait.ns` and `net.wire.ns` histograms.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// Moves `bytes` from `src` to `dst`, requested at `now`, accounting
@@ -170,7 +185,22 @@ impl Network {
         let recv_cpu = self.stack.recv_cost(bytes) + self.nic.extra_overhead();
         // The NIC gets the message after send-side software runs.
         let wire_request = now + send_cpu;
-        let timing = self.fabric.as_fabric_mut().transfer(src, dst, bytes, wire_request);
+        let timing = self
+            .fabric
+            .as_fabric_mut()
+            .transfer(src, dst, bytes, wire_request);
+        if self.probe.is_enabled() {
+            self.probe.count("net.transfers", 1);
+            self.probe.count("net.bytes", bytes);
+            self.probe.record(
+                "net.queue_wait.ns",
+                timing.tx_start.saturating_since(wire_request),
+            );
+            self.probe.record(
+                "net.wire.ns",
+                timing.rx_done.saturating_since(timing.tx_start),
+            );
+        }
         TransferOutcome {
             send_cpu,
             recv_cpu,
@@ -186,6 +216,7 @@ impl Network {
     /// Leaves occupancy state untouched.
     pub fn one_way_small_message_us(&mut self) -> f64 {
         let saved = self.clone();
+        self.probe = Probe::disabled(); // measurement traffic is not telemetry
         let far = SimTime::from_secs(1_000_000); // idle by then
         let out = self.transfer(NodeId(0), NodeId(1), 64, far);
         *self = saved;
@@ -197,6 +228,7 @@ impl Network {
     pub fn bandwidth_at_mbps(&mut self, bytes: u64, messages: u32) -> f64 {
         assert!(messages > 0, "need at least one message");
         let saved = self.clone();
+        self.probe = Probe::disabled(); // measurement traffic is not telemetry
         let start = SimTime::from_secs(1_000_000);
         let mut t = start;
         let mut last_delivery = start;
@@ -327,7 +359,10 @@ mod tests {
         // for standard TCP vs 760 for single-copy).
         let mut tcp_fddi = presets::tcp_fddi(4);
         let tcp_fddi_hp = tcp_fddi.half_power_point_bytes();
-        assert!(tcp_fddi_hp > sc_hp, "standard TCP {tcp_fddi_hp} vs single-copy {sc_hp}");
+        assert!(
+            tcp_fddi_hp > sc_hp,
+            "standard TCP {tcp_fddi_hp} vs single-copy {sc_hp}"
+        );
         let _ = tcp_hp;
     }
 
@@ -343,8 +378,14 @@ mod tests {
     fn transfer_accounts_cpu_and_wire_separately() {
         let mut net = presets::am_atm(4);
         let out = net.transfer(NodeId(0), NodeId(1), 8_192, SimTime::ZERO);
-        assert!(out.sender_free_at < out.wire_done_at, "sender overlaps wire");
-        assert!(out.delivered_at > out.wire_done_at, "receive overhead after wire");
+        assert!(
+            out.sender_free_at < out.wire_done_at,
+            "sender overlaps wire"
+        );
+        assert!(
+            out.delivered_at > out.wire_done_at,
+            "receive overhead after wire"
+        );
         assert_eq!(out.delivered_at - out.wire_done_at, out.recv_cpu);
     }
 

@@ -193,7 +193,10 @@ mod tests {
             "uplink contention must serialise cross-group bulk"
         );
         let local = f.transfer(NodeId(2), NodeId(3), big, SimTime::ZERO);
-        assert!(local.rx_done < second.rx_done, "local traffic bypasses the uplink");
+        assert!(
+            local.rx_done < second.rx_done,
+            "local traffic bypasses the uplink"
+        );
     }
 
     #[test]

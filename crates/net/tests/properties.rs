@@ -1,7 +1,7 @@
 //! Property tests: conservation and ordering invariants of the fabric
 //! occupancy models.
 
-use now_net::{Fabric, Network, NodeId, SharedBus, SwitchedFabric, presets};
+use now_net::{presets, Fabric, Network, NodeId, SharedBus, SwitchedFabric};
 use now_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 

@@ -1,0 +1,352 @@
+//! Exporters: text table, CSV, JSON snapshot, and Chrome `trace_event`
+//! JSON (loadable in `chrome://tracing` and Perfetto).
+
+use crate::registry::{Registry, Snapshot};
+use now_sim::report::TextTable;
+
+impl Registry {
+    /// The snapshot as a plain-text table.
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+
+    /// The snapshot as CSV.
+    pub fn render_csv(&self) -> String {
+        self.snapshot().render_csv()
+    }
+
+    /// The snapshot as JSON.
+    pub fn render_json(&self) -> String {
+        self.snapshot().render_json()
+    }
+
+    /// The event trace in Chrome `trace_event` JSON ("JSON object format").
+    ///
+    /// Nodes become processes, categories become named threads, spans
+    /// become `ph:"X"` complete events and instants `ph:"i"`. Events are
+    /// emitted in a total order, so equal runs produce equal files.
+    pub fn chrome_trace(&self) -> String {
+        let events = self.trace().sorted_events();
+        // Stable thread ids: one per (node, category), in sorted order.
+        let mut threads: Vec<(u32, &'static str)> =
+            events.iter().map(|e| (e.node, e.cat)).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        let tid_of = |node: u32, cat: &str| -> usize {
+            threads
+                .iter()
+                .position(|&(n, c)| n == node && c == cat)
+                .expect("thread registered")
+                + 1
+        };
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |out: &mut String, s: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(&s);
+        };
+        for &(node, cat) in &threads {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{node},\"tid\":{},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":{}}}}}",
+                    tid_of(node, cat),
+                    json_string(cat),
+                ),
+            );
+        }
+        for e in &events {
+            let mut args = String::new();
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    args.push(',');
+                }
+                args.push_str(&format!("{}:{}", json_string(k), json_number(*v)));
+            }
+            let common = format!(
+                "\"pid\":{},\"tid\":{},\"cat\":{},\"name\":{},\"ts\":{},\"args\":{{{args}}}",
+                e.node,
+                tid_of(e.node, e.cat),
+                json_string(e.cat),
+                json_string(e.name),
+                micros(e.ts.as_nanos()),
+            );
+            let line = match e.dur {
+                Some(d) => format!("{{\"ph\":\"X\",{common},\"dur\":{}}}", micros(d.as_nanos())),
+                None => format!("{{\"ph\":\"i\",{common},\"s\":\"t\"}}"),
+            };
+            push(&mut out, line);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot with [`TextTable`], one section per instrument
+    /// kind.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let mut t = TextTable::new(&["counter", "value"]);
+            t.title("Probe counters");
+            for (name, v) in &self.counters {
+                t.row_owned(vec![name.clone(), v.to_string()]);
+            }
+            out.push_str(&t.render());
+        }
+        if !self.gauges.is_empty() {
+            let mut t = TextTable::new(&["gauge", "value"]);
+            t.title("Probe gauges");
+            for (name, v) in &self.gauges {
+                t.row_owned(vec![name.clone(), format_f64(*v)]);
+            }
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&t.render());
+        }
+        if !self.histograms.is_empty() {
+            let mut t = TextTable::new(&[
+                "histogram",
+                "count",
+                "mean",
+                "p50",
+                "p90",
+                "p99",
+                "min",
+                "max",
+            ]);
+            t.title("Probe histograms (ns of simulated time)");
+            for (name, s) in &self.histograms {
+                t.row_owned(vec![
+                    name.clone(),
+                    s.count.to_string(),
+                    s.mean().map_or_else(|| "-".to_string(), format_f64),
+                    opt(s.p50),
+                    opt(s.p90),
+                    opt(s.p99),
+                    opt(s.min),
+                    opt(s.max),
+                ]);
+            }
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&t.render());
+        }
+        if self.trace_events > 0 || self.trace_dropped > 0 {
+            out.push_str(&format!(
+                "\ntrace: {} events buffered, {} dropped\n",
+                self.trace_events, self.trace_dropped
+            ));
+        }
+        if out.is_empty() {
+            out.push_str("probe registry: no instruments recorded\n");
+        }
+        out
+    }
+
+    /// Renders the snapshot as CSV with columns
+    /// `kind,name,value,count,mean,p50,p90,p99,min,max`.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("kind,name,value,count,mean,p50,p90,p99,min,max\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter,{name},{v},,,,,,,\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge,{name},{},,,,,,,\n", format_f64(*v)));
+        }
+        for (name, s) in &self.histograms {
+            out.push_str(&format!(
+                "histogram,{name},,{},{},{},{},{},{},{}\n",
+                s.count,
+                s.mean().map_or_else(String::new, format_f64),
+                opt_csv(s.p50),
+                opt_csv(s.p90),
+                opt_csv(s.p99),
+                opt_csv(s.min),
+                opt_csv(s.max),
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json_string(name)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(name), json_number(*v)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, s)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \
+                 \"p90\": {}, \"p99\": {}, \"min\": {}, \"max\": {}}}",
+                json_string(name),
+                s.count,
+                s.sum,
+                s.mean().map_or_else(|| "null".into(), json_number),
+                opt_json(s.p50),
+                opt_json(s.p90),
+                opt_json(s.p99),
+                opt_json(s.min),
+                opt_json(s.max),
+            ));
+        }
+        out.push_str(&format!(
+            "\n  }},\n  \"trace_events\": {},\n  \"trace_dropped\": {}\n}}\n",
+            self.trace_events, self.trace_dropped
+        ));
+        out
+    }
+}
+
+/// Nanoseconds to Chrome-trace microseconds with fixed precision, so the
+/// rendering is a pure function of the value.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+fn opt_csv(v: Option<u64>) -> String {
+    v.map_or_else(String::new, |v| v.to_string())
+}
+
+fn opt_json(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+    use now_sim::{SimDuration, SimTime};
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        let p = r.probe().for_node(1);
+        p.count("cache.local_hits", 10);
+        p.gauge_set("netram.fault_service.disk_us", 14_800.0);
+        p.record("pager.fault.ns", SimDuration::from_micros(650));
+        p.span("mem", "sweep", SimTime::ZERO)
+            .arg("mb", 64.0)
+            .end(SimTime::from_micros(100));
+        p.instant(
+            "glunix",
+            "migration",
+            SimTime::from_micros(7),
+            &[("job", 2.0)],
+        );
+        r
+    }
+
+    #[test]
+    fn text_render_mentions_every_instrument() {
+        let text = sample_registry().render_text();
+        assert!(text.contains("cache.local_hits"));
+        assert!(text.contains("netram.fault_service.disk_us"));
+        assert!(text.contains("pager.fault.ns"));
+        assert!(text.contains("14800.0"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample_registry().render_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "kind,name,value,count,mean,p50,p90,p99,min,max"
+        );
+        assert!(csv.contains("counter,cache.local_hits,10"));
+        assert!(csv.contains("gauge,netram.fault_service.disk_us,14800.0"));
+    }
+
+    #[test]
+    fn json_is_balanced_and_complete() {
+        let json = sample_registry().render_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert!(json.contains("\"cache.local_hits\": 10"));
+        assert!(json.contains("\"trace_events\": 2"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let trace = sample_registry().chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ph\":\"i\""));
+        assert!(trace.contains("\"ph\":\"M\""));
+        assert!(trace.contains("\"dur\":100.000"));
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+        // Balanced brackets too.
+        assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+    }
+
+    #[test]
+    fn empty_registry_renders_gracefully() {
+        let r = Registry::new();
+        assert!(r.render_text().contains("no instruments"));
+        assert_eq!(r.render_csv().lines().count(), 1);
+        let trace = r.chrome_trace();
+        assert!(trace.contains("\"traceEvents\":["));
+    }
+}

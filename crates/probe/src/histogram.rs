@@ -1,0 +1,187 @@
+//! Log-bucketed latency histogram with lock-free recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two up to `2^63`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket holding `value`: bucket 0 is exactly zero, bucket `b >= 1`
+/// holds `[2^(b-1), 2^b - 1]`. Together the buckets cover all of `u64`
+/// with no gaps and no overlap.
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive `(low, high)` bounds of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket {index} out of range");
+    if index == 0 {
+        (0, 0)
+    } else if index == 64 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (index - 1), (1 << index) - 1)
+    }
+}
+
+/// Shared histogram state. All updates are relaxed atomic read-modify-write
+/// operations, which commute: concurrent recorders always produce the same
+/// final state, preserving snapshot determinism.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Stored as `u64::MAX` when empty so `fetch_min` works unconditionally.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let mut s = HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: (count > 0).then(|| self.min.load(Ordering::Relaxed)),
+            max: (count > 0).then(|| self.max.load(Ordering::Relaxed)),
+            p50: None,
+            p90: None,
+            p99: None,
+        };
+        s.p50 = s.quantile_from(&buckets, 0.50);
+        s.p90 = s.quantile_from(&buckets, 0.90);
+        s.p99 = s.quantile_from(&buckets, 0.99);
+        s
+    }
+}
+
+/// A point-in-time digest of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value, if any.
+    pub min: Option<u64>,
+    /// Largest recorded value, if any.
+    pub max: Option<u64>,
+    /// Median estimate (bucket upper bound, clamped to `[min, max]`).
+    pub p50: Option<u64>,
+    /// 90th-percentile estimate.
+    pub p90: Option<u64>,
+    /// 99th-percentile estimate.
+    pub p99: Option<u64>,
+}
+
+impl HistogramSummary {
+    /// Mean of recorded values, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Nearest-rank quantile over bucketed counts: the estimate is the
+    /// holding bucket's upper bound clamped into `[min, max]`, so it is
+    /// always bracketed by the true extremes.
+    fn quantile_from(&self, buckets: &[u64], q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, high) = bucket_bounds(i);
+                let lo = self.min.expect("count > 0");
+                let hi = self.max.expect("count > 0");
+                return Some(high.clamp(lo, hi));
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            let (_, prev_hi) = bucket_bounds(i - 1);
+            assert_eq!(lo, prev_hi + 1, "gap before bucket {i}");
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn summary_tracks_extremes_and_mean() {
+        let h = HistogramCore::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, Some(10));
+        assert_eq!(s.max, Some(30));
+        assert_eq!(s.mean(), Some(20.0));
+    }
+
+    #[test]
+    fn empty_summary_is_all_none() {
+        let s = HistogramCore::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.p50, None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = HistogramCore::new();
+        for v in 0..1000u64 {
+            h.record(v * 17);
+        }
+        let s = h.summary();
+        let (p50, p90, p99) = (s.p50.unwrap(), s.p90.unwrap(), s.p99.unwrap());
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(s.min.unwrap() <= p50);
+        assert!(p99 <= s.max.unwrap());
+    }
+}

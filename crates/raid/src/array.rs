@@ -157,7 +157,12 @@ impl SoftwareRaid {
         match self.config.level {
             RaidLevel::Raid0 => (logical % u64::from(self.config.disks)) as u32,
             RaidLevel::Raid1 => (logical % u64::from(self.config.disks / 2 * 2) / 2 * 2) as u32,
-            RaidLevel::Raid5 => self.layout.expect("raid5 has layout").locate(logical).data_disk,
+            RaidLevel::Raid5 => {
+                self.layout
+                    .expect("raid5 has layout")
+                    .locate(logical)
+                    .data_disk
+            }
         }
     }
 
@@ -270,14 +275,18 @@ impl SoftwareRaid {
                 // lost to an earlier failure) — rebuild it from the mates.
                 (_, None) => self.recompute_parity(loc.stripe, logical, &data),
             };
-            self.disks[loc.data_disk as usize].blocks.insert(logical, data);
+            self.disks[loc.data_disk as usize]
+                .blocks
+                .insert(logical, data);
             self.set_parity(loc.stripe, new_parity);
             // Read old data + old parity in parallel, then write data +
             // parity in parallel: two dependent phases.
             self.parallel_ops(2) + self.parallel_ops(2)
         } else if parity_failed {
             // Parity disk down: just write the data.
-            self.disks[loc.data_disk as usize].blocks.insert(logical, data);
+            self.disks[loc.data_disk as usize]
+                .blocks
+                .insert(logical, data);
             self.one_op()
         } else {
             // Data disk down: fold the new data into parity so a degraded
@@ -319,14 +328,19 @@ impl SoftwareRaid {
     fn parity_block(&self, stripe: u64) -> Option<Bytes> {
         let layout = self.layout.expect("raid5 has layout");
         let disk = layout.parity_disk(stripe) as usize;
-        self.disks[disk].blocks.get(&Self::parity_key(stripe)).cloned()
+        self.disks[disk]
+            .blocks
+            .get(&Self::parity_key(stripe))
+            .cloned()
     }
 
     fn set_parity(&mut self, stripe: u64, parity: Bytes) {
         let layout = self.layout.expect("raid5 has layout");
         let disk = layout.parity_disk(stripe) as usize;
         if !self.disks[disk].failed {
-            self.disks[disk].blocks.insert(Self::parity_key(stripe), parity);
+            self.disks[disk]
+                .blocks
+                .insert(Self::parity_key(stripe), parity);
         }
     }
 
@@ -364,7 +378,7 @@ impl SoftwareRaid {
         };
         let per = u64::from(layout.data_per_stripe());
         assert!(
-            first_logical % per == 0,
+            first_logical.is_multiple_of(per),
             "full-stripe writes must be stripe-aligned"
         );
         assert_eq!(
@@ -473,8 +487,7 @@ impl SoftwareRaid {
                             continue;
                         }
                         let mloc = layout.locate(mate);
-                        if let Some(block) = self.disks[mloc.data_disk as usize].blocks.get(&mate)
-                        {
+                        if let Some(block) = self.disks[mloc.data_disk as usize].blocks.get(&mate) {
                             xor_into(&mut acc, block);
                             written_mates += 1;
                         }
@@ -516,7 +529,11 @@ impl SoftwareRaid {
         match self.config.level {
             RaidLevel::Raid0 => Err(RaidError::DataLost),
             RaidLevel::Raid1 => {
-                let partner = if disk.is_multiple_of(2) { disk + 1 } else { disk - 1 };
+                let partner = if disk.is_multiple_of(2) {
+                    disk + 1
+                } else {
+                    disk - 1
+                };
                 if self.disks[partner as usize].failed {
                     return Err(RaidError::DataLost);
                 }
@@ -528,7 +545,10 @@ impl SoftwareRaid {
                 let n = copied.len() as u64;
                 self.disks[disk as usize].failed = false;
                 self.disks[disk as usize].blocks = copied.into_iter().collect();
-                let time = self.model.sequential_per_block(self.config.block_bytes as u64, n.max(1)) * n;
+                let time = self
+                    .model
+                    .sequential_per_block(self.config.block_bytes as u64, n.max(1))
+                    * n;
                 self.stats.disk_ops += 2 * n;
                 self.stats.time += time;
                 Ok(time)
@@ -602,8 +622,10 @@ impl SoftwareRaid {
                 // Reconstruction streams all survivors in parallel and
                 // writes the replacement: bounded by one disk's sequential
                 // rate over the rebuilt volume.
-                let time =
-                    self.model.sequential_per_block(self.config.block_bytes as u64, n.max(1)) * n;
+                let time = self
+                    .model
+                    .sequential_per_block(self.config.block_bytes as u64, n.max(1))
+                    * n;
                 self.stats.disk_ops += n * u64::from(self.config.disks);
                 self.stats.time += time;
                 Ok(time)
@@ -679,7 +701,11 @@ mod tests {
             r.fail_disk(victim);
             for i in 0..40 {
                 let (data, _) = r.read(i).unwrap();
-                assert_eq!(&data[..], &block(i as u8, 256)[..], "victim {victim}, block {i}");
+                assert_eq!(
+                    &data[..],
+                    &block(i as u8, 256)[..],
+                    "victim {victim}, block {i}"
+                );
             }
             assert!(r.stats().degraded_reads > 0);
         }
@@ -740,7 +766,11 @@ mod tests {
         for i in 0..30 {
             assert_eq!(&r.read(i).unwrap().0[..], &block(i as u8, 256)[..]);
         }
-        assert_eq!(r.stats().degraded_reads, before, "no degraded reads after rebuild");
+        assert_eq!(
+            r.stats().degraded_reads,
+            before,
+            "no degraded reads after rebuild"
+        );
     }
 
     #[test]
@@ -763,11 +793,19 @@ mod tests {
             r.write(i, &block(i as u8 ^ 0xFF, 256)).unwrap();
         }
         for i in 0..12 {
-            assert_eq!(&r.read(i).unwrap().0[..], &block(i as u8 ^ 0xFF, 256)[..], "degraded read {i}");
+            assert_eq!(
+                &r.read(i).unwrap().0[..],
+                &block(i as u8 ^ 0xFF, 256)[..],
+                "degraded read {i}"
+            );
         }
         r.reconstruct(1).unwrap();
         for i in 0..12 {
-            assert_eq!(&r.read(i).unwrap().0[..], &block(i as u8 ^ 0xFF, 256)[..], "post-rebuild read {i}");
+            assert_eq!(
+                &r.read(i).unwrap().0[..],
+                &block(i as u8 ^ 0xFF, 256)[..],
+                "post-rebuild read {i}"
+            );
         }
     }
 
@@ -786,7 +824,10 @@ mod tests {
         let mut r = raid5(4);
         assert_eq!(
             r.write(0, &[0u8; 10]),
-            Err(RaidError::WrongBlockSize { expected: 256, got: 10 })
+            Err(RaidError::WrongBlockSize {
+                expected: 256,
+                got: 10
+            })
         );
     }
 
@@ -856,7 +897,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = RaidError::WrongBlockSize { expected: 8, got: 4 };
+        let e = RaidError::WrongBlockSize {
+            expected: 8,
+            got: 4,
+        };
         assert!(e.to_string().contains("8"));
         assert!(RaidError::DataLost.to_string().contains("unrecoverable"));
     }

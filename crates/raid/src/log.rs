@@ -112,7 +112,7 @@ impl StripeLog {
         let buffered = std::mem::take(&mut self.buffer);
         let mut i = 0;
         while i < buffered.len() {
-            let aligned = self.tail % self.stripe_blocks as u64 == 0;
+            let aligned = self.tail.is_multiple_of(self.stripe_blocks as u64);
             let remaining = buffered.len() - i;
             if aligned && remaining >= self.stripe_blocks {
                 let chunk = &buffered[i..i + self.stripe_blocks];

@@ -55,7 +55,8 @@ impl TextTable {
             self.headers.len(),
             "row width must match header width"
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -155,7 +156,10 @@ pub fn render_figure(title: &str, x_label: &str, y_label: &str, series: &[Series
     }
 
     // ASCII sketch on a shared scale.
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.len() >= 2 {
         let (xmin, xmax) = all
             .iter()

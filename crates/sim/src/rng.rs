@@ -245,7 +245,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..64).filter(|_| a.gen_range(0..u64::MAX) == b.gen_range(0..u64::MAX)).count();
+        let same = (0..64)
+            .filter(|_| a.gen_range(0..u64::MAX) == b.gen_range(0..u64::MAX))
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -317,7 +319,10 @@ mod tests {
         let mut xs: Vec<f64> = (0..9_999).map(|_| rng.log_uniform(1.0, 100.0)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = xs[xs.len() / 2];
-        assert!((median - 10.0).abs() < 1.5, "median {median} should be near 10");
+        assert!(
+            (median - 10.0).abs() < 1.5,
+            "median {median} should be near 10"
+        );
     }
 
     #[test]
@@ -339,7 +344,12 @@ mod tests {
         for _ in 0..50_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[50] * 10, "rank 0 ({}) should dwarf rank 50 ({})", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 10,
+            "rank 0 ({}) should dwarf rank 50 ({})",
+            counts[0],
+            counts[50]
+        );
         // All samples in range (vec indexing would already have panicked).
         assert_eq!(counts.iter().map(|&c| c as u64).sum::<u64>(), 50_000);
     }

@@ -119,8 +119,7 @@ impl Accumulator {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -164,7 +163,10 @@ impl Percentiles {
     ///
     /// Panics if `q` is outside `[0, 1]` or any sample is NaN.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.samples.is_empty() {
             return None;
         }
@@ -297,7 +299,10 @@ impl TimeWeighted {
     ///
     /// Panics if `t` precedes the previous transition.
     pub fn set(&mut self, t: SimTime, value: f64) {
-        assert!(t >= self.last_time, "time-weighted updates must be monotone");
+        assert!(
+            t >= self.last_time,
+            "time-weighted updates must be monotone"
+        );
         self.integral += self.current * (t - self.last_time).as_secs_f64();
         self.last_time = t;
         self.current = value;
@@ -320,7 +325,10 @@ impl TimeWeighted {
     ///
     /// Panics if `end` precedes the last transition or equals the start.
     pub fn average(&self, end: SimTime) -> f64 {
-        assert!(end >= self.last_time, "average endpoint precedes last update");
+        assert!(
+            end >= self.last_time,
+            "average endpoint precedes last update"
+        );
         assert!(end > self.start, "empty integration interval");
         let integral = self.integral + self.current * (end - self.last_time).as_secs_f64();
         integral / (end - self.start).as_secs_f64()
@@ -344,6 +352,29 @@ mod tests {
         assert_eq!(a.sum(), 4.0);
         assert_eq!(a.min(), Some(1.0));
         assert_eq!(a.max(), Some(3.0));
+    }
+
+    #[test]
+    fn accumulator_min_max_edge_cases() {
+        let empty = Accumulator::new();
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+        // A single observation is both extremes, even when negative.
+        let mut one = Accumulator::new();
+        one.add(-7.25);
+        assert_eq!(one.min(), Some(-7.25));
+        assert_eq!(one.max(), Some(-7.25));
+        // Merging an empty into an empty stays empty (the sentinel
+        // infinities never leak out through the Option API).
+        let mut merged = Accumulator::new();
+        merged.merge(&Accumulator::new());
+        assert_eq!(merged.min(), None);
+        assert_eq!(merged.max(), None);
+        // Merging a populated accumulator into an empty one adopts its
+        // extremes.
+        merged.merge(&one);
+        assert_eq!(merged.min(), Some(-7.25));
+        assert_eq!(merged.max(), Some(-7.25));
     }
 
     #[test]

@@ -28,7 +28,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t1 - t0, SimDuration::from_micros(3_000));
 /// assert!(t1 > t0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in nanoseconds.
@@ -42,7 +44,9 @@ pub struct SimTime(u64);
 /// let transfer = per_byte * 8_192;
 /// assert_eq!(transfer.as_micros_f64(), 819.2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -190,7 +194,10 @@ impl SimDuration {
     ///
     /// Panics if `other` is zero.
     pub fn ratio(self, other: SimDuration) -> f64 {
-        assert!(!other.is_zero(), "cannot take ratio against a zero duration");
+        assert!(
+            !other.is_zero(),
+            "cannot take ratio against a zero duration"
+        );
         self.0 as f64 / other.0 as f64
     }
 }
@@ -302,7 +309,10 @@ mod tests {
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2_000_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]
@@ -327,10 +337,16 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds_and_clamps() {
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1_500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1_500)
+        );
         assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_micros_f64(2.5), SimDuration::from_nanos(2_500));
+        assert_eq!(
+            SimDuration::from_micros_f64(2.5),
+            SimDuration::from_nanos(2_500)
+        );
     }
 
     #[test]
@@ -376,8 +392,14 @@ mod tests {
 
     #[test]
     fn duration_scalar_ops() {
-        assert_eq!(SimDuration::from_micros(3) * 4, SimDuration::from_micros(12));
-        assert_eq!(SimDuration::from_micros(12) / 4, SimDuration::from_micros(3));
+        assert_eq!(
+            SimDuration::from_micros(3) * 4,
+            SimDuration::from_micros(12)
+        );
+        assert_eq!(
+            SimDuration::from_micros(12) / 4,
+            SimDuration::from_micros(3)
+        );
         assert_eq!(
             SimDuration::from_micros(5).saturating_sub(SimDuration::from_micros(9)),
             SimDuration::ZERO
@@ -386,7 +408,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_nanos(7)),
             Some(SimTime::from_nanos(7))

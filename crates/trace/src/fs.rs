@@ -153,8 +153,7 @@ impl FsTrace {
 
         // File size table: shared files first, then each client's private
         // pool. Pareto sizes give the long tail real file systems have.
-        let total_files =
-            config.shared_files + config.clients * config.private_files_per_client;
+        let total_files = config.shared_files + config.clients * config.private_files_per_client;
         let mut file_blocks = Vec::with_capacity(total_files as usize);
         for _ in 0..total_files {
             let size = rng.pareto(1.0, 1.3) * config.mean_file_blocks as f64 / 4.0;
@@ -183,14 +182,13 @@ impl FsTrace {
                 let file = if crng.chance(config.shared_fraction) {
                     FileId(shared_zipf.sample(&mut crng) as u32)
                 } else {
-                    let base = config.shared_files
-                        + client * config.private_files_per_client;
+                    let base = config.shared_files + client * config.private_files_per_client;
                     FileId(base + private_zipf.sample(&mut crng) as u32)
                 };
                 let size = file_blocks[file.0 as usize];
                 // Sequential run from a random start within the file.
-                let run = (crng.exponential(config.mean_run_blocks as f64).ceil() as u32)
-                    .clamp(1, size);
+                let run =
+                    (crng.exponential(config.mean_run_blocks as f64).ceil() as u32).clamp(1, size);
                 let start = crng.gen_range(0..u64::from(size)) as u32;
                 let is_write = crng.chance(config.write_fraction);
                 let mut bt = t;
@@ -200,7 +198,11 @@ impl FsTrace {
                         time: bt,
                         client,
                         block: BlockId { file, block },
-                        kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+                        kind: if is_write {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
                     });
                     bt += SimDuration::from_millis(2); // intra-run spacing
                 }
@@ -259,7 +261,11 @@ impl FsTrace {
     /// Number of distinct blocks in the trace.
     pub fn unique_blocks(&self) -> usize {
         use std::collections::HashSet;
-        self.accesses.iter().map(|a| a.block).collect::<HashSet<_>>().len()
+        self.accesses
+            .iter()
+            .map(|a| a.block)
+            .collect::<HashSet<_>>()
+            .len()
     }
 
     /// Serialises to the line format: a header, the file-size table, then
@@ -267,7 +273,12 @@ impl FsTrace {
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "fstrace v1 clients={} files={}", self.clients, self.file_blocks.len());
+        let _ = writeln!(
+            out,
+            "fstrace v1 clients={} files={}",
+            self.clients,
+            self.file_blocks.len()
+        );
         let sizes: Vec<String> = self.file_blocks.iter().map(|b| b.to_string()).collect();
         let _ = writeln!(out, "sizes {}", sizes.join(" "));
         for a in &self.accesses {
@@ -294,7 +305,9 @@ impl FsTrace {
     /// Returns a [`ParseTraceError`] describing the first malformed line.
     pub fn from_text(text: &str) -> Result<FsTrace, ParseTraceError> {
         let mut lines = text.lines();
-        let header = lines.next().ok_or_else(|| ParseTraceError::new(0, "empty input"))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| ParseTraceError::new(0, "empty input"))?;
         if !header.starts_with("fstrace v1") {
             return Err(ParseTraceError::new(1, "missing `fstrace v1` header"));
         }
@@ -304,7 +317,9 @@ impl FsTrace {
             .and_then(|s| s.split_whitespace().next())
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| ParseTraceError::new(1, "bad clients field"))?;
-        let sizes_line = lines.next().ok_or_else(|| ParseTraceError::new(2, "missing sizes line"))?;
+        let sizes_line = lines
+            .next()
+            .ok_or_else(|| ParseTraceError::new(2, "missing sizes line"))?;
         let file_blocks: Vec<u32> = sizes_line
             .strip_prefix("sizes ")
             .ok_or_else(|| ParseTraceError::new(2, "missing `sizes` prefix"))?
@@ -315,9 +330,8 @@ impl FsTrace {
         for (i, line) in lines.enumerate() {
             let lineno = i + 3;
             let mut parts = line.split_whitespace();
-            let mut next = |what: &'static str| {
-                parts.next().ok_or(ParseTraceError::new(lineno, what))
-            };
+            let mut next =
+                |what: &'static str| parts.next().ok_or(ParseTraceError::new(lineno, what));
             let time: u64 = next("missing time")?
                 .parse()
                 .map_err(|_| ParseTraceError::new(lineno, "bad time"))?;
@@ -338,11 +352,18 @@ impl FsTrace {
             accesses.push(FsAccess {
                 time: SimTime::from_nanos(time),
                 client,
-                block: BlockId { file: FileId(file), block },
+                block: BlockId {
+                    file: FileId(file),
+                    block,
+                },
                 kind,
             });
         }
-        Ok(FsTrace { accesses, file_blocks, clients })
+        Ok(FsTrace {
+            accesses,
+            file_blocks,
+            clients,
+        })
     }
 }
 

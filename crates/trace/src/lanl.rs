@@ -105,19 +105,17 @@ impl JobTrace {
             }
             sum / n
         };
-        let dev_mean_ns = log_uniform_mean(10.0, 1_200.0)
-            * pow2_mean(1, 8.min(config.partition_nodes));
-        let prod_mean_ns = log_uniform_mean(600.0, 4.0 * 3_600.0)
-            * pow2_mean(8, config.partition_nodes);
+        let dev_mean_ns =
+            log_uniform_mean(10.0, 1_200.0) * pow2_mean(1, 8.min(config.partition_nodes));
+        let prod_mean_ns =
+            log_uniform_mean(600.0, 4.0 * 3_600.0) * pow2_mean(8, config.partition_nodes);
         let mean_node_secs = (1.0 - config.production_fraction) * dev_mean_ns
             + config.production_fraction * prod_mean_ns;
         assert!(
-            config.submit_start < config.submit_end
-                && config.submit_end <= config.duration,
+            config.submit_start < config.submit_end && config.submit_end <= config.duration,
             "submission window must fit in the day"
         );
-        let capacity_node_secs =
-            config.partition_nodes as f64 * config.duration.as_secs_f64();
+        let capacity_node_secs = config.partition_nodes as f64 * config.duration.as_secs_f64();
         let jobs_target = capacity_node_secs * config.offered_load / mean_node_secs;
         let window = (config.submit_end - config.submit_start).as_secs_f64();
         let mean_interarrival = window / jobs_target;
@@ -231,18 +229,19 @@ impl JobTrace {
             .split_once("..")
             .ok_or_else(|| ParseTraceError::new(1, "bad submit range"))?;
         let submit_start = SimDuration::from_nanos(
-            ss.parse().map_err(|_| ParseTraceError::new(1, "bad submit start"))?,
+            ss.parse()
+                .map_err(|_| ParseTraceError::new(1, "bad submit start"))?,
         );
         let submit_end = SimDuration::from_nanos(
-            se.parse().map_err(|_| ParseTraceError::new(1, "bad submit end"))?,
+            se.parse()
+                .map_err(|_| ParseTraceError::new(1, "bad submit end"))?,
         );
         let mut jobs = Vec::new();
         for (i, line) in lines.enumerate() {
             let lineno = i + 2;
             let mut parts = line.split_whitespace();
-            let mut next = |what: &'static str| {
-                parts.next().ok_or(ParseTraceError::new(lineno, what))
-            };
+            let mut next =
+                |what: &'static str| parts.next().ok_or(ParseTraceError::new(lineno, what));
             let arrival: u64 = next("missing arrival")?
                 .parse()
                 .map_err(|_| ParseTraceError::new(lineno, "bad arrival"))?;

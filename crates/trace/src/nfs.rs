@@ -200,7 +200,11 @@ mod tests {
         let total: u64 = mix.iter().map(|&(_, c)| c).sum();
         assert_eq!(total as usize, t.messages.len());
         // Sizes are the distinct wire sizes.
-        assert!(mix.iter().all(|&(s, _)| s == 96 || s == 128 || s == 180 || s == 190 || s == 8_192));
+        assert!(mix.iter().all(|&(s, _)| s == 96
+            || s == 128
+            || s == 180
+            || s == 190
+            || s == 8_192));
     }
 
     #[test]

@@ -124,13 +124,17 @@ impl UsageTrace {
     /// Panics on a degenerate configuration (no machines, inverted day).
     pub fn generate(config: &UsageTraceConfig, seed: u64) -> UsageTrace {
         assert!(config.machines > 0, "need at least one machine");
-        assert!(config.day_start < config.day_end, "day must have positive length");
+        assert!(
+            config.day_start < config.day_end,
+            "day must have positive length"
+        );
         let mut rng = SimRng::new(seed);
         let mut machines = Vec::with_capacity(config.machines as usize);
         for m in 0..config.machines {
             let mut mrng = rng.fork();
             // Deterministically spread the idle machines across ids.
-            let idle = (m as f64 + 0.5) / config.machines as f64 >= 1.0 - config.fully_idle_fraction;
+            let idle =
+                (m as f64 + 0.5) / config.machines as f64 >= 1.0 - config.fully_idle_fraction;
             let mut periods = Vec::new();
             if !idle {
                 let day_start = SimTime::ZERO + config.day_start;
@@ -141,14 +145,17 @@ impl UsageTrace {
                         mrng.exponential(config.mean_gap.as_secs_f64() / 2.0),
                     );
                 while t < day_end {
-                    let len =
-                        SimDuration::from_secs_f64(mrng.exponential(config.mean_session.as_secs_f64()));
+                    let len = SimDuration::from_secs_f64(
+                        mrng.exponential(config.mean_session.as_secs_f64()),
+                    );
                     let end = (t + len).min(day_end);
                     if end > t {
                         periods.push(ActivePeriod { start: t, end });
                     }
                     t = end
-                        + SimDuration::from_secs_f64(mrng.exponential(config.mean_gap.as_secs_f64()));
+                        + SimDuration::from_secs_f64(
+                            mrng.exponential(config.mean_gap.as_secs_f64()),
+                        );
                 }
             }
             machines.push(MachineUsage { periods });
@@ -161,7 +168,11 @@ impl UsageTrace {
 
     /// Fraction of machines with zero activity over the whole trace.
     pub fn fully_idle_fraction(&self) -> f64 {
-        let idle = self.machines.iter().filter(|m| m.periods.is_empty()).count();
+        let idle = self
+            .machines
+            .iter()
+            .filter(|m| m.periods.is_empty())
+            .count();
         idle as f64 / self.machines.len() as f64
     }
 
@@ -178,7 +189,9 @@ impl UsageTrace {
     /// additional noninteractive machines."
     pub fn with_reserves(mut self, extra: u32) -> UsageTrace {
         for _ in 0..extra {
-            self.machines.push(MachineUsage { periods: Vec::new() });
+            self.machines.push(MachineUsage {
+                periods: Vec::new(),
+            });
         }
         self.config.machines += extra;
         self
@@ -251,10 +264,12 @@ impl UsageTrace {
             .split_once("..")
             .ok_or_else(|| ParseTraceError::new(1, "bad day range"))?;
         let day_start = SimDuration::from_nanos(
-            ds.parse().map_err(|_| ParseTraceError::new(1, "bad day start"))?,
+            ds.parse()
+                .map_err(|_| ParseTraceError::new(1, "bad day start"))?,
         );
         let day_end = SimDuration::from_nanos(
-            de.parse().map_err(|_| ParseTraceError::new(1, "bad day end"))?,
+            de.parse()
+                .map_err(|_| ParseTraceError::new(1, "bad day end"))?,
         );
         let mut machines = Vec::new();
         for (i, line) in lines.enumerate() {
@@ -265,10 +280,12 @@ impl UsageTrace {
                     .split_once(':')
                     .ok_or(ParseTraceError::new(lineno, "missing colon in period"))?;
                 let start = SimTime::from_nanos(
-                    a.parse().map_err(|_| ParseTraceError::new(lineno, "bad start"))?,
+                    a.parse()
+                        .map_err(|_| ParseTraceError::new(lineno, "bad start"))?,
                 );
                 let end = SimTime::from_nanos(
-                    b.parse().map_err(|_| ParseTraceError::new(lineno, "bad end"))?,
+                    b.parse()
+                        .map_err(|_| ParseTraceError::new(lineno, "bad end"))?,
                 );
                 periods.push(ActivePeriod { start, end });
             }
@@ -389,11 +406,7 @@ mod tests {
     #[test]
     fn next_transition_finds_edges() {
         let t = trace();
-        let busy = t
-            .machines
-            .iter()
-            .find(|m| !m.periods.is_empty())
-            .unwrap();
+        let busy = t.machines.iter().find(|m| !m.periods.is_empty()).unwrap();
         let p = busy.periods[0];
         let before = p.start - SimDuration::from_secs(1);
         assert_eq!(busy.next_transition(before), Some(p.start));

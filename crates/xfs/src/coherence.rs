@@ -97,8 +97,7 @@ impl BlockEntry {
     /// Plans a write by `writer` and applies the state transition: all
     /// other copies are invalidated and `writer` becomes the owner.
     pub fn write(&mut self, writer: ClientId) -> WritePlan {
-        let had_valid_copy =
-            self.owner == Some(writer) || self.copyset.contains(&writer);
+        let had_valid_copy = self.owner == Some(writer) || self.copyset.contains(&writer);
         let fetch = if had_valid_copy {
             None
         } else if let Some(owner) = self.owner {

@@ -156,8 +156,7 @@ impl NetCosts {
     fn am_atm(block_bytes: usize) -> Self {
         NetCosts {
             control: SimDuration::from_micros(20),
-            block: SimDuration::from_micros(30)
-                + SimDuration::from_nanos(52 * block_bytes as u64), // 155 Mbps
+            block: SimDuration::from_micros(30) + SimDuration::from_nanos(52 * block_bytes as u64), // 155 Mbps
         }
     }
 }
@@ -380,7 +379,10 @@ impl Xfs {
 
         self.stats.time += self.costs.control; // ask the manager
         let slot = self.manager_slot(key);
-        let plan = self.managers[slot as usize].entry(key).or_default().read(client);
+        let plan = self.managers[slot as usize]
+            .entry(key)
+            .or_default()
+            .read(client);
         let data = match plan {
             ReadPlan::FromOwner { owner } if owner != client => {
                 // Owner supplies the data and writes it back (downgrade).
@@ -434,8 +436,7 @@ impl Xfs {
             }
             // Plans naming ourselves mean the manager already saw us as a
             // holder; treat as local (can happen after manager rebuild).
-            ReadPlan::FromOwner { .. } | ReadPlan::FromPeer { .. } => self.clients
-                [client as usize]
+            ReadPlan::FromOwner { .. } | ReadPlan::FromPeer { .. } => self.clients[client as usize]
                 .data
                 .get(&key)
                 .cloned()
@@ -455,7 +456,11 @@ impl Xfs {
     ) -> Result<(), XfsError> {
         let touch = self.clients[client as usize].cache.touch(key, dirty);
         self.clients[client as usize].data.insert(key, data);
-        if let Touch::MissEvicted { victim, dirty: victim_dirty } = touch {
+        if let Touch::MissEvicted {
+            victim,
+            dirty: victim_dirty,
+        } = touch
+        {
             let victim_data = self.clients[client as usize]
                 .data
                 .remove(&victim)
@@ -599,7 +604,10 @@ impl Xfs {
         // caches: every resident copy re-registers. Dirty/ownership is
         // re-derived from the LRU dirty bit (owners marked their entries
         // dirty when they wrote).
-        let lost: Vec<BlockKey> = self.managers[failed_slot as usize].drain().map(|(k, _)| k).collect();
+        let lost: Vec<BlockKey> = self.managers[failed_slot as usize]
+            .drain()
+            .map(|(k, _)| k)
+            .collect();
         self.stats.time += self.costs.control * self.config.clients as u64; // broadcast
         for key in lost {
             let new_slot = self.manager_slot(key);
@@ -798,9 +806,16 @@ mod tests {
         }
         fs.sync(0).unwrap();
         for b in 0..cache + 16 {
-            assert_eq!(&fs.read(1, f, b).unwrap()[..], &blk(&fs, b as u8)[..], "block {b}");
+            assert_eq!(
+                &fs.read(1, f, b).unwrap()[..],
+                &blk(&fs, b as u8)[..],
+                "block {b}"
+            );
         }
-        assert!(fs.stats().storage_reads > 0, "some blocks came from the log");
+        assert!(
+            fs.stats().storage_reads > 0,
+            "some blocks came from the log"
+        );
     }
 
     #[test]
@@ -856,7 +871,11 @@ mod tests {
         // Kill a storage disk: RAID-5 degraded reads still serve.
         fs.storage_mut().raid_mut().fail_disk(2);
         for b in 0..30 {
-            assert_eq!(&fs.read(1, f, b).unwrap()[..], &blk(&fs, b as u8)[..], "degraded {b}");
+            assert_eq!(
+                &fs.read(1, f, b).unwrap()[..],
+                &blk(&fs, b as u8)[..],
+                "degraded {b}"
+            );
         }
         // Reconstruct and read again.
         fs.storage_mut().raid_mut().reconstruct(2).unwrap();
@@ -925,9 +944,9 @@ mod tests {
         }
         fs.sync(0).unwrap();
         fs.fail_client(0); // cold caches: force storage reads
-        // Kill one disk in group 1 AND one in group 2: each group is its
-        // own RAID-5, so both single failures are survivable — the bounded
-        // parity-group design from the availability analysis.
+                           // Kill one disk in group 1 AND one in group 2: each group is its
+                           // own RAID-5, so both single failures are survivable — the bounded
+                           // parity-group design from the availability analysis.
         fs.storage_group_mut(1).raid_mut().fail_disk(0);
         fs.storage_group_mut(2).raid_mut().fail_disk(3);
         for b in 0..48 {
@@ -967,7 +986,10 @@ mod tests {
         let f = fs.create("/a").unwrap();
         assert_eq!(
             fs.write(0, f, 0, &[1, 2, 3]),
-            Err(XfsError::WrongBlockSize { expected: 512, got: 3 })
+            Err(XfsError::WrongBlockSize {
+                expected: 512,
+                got: 3
+            })
         );
     }
 }

@@ -133,10 +133,9 @@ impl Xfs {
     pub fn write_file(&mut self, client: u32, raw: &str, data: &[u8]) -> Result<FileId, XfsError> {
         let id = match self.create_at(raw) {
             Ok(id) => id,
-            Err(XfsError::AlreadyExists) => self.lookup(
-                &Path::parse(raw)?.to_string_lossless(),
-            )
-            .ok_or(XfsError::NoSuchFile)?,
+            Err(XfsError::AlreadyExists) => self
+                .lookup(&Path::parse(raw)?.to_string_lossless())
+                .ok_or(XfsError::NoSuchFile)?,
             Err(e) => return Err(e),
         };
         let bs = self.block_bytes();
@@ -253,7 +252,8 @@ mod tests {
     #[test]
     fn write_file_overwrites_in_place() {
         let mut fs = fs();
-        fs.write_file(0, "/f", b"first version, quite long").unwrap();
+        fs.write_file(0, "/f", b"first version, quite long")
+            .unwrap();
         fs.write_file(1, "/f", b"second").unwrap();
         assert_eq!(fs.read_file(2, "/f").unwrap(), b"second");
     }

@@ -44,10 +44,20 @@ fn main() {
     let ladder = [
         ("shared Ethernet + PVM", Interconnect::EthernetPvm),
         ("switched ATM + TCP", Interconnect::AtmTcp),
-        ("switched ATM + Active Messages", Interconnect::AtmActiveMessages),
-        ("Myrinet + Active Messages", Interconnect::MyrinetActiveMessages),
+        (
+            "switched ATM + Active Messages",
+            Interconnect::AtmActiveMessages,
+        ),
+        (
+            "Myrinet + Active Messages",
+            Interconnect::MyrinetActiveMessages,
+        ),
     ];
-    let sizes = if sizes.is_empty() { vec![64, 256] } else { sizes };
+    let sizes = if sizes.is_empty() {
+        vec![64, 256]
+    } else {
+        sizes
+    };
     for nodes in sizes {
         println!("-- {nodes} workstations");
         for (label, interconnect) in ladder {

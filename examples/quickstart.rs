@@ -26,7 +26,10 @@ fn main() {
 
     // 1. The serverless file system: any client writes, any client reads,
     //    no server anywhere.
-    let file = now.fs().create("/home/shared/results.dat").expect("fresh name");
+    let file = now
+        .fs()
+        .create("/home/shared/results.dat")
+        .expect("fresh name");
     let block_bytes = now.fs().block_bytes();
     for block in 0..8u32 {
         let data = vec![block as u8; block_bytes];

@@ -27,7 +27,8 @@ fn main() {
     let data = fs.create("/sim/results.bin").unwrap();
     for b in 0..32 {
         fs.write(0, paper, b, &block(b as u8)).unwrap();
-        fs.write(5, data, b, &block(0xA0 | (b as u8 & 0x0F))).unwrap();
+        fs.write(5, data, b, &block(0xA0 | (b as u8 & 0x0F)))
+            .unwrap();
     }
     fs.sync(0).unwrap();
     fs.sync(5).unwrap();

@@ -48,7 +48,10 @@ fn boot_write_crash_recover_verify() {
 fn out_of_core_job_uses_the_buildings_memory() {
     let mut now = atm_cluster(32);
     let result = now.run_out_of_core(96).unwrap();
-    assert!(result.pager.netram_faults > 0, "must actually page remotely");
+    assert!(
+        result.pager.netram_faults > 0,
+        "must actually page remotely"
+    );
     let disk = now.run_out_of_core_on_disk(96);
     let speedup = disk.total.as_secs_f64() / result.total.as_secs_f64();
     assert!(
@@ -61,11 +64,18 @@ fn out_of_core_job_uses_the_buildings_memory() {
 fn interconnect_choice_gates_capabilities() {
     // The slow-network clusters refuse network RAM, matching the paper's
     // Table 2 argument that Ethernet remote memory barely beats disk.
-    for slow in [Interconnect::EthernetTcp, Interconnect::EthernetPvm, Interconnect::AtmTcp] {
+    for slow in [
+        Interconnect::EthernetTcp,
+        Interconnect::EthernetPvm,
+        Interconnect::AtmTcp,
+    ] {
         let mut now = NowCluster::builder().nodes(8).interconnect(slow).build();
         assert!(now.run_out_of_core(64).is_err(), "{slow:?} should refuse");
     }
-    for fast in [Interconnect::AtmActiveMessages, Interconnect::MyrinetActiveMessages] {
+    for fast in [
+        Interconnect::AtmActiveMessages,
+        Interconnect::MyrinetActiveMessages,
+    ] {
         let mut now = NowCluster::builder().nodes(8).interconnect(fast).build();
         assert!(now.run_out_of_core(64).is_ok(), "{fast:?} should work");
     }
@@ -76,15 +86,25 @@ fn communication_upgrade_ladder_holds_end_to_end() {
     // One-way small-message times, through the cluster API, reproduce the
     // paper's ladder: PVM > TCP > sockets-class > AM.
     let us = |i: Interconnect| {
-        NowCluster::builder().nodes(8).interconnect(i).build().small_message_us()
+        NowCluster::builder()
+            .nodes(8)
+            .interconnect(i)
+            .build()
+            .small_message_us()
     };
     let pvm = us(Interconnect::EthernetPvm);
     let tcp = us(Interconnect::AtmTcp);
     let am = us(Interconnect::AtmActiveMessages);
     let myri = us(Interconnect::MyrinetActiveMessages);
     assert!(pvm > tcp, "PVM {pvm} vs TCP {tcp}");
-    assert!(tcp > am * 8.0, "order-of-magnitude claim: TCP {tcp} vs AM {am}");
-    assert!(myri < 12.0, "Myrinet AM should approach the 10 µs goal, got {myri}");
+    assert!(
+        tcp > am * 8.0,
+        "order-of-magnitude claim: TCP {tcp} vs AM {am}"
+    );
+    assert!(
+        myri < 12.0,
+        "Myrinet AM should approach the 10 µs goal, got {myri}"
+    );
 }
 
 #[test]

@@ -28,8 +28,12 @@ fn figure1_shape_integration_costs_double() {
 #[test]
 fn table2_shape_remote_memory_beats_disk_only_on_switched_lans() {
     let m = AccessModel::paper_defaults();
-    let atm_mem = m.service_time(Network::Atm155, Target::RemoteMemory).total_us();
-    let eth_mem = m.service_time(Network::Ethernet10, Target::RemoteMemory).total_us();
+    let atm_mem = m
+        .service_time(Network::Atm155, Target::RemoteMemory)
+        .total_us();
+    let eth_mem = m
+        .service_time(Network::Ethernet10, Target::RemoteMemory)
+        .total_us();
     assert!(m.disk_us / atm_mem > 10.0, "ATM: order of magnitude");
     assert!(m.disk_us / eth_mem < 3.0, "Ethernet: marginal");
 }
@@ -43,8 +47,14 @@ fn figure2_shape_netram_between_dram_and_disk() {
         let disk = run(mb, MemoryConfig::local32_disk()).total.as_secs_f64();
         let vs_dram = netram / dram;
         let vs_disk = disk / netram;
-        assert!((1.05..=1.4).contains(&vs_dram), "{mb} MB: netram/dram {vs_dram}");
-        assert!((4.0..=11.0).contains(&vs_disk), "{mb} MB: disk/netram {vs_disk}");
+        assert!(
+            (1.05..=1.4).contains(&vs_dram),
+            "{mb} MB: netram/dram {vs_dram}"
+        );
+        assert!(
+            (4.0..=11.0).contains(&vs_disk),
+            "{mb} MB: disk/netram {vs_disk}"
+        );
     }
 }
 
@@ -62,7 +72,10 @@ fn table3_shape_cooperation_halves_disk_reads() {
     assert!(coop.disk_read_rate() < base.disk_read_rate() * 0.75);
     let response_gain =
         base.avg_read_response().as_micros_f64() / coop.avg_read_response().as_micros_f64();
-    assert!((1.25..=2.5).contains(&response_gain), "gain {response_gain}");
+    assert!(
+        (1.25..=2.5).contains(&response_gain),
+        "gain {response_gain}"
+    );
 }
 
 #[test]
@@ -80,7 +93,11 @@ fn table4_shape_each_fix_buys_an_order_of_magnitude() {
     let am = total("RS-6000 + low-overhead");
     let c90 = total("C-90");
     assert!(base / c90 > 300.0, "baseline 3 orders off: {}", base / c90);
-    for (from, to, label) in [(base, atm, "ATM"), (atm, pfs, "parallel FS"), (pfs, am, "AM")] {
+    for (from, to, label) in [
+        (base, atm, "ATM"),
+        (atm, pfs, "parallel FS"),
+        (pfs, am, "AM"),
+    ] {
         let gain = from / to;
         assert!((5.0..=30.0).contains(&gain), "{label} gain {gain}");
     }
@@ -108,7 +125,10 @@ fn figure4_shape_app_sensitivity_ordering() {
     // random small msgs ≈ 1; Column and Em3d clearly slowed; Connect worst.
     assert!(s[0] < 1.6, "random {s:?}");
     assert!(s[1] > 2.0 && s[2] > 2.0, "column/em3d {s:?}");
-    assert!(s[3] > s[0] && s[3] > s[1] && s[3] > s[2], "connect dominates {s:?}");
+    assert!(
+        s[3] > s[0] && s[3] > s[1] && s[3] > s[2],
+        "connect dominates {s:?}"
+    );
 }
 
 #[test]
@@ -151,5 +171,8 @@ fn intext_comm_shape_am_order_of_magnitude_under_tcp() {
     let mut std_tcp = presets::tcp_fddi(4);
     let sc_hp = sc.half_power_point_bytes();
     let tcp_hp = std_tcp.half_power_point_bytes();
-    assert!(am_hp < sc_hp && sc_hp < tcp_hp, "{am_hp} < {sc_hp} < {tcp_hp}");
+    assert!(
+        am_hp < sc_hp && sc_hp < tcp_hp,
+        "{am_hp} < {sc_hp} < {tcp_hp}"
+    );
 }

@@ -48,7 +48,9 @@ fn compound_failure_manager_plus_disk_plus_client() {
     let f = now.fs().create("/drill/compound").unwrap();
     let bytes = now.fs().block_bytes();
     for b in 0..32u32 {
-        now.fs().write(0, f, b, &vec![0xC0 | (b as u8 & 0x0F); bytes]).unwrap();
+        now.fs()
+            .write(0, f, b, &vec![0xC0 | (b as u8 & 0x0F); bytes])
+            .unwrap();
     }
     now.fs().sync(0).unwrap();
 
@@ -94,7 +96,10 @@ fn unsynced_data_loss_is_contained_to_the_failed_client() {
     }
     // ...and the lost ones fail loudly rather than returning garbage.
     for b in 4..8u32 {
-        assert!(now.fs().read(1, f, b).is_err(), "block {b} must not resurrect");
+        assert!(
+            now.fs().read(1, f, b).is_err(),
+            "block {b} must not resurrect"
+        );
     }
 }
 
@@ -144,7 +149,11 @@ fn sequential_jobs_ride_through_a_cascade_of_node_failures() {
     ];
     let out = run_batch(&jobs, 5, &failures, &config);
     assert_eq!(out.completions.len(), 10);
-    assert!(out.restarts >= 3, "the dead nodes had jobs: {}", out.restarts);
+    assert!(
+        out.restarts >= 3,
+        "the dead nodes had jobs: {}",
+        out.restarts
+    );
     // Dead nodes host nothing after their failure: all placements beyond
     // the initial ones land on survivors (3 and 4 absorb the refugees).
     assert!(out.placements[3] + out.placements[4] > 4);

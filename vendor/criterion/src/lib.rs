@@ -1,0 +1,173 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`, `Throughput`, `criterion_group!`,
+//! `criterion_main!` — over a simple wall-clock measurement loop.
+//!
+//! Mode follows upstream's convention: when the binary is invoked with
+//! `--bench` (as `cargo bench` does), each benchmark is warmed up and timed
+//! adaptively and a mean time per iteration is printed. Otherwise (e.g.
+//! `cargo test --benches`) each benchmark body runs exactly once as a smoke
+//! test, so test runs stay fast.
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration hint, used to report rates alongside times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.measure, &name.into(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes its sample adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(self.criterion.measure, &full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark body; runs the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    measure: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Warm up and estimate scale with a single call.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        // Time as many iterations as fit in ~200 ms, capped at 1000.
+        let budget = Duration::from_millis(200);
+        let iters = (budget.as_nanos() / first.as_nanos()).clamp(1, 1000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(measure: bool, name: &str, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        measure,
+        ..Bencher::default()
+    };
+    f(&mut b);
+    if !measure {
+        return;
+    }
+    if b.iters == 0 {
+        println!("{name}: no measurement (Bencher::iter never called)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = match tp {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MiB/s)", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name}: {:.3} µs/iter over {} iters{rate}",
+        per_iter * 1e6,
+        b.iters
+    );
+}
+
+/// Declares a function that runs a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

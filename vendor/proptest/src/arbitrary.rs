@@ -1,0 +1,63 @@
+//! `any::<T>()` — the whole-domain strategy for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's whole domain.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// A strategy over the entire domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = runner.unit_f64() * 1e12;
+        if runner.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crate registry, so this workspace vendors a
+//! deterministic, non-shrinking implementation of the `proptest` surface its
+//! tests use: the `proptest!` macro (with optional `proptest_config`),
+//! `any::<T>()`, range strategies, tuples, `prop::collection::vec`,
+//! `prop::option::of`, `prop_map`/`prop_filter`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * no shrinking — a failing case panics with the sampled values in scope;
+//! * the case count defaults to 64 (upstream 256) to keep `cargo test` fast;
+//! * each test's stream is seeded from its own name, so runs are fully
+//!   deterministic and independent of execution order.
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies for a configured number
+/// of cases and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::deterministic(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut runner);)+
+                // The closure gives the body `?` and early `return` (via
+                // `prop_assume!`), as upstream's generated test fn does.
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        Ok(())
+                    })();
+                result.expect("property failed");
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts inside a property test (no shrinking here, so it is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Rejects the current case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}

@@ -1,0 +1,28 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// The strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `None` about a quarter of the time, otherwise `Some` of a
+/// value drawn from `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, runner: &mut TestRunner) -> Option<S::Value> {
+        if runner.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(runner))
+        }
+    }
+}

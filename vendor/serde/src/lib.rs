@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the two trait names and re-exports the no-op derives from the
+//! sibling `serde_derive` stub so `use serde::{Deserialize, Serialize};`
+//! followed by `#[derive(Serialize, Deserialize)]` compiles unchanged. The
+//! workspace never serializes anything, so the traits carry no methods.
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace is built in an environment with no crate registry, so the
+//! real `serde`/`serde_derive` cannot be fetched. The codebase only *derives*
+//! `Serialize`/`Deserialize` — nothing ever serializes a value — so an empty
+//! derive is a faithful, zero-cost replacement: the derive syntax (including
+//! `#[serde(...)]` helper attributes) parses, and no code is generated.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
