@@ -52,7 +52,9 @@
 mod bench;
 mod bulk;
 mod layer;
+mod transport;
 
 pub use bench::{bandwidth_sweep, hotspot_throughput, ping_pong, BenchPoint};
 pub use bulk::{barrier, broadcast, bulk_put, bulk_put_probed, BulkOutcome, FRAGMENT_BYTES};
 pub use layer::{ActiveMessages, AmConfig, AmStats, MsgId, Notification};
+pub use transport::{CsmaTransport, FabricTransport};

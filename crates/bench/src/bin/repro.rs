@@ -89,6 +89,9 @@ fn main() {
     if want("restore") {
         println!("{}", now_bench::restore_study());
     }
+    if want("contention") {
+        println!("{}", now_bench::contention());
+    }
     // Ablations are opt-in: they are design-choice sweeps, not paper
     // artifacts.
     if selected.iter().any(|s| s == "ablations") {

@@ -341,6 +341,58 @@ pub fn comm_layers() -> String {
     t.render()
 }
 
+/// The shared-fabric contention experiment: the coupled scenario (BSP
+/// job + out-of-core paging + cooperative cache on one engine and one
+/// fabric) swept over growing background traffic.
+///
+/// Not a paper artifact — it demonstrates what the unified engine adds:
+/// with every subsystem's bytes on the same wires, loading the fabric
+/// degrades netram fetch latency and the parallel job's makespan
+/// *together*, where the old per-subsystem simulators could not interact
+/// at all.
+pub fn contention() -> String {
+    let mut t = TextTable::new(&[
+        "Background flows",
+        "Netram fetch (us)",
+        "Job makespan (ms)",
+        "Cache read (ms)",
+        "Bg frames",
+    ]);
+    t.title("Contention - one fabric under the paging + BSP job + file cache scenario");
+    for (flows, out) in contention_series(&[0, 2, 4, 8, 16]) {
+        t.row_owned(vec![
+            format!("{flows}"),
+            format!(
+                "{:.0}",
+                out.mean_netram_fetch_us.expect("scenario pages to netram")
+            ),
+            format!("{:.1}", out.job_makespan.as_millis_f64()),
+            format!("{:.2}", out.cache.avg_read_response().as_millis_f64()),
+            format!("{}", out.background_frames),
+        ]);
+    }
+    t.render()
+}
+
+/// Runs the coupled scenario once per entry of `flows`, returning each
+/// flow count with its outcome. Everything but the background load is
+/// held fixed, so the outcomes isolate what contention costs.
+pub fn contention_series(flows: &[u32]) -> Vec<(u32, now_core::ScenarioOutcome)> {
+    use now_core::{NowCluster, ScenarioSpec};
+    let cluster = NowCluster::builder().nodes(32).seed(SEED).build();
+    flows
+        .iter()
+        .map(|&n| {
+            let spec = ScenarioSpec {
+                background_flows: n,
+                seed: SEED,
+                ..ScenarioSpec::contention_default()
+            };
+            (n, cluster.run_scenario(&spec))
+        })
+        .collect()
+}
+
 /// In-text migration claim: restoring 64 MB of memory state.
 pub fn restore_study() -> String {
     use now_glunix::migrate::MigrationModel;
@@ -378,6 +430,43 @@ mod tests {
         ] {
             assert!(text.lines().count() > 3, "{name} too short:\n{text}");
         }
+    }
+
+    #[test]
+    fn contention_degrades_monotonically() {
+        // The unified engine's headline property: netram fetch latency and
+        // the coupled job's makespan both worsen, and only worsen, as
+        // competing traffic grows on the shared fabric.
+        let series = contention_series(&[0, 2, 4, 8, 16]);
+        let fetch: Vec<f64> = series
+            .iter()
+            .map(|(_, out)| out.mean_netram_fetch_us.expect("netram in use"))
+            .collect();
+        let makespan: Vec<f64> = series
+            .iter()
+            .map(|(_, out)| out.job_makespan.as_millis_f64())
+            .collect();
+        for w in fetch.windows(2) {
+            assert!(w[1] >= w[0], "fetch latency dipped under load: {fetch:?}");
+        }
+        for w in makespan.windows(2) {
+            assert!(w[1] >= w[0], "makespan dipped under load: {makespan:?}");
+        }
+        assert!(
+            fetch.last() > fetch.first(),
+            "loaded fabric must cost something: {fetch:?}"
+        );
+        assert!(
+            makespan.last() > makespan.first(),
+            "loaded fabric must slow the job: {makespan:?}"
+        );
+    }
+
+    #[test]
+    fn contention_report_renders() {
+        let t = contention();
+        assert!(t.contains("Background flows"), "{t}");
+        assert!(t.lines().count() > 4, "{t}");
     }
 
     #[test]

@@ -40,6 +40,6 @@
 mod sim;
 
 pub use sim::{
-    simulate, simulate_probed, sweep_client_cache, sweep_nchance, AccessCosts, CacheConfig, Policy,
-    SimResult,
+    simulate, simulate_probed, sweep_client_cache, sweep_nchance, AccessCosts, CacheComponent,
+    CacheConfig, CacheEvent, Policy, SimResult,
 };

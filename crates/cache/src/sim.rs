@@ -4,7 +4,7 @@ use std::collections::{HashMap, HashSet};
 
 use now_mem::{LruCache, Touch};
 use now_probe::Probe;
-use now_sim::{SimDuration, SimRng};
+use now_sim::{Component, CostMode, Ctx, Engine, EventCast, SimDuration, SimRng, SimTime};
 use now_trace::fs::{AccessKind, BlockId, FsTrace};
 use serde::{Deserialize, Serialize};
 
@@ -217,6 +217,323 @@ impl Cluster {
     }
 }
 
+/// Bytes per cached block (8 KB, as in Table 2).
+const BLOCK_BYTES: u64 = 8_192;
+/// Bytes of a read request / forward control message.
+const REQUEST_BYTES: u64 = 64;
+
+/// Events driving a [`CacheComponent`]: each `Access(i)` replays trace
+/// entry `i` and schedules the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// Replay trace entry `i`.
+    Access(usize),
+}
+
+/// Where a remotely served read came from — the one distinction the
+/// shared remote-memory cost branches actually need.
+#[derive(Debug, Clone, Copy)]
+enum RemoteSource {
+    /// The centralized policy's coordinated pool, through the manager.
+    Pool,
+    /// The server's memory.
+    Server,
+    /// Another client's memory, forwarded through the server.
+    Peer {
+        /// The client holding the block.
+        holder: u32,
+    },
+}
+
+/// The cooperative-caching simulator as an engine [`Component`]: one trace
+/// access per event, replayed in trace order at trace timestamps.
+///
+/// Under [`CostMode::Fixed`] reads are charged the [`AccessCosts`]
+/// constants — identical to the legacy loop, byte-for-byte. Under
+/// [`CostMode::Fabric`] every remote read moves real messages over the
+/// engine's shared transport: a request/response through the server for
+/// server (and pool) hits, a three-hop forward for peer hits, and the
+/// network leg of a disk read — so file traffic both suffers and causes
+/// fabric contention.
+pub struct CacheComponent {
+    trace: FsTrace,
+    config: CacheConfig,
+    cluster: Cluster,
+    result: SimResult,
+    forwarding: bool,
+    /// Fabric node of each client (identity when unset).
+    client_nodes: Vec<u32>,
+    /// Fabric node of the file server.
+    server_node: u32,
+}
+
+impl CacheComponent {
+    /// Builds the cluster for `config` and takes ownership of the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a centralized policy's `local_fraction` is outside
+    /// `[0, 1)`.
+    pub fn new(trace: FsTrace, config: CacheConfig) -> Self {
+        let (client_blocks, global) = match config.policy {
+            Policy::Centralized { local_fraction } => {
+                assert!(
+                    (0.0..1.0).contains(&local_fraction),
+                    "local fraction must be in [0, 1)"
+                );
+                let local = ((config.client_blocks as f64 * local_fraction) as usize).max(1);
+                let pool = (config.client_blocks - local) * trace.clients as usize;
+                (local, Some(LruCache::new(pool.max(1))))
+            }
+            _ => (config.client_blocks, None),
+        };
+        let cluster = Cluster {
+            clients: (0..trace.clients)
+                .map(|_| LruCache::new(client_blocks))
+                .collect(),
+            server: LruCache::new(config.server_blocks),
+            global,
+            directory: HashMap::new(),
+            recirc: HashMap::new(),
+            rng: SimRng::new(config.seed),
+        };
+        let forwarding = matches!(
+            config.policy,
+            Policy::GreedyForwarding | Policy::NChance { .. }
+        );
+        CacheComponent {
+            trace,
+            config,
+            cluster,
+            result: SimResult {
+                reads: 0,
+                writes: 0,
+                local_hits: 0,
+                remote_client_hits: 0,
+                server_hits: 0,
+                disk_reads: 0,
+                read_time: SimDuration::ZERO,
+                forwards: 0,
+            },
+            forwarding,
+            client_nodes: Vec::new(),
+            server_node: 0,
+        }
+    }
+
+    /// Places client `i` on fabric node `client_nodes[i]` and the server
+    /// on `server_node`. Required for [`CostMode::Fabric`] engines;
+    /// ignored under [`CostMode::Fixed`].
+    #[must_use]
+    pub fn with_placement(mut self, client_nodes: Vec<u32>, server_node: u32) -> Self {
+        self.client_nodes = client_nodes;
+        self.server_node = server_node;
+        self
+    }
+
+    /// Timestamp of the first trace access, for seeding `Access(0)`.
+    /// `None` for an empty trace (nothing to schedule).
+    pub fn first_access_time(&self) -> Option<SimTime> {
+        self.trace.accesses.first().map(|a| a.time)
+    }
+
+    /// The results accumulated so far (complete once the engine drains).
+    pub fn result(&self) -> SimResult {
+        self.result
+    }
+
+    fn node_of(&self, client: u32) -> u32 {
+        self.client_nodes
+            .get(client as usize)
+            .copied()
+            .unwrap_or(client)
+    }
+
+    /// The service time of a remotely served read. One code path prices
+    /// all three sources; only the hop pattern differs.
+    fn remote_cost<M>(
+        &self,
+        ctx: &mut Ctx<'_, M>,
+        client: u32,
+        source: RemoteSource,
+    ) -> SimDuration {
+        match ctx.cost_mode() {
+            CostMode::Fixed => self.config.costs.remote_mem,
+            CostMode::Fabric => {
+                let now = ctx.now();
+                let c = self.node_of(client);
+                let delivered = match source {
+                    // One round trip through the manager/server.
+                    RemoteSource::Pool | RemoteSource::Server => {
+                        ctx.rpc(c, self.server_node, REQUEST_BYTES, BLOCK_BYTES)
+                    }
+                    // Request to the server, forward to the holder, block
+                    // back to the requester.
+                    RemoteSource::Peer { holder } => {
+                        let h = self.node_of(holder);
+                        let at_server = ctx.transfer(c, self.server_node, REQUEST_BYTES);
+                        let at_holder =
+                            ctx.transfer_at(self.server_node, h, REQUEST_BYTES, at_server);
+                        ctx.transfer_at(h, c, BLOCK_BYTES, at_holder)
+                    }
+                };
+                delivered.saturating_since(now)
+            }
+        }
+    }
+
+    /// A read served from somewhere remote: bump the right counters,
+    /// charge the shared cost path, cache the block locally. This is the
+    /// single code path behind what used to be three copy-pasted
+    /// remote-memory branches.
+    fn remote_hit<M>(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        client: u32,
+        block: BlockId,
+        source: RemoteSource,
+    ) {
+        match source {
+            RemoteSource::Pool => self.result.remote_client_hits += 1,
+            RemoteSource::Server => self.result.server_hits += 1,
+            RemoteSource::Peer { .. } => {
+                self.result.remote_client_hits += 1;
+                self.result.forwards += 1;
+            }
+        }
+        self.result.read_time += self.remote_cost(ctx, client, source);
+        self.cluster
+            .insert_into_client(client, block, false, self.config.policy);
+    }
+
+    /// The service time of a disk read: under a fabric, the network leg is
+    /// live and only the disk residue stays constant.
+    fn disk_cost<M>(&self, ctx: &mut Ctx<'_, M>, client: u32) -> SimDuration {
+        match ctx.cost_mode() {
+            CostMode::Fixed => self.config.costs.disk,
+            CostMode::Fabric => {
+                let now = ctx.now();
+                let c = self.node_of(client);
+                let network = ctx
+                    .rpc(c, self.server_node, REQUEST_BYTES, BLOCK_BYTES)
+                    .saturating_since(now);
+                network
+                    + self
+                        .config
+                        .costs
+                        .disk
+                        .saturating_sub(self.config.costs.remote_mem)
+            }
+        }
+    }
+
+    /// Replays trace entry `i`. Exactly the legacy loop body.
+    fn step<M>(&mut self, ctx: &mut Ctx<'_, M>, i: usize) {
+        let access = self.trace.accesses[i];
+        let client = access.client;
+        assert!(client < self.trace.clients, "client out of range in trace");
+        let block = access.block;
+        let write = access.kind == AccessKind::Write;
+        let policy = self.config.policy;
+
+        if write {
+            self.result.writes += 1;
+            // Write-through: update local cache, invalidate other copies
+            // and the server's cached copy (it will re-read from disk).
+            let holders: Vec<u32> = self
+                .cluster
+                .directory
+                .get(&block)
+                .map(|s| s.iter().copied().filter(|&c| c != client).collect())
+                .unwrap_or_default();
+            for holder in holders {
+                self.cluster.clients[holder as usize].remove(&block);
+                self.cluster.remove_from_directory(block, holder);
+            }
+            self.cluster.server.remove(&block);
+            if let Some(global) = self.cluster.global.as_mut() {
+                global.remove(&block);
+            }
+            self.cluster.recirc.remove(&block);
+            self.cluster.insert_into_client(client, block, true, policy);
+            return;
+        }
+
+        self.result.reads += 1;
+        // Reads reset a block's recirculation budget: it earned its keep.
+        self.cluster.recirc.remove(&block);
+
+        // 1. Local cache.
+        if self.cluster.clients[client as usize].contains(&block) {
+            self.cluster
+                .insert_into_client(client, block, false, policy);
+            self.result.local_hits += 1;
+            self.result.read_time += self.config.costs.local_mem;
+            return;
+        }
+
+        // 1b. The globally coordinated pool (Centralized policy): another
+        // client's memory, reached through the manager in one hop.
+        let pool_hit = self.cluster.global.as_mut().is_some_and(|global| {
+            if global.contains(&block) {
+                global.touch(block, false);
+                true
+            } else {
+                false
+            }
+        });
+        if pool_hit {
+            self.remote_hit(ctx, client, block, RemoteSource::Pool);
+            return;
+        }
+
+        // 2. Server memory.
+        if self.cluster.server.contains(&block) {
+            self.cluster.server.touch(block, false);
+            self.remote_hit(ctx, client, block, RemoteSource::Server);
+            return;
+        }
+
+        // 3. Another client's memory (forwarding policies only; the
+        // baseline server has no directory).
+        if self.forwarding {
+            // Lowest-numbered holder, not `find`: the directory set hashes
+            // by a per-process seed, and the chosen holder decides which
+            // fabric links the forward crosses, so an arbitrary pick makes
+            // coupled runs differ between processes.
+            let other = self
+                .cluster
+                .directory
+                .get(&block)
+                .and_then(|s| s.iter().copied().filter(|&c| c != client).min());
+            if let Some(holder) = other {
+                self.remote_hit(ctx, client, block, RemoteSource::Peer { holder });
+                return;
+            }
+        }
+
+        // 4. Server disk; the block also lands in the server cache.
+        self.result.disk_reads += 1;
+        self.result.read_time += self.disk_cost(ctx, client);
+        self.cluster.server.touch(block, false);
+        self.cluster
+            .insert_into_client(client, block, false, policy);
+    }
+}
+
+impl<M: EventCast<CacheEvent> + 'static> Component<M> for CacheComponent {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M) {
+        let CacheEvent::Access(i) = event.downcast();
+        self.step(ctx, i);
+        if i + 1 < self.trace.accesses.len() {
+            // The fabric may push the clock past the next trace timestamp;
+            // replay order (and thus the result) is preserved regardless.
+            let t = self.trace.accesses[i + 1].time.max(ctx.now());
+            ctx.schedule_at(t, M::upcast(CacheEvent::Access(i + 1)));
+        }
+    }
+}
+
 /// Runs the trace through the cluster under `config`.
 ///
 /// # Panics
@@ -234,129 +551,15 @@ pub fn simulate(trace: &FsTrace, config: &CacheConfig) -> SimResult {
 ///
 /// Panics if the trace names a client beyond its own `clients` count.
 pub fn simulate_probed(trace: &FsTrace, config: &CacheConfig, probe: &Probe) -> SimResult {
-    let (client_blocks, global) = match config.policy {
-        Policy::Centralized { local_fraction } => {
-            assert!(
-                (0.0..1.0).contains(&local_fraction),
-                "local fraction must be in [0, 1)"
-            );
-            let local = ((config.client_blocks as f64 * local_fraction) as usize).max(1);
-            let pool = (config.client_blocks - local) * trace.clients as usize;
-            (local, Some(LruCache::new(pool.max(1))))
-        }
-        _ => (config.client_blocks, None),
-    };
-    let mut cluster = Cluster {
-        clients: (0..trace.clients)
-            .map(|_| LruCache::new(client_blocks))
-            .collect(),
-        server: LruCache::new(config.server_blocks),
-        global,
-        directory: HashMap::new(),
-        recirc: HashMap::new(),
-        rng: SimRng::new(config.seed),
-    };
-    let mut r = SimResult {
-        reads: 0,
-        writes: 0,
-        local_hits: 0,
-        remote_client_hits: 0,
-        server_hits: 0,
-        disk_reads: 0,
-        read_time: SimDuration::ZERO,
-        forwards: 0,
-    };
-    let forwarding = matches!(
-        config.policy,
-        Policy::GreedyForwarding | Policy::NChance { .. }
-    );
-
-    for access in &trace.accesses {
-        let client = access.client;
-        assert!(client < trace.clients, "client out of range in trace");
-        let block = access.block;
-        let write = access.kind == AccessKind::Write;
-
-        if write {
-            r.writes += 1;
-            // Write-through: update local cache, invalidate other copies
-            // and the server's cached copy (it will re-read from disk).
-            let holders: Vec<u32> = cluster
-                .directory
-                .get(&block)
-                .map(|s| s.iter().copied().filter(|&c| c != client).collect())
-                .unwrap_or_default();
-            for holder in holders {
-                cluster.clients[holder as usize].remove(&block);
-                cluster.remove_from_directory(block, holder);
-            }
-            cluster.server.remove(&block);
-            if let Some(global) = cluster.global.as_mut() {
-                global.remove(&block);
-            }
-            cluster.recirc.remove(&block);
-            cluster.insert_into_client(client, block, true, config.policy);
-            continue;
-        }
-
-        r.reads += 1;
-        // Reads reset a block's recirculation budget: it earned its keep.
-        cluster.recirc.remove(&block);
-
-        // 1. Local cache.
-        if cluster.clients[client as usize].contains(&block) {
-            cluster.insert_into_client(client, block, false, config.policy);
-            r.local_hits += 1;
-            r.read_time += config.costs.local_mem;
-            continue;
-        }
-
-        // 1b. The globally coordinated pool (Centralized policy): another
-        // client's memory, reached through the manager in one hop.
-        if let Some(global) = cluster.global.as_mut() {
-            if global.contains(&block) {
-                global.touch(block, false);
-                cluster.insert_into_client(client, block, false, config.policy);
-                r.remote_client_hits += 1;
-                r.read_time += config.costs.remote_mem;
-                continue;
-            }
-        }
-
-        // 2. Server memory.
-        if cluster.server.contains(&block) {
-            cluster.server.touch(block, false);
-            cluster.insert_into_client(client, block, false, config.policy);
-            r.server_hits += 1;
-            r.read_time += config.costs.remote_mem;
-            continue;
-        }
-
-        // 3. Another client's memory (forwarding policies only; the
-        // baseline server has no directory).
-        if forwarding {
-            let other = cluster
-                .directory
-                .get(&block)
-                .and_then(|s| s.iter().copied().find(|&c| c != client));
-            if let Some(_holder) = other {
-                r.remote_client_hits += 1;
-                r.forwards += 1;
-                r.read_time += config.costs.remote_mem;
-                cluster.insert_into_client(client, block, false, config.policy);
-                continue;
-            }
-        }
-
-        // 4. Server disk; the block also lands in the server cache.
-        r.disk_reads += 1;
-        r.read_time += config.costs.disk;
-        if let Touch::MissEvicted { .. } = cluster.server.touch(block, false) {
-            // Server eviction needs no bookkeeping: directory tracks
-            // clients only.
-        }
-        cluster.insert_into_client(client, block, false, config.policy);
+    let mut engine = Engine::new();
+    let component = CacheComponent::new(trace.clone(), config.clone());
+    let start = component.first_access_time();
+    let id = engine.register(component);
+    if let Some(t) = start {
+        engine.schedule_at(id, t, CacheEvent::Access(0));
     }
+    engine.run();
+    let r = engine.component::<CacheComponent>(id).result();
     if probe.is_enabled() {
         probe.count("cache.reads", r.reads);
         probe.count("cache.writes", r.writes);

@@ -33,7 +33,7 @@ pub enum Interconnect {
 }
 
 impl Interconnect {
-    fn network(self, nodes: u32) -> Network {
+    pub(crate) fn network(self, nodes: u32) -> Network {
         match self {
             Interconnect::EthernetTcp => presets::tcp_ethernet(nodes),
             Interconnect::EthernetPvm => presets::pvm_ethernet(nodes),

@@ -42,9 +42,14 @@
 
 mod cluster;
 mod gator_sim;
+mod scenario;
 
 pub use cluster::{Interconnect, NowBuilder, NowCluster, NowError};
 pub use gator_sim::{simulate_gator, GatorSimResult};
+pub use scenario::{
+    BspJobComponent, JobEvent, ScenarioEvent, ScenarioOutcome, ScenarioSpec, TrafficComponent,
+    TrafficEvent,
+};
 
 // Re-export the domain types a NowCluster hands out, so downstream users
 // need only this crate for common scenarios.

@@ -1,0 +1,554 @@
+//! The coupled cluster scenario: one engine, one fabric, every subsystem.
+//!
+//! Before this module, each subsystem simulated its own world: the
+//! multigrid solver paged to network RAM at constant Table 2 costs, the
+//! cooperative file cache charged constant remote-memory costs, and
+//! parallel jobs never shared wires with either. [`NowCluster::run_scenario`]
+//! composes them: a BSP parallel job, an out-of-core paging process, the
+//! cooperative-cache trace replay, and optional background traffic all
+//! run as [`Component`]s on **one** [`Engine`] whose
+//! [`CostModel::Fabric`](now_sim::CostModel) routes every remote byte
+//! through the same live [`now_net::Network`]. Occupancy is real: when the
+//! background flows saturate a link, netram page fetches queue behind them
+//! and the job's barriers slip — the contention curve `now-bench` reports.
+//!
+//! Node allocation on an `n`-node cluster running `k` job workers and `h`
+//! netram hosts: workers (and cache clients) on nodes `0..k`, the paging
+//! process on node `k`, the netram hosts on `k+1..=k+h`, and the file
+//! server on node `n-1`.
+
+use now_am::FabricTransport;
+use now_cache::{CacheComponent, CacheConfig, CacheEvent, Policy, SimResult};
+use now_mem::multigrid::{MemoryConfig, MultigridConfig, RunResult, PAGE_BYTES};
+use now_mem::{MultigridComponent, PageEvent, RemoteAccessCost};
+use now_sim::{Component, CostMode, Ctx, Engine, EventCast, SimDuration, SimTime};
+use now_trace::fs::{FsTrace, FsTraceConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::NowCluster;
+
+/// Events of the coupled scenario's engine: one variant per subsystem,
+/// so each component keeps its own event type and [`EventCast`] routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioEvent {
+    /// A multigrid paging step ([`MultigridComponent`]).
+    Page(PageEvent),
+    /// A file-cache trace access ([`CacheComponent`]).
+    Cache(CacheEvent),
+    /// A BSP job round ([`BspJobComponent`]).
+    Job(JobEvent),
+    /// A background-traffic tick ([`TrafficComponent`]).
+    Traffic(TrafficEvent),
+}
+
+impl EventCast<PageEvent> for ScenarioEvent {
+    fn upcast(ev: PageEvent) -> Self {
+        ScenarioEvent::Page(ev)
+    }
+    fn downcast(self) -> PageEvent {
+        match self {
+            ScenarioEvent::Page(ev) => ev,
+            other => panic!("expected a Page event, got {other:?}"),
+        }
+    }
+}
+
+impl EventCast<CacheEvent> for ScenarioEvent {
+    fn upcast(ev: CacheEvent) -> Self {
+        ScenarioEvent::Cache(ev)
+    }
+    fn downcast(self) -> CacheEvent {
+        match self {
+            ScenarioEvent::Cache(ev) => ev,
+            other => panic!("expected a Cache event, got {other:?}"),
+        }
+    }
+}
+
+impl EventCast<JobEvent> for ScenarioEvent {
+    fn upcast(ev: JobEvent) -> Self {
+        ScenarioEvent::Job(ev)
+    }
+    fn downcast(self) -> JobEvent {
+        match self {
+            ScenarioEvent::Job(ev) => ev,
+            other => panic!("expected a Job event, got {other:?}"),
+        }
+    }
+}
+
+impl EventCast<TrafficEvent> for ScenarioEvent {
+    fn upcast(ev: TrafficEvent) -> Self {
+        ScenarioEvent::Traffic(ev)
+    }
+    fn downcast(self) -> TrafficEvent {
+        match self {
+            ScenarioEvent::Traffic(ev) => ev,
+            other => panic!("expected a Traffic event, got {other:?}"),
+        }
+    }
+}
+
+/// Events driving a [`BspJobComponent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// Run the next bulk-synchronous round.
+    Round,
+}
+
+/// A bulk-synchronous parallel job as an engine component.
+///
+/// Each round every worker computes for the configured time, then sends
+/// its boundary data to its ring neighbour over the shared fabric; the
+/// barrier closes when the slowest message is delivered, and the next
+/// round starts there. Under [`CostMode::Fixed`] there is no fabric, so
+/// rounds cost only compute.
+#[derive(Debug)]
+pub struct BspJobComponent {
+    worker_nodes: Vec<u32>,
+    rounds: u32,
+    done_rounds: u32,
+    compute: SimDuration,
+    message_bytes: u64,
+    started: Option<SimTime>,
+    finished: Option<SimTime>,
+}
+
+impl BspJobComponent {
+    /// A job of `rounds` rounds over the workers on `worker_nodes`, each
+    /// round `compute` of work then a `message_bytes` ring exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two workers (a ring needs a neighbour).
+    pub fn new(
+        worker_nodes: Vec<u32>,
+        rounds: u32,
+        compute: SimDuration,
+        message_bytes: u64,
+    ) -> Self {
+        assert!(
+            worker_nodes.len() >= 2,
+            "a BSP ring needs at least 2 workers"
+        );
+        BspJobComponent {
+            worker_nodes,
+            rounds,
+            done_rounds: 0,
+            compute,
+            message_bytes,
+            started: None,
+            finished: None,
+        }
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_done(&self) -> u32 {
+        self.done_rounds
+    }
+
+    /// Time from the first round's start to the last barrier (`None`
+    /// until the job finishes).
+    pub fn makespan(&self) -> Option<SimDuration> {
+        Some(self.finished?.saturating_since(self.started?))
+    }
+}
+
+impl<M: EventCast<JobEvent> + 'static> Component<M> for BspJobComponent {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M) {
+        let JobEvent::Round = event.downcast();
+        if self.done_rounds >= self.rounds {
+            return;
+        }
+        let now = ctx.now();
+        if self.started.is_none() {
+            self.started = Some(now);
+        }
+        let compute_done = now + self.compute;
+        let barrier = match ctx.cost_mode() {
+            CostMode::Fixed => compute_done,
+            CostMode::Fabric => {
+                let k = self.worker_nodes.len();
+                let mut barrier = compute_done;
+                for w in 0..k {
+                    let src = self.worker_nodes[w];
+                    let dst = self.worker_nodes[(w + 1) % k];
+                    let delivered = ctx.transfer_at(src, dst, self.message_bytes, compute_done);
+                    barrier = barrier.max(delivered);
+                }
+                barrier
+            }
+        };
+        self.done_rounds += 1;
+        if self.done_rounds < self.rounds {
+            ctx.schedule_at(barrier, M::upcast(JobEvent::Round));
+        } else {
+            self.finished = Some(barrier);
+        }
+    }
+}
+
+/// Events driving a [`TrafficComponent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficEvent {
+    /// Emit one frame per flow.
+    Tick,
+}
+
+/// Open-loop background traffic: a fixed set of flows each sending one
+/// frame per tick at a fixed cadence until the horizon.
+///
+/// Deliberately *not* completion-chained — the offered load stays constant
+/// no matter how congested the fabric gets, which is what makes the
+/// contention sweep monotone. Under [`CostMode::Fixed`] the ticks fire but
+/// send nothing (there is no fabric to occupy).
+#[derive(Debug)]
+pub struct TrafficComponent {
+    flows: Vec<(u32, u32)>,
+    frame_bytes: u64,
+    interval: SimDuration,
+    horizon: SimTime,
+    frames: u64,
+    latency_sum: SimDuration,
+}
+
+impl TrafficComponent {
+    /// Flows `(src, dst)` each sending `frame_bytes` every `interval`
+    /// until `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval (the tick chain would never advance).
+    pub fn new(
+        flows: Vec<(u32, u32)>,
+        frame_bytes: u64,
+        interval: SimDuration,
+        horizon: SimTime,
+    ) -> Self {
+        assert!(
+            interval > SimDuration::ZERO,
+            "traffic needs a nonzero cadence"
+        );
+        TrafficComponent {
+            flows,
+            frame_bytes,
+            interval,
+            horizon,
+            frames: 0,
+            latency_sum: SimDuration::ZERO,
+        }
+    }
+
+    /// Frames sent so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Mean door-to-door frame latency in microseconds (`None` before the
+    /// first frame).
+    pub fn mean_latency_us(&self) -> Option<f64> {
+        (self.frames > 0).then(|| self.latency_sum.as_micros_f64() / self.frames as f64)
+    }
+}
+
+impl<M: EventCast<TrafficEvent> + 'static> Component<M> for TrafficComponent {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M) {
+        let TrafficEvent::Tick = event.downcast();
+        let now = ctx.now();
+        if ctx.cost_mode() == CostMode::Fabric {
+            for &(src, dst) in &self.flows {
+                let delivered = ctx.transfer(src, dst, self.frame_bytes);
+                self.latency_sum += delivered.saturating_since(now);
+                self.frames += 1;
+            }
+        }
+        let next = now + self.interval;
+        if next <= self.horizon {
+            ctx.schedule_at(next, M::upcast(TrafficEvent::Tick));
+        }
+    }
+}
+
+/// Parameters of the coupled scenario (see [`NowCluster::run_scenario`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// BSP job workers (nodes `0..job_workers`).
+    pub job_workers: u32,
+    /// BSP rounds the job runs.
+    pub job_rounds: u32,
+    /// Per-round compute per worker.
+    pub job_compute: SimDuration,
+    /// Bytes each worker ships to its ring neighbour per round.
+    pub job_message_bytes: u64,
+    /// Out-of-core problem size for the paging process, MB.
+    pub paging_problem_mb: u64,
+    /// Local DRAM of the paging process's workstation, MB.
+    pub paging_local_mb: u64,
+    /// Smoothing sweeps the paging process performs.
+    pub paging_sweeps: u32,
+    /// Idle machines donating DRAM to network RAM.
+    pub netram_hosts: u32,
+    /// Donated DRAM per idle machine, MB.
+    pub netram_mb_per_host: u64,
+    /// File-cache accesses per second across the cache clients.
+    pub cache_accesses_per_sec: f64,
+    /// Background flows (0 = an unloaded fabric).
+    pub background_flows: u32,
+    /// Bytes per background frame.
+    pub background_bytes: u64,
+    /// Cadence of the background flows.
+    pub background_interval: SimDuration,
+    /// When the open-loop sources (traffic, cache trace) stop.
+    pub horizon: SimDuration,
+    /// Master seed for the generated traces.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The `now-bench` contention experiment's base point: an 8-worker
+    /// BSP job, a 64-MB out-of-core solve paging to 8 idle hosts, and the
+    /// cooperative-cache trace, all on one fabric, with no background
+    /// traffic yet. Sweep [`ScenarioSpec::background_flows`] upward to
+    /// load the shared links.
+    pub fn contention_default() -> Self {
+        ScenarioSpec {
+            job_workers: 8,
+            job_rounds: 400,
+            job_compute: SimDuration::from_micros(200),
+            job_message_bytes: 8_192,
+            paging_problem_mb: 64,
+            paging_local_mb: 32,
+            // Two sweeps: the first spills the overflow to the pool, the
+            // second streams it back — the fetches the metric measures.
+            paging_sweeps: 2,
+            netram_hosts: 8,
+            netram_mb_per_host: 8,
+            cache_accesses_per_sec: 40.0,
+            background_flows: 0,
+            background_bytes: 8_192,
+            background_interval: SimDuration::from_micros(500),
+            horizon: SimDuration::from_secs(4),
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of one coupled run (see [`NowCluster::run_scenario`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// BSP job wall time, first round to last barrier.
+    pub job_makespan: SimDuration,
+    /// Mean network-RAM page-fetch service time seen by the paging
+    /// process, µs (`None` if the problem fit in local DRAM).
+    pub mean_netram_fetch_us: Option<f64>,
+    /// The paging process's run result.
+    pub paging: RunResult,
+    /// The cooperative cache's aggregate result.
+    pub cache: SimResult,
+    /// Background frames delivered.
+    pub background_frames: u64,
+    /// Mean background frame latency, µs (`None` with no flows).
+    pub mean_background_latency_us: Option<f64>,
+}
+
+impl NowCluster {
+    /// Runs the coupled scenario: the BSP job, the out-of-core paging
+    /// process, the cooperative-cache replay, and the background flows
+    /// all contending for this cluster's interconnect through one engine.
+    ///
+    /// Component registration and event seeding follow a fixed order, so
+    /// a given `(cluster, spec)` pair always reproduces the same history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node allocation does not fit: the cluster needs
+    /// `job_workers + netram_hosts + 2` nodes or more.
+    pub fn run_scenario(&self, spec: &ScenarioSpec) -> ScenarioOutcome {
+        let n = self.nodes();
+        let k = spec.job_workers;
+        let h = spec.netram_hosts;
+        assert!(
+            k + h + 2 <= n,
+            "scenario needs {k} workers + {h} netram hosts + pager + server; \
+             only {n} nodes"
+        );
+        let worker_nodes: Vec<u32> = (0..k).collect();
+        let pager_node = k;
+        let host_nodes: Vec<u32> = (k + 1..=k + h).collect();
+        let server_node = n - 1;
+
+        let network = self.interconnect().network(n);
+        let mut engine: Engine<ScenarioEvent> =
+            Engine::with_transport(Box::new(FabricTransport::new(network)));
+
+        // The BSP job.
+        let job_id = engine.register(BspJobComponent::new(
+            worker_nodes.clone(),
+            spec.job_rounds,
+            spec.job_compute,
+            spec.job_message_bytes,
+        ));
+
+        // The out-of-core paging process. The fixed-cost constants in the
+        // memory config are placeholders: under the fabric cost model every
+        // fetch is priced by the live network, not by them.
+        let memory = MemoryConfig::LocalWithNetRam {
+            mb: spec.paging_local_mb,
+            hosts: h,
+            mb_per_host: spec.netram_mb_per_host,
+            cost: RemoteAccessCost::table2_atm(),
+        };
+        let app = MultigridConfig {
+            sweeps: spec.paging_sweeps,
+            ..MultigridConfig::paper_defaults()
+        };
+        let pages = spec.paging_problem_mb * 1024 * 1024 / PAGE_BYTES;
+        let solver_id = engine.register(
+            MultigridComponent::new(
+                memory.build_pager(),
+                app.compute_per_page(),
+                pages,
+                u64::from(app.sweeps) * pages,
+            )
+            .with_placement(pager_node, host_nodes.clone()),
+        );
+
+        // The cooperative file cache, its clients sharing the workers'
+        // nodes and its server on the last node.
+        let mut trace_config = FsTraceConfig::small();
+        trace_config.clients = k;
+        trace_config.duration = spec.horizon;
+        trace_config.accesses_per_sec = spec.cache_accesses_per_sec;
+        let trace = FsTrace::generate(&trace_config, spec.seed);
+        let first_access = {
+            let mut config = CacheConfig::small(Policy::NChance { n: 2 });
+            config.seed = spec.seed;
+            let client_nodes: Vec<u32> = (0..k).collect();
+            let component =
+                CacheComponent::new(trace, config).with_placement(client_nodes, server_node);
+            let first = component.first_access_time();
+            (engine.register(component), first)
+        };
+        let (cache_id, first_access) = first_access;
+
+        // Background traffic: flow `i` rides from netram host `i % h` into
+        // worker `i % k` — the same links paging and the job depend on.
+        let flows: Vec<(u32, u32)> = (0..spec.background_flows)
+            .map(|i| (host_nodes[(i % h) as usize], worker_nodes[(i % k) as usize]))
+            .collect();
+        let traffic_id = engine.register(TrafficComponent::new(
+            flows,
+            spec.background_bytes,
+            spec.background_interval,
+            SimTime::ZERO + spec.horizon,
+        ));
+
+        // Seed in fixed order: job, solver, cache, traffic.
+        engine.schedule_at(job_id, SimTime::ZERO, ScenarioEvent::Job(JobEvent::Round));
+        engine.schedule_at(
+            solver_id,
+            SimTime::ZERO,
+            ScenarioEvent::Page(PageEvent::Step),
+        );
+        if let Some(t) = first_access {
+            engine.schedule_at(cache_id, t, ScenarioEvent::Cache(CacheEvent::Access(0)));
+        }
+        if spec.background_flows > 0 {
+            engine.schedule_at(
+                traffic_id,
+                SimTime::ZERO,
+                ScenarioEvent::Traffic(TrafficEvent::Tick),
+            );
+        }
+
+        engine.run();
+
+        let job = engine.component::<BspJobComponent>(job_id);
+        let solver = engine.component::<MultigridComponent>(solver_id);
+        let traffic = engine.component::<TrafficComponent>(traffic_id);
+        ScenarioOutcome {
+            job_makespan: job.makespan().expect("the BSP job runs to completion"),
+            mean_netram_fetch_us: solver.mean_netram_fetch_us(),
+            paging: solver.result(),
+            cache: engine.component::<CacheComponent>(cache_id).result(),
+            background_frames: traffic.frames(),
+            mean_background_latency_us: traffic.mean_latency_us(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Interconnect;
+
+    fn cluster() -> NowCluster {
+        NowCluster::builder()
+            .nodes(32)
+            .interconnect(Interconnect::AtmActiveMessages)
+            .build()
+    }
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            job_rounds: 50,
+            paging_problem_mb: 16,
+            paging_local_mb: 8,
+            netram_mb_per_host: 2,
+            horizon: SimDuration::from_secs(1),
+            ..ScenarioSpec::contention_default()
+        }
+    }
+
+    #[test]
+    fn coupled_run_exercises_every_subsystem() {
+        let out = cluster().run_scenario(&small_spec());
+        assert!(out.job_makespan > SimDuration::ZERO);
+        assert!(out.paging.pager.netram_faults > 0, "paging must hit netram");
+        assert!(out.mean_netram_fetch_us.is_some());
+        assert!(out.cache.reads > 0, "cache trace must replay");
+        assert_eq!(out.background_frames, 0, "no flows configured");
+    }
+
+    #[test]
+    fn background_traffic_slows_the_other_subsystems() {
+        let quiet = cluster().run_scenario(&small_spec());
+        let busy = cluster().run_scenario(&ScenarioSpec {
+            background_flows: 8,
+            ..small_spec()
+        });
+        assert!(busy.background_frames > 0);
+        assert!(
+            busy.job_makespan > quiet.job_makespan,
+            "job: {:?} under load vs {:?} quiet",
+            busy.job_makespan,
+            quiet.job_makespan
+        );
+        assert!(
+            busy.mean_netram_fetch_us.unwrap() > quiet.mean_netram_fetch_us.unwrap(),
+            "fetch: {:?} under load vs {:?} quiet",
+            busy.mean_netram_fetch_us,
+            quiet.mean_netram_fetch_us
+        );
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let spec = ScenarioSpec {
+            background_flows: 4,
+            ..small_spec()
+        };
+        let a = cluster().run_scenario(&spec);
+        let b = cluster().run_scenario(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 8 nodes")]
+    fn undersized_cluster_is_rejected() {
+        NowCluster::builder()
+            .nodes(8)
+            .build()
+            .run_scenario(&ScenarioSpec::contention_default());
+    }
+}

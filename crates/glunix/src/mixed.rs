@@ -13,8 +13,12 @@
 //! them when users return (pausing for a migration), and wait when the
 //! building is busy.
 
-use now_sim::{EventId, EventQueue, SimDuration, SimTime};
-use now_trace::lanl::JobTrace;
+use std::collections::VecDeque;
+
+use now_sim::{
+    Component, ComponentId, CostMode, Ctx, Engine, EventCast, EventId, SimDuration, SimTime,
+};
+use now_trace::lanl::{JobTrace, ParallelJob};
 use now_trace::usage::UsageTrace;
 use serde::{Deserialize, Serialize};
 
@@ -100,59 +104,118 @@ impl RunOutcome {
     }
 }
 
-/// Runs the job trace on a dedicated `nodes`-node MPP: FCFS space-sharing
-/// (the head-of-queue job starts as soon as enough nodes are free).
-pub fn dedicated_mpp(jobs: &JobTrace, nodes: u32) -> RunOutcome {
-    #[derive(Debug)]
-    enum Ev {
-        Arrive(usize),
-        Finish(usize),
+/// Events driving the mixed-workload components ([`DedicatedMppComponent`]
+/// uses the first two variants, [`MixedComponent`] all five).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixedEvent {
+    /// Job `i` arrives and joins the FCFS queue.
+    Arrive(usize),
+    /// Job `i`'s scheduled completion fires.
+    Finish(usize),
+    /// Machine `m`'s owner starts an interactive session.
+    UserReturns(u32),
+    /// Machine `m` has been quiet past the one-minute linger.
+    UserLeaves(u32),
+    /// Job `i`'s migration I/O completed.
+    MigrationDone(usize),
+}
+
+/// The dedicated-MPP baseline as an engine component: FCFS space-sharing
+/// on a fixed `nodes`-node partition (the head-of-queue job starts as soon
+/// as enough nodes are free).
+#[derive(Debug)]
+pub struct DedicatedMppComponent {
+    jobs: Vec<ParallelJob>,
+    free: u32,
+    fifo: VecDeque<usize>,
+    completion: Vec<Option<SimTime>>,
+    started: Vec<Option<SimTime>>,
+}
+
+impl DedicatedMppComponent {
+    /// A fresh `nodes`-node MPP ready to run `jobs`.
+    pub fn new(jobs: &JobTrace, nodes: u32) -> Self {
+        DedicatedMppComponent {
+            jobs: jobs.jobs.clone(),
+            free: nodes,
+            fifo: VecDeque::new(),
+            completion: vec![None; jobs.jobs.len()],
+            started: vec![None; jobs.jobs.len()],
+        }
     }
-    let mut q = EventQueue::new();
-    for (i, j) in jobs.jobs.iter().enumerate() {
-        q.schedule_at(j.arrival, Ev::Arrive(i));
+
+    /// Seeds every job arrival into `engine`, addressed to component `id`.
+    pub fn seed<M: EventCast<MixedEvent> + 'static>(
+        engine: &mut Engine<M>,
+        id: ComponentId,
+        jobs: &JobTrace,
+    ) {
+        for (i, j) in jobs.jobs.iter().enumerate() {
+            engine.schedule_at(id, j.arrival, M::upcast(MixedEvent::Arrive(i)));
+        }
     }
-    let mut free = nodes;
-    let mut fifo: std::collections::VecDeque<usize> = Default::default();
-    let mut completion: Vec<Option<SimTime>> = vec![None; jobs.jobs.len()];
-    let mut started: Vec<Option<SimTime>> = vec![None; jobs.jobs.len()];
-    while let Some((now, ev)) = q.pop() {
-        match ev {
-            Ev::Arrive(i) => fifo.push_back(i),
-            Ev::Finish(i) => {
-                free += jobs.jobs[i].nodes;
-                completion[i] = Some(now);
+
+    /// The run's outcome; call after [`Engine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job has not started and completed.
+    pub fn outcome(&self) -> RunOutcome {
+        RunOutcome {
+            jobs: self
+                .jobs
+                .iter()
+                .zip(self.started.iter().zip(&self.completion))
+                .map(|(j, (s, c))| {
+                    (
+                        j.arrival,
+                        s.expect("all jobs start"),
+                        c.expect("all jobs finish"),
+                    )
+                })
+                .collect(),
+            services: self.jobs.iter().map(|j| j.service).collect(),
+            migrations: 0,
+        }
+    }
+}
+
+impl<M: EventCast<MixedEvent> + 'static> Component<M> for DedicatedMppComponent {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M) {
+        match event.downcast() {
+            MixedEvent::Arrive(i) => self.fifo.push_back(i),
+            MixedEvent::Finish(i) => {
+                self.free += self.jobs[i].nodes;
+                self.completion[i] = Some(ctx.now());
             }
+            other => unreachable!("dedicated MPP received {other:?}"),
         }
         // Start whatever the head of the queue allows.
-        while let Some(&head) = fifo.front() {
-            let need = jobs.jobs[head].nodes;
-            if need <= free {
-                free -= need;
-                fifo.pop_front();
-                started[head] = Some(q.now());
-                q.schedule_at(q.now() + jobs.jobs[head].service, Ev::Finish(head));
+        while let Some(&head) = self.fifo.front() {
+            let need = self.jobs[head].nodes;
+            if need <= self.free {
+                self.free -= need;
+                self.fifo.pop_front();
+                self.started[head] = Some(ctx.now());
+                ctx.schedule_at(
+                    ctx.now() + self.jobs[head].service,
+                    M::upcast(MixedEvent::Finish(head)),
+                );
             } else {
                 break;
             }
         }
     }
-    RunOutcome {
-        jobs: jobs
-            .jobs
-            .iter()
-            .zip(started.iter().zip(&completion))
-            .map(|(j, (s, c))| {
-                (
-                    j.arrival,
-                    s.expect("all jobs start"),
-                    c.expect("all jobs finish"),
-                )
-            })
-            .collect(),
-        services: jobs.jobs.iter().map(|j| j.service).collect(),
-        migrations: 0,
-    }
+}
+
+/// Runs the job trace on a dedicated `nodes`-node MPP: FCFS space-sharing
+/// (the head-of-queue job starts as soon as enough nodes are free).
+pub fn dedicated_mpp(jobs: &JobTrace, nodes: u32) -> RunOutcome {
+    let mut engine: Engine<MixedEvent> = Engine::new();
+    let id = engine.register(DedicatedMppComponent::new(jobs, nodes));
+    DedicatedMppComponent::seed(&mut engine, id, jobs);
+    engine.run();
+    engine.component::<DedicatedMppComponent>(id).outcome()
 }
 
 #[derive(Debug)]
@@ -170,121 +233,203 @@ enum JobState {
     Paused {
         machines: Vec<u32>,
         remaining: SimDuration,
-        /// A machine index that still needs replacing (None while only the
-        /// migration delay is pending).
+        /// The machine the evicted process's memory still lives on — the
+        /// source node of the pending (or awaited) migration transfer.
+        from: u32,
+        /// A machine index that still needs replacing (false while only
+        /// the migration delay is pending).
         needs_machine: bool,
     },
     Done,
 }
 
-/// Runs the job trace on a NOW whose machines follow `usage`, migrating
-/// processes away whenever an owner returns.
+/// The NOW side of the study as an engine component: jobs claim idle
+/// workstations, lose them when users return (pausing for a migration),
+/// and wait when the building is busy.
 ///
-/// # Panics
-///
-/// Panics if any job needs more nodes than the NOW has machines.
-pub fn now_cluster(jobs: &JobTrace, usage: &UsageTrace, config: &MixedConfig) -> RunOutcome {
-    #[derive(Debug)]
-    enum Ev {
-        Arrive(usize),
-        Finish(usize),
-        UserReturns(u32),
-        UserLeaves(u32),
-        MigrationDone(usize),
-    }
-    let machines = usage.machines.len() as u32;
-    let max_need = jobs.jobs.iter().map(|j| j.nodes).max().unwrap_or(0);
-    assert!(
-        max_need <= machines,
-        "a {max_need}-node job cannot fit on {machines} machines"
-    );
+/// Under [`CostMode::Fixed`] the migration charges the constant
+/// [`MigrationModel::migration_time`] (the legacy behaviour, bit-for-bit).
+/// Under [`CostMode::Fabric`] the evicted process's memory image travels
+/// the shared fabric from the reclaimed machine to its replacement —
+/// machine index `m` is fabric node `m` — so migrations contend with
+/// whatever else the cluster is doing to the wires.
+#[derive(Debug)]
+pub struct MixedComponent {
+    jobs: Vec<ParallelJob>,
+    config: MixedConfig,
+    machines: u32,
+    // Counted, not boolean: with the one-minute linger a new session can
+    // begin before the previous session's delayed departure fires.
+    active_count: Vec<i32>,
+    /// Which job occupies each machine.
+    occupant: Vec<Option<usize>>,
+    states: Vec<JobState>,
+    fifo: VecDeque<usize>,
+    completion: Vec<Option<SimTime>>,
+    started: Vec<Option<SimTime>>,
+    migrations: u64,
+    migration_delay: SimDuration,
+}
 
-    let mut q = EventQueue::new();
-    for (i, j) in jobs.jobs.iter().enumerate() {
-        q.schedule_at(j.arrival, Ev::Arrive(i));
-    }
-    // The availability rule: a machine rejoins the pool one minute after
-    // its user goes quiet, not instantly.
-    let idle_threshold = SimDuration::from_secs(60);
-    for (m, mu) in usage.machines.iter().enumerate() {
-        for p in &mu.periods {
-            q.schedule_at(p.start, Ev::UserReturns(m as u32));
-            q.schedule_at(p.end + idle_threshold, Ev::UserLeaves(m as u32));
+impl MixedComponent {
+    /// A fresh NOW of `machines` workstations ready to run `jobs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job needs more nodes than the NOW has machines.
+    pub fn new(jobs: &JobTrace, machines: u32, config: &MixedConfig) -> Self {
+        let max_need = jobs.jobs.iter().map(|j| j.nodes).max().unwrap_or(0);
+        assert!(
+            max_need <= machines,
+            "a {max_need}-node job cannot fit on {machines} machines"
+        );
+        MixedComponent {
+            jobs: jobs.jobs.clone(),
+            config: *config,
+            machines,
+            active_count: vec![0; machines as usize],
+            occupant: vec![None; machines as usize],
+            states: jobs.jobs.iter().map(|_| JobState::Waiting).collect(),
+            fifo: VecDeque::new(),
+            completion: vec![None; jobs.jobs.len()],
+            started: vec![None; jobs.jobs.len()],
+            migrations: 0,
+            migration_delay: config.migration.migration_time(config.process_mem_mb),
         }
     }
 
-    // Counted, not boolean: with the one-minute linger a new session can
-    // begin before the previous session's delayed departure fires.
-    let mut active_count = vec![0i32; machines as usize];
-    // Which job occupies each machine.
-    let mut occupant: Vec<Option<usize>> = vec![None; machines as usize];
-    let mut states: Vec<JobState> = jobs.jobs.iter().map(|_| JobState::Waiting).collect();
-    let mut fifo: std::collections::VecDeque<usize> = Default::default();
-    let mut completion: Vec<Option<SimTime>> = vec![None; jobs.jobs.len()];
-    let mut started: Vec<Option<SimTime>> = vec![None; jobs.jobs.len()];
-    let mut migrations = 0u64;
-    let migration_delay = config.migration.migration_time(config.process_mem_mb);
+    /// Seeds job arrivals and the usage trace's user sessions into
+    /// `engine`, addressed to component `id`, in the canonical order
+    /// (arrivals first, then per-machine per-period returns/departures) —
+    /// the order fixes FIFO tie-breaks and thus the run's exact history.
+    pub fn seed<M: EventCast<MixedEvent> + 'static>(
+        engine: &mut Engine<M>,
+        id: ComponentId,
+        jobs: &JobTrace,
+        usage: &UsageTrace,
+    ) {
+        for (i, j) in jobs.jobs.iter().enumerate() {
+            engine.schedule_at(id, j.arrival, M::upcast(MixedEvent::Arrive(i)));
+        }
+        // The availability rule: a machine rejoins the pool one minute
+        // after its user goes quiet, not instantly.
+        let idle_threshold = SimDuration::from_secs(60);
+        for (m, mu) in usage.machines.iter().enumerate() {
+            for p in &mu.periods {
+                engine.schedule_at(id, p.start, M::upcast(MixedEvent::UserReturns(m as u32)));
+                engine.schedule_at(
+                    id,
+                    p.end + idle_threshold,
+                    M::upcast(MixedEvent::UserLeaves(m as u32)),
+                );
+            }
+        }
+    }
 
-    // Helper: machines currently free for parallel work.
-    let idle_unclaimed = |active_count: &[i32], occupant: &[Option<usize>]| -> Vec<u32> {
-        (0..machines)
-            .filter(|&m| active_count[m as usize] == 0 && occupant[m as usize].is_none())
+    /// Total migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// The run's outcome; call after [`Engine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job has not started and completed.
+    pub fn outcome(&self) -> RunOutcome {
+        RunOutcome {
+            jobs: self
+                .jobs
+                .iter()
+                .zip(self.started.iter().zip(&self.completion))
+                .map(|(j, (s, c))| {
+                    (
+                        j.arrival,
+                        s.expect("all jobs start on the NOW"),
+                        c.expect("all jobs finish on the NOW"),
+                    )
+                })
+                .collect(),
+            services: self.jobs.iter().map(|j| j.service).collect(),
+            migrations: self.migrations,
+        }
+    }
+
+    /// Machines currently free for parallel work.
+    fn idle_unclaimed(&self) -> Vec<u32> {
+        (0..self.machines)
+            .filter(|&m| self.active_count[m as usize] == 0 && self.occupant[m as usize].is_none())
             .collect()
-    };
+    }
 
-    while let Some((now, ev)) = q.pop() {
-        match ev {
-            Ev::Arrive(i) => fifo.push_back(i),
-            Ev::Finish(i) => {
-                if let JobState::Running { machines: ms, .. } = &states[i] {
+    /// When the migration of a `process_mem_mb`-MB image from machine
+    /// `from` to machine `to` completes, per the engine's cost model.
+    fn migration_done_at<M>(&self, ctx: &mut Ctx<'_, M>, from: u32, to: u32) -> SimTime {
+        match ctx.cost_mode() {
+            CostMode::Fixed => ctx.now() + self.migration_delay,
+            CostMode::Fabric => {
+                let bytes = self.config.process_mem_mb * 1024 * 1024;
+                ctx.transfer(from, to, bytes)
+            }
+        }
+    }
+}
+
+impl<M: EventCast<MixedEvent> + 'static> Component<M> for MixedComponent {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M) {
+        let now = ctx.now();
+        match event.downcast() {
+            MixedEvent::Arrive(i) => self.fifo.push_back(i),
+            MixedEvent::Finish(i) => {
+                if let JobState::Running { machines: ms, .. } = &self.states[i] {
                     for &m in ms {
-                        occupant[m as usize] = None;
+                        self.occupant[m as usize] = None;
                     }
-                    completion[i] = Some(now);
-                    states[i] = JobState::Done;
+                    self.completion[i] = Some(now);
+                    self.states[i] = JobState::Done;
                 }
             }
-            Ev::MigrationDone(i) => {
+            MixedEvent::MigrationDone(i) => {
                 // Resume if a machine set is complete; otherwise keep
                 // waiting for a replacement.
                 if let JobState::Paused {
                     machines: ms,
                     remaining,
-                    needs_machine,
-                } = &states[i]
+                    needs_machine: false,
+                    ..
+                } = &self.states[i]
                 {
-                    if !needs_machine {
-                        let ms = ms.clone();
-                        let remaining = *remaining;
-                        let finish_event = q.schedule_at(now + remaining, Ev::Finish(i));
-                        states[i] = JobState::Running {
-                            machines: ms,
-                            since: now,
-                            remaining,
-                            finish_event,
-                        };
-                    }
+                    let ms = ms.clone();
+                    let remaining = *remaining;
+                    let finish_event =
+                        ctx.schedule_at(now + remaining, M::upcast(MixedEvent::Finish(i)));
+                    self.states[i] = JobState::Running {
+                        machines: ms,
+                        since: now,
+                        remaining,
+                        finish_event,
+                    };
                 }
             }
-            Ev::UserLeaves(m) => {
-                active_count[m as usize] -= 1;
-                debug_assert!(active_count[m as usize] >= 0);
+            MixedEvent::UserLeaves(m) => {
+                self.active_count[m as usize] -= 1;
+                debug_assert!(self.active_count[m as usize] >= 0);
             }
-            Ev::UserReturns(m) => {
-                active_count[m as usize] += 1;
-                if let Some(i) = occupant[m as usize] {
+            MixedEvent::UserReturns(m) => {
+                self.active_count[m as usize] += 1;
+                if let Some(i) = self.occupant[m as usize] {
                     // The guarantee: evict the parallel process instantly;
                     // the job pauses for the migration.
-                    occupant[m as usize] = None;
-                    migrations += 1;
-                    let (mut ms, remaining) = match &states[i] {
+                    self.occupant[m as usize] = None;
+                    self.migrations += 1;
+                    let (mut ms, remaining) = match &self.states[i] {
                         JobState::Running {
                             machines,
                             since,
                             remaining,
                             finish_event,
                         } => {
-                            q.cancel(*finish_event);
+                            ctx.cancel(*finish_event);
                             let done = now.saturating_since(*since);
                             (machines.clone(), remaining.saturating_sub(done))
                         }
@@ -301,21 +446,24 @@ pub fn now_cluster(jobs: &JobTrace, usage: &UsageTrace, config: &MixedConfig) ->
                     // paper's "choose idle machines likely to stay idle"
                     // heuristic (our usage traces put the quiet machines at
                     // the high ids, as a stable diurnal pattern would).
-                    let free = idle_unclaimed(&active_count, &occupant);
-                    let needs_machine = if let Some(&r) = free.last() {
-                        occupant[r as usize] = Some(i);
-                        ms.push(r);
-                        false
-                    } else {
-                        true
+                    let replacement = self.idle_unclaimed().last().copied();
+                    let needs_machine = match replacement {
+                        Some(r) => {
+                            self.occupant[r as usize] = Some(i);
+                            ms.push(r);
+                            false
+                        }
+                        None => true,
                     };
-                    states[i] = JobState::Paused {
+                    self.states[i] = JobState::Paused {
                         machines: ms,
                         remaining,
+                        from: m,
                         needs_machine,
                     };
-                    if !needs_machine {
-                        q.schedule_at(now + migration_delay, Ev::MigrationDone(i));
+                    if let Some(r) = replacement {
+                        let done_at = self.migration_done_at(ctx, m, r);
+                        ctx.schedule_at(done_at, M::upcast(MixedEvent::MigrationDone(i)));
                     }
                 }
             }
@@ -323,46 +471,48 @@ pub fn now_cluster(jobs: &JobTrace, usage: &UsageTrace, config: &MixedConfig) ->
 
         // Placement pass: give freed/idle machines to paused jobs needing
         // one, then start queued jobs FCFS.
-        let mut free = idle_unclaimed(&active_count, &occupant);
-        #[allow(clippy::needless_range_loop)] // i is also stored in `occupant`
-        for i in 0..states.len() {
+        let mut free = self.idle_unclaimed();
+        for i in 0..self.states.len() {
             if free.is_empty() {
                 break;
             }
             if let JobState::Paused {
-                machines: ms,
+                machines,
                 remaining,
+                from,
                 needs_machine: true,
-            } = &states[i]
+            } = &self.states[i]
             {
+                let (mut ms, remaining, from) = (machines.clone(), *remaining, *from);
                 let r = free.pop().expect("checked non-empty");
-                occupant[r as usize] = Some(i);
-                let mut ms = ms.clone();
+                self.occupant[r as usize] = Some(i);
                 ms.push(r);
-                let remaining = *remaining;
-                states[i] = JobState::Paused {
+                self.states[i] = JobState::Paused {
                     machines: ms,
                     remaining,
+                    from,
                     needs_machine: false,
                 };
-                q.schedule_at(q.now() + migration_delay, Ev::MigrationDone(i));
+                let done_at = self.migration_done_at(ctx, from, r);
+                ctx.schedule_at(done_at, M::upcast(MixedEvent::MigrationDone(i)));
             }
         }
-        while let Some(&head) = fifo.front() {
-            let need = jobs.jobs[head].nodes as usize;
+        while let Some(&head) = self.fifo.front() {
+            let need = self.jobs[head].nodes as usize;
             if free.len() >= need {
                 let at = free.len() - need;
                 let ms: Vec<u32> = free.split_off(at);
                 for &m in &ms {
-                    occupant[m as usize] = Some(head);
+                    self.occupant[m as usize] = Some(head);
                 }
-                fifo.pop_front();
-                started[head] = Some(q.now());
-                let remaining = jobs.jobs[head].service;
-                let finish_event = q.schedule_at(q.now() + remaining, Ev::Finish(head));
-                states[head] = JobState::Running {
+                self.fifo.pop_front();
+                self.started[head] = Some(now);
+                let remaining = self.jobs[head].service;
+                let finish_event =
+                    ctx.schedule_at(now + remaining, M::upcast(MixedEvent::Finish(head)));
+                self.states[head] = JobState::Running {
                     machines: ms,
-                    since: q.now(),
+                    since: now,
                     remaining,
                     finish_event,
                 };
@@ -371,23 +521,21 @@ pub fn now_cluster(jobs: &JobTrace, usage: &UsageTrace, config: &MixedConfig) ->
             }
         }
     }
+}
 
-    RunOutcome {
-        jobs: jobs
-            .jobs
-            .iter()
-            .zip(started.iter().zip(&completion))
-            .map(|(j, (s, c))| {
-                (
-                    j.arrival,
-                    s.expect("all jobs start on the NOW"),
-                    c.expect("all jobs finish on the NOW"),
-                )
-            })
-            .collect(),
-        services: jobs.jobs.iter().map(|j| j.service).collect(),
-        migrations,
-    }
+/// Runs the job trace on a NOW whose machines follow `usage`, migrating
+/// processes away whenever an owner returns.
+///
+/// # Panics
+///
+/// Panics if any job needs more nodes than the NOW has machines.
+pub fn now_cluster(jobs: &JobTrace, usage: &UsageTrace, config: &MixedConfig) -> RunOutcome {
+    let machines = usage.machines.len() as u32;
+    let mut engine: Engine<MixedEvent> = Engine::new();
+    let id = engine.register(MixedComponent::new(jobs, machines, config));
+    MixedComponent::seed(&mut engine, id, jobs, usage);
+    engine.run();
+    engine.component::<MixedComponent>(id).outcome()
 }
 
 /// Generates the Figure 3 curve: mean execution dilation of the 32-node

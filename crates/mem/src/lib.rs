@@ -43,5 +43,6 @@ pub mod multigrid;
 
 pub use disk::DiskModel;
 pub use lru::{LruCache, Touch};
+pub use multigrid::{MultigridComponent, PageEvent};
 pub use netram::{NetworkRam, RemoteAccessCost};
-pub use pager::{FaultKind, PageId, Pager, PagerStats};
+pub use pager::{FaultKind, FixedPath, PageId, Pager, PagerStats, RemotePath};

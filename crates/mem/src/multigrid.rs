@@ -15,9 +15,10 @@
 //! and the Table 2 cost constants, not from asserting the conclusion.
 
 use now_probe::Probe;
-use now_sim::{SimDuration, SimTime};
+use now_sim::{Component, CostMode, Ctx, Engine, EventCast, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::pager::{FixedPath, RemotePath};
 use crate::{DiskModel, NetworkRam, PageId, Pager, PagerStats, RemoteAccessCost};
 
 /// Bytes per page (8 KB, as in Table 2).
@@ -98,7 +99,10 @@ impl MemoryConfig {
         }
     }
 
-    fn build_pager(&self) -> Pager {
+    /// Builds the demand pager this configuration describes (local frame
+    /// pool backed by disk or network RAM) — for callers composing their
+    /// own engine, e.g. a coupled cluster scenario.
+    pub fn build_pager(&self) -> Pager {
         let disk = DiskModel::workstation_1994();
         match *self {
             MemoryConfig::LocalWithDisk { mb } => {
@@ -120,6 +124,190 @@ impl MemoryConfig {
                 ),
                 disk,
             ),
+        }
+    }
+}
+
+/// Events driving a [`MultigridComponent`]: each `Step` performs one page
+/// access and schedules the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageEvent {
+    /// Access the next page of the sweep.
+    Step,
+}
+
+/// The multigrid solver as an engine [`Component`]: one page access per
+/// event, self-chained at `compute + stall` spacing.
+///
+/// Under [`CostMode::Fixed`] network-RAM fetches charge the Table 2
+/// constants through [`FixedPath`] — the legacy arithmetic, bit-for-bit.
+/// Under [`CostMode::Fabric`] each fetch streams the page from the idle
+/// host's node over the engine's shared fabric, so competing traffic on
+/// the same wires shows up directly as paging stall.
+pub struct MultigridComponent {
+    pager: Pager,
+    per_page: SimDuration,
+    pages: u64,
+    total_accesses: u64,
+    idx: u64,
+    compute: SimDuration,
+    stall: SimDuration,
+    /// Fabric node this process runs on.
+    node: u32,
+    /// Fabric nodes of the idle hosts donating DRAM, indexed by pool host.
+    host_nodes: Vec<u32>,
+    netram_service: SimDuration,
+    netram_fetches: u64,
+}
+
+/// A [`RemotePath`] that streams each fetched page over the engine's
+/// shared fabric: sequential faults pipeline a one-way page transfer,
+/// random faults pay a full request/response round trip.
+struct EnginePath<'a, 'c, M> {
+    ctx: &'a mut Ctx<'c, M>,
+    node: u32,
+    hosts: &'a [u32],
+}
+
+impl<M> RemotePath for EnginePath<'_, '_, M> {
+    fn netram_fetch(
+        &mut self,
+        host: u32,
+        sequential: bool,
+        bytes: u64,
+        _cost: RemoteAccessCost,
+    ) -> SimDuration {
+        let src = self.hosts[host as usize % self.hosts.len()];
+        let now = self.ctx.now();
+        let delivered = if sequential {
+            // Streaming: the request pipeline is hidden, the page rides
+            // one way on the wire.
+            self.ctx.transfer(src, self.node, bytes)
+        } else {
+            // Cold fetch: small request out, the page back.
+            self.ctx.rpc(self.node, src, 64, bytes)
+        };
+        delivered.saturating_since(now)
+    }
+}
+
+/// Wraps any path to record the raw (pre-overlap) service time of every
+/// fetch, feeding the latency metric without touching the stall rule.
+struct Sampling<'p> {
+    inner: &'p mut dyn RemotePath,
+    sum: SimDuration,
+    count: u64,
+}
+
+impl RemotePath for Sampling<'_> {
+    fn netram_fetch(
+        &mut self,
+        host: u32,
+        sequential: bool,
+        bytes: u64,
+        cost: RemoteAccessCost,
+    ) -> SimDuration {
+        let service = self.inner.netram_fetch(host, sequential, bytes, cost);
+        self.sum += service;
+        self.count += 1;
+        service
+    }
+}
+
+impl MultigridComponent {
+    /// A component that will perform `total_accesses` accesses sweeping
+    /// `pages` pages in order, with `per_page` computation between
+    /// accesses.
+    pub fn new(pager: Pager, per_page: SimDuration, pages: u64, total_accesses: u64) -> Self {
+        assert!(pages > 0, "problem must have pages");
+        MultigridComponent {
+            pager,
+            per_page,
+            pages,
+            total_accesses,
+            idx: 0,
+            compute: SimDuration::ZERO,
+            stall: SimDuration::ZERO,
+            node: 0,
+            host_nodes: Vec::new(),
+            netram_service: SimDuration::ZERO,
+            netram_fetches: 0,
+        }
+    }
+
+    /// Places the process on fabric node `node` with the network-RAM pool
+    /// hosts living on `host_nodes`. Required for [`CostMode::Fabric`]
+    /// engines; ignored under [`CostMode::Fixed`].
+    #[must_use]
+    pub fn with_placement(mut self, node: u32, host_nodes: Vec<u32>) -> Self {
+        self.node = node;
+        self.host_nodes = host_nodes;
+        self
+    }
+
+    /// The run outcome accumulated so far (complete once the engine
+    /// drains).
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            compute: self.compute,
+            stall: self.stall,
+            total: self.compute + self.stall,
+            pager: self.pager.stats(),
+        }
+    }
+
+    /// Mean service time of a network-RAM page fetch, in microseconds
+    /// (`None` before the first fetch). Under [`CostMode::Fabric`] this is
+    /// the observed door-to-door fabric latency — the contention metric.
+    pub fn mean_netram_fetch_us(&self) -> Option<f64> {
+        (self.netram_fetches > 0)
+            .then(|| self.netram_service.as_micros_f64() / self.netram_fetches as f64)
+    }
+}
+
+impl<M: EventCast<PageEvent> + 'static> Component<M> for MultigridComponent {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M) {
+        let PageEvent::Step = event.downcast();
+        if self.idx >= self.total_accesses {
+            return;
+        }
+        let page = PageId(self.idx % self.pages);
+        let (fetched, fetches, stall) = match ctx.cost_mode() {
+            CostMode::Fixed => {
+                let mut sampler = Sampling {
+                    inner: &mut FixedPath,
+                    sum: SimDuration::ZERO,
+                    count: 0,
+                };
+                let (_, stall) = self
+                    .pager
+                    .access_via(page, true, self.per_page, &mut sampler);
+                (sampler.sum, sampler.count, stall)
+            }
+            CostMode::Fabric => {
+                let mut path = EnginePath {
+                    ctx,
+                    node: self.node,
+                    hosts: &self.host_nodes,
+                };
+                let mut sampler = Sampling {
+                    inner: &mut path,
+                    sum: SimDuration::ZERO,
+                    count: 0,
+                };
+                let (_, stall) = self
+                    .pager
+                    .access_via(page, true, self.per_page, &mut sampler);
+                (sampler.sum, sampler.count, stall)
+            }
+        };
+        self.netram_service += fetched;
+        self.netram_fetches += fetches;
+        self.idx += 1;
+        self.compute += self.per_page;
+        self.stall += stall;
+        if self.idx < self.total_accesses {
+            ctx.schedule_after(self.per_page + stall, M::upcast(PageEvent::Step));
         }
     }
 }
@@ -181,30 +369,27 @@ pub fn run_with_probed(
     let pages = problem_mb * 1024 * 1024 / PAGE_BYTES;
     let mut pager = memory.build_pager();
     pager.set_probe(probe.clone());
-    let per_page = app.compute_per_page();
-    let mut compute = SimDuration::ZERO;
-    let mut stall = SimDuration::ZERO;
-    for _sweep in 0..app.sweeps {
-        for p in 0..pages {
-            // A smoothing sweep reads and writes each page in order.
-            let (_, s) = pager.access(PageId(p), true, per_page);
-            compute += per_page;
-            stall += s;
-        }
-    }
-    let total = compute + stall;
+    // A smoothing sweep reads and writes each page in order; the engine
+    // (in fixed-cost mode) drives the same access sequence the hand-rolled
+    // loop used to, so results are bit-identical.
+    let mut engine = Engine::new();
+    let solver = MultigridComponent::new(
+        pager,
+        app.compute_per_page(),
+        pages,
+        u64::from(app.sweeps) * pages,
+    );
+    let id = engine.register(solver);
+    engine.schedule_at(id, SimTime::ZERO, PageEvent::Step);
+    engine.run();
+    let result = engine.component::<MultigridComponent>(id).result();
     if probe.is_enabled() {
         probe
             .span("mem", "multigrid", SimTime::ZERO)
             .arg("problem_mb", problem_mb as f64)
-            .end(SimTime::ZERO + total);
+            .end(SimTime::ZERO + result.total);
     }
-    RunResult {
-        compute,
-        stall,
-        total,
-        pager: pager.stats(),
-    }
+    result
 }
 
 /// The problem sizes (MB) Figure 2 sweeps.

@@ -152,12 +152,21 @@ impl NetworkRam {
         false
     }
 
-    /// Fetches `page` back from the pool, freeing its frame. Returns the
-    /// access cost, or `None` if the pool does not hold the page.
-    pub fn fetch(&mut self, page: PageId) -> Option<SimDuration> {
+    /// Removes `page` from the pool, freeing its frame, and returns the
+    /// host that held it — so a caller charging real fabric traffic knows
+    /// which node the page streams from. Returns `None` if the pool does
+    /// not hold the page.
+    pub fn take(&mut self, page: PageId) -> Option<u32> {
         let host = self.locations.remove(&page)?;
         self.used[host as usize] -= 1;
         self.probe.count("netram.pages_in", 1);
+        Some(host)
+    }
+
+    /// Fetches `page` back from the pool, freeing its frame. Returns the
+    /// access cost, or `None` if the pool does not hold the page.
+    pub fn fetch(&mut self, page: PageId) -> Option<SimDuration> {
+        self.take(page)?;
         Some(self.cost.access(self.page_bytes))
     }
 
@@ -175,12 +184,15 @@ impl NetworkRam {
     /// ids that must be recovered from disk are returned. Capacity shrinks.
     pub fn evict_host(&mut self, host: u32) -> Vec<PageId> {
         assert!(host < self.hosts, "host out of range");
-        let lost: Vec<PageId> = self
+        let mut lost: Vec<PageId> = self
             .locations
             .iter()
             .filter(|(_, &h)| h == host)
             .map(|(&p, _)| p)
             .collect();
+        // The map hashes by a per-process seed; sort so the recovery order
+        // (and anything downstream of it) is reproducible across runs.
+        lost.sort_unstable();
         for p in &lost {
             self.locations.remove(p);
         }

@@ -20,10 +20,50 @@ use now_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
 use crate::lru::Touch;
-use crate::{DiskModel, LruCache, NetworkRam};
+use crate::{DiskModel, LruCache, NetworkRam, RemoteAccessCost};
 
 /// Pages a disk swap device clusters per transfer.
 pub const SWAP_CLUSTER: u64 = 8;
+
+/// How a network-RAM page fetch is priced.
+///
+/// The pager knows *which* idle host a page streams back from; this trait
+/// decides what that costs. [`FixedPath`] charges the Table 2 constants
+/// (the legacy arithmetic, bit-for-bit); an engine component can instead
+/// pass a path that routes the fetch over a live shared fabric, where the
+/// price depends on what everyone else is doing to the wires.
+pub trait RemotePath {
+    /// Service time for fetching `bytes` of page data back from idle
+    /// `host`. `sequential` faults stream: the pipeline hides fixed costs
+    /// and only residual wire time should be charged.
+    fn netram_fetch(
+        &mut self,
+        host: u32,
+        sequential: bool,
+        bytes: u64,
+        cost: RemoteAccessCost,
+    ) -> SimDuration;
+}
+
+/// The constant-cost remote path: Table 2 arithmetic, no shared fabric.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedPath;
+
+impl RemotePath for FixedPath {
+    fn netram_fetch(
+        &mut self,
+        _host: u32,
+        sequential: bool,
+        bytes: u64,
+        cost: RemoteAccessCost,
+    ) -> SimDuration {
+        if sequential {
+            cost.pipelined(bytes)
+        } else {
+            cost.access(bytes)
+        }
+    }
+}
 
 /// Identifies a virtual page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -176,6 +216,19 @@ impl Pager {
         write: bool,
         compute_since_last: SimDuration,
     ) -> (FaultKind, SimDuration) {
+        self.access_via(page, write, compute_since_last, &mut FixedPath)
+    }
+
+    /// [`Pager::access`] with an explicit [`RemotePath`] pricing
+    /// network-RAM fetches. `access` is exactly `access_via` with
+    /// [`FixedPath`].
+    pub fn access_via(
+        &mut self,
+        page: PageId,
+        write: bool,
+        compute_since_last: SimDuration,
+        path: &mut dyn RemotePath,
+    ) -> (FaultKind, SimDuration) {
         self.stats.accesses += 1;
         self.probe.count("pager.accesses", 1);
         let sequential = self
@@ -195,7 +248,7 @@ impl Pager {
         }
 
         // Miss: classify and charge.
-        let (kind, service) = self.fetch(page, sequential);
+        let (kind, service) = self.fetch(page, sequential, path);
         if self.probe.is_enabled() {
             let (counter, histogram) = match kind {
                 FaultKind::Hit => unreachable!("a miss was classified"),
@@ -236,7 +289,12 @@ impl Pager {
         }
     }
 
-    fn fetch(&mut self, page: PageId, sequential: bool) -> (FaultKind, SimDuration) {
+    fn fetch(
+        &mut self,
+        page: PageId,
+        sequential: bool,
+        path: &mut dyn RemotePath,
+    ) -> (FaultKind, SimDuration) {
         if self.materialised.insert(page) {
             // Zero-fill: a trap and a page clear.
             self.stats.soft_faults += 1;
@@ -254,13 +312,9 @@ impl Pager {
                 (FaultKind::DiskFault, cost)
             }
             Backing::NetRam { pool, overflow } => {
-                if let Some(full_cost) = pool.fetch(page) {
+                if let Some(host) = pool.take(page) {
                     self.stats.netram_faults += 1;
-                    let cost = if sequential {
-                        pool.cost().pipelined(self.page_bytes)
-                    } else {
-                        full_cost
-                    };
+                    let cost = path.netram_fetch(host, sequential, self.page_bytes, pool.cost());
                     (FaultKind::NetRamFault, cost)
                 } else {
                     // Spilled to disk earlier.

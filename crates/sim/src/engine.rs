@@ -1,0 +1,556 @@
+//! The composable simulation engine: typed components over one
+//! [`EventQueue`].
+//!
+//! Every simulator in this workspace used to hand-roll the same loop:
+//! `while let Some((now, ev)) = q.pop() { ... }`. That shape made each
+//! subsystem its own closed world — paging, cooperative caching, and
+//! parallel jobs could never contend for the same wires because each loop
+//! owned a private clock and charged *constant* costs for remote traffic.
+//!
+//! The [`Engine`] keeps the queue's determinism (timestamp order, FIFO
+//! among equal timestamps) and adds two things:
+//!
+//! * **Routing** — events carry a destination [`ComponentId`]; registered
+//!   [`Component`]s receive their events through [`Component::on_event`]
+//!   and schedule follow-ups or message other components through [`Ctx`].
+//!   Delivery order among equal timestamps is the order the events were
+//!   scheduled, regardless of component registration order.
+//! * **A cost model** — components ask [`Ctx::transfer`] / [`Ctx::rpc`]
+//!   what remote traffic costs. Under [`CostModel::Fixed`] there is no
+//!   shared fabric and components charge their own constants (the legacy
+//!   behaviour, bit-for-bit). Under [`CostModel::Fabric`] every transfer
+//!   reserves real occupancy on one shared [`Transport`], so independent
+//!   workloads slow each other down — the composition the paper argues
+//!   for.
+//!
+//! Heterogeneous engines (several subsystems on one fabric) wrap each
+//! subsystem's event enum in one routed enum via [`EventCast`]; a
+//! component written against its own event type then drops into any engine
+//! whose event type embeds it.
+
+use std::any::Any;
+
+use crate::{EventId, EventQueue, SimDuration, SimTime};
+
+/// Identifies a component registered with an [`Engine`], in registration
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentId(pub usize);
+
+/// Lossless embedding of a component's event type `E` into an engine's
+/// routed event type `M`.
+///
+/// The identity embedding (`M = E`) is provided for every type, so a
+/// single-component engine needs no wrapper enum. A coupled engine defines
+/// one variant per subsystem and implements `EventCast` per variant;
+/// [`EventCast::downcast`] may panic when handed the wrong variant — that
+/// only happens when an event was routed to the wrong component, which is
+/// a simulation bug.
+pub trait EventCast<E>: Sized {
+    /// Wraps a component-level event for the engine's queue.
+    fn upcast(ev: E) -> Self;
+    /// Unwraps an event delivered to the component.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `self` does not hold an `E` — the event
+    /// was routed to the wrong component.
+    fn downcast(self) -> E;
+}
+
+impl<E> EventCast<E> for E {
+    fn upcast(ev: E) -> E {
+        ev
+    }
+    fn downcast(self) -> E {
+        self
+    }
+}
+
+/// A shared communication fabric the engine charges remote traffic
+/// against.
+///
+/// Implementations are occupancy models: each call reserves wire and
+/// software time and returns when the payload is *delivered*, so back-to-
+/// back calls from competing components queue behind each other.
+pub trait Transport {
+    /// Moves `bytes` from node `src` to node `dst`, requested at `now`,
+    /// and returns the delivery time. `src == dst` is a local copy and
+    /// must cost nothing (return `now`).
+    fn transfer(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> SimTime;
+
+    /// A request/response pair: `request_bytes` to `dst`, then
+    /// `response_bytes` back. Returns when the response is delivered.
+    fn rpc(
+        &mut self,
+        src: u32,
+        dst: u32,
+        request_bytes: u64,
+        response_bytes: u64,
+        now: SimTime,
+    ) -> SimTime {
+        let there = self.transfer(src, dst, request_bytes, now);
+        self.transfer(dst, src, response_bytes, there)
+    }
+}
+
+/// How an [`Engine`] prices remote traffic.
+pub enum CostModel {
+    /// No shared fabric: components charge their own constant costs.
+    /// Legacy single-subsystem runs use this mode and reproduce the
+    /// pre-engine results byte-for-byte.
+    Fixed,
+    /// All traffic traverses one live fabric and contends for its
+    /// occupancy.
+    Fabric(Box<dyn Transport>),
+}
+
+/// The cost-model discriminant, for components that branch on it without
+/// needing the transport itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostMode {
+    /// See [`CostModel::Fixed`].
+    Fixed,
+    /// See [`CostModel::Fabric`].
+    Fabric,
+}
+
+/// A simulated subsystem driven by an [`Engine`].
+///
+/// The `Any` supertrait lets callers recover the concrete component (and
+/// its accumulated results) after a run via [`Engine::component`].
+pub trait Component<M>: Any {
+    /// Handles one event addressed to this component.
+    fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M);
+}
+
+struct Envelope<M> {
+    dst: ComponentId,
+    event: M,
+}
+
+/// The view a component gets of the engine while handling an event:
+/// the clock, scheduling, the message bus, and the cost model.
+pub struct Ctx<'a, M> {
+    queue: &'a mut EventQueue<Envelope<M>>,
+    cost: &'a mut CostModel,
+    self_id: ComponentId,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current simulated time (the timestamp of the event being handled).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The id of the component handling the current event.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Which cost model the engine is running under.
+    pub fn cost_mode(&self) -> CostMode {
+        match self.cost {
+            CostModel::Fixed => CostMode::Fixed,
+            CostModel::Fabric(_) => CostMode::Fabric,
+        }
+    }
+
+    /// Schedules an event to this component at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (see [`EventQueue::schedule_at`]).
+    pub fn schedule_at(&mut self, time: SimTime, event: M) -> EventId {
+        let dst = self.self_id;
+        self.queue.schedule_at(time, Envelope { dst, event })
+    }
+
+    /// Schedules an event to this component `delay` from now.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: M) -> EventId {
+        self.schedule_at(self.queue.now() + delay, event)
+    }
+
+    /// Sends an event to another component, delivered at the current
+    /// timestamp after everything already scheduled for it (FIFO).
+    pub fn send_to(&mut self, dst: ComponentId, event: M) -> EventId {
+        self.send_to_at(dst, self.queue.now(), event)
+    }
+
+    /// Sends an event to another component at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn send_to_at(&mut self, dst: ComponentId, time: SimTime, event: M) -> EventId {
+        self.queue.schedule_at(time, Envelope { dst, event })
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if it was
+    /// still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Charges a one-way transfer of `bytes` from node `src` to node
+    /// `dst` against the shared fabric, returning the delivery time.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`CostModel::Fixed`]: fixed-mode components charge
+    /// their own constants instead of consulting a fabric.
+    pub fn transfer(&mut self, src: u32, dst: u32, bytes: u64) -> SimTime {
+        let now = self.queue.now();
+        self.transfer_at(src, dst, bytes, now)
+    }
+
+    /// [`Ctx::transfer`] starting at an explicit time `at` (at or after
+    /// now) — for chaining the hops of a multi-hop exchange, where each
+    /// leg departs when the previous one delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`CostModel::Fixed`] (see [`Ctx::transfer`]).
+    pub fn transfer_at(&mut self, src: u32, dst: u32, bytes: u64, at: SimTime) -> SimTime {
+        match self.cost {
+            CostModel::Fixed => panic!(
+                "fabric transfer requested under CostModel::Fixed; \
+                 fixed-mode components charge their own constants"
+            ),
+            CostModel::Fabric(t) => t.transfer(src, dst, bytes, at),
+        }
+    }
+
+    /// Charges a request/response exchange against the shared fabric,
+    /// returning when the response is delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`CostModel::Fixed`] (see [`Ctx::transfer`]).
+    pub fn rpc(&mut self, src: u32, dst: u32, request_bytes: u64, response_bytes: u64) -> SimTime {
+        let now = self.queue.now();
+        match self.cost {
+            CostModel::Fixed => panic!(
+                "fabric rpc requested under CostModel::Fixed; \
+                 fixed-mode components charge their own constants"
+            ),
+            CostModel::Fabric(t) => t.rpc(src, dst, request_bytes, response_bytes, now),
+        }
+    }
+}
+
+/// A deterministic discrete-event engine routing typed events to
+/// registered [`Component`]s.
+///
+/// # Example
+///
+/// ```
+/// use now_sim::{Component, Ctx, Engine, SimDuration, SimTime};
+///
+/// struct Counter {
+///     left: u32,
+///     fired: u32,
+/// }
+///
+/// impl Component<u32> for Counter {
+///     fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+///         self.fired += ev;
+///         if self.left > 0 {
+///             self.left -= 1;
+///             ctx.schedule_after(SimDuration::from_micros(10), 1);
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new();
+/// let id = engine.register(Counter { left: 3, fired: 0 });
+/// engine.schedule_at(id, SimTime::ZERO, 1);
+/// engine.run();
+/// assert_eq!(engine.component::<Counter>(id).fired, 4);
+/// assert_eq!(engine.now(), SimTime::from_micros(30));
+/// ```
+pub struct Engine<M> {
+    queue: EventQueue<Envelope<M>>,
+    components: Vec<Box<dyn Component<M>>>,
+    cost: CostModel,
+}
+
+impl<M: 'static> Default for Engine<M> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<M: 'static> Engine<M> {
+    /// An engine in [`CostModel::Fixed`] mode (legacy constant costs).
+    pub fn new() -> Self {
+        Engine::with_cost_model(CostModel::Fixed)
+    }
+
+    /// An engine whose remote traffic traverses `transport`
+    /// ([`CostModel::Fabric`]).
+    pub fn with_transport(transport: Box<dyn Transport>) -> Self {
+        Engine::with_cost_model(CostModel::Fabric(transport))
+    }
+
+    /// An engine with an explicit cost model.
+    pub fn with_cost_model(cost: CostModel) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            components: Vec::new(),
+            cost,
+        }
+    }
+
+    /// Registers a component and returns its routing id.
+    pub fn register<C: Component<M>>(&mut self, component: C) -> ComponentId {
+        self.components.push(Box::new(component));
+        ComponentId(self.components.len() - 1)
+    }
+
+    /// Number of registered components.
+    pub fn components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Which cost model the engine is running under.
+    pub fn cost_mode(&self) -> CostMode {
+        match self.cost {
+            CostModel::Fixed => CostMode::Fixed,
+            CostModel::Fabric(_) => CostMode::Fabric,
+        }
+    }
+
+    /// Seeds an event for `dst` at absolute time `time` (used to start a
+    /// simulation before [`Engine::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn schedule_at(&mut self, dst: ComponentId, time: SimTime, event: M) -> EventId {
+        self.queue.schedule_at(time, Envelope { dst, event })
+    }
+
+    /// Runs until the queue is empty, dispatching each event to its
+    /// component in deterministic order (timestamp, then FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event addresses an unregistered component.
+    pub fn run(&mut self) {
+        while let Some((_, envelope)) = self.queue.pop() {
+            let component = match self.components.get_mut(envelope.dst.0) {
+                Some(c) => c,
+                None => panic!(
+                    "event addressed to unregistered component {:?}",
+                    envelope.dst
+                ),
+            };
+            let mut ctx = Ctx {
+                queue: &mut self.queue,
+                cost: &mut self.cost,
+                self_id: envelope.dst,
+            };
+            component.on_event(&mut ctx, envelope.event);
+        }
+    }
+
+    /// Borrows a registered component as its concrete type, typically to
+    /// read results after [`Engine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unregistered or the component is not a `C`.
+    pub fn component<C: Component<M>>(&self, id: ComponentId) -> &C {
+        let component: &dyn Component<M> = &*self.components[id.0];
+        let any: &dyn Any = component;
+        any.downcast_ref::<C>()
+            .expect("component type mismatch: wrong ComponentId for this type")
+    }
+
+    /// Mutably borrows a registered component as its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unregistered or the component is not a `C`.
+    pub fn component_mut<C: Component<M>>(&mut self, id: ComponentId) -> &mut C {
+        let component: &mut dyn Component<M> = &mut *self.components[id.0];
+        let any: &mut dyn Any = component;
+        any.downcast_mut::<C>()
+            .expect("component type mismatch: wrong ComponentId for this type")
+    }
+
+    /// The cost model, e.g. to inspect a fabric's state after a run.
+    pub fn cost_model_mut(&mut self) -> &mut CostModel {
+        &mut self.cost
+    }
+}
+
+impl<M> std::fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("components", &self.components.len())
+            .field("pending", &self.queue.len())
+            .field("now", &self.queue.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Echo(u32),
+    }
+
+    struct Pinger {
+        target: ComponentId,
+        sent: u32,
+        echoes: Vec<u32>,
+    }
+
+    impl Component<Ev> for Pinger {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+            match ev {
+                Ev::Ping(n) => {
+                    self.sent += 1;
+                    ctx.send_to(self.target, Ev::Ping(n));
+                }
+                Ev::Echo(n) => self.echoes.push(n),
+            }
+        }
+    }
+
+    struct Echoer {
+        heard: Vec<(SimTime, u32)>,
+    }
+
+    impl Component<Ev> for Echoer {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+            let Ev::Ping(n) = ev else {
+                panic!("echoer only receives pings")
+            };
+            self.heard.push((ctx.now(), n));
+            let origin = ComponentId(0);
+            ctx.send_to(origin, Ev::Echo(n));
+        }
+    }
+
+    #[test]
+    fn routed_messages_round_trip() {
+        let mut engine = Engine::new();
+        let echoer = ComponentId(1);
+        let pinger = engine.register(Pinger {
+            target: echoer,
+            sent: 0,
+            echoes: Vec::new(),
+        });
+        engine.register(Echoer { heard: Vec::new() });
+        engine.schedule_at(pinger, SimTime::from_micros(5), Ev::Ping(7));
+        engine.run();
+        assert_eq!(engine.component::<Pinger>(pinger).echoes, vec![7]);
+        let heard = &engine.component::<Echoer>(echoer).heard;
+        assert_eq!(heard, &[(SimTime::from_micros(5), 7)]);
+    }
+
+    #[test]
+    fn same_timestamp_bus_delivery_is_fifo() {
+        struct Recorder {
+            log: Vec<u32>,
+        }
+        impl Component<u32> for Recorder {
+            fn on_event(&mut self, _: &mut Ctx<'_, u32>, ev: u32) {
+                self.log.push(ev);
+            }
+        }
+        let mut engine = Engine::new();
+        let id = engine.register(Recorder { log: Vec::new() });
+        for n in 0..50 {
+            engine.schedule_at(id, SimTime::from_micros(3), n);
+        }
+        engine.run();
+        assert_eq!(
+            engine.component::<Recorder>(id).log,
+            (0..50).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered component")]
+    fn unregistered_destination_panics() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_at(ComponentId(3), SimTime::ZERO, 1);
+        engine.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "CostModel::Fixed")]
+    fn fixed_mode_rejects_fabric_transfers() {
+        struct Greedy;
+        impl Component<u32> for Greedy {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, _: u32) {
+                ctx.transfer(0, 1, 4_096);
+            }
+        }
+        let mut engine = Engine::new();
+        let id = engine.register(Greedy);
+        engine.schedule_at(id, SimTime::ZERO, 1);
+        engine.run();
+    }
+
+    #[test]
+    fn fabric_mode_charges_the_transport() {
+        struct WireDelay;
+        impl Transport for WireDelay {
+            fn transfer(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> SimTime {
+                if src == dst {
+                    return now;
+                }
+                now + SimDuration::from_nanos(bytes)
+            }
+        }
+        struct Sender {
+            delivered: Option<SimTime>,
+        }
+        impl Component<u32> for Sender {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, _: u32) {
+                self.delivered = Some(ctx.transfer(0, 1, 1_000));
+            }
+        }
+        let mut engine = Engine::with_transport(Box::new(WireDelay));
+        assert_eq!(engine.cost_mode(), CostMode::Fabric);
+        let id = engine.register(Sender { delivered: None });
+        engine.schedule_at(id, SimTime::from_micros(2), 0);
+        engine.run();
+        assert_eq!(
+            engine.component::<Sender>(id).delivered,
+            Some(SimTime::from_micros(3))
+        );
+    }
+
+    #[test]
+    fn default_rpc_is_request_then_response() {
+        struct WireDelay;
+        impl Transport for WireDelay {
+            fn transfer(&mut self, _: u32, _: u32, bytes: u64, now: SimTime) -> SimTime {
+                now + SimDuration::from_nanos(bytes)
+            }
+        }
+        let mut t = WireDelay;
+        let done = t.rpc(0, 1, 100, 900, SimTime::ZERO);
+        assert_eq!(done, SimTime::from_micros(1));
+    }
+}

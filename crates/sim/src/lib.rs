@@ -10,6 +10,12 @@
 //! * [`EventQueue`] — a priority queue of timestamped events with
 //!   *deterministic* tie-breaking (FIFO among equal timestamps) and
 //!   cancellation, so a simulation with a fixed seed replays identically.
+//! * [`Engine`] / [`Component`] — a routed event bus over the queue:
+//!   subsystems register as components, exchange typed events with
+//!   deterministic delivery order, and charge remote traffic either at
+//!   constant cost ([`CostModel::Fixed`]) or against one shared
+//!   [`Transport`] fabric ([`CostModel::Fabric`]), so coupled simulations
+//!   model cross-subsystem contention.
 //! * [`SimRng`] — a seeded random source with the distributions the workload
 //!   generators need (uniform, exponential, Zipf, Pareto, normal) implemented
 //!   locally so results do not drift with external crate versions.
@@ -44,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod queue;
 mod rng;
 mod time;
@@ -51,6 +58,7 @@ mod time;
 pub mod report;
 pub mod stats;
 
+pub use engine::{Component, ComponentId, CostMode, CostModel, Ctx, Engine, EventCast, Transport};
 pub use queue::{EventId, EventQueue};
 pub use rng::{SimRng, ZipfSampler};
 pub use time::{SimDuration, SimTime};

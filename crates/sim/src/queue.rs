@@ -69,7 +69,9 @@ impl<E> Eq for Scheduled<E> {}
 #[derive(Default)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
-    cancelled: HashSet<u64>,
+    /// Seqs of events that are scheduled, not yet fired, and not cancelled.
+    /// Heap entries absent from this set are tombstones left by `cancel`.
+    pending: HashSet<u64>,
     now: SimTime,
     next_seq: u64,
 }
@@ -79,7 +81,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            pending: HashSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
         }
@@ -108,6 +110,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, payload });
+        self.pending.insert(seq);
         EventId(seq)
     }
 
@@ -121,18 +124,18 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the event was still pending (it will now never be
     /// delivered), `false` if it had already fired or been cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false; // never issued by this queue
-        }
-        // Lazy deletion: mark the id; `pop` discards marked events.
-        // We cannot tell "already fired" from "pending" without a scan, so we
-        // record the mark and let pop() reconcile; ids are never reused, so a
-        // mark for a fired event is dead weight cleaned up below.
-        if self.cancelled.insert(id.0) {
-            // Drop marks that can no longer match anything to bound memory.
-            if self.cancelled.len() > 2 * self.heap.len() + 16 {
-                let live: HashSet<u64> = self.heap.iter().map(|s| s.seq).collect();
-                self.cancelled.retain(|seq| live.contains(seq));
+        // Lazy deletion: drop the id from the pending set and leave the heap
+        // entry behind as a tombstone that `pop` discards. Ids of fired or
+        // already-cancelled events are simply absent from the set.
+        if self.pending.remove(&id.0) {
+            // Tombstones would otherwise sit in the heap until their
+            // timestamp is reached, so a cancel-heavy workload (schedule,
+            // cancel, reschedule — the mixed-workload simulator's finish
+            // events) grows storage without bound. Rebuild the heap without
+            // them once they exceed half of it.
+            if self.heap.len() > 2 * self.pending.len() {
+                let pending = &self.pending;
+                self.heap.retain(|s| pending.contains(&s.seq));
             }
             true
         } else {
@@ -144,8 +147,8 @@ impl<E> EventQueue<E> {
     /// clock to its timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(ev) = self.heap.pop() {
-            if self.cancelled.remove(&ev.seq) {
-                continue;
+            if !self.pending.remove(&ev.seq) {
+                continue; // tombstone of a cancelled event
             }
             self.now = ev.time;
             return Some((ev.time, ev.payload));
@@ -157,10 +160,8 @@ impl<E> EventQueue<E> {
     /// cancelled entries. `None` when empty.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(ev) = self.heap.peek() {
-            if self.cancelled.contains(&ev.seq) {
-                let seq = ev.seq;
+            if !self.pending.contains(&ev.seq) {
                 self.heap.pop();
-                self.cancelled.remove(&seq);
                 continue;
             }
             return Some(ev.time);
@@ -170,7 +171,16 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
+    }
+
+    /// Heap slots currently allocated, including cancelled events that have
+    /// not yet been compacted away. Every [`EventQueue::cancel`] re-establishes
+    /// `storage_len() <= 2 * len()`: the heap is rebuilt without tombstoned
+    /// entries whenever they exceed half of it. Exposed so memory-bound
+    /// regression tests can observe the compaction.
+    pub fn storage_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// True if no events are pending.
@@ -324,11 +334,44 @@ mod tests {
             }
         }
         assert!(q.is_empty());
-        assert!(
-            q.cancelled.len() <= 2 * q.heap.len() + 16,
-            "cancellation marks should be bounded, got {}",
-            q.cancelled.len()
+        assert_eq!(
+            q.storage_len(),
+            0,
+            "an all-cancelled queue compacts to nothing"
         );
+    }
+
+    #[test]
+    fn cancel_of_fired_event_leaves_len_exact() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(SimTime::from_micros(1), ());
+        q.pop();
+        q.cancel(id);
+        assert_eq!(q.len(), 0);
+        q.schedule_at(SimTime::from_micros(2), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().0, SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn storage_stays_within_twice_live_under_churn() {
+        let mut q = EventQueue::new();
+        // Long-lived events keep the heap non-trivial while short-lived
+        // ones are scheduled and immediately cancelled.
+        for i in 0..50u64 {
+            q.schedule_at(SimTime::from_secs(1_000 + i), i);
+        }
+        for round in 0..10_000u64 {
+            let id = q.schedule_after(SimDuration::from_micros(1), round);
+            q.cancel(id);
+            assert!(
+                q.storage_len() <= 2 * q.len().max(1),
+                "round {round}: storage {} vs live {}",
+                q.storage_len(),
+                q.len()
+            );
+        }
+        assert_eq!(q.len(), 50);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Property tests for the engine's routed event bus.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use now_sim::{Component, ComponentId, Ctx, Engine, SimTime};
+use proptest::prelude::*;
+
+/// Appends every delivered event to a log shared across components, so a
+/// test can observe the global delivery order.
+struct Recorder {
+    label: usize,
+    log: Rc<RefCell<Vec<(usize, u32)>>>,
+}
+
+impl Component<u32> for Recorder {
+    fn on_event(&mut self, _: &mut Ctx<'_, u32>, ev: u32) {
+        self.log.borrow_mut().push((self.label, ev));
+    }
+}
+
+/// Registers `labels` in the given order, schedules `sends` (all at one
+/// timestamp) addressed by label, and returns the delivery order.
+fn delivery_order(labels: &[usize], sends: &[(usize, u32)], t: SimTime) -> Vec<(usize, u32)> {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut engine = Engine::new();
+    let mut id_of = vec![ComponentId(usize::MAX); labels.len()];
+    for &label in labels {
+        id_of[label] = engine.register(Recorder {
+            label,
+            log: log.clone(),
+        });
+    }
+    for &(dst, tag) in sends {
+        engine.schedule_at(id_of[dst], t, tag);
+    }
+    engine.run();
+    let order = log.borrow().clone();
+    order
+}
+
+proptest! {
+    /// Bus delivery among equal timestamps is FIFO in scheduling order,
+    /// no matter how the receiving components were registered.
+    #[test]
+    fn equal_timestamp_delivery_is_fifo_regardless_of_registration(
+        k in 2usize..8,
+        raw_sends in prop::collection::vec((0usize..8, any::<u32>()), 1..100),
+        rotation in 0usize..8,
+        t in 0u64..1_000_000,
+    ) {
+        let sends: Vec<(usize, u32)> =
+            raw_sends.iter().map(|&(d, tag)| (d % k, tag)).collect();
+        let t = SimTime::from_nanos(t);
+        let forward: Vec<usize> = (0..k).collect();
+        let mut rotated: Vec<usize> = (0..k).map(|i| (i + rotation) % k).collect();
+        let a = delivery_order(&forward, &sends, t);
+        prop_assert_eq!(&a, &sends, "delivery must follow scheduling order");
+        let b = delivery_order(&rotated, &sends, t);
+        prop_assert_eq!(&a, &b, "registration order must not matter");
+        rotated.reverse();
+        let c = delivery_order(&rotated, &sends, t);
+        prop_assert_eq!(&a, &c, "reversed registration must not matter");
+    }
+}
+
+/// A component that violates causality by scheduling behind the clock.
+struct TimeTraveller;
+
+impl Component<u32> for TimeTraveller {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, _: u32) {
+        ctx.schedule_at(SimTime::from_micros(5), 0);
+    }
+}
+
+#[test]
+#[should_panic(expected = "cannot schedule event in the past")]
+fn component_scheduling_into_the_past_panics_with_causality_message() {
+    let mut engine = Engine::new();
+    let id = engine.register(TimeTraveller);
+    engine.schedule_at(id, SimTime::from_micros(10), 0);
+    engine.run();
+}

@@ -88,6 +88,33 @@ proptest! {
         prop_assert_eq!(actual, expected);
     }
 
+    /// A cancel-heavy workload never holds more than twice the live events
+    /// in heap storage: tombstoned entries are compacted away once they
+    /// exceed half the heap (regression test for unbounded tombstone
+    /// growth).
+    #[test]
+    fn queue_storage_bounded_under_cancellation(
+        keepers in 1usize..40,
+        churn in prop::collection::vec(1u64..1_000, 1..400),
+    ) {
+        let mut q = EventQueue::new();
+        for i in 0..keepers {
+            q.schedule_at(SimTime::from_secs(10_000 + i as u64), usize::MAX);
+        }
+        for (round, delay) in churn.iter().enumerate() {
+            let id = q.schedule_after(SimDuration::from_micros(*delay), round);
+            q.cancel(id);
+            prop_assert!(
+                q.storage_len() <= 2 * q.len().max(1),
+                "round {}: storage {} exceeds twice the {} live events",
+                round,
+                q.storage_len(),
+                q.len()
+            );
+        }
+        prop_assert_eq!(q.len(), keepers);
+    }
+
     /// Welford accumulator agrees with the two-pass computation.
     #[test]
     fn accumulator_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..500)) {
