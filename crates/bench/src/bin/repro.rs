@@ -4,6 +4,7 @@
 //! repro                  # everything (the two-day Table 3 trace takes ~1 min)
 //! repro --table4 --fig2  # just those artifacts
 //! repro --fast           # everything, with Table 3 on a 12-hour trace
+//! repro availability --smoke       # fault/availability report, fewer MC trials
 //! repro --ablations      # design-choice sweeps (not in the paper)
 //! repro --metrics table2           # append the probe snapshot (=text|csv|json)
 //! repro --trace-out now.json fig2  # write a Chrome/Perfetto trace
@@ -17,6 +18,7 @@ use now_probe::{Probe, Registry};
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut fast = false;
+    let mut smoke = false;
     let mut metrics: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
@@ -24,6 +26,8 @@ fn main() {
     while let Some(arg) = it.next() {
         if arg == "--fast" {
             fast = true;
+        } else if arg == "--smoke" {
+            smoke = true;
         } else if arg == "--metrics" {
             metrics = Some("text".to_string());
         } else if let Some(format) = arg.strip_prefix("--metrics=") {
@@ -91,6 +95,9 @@ fn main() {
     }
     if want("contention") {
         println!("{}", now_bench::contention());
+    }
+    if want("availability") {
+        println!("{}", now_bench::availability_probed(smoke, &probe));
     }
     // Ablations are opt-in: they are design-choice sweeps, not paper
     // artifacts.

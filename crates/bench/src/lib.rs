@@ -393,6 +393,151 @@ pub fn contention_series(flows: &[u32]) -> Vec<(u32, now_core::ScenarioOutcome)>
         .collect()
 }
 
+/// The availability experiment: Monte-Carlo failure simulation
+/// cross-checked against the paper's closed-form availability math, plus
+/// the coupled scenario re-run under injected faults.
+///
+/// `smoke` cuts the Monte-Carlo trial count for CI; the fault scenarios
+/// are identical either way.
+pub fn availability(smoke: bool) -> String {
+    availability_probed(smoke, &Probe::disabled())
+}
+
+/// [`availability`] with a telemetry probe: the scenario runs count
+/// `fault.injected[.kind]`, `fault.detected`, `fault.restarts`, and
+/// `fault.rebuild_chunks` on it.
+pub fn availability_probed(smoke: bool, probe: &Probe) -> String {
+    use now_fault::montecarlo;
+    use now_raid::availability::FailureModel;
+
+    let trials = if smoke { 200 } else { 2_000 };
+    let m = FailureModel::paper_defaults();
+    let mut mc = TextTable::new(&[
+        "Quantity",
+        "Disks/nodes",
+        "Closed form (h)",
+        "Monte-Carlo (h)",
+        "Error",
+    ]);
+    mc.title(&format!(
+        "Availability - closed forms vs Monte-Carlo ({trials} trials, seed {SEED})"
+    ));
+    type Pair = (&'static str, fn(&FailureModel, u32) -> f64, McFn);
+    type McFn = fn(&FailureModel, u32, u32, u64) -> f64;
+    let quantities: [Pair; 3] = [
+        (
+            "RAID-5 MTTDL",
+            |m, n| m.raid5_mttdl_hours(n),
+            montecarlo::raid5_mttdl_hours,
+        ),
+        (
+            "Software RAID service MTTF",
+            |m, n| m.software_raid_service_mttf_hours(n),
+            montecarlo::software_service_mttf_hours,
+        ),
+        (
+            "Hardware RAID service MTTF",
+            |m, n| m.hardware_raid_service_mttf_hours(n),
+            montecarlo::hardware_service_mttf_hours,
+        ),
+    ];
+    for (name, closed_fn, mc_fn) in quantities {
+        for n in [8u32, 16] {
+            let closed = closed_fn(&m, n);
+            let estimate = mc_fn(&m, n, trials, SEED);
+            mc.row_owned(vec![
+                name.to_string(),
+                format!("{n}"),
+                format!("{closed:.0}"),
+                format!("{estimate:.0}"),
+                format!("{:.1}%", (estimate - closed).abs() / closed * 100.0),
+            ]);
+        }
+    }
+
+    let mut deg = TextTable::new(&[
+        "Scenario",
+        "Netram fetch (us)",
+        "Job makespan (ms)",
+        "Cache read (ms)",
+        "Pages lost",
+        "Job stall (ms)",
+    ]);
+    deg.title("Degraded vs healthy - the coupled scenario under injected faults");
+    for (name, out) in availability_series(probe) {
+        deg.row_owned(vec![
+            name.to_string(),
+            format!("{:.0}", out.mean_netram_fetch_us.unwrap_or(0.0)),
+            format!("{:.1}", out.job_makespan.as_millis_f64()),
+            format!("{:.2}", out.cache.avg_read_response().as_millis_f64()),
+            format!("{}", out.paging.pager.host_lost_pages),
+            format!("{:.1}", out.faults.job_stall.as_millis_f64()),
+        ]);
+    }
+    format!("{}\n{}", mc.render(), deg.render())
+}
+
+/// The fault scenarios behind [`availability`]'s degraded-vs-healthy
+/// table: the coupled run unharmed, with a dead network-RAM host (single
+/// copy, then mirrored), with a crashed BSP worker replaced by a spare,
+/// and with a failed-then-rebuilt storage disk.
+pub fn availability_series(probe: &Probe) -> Vec<(&'static str, now_core::ScenarioOutcome)> {
+    use now_core::{Fault, FaultPlan, NowCluster, ScenarioSpec};
+    use now_sim::SimTime;
+
+    let cluster = NowCluster::builder().nodes(32).seed(SEED).build();
+    let base = ScenarioSpec {
+        job_rounds: 50,
+        paging_problem_mb: 16,
+        paging_local_mb: 8,
+        netram_mb_per_host: 2,
+        horizon: SimDuration::from_secs(1),
+        seed: SEED,
+        ..ScenarioSpec::contention_default()
+    };
+    // 500 ms: mid-spill of the paging process's first sweep, so the dead
+    // host holds pages; 5 ms: before the BSP job's early barriers.
+    let host_crash = FaultPlan::new().at(SimTime::from_millis(500), Fault::NodeCrash { node: 9 });
+    let specs = [
+        ("healthy", base.clone()),
+        (
+            "netram host dead",
+            ScenarioSpec {
+                faults: host_crash.clone(),
+                ..base.clone()
+            },
+        ),
+        (
+            "netram host dead, mirrored pool",
+            ScenarioSpec {
+                faults: host_crash,
+                netram_mirrored: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "worker crash + spare",
+            ScenarioSpec {
+                faults: FaultPlan::new().at(SimTime::from_millis(5), Fault::NodeCrash { node: 0 }),
+                ..base.clone()
+            },
+        ),
+        (
+            "disk fail + rebuild",
+            ScenarioSpec {
+                faults: FaultPlan::new()
+                    .at(SimTime::from_millis(1), Fault::DiskFail { disk: 0 })
+                    .at(SimTime::from_millis(500), Fault::DiskReplace { disk: 0 }),
+                ..base
+            },
+        ),
+    ];
+    specs
+        .into_iter()
+        .map(|(name, spec)| (name, cluster.run_scenario_probed(&spec, probe)))
+        .collect()
+}
+
 /// In-text migration claim: restoring 64 MB of memory state.
 pub fn restore_study() -> String {
     use now_glunix::migrate::MigrationModel;
@@ -460,6 +605,41 @@ mod tests {
             makespan.last() > makespan.first(),
             "loaded fabric must slow the job: {makespan:?}"
         );
+    }
+
+    #[test]
+    fn availability_report_renders_and_is_deterministic() {
+        let a = availability(true);
+        assert!(a.contains("Monte-Carlo"), "{a}");
+        assert!(a.contains("RAID-5 MTTDL"), "{a}");
+        assert!(a.contains("worker crash + spare"), "{a}");
+        assert!(a.contains("disk fail + rebuild"), "{a}");
+        assert_eq!(a, availability(true), "fixed seed must reproduce");
+    }
+
+    #[test]
+    fn availability_scenarios_degrade_where_they_should() {
+        let series = availability_series(&Probe::disabled());
+        let get = |name: &str| {
+            series
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, out)| out)
+                .expect("series row")
+        };
+        let healthy = get("healthy");
+        assert_eq!(healthy.paging.pager.host_lost_pages, 0);
+        assert_eq!(healthy.faults.injected, 0);
+        let host_dead = get("netram host dead");
+        assert!(host_dead.paging.pager.host_lost_pages > 0);
+        let mirrored = get("netram host dead, mirrored pool");
+        assert_eq!(mirrored.paging.pager.host_lost_pages, 0);
+        let worker = get("worker crash + spare");
+        assert!(worker.faults.job_stall > SimDuration::ZERO);
+        assert!(worker.job_makespan > healthy.job_makespan);
+        let disk = get("disk fail + rebuild");
+        assert!(disk.cache.degraded_reads > 0);
+        assert!(disk.cache.read_time > healthy.cache.read_time);
     }
 
     #[test]

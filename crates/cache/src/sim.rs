@@ -1,6 +1,6 @@
 //! The trace-driven cooperative-caching simulator.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use now_mem::{LruCache, Touch};
 use now_probe::Probe;
@@ -114,6 +114,12 @@ pub struct SimResult {
     pub read_time: SimDuration,
     /// Singlet forwards performed (N-Chance).
     pub forwards: u64,
+    /// Trace accesses skipped because their client was dead.
+    pub skipped_accesses: u64,
+    /// Cached blocks invalidated when a holder crashed.
+    pub invalidated_blocks: u64,
+    /// Disk reads served while the storage array ran degraded.
+    pub degraded_reads: u64,
 }
 
 impl SimResult {
@@ -228,6 +234,22 @@ const REQUEST_BYTES: u64 = 64;
 pub enum CacheEvent {
     /// Replay trace entry `i`.
     Access(usize),
+    /// A client workstation crashed: its cached blocks are invalidated
+    /// (peers fall back to the server and its disk) and its trace
+    /// accesses are skipped until it recovers.
+    ClientFailed(u32),
+    /// A failed client recovers — rebooted, or a spare workstation on
+    /// fabric node `node` took over its trace stream — with a cold cache.
+    ClientRecovered {
+        /// The client slot that comes back.
+        client: u32,
+        /// Fabric node now hosting it.
+        node: u32,
+    },
+    /// The server's storage array entered (`true`) or left (`false`)
+    /// degraded mode: reads keep flowing but disk service doubles while
+    /// the surviving disks reconstruct on the fly.
+    StorageDegraded(bool),
 }
 
 /// Where a remotely served read came from — the one distinction the
@@ -265,6 +287,10 @@ pub struct CacheComponent {
     client_nodes: Vec<u32>,
     /// Fabric node of the file server.
     server_node: u32,
+    /// Clients currently dead (ordered, for deterministic iteration).
+    dead_clients: BTreeSet<u32>,
+    /// Whether the server's storage array is running degraded.
+    degraded: bool,
 }
 
 impl CacheComponent {
@@ -314,10 +340,15 @@ impl CacheComponent {
                 disk_reads: 0,
                 read_time: SimDuration::ZERO,
                 forwards: 0,
+                skipped_accesses: 0,
+                invalidated_blocks: 0,
+                degraded_reads: 0,
             },
             forwarding,
             client_nodes: Vec::new(),
             server_node: 0,
+            dead_clients: BTreeSet::new(),
+            degraded: false,
         }
     }
 
@@ -407,9 +438,16 @@ impl CacheComponent {
     }
 
     /// The service time of a disk read: under a fabric, the network leg is
-    /// live and only the disk residue stays constant.
+    /// live and only the disk residue stays constant. While the storage
+    /// array runs degraded, the disk residue doubles — a read of a lost
+    /// block reconstructs from the surviving disks on the fly.
     fn disk_cost<M>(&self, ctx: &mut Ctx<'_, M>, client: u32) -> SimDuration {
-        match ctx.cost_mode() {
+        let residue = self
+            .config
+            .costs
+            .disk
+            .saturating_sub(self.config.costs.remote_mem);
+        let base = match ctx.cost_mode() {
             CostMode::Fixed => self.config.costs.disk,
             CostMode::Fabric => {
                 let now = ctx.now();
@@ -417,21 +455,59 @@ impl CacheComponent {
                 let network = ctx
                     .rpc(c, self.server_node, REQUEST_BYTES, BLOCK_BYTES)
                     .saturating_since(now);
-                network
-                    + self
-                        .config
-                        .costs
-                        .disk
-                        .saturating_sub(self.config.costs.remote_mem)
+                network + residue
             }
+        };
+        if self.degraded {
+            base + residue
+        } else {
+            base
         }
     }
 
-    /// Replays trace entry `i`. Exactly the legacy loop body.
+    /// A client crashed: every block it cached is invalidated (it may
+    /// have held the only memory copy — peers now fall back to the
+    /// server's memory and disk) and its trace accesses are skipped until
+    /// recovery.
+    fn fail_client(&mut self, client: u32) {
+        if self.dead_clients.contains(&client) {
+            return;
+        }
+        if let Some(cache) = self.cluster.clients.get(client as usize) {
+            // Iterate the dying client's own cache (deterministic LRU
+            // order), not the hash-ordered directory.
+            let held: Vec<BlockId> = cache.iter().copied().collect();
+            let capacity = cache.capacity();
+            self.result.invalidated_blocks += held.len() as u64;
+            for block in held {
+                self.cluster.remove_from_directory(block, client);
+            }
+            self.cluster.clients[client as usize] = LruCache::new(capacity);
+        }
+        self.dead_clients.insert(client);
+    }
+
+    /// A dead client comes back — rebooted, or a spare on `node` took
+    /// over — cold.
+    fn recover_client(&mut self, client: u32, node: u32) {
+        self.dead_clients.remove(&client);
+        if let Some(slot) = self.client_nodes.get_mut(client as usize) {
+            *slot = node;
+        }
+    }
+
+    /// Replays trace entry `i`. Exactly the legacy loop body (plus the
+    /// dead-client skip, which never fires in fault-free runs).
     fn step<M>(&mut self, ctx: &mut Ctx<'_, M>, i: usize) {
         let access = self.trace.accesses[i];
         let client = access.client;
         assert!(client < self.trace.clients, "client out of range in trace");
+        if self.dead_clients.contains(&client) {
+            // The workstation issuing this access is down; its user's
+            // requests simply don't happen until it recovers.
+            self.result.skipped_accesses += 1;
+            return;
+        }
         let block = access.block;
         let write = access.kind == AccessKind::Write;
         let policy = self.config.policy;
@@ -514,6 +590,9 @@ impl CacheComponent {
 
         // 4. Server disk; the block also lands in the server cache.
         self.result.disk_reads += 1;
+        if self.degraded {
+            self.result.degraded_reads += 1;
+        }
         self.result.read_time += self.disk_cost(ctx, client);
         self.cluster.server.touch(block, false);
         self.cluster
@@ -523,13 +602,20 @@ impl CacheComponent {
 
 impl<M: EventCast<CacheEvent> + 'static> Component<M> for CacheComponent {
     fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M) {
-        let CacheEvent::Access(i) = event.downcast();
-        self.step(ctx, i);
-        if i + 1 < self.trace.accesses.len() {
-            // The fabric may push the clock past the next trace timestamp;
-            // replay order (and thus the result) is preserved regardless.
-            let t = self.trace.accesses[i + 1].time.max(ctx.now());
-            ctx.schedule_at(t, M::upcast(CacheEvent::Access(i + 1)));
+        match event.downcast() {
+            CacheEvent::Access(i) => {
+                self.step(ctx, i);
+                if i + 1 < self.trace.accesses.len() {
+                    // The fabric may push the clock past the next trace
+                    // timestamp; replay order (and thus the result) is
+                    // preserved regardless.
+                    let t = self.trace.accesses[i + 1].time.max(ctx.now());
+                    ctx.schedule_at(t, M::upcast(CacheEvent::Access(i + 1)));
+                }
+            }
+            CacheEvent::ClientFailed(client) => self.fail_client(client),
+            CacheEvent::ClientRecovered { client, node } => self.recover_client(client, node),
+            CacheEvent::StorageDegraded(on) => self.degraded = on,
         }
     }
 }
@@ -797,6 +883,105 @@ mod tests {
         assert!(sweep[0].1 >= sweep[1].1, "{sweep:?}");
         // Returns are diminishing: n=4 is not much better than n=2.
         assert!(sweep[3].1 >= sweep[2].1 * 0.8, "{sweep:?}");
+    }
+
+    fn run_with_faults(
+        trace: &FsTrace,
+        config: &CacheConfig,
+        faults: Vec<(SimTime, CacheEvent)>,
+    ) -> SimResult {
+        let mut engine = Engine::new();
+        let component = CacheComponent::new(trace.clone(), config.clone());
+        let start = component.first_access_time();
+        let id = engine.register(component);
+        if let Some(t) = start {
+            engine.schedule_at(id, t, CacheEvent::Access(0));
+        }
+        for (t, ev) in faults {
+            engine.schedule_at(id, t, ev);
+        }
+        engine.run();
+        engine.component::<CacheComponent>(id).result()
+    }
+
+    use now_sim::SimTime;
+
+    #[test]
+    fn dead_client_skips_accesses_and_loses_its_cache() {
+        use now_trace::fs::{FileId, FsAccess};
+        let block = BlockId {
+            file: FileId(0),
+            block: 0,
+        };
+        let mk = |secs, kind| FsAccess {
+            time: SimTime::from_secs(secs),
+            client: 0,
+            block,
+            kind,
+        };
+        let t = FsTrace {
+            accesses: vec![
+                mk(1, AccessKind::Read), // disk, then cached locally
+                mk(2, AccessKind::Read), // local hit
+                mk(3, AccessKind::Read), // skipped: client is dead
+                mk(5, AccessKind::Read), // recovered, cold: remote/server
+            ],
+            file_blocks: vec![1],
+            clients: 2,
+        };
+        let cfg = CacheConfig::small(Policy::NChance { n: 2 });
+        let r = run_with_faults(
+            &t,
+            &cfg,
+            vec![
+                (SimTime::from_millis(2_500), CacheEvent::ClientFailed(0)),
+                (
+                    SimTime::from_millis(4_000),
+                    CacheEvent::ClientRecovered { client: 0, node: 0 },
+                ),
+            ],
+        );
+        assert_eq!(r.skipped_accesses, 1);
+        assert_eq!(r.invalidated_blocks, 1);
+        assert_eq!(r.reads, 3, "the skipped access is not a read");
+        assert_eq!(r.local_hits, 1);
+        // The post-recovery read cannot hit the (cold) local cache.
+        assert_eq!(r.server_hits, 1);
+        // Fault-free baseline differs: 4 reads, 3 of them local hits.
+        let clean = simulate(&t, &cfg);
+        assert_eq!(clean.reads, 4);
+        assert_eq!(clean.local_hits, 3);
+        assert_eq!(clean.skipped_accesses, 0);
+    }
+
+    #[test]
+    fn degraded_storage_doubles_the_disk_residue() {
+        use now_trace::fs::{FileId, FsAccess};
+        let t = FsTrace {
+            accesses: vec![FsAccess {
+                time: SimTime::from_secs(1),
+                client: 0,
+                block: BlockId {
+                    file: FileId(0),
+                    block: 0,
+                },
+                kind: AccessKind::Read,
+            }],
+            file_blocks: vec![1],
+            clients: 1,
+        };
+        let cfg = CacheConfig::small(Policy::ClientServer);
+        let clean = simulate(&t, &cfg);
+        let degraded = run_with_faults(
+            &t,
+            &cfg,
+            vec![(SimTime::from_millis(500), CacheEvent::StorageDegraded(true))],
+        );
+        assert_eq!(clean.disk_reads, 1);
+        assert_eq!(degraded.disk_reads, 1);
+        assert_eq!(degraded.degraded_reads, 1);
+        let penalty = cfg.costs.disk.saturating_sub(cfg.costs.remote_mem);
+        assert_eq!(degraded.read_time, clean.read_time + penalty);
     }
 
     #[test]

@@ -41,15 +41,21 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod control;
 mod gator_sim;
 mod scenario;
 
 pub use cluster::{Interconnect, NowBuilder, NowCluster, NowError};
+pub use control::{ClusterControl, ControlEvent, ControlWiring, FaultOutcome};
 pub use gator_sim::{simulate_gator, GatorSimResult};
 pub use scenario::{
     BspJobComponent, JobEvent, ScenarioEvent, ScenarioOutcome, ScenarioSpec, TrafficComponent,
     TrafficEvent,
 };
+
+// Fault scripting types, so scenario callers need not depend on
+// `now-fault` directly.
+pub use now_fault::{Fault, FaultPlan};
 
 // Re-export the domain types a NowCluster hands out, so downstream users
 // need only this crate for common scenarios.

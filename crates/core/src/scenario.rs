@@ -17,15 +17,24 @@
 //! process on node `k`, the netram hosts on `k+1..=k+h`, and the file
 //! server on node `n-1`.
 
+use std::collections::BTreeSet;
+
 use now_am::FabricTransport;
 use now_cache::{CacheComponent, CacheConfig, CacheEvent, Policy, SimResult};
+use now_fault::{Fault, FaultInjectorComponent, FaultPlan, InjectorEvent};
+use now_glunix::membership::MembershipConfig;
 use now_mem::multigrid::{MemoryConfig, MultigridConfig, RunResult, PAGE_BYTES};
 use now_mem::{MultigridComponent, PageEvent, RemoteAccessCost};
+use now_probe::Probe;
 use now_sim::{Component, CostMode, Ctx, Engine, EventCast, SimDuration, SimTime};
 use now_trace::fs::{FsTrace, FsTraceConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::NowCluster;
+use crate::control::{ClusterControl, ControlEvent, ControlWiring, FaultOutcome};
+
+/// Spare workstations reserved as replacements for dead workers.
+const SPARE_NODES: usize = 2;
 
 /// Events of the coupled scenario's engine: one variant per subsystem,
 /// so each component keeps its own event type and [`EventCast`] routes.
@@ -39,6 +48,10 @@ pub enum ScenarioEvent {
     Job(JobEvent),
     /// A background-traffic tick ([`TrafficComponent`]).
     Traffic(TrafficEvent),
+    /// A fault-injector wake-up ([`FaultInjectorComponent`]).
+    Inject(InjectorEvent),
+    /// A cluster-control event ([`ClusterControl`]).
+    Control(ControlEvent),
 }
 
 impl EventCast<PageEvent> for ScenarioEvent {
@@ -61,6 +74,44 @@ impl EventCast<CacheEvent> for ScenarioEvent {
         match self {
             ScenarioEvent::Cache(ev) => ev,
             other => panic!("expected a Cache event, got {other:?}"),
+        }
+    }
+}
+
+impl EventCast<InjectorEvent> for ScenarioEvent {
+    fn upcast(ev: InjectorEvent) -> Self {
+        ScenarioEvent::Inject(ev)
+    }
+    fn downcast(self) -> InjectorEvent {
+        match self {
+            ScenarioEvent::Inject(ev) => ev,
+            other => panic!("expected an Inject event, got {other:?}"),
+        }
+    }
+}
+
+impl EventCast<ControlEvent> for ScenarioEvent {
+    fn upcast(ev: ControlEvent) -> Self {
+        ScenarioEvent::Control(ev)
+    }
+    fn downcast(self) -> ControlEvent {
+        match self {
+            ScenarioEvent::Control(ev) => ev,
+            other => panic!("expected a Control event, got {other:?}"),
+        }
+    }
+}
+
+// The injector broadcasts bare `Fault` values; in this engine they are
+// addressed to the control, so they ride inside its event type.
+impl EventCast<Fault> for ScenarioEvent {
+    fn upcast(ev: Fault) -> Self {
+        ScenarioEvent::Control(ControlEvent::Fault(ev))
+    }
+    fn downcast(self) -> Fault {
+        match self {
+            ScenarioEvent::Control(ControlEvent::Fault(ev)) => ev,
+            other => panic!("expected a Fault event, got {other:?}"),
         }
     }
 }
@@ -94,6 +145,17 @@ impl EventCast<TrafficEvent> for ScenarioEvent {
 pub enum JobEvent {
     /// Run the next bulk-synchronous round.
     Round,
+    /// The worker on this node died (crash or partition): the next
+    /// barrier cannot close until it is replaced.
+    WorkerDown(u32),
+    /// The rank on `node` moves to `replacement` (itself, after a reboot
+    /// or reconnect): the barrier can close again once every rank is up.
+    WorkerReplaced {
+        /// Node the dead worker occupied.
+        node: u32,
+        /// Node the rank runs on from now on.
+        replacement: u32,
+    },
 }
 
 /// A bulk-synchronous parallel job as an engine component.
@@ -112,6 +174,9 @@ pub struct BspJobComponent {
     message_bytes: u64,
     started: Option<SimTime>,
     finished: Option<SimTime>,
+    down: BTreeSet<usize>,
+    paused_at: Option<SimTime>,
+    fault_stall: SimDuration,
 }
 
 impl BspJobComponent {
@@ -139,6 +204,9 @@ impl BspJobComponent {
             message_bytes,
             started: None,
             finished: None,
+            down: BTreeSet::new(),
+            paused_at: None,
+            fault_stall: SimDuration::ZERO,
         }
     }
 
@@ -152,12 +220,47 @@ impl BspJobComponent {
     pub fn makespan(&self) -> Option<SimDuration> {
         Some(self.finished?.saturating_since(self.started?))
     }
+
+    /// Total time spent stalled at a barrier waiting for a dead worker's
+    /// replacement.
+    pub fn fault_stall(&self) -> SimDuration {
+        self.fault_stall
+    }
 }
 
 impl<M: EventCast<JobEvent> + 'static> Component<M> for BspJobComponent {
     fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M) {
-        let JobEvent::Round = event.downcast();
+        match event.downcast() {
+            JobEvent::Round => {}
+            JobEvent::WorkerDown(node) => {
+                if let Some(w) = self.worker_nodes.iter().position(|&n| n == node) {
+                    self.down.insert(w);
+                }
+                return;
+            }
+            JobEvent::WorkerReplaced { node, replacement } => {
+                if let Some(w) = self.worker_nodes.iter().position(|&n| n == node) {
+                    self.worker_nodes[w] = replacement;
+                    if self.down.remove(&w) && self.down.is_empty() {
+                        if let Some(paused) = self.paused_at.take() {
+                            let now = ctx.now();
+                            self.fault_stall += now.saturating_since(paused);
+                            ctx.schedule_at(now, M::upcast(JobEvent::Round));
+                        }
+                    }
+                }
+                return;
+            }
+        }
         if self.done_rounds >= self.rounds {
+            return;
+        }
+        if !self.down.is_empty() {
+            // A rank is dead: the barrier cannot close. Park here; the
+            // replacement's arrival restarts the round chain.
+            if self.paused_at.is_none() {
+                self.paused_at = Some(ctx.now());
+            }
             return;
         }
         let now = ctx.now();
@@ -302,6 +405,18 @@ pub struct ScenarioSpec {
     pub horizon: SimDuration,
     /// Master seed for the generated traces.
     pub seed: u64,
+    /// Scripted faults injected during the run (empty = never fails, and
+    /// the fault machinery schedules no events at all).
+    pub faults: FaultPlan,
+    /// Mirror every network-RAM page on a second host, halving pool
+    /// capacity but surviving a single host crash without page loss.
+    pub netram_mirrored: bool,
+    /// Heartbeat interval of the failure detector.
+    pub fault_heartbeat: SimDuration,
+    /// Delay between detecting a dead worker and its spare taking over.
+    pub fault_restart_delay: SimDuration,
+    /// Reconstruction data streamed per replaced disk, MB.
+    pub raid_rebuild_mb: u64,
 }
 
 impl ScenarioSpec {
@@ -329,6 +444,11 @@ impl ScenarioSpec {
             background_interval: SimDuration::from_micros(500),
             horizon: SimDuration::from_secs(4),
             seed: 42,
+            faults: FaultPlan::new(),
+            netram_mirrored: false,
+            fault_heartbeat: SimDuration::from_millis(50),
+            fault_restart_delay: SimDuration::from_millis(100),
+            raid_rebuild_mb: 8,
         }
     }
 }
@@ -349,6 +469,8 @@ pub struct ScenarioOutcome {
     pub background_frames: u64,
     /// Mean background frame latency, µs (`None` with no flows).
     pub mean_background_latency_us: Option<f64>,
+    /// Fault injection, detection, and recovery statistics.
+    pub faults: FaultOutcome,
 }
 
 impl NowCluster {
@@ -364,6 +486,17 @@ impl NowCluster {
     /// Panics if the node allocation does not fit: the cluster needs
     /// `job_workers + netram_hosts + 2` nodes or more.
     pub fn run_scenario(&self, spec: &ScenarioSpec) -> ScenarioOutcome {
+        self.run_scenario_probed(spec, &Probe::disabled())
+    }
+
+    /// [`run_scenario`](Self::run_scenario) with a telemetry probe: the
+    /// fault machinery counts `fault.injected[.kind]`, `fault.detected`,
+    /// `fault.restarts`, and `fault.rebuild_chunks` on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`run_scenario`](Self::run_scenario).
+    pub fn run_scenario_probed(&self, spec: &ScenarioSpec, probe: &Probe) -> ScenarioOutcome {
         let n = self.nodes();
         let k = spec.job_workers;
         let h = spec.netram_hosts;
@@ -403,9 +536,13 @@ impl NowCluster {
             ..MultigridConfig::paper_defaults()
         };
         let pages = spec.paging_problem_mb * 1024 * 1024 / PAGE_BYTES;
+        let mut built_pager = memory.build_pager();
+        if spec.netram_mirrored {
+            built_pager.set_netram_mirrored(true);
+        }
         let solver_id = engine.register(
             MultigridComponent::new(
-                memory.build_pager(),
+                built_pager,
                 app.compute_per_page(),
                 pages,
                 u64::from(app.sweeps) * pages,
@@ -443,6 +580,49 @@ impl NowCluster {
             SimTime::ZERO + spec.horizon,
         ));
 
+        // Fault machinery. Nodes past the netram hosts (and before the
+        // server) are idle: the first few are held as spares for dead
+        // workers, the rest carry the storage array's disks.
+        let idle: Vec<u32> = (k + h + 1..n.saturating_sub(1)).collect();
+        let spare_count = SPARE_NODES.min(idle.len());
+        // Reverse so `pop` dispatches the lowest-numbered spare first.
+        let spares: Vec<u32> = idle[..spare_count].iter().rev().copied().collect();
+        let mut storage: Vec<u32> = idle[spare_count..].to_vec();
+        if storage.is_empty() {
+            storage.push(server_node);
+        }
+        let membership = MembershipConfig {
+            heartbeat: spec.fault_heartbeat,
+            ..MembershipConfig::default()
+        };
+        let detection_window = spec.fault_heartbeat * u64::from(membership.miss_limit + 1);
+        let tick_until = spec.faults.last_time().unwrap_or(SimTime::ZERO)
+            + detection_window
+            + spec.fault_restart_delay
+            + spec.fault_heartbeat * 2;
+        let mut control = ClusterControl::new(
+            n,
+            membership,
+            spec.fault_restart_delay,
+            spec.raid_rebuild_mb * 1024 * 1024,
+            ControlWiring {
+                job_id,
+                solver_id,
+                cache_id,
+                workers: worker_nodes.clone(),
+                host_base: k + 1,
+                hosts: h,
+                spares,
+                storage,
+            },
+            tick_until,
+        );
+        control.set_probe(probe.clone());
+        let control_id = engine.register(control);
+        let mut injector = FaultInjectorComponent::new(spec.faults.clone(), vec![control_id]);
+        injector.set_probe(probe.clone());
+        let injector_id = engine.register(injector);
+
         // Seed in fixed order: job, solver, cache, traffic.
         engine.schedule_at(job_id, SimTime::ZERO, ScenarioEvent::Job(JobEvent::Round));
         engine.schedule_at(
@@ -460,19 +640,47 @@ impl NowCluster {
                 ScenarioEvent::Traffic(TrafficEvent::Tick),
             );
         }
+        // With no faults scheduled, the injector and control receive zero
+        // events: the run's history is byte-identical to a fault-free
+        // build of the engine.
+        if let Some(first_fault) = spec.faults.first_time() {
+            engine.schedule_at(
+                injector_id,
+                first_fault,
+                ScenarioEvent::Inject(InjectorEvent::Fire),
+            );
+            engine.schedule_at(
+                control_id,
+                SimTime::ZERO + spec.fault_heartbeat,
+                ScenarioEvent::Control(ControlEvent::Tick),
+            );
+        }
 
         engine.run();
 
         let job = engine.component::<BspJobComponent>(job_id);
         let solver = engine.component::<MultigridComponent>(solver_id);
         let traffic = engine.component::<TrafficComponent>(traffic_id);
+        let control = engine.component::<ClusterControl>(control_id);
+        let injector = engine.component::<FaultInjectorComponent>(injector_id);
         ScenarioOutcome {
-            job_makespan: job.makespan().expect("the BSP job runs to completion"),
+            job_makespan: job.makespan().expect(
+                "the BSP job runs to completion (a crashed worker needs a \
+                 spare or a scripted reboot)",
+            ),
             mean_netram_fetch_us: solver.mean_netram_fetch_us(),
             paging: solver.result(),
             cache: engine.component::<CacheComponent>(cache_id).result(),
             background_frames: traffic.frames(),
             mean_background_latency_us: traffic.mean_latency_us(),
+            faults: FaultOutcome {
+                injected: injector.injected(),
+                detected: control.detected(),
+                mean_detection_ms: control.mean_detection_ms(),
+                restarts: control.restarts(),
+                rebuilt_bytes: control.rebuilt_bytes(),
+                job_stall: job.fault_stall(),
+            },
         }
     }
 }
@@ -541,6 +749,123 @@ mod tests {
         let a = cluster().run_scenario(&spec);
         let b = cluster().run_scenario(&spec);
         assert_eq!(a, b);
+    }
+
+    /// Crash + reboot of an idle spare workstation: every fault is
+    /// injected and detected, but no subsystem's performance moves — the
+    /// outcome's performance fields are byte-identical to the fault-free
+    /// run's.
+    #[test]
+    fn quiescent_fault_leaves_the_scenario_outcome_identical() {
+        let spec = small_spec();
+        let clean = cluster().run_scenario(&spec);
+        // Node 17 = first idle node after 8 workers + pager + 8 hosts: a
+        // spare, not assigned to any subsystem.
+        let faulted = cluster().run_scenario(&ScenarioSpec {
+            faults: FaultPlan::new()
+                .at(SimTime::from_millis(200), Fault::NodeCrash { node: 17 })
+                .at(SimTime::from_millis(400), Fault::NodeReboot { node: 17 }),
+            ..spec.clone()
+        });
+        assert_eq!(faulted.faults.injected, 2);
+        assert_eq!(faulted.faults.detected, 1, "the crash must be detected");
+        assert_eq!(faulted.job_makespan, clean.job_makespan);
+        assert_eq!(faulted.mean_netram_fetch_us, clean.mean_netram_fetch_us);
+        assert_eq!(faulted.paging, clean.paging);
+        assert_eq!(faulted.cache, clean.cache);
+        assert_eq!(faulted.background_frames, clean.background_frames);
+        assert_eq!(
+            faulted.mean_background_latency_us,
+            clean.mean_background_latency_us
+        );
+    }
+
+    /// A worker crash stalls the BSP job at the next barrier until the
+    /// detected failure dispatches a spare, which also takes over the
+    /// dead node's cache-client seat.
+    #[test]
+    fn worker_crash_stalls_the_job_until_a_spare_takes_over() {
+        let spec = small_spec();
+        let clean = cluster().run_scenario(&spec);
+        let faulted = cluster().run_scenario(&ScenarioSpec {
+            faults: FaultPlan::new().at(SimTime::from_millis(5), Fault::NodeCrash { node: 0 }),
+            ..spec
+        });
+        assert_eq!(faulted.faults.restarts, 1, "a spare must be dispatched");
+        assert!(
+            faulted.faults.job_stall > SimDuration::ZERO,
+            "the barrier must stall while rank 0 is dead"
+        );
+        assert!(
+            faulted.job_makespan >= clean.job_makespan + faulted.faults.job_stall,
+            "the stall shows up in the makespan: {:?} vs {:?} + {:?}",
+            faulted.job_makespan,
+            clean.job_makespan,
+            faulted.faults.job_stall
+        );
+        assert!(
+            faulted.cache.invalidated_blocks > 0 || faulted.cache.skipped_accesses > 0,
+            "the dead node's cache client must feel the crash"
+        );
+    }
+
+    /// A netram host crash destroys the single-copy pages it held; the
+    /// mirrored pool survives the same crash without losing any.
+    #[test]
+    fn netram_host_crash_loses_pages_unless_mirrored() {
+        let spec = ScenarioSpec {
+            // 500 ms: the first sweep has filled local DRAM (~314 ms in at
+            // ~307 µs/page) and is spilling overflow round-robin across
+            // the netram hosts.
+            faults: FaultPlan::new().at(SimTime::from_millis(500), Fault::NodeCrash { node: 9 }),
+            ..small_spec()
+        };
+        let plain = cluster().run_scenario(&spec);
+        assert!(
+            plain.paging.pager.host_lost_pages > 0,
+            "host 9 (pool slot 0) must hold pages when it dies"
+        );
+        let mirrored = cluster().run_scenario(&ScenarioSpec {
+            netram_mirrored: true,
+            ..spec
+        });
+        assert_eq!(
+            mirrored.paging.pager.host_lost_pages, 0,
+            "every page on the dead host must have a surviving mirror"
+        );
+    }
+
+    /// A disk failure puts the cache's server disk in degraded mode;
+    /// the replacement streams reconstruction data over the shared
+    /// fabric before service returns to normal.
+    #[test]
+    fn disk_failure_degrades_reads_and_rebuild_streams_the_fabric() {
+        let spec = ScenarioSpec {
+            faults: FaultPlan::new()
+                .at(SimTime::from_millis(1), Fault::DiskFail { disk: 0 })
+                .at(SimTime::from_millis(500), Fault::DiskReplace { disk: 0 }),
+            ..small_spec()
+        };
+        let out = cluster().run_scenario(&spec);
+        assert!(
+            out.cache.degraded_reads > 0,
+            "disk reads during the outage must pay the degraded penalty"
+        );
+        assert_eq!(
+            out.faults.rebuilt_bytes,
+            spec.raid_rebuild_mb * 1024 * 1024,
+            "the full reconstruction must stream"
+        );
+        let clean = cluster().run_scenario(&ScenarioSpec {
+            faults: FaultPlan::new(),
+            ..spec
+        });
+        assert!(
+            out.cache.read_time > clean.cache.read_time,
+            "degraded reads cost more: {:?} vs {:?}",
+            out.cache.read_time,
+            clean.cache.read_time
+        );
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! # now-fault — deterministic fault injection for the simulated NOW
+//!
+//! The paper's availability case — serverless storage and network RAM
+//! survive workstation crashes that kill a central server — needs nodes
+//! that actually die. This crate supplies the machinery:
+//!
+//! * [`Fault`] / [`FaultPlan`] — a typed, time-ordered schedule of node
+//!   crashes and reboots, link partitions, and disk failures/replacements.
+//!   Plans are scripted by hand or drawn from the exponential MTTF/MTTR
+//!   constants of [`now_raid::availability::FailureModel`] with a seeded
+//!   [`now_sim::SimRng`], so every replay is identical.
+//! * [`FaultInjectorComponent`] — an engine [`now_sim::Component`] that
+//!   walks the plan and broadcasts each fault to subscriber components at
+//!   its scripted instant.
+//! * [`HeartbeatMonitor`] — a [`now_glunix::membership::Membership`]-backed
+//!   failure detector: crashed nodes go silent and are *detected* only
+//!   after the configured miss limit, not known instantly.
+//! * [`montecarlo`] — Monte-Carlo estimates of time-to-data-loss and
+//!   service MTTF that cross-check the closed forms in
+//!   [`now_raid::availability`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inject;
+mod monitor;
+mod plan;
+
+pub mod montecarlo;
+
+pub use inject::{FaultInjectorComponent, InjectorEvent};
+pub use monitor::HeartbeatMonitor;
+pub use plan::{Fault, FaultPlan};

@@ -1,0 +1,142 @@
+//! Heartbeat-driven failure detection.
+
+use std::collections::BTreeSet;
+
+use now_glunix::membership::{Membership, MembershipConfig, NodeState};
+use now_sim::{SimDuration, SimTime};
+
+/// A [`Membership`]-backed failure detector for fault scenarios.
+///
+/// Injected faults take physical effect at the injection instant (pages
+/// vanish, a worker stops computing), but the *cluster* only learns about
+/// them the way GLUnix does: a crashed or partitioned node stops
+/// heartbeating and is declared failed after
+/// [`MembershipConfig::miss_limit`] silent intervals. The monitor tracks
+/// which nodes the injector has silenced and, on every heartbeat tick,
+/// heartbeats the rest and sweeps for newly detected failures.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    membership: Membership,
+    config: MembershipConfig,
+    nodes: u32,
+    silenced: BTreeSet<u32>,
+}
+
+impl HeartbeatMonitor {
+    /// Boots a monitor over nodes `0..nodes`, all up and heartbeating.
+    pub fn new(nodes: u32, config: MembershipConfig) -> Self {
+        HeartbeatMonitor {
+            membership: Membership::new(nodes, config),
+            config,
+            nodes,
+            silenced: BTreeSet::new(),
+        }
+    }
+
+    /// The membership configuration in use.
+    pub fn config(&self) -> MembershipConfig {
+        self.config
+    }
+
+    /// A node stops heartbeating (crash or link partition). Detection
+    /// happens later, via [`tick`](Self::tick).
+    pub fn silence(&mut self, node: u32) {
+        self.silenced.insert(node);
+    }
+
+    /// A silenced node resumes heartbeating (reboot finished or link
+    /// restored). It rejoins membership immediately — the first heartbeat
+    /// resurrects a `Failed` node.
+    pub fn unsilence(&mut self, node: u32, now: SimTime) {
+        self.silenced.remove(&node);
+        self.membership.heartbeat(node, now);
+    }
+
+    /// One heartbeat interval elapses at `now`: every un-silenced node
+    /// heartbeats, then the sweep declares nodes silent past the miss
+    /// limit failed. Returns the newly detected failures, in node order.
+    pub fn tick(&mut self, now: SimTime) -> Vec<u32> {
+        for node in 0..self.nodes {
+            if !self.silenced.contains(&node) {
+                self.membership.heartbeat(node, now);
+            }
+        }
+        self.membership.sweep(now)
+    }
+
+    /// Whether `node` is currently believed up.
+    pub fn is_up(&self, node: u32) -> bool {
+        self.membership.state(node) == Some(NodeState::Up)
+    }
+
+    /// Worst-case delay between a node falling silent and the sweep
+    /// declaring it failed: the miss limit plus the partial interval the
+    /// crash landed in.
+    pub fn detection_window(&self) -> SimDuration {
+        self.config.heartbeat * u64::from(self.config.miss_limit + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_100ms() -> MembershipConfig {
+        MembershipConfig {
+            heartbeat: SimDuration::from_millis(100),
+            miss_limit: 3,
+            ..MembershipConfig::default()
+        }
+    }
+
+    #[test]
+    fn silent_node_is_detected_after_miss_limit() {
+        let mut m = HeartbeatMonitor::new(4, cfg_100ms());
+        m.silence(2);
+        let mut detected = Vec::new();
+        for i in 1..=6u64 {
+            let now = SimTime::from_millis(100 * i);
+            for n in m.tick(now) {
+                detected.push((now, n));
+            }
+        }
+        // Silent since t=0, limit 300 ms: the t=400 ms sweep is the first
+        // where the silence exceeds it.
+        assert_eq!(detected, vec![(SimTime::from_millis(400), 2)]);
+        assert!(!m.is_up(2));
+        assert!(m.is_up(0));
+    }
+
+    #[test]
+    fn unsilenced_node_rejoins_immediately() {
+        let mut m = HeartbeatMonitor::new(2, cfg_100ms());
+        m.silence(1);
+        for i in 1..=5u64 {
+            m.tick(SimTime::from_millis(100 * i));
+        }
+        assert!(!m.is_up(1));
+        m.unsilence(1, SimTime::from_millis(600));
+        assert!(m.is_up(1));
+        // And it stays up through later sweeps.
+        assert!(m.tick(SimTime::from_millis(700)).is_empty());
+        assert!(m.is_up(1));
+    }
+
+    #[test]
+    fn detection_window_bounds_the_delay() {
+        let mut m = HeartbeatMonitor::new(2, cfg_100ms());
+        let crash_at = SimTime::from_millis(50);
+        m.silence(1);
+        let window = m.detection_window();
+        let mut detected_at = None;
+        for i in 1..=10u64 {
+            let now = SimTime::from_millis(100 * i);
+            if m.tick(now).contains(&1) {
+                detected_at = Some(now);
+                break;
+            }
+        }
+        let detected_at = detected_at.expect("crash must be detected");
+        assert!(detected_at.saturating_since(crash_at) <= window);
+    }
+}

@@ -1,0 +1,165 @@
+//! Monte-Carlo availability estimates cross-checking the closed forms.
+//!
+//! [`now_raid::availability::FailureModel`] gives the paper's
+//! back-of-envelope formulas; these estimators *simulate* the same
+//! failure/repair processes with exponential draws from a seeded
+//! [`SimRng`] and average over many trials. Agreement between the two is
+//! the `repro availability` report's first table.
+
+use now_raid::availability::FailureModel;
+use now_sim::SimRng;
+
+/// Monte-Carlo mean time to data loss (hours) of an `n`-disk RAID-5.
+///
+/// Each trial alternates: wait for a first disk failure (rate `n/MTTF`),
+/// then race the repair (mean `mttr_hours`) against a second failure
+/// among the surviving `n-1` disks. Data is lost when the second failure
+/// wins. Exponentials are memoryless, so surviving disks need no age
+/// bookkeeping.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `trials == 0`.
+pub fn raid5_mttdl_hours(model: &FailureModel, n: u32, trials: u32, seed: u64) -> f64 {
+    assert!(n >= 2, "a parity group needs at least two disks");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = SimRng::new(seed);
+    let mut total = 0.0;
+    for _ in 0..trials {
+        total += raid5_trial(model, f64::from(n), &mut rng);
+    }
+    total / f64::from(trials)
+}
+
+fn raid5_trial(model: &FailureModel, n: f64, rng: &mut SimRng) -> f64 {
+    let mut t = 0.0;
+    loop {
+        t += rng.exponential(model.disk_mttf_hours / n);
+        let repair = rng.exponential(model.mttr_hours);
+        let second = rng.exponential(model.disk_mttf_hours / (n - 1.0));
+        if second < repair {
+            return t + second;
+        }
+        t += repair;
+    }
+}
+
+/// Monte-Carlo mean time to service loss (hours) of the serverless
+/// software RAID on `n` workstation nodes.
+///
+/// A node outage is either a disk failure (outage lasts a replacement
+/// cycle) or a host crash (outage lasts a reboot); service is lost when a
+/// second node goes out while the first is still down.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `trials == 0`.
+pub fn software_service_mttf_hours(model: &FailureModel, n: u32, trials: u32, seed: u64) -> f64 {
+    assert!(n >= 2, "serverless RAID needs at least two nodes");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = SimRng::new(seed);
+    let node_rate = 1.0 / model.disk_mttf_hours + 1.0 / model.host_mttf_hours;
+    let disk_share = (1.0 / model.disk_mttf_hours) / node_rate;
+    let nf = f64::from(n);
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let mut t = 0.0;
+        loop {
+            t += rng.exponential(1.0 / (nf * node_rate));
+            let outage = if rng.chance(disk_share) {
+                rng.exponential(model.mttr_hours)
+            } else {
+                rng.exponential(model.reboot_hours)
+            };
+            let second = rng.exponential(1.0 / ((nf - 1.0) * node_rate));
+            if second < outage {
+                total += t + second;
+                break;
+            }
+            t += outage;
+        }
+    }
+    total / f64::from(trials)
+}
+
+/// Monte-Carlo mean time to service loss (hours) of a hardware RAID-5
+/// behind a single host: whichever comes first, the double disk failure
+/// or the host crash.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `trials == 0`.
+pub fn hardware_service_mttf_hours(model: &FailureModel, n: u32, trials: u32, seed: u64) -> f64 {
+    assert!(n >= 2, "a parity group needs at least two disks");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = SimRng::new(seed);
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let host = rng.exponential(model.host_mttf_hours);
+        let raid = raid5_trial(model, f64::from(n), &mut rng);
+        total += host.min(raid);
+    }
+    total / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Relative error between a Monte-Carlo estimate and a closed form.
+    fn rel_err(mc: f64, closed: f64) -> f64 {
+        (mc - closed).abs() / closed
+    }
+
+    #[test]
+    fn raid5_mttdl_matches_closed_form() {
+        let m = FailureModel::paper_defaults();
+        for n in [8, 16] {
+            let mc = raid5_mttdl_hours(&m, n, 2_000, 42);
+            let closed = m.raid5_mttdl_hours(n);
+            assert!(
+                rel_err(mc, closed) < 0.15,
+                "n={n}: MC {mc:.0} h vs closed {closed:.0} h"
+            );
+        }
+    }
+
+    #[test]
+    fn software_service_matches_closed_form() {
+        let m = FailureModel::paper_defaults();
+        for n in [8, 16] {
+            let mc = software_service_mttf_hours(&m, n, 2_000, 42);
+            let closed = m.software_raid_service_mttf_hours(n);
+            assert!(
+                rel_err(mc, closed) < 0.15,
+                "n={n}: MC {mc:.0} h vs closed {closed:.0} h"
+            );
+        }
+    }
+
+    #[test]
+    fn hardware_service_matches_closed_form() {
+        let m = FailureModel::paper_defaults();
+        for n in [8, 16] {
+            let mc = hardware_service_mttf_hours(&m, n, 2_000, 42);
+            let closed = m.hardware_raid_service_mttf_hours(n);
+            assert!(
+                rel_err(mc, closed) < 0.15,
+                "n={n}: MC {mc:.0} h vs closed {closed:.0} h"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_seed() {
+        let m = FailureModel::paper_defaults();
+        assert_eq!(
+            raid5_mttdl_hours(&m, 8, 500, 7),
+            raid5_mttdl_hours(&m, 8, 500, 7)
+        );
+        assert_ne!(
+            raid5_mttdl_hours(&m, 8, 500, 7),
+            raid5_mttdl_hours(&m, 8, 500, 8)
+        );
+    }
+}

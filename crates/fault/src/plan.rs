@@ -1,0 +1,264 @@
+//! Typed faults and time-ordered fault schedules.
+
+use now_raid::availability::FailureModel;
+use now_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+const NANOS_PER_HOUR: f64 = 3.6e12;
+
+/// One fault (or repair) aimed at a cluster element.
+///
+/// Crashes lose volatile state; link faults only silence a node — its
+/// memory survives the partition. Disk faults degrade the storage array
+/// until a replacement arrives and reconstruction completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// A workstation dies: DRAM contents and cached state vanish.
+    NodeCrash {
+        /// The cluster node that crashes.
+        node: u32,
+    },
+    /// A crashed workstation finishes rebooting and rejoins, cold.
+    NodeReboot {
+        /// The node that comes back.
+        node: u32,
+    },
+    /// A node's network link goes down: the node falls silent but its
+    /// memory is intact.
+    LinkDown {
+        /// The partitioned node.
+        node: u32,
+    },
+    /// The partitioned node's link comes back.
+    LinkUp {
+        /// The node that reconnects.
+        node: u32,
+    },
+    /// One disk of the storage stripe fails; the array runs degraded.
+    DiskFail {
+        /// Index of the failed disk within the array.
+        disk: u32,
+    },
+    /// A replacement disk arrives and reconstruction traffic begins.
+    DiskReplace {
+        /// Index of the replaced disk.
+        disk: u32,
+    },
+}
+
+impl Fault {
+    /// Whether this event is a repair (reboot, link up, disk replace)
+    /// rather than a failure.
+    pub fn is_repair(&self) -> bool {
+        matches!(
+            self,
+            Fault::NodeReboot { .. } | Fault::LinkUp { .. } | Fault::DiskReplace { .. }
+        )
+    }
+}
+
+/// A time-ordered schedule of faults.
+///
+/// Events at equal times keep insertion order, so a plan built the same
+/// way injects in the same order — the whole subsystem is replayable.
+///
+/// # Example
+///
+/// ```
+/// use now_fault::{Fault, FaultPlan};
+/// use now_sim::SimTime;
+///
+/// let plan = FaultPlan::new()
+///     .at(SimTime::from_millis(100), Fault::NodeCrash { node: 3 })
+///     .at(SimTime::from_millis(400), Fault::NodeReboot { node: 3 });
+/// assert_eq!(plan.len(), 2);
+/// assert_eq!(plan.first_time(), Some(SimTime::from_millis(100)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan: the cluster never fails.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder form of [`push`](Self::push).
+    #[must_use]
+    pub fn at(mut self, time: SimTime, fault: Fault) -> Self {
+        self.push(time, fault);
+        self
+    }
+
+    /// Inserts `fault` at `time`, keeping the schedule sorted; among
+    /// equal times, earlier insertions fire first.
+    pub fn push(&mut self, time: SimTime, fault: Fault) {
+        let idx = self.events.partition_point(|&(t, _)| t <= time);
+        self.events.insert(idx, (time, fault));
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Time of the first event, if any.
+    pub fn first_time(&self) -> Option<SimTime> {
+        self.events.first().map(|&(t, _)| t)
+    }
+
+    /// Time of the last event, if any.
+    pub fn last_time(&self) -> Option<SimTime> {
+        self.events.last().map(|&(t, _)| t)
+    }
+
+    /// The full schedule, in firing order.
+    pub fn events(&self) -> &[(SimTime, Fault)] {
+        &self.events
+    }
+
+    /// Draws a crash/reboot and disk-failure schedule over `horizon` from
+    /// the exponential MTTF/MTTR model. Each host in `hosts` alternates
+    /// exponential uptimes (mean `host_mttf_hours`) and reboot outages
+    /// (mean `reboot_hours`); each disk in `disks` alternates disk
+    /// lifetimes and replacement cycles. The draws come from a single
+    /// seeded [`SimRng`], so the same arguments always produce the same
+    /// plan.
+    pub fn from_model(
+        model: &FailureModel,
+        hosts: &[u32],
+        disks: &[u32],
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SimRng::new(seed);
+        let horizon_h = horizon.as_micros_f64() * 1e3 / NANOS_PER_HOUR;
+        let mut plan = FaultPlan::new();
+        let mut alternate = |up_mean: f64,
+                             down_mean: f64,
+                             fail: &dyn Fn() -> Fault,
+                             repair: &dyn Fn() -> Fault,
+                             rng: &mut SimRng| {
+            let mut t_h = 0.0;
+            loop {
+                t_h += rng.exponential(up_mean);
+                if t_h >= horizon_h {
+                    break;
+                }
+                plan.push(hours_to_time(t_h), fail());
+                t_h += rng.exponential(down_mean);
+                if t_h >= horizon_h {
+                    break;
+                }
+                plan.push(hours_to_time(t_h), repair());
+            }
+        };
+        for &node in hosts {
+            alternate(
+                model.host_mttf_hours,
+                model.reboot_hours,
+                &|| Fault::NodeCrash { node },
+                &|| Fault::NodeReboot { node },
+                &mut rng,
+            );
+        }
+        for &disk in disks {
+            alternate(
+                model.disk_mttf_hours,
+                model.mttr_hours,
+                &|| Fault::DiskFail { disk },
+                &|| Fault::DiskReplace { disk },
+                &mut rng,
+            );
+        }
+        plan
+    }
+}
+
+/// Converts simulated hours (bounded by the caller's horizon) to a
+/// [`SimTime`].
+fn hours_to_time(hours: f64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_micros_f64(hours * NANOS_PER_HOUR / 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_time_order_and_fifo_ties() {
+        let mut p = FaultPlan::new();
+        p.push(SimTime::from_millis(5), Fault::NodeCrash { node: 1 });
+        p.push(SimTime::from_millis(1), Fault::DiskFail { disk: 0 });
+        p.push(SimTime::from_millis(5), Fault::LinkDown { node: 2 });
+        let times: Vec<_> = p.events().iter().map(|&(t, _)| t).collect();
+        assert_eq!(
+            times,
+            vec![
+                SimTime::from_millis(1),
+                SimTime::from_millis(5),
+                SimTime::from_millis(5)
+            ]
+        );
+        // FIFO among the two t=5 events.
+        assert_eq!(p.events()[1].1, Fault::NodeCrash { node: 1 });
+        assert_eq!(p.events()[2].1, Fault::LinkDown { node: 2 });
+    }
+
+    #[test]
+    fn from_model_is_deterministic_and_sorted() {
+        let m = FailureModel::paper_defaults();
+        // Ten thousand hours: each 1,000-hour-MTTF host crashes ~10 times.
+        let horizon = SimDuration::from_secs(10_000 * 3600);
+        let a = FaultPlan::from_model(&m, &[0, 1, 2], &[0, 1], horizon, 7);
+        let b = FaultPlan::from_model(&m, &[0, 1, 2], &[0, 1], horizon, 7);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(
+            a.events().windows(2).all(|w| w[0].0 <= w[1].0),
+            "plan must be sorted"
+        );
+        let c = FaultPlan::from_model(&m, &[0, 1, 2], &[0, 1], horizon, 8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn from_model_alternates_fail_and_repair_per_element() {
+        let m = FailureModel::paper_defaults();
+        let horizon = SimDuration::from_secs(20_000 * 3600);
+        let plan = FaultPlan::from_model(&m, &[4], &[], horizon, 11);
+        let mut down = false;
+        for &(_, f) in plan.events() {
+            match f {
+                Fault::NodeCrash { node } => {
+                    assert_eq!(node, 4);
+                    assert!(!down, "crash while already down");
+                    down = true;
+                }
+                Fault::NodeReboot { node } => {
+                    assert_eq!(node, 4);
+                    assert!(down, "reboot while up");
+                    down = false;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn repairs_are_classified() {
+        assert!(!Fault::NodeCrash { node: 0 }.is_repair());
+        assert!(Fault::NodeReboot { node: 0 }.is_repair());
+        assert!(!Fault::DiskFail { disk: 0 }.is_repair());
+        assert!(Fault::DiskReplace { disk: 0 }.is_repair());
+        assert!(!Fault::LinkDown { node: 0 }.is_repair());
+        assert!(Fault::LinkUp { node: 0 }.is_repair());
+    }
+}

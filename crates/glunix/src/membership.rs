@@ -67,8 +67,15 @@ impl Membership {
     }
 
     /// Records a heartbeat from `node` at `now`. A failed node that
-    /// heartbeats again has rebooted and rejoins.
+    /// heartbeats again has rebooted and rejoins. A node that was
+    /// administratively [`remove`](Self::remove)d stays removed: a stray
+    /// heartbeat from hardware on its way out must not resurrect it —
+    /// rejoining after a hot-swap requires an explicit
+    /// [`add`](Self::add).
     pub fn heartbeat(&mut self, node: u32, now: SimTime) {
+        if self.state.get(&node) == Some(&NodeState::Removed) {
+            return;
+        }
         self.last_heard.insert(node, now);
         self.state.insert(node, NodeState::Up);
     }
@@ -197,6 +204,19 @@ mod tests {
         assert_eq!(m.up_nodes(), vec![0]);
         m.add(5, SimTime::from_secs(1));
         assert_eq!(m.up_nodes(), vec![0, 5]);
+    }
+
+    #[test]
+    fn removed_node_heartbeat_is_ignored() {
+        let mut m = Membership::new(2, MembershipConfig::default());
+        m.remove(1);
+        // A stray heartbeat from the swapped-out box must not resurrect it.
+        m.heartbeat(1, SimTime::from_secs(5));
+        assert_eq!(m.state(1), Some(NodeState::Removed));
+        assert_eq!(m.up_nodes(), vec![0]);
+        // An explicit hot-add does bring it back.
+        m.add(1, SimTime::from_secs(6));
+        assert_eq!(m.state(1), Some(NodeState::Up));
     }
 
     #[test]

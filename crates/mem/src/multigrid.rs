@@ -129,11 +129,17 @@ impl MemoryConfig {
 }
 
 /// Events driving a [`MultigridComponent`]: each `Step` performs one page
-/// access and schedules the next.
+/// access and schedules the next; the host events deliver pool-membership
+/// changes from a fault coordinator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PageEvent {
     /// Access the next page of the sweep.
     Step,
+    /// A network-RAM host (by pool index) crashed: its pages are
+    /// destroyed, or survive via mirrors in mirrored mode.
+    HostCrashed(u32),
+    /// A crashed host rebooted and donates empty frames again.
+    HostRejoined(u32),
 }
 
 /// The multigrid solver as an engine [`Component`]: one page access per
@@ -267,7 +273,17 @@ impl MultigridComponent {
 
 impl<M: EventCast<PageEvent> + 'static> Component<M> for MultigridComponent {
     fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M) {
-        let PageEvent::Step = event.downcast();
+        match event.downcast() {
+            PageEvent::Step => {}
+            PageEvent::HostCrashed(host) => {
+                self.pager.handle_host_crash(host);
+                return;
+            }
+            PageEvent::HostRejoined(host) => {
+                self.pager.handle_host_rejoin(host);
+                return;
+            }
+        }
         if self.idx >= self.total_accesses {
             return;
         }

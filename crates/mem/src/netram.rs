@@ -8,7 +8,7 @@
 //! memory somewhere, and spills to disk when the building is out of free
 //! DRAM.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use now_net::Network;
 use now_probe::Probe;
@@ -68,6 +68,14 @@ impl RemoteAccessCost {
     }
 }
 
+/// Where a page lives in the pool: its primary host, plus an optional
+/// mirror copy on a second host when the pool runs in mirrored mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Placement {
+    primary: u32,
+    mirror: Option<u32>,
+}
+
 /// The building-wide pool of idle DRAM.
 ///
 /// # Example
@@ -86,11 +94,14 @@ pub struct NetworkRam {
     per_host_pages: u64,
     cost: RemoteAccessCost,
     page_bytes: u64,
-    /// Which host holds each page.
-    locations: HashMap<PageId, u32>,
+    /// Which host(s) hold each page. Ordered so iteration (host eviction,
+    /// debugging dumps) is identical across processes — a `HashMap` here
+    /// made fault replays differ run to run.
+    locations: BTreeMap<PageId, Placement>,
     /// Used pages per host.
     used: Vec<u64>,
     next_host: u32,
+    mirrored: bool,
     probe: Probe,
 }
 
@@ -109,18 +120,43 @@ impl NetworkRam {
             per_host_pages,
             cost,
             page_bytes,
-            locations: HashMap::new(),
+            locations: BTreeMap::new(),
             used: vec![0; hosts as usize],
             next_host: 0,
+            mirrored: false,
             probe: Probe::disabled(),
         }
     }
 
     /// Attaches a telemetry probe counting `netram.pages_out` (stores into
-    /// the pool), `netram.pages_in` (fetches back), and
-    /// `netram.pages_lost` (pages dropped when a donating host departs).
+    /// the pool), `netram.pages_in` (fetches back), `netram.pages_lost`
+    /// (pages dropped when a donating host departs), and
+    /// `netram.pages_mirror_saved` (pages that survived a departure via
+    /// their mirror copy).
     pub fn set_probe(&mut self, probe: Probe) {
         self.probe = probe;
+    }
+
+    /// Switches the pool to mirrored mode: every page is stored on two
+    /// distinct hosts, halving capacity but surviving any single host
+    /// crash without data loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool already holds pages (the mode is a construction
+    /// choice, not a runtime toggle) or has fewer than two hosts.
+    pub fn set_mirrored(&mut self, on: bool) {
+        assert!(
+            self.locations.is_empty(),
+            "mirroring must be chosen before any page is stored"
+        );
+        assert!(!on || self.hosts >= 2, "mirroring needs at least two hosts");
+        self.mirrored = on;
+    }
+
+    /// Whether the pool mirrors every page on a second host.
+    pub fn is_mirrored(&self) -> bool {
+        self.mirrored
     }
 
     /// Total free frames across the pool (departed hosts contribute none).
@@ -133,34 +169,62 @@ impl NetworkRam {
         self.locations.contains_key(&page)
     }
 
-    /// Stores `page` on some idle host (round-robin over hosts with room).
-    /// Returns `false` if the pool is full — the caller must spill to disk.
+    /// Stores `page` on some idle host (round-robin over hosts with room);
+    /// in mirrored mode a second copy goes to a distinct host. Returns
+    /// `false` if the pool is full — the caller must spill to disk. A
+    /// mirrored store that cannot find two hosts with room spills rather
+    /// than keep an unprotected single copy.
     pub fn store(&mut self, page: PageId) -> bool {
         if self.locations.contains_key(&page) {
             return true;
         }
+        let Some(primary) = self.claim_frame(None) else {
+            return false;
+        };
+        let mirror = if self.mirrored {
+            match self.claim_frame(Some(primary)) {
+                Some(m) => Some(m),
+                None => {
+                    self.used[primary as usize] -= 1;
+                    return false;
+                }
+            }
+        } else {
+            None
+        };
+        self.locations.insert(page, Placement { primary, mirror });
+        self.probe.count("netram.pages_out", 1);
+        true
+    }
+
+    /// Claims one free frame round-robin, skipping `exclude`.
+    fn claim_frame(&mut self, exclude: Option<u32>) -> Option<u32> {
         for _ in 0..self.hosts {
             let h = self.next_host;
             self.next_host = (self.next_host + 1) % self.hosts;
+            if Some(h) == exclude {
+                continue;
+            }
             if self.used[h as usize] < self.per_host_pages {
                 self.used[h as usize] += 1;
-                self.locations.insert(page, h);
-                self.probe.count("netram.pages_out", 1);
-                return true;
+                return Some(h);
             }
         }
-        false
+        None
     }
 
-    /// Removes `page` from the pool, freeing its frame, and returns the
-    /// host that held it — so a caller charging real fabric traffic knows
-    /// which node the page streams from. Returns `None` if the pool does
-    /// not hold the page.
+    /// Removes `page` from the pool, freeing its frame(s), and returns the
+    /// primary host that held it — so a caller charging real fabric
+    /// traffic knows which node the page streams from. Returns `None` if
+    /// the pool does not hold the page.
     pub fn take(&mut self, page: PageId) -> Option<u32> {
-        let host = self.locations.remove(&page)?;
-        self.used[host as usize] -= 1;
+        let place = self.locations.remove(&page)?;
+        self.used[place.primary as usize] -= 1;
+        if let Some(m) = place.mirror {
+            self.used[m as usize] -= 1;
+        }
         self.probe.count("netram.pages_in", 1);
-        Some(host)
+        Some(place.primary)
     }
 
     /// Fetches `page` back from the pool, freeing its frame. Returns the
@@ -180,25 +244,56 @@ impl NetworkRam {
         self.page_bytes
     }
 
-    /// A host departed (its user returned): all its pages are lost and the
-    /// ids that must be recovered from disk are returned. Capacity shrinks.
+    /// A host departed (its user returned, or it crashed): pages whose
+    /// only copy lived there are dropped and returned so the caller can
+    /// recover them; in mirrored mode the surviving copy is promoted and
+    /// the page stays resident. Capacity shrinks until
+    /// [`rejoin_host`](Self::rejoin_host). The returned ids are in page
+    /// order — `locations` iterates sorted, so the recovery order (and
+    /// anything downstream of it) is identical across processes.
     pub fn evict_host(&mut self, host: u32) -> Vec<PageId> {
         assert!(host < self.hosts, "host out of range");
-        let mut lost: Vec<PageId> = self
-            .locations
-            .iter()
-            .filter(|(_, &h)| h == host)
-            .map(|(&p, _)| p)
-            .collect();
-        // The map hashes by a per-process seed; sort so the recovery order
-        // (and anything downstream of it) is reproducible across runs.
-        lost.sort_unstable();
-        for p in &lost {
-            self.locations.remove(p);
-        }
+        let mut lost = Vec::new();
+        let mut saved = 0u64;
+        self.locations.retain(|&page, place| {
+            if place.primary == host {
+                match place.mirror.take() {
+                    Some(m) => {
+                        place.primary = m;
+                        saved += 1;
+                        true
+                    }
+                    None => {
+                        lost.push(page);
+                        false
+                    }
+                }
+            } else {
+                if place.mirror == Some(host) {
+                    place.mirror = None;
+                }
+                true
+            }
+        });
         self.used[host as usize] = self.per_host_pages; // mark unusable
         self.probe.count("netram.pages_lost", lost.len() as u64);
+        self.probe.count("netram.pages_mirror_saved", saved);
         lost
+    }
+
+    /// A departed host comes back (reboot, or its user left again): its
+    /// frames become usable and empty. Pages it held before departing are
+    /// *not* restored — [`evict_host`](Self::evict_host) already dropped
+    /// or promoted them.
+    pub fn rejoin_host(&mut self, host: u32) {
+        assert!(host < self.hosts, "host out of range");
+        debug_assert!(
+            self.locations
+                .values()
+                .all(|p| p.primary != host && p.mirror != Some(host)),
+            "rejoining host still referenced by placements"
+        );
+        self.used[host as usize] = 0;
     }
 }
 
@@ -292,6 +387,69 @@ mod tests {
         // Host 1's 4 frames are unusable; hosts 0 and 2 still hold 2 pages
         // each, leaving 2 free frames apiece.
         assert_eq!(p.free_pages(), 4);
+    }
+
+    #[test]
+    fn rejoined_host_donates_frames_again() {
+        let mut p = pool();
+        for i in 0..6 {
+            p.store(PageId(i));
+        }
+        let lost = p.evict_host(1);
+        assert_eq!(lost.len(), 2);
+        assert_eq!(p.free_pages(), 4);
+        p.rejoin_host(1);
+        // Host 1 is back with 4 empty frames; its old pages stay lost.
+        assert_eq!(p.free_pages(), 8);
+        for page in &lost {
+            assert!(!p.holds(*page));
+        }
+    }
+
+    #[test]
+    fn mirrored_pool_survives_a_host_crash() {
+        let mut p = pool();
+        p.set_mirrored(true);
+        for i in 0..4 {
+            assert!(p.store(PageId(i)));
+        }
+        // 8 of 12 frames consumed: two copies per page.
+        assert_eq!(p.free_pages(), 4);
+        let lost = p.evict_host(0);
+        assert!(
+            lost.is_empty(),
+            "mirror copies must cover the crash: {lost:?}"
+        );
+        for i in 0..4 {
+            assert!(p.holds(PageId(i)));
+        }
+        // Every page is still fetchable from its surviving copy.
+        for i in 0..4 {
+            assert!(p.fetch(PageId(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn mirrored_store_spills_rather_than_single_copy() {
+        // Two hosts, one frame each: the second mirrored page cannot get
+        // two distinct frames, so the store must refuse (spill to disk).
+        let mut p = NetworkRam::new(2, 1, RemoteAccessCost::table2_atm(), 8_192);
+        p.set_mirrored(true);
+        assert!(p.store(PageId(0)));
+        assert_eq!(p.free_pages(), 0);
+        assert!(!p.store(PageId(1)));
+    }
+
+    #[test]
+    fn mirrored_pool_halves_capacity() {
+        let mut p = pool();
+        p.set_mirrored(true);
+        let mut stored = 0;
+        while p.store(PageId(stored)) {
+            stored += 1;
+        }
+        // 12 frames, 2 per page.
+        assert_eq!(stored, 6);
     }
 
     #[test]

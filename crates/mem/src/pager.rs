@@ -99,6 +99,9 @@ pub struct PagerStats {
     pub writebacks: u64,
     /// Remote pages relocated to disk because their host left the pool.
     pub host_evicted_pages: u64,
+    /// Remote pages destroyed outright because their host *crashed*
+    /// (no warning, no relocation); their contents must be regenerated.
+    pub host_lost_pages: u64,
     /// Total processor stall charged to paging.
     pub stall: SimDuration,
 }
@@ -197,6 +200,46 @@ impl Pager {
             for page in lost {
                 self.on_disk.insert(page);
             }
+        }
+    }
+
+    /// An idle host donating memory *crashed*: unlike the graceful
+    /// departure of [`handle_host_eviction`](Self::handle_host_eviction),
+    /// there is no time to relocate anything — pages whose only copy
+    /// lived in the dead host's DRAM are destroyed and their next touch
+    /// is a zero-fill (the application regenerates the data). In
+    /// mirrored mode ([`set_netram_mirrored`](Self::set_netram_mirrored))
+    /// the pool promotes surviving copies and nothing is lost. Counts
+    /// `pager.host_lost_pages` on the probe.
+    ///
+    /// No-op for a disk-backed pager.
+    pub fn handle_host_crash(&mut self, host: u32) {
+        if let Backing::NetRam { pool, .. } = &mut self.backing {
+            let lost = pool.evict_host(host);
+            self.stats.host_lost_pages += lost.len() as u64;
+            self.probe.count("pager.host_lost_pages", lost.len() as u64);
+            for page in lost {
+                self.materialised.remove(&page);
+                self.on_disk.remove(&page);
+            }
+        }
+    }
+
+    /// A crashed (or departed) host finished rebooting: its frames rejoin
+    /// the pool, empty. No-op for a disk-backed pager.
+    pub fn handle_host_rejoin(&mut self, host: u32) {
+        if let Backing::NetRam { pool, .. } = &mut self.backing {
+            pool.rejoin_host(host);
+        }
+    }
+
+    /// Switches the network-RAM pool to mirrored mode (two copies of
+    /// every page on distinct hosts — crash-survivable at half capacity).
+    /// Must be called before any page is stored. No-op for a disk-backed
+    /// pager.
+    pub fn set_netram_mirrored(&mut self, on: bool) {
+        if let Backing::NetRam { pool, .. } = &mut self.backing {
+            pool.set_mirrored(on);
         }
     }
 
@@ -507,6 +550,88 @@ mod tests {
         }
         assert!(disk > 0, "relocated pages must come from disk");
         assert!(netram > 0, "surviving hosts still serve theirs");
+    }
+
+    #[test]
+    fn host_crash_destroys_pages_until_regenerated() {
+        let mut p = Pager::with_netram(
+            2,
+            8_192,
+            NetworkRam::new(4, 16, RemoteAccessCost::table2_atm(), 8_192),
+            DiskModel::workstation_1994(),
+        );
+        for i in 0..10 {
+            p.access(PageId(i), true, SimDuration::ZERO);
+        }
+        p.handle_host_crash(0);
+        let lost = p.stats().host_lost_pages;
+        assert!(lost > 0);
+        // Re-touching every evicted page: the dead host's pages are soft
+        // faults (regenerated), the others still stream from network RAM.
+        let mut soft = 0;
+        let mut netram = 0;
+        for i in 0..8 {
+            match p.access(PageId(i), false, SimDuration::ZERO).0 {
+                FaultKind::SoftFault => soft += 1,
+                FaultKind::NetRamFault => netram += 1,
+                FaultKind::Hit => {}
+                k => panic!("unexpected {k:?} for page {i}"),
+            }
+        }
+        assert_eq!(soft as u64, lost, "every lost page zero-fills");
+        assert!(netram > 0, "surviving hosts still serve theirs");
+    }
+
+    #[test]
+    fn mirrored_pool_survives_host_crash_without_losing_pages() {
+        let mut p = Pager::with_netram(
+            2,
+            8_192,
+            NetworkRam::new(4, 16, RemoteAccessCost::table2_atm(), 8_192),
+            DiskModel::workstation_1994(),
+        );
+        p.set_netram_mirrored(true);
+        for i in 0..10 {
+            p.access(PageId(i), true, SimDuration::ZERO);
+        }
+        p.handle_host_crash(0);
+        assert_eq!(p.stats().host_lost_pages, 0, "mirrors cover the crash");
+        for i in 0..8 {
+            let (kind, _) = p.access(PageId(i), false, SimDuration::ZERO);
+            assert!(
+                matches!(kind, FaultKind::NetRamFault | FaultKind::Hit),
+                "page {i} got {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejoined_host_serves_new_pages() {
+        let mut p = Pager::with_netram(
+            2,
+            8_192,
+            NetworkRam::new(2, 4, RemoteAccessCost::table2_atm(), 8_192),
+            DiskModel::workstation_1994(),
+        );
+        for i in 0..6 {
+            p.access(PageId(i), true, SimDuration::ZERO);
+        }
+        p.handle_host_crash(0);
+        p.handle_host_rejoin(0);
+        // New evictions can use host 0's frames again: touch fresh pages
+        // and verify some land in the pool rather than spilling to disk.
+        for i in 10..16 {
+            p.access(PageId(i), true, SimDuration::ZERO);
+        }
+        let disk_before = p.stats().disk_faults;
+        for i in 10..14 {
+            p.access(PageId(i), false, SimDuration::ZERO);
+        }
+        assert!(
+            p.stats().netram_faults > 0 && p.stats().disk_faults == disk_before,
+            "rejoined capacity keeps the working set in network RAM: {:?}",
+            p.stats()
+        );
     }
 
     #[test]

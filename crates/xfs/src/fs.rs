@@ -1,6 +1,6 @@
 //! The xFS façade: files, clients, managers, and storage glued together.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 use now_mem::{LruCache, Touch};
@@ -171,7 +171,10 @@ pub struct Xfs {
     config: XfsConfig,
     clients: Vec<ClientState>,
     /// Manager state, indexed by manager slot; entries keyed by block.
-    managers: Vec<HashMap<BlockKey, BlockEntry>>,
+    /// Ordered map: manager state is iterated during client failure and
+    /// manager recovery, and a hash-ordered walk made fault replays
+    /// differ across processes.
+    managers: Vec<BTreeMap<BlockKey, BlockEntry>>,
     /// Which manager slot serves each key (rehashed on manager failure).
     manager_of: Vec<u32>,
     /// One log-structured RAID per stripe group.
@@ -219,7 +222,7 @@ impl Xfs {
                     alive: true,
                 })
                 .collect(),
-            managers: (0..config.managers).map(|_| HashMap::new()).collect(),
+            managers: (0..config.managers).map(|_| BTreeMap::new()).collect(),
             manager_of: (0..config.managers).collect(),
             logs,
             directory: HashMap::new(),
@@ -604,9 +607,8 @@ impl Xfs {
         // caches: every resident copy re-registers. Dirty/ownership is
         // re-derived from the LRU dirty bit (owners marked their entries
         // dirty when they wrote).
-        let lost: Vec<BlockKey> = self.managers[failed_slot as usize]
-            .drain()
-            .map(|(k, _)| k)
+        let lost: Vec<BlockKey> = std::mem::take(&mut self.managers[failed_slot as usize])
+            .into_keys()
             .collect();
         self.stats.time += self.costs.control * self.config.clients as u64; // broadcast
         for key in lost {
