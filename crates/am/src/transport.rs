@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use now_net::{CsmaBus, Fabric, Network, NicAttachment, NodeId, SoftwareCosts};
-use now_sim::{SimTime, Transport};
+use now_sim::{SimTime, TransferCost, Transport};
 
 /// A [`Transport`] that charges every transfer against one shared
 /// [`Network`] — fabric occupancy, software stack, and NIC overhead
@@ -62,13 +62,23 @@ impl FabricTransport {
 
 impl Transport for FabricTransport {
     fn transfer(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> SimTime {
+        self.transfer_detailed(src, dst, bytes, now).delivered
+    }
+
+    fn transfer_detailed(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> TransferCost {
         if src == dst {
-            return now; // local copy: the fabric is not involved
+            return TransferCost::free(now); // local copy: the fabric is not involved
         }
-        self.net
+        let out = self
+            .net
             .borrow_mut()
-            .transfer(NodeId(src), NodeId(dst), bytes, now)
-            .delivered_at
+            .transfer(NodeId(src), NodeId(dst), bytes, now);
+        TransferCost {
+            delivered: out.delivered_at,
+            overhead: out.send_cpu + out.recv_cpu,
+            wait: out.wire_start.saturating_since(now + out.send_cpu),
+            wire: out.wire_done_at.saturating_since(out.wire_start),
+        }
     }
 }
 
@@ -106,15 +116,25 @@ impl CsmaTransport {
 
 impl Transport for CsmaTransport {
     fn transfer(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> SimTime {
+        self.transfer_detailed(src, dst, bytes, now).delivered
+    }
+
+    fn transfer_detailed(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> TransferCost {
         if src == dst {
-            return now;
+            return TransferCost::free(now);
         }
         let send_cpu = self.stack.send_cost(bytes) + self.nic.extra_overhead();
         let recv_cpu = self.stack.recv_cost(bytes) + self.nic.extra_overhead();
+        let wire_request = now + send_cpu;
         let timing = self
             .bus
-            .transfer(NodeId(src), NodeId(dst), bytes, now + send_cpu);
-        timing.rx_done + recv_cpu
+            .transfer(NodeId(src), NodeId(dst), bytes, wire_request);
+        TransferCost {
+            delivered: timing.rx_done + recv_cpu,
+            overhead: send_cpu + recv_cpu,
+            wait: timing.tx_start.saturating_since(wire_request),
+            wire: timing.rx_done.saturating_since(timing.tx_start),
+        }
     }
 }
 
@@ -164,6 +184,34 @@ mod tests {
         let now = SimTime::from_micros(7);
         assert_eq!(Transport::transfer(&mut f, 2, 2, 1 << 20, now), now);
         assert_eq!(Transport::transfer(&mut c, 2, 2, 1 << 20, now), now);
+    }
+
+    #[test]
+    fn detailed_breakdown_partitions_delivery_time() {
+        let mut t = FabricTransport::new(presets::am_atm(8));
+        // Uncontended reference cost first.
+        let quiet = t.transfer_detailed(4, 5, 8_192, SimTime::ZERO);
+        assert_eq!(SimTime::ZERO + quiet.total(), quiet.delivered);
+        // Load the path to node 1 so a follow-up transfer contends.
+        t.transfer(0, 1, 1 << 20, SimTime::ZERO);
+        let now = SimTime::from_micros(1);
+        let cost = t.transfer_detailed(0, 1, 8_192, now);
+        assert_eq!(now + cost.total(), cost.delivered, "pieces partition");
+        assert!(cost.overhead > SimDuration::ZERO);
+        assert!(cost.wire > SimDuration::ZERO);
+        assert!(
+            cost.wait + cost.wire > quiet.wait + quiet.wire,
+            "contention must show up in the wait/wire terms, \
+             not vanish from the breakdown"
+        );
+
+        let mut c = CsmaTransport::new(
+            CsmaBus::ethernet_10(4, 1),
+            SoftwareCosts::tcp_kernel(),
+            NicAttachment::IoBus,
+        );
+        let cost = c.transfer_detailed(0, 1, 1_024, SimTime::ZERO);
+        assert_eq!(SimTime::ZERO + cost.total(), cost.delivered);
     }
 
     #[test]

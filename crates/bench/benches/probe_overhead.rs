@@ -79,5 +79,52 @@ fn bench_multigrid(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(probe_overhead, bench_network_transfer, bench_multigrid);
+fn bench_scenario_causal(c: &mut Criterion) {
+    use now_core::{NowCluster, ScenarioObserver, ScenarioSpec};
+    use now_probe::causal::CausalLog;
+    use now_sim::SimDuration;
+    use std::sync::Arc;
+
+    // The availability experiment's trimmed coupled scenario: enough
+    // events to exercise every provenance hook, small enough to iterate.
+    let spec = ScenarioSpec {
+        job_rounds: 50,
+        paging_problem_mb: 16,
+        paging_local_mb: 8,
+        netram_mb_per_host: 2,
+        horizon: SimDuration::from_secs(1),
+        ..ScenarioSpec::contention_default()
+    };
+    let cluster = NowCluster::builder().nodes(32).seed(42).build();
+
+    let mut g = c.benchmark_group("probe_overhead/scenario_causal");
+    g.sample_size(20);
+    // The headline claim: the two disabled paths must stay within 5% of
+    // each other — provenance hooks cost nothing until a log is attached.
+    g.bench_function("baseline_untouched", |b| {
+        b.iter(|| black_box(cluster.run_scenario(&spec)))
+    });
+    g.bench_function("causal_disabled", |b| {
+        let observer = ScenarioObserver::disabled();
+        b.iter(|| black_box(cluster.run_scenario_observed(&spec, &observer)))
+    });
+    g.bench_function("causal_enabled", |b| {
+        b.iter(|| {
+            let observer = ScenarioObserver {
+                probe: Probe::disabled(),
+                causal: Some(Arc::new(CausalLog::new())),
+                sample_every: None,
+            };
+            black_box(cluster.run_scenario_observed(&spec, &observer))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    probe_overhead,
+    bench_network_transfer,
+    bench_multigrid,
+    bench_scenario_causal
+);
 criterion_main!(probe_overhead);

@@ -8,19 +8,24 @@
 //! repro --ablations      # design-choice sweeps (not in the paper)
 //! repro --metrics table2           # append the probe snapshot (=text|csv|json)
 //! repro --trace-out now.json fig2  # write a Chrome/Perfetto trace
+//! repro contention --blame         # append critical-path blame tables
+//! repro contention --timeseries-out ts.csv   # flight-recorder samples (.json for JSON)
 //! ```
 
 use std::env;
 use std::process::exit;
 
+use now_probe::recorder::{csv_concat, json_concat, TimeSeries};
 use now_probe::{Probe, Registry};
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut fast = false;
     let mut smoke = false;
+    let mut blame = false;
     let mut metrics: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut timeseries_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -28,6 +33,8 @@ fn main() {
             fast = true;
         } else if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--blame" {
+            blame = true;
         } else if arg == "--metrics" {
             metrics = Some("text".to_string());
         } else if let Some(format) = arg.strip_prefix("--metrics=") {
@@ -46,6 +53,16 @@ fn main() {
             }
         } else if let Some(path) = arg.strip_prefix("--trace-out=") {
             trace_out = Some(path.to_string());
+        } else if arg == "--timeseries-out" {
+            match it.next() {
+                Some(path) => timeseries_out = Some(path),
+                None => {
+                    eprintln!("--timeseries-out needs a file path");
+                    exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--timeseries-out=") {
+            timeseries_out = Some(path.to_string());
         } else {
             selected.push(arg.trim_start_matches("--").to_string());
         }
@@ -59,6 +76,10 @@ fn main() {
     let probe = registry
         .as_ref()
         .map_or_else(Probe::disabled, Registry::probe);
+
+    // The flight recorder runs only when its output has somewhere to go.
+    let record = timeseries_out.is_some();
+    let mut series: Vec<(String, TimeSeries)> = Vec::new();
 
     if want("table1") {
         println!("{}", now_bench::table1());
@@ -94,10 +115,22 @@ fn main() {
         println!("{}", now_bench::restore_study());
     }
     if want("contention") {
-        println!("{}", now_bench::contention());
+        if blame || record {
+            let mut r = now_bench::contention_observed(smoke, blame, record, &probe);
+            println!("{}", r.text);
+            series.append(&mut r.series);
+        } else {
+            println!("{}", now_bench::contention());
+        }
     }
     if want("availability") {
-        println!("{}", now_bench::availability_probed(smoke, &probe));
+        if blame || record {
+            let mut r = now_bench::availability_observed(smoke, blame, record, &probe);
+            println!("{}", r.text);
+            series.append(&mut r.series);
+        } else {
+            println!("{}", now_bench::availability_probed(smoke, &probe));
+        }
     }
     // Ablations are opt-in: they are design-choice sweeps, not paper
     // artifacts.
@@ -105,12 +138,37 @@ fn main() {
         println!("{}", now_bench::ablations::all());
     }
 
+    if let Some(path) = timeseries_out {
+        if series.is_empty() {
+            eprintln!(
+                "--timeseries-out produced no samples: only the contention and \
+                 availability reports carry a flight recorder"
+            );
+        }
+        let body = if path.ends_with(".json") {
+            json_concat(&series)
+        } else {
+            csv_concat(&series)
+        };
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("cannot write time series to {path}: {e}");
+            exit(1);
+        }
+        eprintln!("wrote gauge time series to {path}");
+    }
+
     if let Some(registry) = registry {
         if let Some(format) = metrics {
             match format.as_str() {
+                "text" => println!("{}", registry.render_text()),
                 "csv" => print!("{}", registry.render_csv()),
                 "json" => println!("{}", registry.render_json()),
-                _ => println!("{}", registry.render_text()),
+                other => {
+                    // Unreachable from the CLI (parsing validates), but
+                    // never fall through silently.
+                    eprintln!("unknown metrics format {other:?} (want text, csv, or json)");
+                    println!("{}", registry.render_text());
+                }
             }
         }
         if let Some(path) = trace_out {

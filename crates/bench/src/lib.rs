@@ -14,8 +14,12 @@
 
 pub mod ablations;
 
+use std::sync::Arc;
+
 use now_models::gator;
 use now_models::{cost, nfs as nfs_model, remote_access, techtrend};
+use now_probe::causal::CausalLog;
+use now_probe::recorder::TimeSeries;
 use now_probe::Probe;
 use now_sim::report::{render_figure, Series, TextTable};
 use now_sim::SimDuration;
@@ -351,6 +355,62 @@ pub fn comm_layers() -> String {
 /// *together*, where the old per-subsystem simulators could not interact
 /// at all.
 pub fn contention() -> String {
+    contention_observed(false, false, false, &Probe::disabled()).text
+}
+
+/// A rendered report plus the flight recorder's per-run gauge series
+/// (empty unless the run was asked to record).
+#[derive(Debug, Clone, Default)]
+pub struct ObservedReport {
+    /// The report text: the experiment's table(s), followed by one
+    /// critical-path blame table per run when blame was requested.
+    pub text: String,
+    /// `(run label, samples)` per scenario run, in report order.
+    pub series: Vec<(String, TimeSeries)>,
+}
+
+/// The flight recorder's sampling cadence for the observed reports: fine
+/// enough to catch the paging process's two sweeps within the scenario
+/// horizon, coarse enough to keep the CSV small.
+fn recorder_cadence() -> SimDuration {
+    SimDuration::from_millis(50)
+}
+
+/// An observer for one observed-report run: `blame` attaches a fresh
+/// causal log, `record` a flight recorder at [`recorder_cadence`].
+///
+/// The recorder samples registered gauges, so recording with a disabled
+/// `probe` would log flat zeros — in that case the runs get a private
+/// [`Registry`] probe instead (whose snapshot nobody reads; it only backs
+/// the gauges).
+fn observer_for(blame: bool, record: bool, probe: &Probe) -> now_core::ScenarioObserver {
+    use now_probe::Registry;
+    let probe = if record && !probe.is_enabled() {
+        Registry::new().probe()
+    } else {
+        probe.clone()
+    };
+    now_core::ScenarioObserver {
+        probe,
+        causal: blame.then(|| Arc::new(CausalLog::new())),
+        sample_every: record.then(recorder_cadence),
+    }
+}
+
+/// [`contention`] with observability: `blame` appends a critical-path
+/// blame table per background-load point (where the BSP job's makespan
+/// went), `record` returns the flight recorder's gauge series per point,
+/// and `smoke` trims the sweep for CI. With everything off this renders
+/// byte-identically to [`contention`].
+pub fn contention_observed(
+    smoke: bool,
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+) -> ObservedReport {
+    use now_core::{NowCluster, ScenarioSpec};
+    let flows: &[u32] = if smoke { &[0, 4, 8] } else { &[0, 2, 4, 8, 16] };
+    let cluster = NowCluster::builder().nodes(32).seed(SEED).build();
     let mut t = TextTable::new(&[
         "Background flows",
         "Netram fetch (us)",
@@ -359,9 +419,17 @@ pub fn contention() -> String {
         "Bg frames",
     ]);
     t.title("Contention - one fabric under the paging + BSP job + file cache scenario");
-    for (flows, out) in contention_series(&[0, 2, 4, 8, 16]) {
+    let mut blame_text = String::new();
+    let mut series = Vec::new();
+    for &n in flows {
+        let spec = ScenarioSpec {
+            background_flows: n,
+            seed: SEED,
+            ..ScenarioSpec::contention_default()
+        };
+        let (out, obs) = cluster.run_scenario_observed(&spec, &observer_for(blame, record, probe));
         t.row_owned(vec![
-            format!("{flows}"),
+            format!("{n}"),
             format!(
                 "{:.0}",
                 out.mean_netram_fetch_us.expect("scenario pages to netram")
@@ -370,8 +438,20 @@ pub fn contention() -> String {
             format!("{:.2}", out.cache.avg_read_response().as_millis_f64()),
             format!("{}", out.background_frames),
         ]);
+        if let Some((_, table)) = obs.blame.iter().find(|(tag, _)| *tag == "job") {
+            blame_text.push('\n');
+            blame_text.push_str(
+                &table.render_text(&format!("Blame - job makespan, {n} background flows")),
+            );
+        }
+        if record {
+            series.push((format!("flows={n}"), obs.timeseries));
+        }
     }
-    t.render()
+    ObservedReport {
+        text: format!("{}{blame_text}", t.render()),
+        series,
+    }
 }
 
 /// Runs the coupled scenario once per entry of `flows`, returning each
@@ -407,6 +487,22 @@ pub fn availability(smoke: bool) -> String {
 /// `fault.injected[.kind]`, `fault.detected`, `fault.restarts`, and
 /// `fault.rebuild_chunks` on it.
 pub fn availability_probed(smoke: bool, probe: &Probe) -> String {
+    availability_observed(smoke, false, false, probe).text
+}
+
+/// [`availability`] with observability: `blame` appends, per fault
+/// scenario, a blame table for the BSP job's makespan (where the stall
+/// went) and — when a disk rebuild ran — for the rebuild chain (recovery
+/// attributed to the rebuild traffic); `record` returns the flight
+/// recorder's series per scenario. With everything off this renders
+/// byte-identically to [`availability`].
+pub fn availability_observed(
+    smoke: bool,
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+) -> ObservedReport {
+    use now_core::NowCluster;
     use now_fault::montecarlo;
     use now_raid::availability::FailureModel;
 
@@ -464,7 +560,11 @@ pub fn availability_probed(smoke: bool, probe: &Probe) -> String {
         "Job stall (ms)",
     ]);
     deg.title("Degraded vs healthy - the coupled scenario under injected faults");
-    for (name, out) in availability_series(probe) {
+    let cluster = NowCluster::builder().nodes(32).seed(SEED).build();
+    let mut blame_text = String::new();
+    let mut series = Vec::new();
+    for (name, spec) in availability_specs() {
+        let (out, obs) = cluster.run_scenario_observed(&spec, &observer_for(blame, record, probe));
         deg.row_owned(vec![
             name.to_string(),
             format!("{:.0}", out.mean_netram_fetch_us.unwrap_or(0.0)),
@@ -473,8 +573,20 @@ pub fn availability_probed(smoke: bool, probe: &Probe) -> String {
             format!("{}", out.paging.pager.host_lost_pages),
             format!("{:.1}", out.faults.job_stall.as_millis_f64()),
         ]);
+        for (tag, table) in &obs.blame {
+            if *tag == "job" || *tag == "rebuild" {
+                blame_text.push('\n');
+                blame_text.push_str(&table.render_text(&format!("Blame - {tag} chain, {name}")));
+            }
+        }
+        if record {
+            series.push((name.to_string(), obs.timeseries));
+        }
     }
-    format!("{}\n{}", mc.render(), deg.render())
+    ObservedReport {
+        text: format!("{}\n{}{blame_text}", mc.render(), deg.render()),
+        series,
+    }
 }
 
 /// The fault scenarios behind [`availability`]'s degraded-vs-healthy
@@ -482,10 +594,19 @@ pub fn availability_probed(smoke: bool, probe: &Probe) -> String {
 /// copy, then mirrored), with a crashed BSP worker replaced by a spare,
 /// and with a failed-then-rebuilt storage disk.
 pub fn availability_series(probe: &Probe) -> Vec<(&'static str, now_core::ScenarioOutcome)> {
-    use now_core::{Fault, FaultPlan, NowCluster, ScenarioSpec};
+    let cluster = now_core::NowCluster::builder().nodes(32).seed(SEED).build();
+    availability_specs()
+        .into_iter()
+        .map(|(name, spec)| (name, cluster.run_scenario_probed(&spec, probe)))
+        .collect()
+}
+
+/// The named fault scenarios behind the degraded-vs-healthy table, as
+/// specs (so callers choose how to observe the runs).
+fn availability_specs() -> Vec<(&'static str, now_core::ScenarioSpec)> {
+    use now_core::{Fault, FaultPlan, ScenarioSpec};
     use now_sim::SimTime;
 
-    let cluster = NowCluster::builder().nodes(32).seed(SEED).build();
     let base = ScenarioSpec {
         job_rounds: 50,
         paging_problem_mb: 16,
@@ -532,10 +653,7 @@ pub fn availability_series(probe: &Probe) -> Vec<(&'static str, now_core::Scenar
             },
         ),
     ];
-    specs
-        .into_iter()
-        .map(|(name, spec)| (name, cluster.run_scenario_probed(&spec, probe)))
-        .collect()
+    specs.into_iter().collect()
 }
 
 /// In-text migration claim: restoring 64 MB of memory state.

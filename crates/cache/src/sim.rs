@@ -3,7 +3,8 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use now_mem::{LruCache, Touch};
-use now_probe::Probe;
+use now_probe::causal::category;
+use now_probe::{Gauge, Probe};
 use now_sim::{Component, CostMode, Ctx, Engine, EventCast, SimDuration, SimRng, SimTime};
 use now_trace::fs::{AccessKind, BlockId, FsTrace};
 use serde::{Deserialize, Serialize};
@@ -291,6 +292,8 @@ pub struct CacheComponent {
     dead_clients: BTreeSet<u32>,
     /// Whether the server's storage array is running degraded.
     degraded: bool,
+    hit_rate_gauge: Gauge,
+    read_ms_gauge: Gauge,
 }
 
 impl CacheComponent {
@@ -349,7 +352,17 @@ impl CacheComponent {
             server_node: 0,
             dead_clients: BTreeSet::new(),
             degraded: false,
+            hit_rate_gauge: Gauge::default(),
+            read_ms_gauge: Gauge::default(),
         }
+    }
+
+    /// Attaches a telemetry probe publishing the `cache.hit_rate`
+    /// (fraction of reads served from memory anywhere in the cluster) and
+    /// `cache.read_ms` (mean read response) gauges.
+    pub fn set_probe(&mut self, probe: &Probe) {
+        self.hit_rate_gauge = probe.gauge("cache.hit_rate");
+        self.read_ms_gauge = probe.gauge("cache.read_ms");
     }
 
     /// Places client `i` on fabric node `client_nodes[i]` and the server
@@ -396,7 +409,12 @@ impl CacheComponent {
                 let delivered = match source {
                     // One round trip through the manager/server.
                     RemoteSource::Pool | RemoteSource::Server => {
-                        ctx.rpc(c, self.server_node, REQUEST_BYTES, BLOCK_BYTES)
+                        let cost =
+                            ctx.rpc_detailed(c, self.server_node, REQUEST_BYTES, BLOCK_BYTES);
+                        ctx.blame(category::AM_OVERHEAD, cost.overhead);
+                        ctx.blame(category::FABRIC_WAIT, cost.wait);
+                        ctx.blame(category::WIRE, cost.wire);
+                        cost.delivered
                     }
                     // Request to the server, forward to the holder, block
                     // back to the requester.
@@ -405,7 +423,11 @@ impl CacheComponent {
                         let at_server = ctx.transfer(c, self.server_node, REQUEST_BYTES);
                         let at_holder =
                             ctx.transfer_at(self.server_node, h, REQUEST_BYTES, at_server);
-                        ctx.transfer_at(h, c, BLOCK_BYTES, at_holder)
+                        let delivered = ctx.transfer_at(h, c, BLOCK_BYTES, at_holder);
+                        // The whole three-hop detour is the price of
+                        // forwarding; charge it as one term.
+                        ctx.blame(category::CACHE_FORWARD, delivered.saturating_since(now));
+                        delivered
                     }
                 };
                 delivered.saturating_since(now)
@@ -452,10 +474,19 @@ impl CacheComponent {
             CostMode::Fabric => {
                 let now = ctx.now();
                 let c = self.node_of(client);
-                let network = ctx
-                    .rpc(c, self.server_node, REQUEST_BYTES, BLOCK_BYTES)
-                    .saturating_since(now);
-                network + residue
+                let cost = ctx.rpc_detailed(c, self.server_node, REQUEST_BYTES, BLOCK_BYTES);
+                ctx.blame(category::AM_OVERHEAD, cost.overhead);
+                ctx.blame(category::FABRIC_WAIT, cost.wait);
+                ctx.blame(category::WIRE, cost.wire);
+                ctx.blame(
+                    category::DISK,
+                    if self.degraded {
+                        residue + residue
+                    } else {
+                        residue
+                    },
+                );
+                cost.delivered.saturating_since(now) + residue
             }
         };
         if self.degraded {
@@ -605,12 +636,19 @@ impl<M: EventCast<CacheEvent> + 'static> Component<M> for CacheComponent {
         match event.downcast() {
             CacheEvent::Access(i) => {
                 self.step(ctx, i);
+                if self.result.reads > 0 {
+                    self.hit_rate_gauge.set(1.0 - self.result.disk_read_rate());
+                    self.read_ms_gauge
+                        .set(self.result.avg_read_response().as_micros_f64() / 1e3);
+                }
                 if i + 1 < self.trace.accesses.len() {
                     // The fabric may push the clock past the next trace
                     // timestamp; replay order (and thus the result) is
                     // preserved regardless.
                     let t = self.trace.accesses[i + 1].time.max(ctx.now());
                     ctx.schedule_at(t, M::upcast(CacheEvent::Access(i + 1)));
+                } else {
+                    ctx.mark("cache.complete", ctx.now());
                 }
             }
             CacheEvent::ClientFailed(client) => self.fail_client(client),

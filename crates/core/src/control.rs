@@ -22,6 +22,7 @@ use now_cache::CacheEvent;
 use now_fault::{Fault, HeartbeatMonitor};
 use now_glunix::membership::MembershipConfig;
 use now_mem::PageEvent;
+use now_probe::causal::category;
 use now_probe::Probe;
 use now_sim::{Component, ComponentId, CostMode, Ctx, EventCast, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -315,6 +316,9 @@ impl ClusterControl {
             if self.crashed.contains(&node) {
                 if let Some(w) = self.worker_of(node) {
                     self.pending_restart.insert(w);
+                    // The edge to the Restart event is pure recovery
+                    // latency: the spare waits out the restart delay.
+                    ctx.blame(category::FAULT_RECOVERY, self.restart_delay);
                     let ev =
                         <M as EventCast<ControlEvent>>::upcast(ControlEvent::Restart { worker: w });
                     ctx.schedule_at(now + self.restart_delay, ev);
@@ -323,6 +327,9 @@ impl ClusterControl {
         }
         let next = now + self.monitor.config().heartbeat;
         if next <= self.tick_until {
+            // Tick-to-tick edges are the failure detector's sweep cadence;
+            // a path stalled on an undetected crash runs through them.
+            ctx.blame(category::FAULT_DETECTION, self.monitor.config().heartbeat);
             ctx.schedule_at(
                 next,
                 <M as EventCast<ControlEvent>>::upcast(ControlEvent::Tick),
@@ -402,8 +409,17 @@ impl ClusterControl {
                 let ev = <M as EventCast<CacheEvent>>::upcast(CacheEvent::StorageDegraded(false));
                 ctx.send_to_at(self.wiring.cache_id, done_at, ev);
             }
+            ctx.blame(
+                category::FAULT_RECOVERY,
+                done_at.saturating_since(ctx.now()),
+            );
+            ctx.mark("rebuild.complete", done_at);
         } else {
             self.rebuild_remaining.insert(disk, left);
+            ctx.blame(
+                category::FAULT_RECOVERY,
+                done_at.saturating_since(ctx.now()),
+            );
             let ev = <M as EventCast<ControlEvent>>::upcast(ControlEvent::RebuildChunk { disk });
             ctx.schedule_at(done_at, ev);
         }

@@ -49,8 +49,8 @@ pub use cluster::{Interconnect, NowBuilder, NowCluster, NowError};
 pub use control::{ClusterControl, ControlEvent, ControlWiring, FaultOutcome};
 pub use gator_sim::{simulate_gator, GatorSimResult};
 pub use scenario::{
-    BspJobComponent, JobEvent, ScenarioEvent, ScenarioOutcome, ScenarioSpec, TrafficComponent,
-    TrafficEvent,
+    BspJobComponent, JobEvent, RecorderEvent, ScenarioEvent, ScenarioObservations,
+    ScenarioObserver, ScenarioOutcome, ScenarioSpec, TrafficComponent, TrafficEvent,
 };
 
 // Fault scripting types, so scenario callers need not depend on

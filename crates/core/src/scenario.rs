@@ -18,6 +18,7 @@
 //! server on node `n-1`.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use now_am::FabricTransport;
 use now_cache::{CacheComponent, CacheConfig, CacheEvent, Policy, SimResult};
@@ -25,8 +26,10 @@ use now_fault::{Fault, FaultInjectorComponent, FaultPlan, InjectorEvent};
 use now_glunix::membership::MembershipConfig;
 use now_mem::multigrid::{MemoryConfig, MultigridConfig, RunResult, PAGE_BYTES};
 use now_mem::{MultigridComponent, PageEvent, RemoteAccessCost};
-use now_probe::Probe;
-use now_sim::{Component, CostMode, Ctx, Engine, EventCast, SimDuration, SimTime};
+use now_probe::causal::{category, critical_path, BlameTable, CausalLog};
+use now_probe::recorder::TimeSeries;
+use now_probe::{Gauge, Probe};
+use now_sim::{Component, CostMode, Ctx, Engine, EventCast, SimDuration, SimTime, TransferCost};
 use now_trace::fs::{FsTrace, FsTraceConfig};
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +55,8 @@ pub enum ScenarioEvent {
     Inject(InjectorEvent),
     /// A cluster-control event ([`ClusterControl`]).
     Control(ControlEvent),
+    /// A flight-recorder sampling tick (observed runs only).
+    Record(RecorderEvent),
 }
 
 impl EventCast<PageEvent> for ScenarioEvent {
@@ -112,6 +117,18 @@ impl EventCast<Fault> for ScenarioEvent {
         match self {
             ScenarioEvent::Control(ControlEvent::Fault(ev)) => ev,
             other => panic!("expected a Fault event, got {other:?}"),
+        }
+    }
+}
+
+impl EventCast<RecorderEvent> for ScenarioEvent {
+    fn upcast(ev: RecorderEvent) -> Self {
+        ScenarioEvent::Record(ev)
+    }
+    fn downcast(self) -> RecorderEvent {
+        match self {
+            ScenarioEvent::Record(ev) => ev,
+            other => panic!("expected a Record event, got {other:?}"),
         }
     }
 }
@@ -177,6 +194,7 @@ pub struct BspJobComponent {
     down: BTreeSet<usize>,
     paused_at: Option<SimTime>,
     fault_stall: SimDuration,
+    rounds_gauge: Gauge,
 }
 
 impl BspJobComponent {
@@ -207,7 +225,13 @@ impl BspJobComponent {
             down: BTreeSet::new(),
             paused_at: None,
             fault_stall: SimDuration::ZERO,
+            rounds_gauge: Gauge::default(),
         }
+    }
+
+    /// Attaches a telemetry probe publishing the `job.rounds_done` gauge.
+    pub fn set_probe(&mut self, probe: &Probe) {
+        self.rounds_gauge = probe.gauge("job.rounds_done");
     }
 
     /// Rounds completed so far.
@@ -244,7 +268,9 @@ impl<M: EventCast<JobEvent> + 'static> Component<M> for BspJobComponent {
                     if self.down.remove(&w) && self.down.is_empty() {
                         if let Some(paused) = self.paused_at.take() {
                             let now = ctx.now();
-                            self.fault_stall += now.saturating_since(paused);
+                            let stall = now.saturating_since(paused);
+                            self.fault_stall += stall;
+                            ctx.blame(category::BARRIER_STALL, stall);
                             ctx.schedule_at(now, M::upcast(JobEvent::Round));
                         }
                     }
@@ -268,6 +294,9 @@ impl<M: EventCast<JobEvent> + 'static> Component<M> for BspJobComponent {
             self.started = Some(now);
         }
         let compute_done = now + self.compute;
+        // The barrier closes when the slowest exchange lands; that
+        // critical transfer's breakdown explains the round's fabric share.
+        let mut critical: Option<TransferCost> = None;
         let barrier = match ctx.cost_mode() {
             CostMode::Fixed => compute_done,
             CostMode::Fabric => {
@@ -276,17 +305,28 @@ impl<M: EventCast<JobEvent> + 'static> Component<M> for BspJobComponent {
                 for w in 0..k {
                     let src = self.worker_nodes[w];
                     let dst = self.worker_nodes[(w + 1) % k];
-                    let delivered = ctx.transfer_at(src, dst, self.message_bytes, compute_done);
-                    barrier = barrier.max(delivered);
+                    let cost = ctx.transfer_detailed_at(src, dst, self.message_bytes, compute_done);
+                    if cost.delivered > barrier {
+                        barrier = cost.delivered;
+                        critical = Some(cost);
+                    }
                 }
                 barrier
             }
         };
         self.done_rounds += 1;
+        self.rounds_gauge.set(f64::from(self.done_rounds));
+        ctx.blame(category::COMPUTE, self.compute);
+        if let Some(cost) = critical {
+            ctx.blame(category::AM_OVERHEAD, cost.overhead);
+            ctx.blame(category::FABRIC_WAIT, cost.wait);
+            ctx.blame(category::WIRE, cost.wire);
+        }
         if self.done_rounds < self.rounds {
             ctx.schedule_at(barrier, M::upcast(JobEvent::Round));
         } else {
             self.finished = Some(barrier);
+            ctx.mark("job.complete", barrier);
         }
     }
 }
@@ -313,6 +353,7 @@ pub struct TrafficComponent {
     horizon: SimTime,
     frames: u64,
     latency_sum: SimDuration,
+    frames_gauge: Gauge,
 }
 
 impl TrafficComponent {
@@ -339,7 +380,13 @@ impl TrafficComponent {
             horizon,
             frames: 0,
             latency_sum: SimDuration::ZERO,
+            frames_gauge: Gauge::default(),
         }
+    }
+
+    /// Attaches a telemetry probe publishing the `traffic.frames` gauge.
+    pub fn set_probe(&mut self, probe: &Probe) {
+        self.frames_gauge = probe.gauge("traffic.frames");
     }
 
     /// Frames sent so far.
@@ -364,10 +411,69 @@ impl<M: EventCast<TrafficEvent> + 'static> Component<M> for TrafficComponent {
                 self.latency_sum += delivered.saturating_since(now);
                 self.frames += 1;
             }
+            self.frames_gauge.set(self.frames as f64);
         }
         let next = now + self.interval;
         if next <= self.horizon {
             ctx.schedule_at(next, M::upcast(TrafficEvent::Tick));
+        }
+    }
+}
+
+/// Events driving a [`RecorderComponent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecorderEvent {
+    /// Sample every registered gauge once.
+    Sample,
+}
+
+/// The gauges the flight recorder samples, in column order. Every entry
+/// is published by a scenario component (or the network) once probes are
+/// wired, so observed runs always produce a full-width series.
+const RECORDED_GAUGES: [&str; 6] = [
+    "cache.hit_rate",
+    "cache.read_ms",
+    "job.rounds_done",
+    "mem.netram_fetch_us",
+    "net.queue_wait_us",
+    "traffic.frames",
+];
+
+/// The time-series flight recorder: an engine component that reads the
+/// registered gauges at a fixed sim-time cadence and accumulates a
+/// [`TimeSeries`]. Registered only in observed runs, after every other
+/// component, so its presence never renumbers the scenario's components.
+struct RecorderComponent {
+    gauges: Vec<Gauge>,
+    interval: SimDuration,
+    horizon: SimTime,
+    series: TimeSeries,
+}
+
+impl RecorderComponent {
+    fn new(probe: &Probe, interval: SimDuration, horizon: SimTime) -> Self {
+        assert!(
+            interval > SimDuration::ZERO,
+            "the recorder needs a nonzero cadence"
+        );
+        RecorderComponent {
+            gauges: RECORDED_GAUGES.iter().map(|n| probe.gauge(n)).collect(),
+            interval,
+            horizon,
+            series: TimeSeries::new(RECORDED_GAUGES.iter().map(|n| n.to_string()).collect()),
+        }
+    }
+}
+
+impl<M: EventCast<RecorderEvent> + 'static> Component<M> for RecorderComponent {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M) {
+        let RecorderEvent::Sample = event.downcast();
+        let now = ctx.now();
+        self.series
+            .push(now, self.gauges.iter().map(Gauge::get).collect());
+        let next = now + self.interval;
+        if next <= self.horizon {
+            ctx.schedule_at(next, M::upcast(RecorderEvent::Sample));
         }
     }
 }
@@ -473,6 +579,56 @@ pub struct ScenarioOutcome {
     pub faults: FaultOutcome,
 }
 
+/// What to watch during a scenario run: a telemetry probe (always), an
+/// optional causal log (critical-path blame), and an optional flight-
+/// recorder cadence (gauge time series). The all-disabled observer makes
+/// [`NowCluster::run_scenario_observed`] behave exactly like
+/// [`NowCluster::run_scenario`].
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioObserver {
+    /// Telemetry sink wired through the network and every component.
+    pub probe: Probe,
+    /// When set, the engine records every event's provenance here and the
+    /// run returns per-subsystem [`BlameTable`]s.
+    pub causal: Option<Arc<CausalLog>>,
+    /// When set, a flight recorder samples the registered gauges at this
+    /// sim-time cadence until the spec's horizon.
+    pub sample_every: Option<SimDuration>,
+}
+
+impl ScenarioObserver {
+    /// An observer that watches nothing (probe disabled, no causal log,
+    /// no recorder).
+    pub fn disabled() -> Self {
+        ScenarioObserver::default()
+    }
+}
+
+/// What [`NowCluster::run_scenario_observed`] saw beyond the outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioObservations {
+    /// Critical-path blame tables, one per completed subsystem chain:
+    /// `("job", ...)`, `("paging", ...)`, `("cache", ...)`, and — when a
+    /// disk rebuild ran — `("rebuild", ...)`. Empty without a causal log.
+    pub blame: Vec<(&'static str, BlameTable)>,
+    /// The flight recorder's gauge samples. Empty without a cadence.
+    pub timeseries: TimeSeries,
+}
+
+/// Component names by registration order, for blame-table rendering.
+const SCENARIO_COMPONENT_NAMES: [&str; 7] = [
+    "job", "paging", "cache", "traffic", "control", "injector", "recorder",
+];
+
+/// The completion marks the blame extractor walks back from, with the
+/// short tag each table is reported under.
+const SCENARIO_MARKS: [(&str, &str); 4] = [
+    ("job", "job.complete"),
+    ("paging", "paging.complete"),
+    ("cache", "cache.complete"),
+    ("rebuild", "rebuild.complete"),
+];
+
 impl NowCluster {
     /// Runs the coupled scenario: the BSP job, the out-of-core paging
     /// process, the cooperative-cache replay, and the background flows
@@ -489,14 +645,42 @@ impl NowCluster {
         self.run_scenario_probed(spec, &Probe::disabled())
     }
 
-    /// [`run_scenario`](Self::run_scenario) with a telemetry probe: the
-    /// fault machinery counts `fault.injected[.kind]`, `fault.detected`,
-    /// `fault.restarts`, and `fault.rebuild_chunks` on it.
+    /// [`run_scenario`](Self::run_scenario) with a telemetry probe wired
+    /// through the fabric and every subsystem: the fault machinery counts
+    /// `fault.*`, the network gauges `net.queue_wait_us`, and the
+    /// components publish the gauges the flight recorder samples.
     ///
     /// # Panics
     ///
     /// Panics like [`run_scenario`](Self::run_scenario).
     pub fn run_scenario_probed(&self, spec: &ScenarioSpec, probe: &Probe) -> ScenarioOutcome {
+        self.run_scenario_observed(
+            spec,
+            &ScenarioObserver {
+                probe: probe.clone(),
+                causal: None,
+                sample_every: None,
+            },
+        )
+        .0
+    }
+
+    /// [`run_scenario_probed`](Self::run_scenario_probed) plus causal
+    /// tracing and the flight recorder, per `observer`. The simulated
+    /// history is identical whatever the observer watches: probes, the
+    /// causal sink, and the recorder never feed back into event timing
+    /// (the recorder rides its own event chain, which touches no shared
+    /// state).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`run_scenario`](Self::run_scenario).
+    pub fn run_scenario_observed(
+        &self,
+        spec: &ScenarioSpec,
+        observer: &ScenarioObserver,
+    ) -> (ScenarioOutcome, ScenarioObservations) {
+        let probe = &observer.probe;
         let n = self.nodes();
         let k = spec.job_workers;
         let h = spec.netram_hosts;
@@ -510,17 +694,23 @@ impl NowCluster {
         let host_nodes: Vec<u32> = (k + 1..=k + h).collect();
         let server_node = n - 1;
 
-        let network = self.interconnect().network(n);
+        let mut network = self.interconnect().network(n);
+        network.set_probe(probe.clone());
         let mut engine: Engine<ScenarioEvent> =
             Engine::with_transport(Box::new(FabricTransport::new(network)));
+        if let Some(log) = &observer.causal {
+            engine.set_causal_sink(Arc::clone(log) as Arc<dyn now_sim::CausalSink>);
+        }
 
         // The BSP job.
-        let job_id = engine.register(BspJobComponent::new(
+        let mut job = BspJobComponent::new(
             worker_nodes.clone(),
             spec.job_rounds,
             spec.job_compute,
             spec.job_message_bytes,
-        ));
+        );
+        job.set_probe(probe);
+        let job_id = engine.register(job);
 
         // The out-of-core paging process. The fixed-cost constants in the
         // memory config are placeholders: under the fabric cost model every
@@ -537,18 +727,19 @@ impl NowCluster {
         };
         let pages = spec.paging_problem_mb * 1024 * 1024 / PAGE_BYTES;
         let mut built_pager = memory.build_pager();
+        built_pager.set_probe(probe.clone());
         if spec.netram_mirrored {
             built_pager.set_netram_mirrored(true);
         }
-        let solver_id = engine.register(
-            MultigridComponent::new(
-                built_pager,
-                app.compute_per_page(),
-                pages,
-                u64::from(app.sweeps) * pages,
-            )
-            .with_placement(pager_node, host_nodes.clone()),
-        );
+        let mut solver = MultigridComponent::new(
+            built_pager,
+            app.compute_per_page(),
+            pages,
+            u64::from(app.sweeps) * pages,
+        )
+        .with_placement(pager_node, host_nodes.clone());
+        solver.set_probe(probe);
+        let solver_id = engine.register(solver);
 
         // The cooperative file cache, its clients sharing the workers'
         // nodes and its server on the last node.
@@ -561,8 +752,9 @@ impl NowCluster {
             let mut config = CacheConfig::small(Policy::NChance { n: 2 });
             config.seed = spec.seed;
             let client_nodes: Vec<u32> = (0..k).collect();
-            let component =
+            let mut component =
                 CacheComponent::new(trace, config).with_placement(client_nodes, server_node);
+            component.set_probe(probe);
             let first = component.first_access_time();
             (engine.register(component), first)
         };
@@ -573,12 +765,14 @@ impl NowCluster {
         let flows: Vec<(u32, u32)> = (0..spec.background_flows)
             .map(|i| (host_nodes[(i % h) as usize], worker_nodes[(i % k) as usize]))
             .collect();
-        let traffic_id = engine.register(TrafficComponent::new(
+        let mut traffic = TrafficComponent::new(
             flows,
             spec.background_bytes,
             spec.background_interval,
             SimTime::ZERO + spec.horizon,
-        ));
+        );
+        traffic.set_probe(probe);
+        let traffic_id = engine.register(traffic);
 
         // Fault machinery. Nodes past the netram hosts (and before the
         // server) are idle: the first few are held as spares for dead
@@ -623,6 +817,16 @@ impl NowCluster {
         injector.set_probe(probe.clone());
         let injector_id = engine.register(injector);
 
+        // The flight recorder registers last (component ids above are
+        // stable whether or not it exists) and only when asked for.
+        let recorder_id = observer.sample_every.map(|every| {
+            engine.register(RecorderComponent::new(
+                probe,
+                every,
+                SimTime::ZERO + spec.horizon,
+            ))
+        });
+
         // Seed in fixed order: job, solver, cache, traffic.
         engine.schedule_at(job_id, SimTime::ZERO, ScenarioEvent::Job(JobEvent::Round));
         engine.schedule_at(
@@ -655,15 +859,36 @@ impl NowCluster {
                 ScenarioEvent::Control(ControlEvent::Tick),
             );
         }
+        if let Some(id) = recorder_id {
+            engine.schedule_at(
+                id,
+                SimTime::ZERO,
+                ScenarioEvent::Record(RecorderEvent::Sample),
+            );
+        }
 
         engine.run();
+
+        let timeseries = match recorder_id {
+            Some(id) => engine.component::<RecorderComponent>(id).series.clone(),
+            None => TimeSeries::new(Vec::new()),
+        };
+        let blame = match &observer.causal {
+            Some(log) => SCENARIO_MARKS
+                .iter()
+                .filter_map(|&(tag, label)| {
+                    critical_path(log, label, &SCENARIO_COMPONENT_NAMES).map(|table| (tag, table))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
 
         let job = engine.component::<BspJobComponent>(job_id);
         let solver = engine.component::<MultigridComponent>(solver_id);
         let traffic = engine.component::<TrafficComponent>(traffic_id);
         let control = engine.component::<ClusterControl>(control_id);
         let injector = engine.component::<FaultInjectorComponent>(injector_id);
-        ScenarioOutcome {
+        let outcome = ScenarioOutcome {
             job_makespan: job.makespan().expect(
                 "the BSP job runs to completion (a crashed worker needs a \
                  spare or a scripted reboot)",
@@ -681,7 +906,8 @@ impl NowCluster {
                 rebuilt_bytes: control.rebuilt_bytes(),
                 job_stall: job.fault_stall(),
             },
-        }
+        };
+        (outcome, ScenarioObservations { blame, timeseries })
     }
 }
 

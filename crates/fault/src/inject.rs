@@ -45,7 +45,8 @@ impl FaultInjectorComponent {
     }
 
     /// Attaches a telemetry probe counting `fault.injected` plus one
-    /// `fault.injected.<kind>` counter per fault variant.
+    /// `fault.injected.<kind>` counter per fault variant, and gauging
+    /// `fault.pending` (plan entries not yet fired).
     pub fn set_probe(&mut self, probe: Probe) {
         self.probe = probe;
     }
@@ -86,6 +87,10 @@ where
                 ctx.send_to(sub, <M as EventCast<Fault>>::upcast(fault));
             }
         }
+        self.probe.gauge_set(
+            "fault.pending",
+            self.plan.events().len().saturating_sub(self.next) as f64,
+        );
         if let Some(&(t, _)) = self.plan.events().get(self.next) {
             ctx.schedule_at(
                 t,

@@ -15,6 +15,8 @@
 
 use std::collections::VecDeque;
 
+use now_probe::causal::category;
+use now_probe::{Gauge, Probe};
 use now_sim::{
     Component, ComponentId, CostMode, Ctx, Engine, EventCast, EventId, SimDuration, SimTime,
 };
@@ -269,6 +271,7 @@ pub struct MixedComponent {
     started: Vec<Option<SimTime>>,
     migrations: u64,
     migration_delay: SimDuration,
+    migrations_gauge: Gauge,
 }
 
 impl MixedComponent {
@@ -295,7 +298,14 @@ impl MixedComponent {
             started: vec![None; jobs.jobs.len()],
             migrations: 0,
             migration_delay: config.migration.migration_time(config.process_mem_mb),
+            migrations_gauge: Gauge::default(),
         }
+    }
+
+    /// Attaches a telemetry probe gauging `glunix.migrations` (evictions
+    /// performed so far), so the flight recorder can sample it.
+    pub fn set_probe(&mut self, probe: &Probe) {
+        self.migrations_gauge = probe.gauge("glunix.migrations");
     }
 
     /// Seeds job arrivals and the usage trace's user sessions into
@@ -369,7 +379,11 @@ impl MixedComponent {
             CostMode::Fixed => ctx.now() + self.migration_delay,
             CostMode::Fabric => {
                 let bytes = self.config.process_mem_mb * 1024 * 1024;
-                ctx.transfer(from, to, bytes)
+                let cost = ctx.transfer_detailed(from, to, bytes);
+                ctx.blame(category::AM_OVERHEAD, cost.overhead);
+                ctx.blame(category::FABRIC_WAIT, cost.wait);
+                ctx.blame(category::WIRE, cost.wire);
+                cost.delivered
             }
         }
     }
@@ -422,6 +436,7 @@ impl<M: EventCast<MixedEvent> + 'static> Component<M> for MixedComponent {
                     // the job pauses for the migration.
                     self.occupant[m as usize] = None;
                     self.migrations += 1;
+                    self.migrations_gauge.set(self.migrations as f64);
                     let (mut ms, remaining) = match &self.states[i] {
                         JobState::Running {
                             machines,

@@ -14,7 +14,8 @@
 //! pages through a real [`Pager`], so the curves come from LRU behaviour
 //! and the Table 2 cost constants, not from asserting the conclusion.
 
-use now_probe::Probe;
+use now_probe::causal::category;
+use now_probe::{Gauge, Probe};
 use now_sim::{Component, CostMode, Ctx, Engine, EventCast, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -164,6 +165,7 @@ pub struct MultigridComponent {
     host_nodes: Vec<u32>,
     netram_service: SimDuration,
     netram_fetches: u64,
+    fetch_gauge: Gauge,
 }
 
 /// A [`RemotePath`] that streams each fetched page over the engine's
@@ -173,6 +175,11 @@ struct EnginePath<'a, 'c, M> {
     ctx: &'a mut Ctx<'c, M>,
     node: u32,
     hosts: &'a [u32],
+    /// Cost-breakdown accumulators over the fetches of one access, for
+    /// causal blame attribution.
+    overhead: SimDuration,
+    wait: SimDuration,
+    wire: SimDuration,
 }
 
 impl<M> RemotePath for EnginePath<'_, '_, M> {
@@ -185,15 +192,18 @@ impl<M> RemotePath for EnginePath<'_, '_, M> {
     ) -> SimDuration {
         let src = self.hosts[host as usize % self.hosts.len()];
         let now = self.ctx.now();
-        let delivered = if sequential {
+        let cost = if sequential {
             // Streaming: the request pipeline is hidden, the page rides
             // one way on the wire.
-            self.ctx.transfer(src, self.node, bytes)
+            self.ctx.transfer_detailed(src, self.node, bytes)
         } else {
             // Cold fetch: small request out, the page back.
-            self.ctx.rpc(self.node, src, 64, bytes)
+            self.ctx.rpc_detailed(self.node, src, 64, bytes)
         };
-        delivered.saturating_since(now)
+        self.overhead += cost.overhead;
+        self.wait += cost.wait;
+        self.wire += cost.wire;
+        cost.delivered.saturating_since(now)
     }
 }
 
@@ -238,7 +248,14 @@ impl MultigridComponent {
             host_nodes: Vec::new(),
             netram_service: SimDuration::ZERO,
             netram_fetches: 0,
+            fetch_gauge: Gauge::default(),
         }
+    }
+
+    /// Attaches a telemetry probe publishing the `mem.netram_fetch_us`
+    /// gauge (running mean fetch service time).
+    pub fn set_probe(&mut self, probe: &Probe) {
+        self.fetch_gauge = probe.gauge("mem.netram_fetch_us");
     }
 
     /// Places the process on fabric node `node` with the network-RAM pool
@@ -288,6 +305,7 @@ impl<M: EventCast<PageEvent> + 'static> Component<M> for MultigridComponent {
             return;
         }
         let page = PageId(self.idx % self.pages);
+        let mut fabric = (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO);
         let (fetched, fetches, stall) = match ctx.cost_mode() {
             CostMode::Fixed => {
                 let mut sampler = Sampling {
@@ -305,6 +323,9 @@ impl<M: EventCast<PageEvent> + 'static> Component<M> for MultigridComponent {
                     ctx,
                     node: self.node,
                     hosts: &self.host_nodes,
+                    overhead: SimDuration::ZERO,
+                    wait: SimDuration::ZERO,
+                    wire: SimDuration::ZERO,
                 };
                 let mut sampler = Sampling {
                     inner: &mut path,
@@ -314,7 +335,9 @@ impl<M: EventCast<PageEvent> + 'static> Component<M> for MultigridComponent {
                 let (_, stall) = self
                     .pager
                     .access_via(page, true, self.per_page, &mut sampler);
-                (sampler.sum, sampler.count, stall)
+                let out = (sampler.sum, sampler.count, stall);
+                fabric = (path.overhead, path.wait, path.wire);
+                out
             }
         };
         self.netram_service += fetched;
@@ -322,8 +345,25 @@ impl<M: EventCast<PageEvent> + 'static> Component<M> for MultigridComponent {
         self.idx += 1;
         self.compute += self.per_page;
         self.stall += stall;
+        if let Some(us) = self.mean_netram_fetch_us() {
+            self.fetch_gauge.set(us);
+        }
+        // Attribute the edge to the next access: compute, then the fabric
+        // terms of this access's fetches, then whatever paging stall the
+        // fetches don't explain (pager bookkeeping, disk, overlap residue).
+        let (overhead, wait, wire) = fabric;
+        ctx.blame(category::COMPUTE, self.per_page);
+        ctx.blame(category::AM_OVERHEAD, overhead);
+        ctx.blame(category::FABRIC_WAIT, wait);
+        ctx.blame(category::WIRE, wire);
+        ctx.blame(
+            category::PAGING,
+            stall.saturating_sub(overhead + wait + wire),
+        );
         if self.idx < self.total_accesses {
             ctx.schedule_after(self.per_page + stall, M::upcast(PageEvent::Step));
+        } else {
+            ctx.mark("paging.complete", ctx.now() + self.per_page + stall);
         }
     }
 }

@@ -68,6 +68,10 @@ pub struct TransferOutcome {
     pub recv_cpu: SimDuration,
     /// When the sender's CPU is free again (it can overlap the wire time).
     pub sender_free_at: SimTime,
+    /// When the first byte hit the wire. The gap between `sender_free_at`
+    /// and this is contention wait: the NIC had the message but the fabric
+    /// was busy with competing traffic.
+    pub wire_start: SimTime,
     /// When the last byte reaches the receiver's NIC.
     pub wire_done_at: SimTime,
     /// When the receiving *process* has the data (wire + receive overhead).
@@ -190,21 +194,24 @@ impl Network {
             .as_fabric_mut()
             .transfer(src, dst, bytes, wire_request);
         if self.probe.is_enabled() {
+            let queue_wait = timing.tx_start.saturating_since(wire_request);
             self.probe.count("net.transfers", 1);
             self.probe.count("net.bytes", bytes);
-            self.probe.record(
-                "net.queue_wait.ns",
-                timing.tx_start.saturating_since(wire_request),
-            );
+            self.probe.record("net.queue_wait.ns", queue_wait);
             self.probe.record(
                 "net.wire.ns",
                 timing.rx_done.saturating_since(timing.tx_start),
             );
+            // Last-observed contention wait, sampled by the flight
+            // recorder as a fabric-occupancy signal.
+            self.probe
+                .gauge_set("net.queue_wait_us", queue_wait.as_micros_f64());
         }
         TransferOutcome {
             send_cpu,
             recv_cpu,
             sender_free_at: wire_request,
+            wire_start: timing.tx_start,
             wire_done_at: timing.rx_done,
             delivered_at: timing.rx_done + recv_cpu,
         }

@@ -1,0 +1,473 @@
+//! Causal log and critical-path blame extraction.
+//!
+//! The engine (with a sink attached, see `Engine::set_causal_sink`) emits
+//! one [`CausalRecord`] per scheduled event: who scheduled it, during
+//! which event, when, and how the component explains the time leading up
+//! to it ([`category`] segments attached via `Ctx::blame`). [`CausalLog`]
+//! buffers those records, bounded like the trace ring; [`critical_path`]
+//! then walks parents back from a labelled completion mark and turns the
+//! chain into a [`BlameTable`]: an exact partition of the makespan into
+//! per-component attribution categories, in the spirit of LogP-style cost
+//! accounting.
+//!
+//! Two invariants make the tables trustworthy:
+//!
+//! * a child's `scheduled_at` equals its parent's firing time, so the
+//!   walked edges telescope — row totals sum to `end - start` *exactly*;
+//! * blame segments are capped by the edge they annotate (a component may
+//!   report overlapping service times), with any unexplained remainder
+//!   kept visible as [`category::UNATTRIBUTED`] rather than smeared.
+
+use now_sim::report::TextTable;
+use now_sim::{CausalRecord, CausalSink, ComponentId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Attribution categories used across the workspace. Free-form strings
+/// are accepted by `Ctx::blame`; these constants keep the spelling of the
+/// common ones consistent between subsystems and reports.
+pub mod category {
+    /// Useful work on a CPU (job compute slice, solver smoothing).
+    pub const COMPUTE: &str = "compute";
+    /// Active-message / protocol software overhead (the LogP `o` term).
+    pub const AM_OVERHEAD: &str = "am_overhead";
+    /// Waiting for a contended fabric before transmission could start.
+    pub const FABRIC_WAIT: &str = "fabric_wait";
+    /// Serialization and propagation on the wire.
+    pub const WIRE: &str = "wire";
+    /// Magnetic disk service.
+    pub const DISK: &str = "disk";
+    /// Paging machinery beyond the raw fetches (overlap residue, pager
+    /// bookkeeping).
+    pub const PAGING: &str = "paging";
+    /// Cooperative-cache peer forwarding.
+    pub const CACHE_FORWARD: &str = "cache_forward";
+    /// A parallel job stalled at a barrier beyond its critical message.
+    pub const BARRIER_STALL: &str = "barrier_stall";
+    /// Waiting for the heartbeat sweep to notice a dead node.
+    pub const FAULT_DETECTION: &str = "fault_detection";
+    /// Repair work after a fault: restart delay, rebuild traffic.
+    pub const FAULT_RECOVERY: &str = "fault_recovery";
+    /// Edge time no component explained.
+    pub const UNATTRIBUTED: &str = "unattributed";
+}
+
+/// Default causal-log capacity. A full contention run schedules a few
+/// hundred thousand events; the bound keeps adversarial workloads from
+/// growing memory without limit, and overflow is counted.
+pub const DEFAULT_CAUSAL_CAPACITY: usize = 1 << 20;
+
+/// A bounded, thread-safe buffer of [`CausalRecord`]s implementing
+/// [`CausalSink`]. Share it (via `Arc`) between an engine and the
+/// post-run extractor.
+#[derive(Debug, Default)]
+pub struct CausalLog {
+    records: Mutex<Vec<CausalRecord>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl CausalLog {
+    /// A log with [`DEFAULT_CAUSAL_CAPACITY`].
+    pub fn new() -> Self {
+        CausalLog::with_capacity(DEFAULT_CAUSAL_CAPACITY)
+    }
+
+    /// A log holding at most `capacity` records; overflow is counted in
+    /// [`CausalLog::dropped`], and a critical path walking into dropped
+    /// territory reports itself truncated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CausalLog {
+            records: Mutex::new(Vec::new()),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records buffered so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("causal log poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records rejected because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the buffered records, in the order they were produced
+    /// (deterministic: the engine is single-threaded).
+    pub fn records(&self) -> Vec<CausalRecord> {
+        self.records.lock().expect("causal log poisoned").clone()
+    }
+
+    /// The records as CSV: one row per record, blame flattened as
+    /// `cat=nanos` pairs separated by `;`.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("seq,parent,trace,src,dst,scheduled_at_us,fires_at_us,label,blame\n");
+        for r in self.records() {
+            let blame: Vec<String> = r
+                .blame
+                .iter()
+                .map(|(c, d)| format!("{c}={}", d.as_nanos()))
+                .collect();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                r.seq,
+                r.parent.map_or(String::new(), |p| p.to_string()),
+                r.trace,
+                r.src.map_or(String::new(), |c| c.0.to_string()),
+                r.dst.0,
+                r.scheduled_at.as_micros_f64(),
+                r.fires_at.as_micros_f64(),
+                r.label,
+                blame.join(";"),
+            ));
+        }
+        out
+    }
+}
+
+impl CausalSink for CausalLog {
+    fn record(&self, record: CausalRecord) {
+        let mut records = self.records.lock().expect("causal log poisoned");
+        if records.len() < self.capacity {
+            records.push(record);
+        } else {
+            drop(records);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One row of a [`BlameTable`]: time on the critical path attributed to
+/// `category`, charged to the component that scheduled the edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlameRow {
+    /// Component name (from the caller-supplied name list; `"seed"` for
+    /// root edges scheduled before the run started).
+    pub component: String,
+    /// Attribution category (usually one of [`category`]).
+    pub category: &'static str,
+    /// Critical-path time attributed to this (component, category) pair.
+    pub time: SimDuration,
+}
+
+/// Makespan attribution extracted by [`critical_path`]: rows partition
+/// `end - start` exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlameTable {
+    /// The completion label the walk started from.
+    pub label: String,
+    /// Attribution rows, sorted by component then descending time.
+    pub rows: Vec<BlameRow>,
+    /// `end - start`; equals the sum of all rows.
+    pub total: SimDuration,
+    /// When the root edge of the path was scheduled.
+    pub start: SimTime,
+    /// The labelled completion time.
+    pub end: SimTime,
+    /// Edges walked.
+    pub events: usize,
+    /// True when the walk hit a missing parent (log overflow): the table
+    /// then covers only the surviving suffix of the path.
+    pub truncated: bool,
+}
+
+impl BlameTable {
+    /// Total time attributed to `category` across all components.
+    pub fn category_total(&self, category: &str) -> SimDuration {
+        self.rows
+            .iter()
+            .filter(|r| r.category == category)
+            .map(|r| r.time)
+            .sum()
+    }
+
+    /// Fraction of the makespan attributed to `category` (0.0 when the
+    /// table is empty).
+    pub fn category_share(&self, category: &str) -> f64 {
+        if self.total == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.category_total(category).as_nanos() as f64 / self.total.as_nanos() as f64
+    }
+
+    /// The table as text, rendered with the workspace table style.
+    pub fn render_text(&self, title: &str) -> String {
+        let mut t = TextTable::new(&["component", "category", "ms", "share"]);
+        t.title(title);
+        for row in &self.rows {
+            t.row_owned(vec![
+                row.component.clone(),
+                row.category.to_string(),
+                format!("{:.3}", row.time.as_millis_f64()),
+                format!(
+                    "{:.1}%",
+                    100.0 * row.time.as_nanos() as f64 / self.total.as_nanos().max(1) as f64
+                ),
+            ]);
+        }
+        t.row_owned(vec![
+            "total".to_string(),
+            String::new(),
+            format!("{:.3}", self.total.as_millis_f64()),
+            "100.0%".to_string(),
+        ]);
+        t.render()
+    }
+}
+
+/// Walks the causal DAG back from the latest record labelled `label` and
+/// attributes the elapsed time edge by edge.
+///
+/// Each edge (the interval between a record's `scheduled_at` and its
+/// `fires_at`) is charged to the component that scheduled it, split along
+/// the blame segments attached to the record. Segments are consumed in
+/// order and capped by the edge length; unexplained remainder becomes
+/// [`category::UNATTRIBUTED`]. Because consecutive edges share endpoints,
+/// the rows sum to `end - start` exactly.
+///
+/// `component_names[i]` names `ComponentId(i)`; unknown ids render as
+/// `component<i>` and root edges as `seed`. Returns `None` when no record
+/// carries `label`.
+pub fn critical_path(log: &CausalLog, label: &str, component_names: &[&str]) -> Option<BlameTable> {
+    let records = log.records();
+    let by_seq: BTreeMap<u64, &CausalRecord> = records.iter().map(|r| (r.seq, r)).collect();
+    let terminal = records
+        .iter()
+        .filter(|r| r.label == label)
+        .max_by_key(|r| (r.fires_at, r.seq))?;
+
+    let name_of = |src: Option<ComponentId>| -> String {
+        match src {
+            None => "seed".to_string(),
+            Some(id) => component_names
+                .get(id.0)
+                .map(|s| (*s).to_string())
+                .unwrap_or_else(|| format!("component{}", id.0)),
+        }
+    };
+
+    let mut agg: BTreeMap<(String, &'static str), SimDuration> = BTreeMap::new();
+    let mut cur = terminal;
+    let mut events = 0usize;
+    let mut truncated = false;
+    let start = loop {
+        let edge = cur.fires_at.saturating_since(cur.scheduled_at);
+        let who = name_of(cur.src);
+        let mut remaining = edge;
+        for &(cat, amount) in &cur.blame {
+            let credited = amount.min(remaining);
+            if credited > SimDuration::ZERO {
+                *agg.entry((who.clone(), cat)).or_default() += credited;
+                remaining = remaining.saturating_sub(credited);
+            }
+        }
+        if remaining > SimDuration::ZERO {
+            *agg.entry((who, category::UNATTRIBUTED)).or_default() += remaining;
+        }
+        events += 1;
+        match cur.parent {
+            None => break cur.scheduled_at,
+            Some(parent) => match by_seq.get(&parent) {
+                Some(rec) => cur = rec,
+                None => {
+                    truncated = true;
+                    break cur.scheduled_at;
+                }
+            },
+        }
+    };
+
+    let mut rows: Vec<BlameRow> = agg
+        .into_iter()
+        .map(|((component, category), time)| BlameRow {
+            component,
+            category,
+            time,
+        })
+        .collect();
+    // Component ascending, then biggest contributors first, category as a
+    // deterministic tie-break.
+    rows.sort_by(|a, b| {
+        a.component
+            .cmp(&b.component)
+            .then(b.time.cmp(&a.time))
+            .then(a.category.cmp(b.category))
+    });
+    Some(BlameTable {
+        label: label.to_string(),
+        rows,
+        total: terminal.fires_at.saturating_since(start),
+        start,
+        end: terminal.fires_at,
+        events,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        seq: u64,
+        parent: Option<u64>,
+        src: Option<usize>,
+        scheduled_us: u64,
+        fires_us: u64,
+        label: &'static str,
+        blame: Vec<(&'static str, SimDuration)>,
+    ) -> CausalRecord {
+        CausalRecord {
+            seq,
+            parent,
+            trace: 1,
+            src: src.map(ComponentId),
+            dst: ComponentId(0),
+            scheduled_at: SimTime::from_micros(scheduled_us),
+            fires_at: SimTime::from_micros(fires_us),
+            label,
+            blame,
+        }
+    }
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn blame_rows_partition_the_makespan_exactly() {
+        let log = CausalLog::new();
+        log.record(rec(0, None, None, 0, 0, "", vec![]));
+        log.record(rec(
+            1,
+            Some(0),
+            Some(0),
+            0,
+            100,
+            "",
+            vec![(category::COMPUTE, us(60)), (category::FABRIC_WAIT, us(30))],
+        ));
+        log.record(rec(
+            2,
+            Some(1),
+            Some(0),
+            100,
+            150,
+            "done",
+            vec![(category::COMPUTE, us(50))],
+        ));
+        let table = critical_path(&log, "done", &["job"]).unwrap();
+        assert_eq!(table.total, us(150));
+        let sum: SimDuration = table.rows.iter().map(|r| r.time).sum();
+        assert_eq!(sum, table.total, "rows partition the makespan");
+        assert_eq!(table.category_total(category::COMPUTE), us(110));
+        assert_eq!(table.category_total(category::FABRIC_WAIT), us(30));
+        assert_eq!(table.category_total(category::UNATTRIBUTED), us(10));
+        assert_eq!(table.events, 3);
+        assert!(!table.truncated);
+    }
+
+    #[test]
+    fn overlapping_blame_is_capped_by_the_edge() {
+        let log = CausalLog::new();
+        log.record(rec(0, None, None, 0, 0, "", vec![]));
+        // 40us edge explained by 70us of (overlapping) service claims.
+        log.record(rec(
+            1,
+            Some(0),
+            Some(0),
+            0,
+            40,
+            "done",
+            vec![(category::DISK, us(50)), (category::WIRE, us(20))],
+        ));
+        let table = critical_path(&log, "done", &["cache"]).unwrap();
+        assert_eq!(table.total, us(40));
+        assert_eq!(table.category_total(category::DISK), us(40));
+        assert_eq!(table.category_total(category::WIRE), SimDuration::ZERO);
+        let sum: SimDuration = table.rows.iter().map(|r| r.time).sum();
+        assert_eq!(sum, table.total);
+    }
+
+    #[test]
+    fn walk_reports_truncation_on_missing_parent() {
+        let log = CausalLog::new();
+        // Parent seq 7 was never recorded (dropped).
+        log.record(rec(8, Some(7), Some(0), 50, 90, "done", vec![]));
+        let table = critical_path(&log, "done", &[]).unwrap();
+        assert!(table.truncated);
+        assert_eq!(table.total, us(40));
+        assert_eq!(table.rows[0].component, "component0");
+    }
+
+    #[test]
+    fn missing_label_yields_none() {
+        let log = CausalLog::new();
+        log.record(rec(0, None, None, 0, 10, "", vec![]));
+        assert!(critical_path(&log, "nope", &[]).is_none());
+    }
+
+    #[test]
+    fn log_is_bounded_and_counts_drops() {
+        let log = CausalLog::with_capacity(2);
+        for i in 0..5 {
+            log.record(rec(i, None, None, 0, 1, "", vec![]));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn csv_export_round_trips_the_essentials() {
+        let log = CausalLog::new();
+        log.record(rec(0, None, None, 0, 5, "", vec![]));
+        log.record(rec(
+            1,
+            Some(0),
+            Some(2),
+            5,
+            9,
+            "x.done",
+            vec![(category::WIRE, us(3))],
+        ));
+        let csv = log.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "seq,parent,trace,src,dst,scheduled_at_us,fires_at_us,label,blame"
+        );
+        assert_eq!(lines.next().unwrap(), "0,,1,,0,0,5,,");
+        assert_eq!(lines.next().unwrap(), "1,0,1,2,0,5,9,x.done,wire=3000");
+    }
+
+    #[test]
+    fn render_text_includes_total_row() {
+        let log = CausalLog::new();
+        log.record(rec(0, None, None, 0, 0, "", vec![]));
+        log.record(rec(
+            1,
+            Some(0),
+            Some(0),
+            0,
+            100,
+            "done",
+            vec![(category::COMPUTE, us(100))],
+        ));
+        let text = critical_path(&log, "done", &["job"])
+            .unwrap()
+            .render_text("Blame - test");
+        assert!(text.contains("Blame - test"));
+        assert!(text.contains("compute"));
+        assert!(text.contains("100.0%"));
+        assert!(text.lines().last().unwrap_or("").is_empty() || text.contains("total"));
+    }
+}

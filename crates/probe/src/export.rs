@@ -2,6 +2,7 @@
 //! JSON (loadable in `chrome://tracing` and Perfetto).
 
 use crate::registry::{Registry, Snapshot};
+use crate::trace::TraceEvent;
 use now_sim::report::TextTable;
 
 impl Registry {
@@ -26,7 +27,14 @@ impl Registry {
     /// become `ph:"X"` complete events and instants `ph:"i"`. Events are
     /// emitted in a total order, so equal runs produce equal files.
     pub fn chrome_trace(&self) -> String {
-        let events = self.trace().sorted_events();
+        self.chrome_trace_from(&self.trace().sorted_events())
+    }
+
+    /// [`Registry::chrome_trace`] over an already-sorted event slice
+    /// (see [`crate::TraceRing::sorted_events`]). Callers exporting the
+    /// trace in several formats sort once and reuse the slice instead of
+    /// cloning and re-sorting the ring per export.
+    pub fn chrome_trace_from(&self, events: &[TraceEvent]) -> String {
         // Stable thread ids: one per (node, category), in sorted order.
         let mut threads: Vec<(u32, &'static str)> =
             events.iter().map(|e| (e.node, e.cat)).collect();
@@ -60,13 +68,22 @@ impl Registry {
                 ),
             );
         }
-        for e in &events {
+        for e in events {
             let mut args = String::new();
             for (i, (k, v)) in e.args.iter().enumerate() {
                 if i > 0 {
                     args.push(',');
                 }
-                args.push_str(&format!("{}:{}", json_string(k), json_number(*v)));
+                // The unfinished-span flag reads as a boolean in viewers.
+                if *k == "unfinished" {
+                    args.push_str(&format!(
+                        "{}:{}",
+                        json_string(k),
+                        if *v != 0.0 { "true" } else { "false" }
+                    ));
+                } else {
+                    args.push_str(&format!("{}:{}", json_string(k), json_number(*v)));
+                }
             }
             let common = format!(
                 "\"pid\":{},\"tid\":{},\"cat\":{},\"name\":{},\"ts\":{},\"args\":{{{args}}}",
@@ -339,6 +356,23 @@ mod tests {
         assert_eq!(trace.matches('{').count(), trace.matches('}').count());
         // Balanced brackets too.
         assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+    }
+
+    #[test]
+    fn unfinished_span_renders_as_boolean_flag() {
+        let r = Registry::new();
+        let p = r.probe();
+        p.instant("t", "tick", SimTime::from_micros(50), &[]);
+        drop(p.span("t", "lost", SimTime::from_micros(10)));
+        let trace = r.chrome_trace();
+        assert!(trace.contains("\"unfinished\":true"), "{trace}");
+    }
+
+    #[test]
+    fn chrome_trace_from_reuses_a_sorted_slice() {
+        let r = sample_registry();
+        let events = r.trace().sorted_events();
+        assert_eq!(r.chrome_trace_from(&events), r.chrome_trace());
     }
 
     #[test]

@@ -48,6 +48,9 @@ mod histogram;
 mod registry;
 mod trace;
 
+pub mod causal;
+pub mod recorder;
+
 pub use histogram::{bucket_bounds, bucket_index, HistogramSummary, BUCKETS};
 pub use registry::{Counter, Gauge, Histogram, Probe, Registry, Snapshot, Span};
 pub use trace::{TraceEvent, TraceRing};

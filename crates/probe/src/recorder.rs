@@ -1,0 +1,198 @@
+//! The flight recorder's output: fixed-cadence gauge samples as a
+//! time series, exportable to CSV and JSON.
+//!
+//! Scenario runs sample a fixed list of registered gauges (fabric queue
+//! wait, netram fetch latency, cache hit rate, job progress, background
+//! frames) every few simulated milliseconds. The samples land here as a
+//! [`TimeSeries`]; [`csv_concat`] / [`json_concat`] merge the series of
+//! several runs (e.g. one per background-load point) into a single
+//! labelled file.
+
+use now_sim::SimTime;
+
+/// A fixed-cadence sampling of named gauges over simulated time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    /// Gauge names, one per value column.
+    pub columns: Vec<String>,
+    /// `(sample time, one value per column)` rows in time order.
+    pub rows: Vec<(SimTime, Vec<f64>)>,
+}
+
+impl TimeSeries {
+    /// An empty series with the given value columns.
+    pub fn new(columns: Vec<String>) -> Self {
+        TimeSeries {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one sample row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have one entry per column.
+    pub fn push(&mut self, at: SimTime, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "sample width must match the column list"
+        );
+        self.rows.push((at, values));
+    }
+
+    /// Number of sample rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The series as CSV with a `t_us` time column.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_us");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (at, values) in &self.rows {
+            out.push_str(&format!("{}", at.as_micros_f64()));
+            for v in values {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Merges several labelled series into one CSV with a leading `series`
+/// column: `series,t_us,<columns>`.
+///
+/// # Panics
+///
+/// Panics if the series disagree on their column lists.
+pub fn csv_concat(series: &[(String, TimeSeries)]) -> String {
+    let columns = common_columns(series);
+    let mut out = String::from("series,t_us");
+    for c in columns {
+        out.push(',');
+        out.push_str(c);
+    }
+    out.push('\n');
+    for (label, ts) in series {
+        for (at, values) in &ts.rows {
+            out.push_str(&format!("{label},{}", at.as_micros_f64()));
+            for v in values {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Merges several labelled series into one JSON document:
+/// `{"columns": [...], "series": {"<label>": [{"t_us": ..., "values": [...]}]}}`.
+///
+/// # Panics
+///
+/// Panics if the series disagree on their column lists.
+pub fn json_concat(series: &[(String, TimeSeries)]) -> String {
+    let columns = common_columns(series);
+    let mut out = String::from("{\n  \"columns\": [");
+    for (i, c) in columns.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{c:?}"));
+    }
+    out.push_str("],\n  \"series\": {");
+    for (si, (label, ts)) in series.iter().enumerate() {
+        if si > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {label:?}: ["));
+        for (ri, (at, values)) in ts.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            let vals: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&format!(
+                "\n      {{\"t_us\": {}, \"values\": [{}]}}",
+                at.as_micros_f64(),
+                vals.join(", ")
+            ));
+        }
+        out.push_str("\n    ]");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// The shared column list of a batch of series (empty batch: no columns).
+fn common_columns(series: &[(String, TimeSeries)]) -> &[String] {
+    let Some((_, first)) = series.first() else {
+        return &[];
+    };
+    for (label, ts) in series {
+        assert_eq!(
+            ts.columns, first.columns,
+            "series {label:?} has a different column list"
+        );
+    }
+    &first.columns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeSeries {
+        let mut ts = TimeSeries::new(vec!["a".into(), "b".into()]);
+        ts.push(SimTime::from_micros(0), vec![1.0, 2.0]);
+        ts.push(SimTime::from_micros(50), vec![3.5, 4.0]);
+        ts
+    }
+
+    #[test]
+    fn csv_has_time_column_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_us,a,b");
+        assert_eq!(lines[1], "0,1,2");
+        assert_eq!(lines[2], "50,3.5,4");
+    }
+
+    #[test]
+    #[should_panic(expected = "sample width")]
+    fn width_mismatch_panics() {
+        let mut ts = TimeSeries::new(vec!["a".into()]);
+        ts.push(SimTime::ZERO, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_labels_every_row() {
+        let batch = vec![("x=0".to_string(), sample()), ("x=1".to_string(), sample())];
+        let csv = csv_concat(&batch);
+        assert_eq!(csv.lines().next().unwrap(), "series,t_us,a,b");
+        assert_eq!(csv.lines().filter(|l| l.starts_with("x=0,")).count(), 2);
+        assert_eq!(csv.lines().filter(|l| l.starts_with("x=1,")).count(), 2);
+        let json = json_concat(&batch);
+        assert!(json.contains("\"x=0\""));
+        assert!(json.contains("\"t_us\": 50"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "different column list")]
+    fn concat_rejects_mismatched_columns() {
+        let other = TimeSeries::new(vec!["z".into()]);
+        csv_concat(&[("a".into(), sample()), ("b".into(), other)]);
+    }
+}

@@ -18,6 +18,20 @@ pub(crate) struct RegistryInner {
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
     trace: TraceRing,
+    /// Latest simulated time any trace operation has seen (nanoseconds).
+    /// A span dropped without [`Span::end`] closes at this time, since the
+    /// registry has no other notion of "now".
+    last_seen: AtomicU64,
+}
+
+impl RegistryInner {
+    fn observe_time(&self, at: SimTime) {
+        self.last_seen.fetch_max(at.as_nanos(), Ordering::Relaxed);
+    }
+
+    fn last_seen(&self) -> SimTime {
+        SimTime::from_nanos(self.last_seen.load(Ordering::Relaxed))
+    }
 }
 
 /// Owns every instrument and the event trace for one instrumented run.
@@ -49,6 +63,7 @@ impl Registry {
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 trace: TraceRing::new(capacity),
+                last_seen: AtomicU64::new(0),
             }),
         }
     }
@@ -251,14 +266,21 @@ impl Probe {
     }
 
     /// Opens a simulated-time span attributed to `(cat, name)`. End it
-    /// with [`Span::end`]; an unended span records nothing.
+    /// with [`Span::end`]. A span dropped without `end()` is still
+    /// emitted — as an unterminated span closed at the registry's
+    /// last-seen sim time, flagged `"unfinished"` — and counted under
+    /// `probe.spans_dropped`.
     pub fn span(&self, cat: &'static str, name: &'static str, start: SimTime) -> Span {
+        if let Some(inner) = &self.inner {
+            inner.observe_time(start);
+        }
         Span {
             probe: self.clone(),
             cat,
             name,
             start,
             args: Vec::new(),
+            ended: false,
         }
     }
 
@@ -271,6 +293,7 @@ impl Probe {
         args: &[(&'static str, f64)],
     ) {
         if let Some(inner) = &self.inner {
+            inner.observe_time(at);
             inner.trace.push(TraceEvent {
                 ts: at,
                 dur: None,
@@ -353,6 +376,12 @@ impl Histogram {
 /// An open simulated-time interval. [`Span::end`] records it as both a
 /// latency sample (histogram `"{cat}.{name}.ns"`) and a complete event in
 /// the trace ring.
+///
+/// Dropping a span without ending it does **not** lose it: the drop
+/// handler emits the span into the trace closed at the registry's
+/// last-seen simulated time with an `"unfinished"` flag, and bumps the
+/// `probe.spans_dropped` counter. Unfinished spans are excluded from the
+/// latency histogram so partial intervals cannot skew the statistics.
 #[derive(Debug, Clone)]
 pub struct Span {
     probe: Probe,
@@ -360,6 +389,7 @@ pub struct Span {
     name: &'static str,
     start: SimTime,
     args: Vec<(&'static str, f64)>,
+    ended: bool,
 }
 
 impl Span {
@@ -377,7 +407,8 @@ impl Span {
     ///
     /// Panics if `at` precedes the span's start (simulated time is
     /// monotone within a span).
-    pub fn end(self, at: SimTime) {
+    pub fn end(mut self, at: SimTime) {
+        self.ended = true;
         let Some(inner) = &self.probe.inner else {
             return;
         };
@@ -387,6 +418,7 @@ impl Span {
             self.cat,
             self.name
         );
+        inner.observe_time(at);
         let dur = at.saturating_since(self.start);
         self.probe
             .histogram(&format!("{}.{}.ns", self.cat, self.name))
@@ -398,6 +430,31 @@ impl Span {
             cat: self.cat,
             name: self.name,
             args: self.args.clone(),
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.ended {
+            return;
+        }
+        let Some(inner) = &self.probe.inner else {
+            return;
+        };
+        // The registry's best guess at "now": a span can't end before it
+        // started, so clamp from below by the start time.
+        let at = inner.last_seen().max(self.start);
+        self.probe.count("probe.spans_dropped", 1);
+        let mut args = std::mem::take(&mut self.args);
+        args.push(("unfinished", 1.0));
+        inner.trace.push(TraceEvent {
+            ts: self.start,
+            dur: Some(at.saturating_since(self.start)),
+            node: self.probe.node,
+            cat: self.cat,
+            name: self.name,
+            args,
         });
     }
 }
@@ -449,6 +506,50 @@ mod tests {
         let events = r.trace().sorted_events();
         assert_eq!(events[0].name, "fault");
         assert_eq!(events[0].args, vec![("page", 3.0)]);
+    }
+
+    #[test]
+    fn dropped_span_is_emitted_unfinished() {
+        let r = Registry::new();
+        let p = r.probe();
+        // Something else advances the registry's notion of time.
+        p.instant("mem", "tick", SimTime::from_micros(90), &[]);
+        {
+            let _span = p
+                .span("mem", "fault", SimTime::from_micros(10))
+                .arg("page", 7.0);
+            // Dropped without end().
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counter("probe.spans_dropped"), Some(1));
+        // Excluded from the latency histogram.
+        assert!(s.histogram("mem.fault.ns").is_none());
+        let events = r.trace().sorted_events();
+        let span_ev = events.iter().find(|e| e.name == "fault").unwrap();
+        assert_eq!(span_ev.dur, Some(SimDuration::from_micros(80)));
+        assert!(span_ev.args.contains(&("unfinished", 1.0)));
+        assert!(span_ev.args.contains(&("page", 7.0)));
+    }
+
+    #[test]
+    fn dropped_span_never_ends_before_it_starts() {
+        let r = Registry::new();
+        let p = r.probe();
+        // Nothing has advanced last_seen past the span's start.
+        drop(p.span("mem", "fault", SimTime::from_micros(40)));
+        let events = r.trace().sorted_events();
+        assert_eq!(events[0].dur, Some(SimDuration::ZERO));
+        assert_eq!(r.snapshot().counter("probe.spans_dropped"), Some(1));
+    }
+
+    #[test]
+    fn ended_span_does_not_double_record_on_drop() {
+        let r = Registry::new();
+        let p = r.probe();
+        p.span("a", "b", SimTime::ZERO).end(SimTime::from_micros(5));
+        let s = r.snapshot();
+        assert_eq!(s.counter("probe.spans_dropped"), None);
+        assert_eq!(s.trace_events, 1);
     }
 
     #[test]

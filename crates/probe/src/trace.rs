@@ -121,6 +121,23 @@ mod tests {
     }
 
     #[test]
+    fn dropped_accounting_is_exact_when_ring_wraps() {
+        let ring = TraceRing::new(4);
+        for i in 0..10 {
+            ring.push(ev(i, "e"));
+        }
+        assert_eq!(ring.len(), 4, "capacity is a hard bound");
+        assert_eq!(ring.dropped(), 6, "every overflow event is counted");
+        assert_eq!(ring.sorted_events().len(), 4);
+        // The survivors are the earliest-pushed events, not a mix.
+        let kept: Vec<_> = ring.sorted_events().iter().map(|e| e.ts).collect();
+        assert_eq!(kept, (0..4).map(SimTime::from_nanos).collect::<Vec<_>>());
+        // Draining continues to count once full.
+        ring.push(ev(99, "late"));
+        assert_eq!(ring.dropped(), 7);
+    }
+
+    #[test]
     fn export_order_is_time_then_identity() {
         let ring = TraceRing::new(16);
         ring.push(ev(5, "late"));

@@ -29,6 +29,7 @@
 //! whose event type embeds it.
 
 use std::any::Any;
+use std::sync::Arc;
 
 use crate::{EventId, EventQueue, SimDuration, SimTime};
 
@@ -92,6 +93,132 @@ pub trait Transport {
         let there = self.transfer(src, dst, request_bytes, now);
         self.transfer(dst, src, response_bytes, there)
     }
+
+    /// [`Transport::transfer`] with a cost breakdown: where the time
+    /// between request and delivery went. The default treats the whole
+    /// interval as wire time; occupancy transports override it to split
+    /// out software overhead and contention wait.
+    fn transfer_detailed(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> TransferCost {
+        let delivered = self.transfer(src, dst, bytes, now);
+        TransferCost::opaque(now, delivered)
+    }
+
+    /// [`Transport::rpc`] with a cost breakdown (sums of both legs).
+    fn rpc_detailed(
+        &mut self,
+        src: u32,
+        dst: u32,
+        request_bytes: u64,
+        response_bytes: u64,
+        now: SimTime,
+    ) -> TransferCost {
+        let there = self.transfer_detailed(src, dst, request_bytes, now);
+        let back = self.transfer_detailed(dst, src, response_bytes, there.delivered);
+        TransferCost {
+            delivered: back.delivered,
+            overhead: there.overhead + back.overhead,
+            wait: there.wait + back.wait,
+            wire: there.wire + back.wire,
+        }
+    }
+}
+
+/// Where the time of one fabric exchange went, as reported by
+/// [`Transport::transfer_detailed`]. The pieces partition the interval
+/// between request and delivery: `overhead + wait + wire` equals
+/// `delivered - requested_at` exactly for occupancy transports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferCost {
+    /// When the payload (or, for rpcs, the response) was delivered.
+    pub delivered: SimTime,
+    /// Software send/receive processing charged to the endpoints
+    /// (the LogP `o` term).
+    pub overhead: SimDuration,
+    /// Time spent queued behind competing traffic before the wire was
+    /// free — the fabric-contention term.
+    pub wait: SimDuration,
+    /// Serialization plus propagation once transmission started.
+    pub wire: SimDuration,
+}
+
+impl TransferCost {
+    /// A free local copy: delivered at `now`, nothing charged.
+    pub fn free(now: SimTime) -> Self {
+        TransferCost {
+            delivered: now,
+            overhead: SimDuration::ZERO,
+            wait: SimDuration::ZERO,
+            wire: SimDuration::ZERO,
+        }
+    }
+
+    /// An opaque exchange: the whole interval counts as wire time. Used
+    /// by transports that do not expose a breakdown.
+    pub fn opaque(requested_at: SimTime, delivered: SimTime) -> Self {
+        TransferCost {
+            delivered,
+            overhead: SimDuration::ZERO,
+            wait: SimDuration::ZERO,
+            wire: delivered.saturating_since(requested_at),
+        }
+    }
+
+    /// Total charged time (`overhead + wait + wire`).
+    pub fn total(&self) -> SimDuration {
+        self.overhead + self.wait + self.wire
+    }
+}
+
+/// Provenance of one scheduled event (or synthetic mark): which event
+/// caused it, which components are involved, when it was scheduled and
+/// when it fires, plus any blame segments attached via [`Ctx::blame`].
+///
+/// Records form a DAG rooted at seed events ([`Engine::schedule_at`],
+/// `parent == None`): a child's `scheduled_at` is its parent's firing
+/// time, so walking parents from any record back to a root telescopes
+/// into an exact account of elapsed simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalRecord {
+    /// The scheduled event's queue sequence number ([`EventId::seq`]).
+    /// Synthetic marks use a disjoint id space (high bit set).
+    pub seq: u64,
+    /// Sequence number of the event during whose handling this one was
+    /// scheduled; `None` for seeds.
+    pub parent: Option<u64>,
+    /// Trace id: every seed starts a fresh trace, descendants inherit it.
+    pub trace: u64,
+    /// Component that scheduled the event; `None` for seeds.
+    pub src: Option<ComponentId>,
+    /// Component the event is addressed to.
+    pub dst: ComponentId,
+    /// Simulated time at which the event was scheduled.
+    pub scheduled_at: SimTime,
+    /// Simulated time at which the event fires (for marks: the labelled
+    /// completion time).
+    pub fires_at: SimTime,
+    /// Label attached via [`Ctx::mark`]; empty for ordinary events.
+    pub label: &'static str,
+    /// Attribution segments explaining the edge leading to this event:
+    /// `(category, duration)` pairs queued via [`Ctx::blame`].
+    pub blame: Vec<(&'static str, SimDuration)>,
+}
+
+/// Consumer of [`CausalRecord`]s produced by an [`Engine`] with causal
+/// tracing enabled (see [`Engine::set_causal_sink`]).
+pub trait CausalSink {
+    /// Accepts one record. Called during event dispatch; implementations
+    /// should be cheap and must not re-enter the engine.
+    fn record(&self, record: CausalRecord);
+}
+
+/// Seq-space base for synthetic marks, disjoint from queue sequence
+/// numbers (a queue would need 2^63 events to collide).
+const MARK_SEQ_BASE: u64 = 1 << 63;
+
+struct CausalState {
+    sink: Arc<dyn CausalSink>,
+    next_trace: u64,
+    next_mark: u64,
 }
 
 /// How an [`Engine`] prices remote traffic.
@@ -126,6 +253,8 @@ pub trait Component<M>: Any {
 
 struct Envelope<M> {
     dst: ComponentId,
+    /// Trace id the event belongs to (0 when causal tracing is off).
+    trace: u64,
     event: M,
 }
 
@@ -135,9 +264,77 @@ pub struct Ctx<'a, M> {
     queue: &'a mut EventQueue<Envelope<M>>,
     cost: &'a mut CostModel,
     self_id: ComponentId,
+    causal: Option<&'a mut CausalState>,
+    /// Seq of the event currently being handled.
+    current_seq: u64,
+    /// Trace id of the event currently being handled.
+    current_trace: u64,
+    /// Blame segments queued via [`Ctx::blame`], attached to the next
+    /// scheduled event or mark. Empty `Vec` allocates nothing, so the
+    /// disabled path stays allocation-free.
+    pending_blame: Vec<(&'static str, SimDuration)>,
 }
 
 impl<M> Ctx<'_, M> {
+    /// Schedules an envelope and, when causal tracing is on, records its
+    /// provenance (parent = current event) with any pending blame.
+    fn schedule_envelope(&mut self, dst: ComponentId, time: SimTime, event: M) -> EventId {
+        let trace = self.current_trace;
+        let id = self.queue.schedule_at(time, Envelope { dst, trace, event });
+        if let Some(causal) = &self.causal {
+            causal.sink.record(CausalRecord {
+                seq: id.seq(),
+                parent: Some(self.current_seq),
+                trace,
+                src: Some(self.self_id),
+                dst,
+                scheduled_at: self.queue.now(),
+                fires_at: time,
+                label: "",
+                blame: std::mem::take(&mut self.pending_blame),
+            });
+        }
+        id
+    }
+
+    /// True when the engine records causal provenance. Components may use
+    /// this to skip work that only feeds attribution.
+    pub fn causal_enabled(&self) -> bool {
+        self.causal.is_some()
+    }
+
+    /// Attributes `amount` of the time leading up to the *next* scheduled
+    /// event (or [`Ctx::mark`]) to `category`. Segments accumulate in call
+    /// order and are drained by the next `schedule_*`/`send_to*`/`mark`;
+    /// anything left when the handler returns is discarded. A no-op when
+    /// causal tracing is off or `amount` is zero.
+    pub fn blame(&mut self, category: &'static str, amount: SimDuration) {
+        if self.causal.is_some() && amount > SimDuration::ZERO {
+            self.pending_blame.push((category, amount));
+        }
+    }
+
+    /// Emits a labelled terminal record at time `at` (e.g. a scenario
+    /// completion) without scheduling anything. The mark's parent is the
+    /// current event, so critical-path extraction can start from it.
+    /// Pending blame attaches to the mark. A no-op when tracing is off.
+    pub fn mark(&mut self, label: &'static str, at: SimTime) {
+        if let Some(causal) = &mut self.causal {
+            let seq = MARK_SEQ_BASE + causal.next_mark;
+            causal.next_mark += 1;
+            causal.sink.record(CausalRecord {
+                seq,
+                parent: Some(self.current_seq),
+                trace: self.current_trace,
+                src: Some(self.self_id),
+                dst: self.self_id,
+                scheduled_at: self.queue.now(),
+                fires_at: at,
+                label,
+                blame: std::mem::take(&mut self.pending_blame),
+            });
+        }
+    }
     /// Current simulated time (the timestamp of the event being handled).
     pub fn now(&self) -> SimTime {
         self.queue.now()
@@ -163,7 +360,7 @@ impl<M> Ctx<'_, M> {
     /// Panics if `time` is in the past (see [`EventQueue::schedule_at`]).
     pub fn schedule_at(&mut self, time: SimTime, event: M) -> EventId {
         let dst = self.self_id;
-        self.queue.schedule_at(time, Envelope { dst, event })
+        self.schedule_envelope(dst, time, event)
     }
 
     /// Schedules an event to this component `delay` from now.
@@ -183,7 +380,7 @@ impl<M> Ctx<'_, M> {
     ///
     /// Panics if `time` is in the past.
     pub fn send_to_at(&mut self, dst: ComponentId, time: SimTime, event: M) -> EventId {
-        self.queue.schedule_at(time, Envelope { dst, event })
+        self.schedule_envelope(dst, time, event)
     }
 
     /// Cancels a previously scheduled event. Returns `true` if it was
@@ -237,6 +434,60 @@ impl<M> Ctx<'_, M> {
             CostModel::Fabric(t) => t.rpc(src, dst, request_bytes, response_bytes, now),
         }
     }
+
+    /// [`Ctx::transfer`] with a cost breakdown ([`TransferCost`]), for
+    /// components attributing their service time via [`Ctx::blame`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`CostModel::Fixed`] (see [`Ctx::transfer`]).
+    pub fn transfer_detailed(&mut self, src: u32, dst: u32, bytes: u64) -> TransferCost {
+        let now = self.queue.now();
+        self.transfer_detailed_at(src, dst, bytes, now)
+    }
+
+    /// [`Ctx::transfer_at`] with a cost breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`CostModel::Fixed`] (see [`Ctx::transfer`]).
+    pub fn transfer_detailed_at(
+        &mut self,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        at: SimTime,
+    ) -> TransferCost {
+        match self.cost {
+            CostModel::Fixed => panic!(
+                "fabric transfer requested under CostModel::Fixed; \
+                 fixed-mode components charge their own constants"
+            ),
+            CostModel::Fabric(t) => t.transfer_detailed(src, dst, bytes, at),
+        }
+    }
+
+    /// [`Ctx::rpc`] with a cost breakdown (both legs summed).
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`CostModel::Fixed`] (see [`Ctx::rpc`]).
+    pub fn rpc_detailed(
+        &mut self,
+        src: u32,
+        dst: u32,
+        request_bytes: u64,
+        response_bytes: u64,
+    ) -> TransferCost {
+        let now = self.queue.now();
+        match self.cost {
+            CostModel::Fixed => panic!(
+                "fabric rpc requested under CostModel::Fixed; \
+                 fixed-mode components charge their own constants"
+            ),
+            CostModel::Fabric(t) => t.rpc_detailed(src, dst, request_bytes, response_bytes, now),
+        }
+    }
 }
 
 /// A deterministic discrete-event engine routing typed events to
@@ -273,6 +524,7 @@ pub struct Engine<M> {
     queue: EventQueue<Envelope<M>>,
     components: Vec<Box<dyn Component<M>>>,
     cost: CostModel,
+    causal: Option<CausalState>,
 }
 
 impl<M: 'static> Default for Engine<M> {
@@ -299,7 +551,20 @@ impl<M: 'static> Engine<M> {
             queue: EventQueue::new(),
             components: Vec::new(),
             cost,
+            causal: None,
         }
+    }
+
+    /// Enables causal tracing: every event scheduled from here on gets a
+    /// [`CausalRecord`] (provenance link, trace id, blame) delivered to
+    /// `sink`. Without a sink the engine does no causal work at all —
+    /// no records, no allocation, identical event history.
+    pub fn set_causal_sink(&mut self, sink: Arc<dyn CausalSink>) {
+        self.causal = Some(CausalState {
+            sink,
+            next_trace: 0,
+            next_mark: 0,
+        });
     }
 
     /// Registers a component and returns its routing id.
@@ -338,7 +603,29 @@ impl<M: 'static> Engine<M> {
     ///
     /// Panics if `time` is in the past.
     pub fn schedule_at(&mut self, dst: ComponentId, time: SimTime, event: M) -> EventId {
-        self.queue.schedule_at(time, Envelope { dst, event })
+        // Seeds root fresh traces: no parent, no source component.
+        let trace = match &mut self.causal {
+            Some(causal) => {
+                causal.next_trace += 1;
+                causal.next_trace
+            }
+            None => 0,
+        };
+        let id = self.queue.schedule_at(time, Envelope { dst, trace, event });
+        if let Some(causal) = &self.causal {
+            causal.sink.record(CausalRecord {
+                seq: id.seq(),
+                parent: None,
+                trace,
+                src: None,
+                dst,
+                scheduled_at: self.queue.now(),
+                fires_at: time,
+                label: "",
+                blame: Vec::new(),
+            });
+        }
+        id
     }
 
     /// Runs until the queue is empty, dispatching each event to its
@@ -348,7 +635,7 @@ impl<M: 'static> Engine<M> {
     ///
     /// Panics if an event addresses an unregistered component.
     pub fn run(&mut self) {
-        while let Some((_, envelope)) = self.queue.pop() {
+        while let Some((_, id, envelope)) = self.queue.pop_with_id() {
             let component = match self.components.get_mut(envelope.dst.0) {
                 Some(c) => c,
                 None => panic!(
@@ -360,6 +647,10 @@ impl<M: 'static> Engine<M> {
                 queue: &mut self.queue,
                 cost: &mut self.cost,
                 self_id: envelope.dst,
+                causal: self.causal.as_mut(),
+                current_seq: id.seq(),
+                current_trace: envelope.trace,
+                pending_blame: Vec::new(),
             };
             component.on_event(&mut ctx, envelope.event);
         }
@@ -539,6 +830,125 @@ mod tests {
             engine.component::<Sender>(id).delivered,
             Some(SimTime::from_micros(3))
         );
+    }
+
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct VecSink(Mutex<Vec<CausalRecord>>);
+
+    impl CausalSink for VecSink {
+        fn record(&self, record: CausalRecord) {
+            self.0.lock().unwrap().push(record);
+        }
+    }
+
+    struct Chainer {
+        hops: u32,
+        peer: ComponentId,
+    }
+
+    impl Component<u32> for Chainer {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, hop: u32) {
+            ctx.blame("compute", SimDuration::from_micros(3));
+            if hop < self.hops {
+                ctx.send_to_at(self.peer, ctx.now() + SimDuration::from_micros(5), hop + 1);
+            } else {
+                ctx.mark("chain.done", ctx.now());
+            }
+        }
+    }
+
+    #[test]
+    fn causal_records_link_children_to_parents() {
+        let sink = Arc::new(VecSink::default());
+        let mut engine = Engine::new();
+        engine.set_causal_sink(sink.clone());
+        let b = ComponentId(1);
+        let a = engine.register(Chainer { hops: 3, peer: b });
+        engine.register(Chainer { hops: 3, peer: a });
+        engine.schedule_at(a, SimTime::from_micros(1), 1);
+        engine.run();
+
+        let records = sink.0.lock().unwrap();
+        // Seed + 2 hops + terminal mark.
+        assert_eq!(records.len(), 4);
+        let seed = &records[0];
+        assert_eq!(seed.parent, None);
+        assert_eq!(seed.src, None);
+        assert_eq!(seed.dst, a);
+        for pair in records.windows(2) {
+            let (parent, child) = (&pair[0], &pair[1]);
+            assert_eq!(child.parent, Some(parent.seq), "chain is fully linked");
+            assert_eq!(child.trace, seed.trace, "descendants inherit the trace");
+            assert_eq!(child.scheduled_at, parent.fires_at);
+        }
+        let mark = records.last().unwrap();
+        assert_eq!(mark.label, "chain.done");
+        assert!(mark.seq >= MARK_SEQ_BASE, "marks use a disjoint seq space");
+        // Every non-seed record carries the blame queued before scheduling.
+        for child in &records[1..] {
+            assert_eq!(child.blame, vec![("compute", SimDuration::from_micros(3))]);
+        }
+    }
+
+    #[test]
+    fn seeds_start_fresh_traces() {
+        let sink = Arc::new(VecSink::default());
+        let mut engine: Engine<u32> = Engine::new();
+        engine.set_causal_sink(sink.clone());
+        struct Quiet;
+        impl Component<u32> for Quiet {
+            fn on_event(&mut self, _: &mut Ctx<'_, u32>, _: u32) {}
+        }
+        let id = engine.register(Quiet);
+        engine.schedule_at(id, SimTime::ZERO, 0);
+        engine.schedule_at(id, SimTime::ZERO, 1);
+        engine.run();
+        let records = sink.0.lock().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_ne!(records[0].trace, records[1].trace);
+    }
+
+    #[test]
+    fn disabled_engine_runs_identically_to_traced_engine() {
+        fn history(traced: bool) -> Vec<(u64, u32)> {
+            struct Log {
+                peer: ComponentId,
+                seen: Vec<(u64, u32)>,
+            }
+            impl Component<u32> for Log {
+                fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, n: u32) {
+                    self.seen.push((ctx.now().as_nanos(), n));
+                    ctx.blame("x", SimDuration::from_micros(1));
+                    if n > 0 {
+                        ctx.send_to_at(self.peer, ctx.now() + SimDuration::from_micros(2), n - 1);
+                    }
+                }
+            }
+            let mut engine = Engine::new();
+            if traced {
+                engine.set_causal_sink(Arc::new(VecSink::default()));
+            }
+            let id = engine.register(Log {
+                peer: ComponentId(0),
+                seen: Vec::new(),
+            });
+            engine.schedule_at(id, SimTime::ZERO, 5);
+            engine.run();
+            std::mem::take(&mut engine.component_mut::<Log>(id).seen)
+        }
+        assert_eq!(history(false), history(true));
+    }
+
+    #[test]
+    fn transfer_cost_breakdown_partitions_the_interval() {
+        let opaque = TransferCost::opaque(SimTime::from_micros(2), SimTime::from_micros(9));
+        assert_eq!(opaque.total(), SimDuration::from_micros(7));
+        assert_eq!(opaque.wire, SimDuration::from_micros(7));
+        let free = TransferCost::free(SimTime::from_micros(4));
+        assert_eq!(free.total(), SimDuration::ZERO);
+        assert_eq!(free.delivered, SimTime::from_micros(4));
     }
 
     #[test]

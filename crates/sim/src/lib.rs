@@ -58,7 +58,10 @@ mod time;
 pub mod report;
 pub mod stats;
 
-pub use engine::{Component, ComponentId, CostMode, CostModel, Ctx, Engine, EventCast, Transport};
+pub use engine::{
+    CausalRecord, CausalSink, Component, ComponentId, CostMode, CostModel, Ctx, Engine, EventCast,
+    TransferCost, Transport,
+};
 pub use queue::{EventId, EventQueue};
 pub use rng::{SimRng, ZipfSampler};
 pub use time::{SimDuration, SimTime};

@@ -13,6 +13,15 @@ use crate::{SimDuration, SimTime};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
 
+impl EventId {
+    /// The queue sequence number behind this id. Unique for the queue's
+    /// lifetime, so it doubles as a stable event identity for provenance
+    /// tracking (see `Engine`'s causal log).
+    pub const fn seq(self) -> u64 {
+        self.0
+    }
+}
+
 struct Scheduled<E> {
     time: SimTime,
     seq: u64,
@@ -146,12 +155,19 @@ impl<E> EventQueue<E> {
     /// Removes and returns the next event as `(time, payload)`, advancing the
     /// clock to its timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_with_id().map(|(time, _, payload)| (time, payload))
+    }
+
+    /// [`EventQueue::pop`] that also returns the event's [`EventId`], so a
+    /// dispatcher can tie follow-up scheduling back to the event being
+    /// handled (provenance links in the `Engine`'s causal log).
+    pub fn pop_with_id(&mut self) -> Option<(SimTime, EventId, E)> {
         while let Some(ev) = self.heap.pop() {
             if !self.pending.remove(&ev.seq) {
                 continue; // tombstone of a cancelled event
             }
             self.now = ev.time;
-            return Some((ev.time, ev.payload));
+            return Some((ev.time, EventId(ev.seq), ev.payload));
         }
         None
     }
