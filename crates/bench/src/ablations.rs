@@ -169,15 +169,22 @@ pub fn raid_write_path() -> String {
 
 /// All ablations, concatenated.
 pub fn all() -> String {
-    [
-        nchance_budget(),
-        client_cache_size(),
-        message_overhead(),
-        migration_path(),
-        scheduling_quantum(),
-        raid_write_path(),
-    ]
-    .join("\n")
+    all_jobs(1)
+}
+
+/// [`all`] with the six ablations fanned out over `jobs` worker threads.
+/// Each ablation is an independent seeded sweep and the sections join in
+/// the fixed list order, so the output is byte-identical for any `jobs`.
+pub fn all_jobs(jobs: usize) -> String {
+    let sections: [fn() -> String; 6] = [
+        nchance_budget,
+        client_cache_size,
+        message_overhead,
+        migration_path,
+        scheduling_quantum,
+        raid_write_path,
+    ];
+    now_sim::parallel::run_indexed(jobs, &sections, |_, section| section()).join("\n")
 }
 
 #[cfg(test)]

@@ -10,22 +10,34 @@
 //! repro --trace-out now.json fig2  # write a Chrome/Perfetto trace
 //! repro contention --blame         # append critical-path blame tables
 //! repro contention --timeseries-out ts.csv   # flight-recorder samples (.json for JSON)
+//! repro contention --jobs 4        # fan independent runs over 4 threads
+//! repro --bench-out BENCH_repro.json --jobs 4  # wall-time harness, serial vs parallel
 //! ```
+//!
+//! `--jobs N` (or the `NOW_JOBS` environment variable) sets how many
+//! worker threads the contention sweep, the availability report, and the
+//! ablations fan their independent runs over; the default is the
+//! machine's available parallelism and `--jobs 1` forces the legacy
+//! serial path. Output is byte-identical whatever the worker count.
 
 use std::env;
 use std::process::exit;
+use std::time::Instant;
 
 use now_probe::recorder::{csv_concat, json_concat, TimeSeries};
 use now_probe::{Probe, Registry};
+use now_sim::parallel::resolve_jobs;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut fast = false;
     let mut smoke = false;
     let mut blame = false;
+    let mut jobs_arg: Option<usize> = None;
     let mut metrics: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut timeseries_out: Option<String> = None;
+    let mut bench_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -35,6 +47,32 @@ fn main() {
             smoke = true;
         } else if arg == "--blame" {
             blame = true;
+        } else if arg == "--jobs" {
+            match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) if n >= 1 => jobs_arg = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive worker count");
+                    exit(2);
+                }
+            }
+        } else if let Some(n) = arg.strip_prefix("--jobs=") {
+            match n.parse() {
+                Ok(n) if n >= 1 => jobs_arg = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive worker count, got {n:?}");
+                    exit(2);
+                }
+            }
+        } else if arg == "--bench-out" {
+            match it.next() {
+                Some(path) => bench_out = Some(path),
+                None => {
+                    eprintln!("--bench-out needs a file path");
+                    exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--bench-out=") {
+            bench_out = Some(path.to_string());
         } else if arg == "--metrics" {
             metrics = Some("text".to_string());
         } else if let Some(format) = arg.strip_prefix("--metrics=") {
@@ -67,6 +105,30 @@ fn main() {
             selected.push(arg.trim_start_matches("--").to_string());
         }
     }
+    let jobs = resolve_jobs(jobs_arg);
+
+    // The wall-time harness replaces the reports: time the heavy sweeps
+    // serial vs parallel, write the trajectory entries, and exit.
+    if let Some(path) = bench_out {
+        let entries = run_bench_harness(smoke, jobs);
+        if let Err(e) = std::fs::write(&path, render_bench_json(&entries)) {
+            eprintln!("cannot write bench results to {path}: {e}");
+            exit(1);
+        }
+        for e in &entries {
+            eprintln!(
+                "{}: serial {:.0} ms, parallel {:.0} ms at {} jobs ({:.2}x)",
+                e.bench,
+                e.serial_ms,
+                e.parallel_ms,
+                e.jobs,
+                e.speedup()
+            );
+        }
+        eprintln!("wrote bench trajectory to {path}");
+        return;
+    }
+
     let all = selected.is_empty();
     let want = |name: &str| all || selected.iter().any(|s| s == name);
 
@@ -116,26 +178,29 @@ fn main() {
     }
     if want("contention") {
         if blame || record {
-            let mut r = now_bench::contention_observed(smoke, blame, record, &probe);
+            let mut r = now_bench::contention_observed_jobs(smoke, blame, record, &probe, jobs);
             println!("{}", r.text);
             series.append(&mut r.series);
         } else {
-            println!("{}", now_bench::contention());
+            println!("{}", now_bench::contention_jobs(smoke, jobs));
         }
     }
     if want("availability") {
         if blame || record {
-            let mut r = now_bench::availability_observed(smoke, blame, record, &probe);
+            let mut r = now_bench::availability_observed_jobs(smoke, blame, record, &probe, jobs);
             println!("{}", r.text);
             series.append(&mut r.series);
         } else {
-            println!("{}", now_bench::availability_probed(smoke, &probe));
+            println!(
+                "{}",
+                now_bench::availability_observed_jobs(smoke, false, false, &probe, jobs).text
+            );
         }
     }
     // Ablations are opt-in: they are design-choice sweeps, not paper
     // artifacts.
     if selected.iter().any(|s| s == "ablations") {
-        println!("{}", now_bench::ablations::all());
+        println!("{}", now_bench::ablations::all_jobs(jobs));
     }
 
     if let Some(path) = timeseries_out {
@@ -179,4 +244,105 @@ fn main() {
             eprintln!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
         }
     }
+}
+
+/// One wall-time measurement of a heavy sweep, serial vs parallel.
+struct BenchEntry {
+    bench: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    jobs: usize,
+}
+
+impl BenchEntry {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+/// Times the availability Monte-Carlo and the contention sweep at one
+/// worker and at `jobs` workers. Each pair also cross-checks what the
+/// parallel layer promises: identical output, faster wall clock.
+fn run_bench_harness(smoke: bool, jobs: usize) -> Vec<BenchEntry> {
+    use now_raid::availability::FailureModel;
+
+    let model = FailureModel::paper_defaults();
+    let trials: u64 = 2_000;
+    let mut serial_mc = 0.0;
+    let mut parallel_mc = 0.0;
+    let serial_mc_ms = time_ms(|| {
+        serial_mc = now_fault::montecarlo::software_service_mttf_hours_jobs(
+            &model,
+            8,
+            trials,
+            now_bench::SEED,
+            1,
+        );
+    });
+    let parallel_mc_ms = time_ms(|| {
+        parallel_mc = now_fault::montecarlo::software_service_mttf_hours_jobs(
+            &model,
+            8,
+            trials,
+            now_bench::SEED,
+            jobs,
+        );
+    });
+    assert_eq!(
+        serial_mc.to_bits(),
+        parallel_mc.to_bits(),
+        "parallel Monte-Carlo must match serial bit-for-bit"
+    );
+
+    let mut serial_table = String::new();
+    let mut parallel_table = String::new();
+    let serial_sweep_ms = time_ms(|| serial_table = now_bench::contention_jobs(smoke, 1));
+    let parallel_sweep_ms = time_ms(|| parallel_table = now_bench::contention_jobs(smoke, jobs));
+    assert_eq!(
+        serial_table, parallel_table,
+        "parallel contention sweep must match serial byte-for-byte"
+    );
+
+    vec![
+        BenchEntry {
+            bench: "availability_mc_2000",
+            serial_ms: serial_mc_ms,
+            parallel_ms: parallel_mc_ms,
+            jobs,
+        },
+        BenchEntry {
+            bench: "contention_sweep",
+            serial_ms: serial_sweep_ms,
+            parallel_ms: parallel_sweep_ms,
+            jobs,
+        },
+    ]
+}
+
+fn render_bench_json(entries: &[BenchEntry]) -> String {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "  {{\"bench\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+                 \"jobs\": {}, \"speedup\": {:.3}}}",
+                e.bench,
+                e.serial_ms,
+                e.parallel_ms,
+                e.jobs,
+                e.speedup()
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
 }

@@ -358,6 +358,13 @@ pub fn contention() -> String {
     contention_observed(false, false, false, &Probe::disabled()).text
 }
 
+/// [`contention`] with the sweep points fanned out over `jobs` worker
+/// threads. Each point is an independent seeded scenario, so the rendered
+/// table is byte-identical to the serial one for any `jobs`.
+pub fn contention_jobs(smoke: bool, jobs: usize) -> String {
+    contention_observed_jobs(smoke, false, false, &Probe::disabled(), jobs).text
+}
+
 /// A rendered report plus the flight recorder's per-run gauge series
 /// (empty unless the run was asked to record).
 #[derive(Debug, Clone, Default)]
@@ -397,6 +404,20 @@ fn observer_for(blame: bool, record: bool, probe: &Probe) -> now_core::ScenarioO
     }
 }
 
+/// The worker count scenario fan-outs actually use: the caller's `jobs`,
+/// forced to 1 while a shared *enabled* probe is watching. Concurrent
+/// runs would interleave their gauge writes on that one registry in
+/// wall-clock order — the nondeterminism the serial path never has — so
+/// telemetry-carrying sweeps stay serial. Per-run causal logs and per-run
+/// private registries are unaffected: they parallelise freely.
+fn scenario_jobs(jobs: usize, probe: &Probe) -> usize {
+    if probe.is_enabled() {
+        1
+    } else {
+        jobs
+    }
+}
+
 /// [`contention`] with observability: `blame` appends a critical-path
 /// blame table per background-load point (where the BSP job's makespan
 /// went), `record` returns the flight recorder's gauge series per point,
@@ -407,6 +428,20 @@ pub fn contention_observed(
     blame: bool,
     record: bool,
     probe: &Probe,
+) -> ObservedReport {
+    contention_observed_jobs(smoke, blame, record, probe, 1)
+}
+
+/// [`contention_observed`] with the sweep points fanned out over `jobs`
+/// worker threads (see [`scenario_jobs`] for when that is forced serial).
+/// Each point builds its own engine and observer, and rows render in
+/// sweep order, so the report is byte-identical for any `jobs`.
+pub fn contention_observed_jobs(
+    smoke: bool,
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+    jobs: usize,
 ) -> ObservedReport {
     use now_core::{NowCluster, ScenarioSpec};
     let flows: &[u32] = if smoke { &[0, 4, 8] } else { &[0, 2, 4, 8, 16] };
@@ -421,13 +456,23 @@ pub fn contention_observed(
     t.title("Contention - one fabric under the paging + BSP job + file cache scenario");
     let mut blame_text = String::new();
     let mut series = Vec::new();
-    for &n in flows {
-        let spec = ScenarioSpec {
-            background_flows: n,
-            seed: SEED,
-            ..ScenarioSpec::contention_default()
-        };
-        let (out, obs) = cluster.run_scenario_observed(&spec, &observer_for(blame, record, probe));
+    // Observers are built serially up front (fixed order), then the runs
+    // fan out; results come back in sweep order.
+    let runs: Vec<(ScenarioSpec, now_core::ScenarioObserver)> = flows
+        .iter()
+        .map(|&n| {
+            (
+                ScenarioSpec {
+                    background_flows: n,
+                    seed: SEED,
+                    ..ScenarioSpec::contention_default()
+                },
+                observer_for(blame, record, probe),
+            )
+        })
+        .collect();
+    let results = cluster.run_scenarios_observed(&runs, scenario_jobs(jobs, probe));
+    for (&n, (out, obs)) in flows.iter().zip(results) {
         t.row_owned(vec![
             format!("{n}"),
             format!(
@@ -458,18 +503,26 @@ pub fn contention_observed(
 /// flow count with its outcome. Everything but the background load is
 /// held fixed, so the outcomes isolate what contention costs.
 pub fn contention_series(flows: &[u32]) -> Vec<(u32, now_core::ScenarioOutcome)> {
+    contention_series_jobs(flows, 1)
+}
+
+/// [`contention_series`] with the runs fanned out over `jobs` worker
+/// threads; outcomes are identical to the serial sweep for any `jobs`.
+pub fn contention_series_jobs(flows: &[u32], jobs: usize) -> Vec<(u32, now_core::ScenarioOutcome)> {
     use now_core::{NowCluster, ScenarioSpec};
     let cluster = NowCluster::builder().nodes(32).seed(SEED).build();
+    let specs: Vec<ScenarioSpec> = flows
+        .iter()
+        .map(|&n| ScenarioSpec {
+            background_flows: n,
+            seed: SEED,
+            ..ScenarioSpec::contention_default()
+        })
+        .collect();
     flows
         .iter()
-        .map(|&n| {
-            let spec = ScenarioSpec {
-                background_flows: n,
-                seed: SEED,
-                ..ScenarioSpec::contention_default()
-            };
-            (n, cluster.run_scenario(&spec))
-        })
+        .copied()
+        .zip(cluster.run_scenarios(&specs, jobs))
         .collect()
 }
 
@@ -481,6 +534,13 @@ pub fn contention_series(flows: &[u32]) -> Vec<(u32, now_core::ScenarioOutcome)>
 /// are identical either way.
 pub fn availability(smoke: bool) -> String {
     availability_probed(smoke, &Probe::disabled())
+}
+
+/// [`availability`] with the Monte-Carlo trials and the fault scenarios
+/// fanned out over `jobs` worker threads. Per-trial seed splitting and
+/// in-order reduction keep the report byte-identical for any `jobs`.
+pub fn availability_jobs(smoke: bool, jobs: usize) -> String {
+    availability_observed_jobs(smoke, false, false, &Probe::disabled(), jobs).text
 }
 
 /// [`availability`] with a telemetry probe: the scenario runs count
@@ -502,11 +562,27 @@ pub fn availability_observed(
     record: bool,
     probe: &Probe,
 ) -> ObservedReport {
+    availability_observed_jobs(smoke, blame, record, probe, 1)
+}
+
+/// [`availability_observed`] with the Monte-Carlo trials and the fault
+/// scenarios fanned out over `jobs` worker threads. The estimators split
+/// one seed per trial and reduce in trial order, so their cells — and the
+/// whole report — are byte-identical for any `jobs` (scenario fan-out is
+/// forced serial while a shared enabled probe watches; see
+/// [`scenario_jobs`]).
+pub fn availability_observed_jobs(
+    smoke: bool,
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+    jobs: usize,
+) -> ObservedReport {
     use now_core::NowCluster;
     use now_fault::montecarlo;
     use now_raid::availability::FailureModel;
 
-    let trials = if smoke { 200 } else { 2_000 };
+    let trials: u64 = if smoke { 200 } else { 2_000 };
     let m = FailureModel::paper_defaults();
     let mut mc = TextTable::new(&[
         "Quantity",
@@ -519,28 +595,28 @@ pub fn availability_observed(
         "Availability - closed forms vs Monte-Carlo ({trials} trials, seed {SEED})"
     ));
     type Pair = (&'static str, fn(&FailureModel, u32) -> f64, McFn);
-    type McFn = fn(&FailureModel, u32, u32, u64) -> f64;
+    type McFn = fn(&FailureModel, u32, u64, u64, usize) -> f64;
     let quantities: [Pair; 3] = [
         (
             "RAID-5 MTTDL",
             |m, n| m.raid5_mttdl_hours(n),
-            montecarlo::raid5_mttdl_hours,
+            montecarlo::raid5_mttdl_hours_jobs,
         ),
         (
             "Software RAID service MTTF",
             |m, n| m.software_raid_service_mttf_hours(n),
-            montecarlo::software_service_mttf_hours,
+            montecarlo::software_service_mttf_hours_jobs,
         ),
         (
             "Hardware RAID service MTTF",
             |m, n| m.hardware_raid_service_mttf_hours(n),
-            montecarlo::hardware_service_mttf_hours,
+            montecarlo::hardware_service_mttf_hours_jobs,
         ),
     ];
     for (name, closed_fn, mc_fn) in quantities {
         for n in [8u32, 16] {
             let closed = closed_fn(&m, n);
-            let estimate = mc_fn(&m, n, trials, SEED);
+            let estimate = mc_fn(&m, n, trials, SEED, jobs);
             mc.row_owned(vec![
                 name.to_string(),
                 format!("{n}"),
@@ -563,8 +639,13 @@ pub fn availability_observed(
     let cluster = NowCluster::builder().nodes(32).seed(SEED).build();
     let mut blame_text = String::new();
     let mut series = Vec::new();
-    for (name, spec) in availability_specs() {
-        let (out, obs) = cluster.run_scenario_observed(&spec, &observer_for(blame, record, probe));
+    let named_specs = availability_specs();
+    let runs: Vec<(now_core::ScenarioSpec, now_core::ScenarioObserver)> = named_specs
+        .iter()
+        .map(|(_, spec)| (spec.clone(), observer_for(blame, record, probe)))
+        .collect();
+    let results = cluster.run_scenarios_observed(&runs, scenario_jobs(jobs, probe));
+    for ((name, _), (out, obs)) in named_specs.iter().zip(results) {
         deg.row_owned(vec![
             name.to_string(),
             format!("{:.0}", out.mean_netram_fetch_us.unwrap_or(0.0)),

@@ -1,0 +1,86 @@
+//! The parallel layer's contract, end to end: fanning a report's
+//! independent runs over worker threads must not change a single byte of
+//! output, and repeated runs at the same worker count must agree.
+//!
+//! `now-sim::parallel::run_indexed` promises input-order results and the
+//! Monte-Carlo estimators promise per-trial seed splitting; these tests
+//! check the promise where it matters — the rendered tables the `repro`
+//! binary ships.
+
+use now_probe::Probe;
+
+#[test]
+fn contention_table_is_byte_identical_across_jobs() {
+    let serial = now_bench::contention_jobs(true, 1);
+    for jobs in [2usize, 8] {
+        assert_eq!(
+            serial,
+            now_bench::contention_jobs(true, jobs),
+            "contention table diverged at jobs={jobs}"
+        );
+    }
+    assert_eq!(
+        now_bench::contention_jobs(true, 8),
+        now_bench::contention_jobs(true, 8),
+        "contention table diverged between repeated runs at jobs=8"
+    );
+}
+
+#[test]
+fn availability_report_is_byte_identical_across_jobs() {
+    let serial = now_bench::availability_jobs(true, 1);
+    for jobs in [2usize, 8] {
+        assert_eq!(
+            serial,
+            now_bench::availability_jobs(true, jobs),
+            "availability report diverged at jobs={jobs}"
+        );
+    }
+    assert_eq!(
+        now_bench::availability_jobs(true, 8),
+        now_bench::availability_jobs(true, 8),
+        "availability report diverged between repeated runs at jobs=8"
+    );
+}
+
+#[test]
+fn blame_tables_are_byte_identical_across_jobs() {
+    // Causal logs are per run, so blame parallelises; the full observed
+    // report (table + blame appendix) must still match the serial one.
+    let probe = Probe::disabled();
+    let serial = now_bench::contention_observed_jobs(true, true, false, &probe, 1);
+    let parallel = now_bench::contention_observed_jobs(true, true, false, &probe, 8);
+    assert_eq!(serial.text, parallel.text);
+    assert!(
+        serial.text.contains("Blame - job makespan"),
+        "blame appendix missing:\n{}",
+        serial.text
+    );
+}
+
+#[test]
+fn contention_series_matches_across_jobs() {
+    let serial = now_bench::contention_series_jobs(&[0, 4], 1);
+    let parallel = now_bench::contention_series_jobs(&[0, 4], 8);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn ablations_are_byte_identical_across_jobs() {
+    let serial = now_bench::ablations::all_jobs(1);
+    assert_eq!(serial, now_bench::ablations::all_jobs(8));
+}
+
+#[test]
+fn enabled_probe_sees_identical_counts_whatever_jobs_asked() {
+    // With a shared enabled probe the fan-out is forced serial, so the
+    // registry snapshot — not just the table — is reproducible.
+    use now_probe::Registry;
+    let snap = |jobs: usize| {
+        let registry = Registry::new();
+        let text =
+            now_bench::contention_observed_jobs(true, false, false, &registry.probe(), jobs).text;
+        (text, registry.snapshot().counters)
+    };
+    assert_eq!(snap(1), snap(8));
+}

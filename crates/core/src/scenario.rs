@@ -29,6 +29,7 @@ use now_mem::{MultigridComponent, PageEvent, RemoteAccessCost};
 use now_probe::causal::{category, critical_path, BlameTable, CausalLog};
 use now_probe::recorder::TimeSeries;
 use now_probe::{Gauge, Probe};
+use now_sim::parallel::run_indexed;
 use now_sim::{Component, CostMode, Ctx, Engine, EventCast, SimDuration, SimTime, TransferCost};
 use now_trace::fs::{FsTrace, FsTraceConfig};
 use serde::{Deserialize, Serialize};
@@ -908,6 +909,42 @@ impl NowCluster {
             },
         };
         (outcome, ScenarioObservations { blame, timeseries })
+    }
+
+    /// Runs each spec as an independent scenario, fanned out over up to
+    /// `jobs` worker threads, returning outcomes in spec order.
+    ///
+    /// Every run builds its own engine, fabric, and traces from its spec,
+    /// so runs share nothing mutable and the outcome list is identical to
+    /// `specs.iter().map(|s| self.run_scenario(s))` for any `jobs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`run_scenario`](Self::run_scenario).
+    pub fn run_scenarios(&self, specs: &[ScenarioSpec], jobs: usize) -> Vec<ScenarioOutcome> {
+        run_indexed(jobs, specs, |_, spec| self.run_scenario(spec))
+    }
+
+    /// Runs each `(spec, observer)` pair as an independent observed
+    /// scenario over up to `jobs` worker threads, in input order.
+    ///
+    /// Give each run its *own* observer (its own causal log, its own
+    /// registry): a shared enabled probe sees runs interleave gauge writes
+    /// in wall-clock order, which is exactly the nondeterminism serial
+    /// execution avoids — callers that share one enabled probe across runs
+    /// should keep `jobs = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`run_scenario`](Self::run_scenario).
+    pub fn run_scenarios_observed(
+        &self,
+        runs: &[(ScenarioSpec, ScenarioObserver)],
+        jobs: usize,
+    ) -> Vec<(ScenarioOutcome, ScenarioObservations)> {
+        run_indexed(jobs, runs, |_, (spec, observer)| {
+            self.run_scenario_observed(spec, observer)
+        })
     }
 }
 

@@ -215,6 +215,18 @@ pub trait CausalSink {
 /// numbers (a queue would need 2^63 events to collide).
 const MARK_SEQ_BASE: u64 = 1 << 63;
 
+/// Moves the queued blame segments into an owned `Vec` for a
+/// [`CausalRecord`], leaving the shared buffer (and its capacity) behind
+/// for the next event. An empty buffer yields `Vec::new()` — no
+/// allocation — so events that attach no blame stay free.
+fn drain_blame(buf: &mut Vec<(&'static str, SimDuration)>) -> Vec<(&'static str, SimDuration)> {
+    if buf.is_empty() {
+        Vec::new()
+    } else {
+        buf.split_off(0)
+    }
+}
+
 struct CausalState {
     sink: Arc<dyn CausalSink>,
     next_trace: u64,
@@ -270,9 +282,11 @@ pub struct Ctx<'a, M> {
     /// Trace id of the event currently being handled.
     current_trace: u64,
     /// Blame segments queued via [`Ctx::blame`], attached to the next
-    /// scheduled event or mark. Empty `Vec` allocates nothing, so the
-    /// disabled path stays allocation-free.
-    pending_blame: Vec<(&'static str, SimDuration)>,
+    /// scheduled event or mark. Borrowed from the engine's reusable
+    /// buffer, so dispatch allocates nothing per envelope: the buffer's
+    /// capacity survives across events, and the disabled path never
+    /// pushes into it at all.
+    pending_blame: &'a mut Vec<(&'static str, SimDuration)>,
 }
 
 impl<M> Ctx<'_, M> {
@@ -291,7 +305,7 @@ impl<M> Ctx<'_, M> {
                 scheduled_at: self.queue.now(),
                 fires_at: time,
                 label: "",
-                blame: std::mem::take(&mut self.pending_blame),
+                blame: drain_blame(self.pending_blame),
             });
         }
         id
@@ -331,7 +345,7 @@ impl<M> Ctx<'_, M> {
                 scheduled_at: self.queue.now(),
                 fires_at: at,
                 label,
-                blame: std::mem::take(&mut self.pending_blame),
+                blame: drain_blame(self.pending_blame),
             });
         }
     }
@@ -525,6 +539,10 @@ pub struct Engine<M> {
     components: Vec<Box<dyn Component<M>>>,
     cost: CostModel,
     causal: Option<CausalState>,
+    /// Reusable [`Ctx::blame`] staging buffer: allocated at most once per
+    /// engine, lent to each dispatch's `Ctx` instead of constructing a
+    /// fresh `Vec` per envelope.
+    blame_buf: Vec<(&'static str, SimDuration)>,
 }
 
 impl<M: 'static> Default for Engine<M> {
@@ -552,6 +570,7 @@ impl<M: 'static> Engine<M> {
             components: Vec::new(),
             cost,
             causal: None,
+            blame_buf: Vec::new(),
         }
     }
 
@@ -650,9 +669,13 @@ impl<M: 'static> Engine<M> {
                 causal: self.causal.as_mut(),
                 current_seq: id.seq(),
                 current_trace: envelope.trace,
-                pending_blame: Vec::new(),
+                pending_blame: &mut self.blame_buf,
             };
             component.on_event(&mut ctx, envelope.event);
+            // Blame not drained by a schedule/mark is discarded, as the
+            // Ctx contract states; clearing here keeps the shared buffer
+            // from leaking one event's segments into the next.
+            self.blame_buf.clear();
         }
     }
 

@@ -55,6 +55,7 @@ mod queue;
 mod rng;
 mod time;
 
+pub mod parallel;
 pub mod report;
 pub mod stats;
 

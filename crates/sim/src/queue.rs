@@ -1,7 +1,7 @@
 //! The event queue at the heart of every simulator in this workspace.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::{SimDuration, SimTime};
 
@@ -53,6 +53,79 @@ impl<E> PartialEq for Scheduled<E> {
 
 impl<E> Eq for Scheduled<E> {}
 
+/// Dense pending-event tracker: one bit per sequence number.
+///
+/// Sequence numbers are allocated monotonically and never reused, so the
+/// set of seqs that can still be pending at any moment is a contiguous
+/// window `[base, base + 64 * words.len())`. Membership, insertion, and
+/// removal are single bit operations on that window — no hashing — which
+/// is what takes per-event SipHash churn off the schedule/cancel/pop hot
+/// path. Fully dead words at the front of the window are trimmed as they
+/// appear, so memory tracks the span between the oldest live event and
+/// the newest, not the queue's lifetime event count.
+#[derive(Default)]
+struct PendingSet {
+    /// Seq mapped to bit 0 of `words[0]`; always a multiple of 64.
+    base: u64,
+    words: VecDeque<u64>,
+    live: usize,
+}
+
+impl PendingSet {
+    /// Marks `seq` pending. Seqs arrive in strictly increasing order
+    /// (they come off the queue's monotonic counter), so inserts only
+    /// ever extend the window to the right.
+    fn insert(&mut self, seq: u64) {
+        debug_assert!(seq >= self.base, "seqs are allocated monotonically");
+        let offset = seq - self.base;
+        let idx = (offset / 64) as usize;
+        while self.words.len() <= idx {
+            self.words.push_back(0);
+        }
+        self.words[idx] |= 1 << (offset % 64);
+        self.live += 1;
+    }
+
+    fn contains(&self, seq: u64) -> bool {
+        if seq < self.base {
+            return false;
+        }
+        let offset = seq - self.base;
+        let idx = (offset / 64) as usize;
+        idx < self.words.len() && self.words[idx] & (1 << (offset % 64)) != 0
+    }
+
+    /// Clears `seq` if it was pending, returning whether it was. Trims
+    /// dead words off the window's front so `base` chases the oldest
+    /// live event. The last word is always kept: `base` must never
+    /// overtake the counter the next insert will use.
+    fn remove(&mut self, seq: u64) -> bool {
+        if seq < self.base {
+            return false;
+        }
+        let offset = seq - self.base;
+        let idx = (offset / 64) as usize;
+        if idx >= self.words.len() {
+            return false;
+        }
+        let bit = 1 << (offset % 64);
+        if self.words[idx] & bit == 0 {
+            return false;
+        }
+        self.words[idx] &= !bit;
+        self.live -= 1;
+        while self.words.len() > 1 && self.words.front() == Some(&0) {
+            self.words.pop_front();
+            self.base += 64;
+        }
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
 /// A deterministic discrete-event queue.
 ///
 /// Events are popped in timestamp order; events with equal timestamps are
@@ -80,7 +153,11 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     /// Seqs of events that are scheduled, not yet fired, and not cancelled.
     /// Heap entries absent from this set are tombstones left by `cancel`.
-    pending: HashSet<u64>,
+    ///
+    /// Invariant: the heap's top entry is never a tombstone (`pop` and
+    /// `cancel` drain dead tops eagerly), so [`EventQueue::peek_time`]
+    /// can read the next firing time without mutating anything.
+    pending: PendingSet,
     now: SimTime,
     next_seq: u64,
 }
@@ -90,7 +167,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            pending: PendingSet::default(),
             now: SimTime::ZERO,
             next_seq: 0,
         }
@@ -134,9 +211,9 @@ impl<E> EventQueue<E> {
     /// delivered), `false` if it had already fired or been cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
         // Lazy deletion: drop the id from the pending set and leave the heap
-        // entry behind as a tombstone that `pop` discards. Ids of fired or
-        // already-cancelled events are simply absent from the set.
-        if self.pending.remove(&id.0) {
+        // entry behind as a tombstone that later pops discard. Ids of fired
+        // or already-cancelled events are simply absent from the set.
+        if self.pending.remove(id.0) {
             // Tombstones would otherwise sit in the heap until their
             // timestamp is reached, so a cancel-heavy workload (schedule,
             // cancel, reschedule — the mixed-workload simulator's finish
@@ -144,11 +221,23 @@ impl<E> EventQueue<E> {
             // them once they exceed half of it.
             if self.heap.len() > 2 * self.pending.len() {
                 let pending = &self.pending;
-                self.heap.retain(|s| pending.contains(&s.seq));
+                self.heap.retain(|s| pending.contains(s.seq));
             }
+            self.drain_dead_top();
             true
         } else {
             false
+        }
+    }
+
+    /// Restores the live-top invariant: pops tombstones sitting at the
+    /// top of the heap so `peek` always sees a pending event.
+    fn drain_dead_top(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(top.seq) {
+                break;
+            }
+            self.heap.pop();
         }
     }
 
@@ -163,26 +252,42 @@ impl<E> EventQueue<E> {
     /// handled (provenance links in the `Engine`'s causal log).
     pub fn pop_with_id(&mut self) -> Option<(SimTime, EventId, E)> {
         while let Some(ev) = self.heap.pop() {
-            if !self.pending.remove(&ev.seq) {
+            if !self.pending.remove(ev.seq) {
                 continue; // tombstone of a cancelled event
             }
             self.now = ev.time;
+            self.drain_dead_top();
             return Some((ev.time, EventId(ev.seq), ev.payload));
         }
         None
     }
 
-    /// The timestamp of the next pending event without removing it, skipping
-    /// cancelled entries. `None` when empty.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(ev) = self.heap.peek() {
-            if !self.pending.contains(&ev.seq) {
-                self.heap.pop();
-                continue;
-            }
-            return Some(ev.time);
+    /// The timestamp of the next pending event without removing it or
+    /// mutating the queue; cancelled entries never surface (the heap's top
+    /// is kept live by `cancel` and `pop`). `None` when empty.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let top = self.heap.peek()?;
+        if self.pending.contains(top.seq) {
+            return Some(top.time);
         }
-        None
+        // Defensive fallback should the live-top invariant ever lapse:
+        // the earliest live entry, found by a full scan.
+        self.heap
+            .iter()
+            .filter(|s| self.pending.contains(s.seq))
+            .map(|s| (s.time, s.seq))
+            .min()
+            .map(|(time, _)| time)
+    }
+
+    /// [`EventQueue::peek_time`] that also discards any tombstones sitting
+    /// at the top of the heap, reclaiming their storage immediately. The
+    /// live-top invariant makes this equivalent to `peek_time` in normal
+    /// operation; it exists for callers that want compaction on a borrow
+    /// they already hold mutably.
+    pub fn peek_time_compacting(&mut self) -> Option<SimTime> {
+        self.drain_dead_top();
+        self.peek_time()
     }
 
     /// Number of pending (non-cancelled) events.
@@ -388,6 +493,70 @@ mod tests {
             );
         }
         assert_eq!(q.len(), 50);
+    }
+
+    #[test]
+    fn peek_time_is_non_mutating() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_micros(1), "a");
+        q.schedule_at(SimTime::from_micros(2), "b");
+        q.cancel(a);
+        // A shared borrow suffices, and repeated peeks agree.
+        let shared: &EventQueue<_> = &q;
+        assert_eq!(shared.peek_time(), Some(SimTime::from_micros(2)));
+        assert_eq!(shared.peek_time(), Some(SimTime::from_micros(2)));
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn peek_time_compacting_agrees_with_peek_time() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| q.schedule_at(SimTime::from_micros(i), i))
+            .collect();
+        for id in &ids[..5] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
+        assert_eq!(q.peek_time_compacting(), Some(SimTime::from_micros(5)));
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn cancelled_top_never_surfaces_through_peek() {
+        let mut q = EventQueue::new();
+        // Cancel the earliest events in a different order than scheduled,
+        // so tombstones would sit at the top without the live-top drain.
+        let ids: Vec<_> = (0..8)
+            .map(|i| q.schedule_at(SimTime::from_micros(i), i))
+            .collect();
+        q.cancel(ids[2]);
+        q.cancel(ids[0]);
+        q.cancel(ids[1]);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(3)));
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn pending_window_survives_front_trimming() {
+        // Regression for the windowed bitset: cancelling every early event
+        // trims dead words off the window's front, after which newly
+        // scheduled (higher) seqs must still insert and cancel correctly.
+        let mut q = EventQueue::new();
+        for round in 0..5u64 {
+            let ids: Vec<_> = (0..200)
+                .map(|i| q.schedule_after(SimDuration::from_micros(i + 1), round))
+                .collect();
+            for id in ids {
+                assert!(q.cancel(id));
+            }
+            assert!(q.is_empty(), "round {round}");
+        }
+        let keep = q.schedule_after(SimDuration::from_micros(1), 99);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(99));
+        assert!(!q.cancel(keep), "already fired");
     }
 
     #[test]

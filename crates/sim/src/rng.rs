@@ -45,7 +45,18 @@ impl SimRng {
     /// per simulated component to keep components' randomness decoupled (a
     /// new draw in one does not perturb the others).
     pub fn fork(&mut self) -> SimRng {
-        SimRng::new(self.inner.next_u64())
+        SimRng::new(self.fork_seed())
+    }
+
+    /// Draws a seed for an independent child generator.
+    ///
+    /// `SimRng::new(rng.fork_seed())` is identical to `rng.fork()`; the split
+    /// form lets a caller materialise the seed list up front (always in the
+    /// same serial order) and construct the children later — possibly on
+    /// other threads — so child *i* draws the same stream no matter how the
+    /// work is scheduled.
+    pub fn fork_seed(&mut self) -> u64 {
+        self.inner.next_u64()
     }
 
     /// Uniform integer in `range` (half-open, like `rand`).

@@ -199,3 +199,64 @@ proptest! {
         prop_assert_eq!((t + d) - d, t);
     }
 }
+
+proptest! {
+    /// `run_indexed` returns results in input order with any worker count:
+    /// byte-identical (here: bit-identical f64s) for jobs in {1, 2, 8},
+    /// and identical across repeated runs at the same jobs count.
+    #[test]
+    fn run_indexed_output_is_worker_count_independent(
+        items in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        use now_sim::parallel::run_indexed;
+        let f = |i: usize, x: &u64| {
+            let mut rng = SimRng::new(x.wrapping_add(i as u64));
+            rng.exponential(1.0) + rng.normal(0.0, 1.0)
+        };
+        let serial: Vec<f64> = run_indexed(1, &items, f);
+        for jobs in [2usize, 8] {
+            let parallel = run_indexed(jobs, &items, f);
+            prop_assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "jobs={}", jobs);
+            }
+        }
+        let repeat = run_indexed(8, &items, f);
+        for (a, b) in serial.iter().zip(&repeat) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "repeat at jobs=8");
+        }
+    }
+
+    /// Under arbitrary schedule/cancel/pop interleavings, the non-mutating
+    /// peek always reports the time the next pop delivers, and storage
+    /// never exceeds twice the live count after a cancel.
+    #[test]
+    fn queue_peek_matches_pop_under_churn(
+        ops in prop::collection::vec((0u8..3, 0u64..1_000), 1..300),
+    ) {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for &(op, x) in &ops {
+            match op {
+                0 => ids.push(q.schedule_after(SimDuration::from_nanos(x + 1), x)),
+                1 => {
+                    if !ids.is_empty() && q.cancel(ids[(x as usize) % ids.len()]) {
+                        // A successful cancel re-establishes the
+                        // compaction bound (a stale id changes nothing).
+                        prop_assert!(q.storage_len() <= 2 * q.len().max(1));
+                    }
+                }
+                _ => {
+                    let peeked = q.peek_time();
+                    let popped = q.pop();
+                    prop_assert_eq!(peeked, popped.map(|(t, _)| t));
+                }
+            }
+        }
+        while let Some(next) = q.peek_time() {
+            let (t, _) = q.pop().expect("peeked event exists");
+            prop_assert_eq!(next, t);
+        }
+        prop_assert!(q.is_empty());
+    }
+}
