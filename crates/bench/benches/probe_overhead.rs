@@ -113,7 +113,7 @@ fn bench_scenario_causal(c: &mut Criterion) {
             let observer = ScenarioObserver {
                 probe: Probe::disabled(),
                 causal: Some(Arc::new(CausalLog::new())),
-                sample_every: None,
+                ..ScenarioObserver::disabled()
             };
             black_box(cluster.run_scenario_observed(&spec, &observer))
         })

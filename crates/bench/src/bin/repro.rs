@@ -5,6 +5,7 @@
 //! repro --table4 --fig2  # just those artifacts
 //! repro --fast           # everything, with Table 3 on a 12-hour trace
 //! repro availability --smoke       # fault/availability report, fewer MC trials
+//! repro serve --smoke    # population-scale serving: tail latency, bounded observation
 //! repro --ablations      # design-choice sweeps (not in the paper)
 //! repro --metrics table2           # append the probe snapshot (=text|csv|json)
 //! repro --trace-out now.json fig2  # write a Chrome/Perfetto trace
@@ -24,7 +25,9 @@ use std::env;
 use std::process::exit;
 use std::time::Instant;
 
-use now_probe::recorder::{csv_concat, json_concat, TimeSeries};
+use now_probe::recorder::{
+    csv_concat, json_concat, windowed_csv_concat, TimeSeries, WindowedSeries,
+};
 use now_probe::{Probe, Registry};
 use now_sim::parallel::resolve_jobs;
 
@@ -142,6 +145,7 @@ fn main() {
     // The flight recorder runs only when its output has somewhere to go.
     let record = timeseries_out.is_some();
     let mut series: Vec<(String, TimeSeries)> = Vec::new();
+    let mut windowed: Vec<(String, WindowedSeries)> = Vec::new();
 
     if want("table1") {
         println!("{}", now_bench::table1());
@@ -197,6 +201,13 @@ fn main() {
             );
         }
     }
+    // The serving sweep is opt-in like the ablations: it is the unified
+    // engine's population-scale story, not a paper table.
+    if selected.iter().any(|s| s == "serve") {
+        let mut r = now_bench::serve_report_jobs(smoke, blame, record, &probe, jobs);
+        println!("{}", r.text);
+        windowed.append(&mut r.windowed);
+    }
     // Ablations are opt-in: they are design-choice sweeps, not paper
     // artifacts.
     if selected.iter().any(|s| s == "ablations") {
@@ -204,16 +215,32 @@ fn main() {
     }
 
     if let Some(path) = timeseries_out {
-        if series.is_empty() {
+        if series.is_empty() && windowed.is_empty() {
             eprintln!(
-                "--timeseries-out produced no samples: only the contention and \
-                 availability reports carry a flight recorder"
+                "--timeseries-out produced no samples: only the contention, \
+                 availability, and serve reports carry a flight recorder"
             );
         }
-        let body = if path.ends_with(".json") {
-            json_concat(&series)
+        // The serving recorder is windowed (downsampled min/mean/max); it
+        // exports as CSV only and lands in the same file when it is the
+        // only recorded report.
+        let body = if !series.is_empty() {
+            if !windowed.is_empty() {
+                eprintln!(
+                    "--timeseries-out holds one format: writing the raw series; \
+                     rerun with only the serve report for the windowed CSV"
+                );
+            }
+            if path.ends_with(".json") {
+                json_concat(&series)
+            } else {
+                csv_concat(&series)
+            }
         } else {
-            csv_concat(&series)
+            if path.ends_with(".json") {
+                eprintln!("windowed serve series export CSV; writing CSV to {path}");
+            }
+            windowed_csv_concat(&windowed)
         };
         if let Err(e) = std::fs::write(&path, body) {
             eprintln!("cannot write time series to {path}: {e}");
@@ -313,6 +340,20 @@ fn run_bench_harness(smoke: bool, jobs: usize) -> Vec<BenchEntry> {
         "parallel contention sweep must match serial byte-for-byte"
     );
 
+    let mut serial_serve = String::new();
+    let mut parallel_serve = String::new();
+    let serial_serve_ms = time_ms(|| {
+        serial_serve = now_bench::serve_report_jobs(true, false, false, &Probe::disabled(), 1).text
+    });
+    let parallel_serve_ms = time_ms(|| {
+        parallel_serve =
+            now_bench::serve_report_jobs(true, false, false, &Probe::disabled(), jobs).text
+    });
+    assert_eq!(
+        serial_serve, parallel_serve,
+        "parallel serve sweep must match serial byte-for-byte"
+    );
+
     vec![
         BenchEntry {
             bench: "availability_mc_2000",
@@ -324,6 +365,12 @@ fn run_bench_harness(smoke: bool, jobs: usize) -> Vec<BenchEntry> {
             bench: "contention_sweep",
             serial_ms: serial_sweep_ms,
             parallel_ms: parallel_sweep_ms,
+            jobs,
+        },
+        BenchEntry {
+            bench: "serve_smoke",
+            serial_ms: serial_serve_ms,
+            parallel_ms: parallel_serve_ms,
             jobs,
         },
     ]

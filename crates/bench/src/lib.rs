@@ -19,7 +19,7 @@ use std::sync::Arc;
 use now_models::gator;
 use now_models::{cost, nfs as nfs_model, remote_access, techtrend};
 use now_probe::causal::CausalLog;
-use now_probe::recorder::TimeSeries;
+use now_probe::recorder::{TimeSeries, WindowedSeries};
 use now_probe::Probe;
 use now_sim::report::{render_figure, Series, TextTable};
 use now_sim::SimDuration;
@@ -374,6 +374,9 @@ pub struct ObservedReport {
     pub text: String,
     /// `(run label, samples)` per scenario run, in report order.
     pub series: Vec<(String, TimeSeries)>,
+    /// `(run label, downsampled samples)` per run for reports whose
+    /// recorder runs windowed (the serving sweep), in report order.
+    pub windowed: Vec<(String, WindowedSeries)>,
 }
 
 /// The flight recorder's sampling cadence for the observed reports: fine
@@ -401,6 +404,7 @@ fn observer_for(blame: bool, record: bool, probe: &Probe) -> now_core::ScenarioO
         probe,
         causal: blame.then(|| Arc::new(CausalLog::new())),
         sample_every: record.then(recorder_cadence),
+        ..now_core::ScenarioObserver::disabled()
     }
 }
 
@@ -496,6 +500,7 @@ pub fn contention_observed_jobs(
     ObservedReport {
         text: format!("{}{blame_text}", t.render()),
         series,
+        windowed: Vec::new(),
     }
 }
 
@@ -667,6 +672,7 @@ pub fn availability_observed_jobs(
     ObservedReport {
         text: format!("{}\n{}{blame_text}", mc.render(), deg.render()),
         series,
+        windowed: Vec::new(),
     }
 }
 
@@ -735,6 +741,184 @@ fn availability_specs() -> Vec<(&'static str, now_core::ScenarioSpec)> {
         ),
     ];
     specs.into_iter().collect()
+}
+
+/// Window budget of the serving flight recorder: every series holds at
+/// most this many windows however long the run is.
+const SERVE_WINDOW_BUDGET: usize = 64;
+
+/// Capacity of the serving causal log; 1-in-N chain sampling keeps the
+/// offered record count near this whatever the population.
+const SERVE_CAUSAL_CAPACITY: usize = 1 << 15;
+
+/// Target number of causally traced request chains per serving run. The
+/// sampling rate scales with the expected request count so this stays
+/// roughly constant across the population sweep.
+const SERVE_SAMPLED_CHAINS: u64 = 64;
+
+/// The serving flight recorder's cadence. The raw sample count grows with
+/// the horizon, but the windowed recorder compacts it into
+/// [`SERVE_WINDOW_BUDGET`] windows regardless.
+fn serve_cadence() -> SimDuration {
+    SimDuration::from_millis(5)
+}
+
+/// One population point of the serving sweep: the shared workload shape
+/// (web-like Zipf catalog, 10-second mean think time, 8-KB objects) with
+/// only the population varying.
+fn serve_spec(population: u64) -> now_core::ServeSpec {
+    use now_cache::{AccessCosts, ServeConfig, ThinkTime};
+    use now_sim::SimTime;
+    now_core::ServeSpec {
+        config: ServeConfig {
+            population,
+            think: ThinkTime::Exponential { mean_ms: 10_000.0 },
+            catalog_objects: 4_096,
+            zipf_theta: 0.9,
+            client_blocks: 256,
+            server_blocks: 1_024,
+            object_bytes: 8_192,
+            costs: AccessCosts::paper_defaults(),
+            horizon: SimTime::from_millis(500),
+            seed: SEED,
+            retain_exact: false,
+        },
+        front_ends: 8,
+    }
+}
+
+/// Expected open-loop request count of a serving spec: horizon times the
+/// population's aggregate arrival rate. Used to scale the causal sampling
+/// rate, so it only needs to be right to a small factor.
+fn serve_expected_requests(spec: &now_core::ServeSpec) -> u64 {
+    let rate_per_sec = spec.config.population as f64 / (spec.config.think.mean_ns() / 1e9);
+    (spec.config.horizon.as_secs_f64() * rate_per_sec) as u64
+}
+
+/// An observer for one serving run. Unlike [`observer_for`], every
+/// observation structure is memory-bounded by construction: the causal
+/// log samples ~[`SERVE_SAMPLED_CHAINS`] chains into a capacity-bounded
+/// buffer, and the flight recorder downsamples into
+/// [`SERVE_WINDOW_BUDGET`] windows.
+fn serve_observer_for(
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+    expected_requests: u64,
+) -> now_core::ScenarioObserver {
+    use now_probe::Registry;
+    let probe = if record && !probe.is_enabled() {
+        Registry::new().probe()
+    } else {
+        probe.clone()
+    };
+    now_core::ScenarioObserver {
+        probe,
+        causal: blame.then(|| Arc::new(CausalLog::with_capacity(SERVE_CAUSAL_CAPACITY))),
+        sample_every: record.then(serve_cadence),
+        trace_sample_every: (expected_requests / SERVE_SAMPLED_CHAINS).max(1),
+        window_budget: record.then_some(SERVE_WINDOW_BUDGET),
+    }
+}
+
+/// The population-scale serving report: the building as a campus server.
+///
+/// An open-loop Zipf population drives the cache stack over the shared
+/// fabric at each sweep point; the table reports tail latency from the
+/// streaming quantile sketch plus the run's observation footprint, which
+/// stays flat as the population (and event count) grows — the point of
+/// the streaming observation layer. A saturation line marks where open-
+/// loop arrivals outrun the server and p99 explodes.
+pub fn serve_report(smoke: bool) -> String {
+    serve_report_jobs(smoke, false, false, &Probe::disabled(), 1).text
+}
+
+/// [`serve_report`] with observability and fan-out: `blame` appends a
+/// critical-path table for one sampled request chain per population,
+/// `record` returns the windowed flight-recorder series, and the sweep
+/// points run over `jobs` worker threads (byte-identical output for any
+/// `jobs`; forced serial while a shared enabled probe watches).
+pub fn serve_report_jobs(
+    smoke: bool,
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+    jobs: usize,
+) -> ObservedReport {
+    use now_core::{NowCluster, ScenarioObserver, ServeSpec};
+    let populations: &[u64] = if smoke {
+        &[20_000, 100_000, 1_000_000]
+    } else {
+        &[20_000, 100_000, 1_000_000, 5_000_000, 20_000_000]
+    };
+    let cluster = NowCluster::builder().nodes(32).seed(SEED).build();
+    let mut t = TextTable::new(&[
+        "Population",
+        "Requests",
+        "Local %",
+        "Server mem %",
+        "Disk %",
+        "p50 (ms)",
+        "p99 (ms)",
+        "p999 (ms)",
+        "Obs (KB)",
+    ]);
+    t.title("Serving at building scale - open-loop Zipf population on one fabric");
+    let runs: Vec<(ServeSpec, ScenarioObserver)> = populations
+        .iter()
+        .map(|&p| {
+            let spec = serve_spec(p);
+            let expected = serve_expected_requests(&spec);
+            (spec, serve_observer_for(blame, record, probe, expected))
+        })
+        .collect();
+    let results = cluster.run_serves_observed(&runs, scenario_jobs(jobs, probe));
+    let mut blame_text = String::new();
+    let mut windowed = Vec::new();
+    let mut p99s: Vec<f64> = Vec::new();
+    for (&pop, (out, obs)) in populations.iter().zip(results) {
+        let pct = |x: u64| 100.0 * x as f64 / out.requests.max(1) as f64;
+        let p99 = out.latency_ms(0.99).unwrap_or(0.0);
+        p99s.push(p99);
+        t.row_owned(vec![
+            format!("{pop}"),
+            format!("{}", out.requests),
+            format!("{:.1}", pct(out.local_hits)),
+            format!("{:.1}", pct(out.server_hits)),
+            format!("{:.1}", pct(out.disk_reads)),
+            format!("{:.2}", out.latency_ms(0.5).unwrap_or(0.0)),
+            format!("{:.2}", p99),
+            format!("{:.2}", out.latency_ms(0.999).unwrap_or(0.0)),
+            format!("{:.1}", out.observation_bytes as f64 / 1024.0),
+        ]);
+        if let Some((_, table)) = obs.blame.first() {
+            blame_text.push('\n');
+            blame_text.push_str(
+                &table.render_text(&format!("Blame - sampled request chain, population {pop}")),
+            );
+        }
+        if record {
+            windowed.push((format!("pop={pop}"), obs.windowed));
+        }
+    }
+    // Open-loop saturation: the first population whose p99 is an order of
+    // magnitude past the lightest load's.
+    let base = p99s.first().copied().unwrap_or(0.0);
+    let saturated = populations
+        .iter()
+        .zip(&p99s)
+        .find(|&(_, &p99)| base > 0.0 && p99 > 10.0 * base);
+    let saturation = match saturated {
+        Some((pop, _)) => {
+            format!("Saturation: p99 explodes (>10x the lightest load) at population {pop}\n")
+        }
+        None => String::from("Saturation: not reached within the sweep\n"),
+    };
+    ObservedReport {
+        text: format!("{}{saturation}{blame_text}", t.render()),
+        series: Vec::new(),
+        windowed,
+    }
 }
 
 /// In-text migration claim: restoring 64 MB of memory state.
@@ -846,6 +1030,32 @@ mod tests {
         let t = contention();
         assert!(t.contains("Background flows"), "{t}");
         assert!(t.lines().count() > 4, "{t}");
+    }
+
+    #[test]
+    fn serve_report_renders_and_is_deterministic() {
+        let a = serve_report(true);
+        assert!(a.contains("Serving at building scale"), "{a}");
+        assert!(a.contains("Saturation:"), "{a}");
+        assert!(a.lines().count() > 5, "{a}");
+        assert_eq!(a, serve_report(true), "fixed seed must reproduce");
+    }
+
+    #[test]
+    fn serve_observation_footprint_is_flat_across_the_sweep() {
+        // Every population prints the same observation KB cell: the
+        // sketch is O(buckets) however many requests stream through it.
+        let report = serve_report(true);
+        let obs_cells: Vec<&str> = report
+            .lines()
+            .filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .map(|l| l.split_whitespace().last().unwrap())
+            .collect();
+        assert!(obs_cells.len() >= 3, "{report}");
+        assert!(
+            obs_cells.iter().all(|&c| c == obs_cells[0]),
+            "observation bytes must not grow with population: {obs_cells:?}"
+        );
     }
 
     #[test]

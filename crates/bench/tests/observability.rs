@@ -32,7 +32,7 @@ fn observed_run(
     let observer = ScenarioObserver {
         probe: Probe::disabled(),
         causal: Some(Arc::clone(&log)),
-        sample_every: None,
+        ..ScenarioObserver::disabled()
     };
     let (out, obs) = cluster.run_scenario_observed(&spec, &observer);
     (out, obs, log)

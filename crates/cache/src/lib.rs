@@ -37,8 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod serve;
 mod sim;
 
+pub use serve::{ServeComponent, ServeConfig, ServeEvent, ThinkTime};
 pub use sim::{
     simulate, simulate_probed, sweep_client_cache, sweep_nchance, AccessCosts, CacheComponent,
     CacheConfig, CacheEvent, Policy, SimResult,

@@ -44,6 +44,7 @@ mod cluster;
 mod control;
 mod gator_sim;
 mod scenario;
+mod serve;
 
 pub use cluster::{Interconnect, NowBuilder, NowCluster, NowError};
 pub use control::{ClusterControl, ControlEvent, ControlWiring, FaultOutcome};
@@ -52,6 +53,7 @@ pub use scenario::{
     BspJobComponent, JobEvent, RecorderEvent, ScenarioEvent, ScenarioObservations,
     ScenarioObserver, ScenarioOutcome, ScenarioSpec, TrafficComponent, TrafficEvent,
 };
+pub use serve::{ServeOutcome, ServeScenarioEvent, ServeSpec};
 
 // Fault scripting types, so scenario callers need not depend on
 // `now-fault` directly.

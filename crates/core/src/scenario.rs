@@ -27,7 +27,7 @@ use now_glunix::membership::MembershipConfig;
 use now_mem::multigrid::{MemoryConfig, MultigridConfig, RunResult, PAGE_BYTES};
 use now_mem::{MultigridComponent, PageEvent, RemoteAccessCost};
 use now_probe::causal::{category, critical_path, BlameTable, CausalLog};
-use now_probe::recorder::TimeSeries;
+use now_probe::recorder::{TimeSeries, WindowedSeries};
 use now_probe::{Gauge, Probe};
 use now_sim::parallel::run_indexed;
 use now_sim::{Component, CostMode, Ctx, Engine, EventCast, SimDuration, SimTime, TransferCost};
@@ -440,28 +440,86 @@ const RECORDED_GAUGES: [&str; 6] = [
     "traffic.frames",
 ];
 
+/// Where a [`RecorderComponent`] accumulates its samples: a raw
+/// [`TimeSeries`] keeping every row, or a [`WindowedSeries`] downsampled
+/// to a fixed window budget (memory independent of run length).
+#[derive(Debug)]
+pub(crate) enum RecorderSink {
+    /// Every sample retained.
+    Raw(TimeSeries),
+    /// At most `budget` merged windows retained.
+    Windowed(WindowedSeries),
+}
+
 /// The time-series flight recorder: an engine component that reads the
 /// registered gauges at a fixed sim-time cadence and accumulates a
-/// [`TimeSeries`]. Registered only in observed runs, after every other
+/// [`RecorderSink`]. Registered only in observed runs, after every other
 /// component, so its presence never renumbers the scenario's components.
-struct RecorderComponent {
+#[derive(Debug)]
+pub(crate) struct RecorderComponent {
     gauges: Vec<Gauge>,
     interval: SimDuration,
     horizon: SimTime,
-    series: TimeSeries,
+    sink: RecorderSink,
 }
 
 impl RecorderComponent {
-    fn new(probe: &Probe, interval: SimDuration, horizon: SimTime) -> Self {
+    fn new(
+        probe: &Probe,
+        interval: SimDuration,
+        horizon: SimTime,
+        window_budget: Option<usize>,
+    ) -> Self {
+        Self::with_gauges(probe, &RECORDED_GAUGES, interval, horizon, window_budget)
+    }
+
+    /// A recorder over an explicit gauge list (the serving scenario
+    /// samples its own gauges, not the coupled scenario's).
+    pub(crate) fn with_gauges(
+        probe: &Probe,
+        names: &[&str],
+        interval: SimDuration,
+        horizon: SimTime,
+        window_budget: Option<usize>,
+    ) -> Self {
         assert!(
             interval > SimDuration::ZERO,
             "the recorder needs a nonzero cadence"
         );
+        let columns: Vec<String> = names.iter().map(|n| n.to_string()).collect();
         RecorderComponent {
-            gauges: RECORDED_GAUGES.iter().map(|n| probe.gauge(n)).collect(),
+            gauges: names.iter().map(|n| probe.gauge(n)).collect(),
             interval,
             horizon,
-            series: TimeSeries::new(RECORDED_GAUGES.iter().map(|n| n.to_string()).collect()),
+            sink: match window_budget {
+                Some(budget) => RecorderSink::Windowed(WindowedSeries::new(columns, budget)),
+                None => RecorderSink::Raw(TimeSeries::new(columns)),
+            },
+        }
+    }
+
+    /// The raw series (empty when the recorder ran windowed).
+    pub(crate) fn timeseries(&self) -> TimeSeries {
+        match &self.sink {
+            RecorderSink::Raw(ts) => ts.clone(),
+            RecorderSink::Windowed(_) => TimeSeries::new(Vec::new()),
+        }
+    }
+
+    /// The windowed series (empty when the recorder ran raw).
+    pub(crate) fn windowed(&self) -> WindowedSeries {
+        match &self.sink {
+            RecorderSink::Raw(_) => WindowedSeries::default(),
+            RecorderSink::Windowed(ws) => ws.clone(),
+        }
+    }
+
+    /// Approximate footprint of the recorded series, for the
+    /// `probe.observation_bytes` self-accounting gauge.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        match &self.sink {
+            RecorderSink::Raw(ts) => ts.approx_bytes(),
+            RecorderSink::Windowed(ws) => ws.approx_bytes(),
         }
     }
 }
@@ -470,8 +528,11 @@ impl<M: EventCast<RecorderEvent> + 'static> Component<M> for RecorderComponent {
     fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M) {
         let RecorderEvent::Sample = event.downcast();
         let now = ctx.now();
-        self.series
-            .push(now, self.gauges.iter().map(Gauge::get).collect());
+        let values: Vec<f64> = self.gauges.iter().map(Gauge::get).collect();
+        match &mut self.sink {
+            RecorderSink::Raw(ts) => ts.push(now, values),
+            RecorderSink::Windowed(ws) => ws.push(now, &values),
+        }
         let next = now + self.interval;
         if next <= self.horizon {
             ctx.schedule_at(next, M::upcast(RecorderEvent::Sample));
@@ -595,6 +656,15 @@ pub struct ScenarioObserver {
     /// When set, a flight recorder samples the registered gauges at this
     /// sim-time cadence until the spec's horizon.
     pub sample_every: Option<SimDuration>,
+    /// Record one causal chain in every `trace_sample_every` (0 and 1
+    /// both mean every chain). Sampling bounds causal-log memory on
+    /// request-scale workloads; the simulated history is identical at
+    /// every rate because observation never feeds back into timing.
+    pub trace_sample_every: u64,
+    /// When set, the flight recorder downsamples into a [`WindowedSeries`]
+    /// of at most this many windows (min 2) instead of retaining every
+    /// sample, and [`ScenarioObservations::windowed`] carries the result.
+    pub window_budget: Option<usize>,
 }
 
 impl ScenarioObserver {
@@ -612,8 +682,12 @@ pub struct ScenarioObservations {
     /// `("job", ...)`, `("paging", ...)`, `("cache", ...)`, and — when a
     /// disk rebuild ran — `("rebuild", ...)`. Empty without a causal log.
     pub blame: Vec<(&'static str, BlameTable)>,
-    /// The flight recorder's gauge samples. Empty without a cadence.
+    /// The flight recorder's gauge samples. Empty without a cadence, and
+    /// empty when a window budget routed the samples to `windowed`.
     pub timeseries: TimeSeries,
+    /// The flight recorder's downsampled samples. Empty unless both a
+    /// cadence and a window budget were set.
+    pub windowed: WindowedSeries,
 }
 
 /// Component names by registration order, for blame-table rendering.
@@ -659,8 +733,7 @@ impl NowCluster {
             spec,
             &ScenarioObserver {
                 probe: probe.clone(),
-                causal: None,
-                sample_every: None,
+                ..ScenarioObserver::disabled()
             },
         )
         .0
@@ -700,7 +773,10 @@ impl NowCluster {
         let mut engine: Engine<ScenarioEvent> =
             Engine::with_transport(Box::new(FabricTransport::new(network)));
         if let Some(log) = &observer.causal {
-            engine.set_causal_sink(Arc::clone(log) as Arc<dyn now_sim::CausalSink>);
+            engine.set_causal_sink_sampled(
+                Arc::clone(log) as Arc<dyn now_sim::CausalSink>,
+                observer.trace_sample_every.max(1),
+            );
         }
 
         // The BSP job.
@@ -825,6 +901,7 @@ impl NowCluster {
                 probe,
                 every,
                 SimTime::ZERO + spec.horizon,
+                observer.window_budget,
             ))
         });
 
@@ -870,9 +947,12 @@ impl NowCluster {
 
         engine.run();
 
-        let timeseries = match recorder_id {
-            Some(id) => engine.component::<RecorderComponent>(id).series.clone(),
-            None => TimeSeries::new(Vec::new()),
+        let (timeseries, windowed) = match recorder_id {
+            Some(id) => {
+                let recorder = engine.component::<RecorderComponent>(id);
+                (recorder.timeseries(), recorder.windowed())
+            }
+            None => (TimeSeries::new(Vec::new()), WindowedSeries::default()),
         };
         let blame = match &observer.causal {
             Some(log) => SCENARIO_MARKS
@@ -908,7 +988,14 @@ impl NowCluster {
                 job_stall: job.fault_stall(),
             },
         };
-        (outcome, ScenarioObservations { blame, timeseries })
+        (
+            outcome,
+            ScenarioObservations {
+                blame,
+                timeseries,
+                windowed,
+            },
+        )
     }
 
     /// Runs each spec as an independent scenario, fanned out over up to

@@ -1,0 +1,419 @@
+//! The serving scenario: the building as a population-scale server.
+//!
+//! The paper closes by arguing a NOW can serve an entire campus. This
+//! module runs that claim: [`NowCluster::run_serve`] drives the
+//! open-loop population workload of [`now_cache::ServeComponent`] over
+//! the cluster's live fabric — front-end workstations on the first nodes,
+//! the file server on the last — and reports tail latency from a
+//! streaming [`QuantileSketch`](now_probe::QuantileSketch) instead of a
+//! raw sample buffer.
+//!
+//! Observation memory is bounded by construction, whatever the
+//! population: the sketch is O(buckets), causal tracing samples one
+//! request chain in N into a capacity-bounded log, and the flight
+//! recorder downsamples into a fixed window budget. The run reports its
+//! own observation footprint (`probe.observation_bytes`), so the bound is
+//! measured, not asserted.
+
+use std::sync::Arc;
+
+use now_am::FabricTransport;
+use now_cache::{ServeComponent, ServeConfig, ServeEvent};
+use now_probe::causal::critical_path;
+use now_probe::recorder::{TimeSeries, WindowedSeries};
+use now_probe::QuantileSketch;
+use now_sim::parallel::run_indexed;
+use now_sim::{Engine, EventCast, SimTime};
+
+use crate::cluster::NowCluster;
+use crate::scenario::{RecorderComponent, RecorderEvent, ScenarioObservations, ScenarioObserver};
+
+/// Events of the serving engine: the workload plus the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeScenarioEvent {
+    /// A serving-workload event ([`ServeComponent`]).
+    Serve(ServeEvent),
+    /// A flight-recorder sampling tick (observed runs only).
+    Record(RecorderEvent),
+}
+
+impl EventCast<ServeEvent> for ServeScenarioEvent {
+    fn upcast(ev: ServeEvent) -> Self {
+        ServeScenarioEvent::Serve(ev)
+    }
+    fn downcast(self) -> ServeEvent {
+        match self {
+            ServeScenarioEvent::Serve(ev) => ev,
+            other => panic!("expected a Serve event, got {other:?}"),
+        }
+    }
+}
+
+impl EventCast<RecorderEvent> for ServeScenarioEvent {
+    fn upcast(ev: RecorderEvent) -> Self {
+        ServeScenarioEvent::Record(ev)
+    }
+    fn downcast(self) -> RecorderEvent {
+        match self {
+            ServeScenarioEvent::Record(ev) => ev,
+            other => panic!("expected a Record event, got {other:?}"),
+        }
+    }
+}
+
+/// Parameters of one serving run (see [`NowCluster::run_serve`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSpec {
+    /// The workload: population, think times, catalog, caches, horizon.
+    pub config: ServeConfig,
+    /// Front-end workstations, placed on nodes `0..front_ends`; the
+    /// server takes the last node.
+    pub front_ends: usize,
+}
+
+/// The gauges the serving flight recorder samples, in column order.
+const SERVE_RECORDED_GAUGES: [&str; 6] = [
+    "serve.requests",
+    "serve.mean_ms",
+    "serve.local_hits",
+    "serve.server_hits",
+    "serve.disk_reads",
+    "net.queue_wait_us",
+];
+
+/// Component names by registration order, for blame-table rendering.
+const SERVE_COMPONENT_NAMES: [&str; 2] = ["serve", "recorder"];
+
+/// Outcome of one serving run: counts, streaming tail latency, and the
+/// memory self-accounting that backs the "observation stays bounded"
+/// claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Requests issued before the horizon.
+    pub requests: u64,
+    /// Requests completed (equals `requests`: in-flight work drains).
+    pub completed: u64,
+    /// Requests served from a front-end's own cache.
+    pub local_hits: u64,
+    /// Requests served from the server's memory.
+    pub server_hits: u64,
+    /// Requests that paid a server disk read.
+    pub disk_reads: u64,
+    /// The streaming latency sketch (nanosecond samples).
+    pub sketch: QuantileSketch,
+    /// Raw latencies in nanoseconds when the config's test-only
+    /// `retain_exact` was set; empty otherwise.
+    pub exact_latencies: Vec<u64>,
+    /// Approximate footprint of the workload state (caches, catalog CDF).
+    pub workload_bytes: usize,
+    /// Approximate footprint of everything observing the run: sketch +
+    /// causal log + flight-recorder series. Also published as the
+    /// `probe.observation_bytes` gauge.
+    pub observation_bytes: usize,
+    /// Causal records retained (0 without a causal log).
+    pub causal_records: usize,
+    /// Causal records dropped at the log's capacity bound.
+    pub causal_dropped: u64,
+}
+
+impl ServeOutcome {
+    /// Latency quantile in milliseconds (`None` before any completion).
+    pub fn latency_ms(&self, p: f64) -> Option<f64> {
+        Some(self.sketch.quantile(p)? / 1e6)
+    }
+
+    /// Mean latency in milliseconds (`None` before any completion).
+    pub fn mean_ms(&self) -> Option<f64> {
+        Some(self.sketch.mean()? / 1e6)
+    }
+}
+
+impl NowCluster {
+    /// Runs the open-loop population serving workload on this cluster's
+    /// fabric, unobserved (sketch only, no causal log, no recorder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has fewer than `front_ends + 1` nodes.
+    pub fn run_serve(&self, spec: &ServeSpec) -> ServeOutcome {
+        self.run_serve_observed(spec, &ScenarioObserver::disabled())
+            .0
+    }
+
+    /// [`run_serve`](Self::run_serve) plus whatever `observer` watches:
+    /// the probe's gauges, 1-in-N sampled causal chains, and the flight
+    /// recorder (windowed when [`ScenarioObserver::window_budget`] is
+    /// set). The simulated history is identical whatever the observer
+    /// watches — observation never feeds back into event timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`run_serve`](Self::run_serve).
+    pub fn run_serve_observed(
+        &self,
+        spec: &ServeSpec,
+        observer: &ScenarioObserver,
+    ) -> (ServeOutcome, ScenarioObservations) {
+        let probe = &observer.probe;
+        let n = self.nodes();
+        let front_ends = spec.front_ends;
+        assert!(
+            (front_ends as u32) < n,
+            "serving needs {front_ends} front-ends + server; only {n} nodes"
+        );
+        let client_nodes: Vec<u32> = (0..front_ends as u32).collect();
+        let server_node = n - 1;
+
+        let mut network = self.interconnect().network(n);
+        network.set_probe(probe.clone());
+        let mut engine: Engine<ServeScenarioEvent> =
+            Engine::with_transport(Box::new(FabricTransport::new(network)));
+        if let Some(log) = &observer.causal {
+            engine.set_causal_sink_sampled(
+                Arc::clone(log) as Arc<dyn now_sim::CausalSink>,
+                observer.trace_sample_every.max(1),
+            );
+        }
+
+        let mut serve = ServeComponent::new(spec.config.clone(), front_ends)
+            .with_placement(client_nodes, server_node);
+        serve.set_probe(probe);
+        let serve_id = engine.register(serve);
+
+        let recorder_id = observer.sample_every.map(|every| {
+            engine.register(RecorderComponent::with_gauges(
+                probe,
+                &SERVE_RECORDED_GAUGES,
+                every,
+                spec.config.horizon,
+                observer.window_budget,
+            ))
+        });
+
+        engine.schedule_at(
+            serve_id,
+            SimTime::ZERO,
+            ServeScenarioEvent::Serve(ServeEvent::Arrival),
+        );
+        if let Some(id) = recorder_id {
+            engine.schedule_at(
+                id,
+                SimTime::ZERO,
+                ServeScenarioEvent::Record(RecorderEvent::Sample),
+            );
+        }
+
+        engine.run();
+
+        let (timeseries, windowed, recorder_bytes) = match recorder_id {
+            Some(id) => {
+                let recorder = engine.component::<RecorderComponent>(id);
+                (
+                    recorder.timeseries(),
+                    recorder.windowed(),
+                    recorder.approx_bytes(),
+                )
+            }
+            None => (TimeSeries::new(Vec::new()), WindowedSeries::default(), 0),
+        };
+        let blame = match &observer.causal {
+            Some(log) => critical_path(log, "serve.done", &SERVE_COMPONENT_NAMES)
+                .map(|table| ("serve", table))
+                .into_iter()
+                .collect(),
+            None => Vec::new(),
+        };
+        let (causal_records, causal_dropped, causal_bytes) = match &observer.causal {
+            Some(log) => (log.len(), log.dropped(), log.approx_bytes()),
+            None => (0, 0, 0),
+        };
+
+        let serve = engine.component::<ServeComponent>(serve_id);
+        let observation_bytes = serve.observation_bytes() + causal_bytes + recorder_bytes;
+        probe
+            .gauge("probe.observation_bytes")
+            .set(observation_bytes as f64);
+        let outcome = ServeOutcome {
+            requests: serve.requests(),
+            completed: serve.completed(),
+            local_hits: serve.local_hits(),
+            server_hits: serve.server_hits(),
+            disk_reads: serve.disk_reads(),
+            sketch: serve.sketch().clone(),
+            exact_latencies: serve.exact_latencies().to_vec(),
+            workload_bytes: serve.workload_bytes(),
+            observation_bytes,
+            causal_records,
+            causal_dropped,
+        };
+        (
+            outcome,
+            ScenarioObservations {
+                blame,
+                timeseries,
+                windowed,
+            },
+        )
+    }
+
+    /// Runs each `(spec, observer)` pair as an independent observed
+    /// serving run over up to `jobs` worker threads, in input order.
+    ///
+    /// As with [`NowCluster::run_scenarios_observed`], give each run its
+    /// own observer; callers sharing one enabled probe should keep
+    /// `jobs = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`run_serve`](Self::run_serve).
+    pub fn run_serves_observed(
+        &self,
+        runs: &[(ServeSpec, ScenarioObserver)],
+        jobs: usize,
+    ) -> Vec<(ServeOutcome, ScenarioObservations)> {
+        run_indexed(jobs, runs, |_, (spec, observer)| {
+            self.run_serve_observed(spec, observer)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Interconnect;
+    use now_cache::ThinkTime;
+    use now_probe::causal::CausalLog;
+    use now_probe::{Probe, Registry};
+    use now_sim::SimDuration;
+
+    fn cluster() -> NowCluster {
+        NowCluster::builder()
+            .nodes(16)
+            .interconnect(Interconnect::AtmActiveMessages)
+            .build()
+    }
+
+    fn spec(population: u64) -> ServeSpec {
+        ServeSpec {
+            config: ServeConfig {
+                population,
+                think: ThinkTime::Exponential { mean_ms: 10_000.0 },
+                catalog_objects: 1_024,
+                zipf_theta: 0.9,
+                client_blocks: 64,
+                server_blocks: 256,
+                object_bytes: 8_192,
+                costs: now_cache::AccessCosts::paper_defaults(),
+                horizon: SimTime::from_millis(250),
+                seed: 11,
+                retain_exact: false,
+            },
+            front_ends: 8,
+        }
+    }
+
+    fn observer() -> ScenarioObserver {
+        ScenarioObserver {
+            probe: Registry::new().probe(),
+            causal: Some(Arc::new(CausalLog::with_capacity(4_096))),
+            sample_every: Some(SimDuration::from_millis(1)),
+            trace_sample_every: 32,
+            window_budget: Some(16),
+        }
+    }
+
+    #[test]
+    fn serve_runs_and_reports_tail_latency() {
+        let out = cluster().run_serve(&spec(50_000));
+        assert!(
+            out.requests > 100,
+            "expected real load, got {}",
+            out.requests
+        );
+        assert_eq!(out.completed, out.requests);
+        assert_eq!(
+            out.local_hits + out.server_hits + out.disk_reads,
+            out.requests
+        );
+        let p50 = out.latency_ms(0.5).unwrap();
+        let p99 = out.latency_ms(0.99).unwrap();
+        let p999 = out.latency_ms(0.999).unwrap();
+        assert!(p50 <= p99 && p99 <= p999, "{p50} <= {p99} <= {p999}");
+        assert!(p50 > 0.0);
+    }
+
+    #[test]
+    fn observed_serve_bounds_every_observation_structure() {
+        let (out, obs) = cluster().run_serve_observed(&spec(50_000), &observer());
+        assert!(out.causal_records > 0, "sampled chains must be recorded");
+        assert!(obs.windowed.len() <= 16, "window budget must hold");
+        assert!(
+            obs.timeseries.is_empty(),
+            "samples went to the windowed series"
+        );
+        let (_, blame) = &obs.blame[0];
+        assert!(blame.total > SimDuration::ZERO);
+        assert!(out.observation_bytes > 0);
+        assert!(
+            out.observation_bytes < 2 * 1024 * 1024,
+            "observation must stay small: {} bytes",
+            out.observation_bytes
+        );
+    }
+
+    #[test]
+    fn observation_never_changes_the_simulated_history() {
+        let unobserved = cluster().run_serve(&spec(30_000));
+        let (observed, _) = cluster().run_serve_observed(&spec(30_000), &observer());
+        assert_eq!(observed.requests, unobserved.requests);
+        assert_eq!(observed.completed, unobserved.completed);
+        assert_eq!(observed.local_hits, unobserved.local_hits);
+        assert_eq!(observed.disk_reads, unobserved.disk_reads);
+        assert_eq!(observed.sketch, unobserved.sketch);
+    }
+
+    #[test]
+    fn trace_sampling_rate_only_scales_the_log() {
+        let mk = |every: u64| {
+            let log = Arc::new(CausalLog::new());
+            let obs = ScenarioObserver {
+                probe: Probe::disabled(),
+                causal: Some(Arc::clone(&log)),
+                sample_every: None,
+                trace_sample_every: every,
+                window_budget: None,
+            };
+            let (out, _) = cluster().run_serve_observed(&spec(30_000), &obs);
+            (out, log.len())
+        };
+        let (dense_out, dense_len) = mk(1);
+        let (sparse_out, sparse_len) = mk(64);
+        assert_eq!(dense_out.sketch, sparse_out.sketch, "history unchanged");
+        assert!(
+            sparse_len * 16 < dense_len,
+            "1-in-64 sampling must shrink the log: {sparse_len} vs {dense_len}"
+        );
+    }
+
+    #[test]
+    fn parallel_fanout_matches_serial() {
+        let runs: Vec<(ServeSpec, ScenarioObserver)> = [20_000u64, 40_000, 80_000]
+            .iter()
+            .map(|&p| (spec(p), ScenarioObserver::disabled()))
+            .collect();
+        let serial = cluster().run_serves_observed(&runs, 1);
+        let fanned = cluster().run_serves_observed(&runs, 4);
+        for ((a, _), (b, _)) in serial.iter().zip(&fanned) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only 4 nodes")]
+    fn undersized_cluster_is_rejected() {
+        NowCluster::builder()
+            .nodes(4)
+            .build()
+            .run_serve(&spec(10_000));
+    }
+}

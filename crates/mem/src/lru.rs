@@ -129,6 +129,17 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
     pub fn iter(&self) -> impl Iterator<Item = &K> {
         self.order.values()
     }
+
+    /// Approximate heap + inline footprint in bytes. Bounded by the
+    /// cache's capacity, so serving reports can contrast (fixed) workload
+    /// memory with (fixed) observation memory.
+    pub fn approx_bytes(&self) -> usize {
+        // HashMap entry: key + (stamp, dirty) + bucket overhead; BTreeMap
+        // entry: stamp + key + node overhead. A coarse per-entry estimate
+        // is enough for self-accounting.
+        let per_entry = std::mem::size_of::<K>() * 2 + std::mem::size_of::<(u64, bool)>() + 48;
+        std::mem::size_of::<Self>() + self.capacity.max(self.entries.len()) * per_entry
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,8 @@ pub mod category {
     pub const PAGING: &str = "paging";
     /// Cooperative-cache peer forwarding.
     pub const CACHE_FORWARD: &str = "cache_forward";
+    /// Service out of a node's own memory (local cache hit).
+    pub const LOCAL_MEM: &str = "local_mem";
     /// A parallel job stalled at a barrier beyond its critical message.
     pub const BARRIER_STALL: &str = "barrier_stall";
     /// Waiting for the heartbeat sweep to notice a dead node.
@@ -104,6 +106,22 @@ impl CausalLog {
     /// (deterministic: the engine is single-threaded).
     pub fn records(&self) -> Vec<CausalRecord> {
         self.records.lock().expect("causal log poisoned").clone()
+    }
+
+    /// Approximate heap + inline footprint in bytes, for the
+    /// `probe.observation_bytes` self-accounting gauge. Counts the record
+    /// buffer's capacity plus each record's blame segments; bounded by the
+    /// log's capacity regardless of how many records were offered.
+    pub fn approx_bytes(&self) -> usize {
+        let records = self.records.lock().expect("causal log poisoned");
+        let buffer = records
+            .capacity()
+            .saturating_mul(std::mem::size_of::<CausalRecord>());
+        let blame: usize = records
+            .iter()
+            .map(|r| r.blame.capacity() * std::mem::size_of::<(&'static str, SimDuration)>())
+            .sum();
+        std::mem::size_of::<Self>() + buffer + blame
     }
 
     /// The records as CSV: one row per record, blame flattened as

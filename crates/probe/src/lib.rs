@@ -46,6 +46,7 @@
 mod export;
 mod histogram;
 mod registry;
+mod sketch;
 mod trace;
 
 pub mod causal;
@@ -53,4 +54,5 @@ pub mod recorder;
 
 pub use histogram::{bucket_bounds, bucket_index, HistogramSummary, BUCKETS};
 pub use registry::{Counter, Gauge, Histogram, Probe, Registry, Snapshot, Span};
+pub use sketch::{QuantileSketch, DEFAULT_SKETCH_ALPHA};
 pub use trace::{TraceEvent, TraceRing};

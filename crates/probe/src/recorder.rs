@@ -10,6 +10,18 @@
 
 use now_sim::SimTime;
 
+/// Quotes one CSV field per RFC 4180: fields containing a comma, a double
+/// quote, or a line break are wrapped in double quotes with embedded
+/// quotes doubled; everything else passes through unchanged (so existing
+/// plain labels render byte-identically).
+fn csv_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
 /// A fixed-cadence sampling of named gauges over simulated time.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
@@ -52,12 +64,28 @@ impl TimeSeries {
         self.rows.is_empty()
     }
 
+    /// Approximate heap + inline footprint in bytes, for the
+    /// `probe.observation_bytes` self-accounting gauge.
+    pub fn approx_bytes(&self) -> usize {
+        let names: usize = self.columns.iter().map(|c| c.capacity()).sum();
+        let rows: usize = self
+            .rows
+            .capacity()
+            .saturating_mul(std::mem::size_of::<(SimTime, Vec<f64>)>());
+        let values: usize = self
+            .rows
+            .iter()
+            .map(|(_, v)| v.capacity() * std::mem::size_of::<f64>())
+            .sum();
+        std::mem::size_of::<Self>() + names + rows + values
+    }
+
     /// The series as CSV with a `t_us` time column.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("t_us");
         for c in &self.columns {
             out.push(',');
-            out.push_str(c);
+            out.push_str(&csv_field(c));
         }
         out.push('\n');
         for (at, values) in &self.rows {
@@ -82,10 +110,11 @@ pub fn csv_concat(series: &[(String, TimeSeries)]) -> String {
     let mut out = String::from("series,t_us");
     for c in columns {
         out.push(',');
-        out.push_str(c);
+        out.push_str(&csv_field(c));
     }
     out.push('\n');
     for (label, ts) in series {
+        let label = csv_field(label);
         for (at, values) in &ts.rows {
             out.push_str(&format!("{label},{}", at.as_micros_f64()));
             for v in values {
@@ -149,6 +178,231 @@ fn common_columns(series: &[(String, TimeSeries)]) -> &[String] {
     &first.columns
 }
 
+/// Per-column summary of one downsampled window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStat {
+    /// Smallest sample in the window.
+    pub min: f64,
+    /// Largest sample in the window.
+    pub max: f64,
+    /// Sum of samples (mean = `sum / samples`).
+    pub sum: f64,
+}
+
+/// One time window of a [`WindowedSeries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Time of the earliest sample merged into this window.
+    pub start: SimTime,
+    /// Time of the latest sample merged into this window.
+    pub end: SimTime,
+    /// Raw samples merged into this window.
+    pub samples: u64,
+    /// One [`WindowStat`] per column.
+    pub stats: Vec<WindowStat>,
+}
+
+impl Window {
+    /// Mean of column `i` over this window.
+    pub fn mean(&self, i: usize) -> f64 {
+        self.stats[i].sum / self.samples as f64
+    }
+}
+
+/// Default window budget for downsampled flight recorders: enough points
+/// to plot a trend, small enough that a series is a few tens of KB.
+pub const DEFAULT_WINDOW_BUDGET: usize = 256;
+
+/// A flight-recorder series downsampled to a fixed window budget.
+///
+/// Unlike [`TimeSeries`], which keeps every sample (memory O(run length)),
+/// a `WindowedSeries` holds at most `budget` windows no matter how long
+/// the run is: when a push exceeds the budget, *adjacent windows are
+/// merged pairwise*, halving the count and doubling each window's span
+/// while preserving exact per-column min / max / mean. Merging is a pure
+/// function of the input order, so equal runs still render byte-identical
+/// output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedSeries {
+    /// Gauge names, one per value column.
+    pub columns: Vec<String>,
+    /// Maximum number of windows retained.
+    budget: usize,
+    /// Retained windows in time order.
+    pub windows: Vec<Window>,
+    /// Raw samples pushed over the series' lifetime.
+    pub total_samples: u64,
+}
+
+impl Default for WindowedSeries {
+    fn default() -> Self {
+        WindowedSeries::new(Vec::new(), DEFAULT_WINDOW_BUDGET)
+    }
+}
+
+impl WindowedSeries {
+    /// An empty series keeping at most `budget` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget < 2` — a single window cannot preserve trend.
+    pub fn new(columns: Vec<String>, budget: usize) -> Self {
+        assert!(budget >= 2, "window budget must be at least 2");
+        WindowedSeries {
+            columns,
+            budget,
+            windows: Vec::with_capacity(budget + 1),
+            total_samples: 0,
+        }
+    }
+
+    /// The configured window budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of retained windows (always `<= budget`).
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Appends one sample row, merging adjacent windows if the budget
+    /// would be exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have one entry per column.
+    pub fn push(&mut self, at: SimTime, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "sample width must match the column list"
+        );
+        self.windows.push(Window {
+            start: at,
+            end: at,
+            samples: 1,
+            stats: values
+                .iter()
+                .map(|&v| WindowStat {
+                    min: v,
+                    max: v,
+                    sum: v,
+                })
+                .collect(),
+        });
+        self.total_samples += 1;
+        if self.windows.len() > self.budget {
+            self.compact();
+        }
+    }
+
+    /// Merges adjacent window pairs in place, halving the window count
+    /// (an odd trailing window is kept as-is).
+    fn compact(&mut self) {
+        let old = std::mem::take(&mut self.windows);
+        let mut iter = old.into_iter();
+        while let Some(mut left) = iter.next() {
+            if let Some(right) = iter.next() {
+                left.end = right.end;
+                left.samples += right.samples;
+                for (l, r) in left.stats.iter_mut().zip(&right.stats) {
+                    l.min = l.min.min(r.min);
+                    l.max = l.max.max(r.max);
+                    l.sum += r.sum;
+                }
+            }
+            self.windows.push(left);
+        }
+    }
+
+    /// Approximate heap + inline footprint in bytes, for the
+    /// `probe.observation_bytes` self-accounting gauge.
+    pub fn approx_bytes(&self) -> usize {
+        let names: usize = self.columns.iter().map(|c| c.capacity()).sum();
+        let windows = self.windows.capacity() * std::mem::size_of::<Window>();
+        let stats: usize = self
+            .windows
+            .iter()
+            .map(|w| w.stats.capacity() * std::mem::size_of::<WindowStat>())
+            .sum();
+        std::mem::size_of::<Self>() + names + windows + stats
+    }
+
+    /// The series as CSV: `t_start_us,t_end_us,samples` then
+    /// `<col>.min,<col>.mean,<col>.max` per column.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_start_us,t_end_us,samples");
+        for c in &self.columns {
+            for suffix in ["min", "mean", "max"] {
+                out.push(',');
+                out.push_str(&csv_field(&format!("{c}.{suffix}")));
+            }
+        }
+        out.push('\n');
+        for w in &self.windows {
+            out.push_str(&format!(
+                "{},{},{}",
+                w.start.as_micros_f64(),
+                w.end.as_micros_f64(),
+                w.samples
+            ));
+            for (i, s) in w.stats.iter().enumerate() {
+                out.push_str(&format!(",{},{},{}", s.min, w.mean(i), s.max));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Merges several labelled windowed series into one CSV with a leading
+/// `series` column.
+///
+/// # Panics
+///
+/// Panics if the series disagree on their column lists.
+pub fn windowed_csv_concat(series: &[(String, WindowedSeries)]) -> String {
+    let Some((_, first)) = series.first() else {
+        return String::from("series,t_start_us,t_end_us,samples\n");
+    };
+    for (label, ws) in series {
+        assert_eq!(
+            ws.columns, first.columns,
+            "series {label:?} has a different column list"
+        );
+    }
+    let mut out = String::from("series,t_start_us,t_end_us,samples");
+    for c in &first.columns {
+        for suffix in ["min", "mean", "max"] {
+            out.push(',');
+            out.push_str(&csv_field(&format!("{c}.{suffix}")));
+        }
+    }
+    out.push('\n');
+    for (label, ws) in series {
+        let label = csv_field(label);
+        for w in &ws.windows {
+            out.push_str(&format!(
+                "{label},{},{},{}",
+                w.start.as_micros_f64(),
+                w.end.as_micros_f64(),
+                w.samples
+            ));
+            for (i, s) in w.stats.iter().enumerate() {
+                out.push_str(&format!(",{},{},{}", s.min, w.mean(i), s.max));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +448,130 @@ mod tests {
     fn concat_rejects_mismatched_columns() {
         let other = TimeSeries::new(vec!["z".into()]);
         csv_concat(&[("a".into(), sample()), ("b".into(), other)]);
+    }
+
+    #[test]
+    fn csv_escapes_labels_with_commas_and_quotes() {
+        // Regression: labels containing CSV metacharacters used to be
+        // emitted raw, shifting every subsequent column in the row.
+        let batch = vec![(r#"pop=1,000 "full""#.to_string(), sample())];
+        let csv = csv_concat(&batch);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,t_us,a,b");
+        assert_eq!(lines[1], r#""pop=1,000 ""full""",0,1,2"#);
+        // Every data row still parses to exactly header-many fields under
+        // RFC 4180 quoting.
+        for line in &lines[1..] {
+            let mut fields = 0usize;
+            let mut in_quotes = false;
+            for ch in line.chars() {
+                match ch {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => fields += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(fields + 1, 4, "row must keep the header's arity: {line}");
+        }
+    }
+
+    #[test]
+    fn csv_escapes_column_names_too() {
+        let mut ts = TimeSeries::new(vec!["latency,ms".into()]);
+        ts.push(SimTime::ZERO, vec![1.5]);
+        let csv = ts.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), r#"t_us,"latency,ms""#);
+    }
+
+    #[test]
+    fn plain_labels_render_unchanged() {
+        // The goldens depend on pre-escaping output for ordinary labels.
+        let batch = vec![("flows=0".to_string(), sample())];
+        let csv = csv_concat(&batch);
+        assert!(csv.lines().nth(1).unwrap().starts_with("flows=0,"));
+    }
+
+    #[test]
+    fn windowed_series_respects_budget() {
+        let mut ws = WindowedSeries::new(vec!["g".into()], 8);
+        for i in 0..10_000u64 {
+            ws.push(SimTime::from_micros(i * 50), &[i as f64]);
+            assert!(ws.len() <= 8, "budget exceeded at sample {i}");
+        }
+        assert_eq!(ws.total_samples, 10_000);
+        // Windows tile the sampled interval in order.
+        for pair in ws.windows.windows(2) {
+            assert!(pair[0].end < pair[1].start);
+        }
+        assert_eq!(ws.windows.first().unwrap().start, SimTime::ZERO);
+        assert_eq!(
+            ws.windows.last().unwrap().end,
+            SimTime::from_micros(9_999 * 50)
+        );
+    }
+
+    #[test]
+    fn windowed_series_preserves_min_max_mean() {
+        let mut ws = WindowedSeries::new(vec!["g".into()], 4);
+        let values: Vec<f64> = (0..1000).map(|i| (i % 97) as f64).collect();
+        for (i, &v) in values.iter().enumerate() {
+            ws.push(SimTime::from_micros(i as u64), &[v]);
+        }
+        let total: u64 = ws.windows.iter().map(|w| w.samples).sum();
+        assert_eq!(total, 1000, "no sample lost in merges");
+        let sum: f64 = ws.windows.iter().map(|w| w.stats[0].sum).sum();
+        let exact: f64 = values.iter().sum();
+        assert!((sum - exact).abs() < 1e-6, "global mean preserved");
+        let min = ws
+            .windows
+            .iter()
+            .map(|w| w.stats[0].min)
+            .fold(f64::MAX, f64::min);
+        let max = ws
+            .windows
+            .iter()
+            .map(|w| w.stats[0].max)
+            .fold(f64::MIN, f64::max);
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 96.0);
+    }
+
+    #[test]
+    fn windowed_series_memory_is_bounded() {
+        let mut ws = WindowedSeries::new(vec!["a".into(), "b".into()], 16);
+        ws.push(SimTime::ZERO, &[0.0, 0.0]);
+        let early = ws.approx_bytes();
+        for i in 1..50_000u64 {
+            ws.push(SimTime::from_micros(i), &[i as f64, -(i as f64)]);
+        }
+        assert!(
+            ws.approx_bytes() <= early * 2 + 4096,
+            "windowed series footprint must not grow with run length"
+        );
+    }
+
+    #[test]
+    fn windowed_csv_has_min_mean_max_columns() {
+        let mut ws = WindowedSeries::new(vec!["g".into()], 4);
+        ws.push(SimTime::from_micros(0), &[1.0]);
+        ws.push(SimTime::from_micros(10), &[3.0]);
+        let csv = ws.to_csv();
+        assert_eq!(
+            csv.lines().next().unwrap(),
+            "t_start_us,t_end_us,samples,g.min,g.mean,g.max"
+        );
+        let concat = windowed_csv_concat(&[("p=1".into(), ws)]);
+        assert!(concat
+            .lines()
+            .next()
+            .unwrap()
+            .starts_with("series,t_start_us"));
+        assert_eq!(concat.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn windowed_budget_of_one_rejected() {
+        WindowedSeries::new(vec!["g".into()], 1);
     }
 }

@@ -2,8 +2,18 @@
 //! partitions `u64` exactly, and every summary statistic is conserved,
 //! bounded, and monotone for arbitrary inputs.
 
-use now_probe::{bucket_bounds, bucket_index, Registry, BUCKETS};
+use now_probe::{bucket_bounds, bucket_index, QuantileSketch, Registry, BUCKETS};
 use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over a sorted copy — the reference the
+/// sketch's relative-error guarantee is stated against.
+fn exact_quantile(values: &[u64], p: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
 
 proptest! {
     /// Every value lands in a bucket whose inclusive bounds contain it.
@@ -93,6 +103,49 @@ proptest! {
             "estimate {estimate} covers {covered} of {} samples, rank needs {rank}",
             values.len()
         );
+    }
+
+    /// The sketch's `quantile(p)` is within its guaranteed relative error
+    /// of the exact sorted-sample nearest-rank quantile, for arbitrary
+    /// inputs and arbitrary p.
+    #[test]
+    fn sketch_quantile_within_guaranteed_relative_error(
+        values in prop::collection::vec(0u64..1_u64 << 40, 1..400),
+        p_thousandths in 1u32..=1000,
+    ) {
+        let p = f64::from(p_thousandths) / 1000.0;
+        let mut s = QuantileSketch::new();
+        for &v in &values {
+            s.record(v);
+        }
+        let est = s.quantile(p).unwrap();
+        let exact = exact_quantile(&values, p) as f64;
+        // Tiny slack absorbs f64 ln/ceil placement at bucket boundaries.
+        let tol = s.alpha() * exact + 1e-6 * exact + 1e-9;
+        prop_assert!(
+            (est - exact).abs() <= tol,
+            "p{p}: sketch {est} vs exact {exact} breaks the {} bound",
+            s.alpha()
+        );
+    }
+
+    /// Merging per-shard sketches is bit-identical to sketching the
+    /// concatenated stream, however the stream is split.
+    #[test]
+    fn sketch_merge_equals_concatenated_stream(
+        values in prop::collection::vec(0u64..1_u64 << 40, 1..300),
+        split in 0usize..300,
+    ) {
+        let split = split.min(values.len());
+        let mut left = QuantileSketch::new();
+        let mut right = QuantileSketch::new();
+        let mut whole = QuantileSketch::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i < split { left.record(v) } else { right.record(v) }
+            whole.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left, whole);
     }
 
     /// Recording order never changes the summary (atomic updates commute).

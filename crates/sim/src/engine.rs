@@ -231,6 +231,18 @@ struct CausalState {
     sink: Arc<dyn CausalSink>,
     next_trace: u64,
     next_mark: u64,
+    /// Record provenance only for traces where `trace % sample_every == 0`
+    /// (1 = every trace, the [`Engine::set_causal_sink`] behaviour).
+    /// Trace ids are assigned deterministically in scheduling order, so
+    /// which chains are sampled is a pure function of the workload — equal
+    /// seeds sample equal chains and output stays byte-identical.
+    sample_every: u64,
+}
+
+impl CausalState {
+    fn sampled(&self, trace: u64) -> bool {
+        trace.is_multiple_of(self.sample_every)
+    }
 }
 
 /// How an [`Engine`] prices remote traffic.
@@ -295,7 +307,7 @@ impl<M> Ctx<'_, M> {
     fn schedule_envelope(&mut self, dst: ComponentId, time: SimTime, event: M) -> EventId {
         let trace = self.current_trace;
         let id = self.queue.schedule_at(time, Envelope { dst, trace, event });
-        if let Some(causal) = &self.causal {
+        if let Some(causal) = self.causal.as_ref().filter(|c| c.sampled(trace)) {
             causal.sink.record(CausalRecord {
                 seq: id.seq(),
                 parent: Some(self.current_seq),
@@ -317,13 +329,61 @@ impl<M> Ctx<'_, M> {
         self.causal.is_some()
     }
 
+    /// True when the *current* event's trace is among the sampled 1-in-N
+    /// (always true with tracing on at the default sampling of 1; always
+    /// false with tracing off). Components may use this to skip work that
+    /// only feeds attribution of this specific chain.
+    pub fn trace_sampled(&self) -> bool {
+        self.causal
+            .as_ref()
+            .is_some_and(|c| c.sampled(self.current_trace))
+    }
+
+    /// Schedules an event to this component at absolute time `time` as the
+    /// root of a *fresh* trace, exactly as [`Engine::schedule_at`] seeds
+    /// one before the run. Open-loop workload generators use this so every
+    /// request chain is its own trace: the engine can then sample 1-in-N
+    /// chains end-to-end ([`Engine::set_causal_sink_sampled`]) and causal
+    /// memory stays proportional to sampled chains, not events. Pending
+    /// [`Ctx::blame`] is left for the current chain, not attached here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn schedule_root_at(&mut self, time: SimTime, event: M) -> EventId {
+        let dst = self.self_id;
+        let trace = match &mut self.causal {
+            Some(causal) => {
+                causal.next_trace += 1;
+                causal.next_trace
+            }
+            None => 0,
+        };
+        let id = self.queue.schedule_at(time, Envelope { dst, trace, event });
+        if let Some(causal) = self.causal.as_ref().filter(|c| c.sampled(trace)) {
+            causal.sink.record(CausalRecord {
+                seq: id.seq(),
+                parent: None,
+                trace,
+                src: Some(self.self_id),
+                dst,
+                scheduled_at: self.queue.now(),
+                fires_at: time,
+                label: "",
+                blame: Vec::new(),
+            });
+        }
+        id
+    }
+
     /// Attributes `amount` of the time leading up to the *next* scheduled
     /// event (or [`Ctx::mark`]) to `category`. Segments accumulate in call
     /// order and are drained by the next `schedule_*`/`send_to*`/`mark`;
     /// anything left when the handler returns is discarded. A no-op when
-    /// causal tracing is off or `amount` is zero.
+    /// causal tracing is off, the current trace is not sampled, or
+    /// `amount` is zero.
     pub fn blame(&mut self, category: &'static str, amount: SimDuration) {
-        if self.causal.is_some() && amount > SimDuration::ZERO {
+        if self.trace_sampled() && amount > SimDuration::ZERO {
             self.pending_blame.push((category, amount));
         }
     }
@@ -331,9 +391,14 @@ impl<M> Ctx<'_, M> {
     /// Emits a labelled terminal record at time `at` (e.g. a scenario
     /// completion) without scheduling anything. The mark's parent is the
     /// current event, so critical-path extraction can start from it.
-    /// Pending blame attaches to the mark. A no-op when tracing is off.
+    /// Pending blame attaches to the mark. A no-op when tracing is off or
+    /// the current trace is not sampled.
     pub fn mark(&mut self, label: &'static str, at: SimTime) {
+        let trace_sampled = self.trace_sampled();
         if let Some(causal) = &mut self.causal {
+            if !trace_sampled {
+                return;
+            }
             let seq = MARK_SEQ_BASE + causal.next_mark;
             causal.next_mark += 1;
             causal.sink.record(CausalRecord {
@@ -579,10 +644,23 @@ impl<M: 'static> Engine<M> {
     /// `sink`. Without a sink the engine does no causal work at all —
     /// no records, no allocation, identical event history.
     pub fn set_causal_sink(&mut self, sink: Arc<dyn CausalSink>) {
+        self.set_causal_sink_sampled(sink, 1);
+    }
+
+    /// Enables causal tracing with 1-in-N trace sampling: only chains
+    /// whose trace id is a multiple of `sample_every` are recorded
+    /// (blame, provenance, and marks for other chains are skipped
+    /// entirely). Trace ids are assigned in deterministic scheduling
+    /// order, so sampling is a pure function of the workload — runs stay
+    /// byte-identical — and, crucially, *which events fire and when is
+    /// identical at every sampling rate*: observation never feeds back
+    /// into the simulation. `sample_every` of 0 is treated as 1.
+    pub fn set_causal_sink_sampled(&mut self, sink: Arc<dyn CausalSink>, sample_every: u64) {
         self.causal = Some(CausalState {
             sink,
             next_trace: 0,
             next_mark: 0,
+            sample_every: sample_every.max(1),
         });
     }
 
@@ -631,7 +709,7 @@ impl<M: 'static> Engine<M> {
             None => 0,
         };
         let id = self.queue.schedule_at(time, Envelope { dst, trace, event });
-        if let Some(causal) = &self.causal {
+        if let Some(causal) = self.causal.as_ref().filter(|c| c.sampled(trace)) {
             causal.sink.record(CausalRecord {
                 seq: id.seq(),
                 parent: None,
@@ -962,6 +1040,91 @@ mod tests {
             std::mem::take(&mut engine.component_mut::<Log>(id).seen)
         }
         assert_eq!(history(false), history(true));
+    }
+
+    /// An open-loop generator: each firing roots the next request chain
+    /// via `schedule_root_at`, blames some compute, and marks completion.
+    struct OpenLoop {
+        remaining: u32,
+        fired_at: Vec<u64>,
+    }
+
+    impl Component<u32> for OpenLoop {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, n: u32) {
+            self.fired_at.push(ctx.now().as_nanos());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.schedule_root_at(ctx.now() + SimDuration::from_micros(10), n + 1);
+            }
+            ctx.blame("compute", SimDuration::from_micros(4));
+            ctx.mark("req.done", ctx.now() + SimDuration::from_micros(4));
+        }
+    }
+
+    #[test]
+    fn sampled_sink_records_one_in_n_chains_end_to_end() {
+        let sink = Arc::new(VecSink::default());
+        let mut engine = Engine::new();
+        engine.set_causal_sink_sampled(sink.clone(), 3);
+        let id = engine.register(OpenLoop {
+            remaining: 8,
+            fired_at: Vec::new(),
+        });
+        engine.schedule_at(id, SimTime::ZERO, 0);
+        engine.run();
+
+        let records = sink.0.lock().unwrap();
+        // 9 chains rooted (traces 1..=9); only 3, 6, 9 are sampled.
+        let mut traces: Vec<u64> = records.iter().map(|r| r.trace).collect();
+        traces.dedup();
+        assert_eq!(traces, vec![3, 6, 9]);
+        // Each sampled chain is complete: its root plus its blamed mark.
+        for t in [3u64, 6, 9] {
+            let chain: Vec<_> = records.iter().filter(|r| r.trace == t).collect();
+            assert_eq!(chain.len(), 2, "root + mark for trace {t}");
+            assert_eq!(chain[0].parent, None);
+            assert_eq!(chain[1].label, "req.done");
+            assert_eq!(
+                chain[1].blame,
+                vec![("compute", SimDuration::from_micros(4))]
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_rate_does_not_change_event_history() {
+        let history = |sample: Option<u64>| -> Vec<u64> {
+            let mut engine = Engine::new();
+            if let Some(n) = sample {
+                engine.set_causal_sink_sampled(Arc::new(VecSink::default()), n);
+            }
+            let id = engine.register(OpenLoop {
+                remaining: 20,
+                fired_at: Vec::new(),
+            });
+            engine.schedule_at(id, SimTime::ZERO, 0);
+            engine.run();
+            std::mem::take(&mut engine.component_mut::<OpenLoop>(id).fired_at)
+        };
+        let untraced = history(None);
+        assert_eq!(untraced, history(Some(1)));
+        assert_eq!(untraced, history(Some(7)));
+    }
+
+    #[test]
+    fn default_sink_samples_every_trace() {
+        let sink = Arc::new(VecSink::default());
+        let mut engine = Engine::new();
+        engine.set_causal_sink(sink.clone());
+        let id = engine.register(OpenLoop {
+            remaining: 3,
+            fired_at: Vec::new(),
+        });
+        engine.schedule_at(id, SimTime::ZERO, 0);
+        engine.run();
+        let records = sink.0.lock().unwrap();
+        let roots = records.iter().filter(|r| r.parent.is_none()).count();
+        assert_eq!(roots, 4, "sampling of 1 keeps every chain");
     }
 
     #[test]

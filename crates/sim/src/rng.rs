@@ -226,6 +226,11 @@ impl ZipfSampler {
         false // constructor guarantees n > 0; method provided for symmetry
     }
 
+    /// Approximate heap + inline footprint in bytes (the CDF table).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.cdf.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Draws a rank in `[0, n)`.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.f64();
