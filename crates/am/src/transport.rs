@@ -7,8 +7,7 @@
 //! collisions — so components that share one transport contend with each
 //! other exactly as the paper argues NOW subsystems must.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use now_net::{CsmaBus, Fabric, Network, NicAttachment, NodeId, SoftwareCosts};
 use now_sim::{SimTime, TransferCost, Transport};
@@ -17,10 +16,12 @@ use now_sim::{SimTime, TransferCost, Transport};
 /// [`Network`] — fabric occupancy, software stack, and NIC overhead
 /// included.
 ///
-/// The network lives behind an `Rc<RefCell<_>>` so several observers (for
+/// The network lives behind an `Arc<Mutex<_>>` so several observers (for
 /// example a benchmark harness sampling probe counters) can hold the same
-/// occupancy state the engine is charging against; the engine itself is
-/// single-threaded, so the interior mutability is uncontended.
+/// occupancy state the engine is charging against. Each engine drives its
+/// transport from one thread at a time — partitioned runs move whole
+/// engines between threads rather than sharing one — so the lock is
+/// uncontended; it exists to satisfy the `Transport: Send` bound.
 ///
 /// # Example
 ///
@@ -37,25 +38,25 @@ use now_sim::{SimTime, TransferCost, Transport};
 /// ```
 #[derive(Debug, Clone)]
 pub struct FabricTransport {
-    net: Rc<RefCell<Network>>,
+    net: Arc<Mutex<Network>>,
 }
 
 impl FabricTransport {
     /// Wraps a network in a transport, taking sole ownership.
     pub fn new(net: Network) -> Self {
         FabricTransport {
-            net: Rc::new(RefCell::new(net)),
+            net: Arc::new(Mutex::new(net)),
         }
     }
 
     /// Wraps an already-shared network handle, so the caller can keep
     /// observing (or probing) the same occupancy state the engine charges.
-    pub fn shared(net: Rc<RefCell<Network>>) -> Self {
+    pub fn shared(net: Arc<Mutex<Network>>) -> Self {
         FabricTransport { net }
     }
 
     /// The shared network handle.
-    pub fn handle(&self) -> Rc<RefCell<Network>> {
+    pub fn handle(&self) -> Arc<Mutex<Network>> {
         self.net.clone()
     }
 }
@@ -71,7 +72,8 @@ impl Transport for FabricTransport {
         }
         let out = self
             .net
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .transfer(NodeId(src), NodeId(dst), bytes, now);
         TransferCost {
             delivered: out.delivered_at,
@@ -156,14 +158,15 @@ mod tests {
 
     #[test]
     fn shared_handle_sees_the_engine_occupancy() {
-        let net = Rc::new(RefCell::new(presets::am_atm(8)));
+        let net = Arc::new(Mutex::new(presets::am_atm(8)));
         let mut t = FabricTransport::shared(net.clone());
         // Drive traffic through the transport, then observe contention
         // through the retained handle: a later transfer queues behind it.
         let first = t.transfer(0, 1, 1 << 20, SimTime::ZERO);
         // Same destination link: the switched fabric must queue it.
         let second = net
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .transfer(NodeId(2), NodeId(1), 64, SimTime::ZERO)
             .delivered_at;
         assert!(first > SimTime::ZERO);

@@ -12,6 +12,8 @@
 //! repro contention --blame         # append critical-path blame tables
 //! repro contention --timeseries-out ts.csv   # flight-recorder samples (.json for JSON)
 //! repro contention --jobs 4        # fan independent runs over 4 threads
+//! repro contention --nodes 256     # 8 cells of 32 nodes per sweep point
+//! repro contention --nodes 256 --partitions 4  # shard each run over 4 cores
 //! repro --bench-out BENCH_repro.json --jobs 4  # wall-time harness, serial vs parallel
 //! ```
 //!
@@ -20,6 +22,16 @@
 //! ablations fan their independent runs over; the default is the
 //! machine's available parallelism and `--jobs 1` forces the legacy
 //! serial path. Output is byte-identical whatever the worker count.
+//!
+//! `--partitions N` (or `NOW_PARTITIONS`) shards each *single* run over N
+//! engine partitions — parallelism inside one simulation, orthogonal to
+//! `--jobs`' fan-out across runs. `--nodes N` (a multiple of 32) scales
+//! the contention scenario to N/32 independent 32-node cells, which is
+//! what gives a run enough width to shard. `--partitions 0` asks for one
+//! partition per core; requests clamp to the cell count, so the
+//! availability and serve reports (single-cell runs) stay serial. Output
+//! is byte-identical whatever the partition count — only wall-clock time
+//! moves.
 
 use std::env;
 use std::process::exit;
@@ -37,6 +49,8 @@ fn main() {
     let mut smoke = false;
     let mut blame = false;
     let mut jobs_arg: Option<usize> = None;
+    let mut partitions_arg: Option<u32> = None;
+    let mut nodes: u32 = 32;
     let mut metrics: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut timeseries_out: Option<String> = None;
@@ -63,6 +77,38 @@ fn main() {
                 Ok(n) if n >= 1 => jobs_arg = Some(n),
                 _ => {
                     eprintln!("--jobs needs a positive worker count, got {n:?}");
+                    exit(2);
+                }
+            }
+        } else if arg == "--partitions" {
+            match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => partitions_arg = Some(n),
+                _ => {
+                    eprintln!("--partitions needs a partition count (0 = one per core)");
+                    exit(2);
+                }
+            }
+        } else if let Some(n) = arg.strip_prefix("--partitions=") {
+            match n.parse() {
+                Ok(n) => partitions_arg = Some(n),
+                _ => {
+                    eprintln!("--partitions needs a partition count, got {n:?}");
+                    exit(2);
+                }
+            }
+        } else if arg == "--nodes" {
+            match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) if n >= 32 && n % 32 == 0 => nodes = n,
+                _ => {
+                    eprintln!("--nodes needs a positive multiple of 32");
+                    exit(2);
+                }
+            }
+        } else if let Some(n) = arg.strip_prefix("--nodes=") {
+            match n.parse() {
+                Ok(n) if n >= 32 && n % 32 == 0 => nodes = n,
+                _ => {
+                    eprintln!("--nodes needs a positive multiple of 32, got {n:?}");
                     exit(2);
                 }
             }
@@ -109,12 +155,17 @@ fn main() {
         }
     }
     let jobs = resolve_jobs(jobs_arg);
+    // CLI beats environment beats the serial default; 0 = one per core.
+    let partitions = partitions_arg
+        .or_else(|| env::var("NOW_PARTITIONS").ok().and_then(|s| s.parse().ok()))
+        .unwrap_or(1);
 
     // The wall-time harness replaces the reports: time the heavy sweeps
     // serial vs parallel, write the trajectory entries, and exit.
     if let Some(path) = bench_out {
         let entries = run_bench_harness(smoke, jobs);
-        if let Err(e) = std::fs::write(&path, render_bench_json(&entries)) {
+        let partitioned = run_partition_harness();
+        if let Err(e) = std::fs::write(&path, render_bench_json(&entries, &partitioned)) {
             eprintln!("cannot write bench results to {path}: {e}");
             exit(1);
         }
@@ -128,6 +179,14 @@ fn main() {
                 e.speedup()
             );
         }
+        eprintln!(
+            "{}: serial {:.0} ms, partitioned {:.0} ms at {} partitions ({:.2}x single-run)",
+            partitioned.bench,
+            partitioned.serial_ms,
+            partitioned.partitioned_ms,
+            partitioned.partitions,
+            partitioned.single_run_speedup()
+        );
         eprintln!("wrote bench trajectory to {path}");
         return;
     }
@@ -182,29 +241,39 @@ fn main() {
     }
     if want("contention") {
         if blame || record {
-            let mut r = now_bench::contention_observed_jobs(smoke, blame, record, &probe, jobs);
-            println!("{}", r.text);
-            series.append(&mut r.series);
-        } else {
-            println!("{}", now_bench::contention_jobs(smoke, jobs));
-        }
-    }
-    if want("availability") {
-        if blame || record {
-            let mut r = now_bench::availability_observed_jobs(smoke, blame, record, &probe, jobs);
+            let mut r = now_bench::contention_observed_scaled(
+                smoke, blame, record, &probe, jobs, nodes, partitions,
+            );
             println!("{}", r.text);
             series.append(&mut r.series);
         } else {
             println!(
                 "{}",
-                now_bench::availability_observed_jobs(smoke, false, false, &probe, jobs).text
+                now_bench::contention_scaled_jobs(smoke, jobs, nodes, partitions)
+            );
+        }
+    }
+    if want("availability") {
+        if blame || record {
+            let mut r = now_bench::availability_observed_scaled(
+                smoke, blame, record, &probe, jobs, partitions,
+            );
+            println!("{}", r.text);
+            series.append(&mut r.series);
+        } else {
+            println!(
+                "{}",
+                now_bench::availability_observed_scaled(
+                    smoke, false, false, &probe, jobs, partitions
+                )
+                .text
             );
         }
     }
     // The serving sweep is opt-in like the ablations: it is the unified
     // engine's population-scale story, not a paper table.
     if selected.iter().any(|s| s == "serve") {
-        let mut r = now_bench::serve_report_jobs(smoke, blame, record, &probe, jobs);
+        let mut r = now_bench::serve_report_scaled(smoke, blame, record, &probe, jobs, partitions);
         println!("{}", r.text);
         windowed.append(&mut r.windowed);
     }
@@ -285,6 +354,26 @@ impl BenchEntry {
     fn speedup(&self) -> f64 {
         if self.parallel_ms > 0.0 {
             self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One wall-time measurement of a *single* scaled run, serial vs sharded
+/// over engine partitions — parallelism inside one simulation, where
+/// `--jobs` cannot help.
+struct PartitionedBenchEntry {
+    bench: &'static str,
+    serial_ms: f64,
+    partitioned_ms: f64,
+    partitions: u32,
+}
+
+impl PartitionedBenchEntry {
+    fn single_run_speedup(&self) -> f64 {
+        if self.partitioned_ms > 0.0 {
+            self.serial_ms / self.partitioned_ms
         } else {
             0.0
         }
@@ -376,8 +465,32 @@ fn run_bench_harness(smoke: bool, jobs: usize) -> Vec<BenchEntry> {
     ]
 }
 
-fn render_bench_json(entries: &[BenchEntry]) -> String {
-    let rows: Vec<String> = entries
+/// Times one 256-node contention run (8 cells, 8 background flows each)
+/// serial and sharded over 4 engine partitions, asserting the outcomes
+/// are identical — the partitioned engine's whole contract.
+fn run_partition_harness() -> PartitionedBenchEntry {
+    const NODES: u32 = 256;
+    const FLOWS: u32 = 8;
+    const PARTITIONS: u32 = 4;
+    let mut serial = None;
+    let mut partitioned = None;
+    let serial_ms = time_ms(|| serial = Some(now_bench::contention_point(FLOWS, NODES, 1)));
+    let partitioned_ms =
+        time_ms(|| partitioned = Some(now_bench::contention_point(FLOWS, NODES, PARTITIONS)));
+    assert_eq!(
+        serial, partitioned,
+        "the partitioned run must match the serial run exactly"
+    );
+    PartitionedBenchEntry {
+        bench: "contention_nodes256",
+        serial_ms,
+        partitioned_ms,
+        partitions: PARTITIONS,
+    }
+}
+
+fn render_bench_json(entries: &[BenchEntry], partitioned: &PartitionedBenchEntry) -> String {
+    let mut rows: Vec<String> = entries
         .iter()
         .map(|e| {
             format!(
@@ -391,5 +504,14 @@ fn render_bench_json(entries: &[BenchEntry]) -> String {
             )
         })
         .collect();
+    rows.push(format!(
+        "  {{\"bench\": \"{}\", \"serial_ms\": {:.3}, \"partitioned_ms\": {:.3}, \
+         \"partitions\": {}, \"single_run_speedup\": {:.3}}}",
+        partitioned.bench,
+        partitioned.serial_ms,
+        partitioned.partitioned_ms,
+        partitioned.partitions,
+        partitioned.single_run_speedup()
+    ));
     format!("[\n{}\n]\n", rows.join(",\n"))
 }

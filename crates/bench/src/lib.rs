@@ -365,6 +365,26 @@ pub fn contention_jobs(smoke: bool, jobs: usize) -> String {
     contention_observed_jobs(smoke, false, false, &Probe::disabled(), jobs).text
 }
 
+/// [`contention_jobs`] on a scaled cluster: `nodes` must be a positive
+/// multiple of 32, and every point runs `nodes / 32` independent 32-node
+/// cells sharded over `partitions` engine partitions (see
+/// [`ScenarioSpec::cells`](now_core::ScenarioSpec)). The rendered table
+/// is byte-identical at every `partitions` value — the knob only moves
+/// wall-clock time, which is the point of `repro --bench-out`'s
+/// single-run speedup entry.
+pub fn contention_scaled_jobs(smoke: bool, jobs: usize, nodes: u32, partitions: u32) -> String {
+    contention_observed_scaled(
+        smoke,
+        false,
+        false,
+        &Probe::disabled(),
+        jobs,
+        nodes,
+        partitions,
+    )
+    .text
+}
+
 /// A rendered report plus the flight recorder's per-run gauge series
 /// (empty unless the run was asked to record).
 #[derive(Debug, Clone, Default)]
@@ -447,7 +467,33 @@ pub fn contention_observed_jobs(
     probe: &Probe,
     jobs: usize,
 ) -> ObservedReport {
+    contention_observed_scaled(smoke, blame, record, probe, jobs, 32, 1)
+}
+
+/// [`contention_observed_jobs`] on a scaled cluster (see
+/// [`contention_scaled_jobs`] for the `nodes` / `partitions` contract).
+/// At `nodes = 32` this is exactly the classic report; beyond that each
+/// point is a population of cells and the table says so in its title.
+///
+/// # Panics
+///
+/// Panics unless `nodes` is a positive multiple of 32.
+pub fn contention_observed_scaled(
+    smoke: bool,
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+    jobs: usize,
+    nodes: u32,
+    partitions: u32,
+) -> ObservedReport {
     use now_core::{NowCluster, ScenarioSpec};
+    assert!(
+        nodes >= 32 && nodes.is_multiple_of(32),
+        "the contention scenario scales in 32-node cells; {nodes} nodes is \
+         not a positive multiple of 32"
+    );
+    let cells = nodes / 32;
     let flows: &[u32] = if smoke { &[0, 4, 8] } else { &[0, 2, 4, 8, 16] };
     let cluster = NowCluster::builder().nodes(32).seed(SEED).build();
     let mut t = TextTable::new(&[
@@ -457,7 +503,14 @@ pub fn contention_observed_jobs(
         "Cache read (ms)",
         "Bg frames",
     ]);
-    t.title("Contention - one fabric under the paging + BSP job + file cache scenario");
+    if cells > 1 {
+        t.title(&format!(
+            "Contention - {cells} cells of 32 nodes ({nodes} total), paging + \
+             BSP job + file cache per cell"
+        ));
+    } else {
+        t.title("Contention - one fabric under the paging + BSP job + file cache scenario");
+    }
     let mut blame_text = String::new();
     let mut series = Vec::new();
     // Observers are built serially up front (fixed order), then the runs
@@ -469,6 +522,8 @@ pub fn contention_observed_jobs(
                 ScenarioSpec {
                     background_flows: n,
                     seed: SEED,
+                    cells,
+                    partitions,
                     ..ScenarioSpec::contention_default()
                 },
                 observer_for(blame, record, probe),
@@ -531,6 +586,32 @@ pub fn contention_series_jobs(flows: &[u32], jobs: usize) -> Vec<(u32, now_core:
         .collect()
 }
 
+/// One scaled contention run: `nodes / 32` independent 32-node cells at
+/// `flows` background flows each, sharded over `partitions` engine
+/// partitions. The outcome is byte-identical at every `partitions` value;
+/// `repro --bench-out` times this at 1 vs 4 partitions to report the
+/// single-run speedup.
+///
+/// # Panics
+///
+/// Panics unless `nodes` is a positive multiple of 32.
+pub fn contention_point(flows: u32, nodes: u32, partitions: u32) -> now_core::ScenarioOutcome {
+    use now_core::{NowCluster, ScenarioSpec};
+    assert!(
+        nodes >= 32 && nodes.is_multiple_of(32),
+        "the contention scenario scales in 32-node cells; {nodes} nodes is \
+         not a positive multiple of 32"
+    );
+    let cluster = NowCluster::builder().nodes(32).seed(SEED).build();
+    cluster.run_scenario(&ScenarioSpec {
+        background_flows: flows,
+        seed: SEED,
+        cells: nodes / 32,
+        partitions,
+        ..ScenarioSpec::contention_default()
+    })
+}
+
 /// The availability experiment: Monte-Carlo failure simulation
 /// cross-checked against the paper's closed-form availability math, plus
 /// the coupled scenario re-run under injected faults.
@@ -582,6 +663,22 @@ pub fn availability_observed_jobs(
     record: bool,
     probe: &Probe,
     jobs: usize,
+) -> ObservedReport {
+    availability_observed_scaled(smoke, blame, record, probe, jobs, 1)
+}
+
+/// [`availability_observed_jobs`] with a `partitions` request threaded
+/// onto every scenario spec, for CLI symmetry with the contention report.
+/// Every fault scenario here is a single cell (injected faults cannot
+/// shard — their control messages have zero latency), so the request
+/// clamps to 1 and the report is byte-identical at any value.
+pub fn availability_observed_scaled(
+    smoke: bool,
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+    jobs: usize,
+    partitions: u32,
 ) -> ObservedReport {
     use now_core::NowCluster;
     use now_fault::montecarlo;
@@ -647,7 +744,15 @@ pub fn availability_observed_jobs(
     let named_specs = availability_specs();
     let runs: Vec<(now_core::ScenarioSpec, now_core::ScenarioObserver)> = named_specs
         .iter()
-        .map(|(_, spec)| (spec.clone(), observer_for(blame, record, probe)))
+        .map(|(_, spec)| {
+            (
+                now_core::ScenarioSpec {
+                    partitions,
+                    ..spec.clone()
+                },
+                observer_for(blame, record, probe),
+            )
+        })
         .collect();
     let results = cluster.run_scenarios_observed(&runs, scenario_jobs(jobs, probe));
     for ((name, _), (out, obs)) in named_specs.iter().zip(results) {
@@ -784,6 +889,7 @@ fn serve_spec(population: u64) -> now_core::ServeSpec {
             retain_exact: false,
         },
         front_ends: 8,
+        partitions: 1,
     }
 }
 
@@ -845,6 +951,22 @@ pub fn serve_report_jobs(
     probe: &Probe,
     jobs: usize,
 ) -> ObservedReport {
+    serve_report_scaled(smoke, blame, record, probe, jobs, 1)
+}
+
+/// [`serve_report_jobs`] with a `partitions` request threaded onto every
+/// serving spec, for CLI symmetry with the contention report. The whole
+/// population is one event-coupled component (every request contends for
+/// one server cache), so the request clamps to 1 and the report is
+/// byte-identical at any value.
+pub fn serve_report_scaled(
+    smoke: bool,
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+    jobs: usize,
+    partitions: u32,
+) -> ObservedReport {
     use now_core::{NowCluster, ScenarioObserver, ServeSpec};
     let populations: &[u64] = if smoke {
         &[20_000, 100_000, 1_000_000]
@@ -867,7 +989,8 @@ pub fn serve_report_jobs(
     let runs: Vec<(ServeSpec, ScenarioObserver)> = populations
         .iter()
         .map(|&p| {
-            let spec = serve_spec(p);
+            let mut spec = serve_spec(p);
+            spec.partitions = partitions;
             let expected = serve_expected_requests(&spec);
             (spec, serve_observer_for(blame, record, probe, expected))
         })

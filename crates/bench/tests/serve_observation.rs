@@ -33,6 +33,7 @@ fn spec(population: u64, retain_exact: bool) -> ServeSpec {
             retain_exact,
         },
         front_ends: 8,
+        partitions: 1,
     }
 }
 

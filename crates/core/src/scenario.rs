@@ -17,7 +17,7 @@
 //! process on node `k`, the netram hosts on `k+1..=k+h`, and the file
 //! server on node `n-1`.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use now_am::FabricTransport;
@@ -30,7 +30,10 @@ use now_probe::causal::{category, critical_path, BlameTable, CausalLog};
 use now_probe::recorder::{TimeSeries, WindowedSeries};
 use now_probe::{Gauge, Probe};
 use now_sim::parallel::run_indexed;
-use now_sim::{Component, CostMode, Ctx, Engine, EventCast, SimDuration, SimTime, TransferCost};
+use now_sim::{
+    Component, ComponentId, CostMode, CostModel, Ctx, Engine, EventCast, Lookahead,
+    PartitionedEngine, SimDuration, SimTime, TransferCost, Transport,
+};
 use now_trace::fs::{FsTrace, FsTraceConfig};
 use serde::{Deserialize, Serialize};
 
@@ -585,6 +588,18 @@ pub struct ScenarioSpec {
     pub fault_restart_delay: SimDuration,
     /// Reconstruction data streamed per replaced disk, MB.
     pub raid_rebuild_mb: u64,
+    /// Independent copies of the scenario run side by side, each on its
+    /// own replica of the cluster's fabric (cell `c` uses nodes
+    /// `c*nodes..(c+1)*nodes` and seed `seed + c`). `1` is the classic
+    /// single-cell run; larger values model a building-scale NOW as a
+    /// population of 32-node cells and are what `--nodes 256` expands to.
+    pub cells: u32,
+    /// Engine partitions the cells are sharded over (conservative
+    /// parallel execution). Clamped to `[1, cells]`; `0` asks for one
+    /// partition per available core. The simulated history, outcome, and
+    /// every observation are byte-identical at any value — partitioning
+    /// only changes wall-clock time.
+    pub partitions: u32,
 }
 
 impl ScenarioSpec {
@@ -617,6 +632,8 @@ impl ScenarioSpec {
             fault_heartbeat: SimDuration::from_millis(50),
             fault_restart_delay: SimDuration::from_millis(100),
             raid_rebuild_mb: 8,
+            cells: 1,
+            partitions: 1,
         }
     }
 }
@@ -695,6 +712,40 @@ const SCENARIO_COMPONENT_NAMES: [&str; 7] = [
     "job", "paging", "cache", "traffic", "control", "injector", "recorder",
 ];
 
+/// One partition's view of a multi-cell run: cell `c` owns global nodes
+/// `c*nodes_per_cell..(c+1)*nodes_per_cell` and a private fabric, and this
+/// transport routes each transfer to the owning cell's [`FabricTransport`]
+/// with node ids translated back to the cell's local numbering.
+///
+/// Cells never exchange traffic — that closure is exactly what lets
+/// [`PartitionedEngine`] run them under [`Lookahead::Closed`] with no
+/// synchronization windows at all — so a cross-cell transfer is a bug and
+/// panics.
+struct CellTransport {
+    nodes_per_cell: u32,
+    cells: BTreeMap<u32, FabricTransport>,
+}
+
+impl Transport for CellTransport {
+    fn transfer(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> SimTime {
+        self.transfer_detailed(src, dst, bytes, now).delivered
+    }
+
+    fn transfer_detailed(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> TransferCost {
+        let npc = self.nodes_per_cell;
+        let cell = src / npc;
+        assert_eq!(
+            dst / npc,
+            cell,
+            "cells never exchange traffic: the partitioned scenario is event-closed"
+        );
+        self.cells
+            .get_mut(&cell)
+            .expect("transfer from a cell homed in another partition")
+            .transfer_detailed(src % npc, dst % npc, bytes, now)
+    }
+}
+
 /// The completion marks the blame extractor walks back from, with the
 /// short tag each table is reported under.
 const SCENARIO_MARKS: [(&str, &str); 4] = [
@@ -754,6 +805,9 @@ impl NowCluster {
         spec: &ScenarioSpec,
         observer: &ScenarioObserver,
     ) -> (ScenarioOutcome, ScenarioObservations) {
+        if spec.cells > 1 {
+            return self.run_scenario_cells(spec, observer);
+        }
         let probe = &observer.probe;
         let n = self.nodes();
         let k = spec.job_workers;
@@ -998,6 +1052,311 @@ impl NowCluster {
         )
     }
 
+    /// The multi-cell path of
+    /// [`run_scenario_observed`](Self::run_scenario_observed): `cells`
+    /// replicas of the coupled scenario, each on its own copy of the
+    /// fabric (global nodes `c*n..(c+1)*n`, seed `seed + c`, telemetry
+    /// under a `cell{c}.` prefix), sharded over `partitions` engine
+    /// partitions on scoped threads.
+    ///
+    /// Cells share nothing — no wires, no caches, no pages — so the
+    /// component map is event-closed and [`PartitionedEngine`] runs it
+    /// under [`Lookahead::Closed`]: every partition drains to completion
+    /// in a single unbounded window, with zero barrier crossings. The
+    /// history, outcome, and observations are byte-identical at every
+    /// partition count; only wall-clock time changes.
+    ///
+    /// Mirrors the serial body above: same components, same registration
+    /// order (cell-major), same seeding order, so a one-cell spec run
+    /// through either path produces the same per-cell history.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`run_scenario`](Self::run_scenario), and on a
+    /// non-empty fault plan: control-plane messages are delivered with
+    /// zero latency, which no conservative lookahead covers, so faulted
+    /// runs must stay at `cells = 1`.
+    fn run_scenario_cells(
+        &self,
+        spec: &ScenarioSpec,
+        observer: &ScenarioObserver,
+    ) -> (ScenarioOutcome, ScenarioObservations) {
+        let probe = &observer.probe;
+        let cells = spec.cells;
+        assert!(
+            spec.faults.is_empty(),
+            "faulted runs cannot shard across cells: fault control messages \
+             have zero latency, which no conservative lookahead covers (run \
+             with cells = 1)"
+        );
+        let n = self.nodes();
+        let k = spec.job_workers;
+        let h = spec.netram_hosts;
+        assert!(
+            k + h + 2 <= n,
+            "scenario needs {k} workers + {h} netram hosts + pager + server; \
+             only {n} nodes"
+        );
+        let home = self.plan_partitions(cells, spec.partitions);
+        let partitions = home.iter().copied().max().unwrap_or(0) as usize + 1;
+
+        // One private fabric per cell; each partition's cost model
+        // multiplexes the fabrics of the cells homed there.
+        let mut fabrics: Vec<BTreeMap<u32, FabricTransport>> =
+            (0..partitions).map(|_| BTreeMap::new()).collect();
+        for c in 0..cells {
+            let mut network = self.interconnect().network(n);
+            network.set_probe(probe.scoped(&format!("cell{c}.")));
+            fabrics[home[c as usize] as usize].insert(c, FabricTransport::new(network));
+        }
+        let cost_models: Vec<CostModel> = fabrics
+            .into_iter()
+            .map(|cells| {
+                CostModel::Fabric(Box::new(CellTransport {
+                    nodes_per_cell: n,
+                    cells,
+                }))
+            })
+            .collect();
+        let mut engine: PartitionedEngine<ScenarioEvent> =
+            PartitionedEngine::new(cost_models, Lookahead::Closed);
+        if let Some(log) = &observer.causal {
+            engine.set_causal_sink_sampled(
+                Arc::clone(log) as Arc<dyn now_sim::CausalSink>,
+                observer.trace_sample_every.max(1),
+            );
+        }
+
+        struct CellIds {
+            job: ComponentId,
+            solver: ComponentId,
+            cache: ComponentId,
+            traffic: ComponentId,
+            first_access: Option<SimTime>,
+        }
+        let mut cell_ids: Vec<CellIds> = Vec::with_capacity(cells as usize);
+        for c in 0..cells {
+            let p = home[c as usize];
+            let off = c * n;
+            let seed = spec.seed.wrapping_add(u64::from(c));
+            let scoped = probe.scoped(&format!("cell{c}."));
+            let worker_nodes: Vec<u32> = (off..off + k).collect();
+            let pager_node = off + k;
+            let host_nodes: Vec<u32> = (off + k + 1..=off + k + h).collect();
+            let server_node = off + n - 1;
+
+            let mut job = BspJobComponent::new(
+                worker_nodes.clone(),
+                spec.job_rounds,
+                spec.job_compute,
+                spec.job_message_bytes,
+            );
+            job.set_probe(&scoped);
+            let job_id = engine.register(p, job);
+
+            let memory = MemoryConfig::LocalWithNetRam {
+                mb: spec.paging_local_mb,
+                hosts: h,
+                mb_per_host: spec.netram_mb_per_host,
+                cost: RemoteAccessCost::table2_atm(),
+            };
+            let app = MultigridConfig {
+                sweeps: spec.paging_sweeps,
+                ..MultigridConfig::paper_defaults()
+            };
+            let pages = spec.paging_problem_mb * 1024 * 1024 / PAGE_BYTES;
+            let mut built_pager = memory.build_pager();
+            built_pager.set_probe(scoped.clone());
+            if spec.netram_mirrored {
+                built_pager.set_netram_mirrored(true);
+            }
+            let mut solver = MultigridComponent::new(
+                built_pager,
+                app.compute_per_page(),
+                pages,
+                u64::from(app.sweeps) * pages,
+            )
+            .with_placement(pager_node, host_nodes.clone());
+            solver.set_probe(&scoped);
+            let solver_id = engine.register(p, solver);
+
+            let mut trace_config = FsTraceConfig::small();
+            trace_config.clients = k;
+            trace_config.duration = spec.horizon;
+            trace_config.accesses_per_sec = spec.cache_accesses_per_sec;
+            let trace = FsTrace::generate(&trace_config, seed);
+            let mut config = CacheConfig::small(Policy::NChance { n: 2 });
+            config.seed = seed;
+            let mut cache = CacheComponent::new(trace, config)
+                .with_placement(worker_nodes.clone(), server_node);
+            cache.set_probe(&scoped);
+            let first_access = cache.first_access_time();
+            let cache_id = engine.register(p, cache);
+
+            let flows: Vec<(u32, u32)> = (0..spec.background_flows)
+                .map(|i| (host_nodes[(i % h) as usize], worker_nodes[(i % k) as usize]))
+                .collect();
+            let mut traffic = TrafficComponent::new(
+                flows,
+                spec.background_bytes,
+                spec.background_interval,
+                SimTime::ZERO + spec.horizon,
+            );
+            traffic.set_probe(&scoped);
+            let traffic_id = engine.register(p, traffic);
+
+            // Control and injector register for id-table parity with the
+            // serial path; the fault plan is empty, so they receive no
+            // events and the history is identical to a build without them.
+            let idle: Vec<u32> = (off + k + h + 1..off + n - 1).collect();
+            let spare_count = SPARE_NODES.min(idle.len());
+            let spares: Vec<u32> = idle[..spare_count].iter().rev().copied().collect();
+            let mut storage: Vec<u32> = idle[spare_count..].to_vec();
+            if storage.is_empty() {
+                storage.push(server_node);
+            }
+            let membership = MembershipConfig {
+                heartbeat: spec.fault_heartbeat,
+                ..MembershipConfig::default()
+            };
+            let detection_window = spec.fault_heartbeat * u64::from(membership.miss_limit + 1);
+            let tick_until = SimTime::ZERO
+                + detection_window
+                + spec.fault_restart_delay
+                + spec.fault_heartbeat * 2;
+            let mut control = ClusterControl::new(
+                cells * n,
+                membership,
+                spec.fault_restart_delay,
+                spec.raid_rebuild_mb * 1024 * 1024,
+                ControlWiring {
+                    job_id,
+                    solver_id,
+                    cache_id,
+                    workers: worker_nodes.clone(),
+                    host_base: off + k + 1,
+                    hosts: h,
+                    spares,
+                    storage,
+                },
+                tick_until,
+            );
+            control.set_probe(scoped.clone());
+            let control_id = engine.register(p, control);
+            let mut injector = FaultInjectorComponent::new(spec.faults.clone(), vec![control_id]);
+            injector.set_probe(scoped.clone());
+            engine.register(p, injector);
+
+            cell_ids.push(CellIds {
+                job: job_id,
+                solver: solver_id,
+                cache: cache_id,
+                traffic: traffic_id,
+                first_access,
+            });
+        }
+
+        // The flight recorder registers last, homed in partition 0 with
+        // cell 0, whose gauges it samples: recorder and cell 0 share an
+        // event queue, so their relative order — and the recorded series —
+        // is the same at every partition count.
+        let recorder_id = observer.sample_every.map(|every| {
+            engine.register(
+                0,
+                RecorderComponent::with_gauges(
+                    &probe.scoped("cell0."),
+                    &RECORDED_GAUGES,
+                    every,
+                    SimTime::ZERO + spec.horizon,
+                    observer.window_budget,
+                ),
+            )
+        });
+
+        // Seed cell-major in the serial path's order: job, solver, cache,
+        // traffic.
+        for ids in &cell_ids {
+            engine.schedule_at(ids.job, SimTime::ZERO, ScenarioEvent::Job(JobEvent::Round));
+            engine.schedule_at(
+                ids.solver,
+                SimTime::ZERO,
+                ScenarioEvent::Page(PageEvent::Step),
+            );
+            if let Some(t) = ids.first_access {
+                engine.schedule_at(ids.cache, t, ScenarioEvent::Cache(CacheEvent::Access(0)));
+            }
+            if spec.background_flows > 0 {
+                engine.schedule_at(
+                    ids.traffic,
+                    SimTime::ZERO,
+                    ScenarioEvent::Traffic(TrafficEvent::Tick),
+                );
+            }
+        }
+        if let Some(id) = recorder_id {
+            engine.schedule_at(
+                id,
+                SimTime::ZERO,
+                ScenarioEvent::Record(RecorderEvent::Sample),
+            );
+        }
+
+        engine.run();
+
+        let (timeseries, windowed) = match recorder_id {
+            Some(id) => {
+                let recorder = engine.component::<RecorderComponent>(id);
+                (recorder.timeseries(), recorder.windowed())
+            }
+            None => (TimeSeries::new(Vec::new()), WindowedSeries::default()),
+        };
+        let blame = match &observer.causal {
+            Some(log) => {
+                let mut names: Vec<&str> = Vec::with_capacity(cells as usize * 6 + 1);
+                for _ in 0..cells {
+                    names.extend_from_slice(&SCENARIO_COMPONENT_NAMES[..6]);
+                }
+                names.push("recorder");
+                SCENARIO_MARKS
+                    .iter()
+                    .filter_map(|&(tag, label)| {
+                        critical_path(log, label, &names).map(|table| (tag, table))
+                    })
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+
+        let per_cell: Vec<ScenarioOutcome> = cell_ids
+            .iter()
+            .map(|ids| {
+                let job = engine.component::<BspJobComponent>(ids.job);
+                let solver = engine.component::<MultigridComponent>(ids.solver);
+                let traffic = engine.component::<TrafficComponent>(ids.traffic);
+                ScenarioOutcome {
+                    job_makespan: job.makespan().expect(
+                        "the BSP job runs to completion (no faults can stall \
+                         a multi-cell run)",
+                    ),
+                    mean_netram_fetch_us: solver.mean_netram_fetch_us(),
+                    paging: solver.result(),
+                    cache: engine.component::<CacheComponent>(ids.cache).result(),
+                    background_frames: traffic.frames(),
+                    mean_background_latency_us: traffic.mean_latency_us(),
+                    faults: FaultOutcome::default(),
+                }
+            })
+            .collect();
+        (
+            aggregate_cells(&per_cell),
+            ScenarioObservations {
+                blame,
+                timeseries,
+                windowed,
+            },
+        )
+    }
+
     /// Runs each spec as an independent scenario, fanned out over up to
     /// `jobs` worker threads, returning outcomes in spec order.
     ///
@@ -1033,6 +1392,62 @@ impl NowCluster {
             self.run_scenario_observed(spec, observer)
         })
     }
+}
+
+/// Folds per-cell outcomes into one cluster-level outcome: wall-clock
+/// spans (`job_makespan`, `paging.total`) take the slowest cell, counters
+/// and accumulated durations sum, and the mean metrics are re-weighted by
+/// each cell's event count (netram faults, background frames) so they
+/// equal the mean over the union of events, not a mean of means.
+fn aggregate_cells(cells: &[ScenarioOutcome]) -> ScenarioOutcome {
+    let mut agg = cells[0].clone();
+    let mut fetch_sum = 0.0_f64;
+    let mut fetch_weight = 0u64;
+    let mut latency_sum = 0.0_f64;
+    for cell in cells {
+        if let Some(mean) = cell.mean_netram_fetch_us {
+            fetch_sum += mean * cell.paging.pager.netram_faults as f64;
+            fetch_weight += cell.paging.pager.netram_faults;
+        }
+        if let Some(mean) = cell.mean_background_latency_us {
+            latency_sum += mean * cell.background_frames as f64;
+        }
+    }
+    for cell in &cells[1..] {
+        agg.job_makespan = agg.job_makespan.max(cell.job_makespan);
+        agg.paging.compute += cell.paging.compute;
+        agg.paging.stall += cell.paging.stall;
+        agg.paging.total = agg.paging.total.max(cell.paging.total);
+        let p = &mut agg.paging.pager;
+        let q = &cell.paging.pager;
+        p.accesses += q.accesses;
+        p.hits += q.hits;
+        p.soft_faults += q.soft_faults;
+        p.netram_faults += q.netram_faults;
+        p.disk_faults += q.disk_faults;
+        p.writebacks += q.writebacks;
+        p.host_evicted_pages += q.host_evicted_pages;
+        p.host_lost_pages += q.host_lost_pages;
+        p.stall += q.stall;
+        let a = &mut agg.cache;
+        let b = &cell.cache;
+        a.reads += b.reads;
+        a.writes += b.writes;
+        a.local_hits += b.local_hits;
+        a.remote_client_hits += b.remote_client_hits;
+        a.server_hits += b.server_hits;
+        a.disk_reads += b.disk_reads;
+        a.read_time += b.read_time;
+        a.forwards += b.forwards;
+        a.skipped_accesses += b.skipped_accesses;
+        a.invalidated_blocks += b.invalidated_blocks;
+        a.degraded_reads += b.degraded_reads;
+        agg.background_frames += cell.background_frames;
+    }
+    agg.mean_netram_fetch_us = (fetch_weight > 0).then(|| fetch_sum / fetch_weight as f64);
+    agg.mean_background_latency_us =
+        (agg.background_frames > 0).then(|| latency_sum / agg.background_frames as f64);
+    agg
 }
 
 #[cfg(test)]
@@ -1216,6 +1631,82 @@ mod tests {
             out.cache.read_time,
             clean.cache.read_time
         );
+    }
+
+    /// The multi-cell run is the same simulation at every partition
+    /// count: outcome, probe snapshot, flight-recorder series, and blame
+    /// tables are byte-identical whether the cells share one thread or
+    /// run sharded over scoped threads.
+    #[test]
+    fn replicated_cells_are_identical_at_any_partition_count() {
+        use now_probe::Registry;
+        let spec = ScenarioSpec {
+            cells: 4,
+            background_flows: 2,
+            ..small_spec()
+        };
+        let observed = |partitions: u32| {
+            let registry = Registry::new();
+            let log = Arc::new(CausalLog::new());
+            let observer = ScenarioObserver {
+                probe: registry.probe(),
+                causal: Some(Arc::clone(&log)),
+                sample_every: Some(SimDuration::from_millis(100)),
+                trace_sample_every: 1,
+                window_budget: None,
+            };
+            let (out, obs) = cluster().run_scenario_observed(
+                &ScenarioSpec {
+                    partitions,
+                    ..spec.clone()
+                },
+                &observer,
+            );
+            let blame: Vec<String> = obs
+                .blame
+                .iter()
+                .map(|(tag, table)| table.render_text(tag))
+                .collect();
+            (out, blame, obs.timeseries.to_csv(), registry.render_text())
+        };
+        let serial = observed(1);
+        for partitions in [2, 4] {
+            assert_eq!(serial, observed(partitions), "partitions = {partitions}");
+        }
+    }
+
+    /// Cell 0 of a multi-cell run replays the single-cell simulation
+    /// exactly, and the aggregate outcome sums the population's counters.
+    #[test]
+    fn cells_aggregate_the_population() {
+        let single = cluster().run_scenario(&small_spec());
+        let double = cluster().run_scenario(&ScenarioSpec {
+            cells: 2,
+            ..small_spec()
+        });
+        assert_eq!(
+            double.paging.pager.accesses,
+            2 * single.paging.pager.accesses
+        );
+        assert_eq!(
+            double.paging.compute,
+            single.paging.compute + single.paging.compute
+        );
+        assert!(
+            double.job_makespan >= single.job_makespan,
+            "the aggregate makespan is the slowest cell's"
+        );
+        assert!(double.cache.reads > single.cache.reads);
+    }
+
+    #[test]
+    #[should_panic(expected = "faulted runs cannot shard")]
+    fn faulted_runs_refuse_to_shard() {
+        cluster().run_scenario(&ScenarioSpec {
+            cells: 2,
+            faults: FaultPlan::new().at(SimTime::from_millis(5), Fault::NodeCrash { node: 0 }),
+            ..small_spec()
+        });
     }
 
     #[test]

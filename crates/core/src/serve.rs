@@ -69,6 +69,13 @@ pub struct ServeSpec {
     /// Front-end workstations, placed on nodes `0..front_ends`; the
     /// server takes the last node.
     pub front_ends: usize,
+    /// Accepted for CLI symmetry with the coupled scenario's
+    /// [`ScenarioSpec::partitions`](crate::ScenarioSpec::partitions) and
+    /// clamped to 1: the whole population lives in one event-coupled
+    /// [`ServeComponent`] (every request contends for the same server
+    /// cache and fabric), so there is no event-closed cut to shard along
+    /// and the run is serial at any requested value.
+    pub partitions: u32,
 }
 
 /// The gauges the serving flight recorder samples, in column order.
@@ -309,6 +316,7 @@ mod tests {
                 retain_exact: false,
             },
             front_ends: 8,
+            partitions: 1,
         }
     }
 

@@ -96,3 +96,138 @@ fn monte_carlo_reproduces_the_availability_ordering() {
         );
     }
 }
+
+/// Scripted fault plans under the partitioned engine: injector/sink pairs
+/// colocated in a partition form an event-closed map (the injector's
+/// zero-latency broadcasts never cross partitions), so the partitioned
+/// run must replay the serial delivery history bit-for-bit.
+mod partitioned {
+    use now_fault::{Fault, FaultInjectorComponent, FaultPlan, InjectorEvent};
+    use now_sim::{Component, Ctx, Engine, EventCast, Lookahead, PartitionedEngine, SimTime};
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ev {
+        Inject(InjectorEvent),
+        Fault(Fault),
+    }
+
+    impl EventCast<InjectorEvent> for Ev {
+        fn upcast(e: InjectorEvent) -> Self {
+            Ev::Inject(e)
+        }
+        fn downcast(self) -> InjectorEvent {
+            match self {
+                Ev::Inject(e) => e,
+                other => panic!("expected an injector event, got {other:?}"),
+            }
+        }
+    }
+
+    impl EventCast<Fault> for Ev {
+        fn upcast(e: Fault) -> Self {
+            Ev::Fault(e)
+        }
+        fn downcast(self) -> Fault {
+            match self {
+                Ev::Fault(e) => e,
+                other => panic!("expected a fault, got {other:?}"),
+            }
+        }
+    }
+
+    #[derive(Debug, Default)]
+    struct Sink {
+        seen: Vec<(SimTime, Fault)>,
+    }
+
+    impl Component<Ev> for Sink {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, event: Ev) {
+            let fault = <Ev as EventCast<Fault>>::downcast(event);
+            self.seen.push((ctx.now(), fault));
+        }
+    }
+
+    fn crash_plan(raw: &[(u64, u32)]) -> FaultPlan {
+        let mut p = FaultPlan::new();
+        for &(ms, node) in raw {
+            p.push(SimTime::from_millis(ms), Fault::NodeCrash { node });
+        }
+        p
+    }
+
+    /// Registers one injector/sink pair per plan and seeds each plan's
+    /// first firing; returns each sink's delivery log.
+    fn serial_logs(plans: &[FaultPlan]) -> Vec<Vec<(SimTime, Fault)>> {
+        let mut engine: Engine<Ev> = Engine::new();
+        let mut registered = Vec::new();
+        for plan in plans {
+            let sink = engine.register(Sink::default());
+            let injector = engine.register(FaultInjectorComponent::new(plan.clone(), vec![sink]));
+            registered.push((sink, injector));
+        }
+        for (plan, &(_, injector)) in plans.iter().zip(&registered) {
+            if let Some(t) = plan.first_time() {
+                engine.schedule_at(injector, t, Ev::Inject(InjectorEvent::Fire));
+            }
+        }
+        engine.run();
+        registered
+            .iter()
+            .map(|&(sink, _)| engine.component::<Sink>(sink).seen.clone())
+            .collect()
+    }
+
+    /// The same pairs homed round-robin across partitions under an
+    /// event-closed map: each pair stays whole, so `Lookahead::Closed`
+    /// is legal and no windows are needed.
+    fn partitioned_logs(plans: &[FaultPlan], partitions: usize) -> Vec<Vec<(SimTime, Fault)>> {
+        let mut engine: PartitionedEngine<Ev> =
+            PartitionedEngine::with_fixed(partitions, Lookahead::Closed);
+        let mut registered = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            let home = (i % partitions) as u32;
+            let sink = engine.register(home, Sink::default());
+            let injector =
+                engine.register(home, FaultInjectorComponent::new(plan.clone(), vec![sink]));
+            registered.push((sink, injector));
+        }
+        for (plan, &(_, injector)) in plans.iter().zip(&registered) {
+            if let Some(t) = plan.first_time() {
+                engine.schedule_at(injector, t, Ev::Inject(InjectorEvent::Fire));
+            }
+        }
+        engine.run();
+        registered
+            .iter()
+            .map(|&(sink, _)| engine.component::<Sink>(sink).seen.clone())
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn partitioned_fault_delivery_replays_the_serial_history(
+            raw_plans in prop::collection::vec(
+                prop::collection::vec((0u64..2_000, 0u32..16), 0..24),
+                2..5,
+            ),
+        ) {
+            let plans: Vec<FaultPlan> = raw_plans.iter().map(|r| crash_plan(r)).collect();
+            let serial = serial_logs(&plans);
+            prop_assert_eq!(
+                serial.iter().map(Vec::len).sum::<usize>(),
+                plans.iter().map(FaultPlan::len).sum::<usize>(),
+                "every scripted fault must be delivered"
+            );
+            for partitions in 2..=3usize {
+                prop_assert_eq!(
+                    &serial,
+                    &partitioned_logs(&plans, partitions),
+                    "delivery diverged at {} partitions", partitions
+                );
+            }
+        }
+    }
+}

@@ -74,6 +74,7 @@ impl Registry {
         Probe {
             inner: Some(Arc::clone(&self.inner)),
             node: 0,
+            prefix: None,
         }
     }
 
@@ -167,6 +168,10 @@ impl Snapshot {
 pub struct Probe {
     inner: Option<Arc<RegistryInner>>,
     node: u32,
+    /// Prepended to every instrument name this probe touches (see
+    /// [`Probe::scoped`]). `None` — the common case — resolves names
+    /// verbatim.
+    prefix: Option<Arc<str>>,
 }
 
 impl PartialEq for Probe {
@@ -193,12 +198,43 @@ impl Probe {
         Probe {
             inner: self.inner.clone(),
             node,
+            prefix: self.prefix.clone(),
         }
     }
 
     /// The node this probe attributes events to.
     pub fn node(&self) -> u32 {
         self.node
+    }
+
+    /// This probe with `prefix` prepended to every instrument name it
+    /// resolves (counters, gauges, histograms, and span latency
+    /// histograms; trace-ring events keep their static names). Scopes
+    /// compose: `p.scoped("cell0.").scoped("net.")` resolves under
+    /// `"cell0.net."`. The partitioned scenario layer uses one scope per
+    /// replicated cell so identical subsystems write disjoint instruments
+    /// instead of racing on shared ones.
+    pub fn scoped(&self, prefix: &str) -> Probe {
+        if prefix.is_empty() || self.inner.is_none() {
+            return self.clone();
+        }
+        let combined = match &self.prefix {
+            Some(existing) => Arc::from(format!("{existing}{prefix}")),
+            None => Arc::from(prefix),
+        };
+        Probe {
+            inner: self.inner.clone(),
+            node: self.node,
+            prefix: Some(combined),
+        }
+    }
+
+    /// `name` under this probe's scope prefix.
+    fn resolve(&self, name: &str) -> String {
+        match &self.prefix {
+            Some(prefix) => format!("{prefix}{name}"),
+            None => name.to_string(),
+        }
     }
 
     /// A counter handle. On a disabled probe this is free and the returned
@@ -210,7 +246,7 @@ impl Probe {
                     .counters
                     .lock()
                     .expect("counters poisoned")
-                    .entry(name.to_string())
+                    .entry(self.resolve(name))
                     .or_default(),
             )
         }))
@@ -224,7 +260,7 @@ impl Probe {
                     .gauges
                     .lock()
                     .expect("gauges poisoned")
-                    .entry(name.to_string())
+                    .entry(self.resolve(name))
                     .or_default(),
             )
         }))
@@ -238,7 +274,7 @@ impl Probe {
                     .histograms
                     .lock()
                     .expect("histograms poisoned")
-                    .entry(name.to_string())
+                    .entry(self.resolve(name))
                     .or_insert_with(|| Arc::new(HistogramCore::new())),
             )
         }))
@@ -557,6 +593,33 @@ mod tests {
         let r = Registry::new();
         assert_eq!(r.probe(), Probe::disabled());
         assert_eq!(r.probe().for_node(1), r.probe().for_node(9));
+    }
+
+    #[test]
+    fn scoped_probes_write_disjoint_instruments() {
+        let r = Registry::new();
+        let p = r.probe();
+        let cell0 = p.scoped("cell0.");
+        let cell1 = p.scoped("cell1.");
+        cell0.count("net.transfers", 2);
+        cell1.count("net.transfers", 5);
+        cell0.gauge_set("job.rounds_done", 7.0);
+        cell1.record("net.wire.ns", SimDuration::from_micros(3));
+        let s = r.snapshot();
+        assert_eq!(s.counter("cell0.net.transfers"), Some(2));
+        assert_eq!(s.counter("cell1.net.transfers"), Some(5));
+        assert_eq!(s.counter("net.transfers"), None, "no unscoped leak");
+        assert_eq!(s.gauge("cell0.job.rounds_done"), Some(7.0));
+        assert_eq!(s.histogram("cell1.net.wire.ns").unwrap().count, 1);
+        // Scopes compose and survive re-attribution.
+        let nested = cell0.scoped("fs.").for_node(9);
+        nested.count("reads", 1);
+        assert_eq!(r.snapshot().counter("cell0.fs.reads"), Some(1));
+        // An empty scope is the probe itself; scoping a disabled probe
+        // stays disabled.
+        p.scoped("").count("plain", 1);
+        assert_eq!(r.snapshot().counter("plain"), Some(1));
+        assert!(!Probe::disabled().scoped("x.").is_enabled());
     }
 
     #[test]

@@ -74,7 +74,11 @@ impl<E> EventCast<E> for E {
 /// Implementations are occupancy models: each call reserves wire and
 /// software time and returns when the payload is *delivered*, so back-to-
 /// back calls from competing components queue behind each other.
-pub trait Transport {
+///
+/// `Send` because a partitioned run moves each partition's engine (cost
+/// model included) onto a worker thread for the duration of a window; the
+/// transport is still only ever called from one thread at a time.
+pub trait Transport: Send {
     /// Moves `bytes` from node `src` to node `dst`, requested at `now`,
     /// and returns the delivery time. `src == dst` is a local copy and
     /// must cost nothing (return `now`).
@@ -205,7 +209,10 @@ pub struct CausalRecord {
 
 /// Consumer of [`CausalRecord`]s produced by an [`Engine`] with causal
 /// tracing enabled (see [`Engine::set_causal_sink`]).
-pub trait CausalSink {
+///
+/// `Send + Sync` because a partitioned run shares one sink across all
+/// partition engines, which record from their worker threads concurrently.
+pub trait CausalSink: Send + Sync {
     /// Accepts one record. Called during event dispatch; implementations
     /// should be cheap and must not re-enter the engine.
     fn record(&self, record: CausalRecord);
@@ -237,11 +244,28 @@ struct CausalState {
     /// which chains are sampled is a pure function of the workload — equal
     /// seeds sample equal chains and output stays byte-identical.
     sample_every: u64,
+    /// Added to every emitted seq and trace id (and to parent links) so
+    /// the engines of a partitioned run write into disjoint id ranges of
+    /// one shared sink — partition `p` gets `p << 44`, leaving 2^44 local
+    /// events per partition before a collision could occur. Zero for
+    /// serial engines. Sampling applies to the *offset* trace id, so
+    /// partitioned runs that sample should use `sample_every == 1` (the
+    /// scenario layer's blame path does).
+    seq_offset: u64,
 }
 
 impl CausalState {
     fn sampled(&self, trace: u64) -> bool {
         trace.is_multiple_of(self.sample_every)
+    }
+
+    /// A local queue seq (or parent seq) lifted into the shared id space.
+    fn global_seq(&self, local: u64) -> u64 {
+        debug_assert!(
+            self.seq_offset == 0 || local < (1 << 44),
+            "partition overflowed its causal id range"
+        );
+        self.seq_offset + local
     }
 }
 
@@ -269,8 +293,11 @@ pub enum CostMode {
 /// A simulated subsystem driven by an [`Engine`].
 ///
 /// The `Any` supertrait lets callers recover the concrete component (and
-/// its accumulated results) after a run via [`Engine::component`].
-pub trait Component<M>: Any {
+/// its accumulated results) after a run via [`Engine::component`]. The
+/// `Send` supertrait lets a partitioned run move the component (inside its
+/// partition's engine) onto a worker thread for the duration of a window;
+/// components are still only ever driven from one thread at a time.
+pub trait Component<M>: Any + Send {
     /// Handles one event addressed to this component.
     fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: M);
 }
@@ -280,6 +307,50 @@ struct Envelope<M> {
     /// Trace id the event belongs to (0 when causal tracing is off).
     trace: u64,
     event: M,
+}
+
+/// A cross-partition event captured at the sender, carried to the window
+/// barrier, and injected into the destination partition's queue by the
+/// coordinator (see `partition.rs`). Provenance travels with it: the
+/// parent seq is already lifted into the shared (offset) id space, so the
+/// receiver can link its delivery record straight back to the sender's.
+pub(crate) struct RemoteEnvelope<M> {
+    pub(crate) dst: ComponentId,
+    pub(crate) fires_at: SimTime,
+    /// When (and by whom) the event was scheduled, for the delivery
+    /// record's `scheduled_at`/`src`.
+    pub(crate) sent_at: SimTime,
+    pub(crate) src: ComponentId,
+    /// Globally-offset seq of the event being handled when this one was
+    /// scheduled (`None` never occurs: only components send remotely).
+    pub(crate) parent_seq: u64,
+    pub(crate) trace: u64,
+    pub(crate) blame: Vec<(&'static str, SimDuration)>,
+    pub(crate) event: M,
+}
+
+/// Per-window routing state a partitioned run threads through [`Ctx`]:
+/// who owns which component, which partition this engine is, the
+/// lookahead contract remote sends must honour, and the outbox collecting
+/// them until the barrier.
+pub(crate) struct WindowRouting<M> {
+    /// `home[c]` = partition owning component `c`.
+    pub(crate) home: Arc<[u32]>,
+    pub(crate) my_partition: u32,
+    /// Minimum delay any cross-partition event must have. `None` means
+    /// the partitioning is *closed* — components were grouped so that no
+    /// cross-partition traffic exists — and any remote send panics.
+    pub(crate) lookahead: Option<SimDuration>,
+    pub(crate) outbox: Vec<RemoteEnvelope<M>>,
+}
+
+impl<M> WindowRouting<M> {
+    fn owns(&self, dst: ComponentId) -> bool {
+        // Components beyond the map (registered after the run started —
+        // impossible today) default to local, which fails loudly at
+        // dispatch rather than silently misrouting.
+        self.home.get(dst.0).copied().unwrap_or(self.my_partition) == self.my_partition
+    }
 }
 
 /// The view a component gets of the engine while handling an event:
@@ -299,18 +370,69 @@ pub struct Ctx<'a, M> {
     /// capacity survives across events, and the disabled path never
     /// pushes into it at all.
     pending_blame: &'a mut Vec<(&'static str, SimDuration)>,
+    /// Cross-partition routing, present only inside a partitioned window.
+    /// Serial runs pay a single `is_some` branch per schedule.
+    remote: Option<&'a mut WindowRouting<M>>,
 }
 
 impl<M> Ctx<'_, M> {
     /// Schedules an envelope and, when causal tracing is on, records its
     /// provenance (parent = current event) with any pending blame.
+    ///
+    /// Inside a partitioned window, an envelope addressed to a component
+    /// homed in another partition is diverted to the window outbox
+    /// instead of the local queue; the conservative lookahead makes that
+    /// safe (see the panic conditions below).
+    ///
+    /// # Panics
+    ///
+    /// In a partitioned run, panics if a remote send violates the
+    /// lookahead contract: under a closed partitioning any remote send is
+    /// a partitioning bug, and under a window of `L` a remote event must
+    /// fire at least `L` after now (otherwise the destination partition
+    /// may already have advanced past `time`, and delivering would
+    /// rewrite history).
     fn schedule_envelope(&mut self, dst: ComponentId, time: SimTime, event: M) -> EventId {
         let trace = self.current_trace;
+        if let Some(routing) = self.remote.as_deref_mut() {
+            if !routing.owns(dst) {
+                let now = self.queue.now();
+                match routing.lookahead {
+                    None => panic!(
+                        "cross-partition event to {dst:?} under a closed partitioning; \
+                         the partition map promised no remote traffic"
+                    ),
+                    Some(lookahead) => {
+                        let horizon = now.checked_add(lookahead);
+                        assert!(
+                            horizon.is_some_and(|h| time >= h),
+                            "cross-partition event at {time} violates the lookahead \
+                             window: must fire at least {lookahead} after now ({now})"
+                        );
+                    }
+                }
+                let parent_seq = self
+                    .causal
+                    .as_ref()
+                    .map_or(self.current_seq, |c| c.global_seq(self.current_seq));
+                routing.outbox.push(RemoteEnvelope {
+                    dst,
+                    fires_at: time,
+                    sent_at: now,
+                    src: self.self_id,
+                    parent_seq,
+                    trace,
+                    blame: drain_blame(self.pending_blame),
+                    event,
+                });
+                return EventId::CROSS_PARTITION;
+            }
+        }
         let id = self.queue.schedule_at(time, Envelope { dst, trace, event });
         if let Some(causal) = self.causal.as_ref().filter(|c| c.sampled(trace)) {
             causal.sink.record(CausalRecord {
-                seq: id.seq(),
-                parent: Some(self.current_seq),
+                seq: causal.global_seq(id.seq()),
+                parent: Some(causal.global_seq(self.current_seq)),
                 trace,
                 src: Some(self.self_id),
                 dst,
@@ -355,14 +477,14 @@ impl<M> Ctx<'_, M> {
         let trace = match &mut self.causal {
             Some(causal) => {
                 causal.next_trace += 1;
-                causal.next_trace
+                causal.global_seq(causal.next_trace)
             }
             None => 0,
         };
         let id = self.queue.schedule_at(time, Envelope { dst, trace, event });
         if let Some(causal) = self.causal.as_ref().filter(|c| c.sampled(trace)) {
             causal.sink.record(CausalRecord {
-                seq: id.seq(),
+                seq: causal.global_seq(id.seq()),
                 parent: None,
                 trace,
                 src: Some(self.self_id),
@@ -399,11 +521,11 @@ impl<M> Ctx<'_, M> {
             if !trace_sampled {
                 return;
             }
-            let seq = MARK_SEQ_BASE + causal.next_mark;
+            let seq = MARK_SEQ_BASE + causal.seq_offset + causal.next_mark;
             causal.next_mark += 1;
             causal.sink.record(CausalRecord {
                 seq,
-                parent: Some(self.current_seq),
+                parent: Some(causal.global_seq(self.current_seq)),
                 trace: self.current_trace,
                 src: Some(self.self_id),
                 dst: self.self_id,
@@ -601,7 +723,12 @@ impl<M> Ctx<'_, M> {
 /// ```
 pub struct Engine<M> {
     queue: EventQueue<Envelope<M>>,
-    components: Vec<Box<dyn Component<M>>>,
+    /// Indexed by [`ComponentId`]. `None` entries are *gaps*: components
+    /// that exist globally but are homed in another partition of a
+    /// partitioned run, kept so every partition's engine shares one
+    /// global id space and dispatch stays a direct index. Serial engines
+    /// never hold gaps.
+    components: Vec<Option<Box<dyn Component<M>>>>,
     cost: CostModel,
     causal: Option<CausalState>,
     /// Reusable [`Ctx::blame`] staging buffer: allocated at most once per
@@ -661,16 +788,38 @@ impl<M: 'static> Engine<M> {
             next_trace: 0,
             next_mark: 0,
             sample_every: sample_every.max(1),
+            seq_offset: 0,
         });
+    }
+
+    /// Shifts every causal id this engine emits (seqs, trace ids, mark
+    /// seqs, and the parent links between them) by `offset`, so several
+    /// partition engines can share one sink without id collisions. Must
+    /// be called after enabling a sink and before scheduling anything;
+    /// a no-op without a sink. Partitions use `p << 44`.
+    pub fn set_causal_seq_offset(&mut self, offset: u64) {
+        if let Some(causal) = &mut self.causal {
+            causal.seq_offset = offset;
+        }
     }
 
     /// Registers a component and returns its routing id.
     pub fn register<C: Component<M>>(&mut self, component: C) -> ComponentId {
-        self.components.push(Box::new(component));
+        self.components.push(Some(Box::new(component)));
         ComponentId(self.components.len() - 1)
     }
 
-    /// Number of registered components.
+    /// Claims the next id without homing a component here: the component
+    /// with this id lives in another partition's engine. Keeps the id
+    /// spaces of all partition engines congruent so `ComponentId`s route
+    /// globally (see `partition.rs`).
+    pub(crate) fn register_gap(&mut self) -> ComponentId {
+        self.components.push(None);
+        ComponentId(self.components.len() - 1)
+    }
+
+    /// Number of registered component ids (including, in a partitioned
+    /// engine, ids homed in other partitions).
     pub fn components(&self) -> usize {
         self.components.len()
     }
@@ -704,14 +853,14 @@ impl<M: 'static> Engine<M> {
         let trace = match &mut self.causal {
             Some(causal) => {
                 causal.next_trace += 1;
-                causal.next_trace
+                causal.global_seq(causal.next_trace)
             }
             None => 0,
         };
         let id = self.queue.schedule_at(time, Envelope { dst, trace, event });
         if let Some(causal) = self.causal.as_ref().filter(|c| c.sampled(trace)) {
             causal.sink.record(CausalRecord {
-                seq: id.seq(),
+                seq: causal.global_seq(id.seq()),
                 parent: None,
                 trace,
                 src: None,
@@ -733,27 +882,110 @@ impl<M: 'static> Engine<M> {
     /// Panics if an event addresses an unregistered component.
     pub fn run(&mut self) {
         while let Some((_, id, envelope)) = self.queue.pop_with_id() {
-            let component = match self.components.get_mut(envelope.dst.0) {
-                Some(c) => c,
-                None => panic!(
-                    "event addressed to unregistered component {:?}",
-                    envelope.dst
-                ),
-            };
-            let mut ctx = Ctx {
-                queue: &mut self.queue,
-                cost: &mut self.cost,
-                self_id: envelope.dst,
-                causal: self.causal.as_mut(),
-                current_seq: id.seq(),
-                current_trace: envelope.trace,
-                pending_blame: &mut self.blame_buf,
-            };
-            component.on_event(&mut ctx, envelope.event);
-            // Blame not drained by a schedule/mark is discarded, as the
-            // Ctx contract states; clearing here keeps the shared buffer
-            // from leaking one event's segments into the next.
-            self.blame_buf.clear();
+            self.dispatch(id, envelope, None);
+        }
+    }
+
+    /// Delivers one event to its component. `remote` is the window
+    /// routing of a partitioned run (`None` for serial runs).
+    fn dispatch(
+        &mut self,
+        id: EventId,
+        envelope: Envelope<M>,
+        remote: Option<&mut WindowRouting<M>>,
+    ) {
+        let component = match self.components.get_mut(envelope.dst.0) {
+            Some(Some(c)) => c,
+            Some(None) => panic!(
+                "event addressed to component {:?} not homed in this partition \
+                 (partition-map routing bug)",
+                envelope.dst
+            ),
+            None => panic!(
+                "event addressed to unregistered component {:?}",
+                envelope.dst
+            ),
+        };
+        let mut ctx = Ctx {
+            queue: &mut self.queue,
+            cost: &mut self.cost,
+            self_id: envelope.dst,
+            causal: self.causal.as_mut(),
+            current_seq: id.seq(),
+            current_trace: envelope.trace,
+            pending_blame: &mut self.blame_buf,
+            remote,
+        };
+        component.on_event(&mut ctx, envelope.event);
+        // Blame not drained by a schedule/mark is discarded, as the
+        // Ctx contract states; clearing here keeps the shared buffer
+        // from leaking one event's segments into the next.
+        self.blame_buf.clear();
+    }
+
+    /// The timestamp of the next pending event, if any — the input to
+    /// window negotiation in a partitioned run.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Runs one conservative window: dispatches events strictly before
+    /// `edge` (all events when `edge` is `None`), diverting cross-
+    /// partition sends into `routing`'s outbox. Events processed here can
+    /// only schedule remote events at or past the edge (the lookahead
+    /// contract enforced in [`Ctx`]), so every partition draining to the
+    /// same edge in parallel observes exactly the history a serial run
+    /// would produce.
+    pub(crate) fn run_window(&mut self, edge: Option<SimTime>, routing: &mut WindowRouting<M>) {
+        loop {
+            match (self.queue.peek_time(), edge) {
+                (None, _) => break,
+                (Some(t), Some(edge)) if t >= edge => break,
+                _ => {}
+            }
+            let (_, id, envelope) = self
+                .queue
+                .pop_with_id()
+                .expect("peeked event vanished before pop");
+            self.dispatch(id, envelope, Some(routing));
+        }
+    }
+
+    /// Injects a cross-partition envelope at a window barrier. The
+    /// envelope draws a fresh seq from *this* queue (see the single-
+    /// consumer notes on the queue's pending set); its provenance record
+    /// links back to the sender via the already-globalized parent seq.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the envelope fires before this partition's clock — that
+    /// means a window drained past the lookahead edge, a protocol bug.
+    pub(crate) fn inject_remote(&mut self, env: RemoteEnvelope<M>) {
+        let RemoteEnvelope {
+            dst,
+            fires_at,
+            sent_at,
+            src,
+            parent_seq,
+            trace,
+            blame,
+            event,
+        } = env;
+        let id = self
+            .queue
+            .schedule_at(fires_at, Envelope { dst, trace, event });
+        if let Some(causal) = self.causal.as_ref().filter(|c| c.sampled(trace)) {
+            causal.sink.record(CausalRecord {
+                seq: causal.global_seq(id.seq()),
+                parent: Some(parent_seq),
+                trace,
+                src: Some(src),
+                dst,
+                scheduled_at: sent_at,
+                fires_at,
+                label: "",
+                blame,
+            });
         }
     }
 
@@ -764,7 +996,10 @@ impl<M: 'static> Engine<M> {
     ///
     /// Panics if `id` is unregistered or the component is not a `C`.
     pub fn component<C: Component<M>>(&self, id: ComponentId) -> &C {
-        let component: &dyn Component<M> = &*self.components[id.0];
+        let boxed = self.components[id.0]
+            .as_ref()
+            .expect("component homed in another partition");
+        let component: &dyn Component<M> = &**boxed;
         let any: &dyn Any = component;
         any.downcast_ref::<C>()
             .expect("component type mismatch: wrong ComponentId for this type")
@@ -776,7 +1011,10 @@ impl<M: 'static> Engine<M> {
     ///
     /// Panics if `id` is unregistered or the component is not a `C`.
     pub fn component_mut<C: Component<M>>(&mut self, id: ComponentId) -> &mut C {
-        let component: &mut dyn Component<M> = &mut *self.components[id.0];
+        let boxed = self.components[id.0]
+            .as_mut()
+            .expect("component homed in another partition");
+        let component: &mut dyn Component<M> = &mut **boxed;
         let any: &mut dyn Any = component;
         any.downcast_mut::<C>()
             .expect("component type mismatch: wrong ComponentId for this type")

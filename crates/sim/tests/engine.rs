@@ -1,7 +1,6 @@
 //! Property tests for the engine's routed event bus.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use now_sim::{Component, ComponentId, Ctx, Engine, SimTime};
 use proptest::prelude::*;
@@ -10,19 +9,19 @@ use proptest::prelude::*;
 /// test can observe the global delivery order.
 struct Recorder {
     label: usize,
-    log: Rc<RefCell<Vec<(usize, u32)>>>,
+    log: Arc<Mutex<Vec<(usize, u32)>>>,
 }
 
 impl Component<u32> for Recorder {
     fn on_event(&mut self, _: &mut Ctx<'_, u32>, ev: u32) {
-        self.log.borrow_mut().push((self.label, ev));
+        self.log.lock().unwrap().push((self.label, ev));
     }
 }
 
 /// Registers `labels` in the given order, schedules `sends` (all at one
 /// timestamp) addressed by label, and returns the delivery order.
 fn delivery_order(labels: &[usize], sends: &[(usize, u32)], t: SimTime) -> Vec<(usize, u32)> {
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let mut engine = Engine::new();
     let mut id_of = vec![ComponentId(usize::MAX); labels.len()];
     for &label in labels {
@@ -35,7 +34,7 @@ fn delivery_order(labels: &[usize], sends: &[(usize, u32)], t: SimTime) -> Vec<(
         engine.schedule_at(id_of[dst], t, tag);
     }
     engine.run();
-    let order = log.borrow().clone();
+    let order = log.lock().unwrap().clone();
     order
 }
 
