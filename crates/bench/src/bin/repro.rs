@@ -6,6 +6,8 @@
 //! repro --fast           # everything, with Table 3 on a 12-hour trace
 //! repro availability --smoke       # fault/availability report, fewer MC trials
 //! repro serve --smoke    # population-scale serving: tail latency, bounded observation
+//! repro distribute --smoke         # cooperative image distribution vs registry-only
+//! repro --help           # list every scenario and flag
 //! repro --ablations      # design-choice sweeps (not in the paper)
 //! repro --metrics table2           # append the probe snapshot (=text|csv|json)
 //! repro --trace-out now.json fig2  # write a Chrome/Perfetto trace
@@ -42,6 +44,71 @@ use now_probe::recorder::{
 };
 use now_probe::{Probe, Registry};
 use now_sim::parallel::resolve_jobs;
+
+/// Every scenario name the CLI accepts as a positional argument, with a
+/// one-line description for `--help` and the unknown-argument message.
+const SCENARIOS: &[(&str, &str)] = &[
+    ("table1", "LAN latency/bandwidth trends (Table 1)"),
+    ("table2", "Gator cost/performance prediction (Table 2)"),
+    (
+        "table3",
+        "netram vs disk paging on a day-long trace (Table 3)",
+    ),
+    ("table4", "RAID small-write costs (Table 4)"),
+    ("fig1", "DRAM price vs disk seek trends (Figure 1)"),
+    ("fig2", "LFS log cleaning under load (Figure 2)"),
+    ("fig3", "LANL workload turnaround on a NOW (Figure 3)"),
+    (
+        "fig4",
+        "coscheduling vs uncoordinated time-slicing (Figure 4)",
+    ),
+    ("nfs", "NFS server saturation study"),
+    ("comm", "communication layering costs"),
+    ("restore", "64-MB memory restore time"),
+    (
+        "contention",
+        "shared-fabric contention sweep (--nodes, --blame)",
+    ),
+    ("availability", "fault injection + Monte-Carlo availability"),
+    (
+        "serve",
+        "population-scale serving: tail latency, bounded observation",
+    ),
+    (
+        "distribute",
+        "cooperative image distribution vs registry-only",
+    ),
+    ("ablations", "design-choice sweeps (not in the paper)"),
+];
+
+/// Aliases accepted for the figure scenarios (`figure1` for `fig1`, ...).
+const SCENARIO_ALIASES: &[&str] = &["figure1", "figure2", "figure3", "figure4"];
+
+fn usage() -> String {
+    let mut text = String::from(
+        "usage: repro [SCENARIO...] [FLAGS]\n\n\
+         Runs every paper artifact when no scenario is named; the serve,\n\
+         distribute, and ablations reports are opt-in.\n\nscenarios:\n",
+    );
+    for (name, what) in SCENARIOS {
+        text.push_str(&format!("  {name:<14} {what}\n"));
+    }
+    text.push_str(
+        "\nflags:\n\
+         \x20 --fast                 Table 3 on a 12-hour trace instead of two days\n\
+         \x20 --smoke                smaller sweeps and fewer Monte-Carlo trials\n\
+         \x20 --blame                append critical-path blame tables\n\
+         \x20 --jobs N               fan independent runs over N worker threads\n\
+         \x20 --partitions N         shard each run over N engine partitions (0 = per core)\n\
+         \x20 --nodes N              scale scaled scenarios to N nodes (multiple of 32)\n\
+         \x20 --metrics[=FMT]        append the probe snapshot (text|csv|json)\n\
+         \x20 --trace-out PATH       write a Chrome/Perfetto trace\n\
+         \x20 --timeseries-out PATH  write flight-recorder samples (CSV, .json for JSON)\n\
+         \x20 --bench-out PATH       run the wall-time harness and write JSON\n\
+         \x20 --help                 this message\n",
+    );
+    text
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -150,8 +217,26 @@ fn main() {
             }
         } else if let Some(path) = arg.strip_prefix("--timeseries-out=") {
             timeseries_out = Some(path.to_string());
+        } else if arg == "--help" || arg == "-h" {
+            print!("{}", usage());
+            return;
         } else {
-            selected.push(arg.trim_start_matches("--").to_string());
+            // Scenarios select bare (`repro table4`) or flag-style
+            // (`repro --table4`); anything else is a typo and dies loudly
+            // rather than silently running the whole suite.
+            let name = arg.trim_start_matches("--");
+            let known =
+                SCENARIOS.iter().any(|(s, _)| *s == name) || SCENARIO_ALIASES.contains(&name);
+            if !known {
+                let kind = if arg.starts_with('-') {
+                    "flag"
+                } else {
+                    "scenario"
+                };
+                eprintln!("unknown {kind} {arg:?}\n\n{}", usage());
+                exit(2);
+            }
+            selected.push(name.to_string());
         }
     }
     let jobs = resolve_jobs(jobs_arg);
@@ -165,7 +250,11 @@ fn main() {
     if let Some(path) = bench_out {
         let entries = run_bench_harness(smoke, jobs);
         let partitioned = run_partition_harness();
-        if let Err(e) = std::fs::write(&path, render_bench_json(&entries, &partitioned)) {
+        let distribute = now_bench::distribute_summary(true);
+        if let Err(e) = std::fs::write(
+            &path,
+            render_bench_json(&entries, &partitioned, &distribute),
+        ) {
             eprintln!("cannot write bench results to {path}: {e}");
             exit(1);
         }
@@ -186,6 +275,14 @@ fn main() {
             partitioned.partitioned_ms,
             partitioned.partitions,
             partitioned.single_run_speedup()
+        );
+        eprintln!(
+            "distribute_smoke: registry {:.1} ms, cooperative {:.1} ms, dedup {:.2}x, \
+             crossover at {} nodes",
+            distribute.registry_ms,
+            distribute.cooperative_ms,
+            distribute.dedup_factor,
+            distribute.crossover_nodes
         );
         eprintln!("wrote bench trajectory to {path}");
         return;
@@ -277,6 +374,15 @@ fn main() {
         println!("{}", r.text);
         windowed.append(&mut r.windowed);
     }
+    // Image distribution is likewise opt-in: cold-starting the cluster
+    // from a content-addressed registry, registry-only vs cooperative.
+    if selected.iter().any(|s| s == "distribute") {
+        let mut r = now_bench::distribute_report_scaled(
+            smoke, blame, record, &probe, jobs, nodes, partitions,
+        );
+        println!("{}", r.text);
+        series.append(&mut r.series);
+    }
     // Ablations are opt-in: they are design-choice sweeps, not paper
     // artifacts.
     if selected.iter().any(|s| s == "ablations") {
@@ -287,7 +393,7 @@ fn main() {
         if series.is_empty() && windowed.is_empty() {
             eprintln!(
                 "--timeseries-out produced no samples: only the contention, \
-                 availability, and serve reports carry a flight recorder"
+                 availability, serve, and distribute reports carry a flight recorder"
             );
         }
         // The serving recorder is windowed (downsampled min/mean/max); it
@@ -489,7 +595,11 @@ fn run_partition_harness() -> PartitionedBenchEntry {
     }
 }
 
-fn render_bench_json(entries: &[BenchEntry], partitioned: &PartitionedBenchEntry) -> String {
+fn render_bench_json(
+    entries: &[BenchEntry],
+    partitioned: &PartitionedBenchEntry,
+    distribute: &now_bench::DistributeSummary,
+) -> String {
     let mut rows: Vec<String> = entries
         .iter()
         .map(|e| {
@@ -512,6 +622,14 @@ fn render_bench_json(entries: &[BenchEntry], partitioned: &PartitionedBenchEntry
         partitioned.partitioned_ms,
         partitioned.partitions,
         partitioned.single_run_speedup()
+    ));
+    rows.push(format!(
+        "  {{\"bench\": \"distribute_smoke\", \"registry_ms\": {:.3}, \
+         \"cooperative_ms\": {:.3}, \"dedup_factor\": {:.3}, \"crossover_nodes\": {}}}",
+        distribute.registry_ms,
+        distribute.cooperative_ms,
+        distribute.dedup_factor,
+        distribute.crossover_nodes
     ));
     format!("[\n{}\n]\n", rows.join(",\n"))
 }

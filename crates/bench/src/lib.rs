@@ -1044,6 +1044,293 @@ pub fn serve_report_scaled(
     }
 }
 
+/// Registry NICs in every distribution run: enough that small clusters
+/// see no registry contention, few enough that the registry saturates
+/// within the sweep.
+const DISTRIBUTE_REGISTRY_NICS: u32 = 4;
+
+/// Per-fetcher block-data budget. Ample for the sweep catalogs, so the
+/// headline numbers measure distribution, not thrashing (tight budgets
+/// are exercised by the property tests).
+const DISTRIBUTE_CACHE_BUDGET: u64 = 8 * 1024 * 1024;
+
+/// Capacity of the distribution causal log: one run is a single trace of
+/// `fetchers x blocks` records, well under this.
+const DISTRIBUTE_CAUSAL_CAPACITY: usize = 1 << 16;
+
+/// The image catalog each distribution sweep publishes: the smoke
+/// catalog for CI, a larger one (8 images on a 24-file base) otherwise.
+fn distribute_catalog(smoke: bool) -> now_core::ImageCatalogSpec {
+    if smoke {
+        now_core::ImageCatalogSpec::smoke(SEED)
+    } else {
+        now_core::ImageCatalogSpec {
+            images: 8,
+            base_files: 24,
+            app_files: 8,
+            file_bytes: 64 * 1024,
+            chunk_bytes: now_core::DEFAULT_CHUNK_BYTES,
+            seed: SEED,
+        }
+    }
+}
+
+/// The fetcher-count sweep: powers of two up to `max_nodes` (always
+/// ending exactly at `max_nodes`), trimmed for smoke runs.
+fn distribute_sweep(smoke: bool, max_nodes: u32) -> Vec<u32> {
+    let mut points = Vec::new();
+    let mut f = 2u32;
+    while f < max_nodes {
+        points.push(f);
+        f *= 2;
+    }
+    points.push(max_nodes);
+    if smoke && points.len() > 3 {
+        // Keep the ends and one midpoint: enough to see the crossover.
+        points = vec![points[0], points[points.len() / 2], max_nodes];
+    }
+    points
+}
+
+/// An observer for one distribution run. The whole run is a single
+/// causal trace (one root fans out to every fetcher), so blame sampling
+/// is all-or-nothing: `trace_sample_every` is pinned to 1.
+fn distribute_observer_for(blame: bool, record: bool, probe: &Probe) -> now_core::ScenarioObserver {
+    use now_probe::Registry;
+    let probe = if record && !probe.is_enabled() {
+        Registry::new().probe()
+    } else {
+        probe.clone()
+    };
+    now_core::ScenarioObserver {
+        probe,
+        causal: blame.then(|| Arc::new(CausalLog::with_capacity(DISTRIBUTE_CAUSAL_CAPACITY))),
+        sample_every: record.then(recorder_cadence),
+        trace_sample_every: 1,
+        ..now_core::ScenarioObserver::disabled()
+    }
+}
+
+/// One strategy's spec at one sweep point.
+fn distribute_spec(
+    smoke: bool,
+    strategy: now_core::FetchStrategy,
+    fetchers: u32,
+    partitions: u32,
+) -> now_core::DistributeSpec {
+    now_core::DistributeSpec {
+        catalog: distribute_catalog(smoke),
+        fetchers,
+        registry_nics: DISTRIBUTE_REGISTRY_NICS,
+        cache_budget: DISTRIBUTE_CACHE_BUDGET,
+        strategy,
+        seed: SEED,
+        horizon: now_sim::SimTime::from_secs(1),
+        partitions,
+    }
+}
+
+/// Both strategies at every sweep point:
+/// `(fetchers, registry run, cooperative run)` in sweep order.
+type DistributePoint = (
+    u32,
+    (now_core::DistributeOutcome, now_core::ScenarioObservations),
+    (now_core::DistributeOutcome, now_core::ScenarioObservations),
+);
+
+fn distribute_points(
+    smoke: bool,
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+    jobs: usize,
+    nodes: u32,
+    partitions: u32,
+) -> Vec<DistributePoint> {
+    use now_core::{DistributeSpec, FetchStrategy, NowCluster, ScenarioObserver};
+    let sweep = distribute_sweep(smoke, nodes);
+    let max_fetchers = *sweep.last().expect("sweep is never empty");
+    let cluster = NowCluster::builder()
+        .nodes(max_fetchers + DISTRIBUTE_REGISTRY_NICS)
+        .seed(SEED)
+        .build();
+    // Registry and cooperative runs interleave per point, so a partial
+    // read of the results still pairs correctly.
+    let runs: Vec<(DistributeSpec, ScenarioObserver)> = sweep
+        .iter()
+        .flat_map(|&f| {
+            [FetchStrategy::Registry, FetchStrategy::Cooperative].map(|s| {
+                (
+                    distribute_spec(smoke, s, f, partitions),
+                    distribute_observer_for(blame, record, probe),
+                )
+            })
+        })
+        .collect();
+    let mut results = cluster
+        .run_distributes_observed(&runs, scenario_jobs(jobs, probe))
+        .into_iter();
+    sweep
+        .iter()
+        .map(|&f| {
+            let registry = results.next().expect("one registry run per point");
+            let cooperative = results.next().expect("one cooperative run per point");
+            (f, registry, cooperative)
+        })
+        .collect()
+}
+
+/// The image-distribution report: cold-starting the cluster from a
+/// content-addressed registry, registry-only vs cooperative.
+///
+/// Not a paper artifact — it extends the serving story to the step the
+/// paper takes for granted: getting identical software onto N nodes.
+/// Content addressing dedups the catalog (the table's dedup factor) and
+/// the sweep shows the crossover where peer-to-peer block exchange beats
+/// hammering the registry, as its NICs saturate.
+pub fn distribute_report(smoke: bool) -> String {
+    distribute_report_jobs(smoke, false, false, &Probe::disabled(), 1).text
+}
+
+/// [`distribute_report`] with observability and fan-out: `blame` appends
+/// critical-path blame tables (where the largest cold start's makespan
+/// went, per strategy), `record` returns the flight recorder's gauge
+/// series per run, and the sweep fans out over `jobs` worker threads
+/// (byte-identical output for any `jobs`; forced serial while a shared
+/// enabled probe watches).
+pub fn distribute_report_jobs(
+    smoke: bool,
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+    jobs: usize,
+) -> ObservedReport {
+    distribute_report_scaled(smoke, blame, record, probe, jobs, 32, 1)
+}
+
+/// [`distribute_report_jobs`] with the sweep extended to `nodes`
+/// fetchers and a `partitions` request threaded onto every spec, for CLI
+/// symmetry with the contention report. A distribution run is one
+/// event-coupled component (every fetch contends for the same registry
+/// NICs and tracker), so the request clamps to 1 and the report is
+/// byte-identical at any value.
+///
+/// # Panics
+///
+/// Panics unless `nodes` is a positive multiple of 32 (the CLI
+/// contract shared by every scaled report).
+pub fn distribute_report_scaled(
+    smoke: bool,
+    blame: bool,
+    record: bool,
+    probe: &Probe,
+    jobs: usize,
+    nodes: u32,
+    partitions: u32,
+) -> ObservedReport {
+    assert!(
+        nodes >= 32 && nodes.is_multiple_of(32),
+        "the distribution sweep scales like the other reports; {nodes} nodes \
+         is not a positive multiple of 32"
+    );
+    let points = distribute_points(smoke, blame, record, probe, jobs, nodes, partitions);
+    let mut t = TextTable::new(&[
+        "Nodes",
+        "Dedup",
+        "Registry (ms)",
+        "Cooperative (ms)",
+        "Coop/Reg",
+        "Peer %",
+    ]);
+    t.title(&format!(
+        "Image distribution - cold start from a content-addressed registry \
+         ({} NICs), registry-only vs cooperative",
+        DISTRIBUTE_REGISTRY_NICS
+    ));
+    let mut blame_text = String::new();
+    let mut series = Vec::new();
+    let mut crossover: Option<u32> = None;
+    let last = points.last().map(|(f, _, _)| *f);
+    for (f, (reg, reg_obs), (coop, coop_obs)) in &points {
+        assert_eq!(
+            reg.content_digest, coop.content_digest,
+            "strategies must deliver byte-identical images at {f} nodes"
+        );
+        let reg_ms = reg.makespan_ms();
+        let coop_ms = coop.makespan_ms();
+        if crossover.is_none() && coop_ms < reg_ms {
+            crossover = Some(*f);
+        }
+        let peer_pct = 100.0 * coop.peer_blocks as f64
+            / (coop.peer_blocks + coop.registry_blocks).max(1) as f64;
+        t.row_owned(vec![
+            format!("{f}"),
+            format!("{:.2}x", reg.dedup_factor),
+            format!("{reg_ms:.1}"),
+            format!("{coop_ms:.1}"),
+            format!("{:.2}", coop_ms / reg_ms.max(f64::MIN_POSITIVE)),
+            format!("{peer_pct:.0}"),
+        ]);
+        if Some(*f) == last {
+            for (label, obs) in [("registry", reg_obs), ("cooperative", coop_obs)] {
+                if let Some((_, table)) = obs.blame.first() {
+                    blame_text.push('\n');
+                    blame_text.push_str(
+                        &table.render_text(&format!(
+                            "Blame - cold-start makespan, {label}, {f} nodes"
+                        )),
+                    );
+                }
+            }
+        }
+        if record {
+            series.push((format!("registry n={f}"), reg_obs.timeseries.clone()));
+            series.push((format!("cooperative n={f}"), coop_obs.timeseries.clone()));
+        }
+    }
+    let crossover_line = match crossover {
+        Some(f) => {
+            format!("Crossover: cooperative fetch wins from {f} nodes (registry NICs saturate)\n")
+        }
+        None => String::from("Crossover: not reached within the sweep\n"),
+    };
+    ObservedReport {
+        text: format!("{}{crossover_line}{blame_text}", t.render()),
+        series,
+        windowed: Vec::new(),
+    }
+}
+
+/// Headline numbers of the distribution sweep, for `--bench-out`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributeSummary {
+    /// Registry-only makespan at the largest sweep point, in ms.
+    pub registry_ms: f64,
+    /// Cooperative makespan at the largest sweep point, in ms.
+    pub cooperative_ms: f64,
+    /// The catalog's dedup factor.
+    pub dedup_factor: f64,
+    /// First sweep point where cooperative beat registry (0 if never).
+    pub crossover_nodes: u32,
+}
+
+/// Runs the (smoke or full) sweep unobserved and extracts the headline
+/// numbers the bench JSON records.
+pub fn distribute_summary(smoke: bool) -> DistributeSummary {
+    let points = distribute_points(smoke, false, false, &Probe::disabled(), 1, 32, 1);
+    let crossover = points
+        .iter()
+        .find(|(_, (reg, _), (coop, _))| coop.makespan_ms() < reg.makespan_ms())
+        .map_or(0, |(f, _, _)| *f);
+    let (_, (reg, _), (coop, _)) = points.last().expect("sweep is never empty");
+    DistributeSummary {
+        registry_ms: reg.makespan_ms(),
+        cooperative_ms: coop.makespan_ms(),
+        dedup_factor: reg.dedup_factor,
+        crossover_nodes: crossover,
+    }
+}
+
 /// In-text migration claim: restoring 64 MB of memory state.
 pub fn restore_study() -> String {
     use now_glunix::migrate::MigrationModel;
@@ -1162,6 +1449,46 @@ mod tests {
         assert!(a.contains("Saturation:"), "{a}");
         assert!(a.lines().count() > 5, "{a}");
         assert_eq!(a, serve_report(true), "fixed seed must reproduce");
+    }
+
+    #[test]
+    fn distribute_report_renders_and_is_deterministic() {
+        let a = distribute_report(true);
+        assert!(a.contains("Image distribution"), "{a}");
+        assert!(a.contains("Crossover:"), "{a}");
+        assert!(a.lines().count() > 5, "{a}");
+        assert_eq!(a, distribute_report(true), "fixed seed must reproduce");
+    }
+
+    #[test]
+    fn distribute_crossover_emerges_within_the_smoke_sweep() {
+        // The subsystem's headline claim: registry-only wins (or ties)
+        // while its NICs are idle, cooperative wins once they saturate.
+        let points = distribute_points(true, false, false, &Probe::disabled(), 1, 32, 1);
+        let (first, (first_reg, _), (first_coop, _)) = points.first().expect("sweep");
+        assert!(
+            first_reg.makespan_ms() <= first_coop.makespan_ms(),
+            "at {first} nodes the registry should not lose: \
+             {:.1} vs {:.1} ms",
+            first_reg.makespan_ms(),
+            first_coop.makespan_ms()
+        );
+        let (last, (last_reg, _), (last_coop, _)) = points.last().expect("sweep");
+        assert!(
+            last_coop.makespan_ms() < last_reg.makespan_ms(),
+            "at {last} nodes cooperative must win: {:.1} vs {:.1} ms",
+            last_coop.makespan_ms(),
+            last_reg.makespan_ms()
+        );
+        let summary = distribute_summary(true);
+        assert!(
+            summary.crossover_nodes > 0 && summary.crossover_nodes <= *last,
+            "crossover must land inside the sweep: {summary:?}"
+        );
+        assert!(
+            summary.dedup_factor > 1.5,
+            "catalog must dedup: {summary:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! The distribution report's contracts, end to end: byte-identical
+//! output across repeated runs, worker counts, and partition requests;
+//! byte-identical delivered images across strategies; and a crossover
+//! that lands inside the sweep.
+
+use now_probe::Probe;
+
+#[test]
+fn distribute_report_is_byte_identical_across_runs_and_jobs() {
+    let serial = now_bench::distribute_report_jobs(true, false, false, &Probe::disabled(), 1);
+    for jobs in [2usize, 4] {
+        let parallel =
+            now_bench::distribute_report_jobs(true, false, false, &Probe::disabled(), jobs);
+        assert_eq!(
+            serial.text, parallel.text,
+            "distribution report diverged at jobs={jobs}"
+        );
+    }
+    let again = now_bench::distribute_report_jobs(true, false, false, &Probe::disabled(), 4);
+    assert_eq!(
+        serial.text, again.text,
+        "distribution report diverged between repeated runs"
+    );
+}
+
+#[test]
+fn distribute_report_is_byte_identical_across_partitions() {
+    // A distribution run is one event-coupled component, so partition
+    // requests clamp to 1 — the report must not change for any value.
+    let probe = Probe::disabled();
+    let one = now_bench::distribute_report_scaled(true, false, false, &probe, 1, 32, 1);
+    for partitions in [0u32, 4] {
+        let sharded =
+            now_bench::distribute_report_scaled(true, false, false, &probe, 1, 32, partitions);
+        assert_eq!(
+            one.text, sharded.text,
+            "distribution report diverged at partitions={partitions}"
+        );
+    }
+}
+
+#[test]
+fn distribute_blame_tables_are_deterministic() {
+    let a = now_bench::distribute_report_jobs(true, true, false, &Probe::disabled(), 1);
+    let b = now_bench::distribute_report_jobs(true, true, false, &Probe::disabled(), 4);
+    assert_eq!(a.text, b.text, "blame appendix must not depend on jobs");
+    assert!(
+        a.text.contains("Blame - cold-start makespan, registry"),
+        "registry blame table missing:\n{}",
+        a.text
+    );
+    assert!(
+        a.text.contains("Blame - cold-start makespan, cooperative"),
+        "cooperative blame table missing:\n{}",
+        a.text
+    );
+}
+
+#[test]
+fn distribute_summary_matches_the_report_and_crosses_over() {
+    let summary = now_bench::distribute_summary(true);
+    assert!(
+        summary.crossover_nodes > 0,
+        "cooperative fetch must win somewhere in the sweep: {summary:?}"
+    );
+    assert!(
+        summary.cooperative_ms < summary.registry_ms,
+        "at the largest point cooperative must be ahead: {summary:?}"
+    );
+    assert!(
+        summary.dedup_factor > 1.0,
+        "catalog must dedup: {summary:?}"
+    );
+    let report = now_bench::distribute_report(true);
+    assert!(
+        report.contains(&format!(
+            "Crossover: cooperative fetch wins from {} nodes",
+            summary.crossover_nodes
+        )),
+        "summary and report disagree on the crossover:\n{report}\n{summary:?}"
+    );
+}

@@ -144,6 +144,71 @@ fn causal_parents_precede_their_children() {
 }
 
 #[test]
+fn distribute_blame_partitions_the_cold_start_makespan() {
+    use now_core::{DistributeSpec, FetchStrategy, ImageCatalogSpec};
+    use now_sim::SimTime;
+    for strategy in [FetchStrategy::Registry, FetchStrategy::Cooperative] {
+        let cluster = NowCluster::builder().nodes(32).seed(SEED).build();
+        let spec = DistributeSpec {
+            catalog: ImageCatalogSpec::smoke(SEED),
+            fetchers: 12,
+            registry_nics: 4,
+            cache_budget: u64::MAX,
+            strategy,
+            seed: SEED,
+            horizon: SimTime::from_secs(1),
+            partitions: 1,
+        };
+        let observer = ScenarioObserver {
+            probe: Probe::disabled(),
+            causal: Some(Arc::new(CausalLog::new())),
+            trace_sample_every: 1,
+            ..ScenarioObserver::disabled()
+        };
+        let (out, obs) = cluster.run_distribute_observed(&spec, &observer);
+        let table = &obs
+            .blame
+            .iter()
+            .find(|(tag, _)| *tag == "distribute")
+            .unwrap_or_else(|| panic!("{strategy:?} left no distribute blame table"))
+            .1;
+        let makespan = out.makespan.as_nanos() as f64;
+        let attributed = table.total.as_nanos() as f64;
+        assert!(
+            (attributed - makespan).abs() / makespan <= 0.01,
+            "{strategy:?}: blame total {attributed} strays from makespan {makespan}"
+        );
+        let row_sum: u64 = table.rows.iter().map(|r| r.time.as_nanos()).sum();
+        assert_eq!(
+            row_sum,
+            table.total.as_nanos(),
+            "{strategy:?}: rows must partition total"
+        );
+        assert!(!table.truncated, "the log must hold the whole path");
+        // Every nanosecond lands in a cas category; cooperative runs
+        // must attribute real peer time.
+        let cas_share = table.category_share(category::CAS_REGISTRY)
+            + table.category_share(category::CAS_PEER)
+            + table.category_share(category::CAS_DISK);
+        assert!(
+            (cas_share - 1.0).abs() <= 0.01,
+            "{strategy:?}: cas categories cover {cas_share} of the makespan"
+        );
+        match strategy {
+            FetchStrategy::Registry => assert_eq!(
+                table.category_share(category::CAS_PEER),
+                0.0,
+                "registry-only fetches must never blame peers"
+            ),
+            FetchStrategy::Cooperative => assert!(
+                table.category_share(category::CAS_PEER) > 0.0,
+                "cooperative fetches must blame peer serves"
+            ),
+        }
+    }
+}
+
+#[test]
 fn availability_blame_attributes_recovery_to_the_rebuild() {
     let r = availability_observed(true, true, false, &Probe::disabled());
     assert!(

@@ -547,12 +547,16 @@ impl CacheComponent {
             self.result.writes += 1;
             // Write-through: update local cache, invalidate other copies
             // and the server's cached copy (it will re-read from disk).
-            let holders: Vec<u32> = self
+            let mut holders: Vec<u32> = self
                 .cluster
                 .directory
                 .get(&block)
                 .map(|s| s.iter().copied().filter(|&c| c != client).collect())
                 .unwrap_or_default();
+            // Invalidate in client order, not the HashSet's hash order:
+            // the final state is order-independent, but a deterministic
+            // walk keeps replays identical across processes.
+            holders.sort_unstable();
             for holder in holders {
                 self.cluster.clients[holder as usize].remove(&block);
                 self.cluster.remove_from_directory(block, holder);

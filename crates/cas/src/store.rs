@@ -1,0 +1,291 @@
+//! The content-addressed block store: seeded chunk hashing, fixed-size
+//! chunking, and a deduplicating refcounted index.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Default chunk size: 16 KB, two xFS blocks — small enough that the
+/// base-layer sharing of real images shows up, large enough that the
+/// per-chunk fabric overhead stays a minor term.
+pub const DEFAULT_CHUNK_BYTES: usize = 16 * 1024;
+
+/// A stable 64-bit content hash of one chunk.
+///
+/// FNV-1a over the chunk bytes, mixed with the store's seed and finished
+/// with a splitmix64-style avalanche — deterministic across platforms and
+/// processes, with no external hashing dependency. The seed keys the hash
+/// space so tests can prove nothing depends on particular hash values.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BlockHash(pub u64);
+
+impl BlockHash {
+    /// Hashes `bytes` under `seed`.
+    pub fn of(seed: u64, bytes: &[u8]) -> BlockHash {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET ^ seed.wrapping_mul(PRIME);
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        // Avalanche the FNV state so nearby chunks spread over the space.
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        BlockHash(h)
+    }
+}
+
+impl fmt::Display for BlockHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Deduplication accounting of a [`BlockStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DedupStats {
+    /// Bytes offered for insertion (every reference counted).
+    pub logical_bytes: u64,
+    /// Bytes actually stored (unique chunks only).
+    pub unique_bytes: u64,
+    /// Chunk insertions offered.
+    pub inserts: u64,
+    /// Insertions that found their chunk already stored.
+    pub dedup_hits: u64,
+    /// References released.
+    pub releases: u64,
+}
+
+impl DedupStats {
+    /// Logical bytes per stored byte — the headline dedup factor.
+    pub fn dedup_factor(&self) -> f64 {
+        if self.unique_bytes == 0 {
+            return 1.0;
+        }
+        self.logical_bytes as f64 / self.unique_bytes as f64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StoredBlock {
+    bytes: Bytes,
+    refs: u64,
+}
+
+/// A deterministic content-addressed block store.
+///
+/// Chunks are indexed by [`BlockHash`] in a `BTreeMap`, so every walk of
+/// the store (exports, debugging dumps, gauge aggregation) is in hash
+/// order whatever the insertion history — no iteration-order
+/// nondeterminism can leak into reports. Each stored chunk carries a
+/// reference count; [`BlockStore::release`] drops a reference and frees
+/// the chunk when the last one goes.
+///
+/// # Example
+///
+/// ```
+/// use now_cas::BlockStore;
+///
+/// let mut store = BlockStore::new(7, 4);
+/// let hashes = store.add_bytes(b"aaaabbbbaaaa");
+/// assert_eq!(hashes.len(), 3);
+/// assert_eq!(hashes[0], hashes[2], "identical chunks share a hash");
+/// assert_eq!(store.len(), 2, "and share storage");
+/// assert_eq!(store.refs(hashes[0]), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockStore {
+    seed: u64,
+    chunk_bytes: usize,
+    blocks: BTreeMap<BlockHash, StoredBlock>,
+    stats: DedupStats,
+}
+
+impl BlockStore {
+    /// An empty store hashing under `seed` and chunking at `chunk_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes` is zero.
+    pub fn new(seed: u64, chunk_bytes: usize) -> Self {
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        BlockStore {
+            seed,
+            chunk_bytes,
+            blocks: BTreeMap::new(),
+            stats: DedupStats::default(),
+        }
+    }
+
+    /// The hash-space seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fixed chunk size in bytes.
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    /// Hashes `bytes` exactly as this store would on insertion.
+    pub fn hash_of(&self, bytes: &[u8]) -> BlockHash {
+        BlockHash::of(self.seed, bytes)
+    }
+
+    /// Inserts one chunk, deduplicating against existing content, and
+    /// returns its hash. Each call adds one reference.
+    pub fn insert(&mut self, bytes: Bytes) -> BlockHash {
+        let hash = BlockHash::of(self.seed, &bytes);
+        self.stats.inserts += 1;
+        self.stats.logical_bytes += bytes.len() as u64;
+        match self.blocks.get_mut(&hash) {
+            Some(block) => {
+                debug_assert_eq!(block.bytes, bytes, "64-bit hash collision");
+                block.refs += 1;
+                self.stats.dedup_hits += 1;
+            }
+            None => {
+                self.stats.unique_bytes += bytes.len() as u64;
+                self.blocks.insert(hash, StoredBlock { bytes, refs: 1 });
+            }
+        }
+        hash
+    }
+
+    /// Chunks `data` at the store's chunk size and inserts every chunk
+    /// (the last one may be short), returning the ordered hash list.
+    pub fn add_bytes(&mut self, data: &[u8]) -> Vec<BlockHash> {
+        data.chunks(self.chunk_bytes)
+            .map(|chunk| self.insert(Bytes::copy_from_slice(chunk)))
+            .collect()
+    }
+
+    /// The bytes of a stored chunk (cheap clone of a shared buffer).
+    pub fn get(&self, hash: BlockHash) -> Option<Bytes> {
+        self.blocks.get(&hash).map(|b| b.bytes.clone())
+    }
+
+    /// Whether a chunk with this hash is stored.
+    pub fn contains(&self, hash: BlockHash) -> bool {
+        self.blocks.contains_key(&hash)
+    }
+
+    /// Live references to a chunk (0 if absent).
+    pub fn refs(&self, hash: BlockHash) -> u64 {
+        self.blocks.get(&hash).map_or(0, |b| b.refs)
+    }
+
+    /// Releases one reference; the chunk is freed with its last one.
+    /// Returns `true` if the hash was present.
+    pub fn release(&mut self, hash: BlockHash) -> bool {
+        let Some(block) = self.blocks.get_mut(&hash) else {
+            return false;
+        };
+        self.stats.releases += 1;
+        block.refs -= 1;
+        if block.refs == 0 {
+            let freed = self.blocks.remove(&hash).expect("present above");
+            self.stats.unique_bytes -= freed.bytes.len() as u64;
+        }
+        true
+    }
+
+    /// Unique chunks stored.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Sum of live references over all chunks.
+    pub fn total_refs(&self) -> u64 {
+        self.blocks.values().map(|b| b.refs).sum()
+    }
+
+    /// Stored hashes in hash order.
+    pub fn hashes(&self) -> impl Iterator<Item = BlockHash> + '_ {
+        self.blocks.keys().copied()
+    }
+
+    /// Dedup accounting so far.
+    pub fn stats(&self) -> DedupStats {
+        self.stats
+    }
+
+    /// Logical bytes per stored byte (see [`DedupStats::dedup_factor`]).
+    pub fn dedup_factor(&self) -> f64 {
+        self.stats.dedup_factor()
+    }
+
+    /// Approximate resident footprint: unique bytes plus index overhead.
+    pub fn approx_bytes(&self) -> usize {
+        self.stats.unique_bytes as usize + self.blocks.len() * 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_seeded_and_content_addressed() {
+        let a = BlockHash::of(1, b"hello");
+        assert_eq!(a, BlockHash::of(1, b"hello"), "deterministic");
+        assert_ne!(a, BlockHash::of(2, b"hello"), "seed keys the space");
+        assert_ne!(a, BlockHash::of(1, b"hellp"), "content addressed");
+    }
+
+    #[test]
+    fn dedup_counts_references_not_copies() {
+        let mut store = BlockStore::new(42, 8);
+        let h1 = store.insert(Bytes::from_static(b"12345678"));
+        let h2 = store.insert(Bytes::from_static(b"12345678"));
+        let h3 = store.insert(Bytes::from_static(b"abcdefgh"));
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.refs(h1), 2);
+        assert_eq!(store.total_refs(), 3);
+        let s = store.stats();
+        assert_eq!(s.inserts, 3);
+        assert_eq!(s.dedup_hits, 1);
+        assert_eq!(s.logical_bytes, 24);
+        assert_eq!(s.unique_bytes, 16);
+        assert!((s.dedup_factor() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_frees_only_the_last_reference() {
+        let mut store = BlockStore::new(0, 4);
+        let h = store.insert(Bytes::from_static(b"data"));
+        store.insert(Bytes::from_static(b"data"));
+        assert!(store.release(h));
+        assert!(store.contains(h), "one reference left");
+        assert!(store.release(h));
+        assert!(!store.contains(h), "freed with the last reference");
+        assert_eq!(store.stats().unique_bytes, 0);
+        assert!(!store.release(h), "releasing an absent hash is reported");
+    }
+
+    #[test]
+    fn chunking_splits_at_the_fixed_size_with_a_short_tail() {
+        let mut store = BlockStore::new(5, 10);
+        let hashes = store.add_bytes(&[7u8; 25]);
+        assert_eq!(hashes.len(), 3);
+        assert_eq!(store.get(hashes[0]).unwrap().len(), 10);
+        assert_eq!(store.get(hashes[2]).unwrap().len(), 5, "short tail");
+        assert_eq!(hashes[0], hashes[1], "identical full chunks dedup");
+        assert_ne!(hashes[0], hashes[2], "the tail is its own chunk");
+    }
+}

@@ -42,12 +42,14 @@
 
 mod cluster;
 mod control;
+mod distribute;
 mod gator_sim;
 mod scenario;
 mod serve;
 
 pub use cluster::{Interconnect, NowBuilder, NowCluster, NowError};
 pub use control::{ClusterControl, ControlEvent, ControlWiring, FaultOutcome};
+pub use distribute::{DistributeOutcome, DistributeScenarioEvent, DistributeSpec};
 pub use gator_sim::{simulate_gator, GatorSimResult};
 pub use scenario::{
     BspJobComponent, JobEvent, RecorderEvent, ScenarioEvent, ScenarioObservations,
@@ -61,6 +63,7 @@ pub use now_fault::{Fault, FaultPlan};
 
 // Re-export the domain types a NowCluster hands out, so downstream users
 // need only this crate for common scenarios.
+pub use now_cas::{FetchStrategy, ImageCatalogSpec, DEFAULT_CHUNK_BYTES};
 pub use now_glunix::cosched::{AppSpec, CommPattern, CoschedConfig, Scheduling};
 pub use now_glunix::mixed::{MixedConfig, RunOutcome};
 pub use now_mem::multigrid::{MemoryConfig, RunResult};

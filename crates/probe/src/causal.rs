@@ -51,6 +51,15 @@ pub mod category {
     pub const FAULT_DETECTION: &str = "fault_detection";
     /// Repair work after a fault: restart delay, rebuild traffic.
     pub const FAULT_RECOVERY: &str = "fault_recovery";
+    /// Image-distribution time spent on the registry: requests, tracker
+    /// lookups, and data legs served off the registry's NICs.
+    pub const CAS_REGISTRY: &str = "cas.registry";
+    /// Image-distribution time spent fetching block data from a peer's
+    /// partial cache (cooperative strategy).
+    pub const CAS_PEER: &str = "cas.peer";
+    /// Image-distribution time spent in registry disk reads (first touch
+    /// of a cold block).
+    pub const CAS_DISK: &str = "cas.disk";
     /// Edge time no component explained.
     pub const UNATTRIBUTED: &str = "unattributed";
 }

@@ -179,10 +179,13 @@ pub struct Xfs {
     manager_of: Vec<u32>,
     /// One log-structured RAID per stripe group.
     logs: Vec<StripeLog>,
-    directory: HashMap<String, FileId>,
-    files: HashMap<FileId, u32>, // blocks written (size in blocks)
+    /// Ordered maps like `managers`: nothing iterates these today, but
+    /// any future walk (fsck, snapshots, reports) must not inherit hash
+    /// order and quietly diverge across processes.
+    directory: BTreeMap<String, FileId>,
+    files: BTreeMap<FileId, u32>, // blocks written (size in blocks)
     /// Exact byte lengths recorded by the whole-file helpers.
-    byte_lens: HashMap<FileId, u64>,
+    byte_lens: BTreeMap<FileId, u64>,
     /// Namespace entries: canonical path -> is_directory.
     namespace: std::collections::BTreeMap<String, bool>,
     next_file: u32,
@@ -225,9 +228,9 @@ impl Xfs {
             managers: (0..config.managers).map(|_| BTreeMap::new()).collect(),
             manager_of: (0..config.managers).collect(),
             logs,
-            directory: HashMap::new(),
-            files: HashMap::new(),
-            byte_lens: HashMap::new(),
+            directory: BTreeMap::new(),
+            files: BTreeMap::new(),
+            byte_lens: BTreeMap::new(),
             namespace: Default::default(),
             next_file: 0,
             costs: NetCosts::am_atm(config.block_bytes),

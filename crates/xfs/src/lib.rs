@@ -40,7 +40,9 @@
 
 pub mod coherence;
 mod fs;
+mod image;
 mod namespace;
 
 pub use fs::{FileId, Xfs, XfsConfig, XfsError, XfsStats};
+pub use image::ImageError;
 pub use namespace::Path;

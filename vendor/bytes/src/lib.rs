@@ -24,6 +24,11 @@ impl Bytes {
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes { data: data.into() }
     }
+
+    /// A buffer over static data (copied here; the real crate borrows).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
