@@ -121,10 +121,48 @@ fn bench_scenario_causal(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_scenario_profile(c: &mut Criterion) {
+    use now_core::{NowCluster, ScenarioObserver, ScenarioSpec};
+    use now_sim::SimDuration;
+
+    // Same trimmed coupled scenario as the causal group, now gating the
+    // host-time profiler: the disabled dispatch path must stay within 5%
+    // of the untouched engine, and even the enabled path only pays two
+    // clock reads per event.
+    let spec = ScenarioSpec {
+        job_rounds: 50,
+        paging_problem_mb: 16,
+        paging_local_mb: 8,
+        netram_mb_per_host: 2,
+        horizon: SimDuration::from_secs(1),
+        ..ScenarioSpec::contention_default()
+    };
+    let cluster = NowCluster::builder().nodes(32).seed(42).build();
+
+    let mut g = c.benchmark_group("probe_overhead/scenario_profile");
+    g.sample_size(20);
+    g.bench_function("baseline_untouched", |b| {
+        b.iter(|| black_box(cluster.run_scenario(&spec)))
+    });
+    g.bench_function("profile_disabled", |b| {
+        let observer = ScenarioObserver::disabled();
+        b.iter(|| black_box(cluster.run_scenario_observed(&spec, &observer)))
+    });
+    g.bench_function("profile_enabled", |b| {
+        let observer = ScenarioObserver {
+            profile: true,
+            ..ScenarioObserver::disabled()
+        };
+        b.iter(|| black_box(cluster.run_scenario_observed(&spec, &observer)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     probe_overhead,
     bench_network_transfer,
     bench_multigrid,
-    bench_scenario_causal
+    bench_scenario_causal,
+    bench_scenario_profile
 );
 criterion_main!(probe_overhead);

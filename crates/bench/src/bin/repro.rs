@@ -17,6 +17,11 @@
 //! repro contention --nodes 256     # 8 cells of 32 nodes per sweep point
 //! repro contention --nodes 256 --partitions 4  # shard each run over 4 cores
 //! repro --bench-out BENCH_repro.json --jobs 4  # wall-time harness, serial vs parallel
+//! repro contention --util          # append the resource-utilization observatory
+//! repro contention --profile       # append host-time profile (where the wall went)
+//! repro serve --profile-out out.collapsed  # flamegraph-ready collapsed stacks
+//! repro contention --metrics=json --metrics-out snap.json  # snapshot to a file
+//! repro diff baseline.json current.json --threshold 0.15   # regression gate
 //! ```
 //!
 //! `--jobs N` (or the `NOW_JOBS` environment variable) sets how many
@@ -42,8 +47,10 @@ use std::time::Instant;
 use now_probe::recorder::{
     csv_concat, json_concat, windowed_csv_concat, TimeSeries, WindowedSeries,
 };
+use now_probe::util::{bottlenecks, render_bottlenecks, render_util_table};
 use now_probe::{Probe, Registry};
 use now_sim::parallel::resolve_jobs;
+use now_sim::HostProfile;
 
 /// Every scenario name the CLI accepts as a positional argument, with a
 /// one-line description for `--help` and the unknown-argument message.
@@ -86,7 +93,8 @@ const SCENARIO_ALIASES: &[&str] = &["figure1", "figure2", "figure3", "figure4"];
 
 fn usage() -> String {
     let mut text = String::from(
-        "usage: repro [SCENARIO...] [FLAGS]\n\n\
+        "usage: repro [SCENARIO...] [FLAGS]\n\
+         \x20      repro diff BASELINE.json CURRENT.json [--threshold X] [--ignore SUBSTR]\n\n\
          Runs every paper artifact when no scenario is named; the serve,\n\
          distribute, and ablations reports are opt-in.\n\nscenarios:\n",
     );
@@ -102,24 +110,116 @@ fn usage() -> String {
          \x20 --partitions N         shard each run over N engine partitions (0 = per core)\n\
          \x20 --nodes N              scale scaled scenarios to N nodes (multiple of 32)\n\
          \x20 --metrics[=FMT]        append the probe snapshot (text|csv|json)\n\
+         \x20 --metrics-out PATH     write the JSON probe snapshot to a file (for repro diff)\n\
+         \x20 --util                 append the resource-utilization table and bottlenecks\n\
+         \x20 --profile              append the host-time profile (wall-clock attribution)\n\
+         \x20 --profile-out PATH     write collapsed stacks (frame;frame count) for flamegraphs\n\
          \x20 --trace-out PATH       write a Chrome/Perfetto trace\n\
          \x20 --timeseries-out PATH  write flight-recorder samples (CSV, .json for JSON)\n\
          \x20 --bench-out PATH       run the wall-time harness and write JSON\n\
-         \x20 --help                 this message\n",
+         \x20 --help                 this message\n\
+         \ndiff subcommand:\n\
+         \x20 repro diff BASELINE.json CURRENT.json   compare two --metrics-out snapshots\n\
+         \x20 --threshold X          relative delta that counts as a regression (default 0.10)\n\
+         \x20 --ignore SUBSTR        skip keys containing SUBSTR (repeatable)\n\
+         \x20 exits 1 when any metric moved past the threshold, 0 when clean\n",
     );
     text
 }
 
+/// `repro diff baseline.json current.json` — the run-diff regression
+/// gate. Reads two `--metrics-out` snapshots, compares every numeric
+/// leaf by relative delta, and exits nonzero when anything moved past
+/// the threshold so CI can fail the build.
+fn run_diff(args: &[String]) -> ! {
+    let mut threshold = 0.10_f64;
+    let mut ignore: Vec<String> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threshold" {
+            match it.next().map(|s| s.parse()) {
+                Some(Ok(x)) if x >= 0.0 => threshold = x,
+                _ => {
+                    eprintln!("--threshold needs a non-negative relative delta (e.g. 0.15)");
+                    exit(2);
+                }
+            }
+        } else if let Some(x) = arg.strip_prefix("--threshold=") {
+            match x.parse() {
+                Ok(x) if x >= 0.0 => threshold = x,
+                _ => {
+                    eprintln!("--threshold needs a non-negative relative delta, got {x:?}");
+                    exit(2);
+                }
+            }
+        } else if arg == "--ignore" {
+            match it.next() {
+                Some(s) => ignore.push(s.clone()),
+                None => {
+                    eprintln!("--ignore needs a key substring");
+                    exit(2);
+                }
+            }
+        } else if let Some(s) = arg.strip_prefix("--ignore=") {
+            ignore.push(s.to_string());
+        } else if arg == "--help" || arg == "-h" {
+            print!("{}", usage());
+            exit(0);
+        } else if arg.starts_with('-') {
+            eprintln!("unknown diff flag {arg:?}\n\n{}", usage());
+            exit(2);
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!(
+            "repro diff needs exactly two snapshot paths (baseline, current)\n\n{}",
+            usage()
+        );
+        exit(2);
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("cannot read snapshot {path}: {e}");
+            exit(1);
+        }
+    };
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+    match now_probe::diff::diff(&baseline, &current, threshold, &ignore) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            exit(if report.has_regressions() { 1 } else { 0 });
+        }
+        Err(e) => {
+            eprintln!("repro diff: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    // `repro diff` is a subcommand, not a scenario: dispatch before the
+    // flag loop so its positional snapshot paths never look like typos.
+    if args.first().map(String::as_str) == Some("diff") {
+        run_diff(&args[1..]);
+    }
     let mut fast = false;
     let mut smoke = false;
     let mut blame = false;
+    let mut profile = false;
+    let mut util = false;
     let mut jobs_arg: Option<usize> = None;
     let mut partitions_arg: Option<u32> = None;
     let mut nodes: u32 = 32;
     let mut metrics: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut profile_out: Option<String> = None;
     let mut timeseries_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
@@ -131,6 +231,12 @@ fn main() {
             smoke = true;
         } else if arg == "--blame" {
             blame = true;
+        } else if arg == "--profile" || arg == "profile" {
+            // `repro profile contention` reads naturally enough that the
+            // bare token is accepted as an alias for the flag.
+            profile = true;
+        } else if arg == "--util" {
+            util = true;
         } else if arg == "--jobs" {
             match it.next().as_deref().map(str::parse) {
                 Some(Ok(n)) if n >= 1 => jobs_arg = Some(n),
@@ -189,6 +295,26 @@ fn main() {
             }
         } else if let Some(path) = arg.strip_prefix("--bench-out=") {
             bench_out = Some(path.to_string());
+        } else if arg == "--metrics-out" {
+            match it.next() {
+                Some(path) => metrics_out = Some(path),
+                None => {
+                    eprintln!("--metrics-out needs a file path");
+                    exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--metrics-out=") {
+            metrics_out = Some(path.to_string());
+        } else if arg == "--profile-out" {
+            match it.next() {
+                Some(path) => profile_out = Some(path),
+                None => {
+                    eprintln!("--profile-out needs a file path");
+                    exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--profile-out=") {
+            profile_out = Some(path.to_string());
         } else if arg == "--metrics" {
             metrics = Some("text".to_string());
         } else if let Some(format) = arg.strip_prefix("--metrics=") {
@@ -238,6 +364,10 @@ fn main() {
             }
             selected.push(name.to_string());
         }
+    }
+    // Asking for collapsed stacks is asking for the profiler.
+    if profile_out.is_some() {
+        profile = true;
     }
     let jobs = resolve_jobs(jobs_arg);
     // CLI beats environment beats the serial default; 0 = one per core.
@@ -293,15 +423,28 @@ fn main() {
 
     // Probing is on whenever any telemetry output was requested; otherwise
     // every subsystem sees a disabled (free) probe.
-    let registry = (metrics.is_some() || trace_out.is_some()).then(Registry::new);
+    let registry = (metrics.is_some() || metrics_out.is_some() || trace_out.is_some() || util)
+        .then(Registry::new);
     let probe = registry
         .as_ref()
         .map_or_else(Probe::disabled, Registry::probe);
 
     // The flight recorder runs only when its output has somewhere to go.
     let record = timeseries_out.is_some();
+    // Any live telemetry sink routes the scaled reports through the
+    // observed path, so the probe actually sees the runs it will export.
+    let observe = blame || record || profile || registry.is_some();
     let mut series: Vec<(String, TimeSeries)> = Vec::new();
     let mut windowed: Vec<(String, WindowedSeries)> = Vec::new();
+    // Host-time profiles from every profiled report, merged by label.
+    let mut host_profile: Option<HostProfile> = None;
+    let mut merge_host = |run: &Option<HostProfile>| {
+        if let Some(p) = run {
+            host_profile
+                .get_or_insert_with(HostProfile::default)
+                .merge(p);
+        }
+    };
 
     if want("table1") {
         println!("{}", now_bench::table1());
@@ -337,12 +480,13 @@ fn main() {
         println!("{}", now_bench::restore_study());
     }
     if want("contention") {
-        if blame || record {
+        if observe {
             let mut r = now_bench::contention_observed_scaled(
-                smoke, blame, record, &probe, jobs, nodes, partitions,
+                smoke, blame, record, profile, &probe, jobs, nodes, partitions,
             );
             println!("{}", r.text);
             series.append(&mut r.series);
+            merge_host(&r.profile);
         } else {
             println!(
                 "{}",
@@ -351,17 +495,18 @@ fn main() {
         }
     }
     if want("availability") {
-        if blame || record {
+        if observe {
             let mut r = now_bench::availability_observed_scaled(
-                smoke, blame, record, &probe, jobs, partitions,
+                smoke, blame, record, profile, &probe, jobs, partitions,
             );
             println!("{}", r.text);
             series.append(&mut r.series);
+            merge_host(&r.profile);
         } else {
             println!(
                 "{}",
                 now_bench::availability_observed_scaled(
-                    smoke, false, false, &probe, jobs, partitions
+                    smoke, false, false, false, &probe, jobs, partitions
                 )
                 .text
             );
@@ -370,18 +515,21 @@ fn main() {
     // The serving sweep is opt-in like the ablations: it is the unified
     // engine's population-scale story, not a paper table.
     if selected.iter().any(|s| s == "serve") {
-        let mut r = now_bench::serve_report_scaled(smoke, blame, record, &probe, jobs, partitions);
+        let mut r =
+            now_bench::serve_report_scaled(smoke, blame, record, profile, &probe, jobs, partitions);
         println!("{}", r.text);
         windowed.append(&mut r.windowed);
+        merge_host(&r.profile);
     }
     // Image distribution is likewise opt-in: cold-starting the cluster
     // from a content-addressed registry, registry-only vs cooperative.
     if selected.iter().any(|s| s == "distribute") {
         let mut r = now_bench::distribute_report_scaled(
-            smoke, blame, record, &probe, jobs, nodes, partitions,
+            smoke, blame, record, profile, &probe, jobs, nodes, partitions,
         );
         println!("{}", r.text);
         series.append(&mut r.series);
+        merge_host(&r.profile);
     }
     // Ablations are opt-in: they are design-choice sweeps, not paper
     // artifacts.
@@ -424,6 +572,26 @@ fn main() {
         eprintln!("wrote gauge time series to {path}");
     }
 
+    if profile {
+        match &host_profile {
+            Some(p) => {
+                println!("{}", p.render_text());
+                if let Some(path) = profile_out {
+                    if let Err(e) = std::fs::write(&path, p.collapsed()) {
+                        eprintln!("cannot write collapsed stacks to {path}: {e}");
+                        exit(1);
+                    }
+                    eprintln!("wrote collapsed stacks to {path} (feed to a flamegraph tool)");
+                }
+            }
+            None => eprintln!(
+                "--profile collected nothing: only the contention, availability, \
+                 serve, and distribute reports run the host profiler, and \
+                 multi-cell runs skip it (threads share the wall clock)"
+            ),
+        }
+    }
+
     if let Some(registry) = registry {
         if let Some(format) = metrics {
             match format.as_str() {
@@ -438,12 +606,50 @@ fn main() {
                 }
             }
         }
+        if util {
+            let snapshot = registry.snapshot();
+            if snapshot.utils.is_empty() {
+                eprintln!(
+                    "--util recorded nothing: resource ledgers fill during the \
+                     contention, serve, and distribute reports"
+                );
+            } else {
+                println!("{}", render_util_table(&snapshot.utils));
+                println!("{}", render_bottlenecks(&bottlenecks(&snapshot.utils)));
+            }
+        }
+        if let Some(path) = metrics_out {
+            let mut body = registry.render_json();
+            body.push('\n');
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("cannot write metrics snapshot to {path}: {e}");
+                exit(1);
+            }
+            eprintln!("wrote metrics snapshot to {path} (compare runs with repro diff)");
+        }
         if let Some(path) = trace_out {
             if let Err(e) = std::fs::write(&path, registry.chrome_trace()) {
                 eprintln!("cannot write trace to {path}: {e}");
                 exit(1);
             }
             eprintln!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+        }
+        // Silent data loss would undermine every export above; say so.
+        let snapshot = registry.snapshot();
+        if snapshot.trace_dropped > 0 {
+            eprintln!(
+                "warning: {} trace span(s) dropped (ring buffer full); \
+                 the Chrome trace and span metrics are incomplete",
+                snapshot.trace_dropped
+            );
+        }
+        if let Some(dropped) = snapshot.counter("probe.spans_dropped") {
+            if dropped > 0 {
+                eprintln!(
+                    "warning: probe.spans_dropped = {dropped}; \
+                     span records were discarded under pressure"
+                );
+            }
         }
     }
 }

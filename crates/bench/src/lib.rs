@@ -22,7 +22,7 @@ use now_probe::causal::CausalLog;
 use now_probe::recorder::{TimeSeries, WindowedSeries};
 use now_probe::Probe;
 use now_sim::report::{render_figure, Series, TextTable};
-use now_sim::SimDuration;
+use now_sim::{HostProfile, SimDuration};
 
 /// The master seed used for every stochastic experiment in the harness.
 pub const SEED: u64 = 42;
@@ -377,6 +377,7 @@ pub fn contention_scaled_jobs(smoke: bool, jobs: usize, nodes: u32, partitions: 
         smoke,
         false,
         false,
+        false,
         &Probe::disabled(),
         jobs,
         nodes,
@@ -397,6 +398,35 @@ pub struct ObservedReport {
     /// `(run label, downsampled samples)` per run for reports whose
     /// recorder runs windowed (the serving sweep), in report order.
     pub windowed: Vec<(String, WindowedSeries)>,
+    /// Host-time attribution, merged across every run of the sweep.
+    /// `None` unless profiling was requested.
+    pub profile: Option<HostProfile>,
+}
+
+/// Folds one run's optional profile into the sweep-level digest.
+fn merge_profile(merged: &mut Option<HostProfile>, run: &Option<HostProfile>) {
+    if let Some(p) = run {
+        merged.get_or_insert_with(HostProfile::default).merge(p);
+    }
+}
+
+/// Says so on stderr when any run's bounded causal log filled up and
+/// dropped records: the blame tables just rendered walked an incomplete
+/// DAG, and silence would pass that off as the whole story.
+fn warn_causal_drops<'a>(
+    report: &str,
+    observers: impl Iterator<Item = &'a now_core::ScenarioObserver>,
+) {
+    let dropped: u64 = observers
+        .filter_map(|o| o.causal.as_ref())
+        .map(|log| log.dropped())
+        .sum();
+    if dropped > 0 {
+        eprintln!(
+            "warning: {report} causal log dropped {dropped} record(s) at capacity; \
+             blame tables may be truncated"
+        );
+    }
 }
 
 /// The flight recorder's sampling cadence for the observed reports: fine
@@ -407,13 +437,19 @@ fn recorder_cadence() -> SimDuration {
 }
 
 /// An observer for one observed-report run: `blame` attaches a fresh
-/// causal log, `record` a flight recorder at [`recorder_cadence`].
+/// causal log, `record` a flight recorder at [`recorder_cadence`], and
+/// `profile` asks the engine for host-time attribution.
 ///
 /// The recorder samples registered gauges, so recording with a disabled
 /// `probe` would log flat zeros — in that case the runs get a private
 /// [`Registry`] probe instead (whose snapshot nobody reads; it only backs
 /// the gauges).
-fn observer_for(blame: bool, record: bool, probe: &Probe) -> now_core::ScenarioObserver {
+fn observer_for(
+    blame: bool,
+    record: bool,
+    profile: bool,
+    probe: &Probe,
+) -> now_core::ScenarioObserver {
     use now_probe::Registry;
     let probe = if record && !probe.is_enabled() {
         Registry::new().probe()
@@ -424,6 +460,7 @@ fn observer_for(blame: bool, record: bool, probe: &Probe) -> now_core::ScenarioO
         probe,
         causal: blame.then(|| Arc::new(CausalLog::new())),
         sample_every: record.then(recorder_cadence),
+        profile,
         ..now_core::ScenarioObserver::disabled()
     }
 }
@@ -467,7 +504,7 @@ pub fn contention_observed_jobs(
     probe: &Probe,
     jobs: usize,
 ) -> ObservedReport {
-    contention_observed_scaled(smoke, blame, record, probe, jobs, 32, 1)
+    contention_observed_scaled(smoke, blame, record, false, probe, jobs, 32, 1)
 }
 
 /// [`contention_observed_jobs`] on a scaled cluster (see
@@ -478,10 +515,12 @@ pub fn contention_observed_jobs(
 /// # Panics
 ///
 /// Panics unless `nodes` is a positive multiple of 32.
+#[allow(clippy::too_many_arguments)] // the CLI's flag set, in flag order
 pub fn contention_observed_scaled(
     smoke: bool,
     blame: bool,
     record: bool,
+    profile: bool,
     probe: &Probe,
     jobs: usize,
     nodes: u32,
@@ -526,12 +565,14 @@ pub fn contention_observed_scaled(
                     partitions,
                     ..ScenarioSpec::contention_default()
                 },
-                observer_for(blame, record, probe),
+                observer_for(blame, record, profile, probe),
             )
         })
         .collect();
     let results = cluster.run_scenarios_observed(&runs, scenario_jobs(jobs, probe));
+    let mut merged_profile = None;
     for (&n, (out, obs)) in flows.iter().zip(results) {
+        merge_profile(&mut merged_profile, &obs.profile);
         t.row_owned(vec![
             format!("{n}"),
             format!(
@@ -552,10 +593,12 @@ pub fn contention_observed_scaled(
             series.push((format!("flows={n}"), obs.timeseries));
         }
     }
+    warn_causal_drops("contention", runs.iter().map(|(_, o)| o));
     ObservedReport {
         text: format!("{}{blame_text}", t.render()),
         series,
         windowed: Vec::new(),
+        profile: merged_profile,
     }
 }
 
@@ -664,7 +707,7 @@ pub fn availability_observed_jobs(
     probe: &Probe,
     jobs: usize,
 ) -> ObservedReport {
-    availability_observed_scaled(smoke, blame, record, probe, jobs, 1)
+    availability_observed_scaled(smoke, blame, record, false, probe, jobs, 1)
 }
 
 /// [`availability_observed_jobs`] with a `partitions` request threaded
@@ -676,6 +719,7 @@ pub fn availability_observed_scaled(
     smoke: bool,
     blame: bool,
     record: bool,
+    profile: bool,
     probe: &Probe,
     jobs: usize,
     partitions: u32,
@@ -750,12 +794,14 @@ pub fn availability_observed_scaled(
                     partitions,
                     ..spec.clone()
                 },
-                observer_for(blame, record, probe),
+                observer_for(blame, record, profile, probe),
             )
         })
         .collect();
     let results = cluster.run_scenarios_observed(&runs, scenario_jobs(jobs, probe));
+    let mut merged_profile = None;
     for ((name, _), (out, obs)) in named_specs.iter().zip(results) {
+        merge_profile(&mut merged_profile, &obs.profile);
         deg.row_owned(vec![
             name.to_string(),
             format!("{:.0}", out.mean_netram_fetch_us.unwrap_or(0.0)),
@@ -774,10 +820,12 @@ pub fn availability_observed_scaled(
             series.push((name.to_string(), obs.timeseries));
         }
     }
+    warn_causal_drops("availability", runs.iter().map(|(_, o)| o));
     ObservedReport {
         text: format!("{}\n{}{blame_text}", mc.render(), deg.render()),
         series,
         windowed: Vec::new(),
+        profile: merged_profile,
     }
 }
 
@@ -909,6 +957,7 @@ fn serve_expected_requests(spec: &now_core::ServeSpec) -> u64 {
 fn serve_observer_for(
     blame: bool,
     record: bool,
+    profile: bool,
     probe: &Probe,
     expected_requests: u64,
 ) -> now_core::ScenarioObserver {
@@ -924,6 +973,7 @@ fn serve_observer_for(
         sample_every: record.then(serve_cadence),
         trace_sample_every: (expected_requests / SERVE_SAMPLED_CHAINS).max(1),
         window_budget: record.then_some(SERVE_WINDOW_BUDGET),
+        profile,
     }
 }
 
@@ -951,7 +1001,7 @@ pub fn serve_report_jobs(
     probe: &Probe,
     jobs: usize,
 ) -> ObservedReport {
-    serve_report_scaled(smoke, blame, record, probe, jobs, 1)
+    serve_report_scaled(smoke, blame, record, false, probe, jobs, 1)
 }
 
 /// [`serve_report_jobs`] with a `partitions` request threaded onto every
@@ -963,6 +1013,7 @@ pub fn serve_report_scaled(
     smoke: bool,
     blame: bool,
     record: bool,
+    profile: bool,
     probe: &Probe,
     jobs: usize,
     partitions: u32,
@@ -992,14 +1043,19 @@ pub fn serve_report_scaled(
             let mut spec = serve_spec(p);
             spec.partitions = partitions;
             let expected = serve_expected_requests(&spec);
-            (spec, serve_observer_for(blame, record, probe, expected))
+            (
+                spec,
+                serve_observer_for(blame, record, profile, probe, expected),
+            )
         })
         .collect();
     let results = cluster.run_serves_observed(&runs, scenario_jobs(jobs, probe));
     let mut blame_text = String::new();
     let mut windowed = Vec::new();
+    let mut merged_profile = None;
     let mut p99s: Vec<f64> = Vec::new();
     for (&pop, (out, obs)) in populations.iter().zip(results) {
+        merge_profile(&mut merged_profile, &obs.profile);
         let pct = |x: u64| 100.0 * x as f64 / out.requests.max(1) as f64;
         let p99 = out.latency_ms(0.99).unwrap_or(0.0);
         p99s.push(p99);
@@ -1037,10 +1093,12 @@ pub fn serve_report_scaled(
         }
         None => String::from("Saturation: not reached within the sweep\n"),
     };
+    warn_causal_drops("serve", runs.iter().map(|(_, o)| o));
     ObservedReport {
         text: format!("{}{saturation}{blame_text}", t.render()),
         series: Vec::new(),
         windowed,
+        profile: merged_profile,
     }
 }
 
@@ -1095,7 +1153,12 @@ fn distribute_sweep(smoke: bool, max_nodes: u32) -> Vec<u32> {
 /// An observer for one distribution run. The whole run is a single
 /// causal trace (one root fans out to every fetcher), so blame sampling
 /// is all-or-nothing: `trace_sample_every` is pinned to 1.
-fn distribute_observer_for(blame: bool, record: bool, probe: &Probe) -> now_core::ScenarioObserver {
+fn distribute_observer_for(
+    blame: bool,
+    record: bool,
+    profile: bool,
+    probe: &Probe,
+) -> now_core::ScenarioObserver {
     use now_probe::Registry;
     let probe = if record && !probe.is_enabled() {
         Registry::new().probe()
@@ -1107,6 +1170,7 @@ fn distribute_observer_for(blame: bool, record: bool, probe: &Probe) -> now_core
         causal: blame.then(|| Arc::new(CausalLog::with_capacity(DISTRIBUTE_CAUSAL_CAPACITY))),
         sample_every: record.then(recorder_cadence),
         trace_sample_every: 1,
+        profile,
         ..now_core::ScenarioObserver::disabled()
     }
 }
@@ -1138,10 +1202,12 @@ type DistributePoint = (
     (now_core::DistributeOutcome, now_core::ScenarioObservations),
 );
 
+#[allow(clippy::too_many_arguments)] // the CLI's flag set, in flag order
 fn distribute_points(
     smoke: bool,
     blame: bool,
     record: bool,
+    profile: bool,
     probe: &Probe,
     jobs: usize,
     nodes: u32,
@@ -1162,7 +1228,7 @@ fn distribute_points(
             [FetchStrategy::Registry, FetchStrategy::Cooperative].map(|s| {
                 (
                     distribute_spec(smoke, s, f, partitions),
-                    distribute_observer_for(blame, record, probe),
+                    distribute_observer_for(blame, record, profile, probe),
                 )
             })
         })
@@ -1170,14 +1236,16 @@ fn distribute_points(
     let mut results = cluster
         .run_distributes_observed(&runs, scenario_jobs(jobs, probe))
         .into_iter();
-    sweep
+    let points = sweep
         .iter()
         .map(|&f| {
             let registry = results.next().expect("one registry run per point");
             let cooperative = results.next().expect("one cooperative run per point");
             (f, registry, cooperative)
         })
-        .collect()
+        .collect();
+    warn_causal_drops("distribute", runs.iter().map(|(_, o)| o));
+    points
 }
 
 /// The image-distribution report: cold-starting the cluster from a
@@ -1205,7 +1273,7 @@ pub fn distribute_report_jobs(
     probe: &Probe,
     jobs: usize,
 ) -> ObservedReport {
-    distribute_report_scaled(smoke, blame, record, probe, jobs, 32, 1)
+    distribute_report_scaled(smoke, blame, record, false, probe, jobs, 32, 1)
 }
 
 /// [`distribute_report_jobs`] with the sweep extended to `nodes`
@@ -1219,10 +1287,12 @@ pub fn distribute_report_jobs(
 ///
 /// Panics unless `nodes` is a positive multiple of 32 (the CLI
 /// contract shared by every scaled report).
+#[allow(clippy::too_many_arguments)] // the CLI's flag set, in flag order
 pub fn distribute_report_scaled(
     smoke: bool,
     blame: bool,
     record: bool,
+    profile: bool,
     probe: &Probe,
     jobs: usize,
     nodes: u32,
@@ -1233,7 +1303,9 @@ pub fn distribute_report_scaled(
         "the distribution sweep scales like the other reports; {nodes} nodes \
          is not a positive multiple of 32"
     );
-    let points = distribute_points(smoke, blame, record, probe, jobs, nodes, partitions);
+    let points = distribute_points(
+        smoke, blame, record, profile, probe, jobs, nodes, partitions,
+    );
     let mut t = TextTable::new(&[
         "Nodes",
         "Dedup",
@@ -1249,9 +1321,12 @@ pub fn distribute_report_scaled(
     ));
     let mut blame_text = String::new();
     let mut series = Vec::new();
+    let mut merged_profile = None;
     let mut crossover: Option<u32> = None;
     let last = points.last().map(|(f, _, _)| *f);
     for (f, (reg, reg_obs), (coop, coop_obs)) in &points {
+        merge_profile(&mut merged_profile, &reg_obs.profile);
+        merge_profile(&mut merged_profile, &coop_obs.profile);
         assert_eq!(
             reg.content_digest, coop.content_digest,
             "strategies must deliver byte-identical images at {f} nodes"
@@ -1298,6 +1373,7 @@ pub fn distribute_report_scaled(
         text: format!("{}{crossover_line}{blame_text}", t.render()),
         series,
         windowed: Vec::new(),
+        profile: merged_profile,
     }
 }
 
@@ -1317,7 +1393,7 @@ pub struct DistributeSummary {
 /// Runs the (smoke or full) sweep unobserved and extracts the headline
 /// numbers the bench JSON records.
 pub fn distribute_summary(smoke: bool) -> DistributeSummary {
-    let points = distribute_points(smoke, false, false, &Probe::disabled(), 1, 32, 1);
+    let points = distribute_points(smoke, false, false, false, &Probe::disabled(), 1, 32, 1);
     let crossover = points
         .iter()
         .find(|(_, (reg, _), (coop, _))| coop.makespan_ms() < reg.makespan_ms())
@@ -1464,7 +1540,7 @@ mod tests {
     fn distribute_crossover_emerges_within_the_smoke_sweep() {
         // The subsystem's headline claim: registry-only wins (or ties)
         // while its NICs are idle, cooperative wins once they saturate.
-        let points = distribute_points(true, false, false, &Probe::disabled(), 1, 32, 1);
+        let points = distribute_points(true, false, false, false, &Probe::disabled(), 1, 32, 1);
         let (first, (first_reg, _), (first_coop, _)) = points.first().expect("sweep");
         assert!(
             first_reg.makespan_ms() <= first_coop.makespan_ms(),

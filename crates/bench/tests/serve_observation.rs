@@ -47,6 +47,7 @@ fn observer(expected_requests: u64) -> ScenarioObserver {
         sample_every: Some(SimDuration::from_millis(5)),
         trace_sample_every: (expected_requests / 64).max(1),
         window_budget: Some(64),
+        profile: false,
     }
 }
 
@@ -140,6 +141,7 @@ fn causal_sampling_keeps_the_log_small_and_the_history_fixed() {
         sample_every: None,
         trace_sample_every: 1,
         window_budget: None,
+        profile: false,
     };
     let sparse_log = Arc::new(CausalLog::new());
     let sparse_obs = ScenarioObserver {
@@ -148,6 +150,7 @@ fn causal_sampling_keeps_the_log_small_and_the_history_fixed() {
         sample_every: None,
         trace_sample_every: (expected / 64).max(1),
         window_budget: None,
+        profile: false,
     };
     let (dense, _) = cluster().run_serve_observed(&base, &dense_obs);
     let (sparse, _) = cluster().run_serve_observed(&base, &sparse_obs);

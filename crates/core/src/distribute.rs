@@ -191,6 +191,8 @@ impl NowCluster {
         spec: &DistributeSpec,
         observer: &ScenarioObserver,
     ) -> (DistributeOutcome, ScenarioObservations) {
+        // A new run is a new utilization epoch (see the coupled scenario).
+        observer.probe.util_epoch();
         let probe = &observer.probe;
         let n = self.nodes();
         let needed = spec.fetchers + spec.registry_nics;
@@ -257,7 +259,11 @@ impl NowCluster {
             );
         }
 
+        if observer.profile {
+            engine.enable_profiler(&DISTRIBUTE_COMPONENT_NAMES);
+        }
         engine.run();
+        let profile = engine.take_profile();
 
         let (timeseries, windowed, recorder_bytes) = match recorder_id {
             Some(id) => {
@@ -322,6 +328,7 @@ impl NowCluster {
                 blame,
                 timeseries,
                 windowed,
+                profile,
             },
         )
     }
@@ -382,6 +389,7 @@ mod tests {
             sample_every: Some(SimDuration::from_millis(1)),
             trace_sample_every: 1,
             window_budget: Some(16),
+            profile: false,
         }
     }
 

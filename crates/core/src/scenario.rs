@@ -31,7 +31,7 @@ use now_probe::recorder::{TimeSeries, WindowedSeries};
 use now_probe::{Gauge, Probe};
 use now_sim::parallel::run_indexed;
 use now_sim::{
-    Component, ComponentId, CostMode, CostModel, Ctx, Engine, EventCast, Lookahead,
+    Component, ComponentId, CostMode, CostModel, Ctx, Engine, EventCast, HostProfile, Lookahead,
     PartitionedEngine, SimDuration, SimTime, TransferCost, Transport,
 };
 use now_trace::fs::{FsTrace, FsTraceConfig};
@@ -682,6 +682,13 @@ pub struct ScenarioObserver {
     /// of at most this many windows (min 2) instead of retaining every
     /// sample, and [`ScenarioObservations::windowed`] carries the result.
     pub window_budget: Option<usize>,
+    /// When set, the engine attributes host (wall-clock) time to each
+    /// component and [`ScenarioObservations::profile`] carries the
+    /// [`HostProfile`]. Serial runs only: multi-cell runs interleave
+    /// partitions on threads, where per-component wall time has no single
+    /// meaning, so they skip profiling. The simulated history is
+    /// byte-identical either way.
+    pub profile: bool,
 }
 
 impl ScenarioObserver {
@@ -705,6 +712,9 @@ pub struct ScenarioObservations {
     /// The flight recorder's downsampled samples. Empty unless both a
     /// cadence and a window budget were set.
     pub windowed: WindowedSeries,
+    /// Host-time attribution. Present only when the observer asked for
+    /// profiling and the run was serial (`cells == 1`).
+    pub profile: Option<HostProfile>,
 }
 
 /// Component names by registration order, for blame-table rendering.
@@ -805,6 +815,9 @@ impl NowCluster {
         spec: &ScenarioSpec,
         observer: &ScenarioObserver,
     ) -> (ScenarioOutcome, ScenarioObservations) {
+        // A new run is a new utilization epoch: resource ledgers shared
+        // across a sweep close the previous run's wall and start idle.
+        observer.probe.util_epoch();
         if spec.cells > 1 {
             return self.run_scenario_cells(spec, observer);
         }
@@ -999,7 +1012,11 @@ impl NowCluster {
             );
         }
 
+        if observer.profile {
+            engine.enable_profiler(&SCENARIO_COMPONENT_NAMES);
+        }
         engine.run();
+        let profile = engine.take_profile();
 
         let (timeseries, windowed) = match recorder_id {
             Some(id) => {
@@ -1048,6 +1065,7 @@ impl NowCluster {
                 blame,
                 timeseries,
                 windowed,
+                profile,
             },
         )
     }
@@ -1353,6 +1371,7 @@ impl NowCluster {
                 blame,
                 timeseries,
                 windowed,
+                profile: None,
             },
         )
     }
@@ -1654,6 +1673,7 @@ mod tests {
                 sample_every: Some(SimDuration::from_millis(100)),
                 trace_sample_every: 1,
                 window_budget: None,
+                profile: false,
             };
             let (out, obs) = cluster().run_scenario_observed(
                 &ScenarioSpec {

@@ -161,6 +161,8 @@ impl NowCluster {
         spec: &ServeSpec,
         observer: &ScenarioObserver,
     ) -> (ServeOutcome, ScenarioObservations) {
+        // A new run is a new utilization epoch (see the coupled scenario).
+        observer.probe.util_epoch();
         let probe = &observer.probe;
         let n = self.nodes();
         let front_ends = spec.front_ends;
@@ -210,7 +212,11 @@ impl NowCluster {
             );
         }
 
+        if observer.profile {
+            engine.enable_profiler(&SERVE_COMPONENT_NAMES);
+        }
         engine.run();
+        let profile = engine.take_profile();
 
         let (timeseries, windowed, recorder_bytes) = match recorder_id {
             Some(id) => {
@@ -259,6 +265,7 @@ impl NowCluster {
                 blame,
                 timeseries,
                 windowed,
+                profile,
             },
         )
     }
@@ -327,6 +334,7 @@ mod tests {
             sample_every: Some(SimDuration::from_millis(1)),
             trace_sample_every: 32,
             window_budget: Some(16),
+            profile: true,
         }
     }
 
@@ -367,6 +375,14 @@ mod tests {
             "observation must stay small: {} bytes",
             out.observation_bytes
         );
+        let profile = obs.profile.expect("the observer asked for profiling");
+        assert!(profile.events > 0);
+        let serve = profile
+            .components
+            .iter()
+            .find(|c| c.label == "serve")
+            .expect("the serve component dispatched events");
+        assert!(serve.events > 0);
     }
 
     #[test]
@@ -390,6 +406,7 @@ mod tests {
                 sample_every: None,
                 trace_sample_every: every,
                 window_budget: None,
+                profile: false,
             };
             let (out, _) = cluster().run_serve_observed(&spec(30_000), &obs);
             (out, log.len())

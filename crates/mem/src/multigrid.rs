@@ -305,6 +305,9 @@ impl<M: EventCast<PageEvent> + 'static> Component<M> for MultigridComponent {
             return;
         }
         let page = PageId(self.idx % self.pages);
+        // Faults serviced by this access start now; the pager uses the
+        // clock to fill the backing-device utilization ledgers.
+        self.pager.set_clock(ctx.now());
         let mut fabric = (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO);
         let (fetched, fetches, stall) = match ctx.cost_mode() {
             CostMode::Fixed => {

@@ -16,7 +16,7 @@
 //!   charged), as in real pagers with free-frame reserves.
 
 use now_probe::Probe;
-use now_sim::SimDuration;
+use now_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::lru::Touch;
@@ -134,6 +134,9 @@ pub struct Pager {
     last_access: Option<PageId>,
     stats: PagerStats,
     probe: Probe,
+    /// Simulated now, if a driving component supplies it; lets fault
+    /// service time land in per-device utilization ledgers.
+    clock: Option<SimTime>,
 }
 
 impl Pager {
@@ -164,6 +167,7 @@ impl Pager {
             last_access: None,
             stats: PagerStats::default(),
             probe: Probe::disabled(),
+            clock: None,
         }
     }
 
@@ -182,6 +186,15 @@ impl Pager {
             pool.set_probe(probe.clone());
         }
         self.probe = probe;
+    }
+
+    /// Tells the pager the current simulated time. A component driving
+    /// the pager from an engine calls this before each access so that
+    /// fault service intervals feed the `mem.disk.swap` /
+    /// `mem.netram.pool` utilization ledgers; standalone use (no clock)
+    /// skips ledger recording but prices faults identically.
+    pub fn set_clock(&mut self, now: SimTime) {
+        self.clock = Some(now);
     }
 
     /// An idle host donating memory departed (its user returned): the
@@ -301,6 +314,18 @@ impl Pager {
             };
             self.probe.count(counter, 1);
             self.probe.record(histogram, service);
+            // With a clock the service time also lands in the backing
+            // device's utilization ledger.
+            if let Some(now) = self.clock {
+                let device = match kind {
+                    FaultKind::DiskFault => Some("mem.disk.swap"),
+                    FaultKind::NetRamFault => Some("mem.netram.pool"),
+                    _ => None,
+                };
+                if let Some(device) = device {
+                    self.probe.busy(device, now, now + service);
+                }
+            }
         }
         let stall = match kind {
             FaultKind::SoftFault => service,
@@ -642,6 +667,53 @@ mod tests {
         }
         p.handle_host_eviction(0);
         assert_eq!(p.stats().host_evicted_pages, 0);
+    }
+
+    #[test]
+    fn clocked_faults_feed_device_utilization_ledgers() {
+        let registry = now_probe::Registry::new();
+        let mut p = netram_pager(2, 4);
+        p.set_probe(registry.probe());
+        // Advance a fake clock by each stall so intervals stay ordered;
+        // pages 0..12 overflow both frames and the 4-page pool, so both
+        // disk and network-RAM faults occur on the rescan.
+        let mut now = SimTime::ZERO;
+        for i in 0..12 {
+            p.set_clock(now);
+            let (_, stall) = p.access(PageId(i), true, SimDuration::ZERO);
+            now += stall + SimDuration::from_micros(10);
+        }
+        for i in 0..12 {
+            p.set_clock(now);
+            let (_, stall) = p.access(PageId(i), false, SimDuration::ZERO);
+            now += stall + SimDuration::from_micros(10);
+        }
+        let s = p.stats();
+        assert!(s.disk_faults > 0 && s.netram_faults > 0, "{s:?}");
+        let snap = registry.snapshot();
+        for name in ["mem.disk.swap", "mem.netram.pool"] {
+            let util = snap.util(name).unwrap_or_else(|| panic!("{name} ledger"));
+            assert!(util.busy_ns > 0, "{name} saw no busy time");
+            assert_eq!(util.busy_ns + util.idle_ns(), util.wall_ns, "{name}");
+            assert_eq!(util.clipped_ns, 0, "{name} intervals are ordered");
+        }
+    }
+
+    #[test]
+    fn unclocked_pager_prices_faults_identically_without_ledgers() {
+        let registry = now_probe::Registry::new();
+        let mut clocked = netram_pager(2, 4);
+        let mut plain = netram_pager(2, 4);
+        clocked.set_probe(registry.probe());
+        let mut now = SimTime::ZERO;
+        for i in [0, 1, 2, 3, 0, 2, 1, 3, 4, 0] {
+            clocked.set_clock(now);
+            let (k1, s1) = clocked.access(PageId(i), true, SimDuration::ZERO);
+            let (k2, s2) = plain.access(PageId(i), true, SimDuration::ZERO);
+            assert_eq!((k1, s1), (k2, s2), "page {i}");
+            now += s1 + SimDuration::from_micros(5);
+        }
+        assert_eq!(clocked.stats(), plain.stats());
     }
 
     #[test]

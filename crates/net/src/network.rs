@@ -206,6 +206,28 @@ impl Network {
             // recorder as a fabric-occupancy signal.
             self.probe
                 .gauge_set("net.queue_wait_us", queue_wait.as_micros_f64());
+            // Utilization ledgers: the sender's NIC is busy running the
+            // software stack, its link direction while clocking bytes
+            // out, and the receiver's link direction for the same
+            // serialization window ending at delivery.
+            self.probe
+                .busy(&format!("net.nic.{}", src.0), now, wire_request);
+            self.probe.busy(
+                &format!("net.link.tx.{}", src.0),
+                timing.tx_start,
+                timing.tx_done,
+            );
+            let rx_window = timing.tx_done.saturating_since(timing.tx_start);
+            self.probe.busy(
+                &format!("net.link.rx.{}", dst.0),
+                SimTime::from_nanos(
+                    timing
+                        .rx_done
+                        .as_nanos()
+                        .saturating_sub(rx_window.as_nanos()),
+                ),
+                timing.rx_done,
+            );
         }
         TransferOutcome {
             send_cpu,
@@ -429,6 +451,31 @@ mod tests {
             "receive overhead after wire"
         );
         assert_eq!(out.delivered_at - out.wire_done_at, out.recv_cpu);
+    }
+
+    #[test]
+    fn transfers_feed_utilization_ledgers_that_telescope() {
+        use now_probe::Registry;
+        let r = Registry::new();
+        let mut net = presets::am_atm(4);
+        net.set_probe(r.probe());
+        let mut t = SimTime::ZERO;
+        for _ in 0..4 {
+            let out = net.transfer(NodeId(0), NodeId(1), 8_192, t);
+            t = out.sender_free_at;
+        }
+        let s = r.snapshot();
+        for resource in ["net.nic.0", "net.link.tx.0", "net.link.rx.1"] {
+            let u = s
+                .util(resource)
+                .unwrap_or_else(|| panic!("{resource} ledger missing"));
+            assert!(u.busy_ns > 0, "{resource} recorded busy time");
+            assert_eq!(u.busy_ns + u.idle_ns(), u.wall_ns, "{resource} telescopes");
+            assert_eq!(u.intervals, 4);
+        }
+        // Node 1 only received: no send-side ledgers for it.
+        assert!(s.util("net.nic.1").is_none());
+        assert!(s.util("net.link.tx.1").is_none());
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! Structural run-diff over metric snapshots: parse two JSON exports,
+//! flatten them to `path -> leaf` maps, and flag relative deltas beyond a
+//! threshold.
+//!
+//! This is the regression-detection layer of the observatory: the
+//! `--metrics=json` export (and any other JSON snapshot — blame tables,
+//! bench harnesses, utilization digests) is byte-stable and name-ordered,
+//! so two runs of one scenario are directly comparable. `repro diff`
+//! wraps [`diff`] into a CI gate: baseline in, current in, nonzero exit
+//! when anything moved more than the threshold.
+//!
+//! The JSON parser is deliberately minimal — the workspace vendors no
+//! serde — but complete for the JSON the exporters emit (objects, arrays,
+//! numbers, strings with escapes, booleans, null).
+
+use now_sim::report::TextTable;
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; parsed as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parses one JSON document. Trailing content after the value is an
+/// error.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{literal}` at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    let start = *pos;
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(format!("unterminated string at byte {start}")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escape = bytes
+                    .get(*pos)
+                    .ok_or_else(|| format!("unterminated escape at byte {pos}"))?;
+                *pos += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "non-ascii \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", *other as char)),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {pos}"))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}"));
+        }
+        *pos += 1;
+        members.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+/// A flattened JSON leaf.
+#[derive(Debug, Clone, PartialEq)]
+enum Leaf {
+    Num(f64),
+    Text(String),
+}
+
+/// Flattens a JSON tree into dotted `path -> leaf` pairs; array elements
+/// become `path[i]`.
+fn flatten(value: &Json, path: &str, out: &mut BTreeMap<String, Leaf>) {
+    match value {
+        Json::Obj(members) => {
+            for (key, v) in members {
+                let sub = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                flatten(v, &sub, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(v, &format!("{path}[{i}]"), out);
+            }
+        }
+        Json::Num(n) => {
+            out.insert(path.to_string(), Leaf::Num(*n));
+        }
+        Json::Str(s) => {
+            out.insert(path.to_string(), Leaf::Text(s.clone()));
+        }
+        Json::Bool(b) => {
+            out.insert(path.to_string(), Leaf::Text(b.to_string()));
+        }
+        Json::Null => {
+            out.insert(path.to_string(), Leaf::Text("null".to_string()));
+        }
+    }
+}
+
+/// One numeric leaf whose relative delta exceeded the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Flattened key (`counters.net.transfers`, `gauges.p99_ms`, ...).
+    pub key: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub current: f64,
+    /// `(current - base) / |base|`; infinite when the baseline is zero.
+    pub rel: f64,
+}
+
+/// The outcome of comparing two snapshots with [`diff`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Threshold the comparison ran with.
+    pub threshold: f64,
+    /// Numeric leaves compared (present in both snapshots).
+    pub compared: usize,
+    /// Numeric leaves whose relative delta exceeded the threshold.
+    pub exceeded: Vec<DiffRow>,
+    /// Non-numeric leaves whose values differ: `(key, base, current)`.
+    pub changed_text: Vec<(String, String, String)>,
+    /// Keys only in the current snapshot.
+    pub added: Vec<String>,
+    /// Keys only in the baseline.
+    pub removed: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether anything moved beyond the threshold (numeric or textual).
+    pub fn has_regressions(&self) -> bool {
+        !self.exceeded.is_empty() || !self.changed_text.is_empty()
+    }
+
+    /// Renders the report as text: a delta table when something exceeded
+    /// the threshold, then added/removed key listings.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.exceeded.is_empty() && self.changed_text.is_empty() {
+            out.push_str(&format!(
+                "diff: {} numeric leaves compared, all within {:.1}% of baseline\n",
+                self.compared,
+                self.threshold * 100.0
+            ));
+        } else {
+            let mut t = TextTable::new(&["key", "baseline", "current", "delta_%"]);
+            t.title(&format!(
+                "Snapshot deltas beyond {:.1}% ({} of {} numeric leaves)",
+                self.threshold * 100.0,
+                self.exceeded.len(),
+                self.compared
+            ));
+            for row in &self.exceeded {
+                t.row_owned(vec![
+                    row.key.clone(),
+                    fmt_value(row.base),
+                    fmt_value(row.current),
+                    if row.rel.is_finite() {
+                        format!("{:+.1}", row.rel * 100.0)
+                    } else {
+                        "new-nonzero".to_string()
+                    },
+                ]);
+            }
+            out.push_str(&t.render());
+            for (key, base, current) in &self.changed_text {
+                out.push_str(&format!("changed: {key}: {base:?} -> {current:?}\n"));
+            }
+        }
+        for key in &self.added {
+            out.push_str(&format!("added:   {key}\n"));
+        }
+        for key in &self.removed {
+            out.push_str(&format!("removed: {key}\n"));
+        }
+        out
+    }
+}
+
+/// Structurally compares two JSON snapshots.
+///
+/// Numeric leaves present in both are compared by relative delta
+/// `(current - base) / |base|` and reported when the magnitude exceeds
+/// `threshold` (a zero baseline with a nonzero current always exceeds).
+/// Non-numeric leaves are compared for equality. Keys containing any of
+/// the `ignore` substrings are skipped entirely — wall-clock fields and
+/// host-dependent noise opt out this way.
+pub fn diff(
+    baseline: &str,
+    current: &str,
+    threshold: f64,
+    ignore: &[String],
+) -> Result<DiffReport, String> {
+    let base_tree = parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur_tree = parse(current).map_err(|e| format!("current: {e}"))?;
+    let mut base = BTreeMap::new();
+    let mut cur = BTreeMap::new();
+    flatten(&base_tree, "", &mut base);
+    flatten(&cur_tree, "", &mut cur);
+    let skip = |key: &str| ignore.iter().any(|s| key.contains(s.as_str()));
+    let mut report = DiffReport {
+        threshold,
+        ..DiffReport::default()
+    };
+    for (key, base_leaf) in &base {
+        if skip(key) {
+            continue;
+        }
+        match cur.get(key) {
+            None => report.removed.push(key.clone()),
+            Some(cur_leaf) => match (base_leaf, cur_leaf) {
+                (Leaf::Num(b), Leaf::Num(c)) => {
+                    report.compared += 1;
+                    let rel = if *b == 0.0 {
+                        if *c == 0.0 {
+                            0.0
+                        } else {
+                            f64::INFINITY * c.signum()
+                        }
+                    } else {
+                        (c - b) / b.abs()
+                    };
+                    if rel.abs() > threshold {
+                        report.exceeded.push(DiffRow {
+                            key: key.clone(),
+                            base: *b,
+                            current: *c,
+                            rel,
+                        });
+                    }
+                }
+                (Leaf::Text(b), Leaf::Text(c)) if b == c => {}
+                (b, c) => report
+                    .changed_text
+                    .push((key.clone(), leaf_text(b), leaf_text(c))),
+            },
+        }
+    }
+    for key in cur.keys() {
+        if !skip(key) && !base.contains_key(key) {
+            report.added.push(key.clone());
+        }
+    }
+    Ok(report)
+}
+
+fn leaf_text(leaf: &Leaf) -> String {
+    match leaf {
+        Leaf::Num(n) => fmt_value(*n),
+        Leaf::Text(s) => s.clone(),
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_exporter_shapes() {
+        let doc = r#"{
+  "counters": {"net.transfers": 120, "pager.hits": 0},
+  "gauges": {"p99_ms": 1.25, "neg": -3e2},
+  "histograms": {"svc": {"count": 2, "p50": null}},
+  "list": [1, 2, 3],
+  "flag": true,
+  "name": "now \"scope\"\n"
+}"#;
+        let v = parse(doc).unwrap();
+        let mut flat = BTreeMap::new();
+        flatten(&v, "", &mut flat);
+        assert_eq!(flat.get("counters.net.transfers"), Some(&Leaf::Num(120.0)));
+        assert_eq!(flat.get("gauges.neg"), Some(&Leaf::Num(-300.0)));
+        assert_eq!(flat.get("list[2]"), Some(&Leaf::Num(3.0)));
+        assert_eq!(
+            flat.get("histograms.svc.p50"),
+            Some(&Leaf::Text("null".to_string()))
+        );
+        assert_eq!(flat.get("flag"), Some(&Leaf::Text("true".to_string())));
+        assert_eq!(
+            flat.get("name"),
+            Some(&Leaf::Text("now \"scope\"\n".to_string()))
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{\"a\": 1} trailing").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn identical_snapshots_have_no_regressions() {
+        let doc = r#"{"counters": {"a": 10, "b": 0}}"#;
+        let report = diff(doc, doc, 0.15, &[]).unwrap();
+        assert!(!report.has_regressions());
+        assert_eq!(report.compared, 2);
+        assert!(report.render_text().contains("all within 15.0%"));
+    }
+
+    #[test]
+    fn deltas_beyond_threshold_are_flagged() {
+        let base = r#"{"counters": {"makespan_ns": 1000, "steady": 50}}"#;
+        let cur = r#"{"counters": {"makespan_ns": 1200, "steady": 52}}"#;
+        let report = diff(base, cur, 0.15, &[]).unwrap();
+        assert!(report.has_regressions());
+        assert_eq!(report.exceeded.len(), 1);
+        let row = &report.exceeded[0];
+        assert_eq!(row.key, "counters.makespan_ns");
+        assert!((row.rel - 0.2).abs() < 1e-12);
+        assert!(report.render_text().contains("+20.0"));
+        // A tighter threshold flags both; a looser one flags neither.
+        assert_eq!(diff(base, cur, 0.01, &[]).unwrap().exceeded.len(), 2);
+        assert!(!diff(base, cur, 0.25, &[]).unwrap().has_regressions());
+    }
+
+    #[test]
+    fn zero_baseline_with_nonzero_current_always_flags() {
+        let base = r#"{"drops": 0}"#;
+        let cur = r#"{"drops": 3}"#;
+        let report = diff(base, cur, 0.5, &[]).unwrap();
+        assert_eq!(report.exceeded.len(), 1);
+        assert!(report.exceeded[0].rel.is_infinite());
+        assert!(report.render_text().contains("new-nonzero"));
+    }
+
+    #[test]
+    fn added_removed_and_text_changes_are_reported() {
+        let base = r#"{"a": 1, "gone": 2, "mode": "shared-bus"}"#;
+        let cur = r#"{"a": 1, "fresh": 3, "mode": "switched"}"#;
+        let report = diff(base, cur, 0.15, &[]).unwrap();
+        assert_eq!(report.removed, vec!["gone".to_string()]);
+        assert_eq!(report.added, vec!["fresh".to_string()]);
+        assert_eq!(report.changed_text.len(), 1);
+        assert!(report.has_regressions());
+        let text = report.render_text();
+        assert!(text.contains("added:   fresh"));
+        assert!(text.contains("removed: gone"));
+        assert!(text.contains("mode"));
+    }
+
+    #[test]
+    fn ignore_substrings_exclude_keys() {
+        let base = r#"{"wall_ms": 100, "sim_ns": 500}"#;
+        let cur = r#"{"wall_ms": 900, "sim_ns": 500, "wall_extra": 1}"#;
+        let report = diff(base, cur, 0.15, &["wall".to_string()]).unwrap();
+        assert!(!report.has_regressions());
+        assert!(report.added.is_empty());
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn type_changes_count_as_text_changes() {
+        let base = r#"{"v": 1}"#;
+        let cur = r#"{"v": "one"}"#;
+        let report = diff(base, cur, 0.15, &[]).unwrap();
+        assert_eq!(report.changed_text.len(), 1);
+        assert!(report.has_regressions());
+    }
+}

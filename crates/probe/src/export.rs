@@ -157,6 +157,12 @@ impl Snapshot {
             }
             out.push_str(&t.render());
         }
+        if !self.utils.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&crate::util::render_util_table(&self.utils));
+        }
         if self.trace_events > 0 || self.trace_dropped > 0 {
             out.push_str(&format!(
                 "\ntrace: {} events buffered, {} dropped\n",
@@ -227,6 +233,26 @@ impl Snapshot {
                 opt_json(s.p99),
                 opt_json(s.min),
                 opt_json(s.max),
+            ));
+        }
+        out.push_str("\n  },\n  \"utils\": {");
+        for (i, (name, u)) in self.utils.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let windows: Vec<String> = u.windows.iter().map(|w| w.to_string()).collect();
+            out.push_str(&format!(
+                "\n    {}: {{\"busy_ns\": {}, \"idle_ns\": {}, \"wall_ns\": {}, \
+                 \"intervals\": {}, \"clipped_ns\": {}, \"window_ns\": {}, \
+                 \"windows\": [{}]}}",
+                json_string(name),
+                u.busy_ns,
+                u.idle_ns(),
+                u.wall_ns,
+                u.intervals,
+                u.clipped_ns,
+                u.window_ns,
+                windows.join(", "),
             ));
         }
         out.push_str(&format!(
@@ -309,6 +335,12 @@ mod tests {
             SimTime::from_micros(7),
             &[("job", 2.0)],
         );
+        p.busy("net.nic.1", SimTime::ZERO, SimTime::from_micros(40));
+        p.busy(
+            "net.nic.1",
+            SimTime::from_micros(60),
+            SimTime::from_micros(100),
+        );
         r
     }
 
@@ -373,6 +405,74 @@ mod tests {
         let r = sample_registry();
         let events = r.trace().sorted_events();
         assert_eq!(r.chrome_trace_from(&events), r.chrome_trace());
+    }
+
+    #[test]
+    fn util_ledgers_render_in_text_and_json() {
+        let r = sample_registry();
+        let text = r.render_text();
+        assert!(text.contains("Resource utilization"));
+        assert!(text.contains("net.nic.1"));
+        let json = r.render_json();
+        assert!(json.contains("\"utils\""));
+        assert!(json.contains(
+            "\"net.nic.1\": {\"busy_ns\": 80000, \"idle_ns\": 20000, \"wall_ns\": 100000"
+        ));
+    }
+
+    #[test]
+    fn json_export_is_byte_stable() {
+        // Two registries driven identically render byte-identical JSON —
+        // and insertion order must not matter, only name order.
+        let a = sample_registry();
+        let b = Registry::new();
+        let p = b.probe().for_node(1);
+        p.busy(
+            "net.nic.1",
+            SimTime::from_micros(60),
+            SimTime::from_micros(100),
+        );
+        p.record("pager.fault.ns", SimDuration::from_micros(650));
+        p.gauge_set("netram.fault_service.disk_us", 14_800.0);
+        p.count("cache.local_hits", 10);
+        p.span("mem", "sweep", SimTime::ZERO)
+            .arg("mb", 64.0)
+            .end(SimTime::from_micros(100));
+        p.instant(
+            "glunix",
+            "migration",
+            SimTime::from_micros(7),
+            &[("job", 2.0)],
+        );
+        p.util("net.nic.1");
+        let a_json = a.render_json();
+        // Repeated renders of one registry are identical.
+        assert_eq!(a_json, a.render_json());
+        // The reordered registry differs only in the one missing util
+        // interval; record it and the exports converge byte-for-byte.
+        p.busy("net.nic.1", SimTime::ZERO, SimTime::from_micros(40));
+        assert_ne!(a_json, b.render_json(), "interval order changes busy");
+        let c = Registry::new();
+        let q = c.probe().for_node(1);
+        q.count("cache.local_hits", 10);
+        q.gauge_set("netram.fault_service.disk_us", 14_800.0);
+        q.record("pager.fault.ns", SimDuration::from_micros(650));
+        q.span("mem", "sweep", SimTime::ZERO)
+            .arg("mb", 64.0)
+            .end(SimTime::from_micros(100));
+        q.instant(
+            "glunix",
+            "migration",
+            SimTime::from_micros(7),
+            &[("job", 2.0)],
+        );
+        q.busy("net.nic.1", SimTime::ZERO, SimTime::from_micros(40));
+        q.busy(
+            "net.nic.1",
+            SimTime::from_micros(60),
+            SimTime::from_micros(100),
+        );
+        assert_eq!(a_json, c.render_json());
     }
 
     #[test]

@@ -50,9 +50,12 @@ mod sketch;
 mod trace;
 
 pub mod causal;
+pub mod diff;
 pub mod recorder;
+pub mod util;
 
 pub use histogram::{bucket_bounds, bucket_index, HistogramSummary, BUCKETS};
-pub use registry::{Counter, Gauge, Histogram, Probe, Registry, Snapshot, Span};
+pub use registry::{Counter, Gauge, Histogram, Probe, Registry, Snapshot, Span, Util};
 pub use sketch::{QuantileSketch, DEFAULT_SKETCH_ALPHA};
 pub use trace::{TraceEvent, TraceRing};
+pub use util::UtilSnapshot;

@@ -2,6 +2,7 @@
 
 use crate::histogram::{HistogramCore, HistogramSummary};
 use crate::trace::{TraceEvent, TraceRing};
+use crate::util::{UtilCore, UtilSnapshot};
 use now_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,6 +18,11 @@ pub(crate) struct RegistryInner {
     /// Gauges store `f64::to_bits`.
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    /// Busy/idle utilization ledgers, one per priced resource.
+    utils: Mutex<BTreeMap<String, Arc<UtilCore>>>,
+    /// Bumped once per observed run (see [`Probe::util_epoch`]); ledgers
+    /// use it to tell sweep points apart when simulated time restarts.
+    util_epoch: Arc<AtomicU64>,
     trace: TraceRing,
     /// Latest simulated time any trace operation has seen (nanoseconds).
     /// A span dropped without [`Span::end`] closes at this time, since the
@@ -62,6 +68,8 @@ impl Registry {
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
+                utils: Mutex::new(BTreeMap::new()),
+                util_epoch: Arc::new(AtomicU64::new(1)),
                 trace: TraceRing::new(capacity),
                 last_seen: AtomicU64::new(0),
             }),
@@ -109,10 +117,19 @@ impl Registry {
             .iter()
             .map(|(name, h)| (name.clone(), h.summary()))
             .collect();
+        let utils = self
+            .inner
+            .utils
+            .lock()
+            .expect("utils poisoned")
+            .iter()
+            .map(|(name, u)| (name.clone(), u.snapshot()))
+            .collect();
         Snapshot {
             counters,
             gauges,
             histograms,
+            utils,
             trace_events: self.inner.trace.len(),
             trace_dropped: self.inner.trace.dropped(),
         }
@@ -128,6 +145,8 @@ pub struct Snapshot {
     pub gauges: Vec<(String, f64)>,
     /// `(name, summary)` for every histogram.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// `(name, snapshot)` for every utilization ledger.
+    pub utils: Vec<(String, UtilSnapshot)>,
     /// Events currently buffered in the trace ring.
     pub trace_events: usize,
     /// Events dropped because the ring filled.
@@ -154,6 +173,11 @@ impl Snapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, s)| s)
+    }
+
+    /// The utilization ledger for resource `name`, if it exists.
+    pub fn util(&self, name: &str) -> Option<&UtilSnapshot> {
+        self.utils.iter().find(|(n, _)| n == name).map(|(_, u)| u)
     }
 }
 
@@ -280,6 +304,40 @@ impl Probe {
         }))
     }
 
+    /// A utilization-ledger handle for resource `name`. On a disabled
+    /// probe this is free and the returned handle is itself a no-op.
+    pub fn util(&self, name: &str) -> Util {
+        Util(self.inner.as_ref().map(|inner| {
+            let core = Arc::clone(
+                inner
+                    .utils
+                    .lock()
+                    .expect("utils poisoned")
+                    .entry(self.resolve(name))
+                    .or_default(),
+            );
+            (core, Arc::clone(&inner.util_epoch))
+        }))
+    }
+
+    /// One-shot: report `[start, end)` as busy time on resource `name`.
+    pub fn busy(&self, name: &str, start: SimTime, end: SimTime) {
+        if self.inner.is_some() {
+            self.util(name).busy(start, end);
+        }
+    }
+
+    /// Starts a new utilization epoch. Called once at the start of every
+    /// observed run sharing this registry; ledgers close the previous
+    /// run's wall span when they first record under the new epoch, so
+    /// busy and wall both sum across a sweep even though each run
+    /// restarts simulated time at zero.
+    pub fn util_epoch(&self) {
+        if let Some(inner) = &self.inner {
+            inner.util_epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// One-shot: add `n` to counter `name`.
     pub fn count(&self, name: &str, n: u64) {
         if self.inner.is_some() {
@@ -382,6 +440,30 @@ impl Gauge {
         self.0
             .as_ref()
             .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// Cheap utilization-ledger handle; cloneable, shareable, no-op when
+/// detached. Carries the registry's epoch counter so recorded intervals
+/// land in the current run's ledger span.
+#[derive(Debug, Clone, Default)]
+pub struct Util(Option<(Arc<UtilCore>, Arc<AtomicU64>)>);
+
+impl Util {
+    /// Reports `[start, end)` as busy time on this resource.
+    pub fn busy(&self, start: SimTime, end: SimTime) {
+        if let Some((core, epoch)) = &self.0 {
+            core.record(
+                epoch.load(Ordering::Relaxed),
+                start.as_nanos(),
+                end.as_nanos(),
+            );
+        }
+    }
+
+    /// Current snapshot (`None` when detached).
+    pub fn snapshot(&self) -> Option<UtilSnapshot> {
+        self.0.as_ref().map(|(core, _)| core.snapshot())
     }
 }
 
@@ -620,6 +702,49 @@ mod tests {
         p.scoped("").count("plain", 1);
         assert_eq!(r.snapshot().counter("plain"), Some(1));
         assert!(!Probe::disabled().scoped("x.").is_enabled());
+    }
+
+    #[test]
+    fn util_handles_record_through_probe_and_respect_scopes() {
+        let r = Registry::new();
+        let p = r.probe();
+        let nic = p.util("net.nic.0");
+        nic.busy(SimTime::ZERO, SimTime::from_micros(10));
+        nic.busy(SimTime::from_micros(20), SimTime::from_micros(25));
+        p.scoped("cell1.")
+            .busy("net.nic.0", SimTime::ZERO, SimTime::from_micros(3));
+        let s = r.snapshot();
+        let u = s.util("net.nic.0").unwrap();
+        assert_eq!(u.busy_ns, 15_000);
+        assert_eq!(u.wall_ns, 25_000);
+        assert_eq!(s.util("cell1.net.nic.0").unwrap().busy_ns, 3_000);
+        // Snapshot utils are name-ordered like every other instrument.
+        let names: Vec<_> = s.utils.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["cell1.net.nic.0", "net.nic.0"]);
+    }
+
+    #[test]
+    fn util_epoch_separates_runs_sharing_one_registry() {
+        let r = Registry::new();
+        let p = r.probe();
+        p.util_epoch();
+        p.busy("disk", SimTime::ZERO, SimTime::from_micros(100));
+        p.util_epoch(); // next sweep point, time restarts at zero
+        p.busy("disk", SimTime::ZERO, SimTime::from_micros(40));
+        let u = r.snapshot().util("disk").cloned().unwrap();
+        assert_eq!(u.busy_ns, 140_000);
+        assert_eq!(u.wall_ns, 140_000);
+        assert_eq!(u.idle_ns(), 0);
+    }
+
+    #[test]
+    fn disabled_probe_util_is_inert() {
+        let p = Probe::disabled();
+        let u = p.util("x");
+        u.busy(SimTime::ZERO, SimTime::from_micros(5));
+        p.busy("x", SimTime::ZERO, SimTime::from_micros(5));
+        p.util_epoch();
+        assert!(u.snapshot().is_none());
     }
 
     #[test]

@@ -29,8 +29,11 @@
 //! whose event type embeds it.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::sync::Arc;
+use std::time::Instant;
 
+use crate::profile::{ComponentProfile, HostProfile};
 use crate::{EventId, EventQueue, SimDuration, SimTime};
 
 /// Identifies a component registered with an [`Engine`], in registration
@@ -373,6 +376,27 @@ pub struct Ctx<'a, M> {
     /// Cross-partition routing, present only inside a partitioned window.
     /// Serial runs pay a single `is_some` branch per schedule.
     remote: Option<&'a mut WindowRouting<M>>,
+    /// Host-time accumulator for cost-model calls, present only with the
+    /// profiler enabled (see [`Engine::enable_profiler`]). Dispatch
+    /// subtracts what lands here from the component's own time, so
+    /// component and fabric host time stay separable. A `Cell` because
+    /// the engine reads it back after the handler returns while the
+    /// transfer methods only hold `&self`-style access through `Ctx`.
+    fabric_ns: Option<&'a Cell<u64>>,
+}
+
+/// Runs `f`, adding its wall time to `cell` when profiling is on. The
+/// disabled path is a single `match` on `None`.
+fn fabric_timed<R>(cell: Option<&Cell<u64>>, f: impl FnOnce() -> R) -> R {
+    match cell {
+        None => f(),
+        Some(cell) => {
+            let start = Instant::now();
+            let result = f();
+            cell.set(cell.get() + start.elapsed().as_nanos() as u64);
+            result
+        }
+    }
 }
 
 impl<M> Ctx<'_, M> {
@@ -615,7 +639,9 @@ impl<M> Ctx<'_, M> {
                 "fabric transfer requested under CostModel::Fixed; \
                  fixed-mode components charge their own constants"
             ),
-            CostModel::Fabric(t) => t.transfer(src, dst, bytes, at),
+            CostModel::Fabric(t) => {
+                fabric_timed(self.fabric_ns, || t.transfer(src, dst, bytes, at))
+            }
         }
     }
 
@@ -632,7 +658,9 @@ impl<M> Ctx<'_, M> {
                 "fabric rpc requested under CostModel::Fixed; \
                  fixed-mode components charge their own constants"
             ),
-            CostModel::Fabric(t) => t.rpc(src, dst, request_bytes, response_bytes, now),
+            CostModel::Fabric(t) => fabric_timed(self.fabric_ns, || {
+                t.rpc(src, dst, request_bytes, response_bytes, now)
+            }),
         }
     }
 
@@ -664,7 +692,9 @@ impl<M> Ctx<'_, M> {
                 "fabric transfer requested under CostModel::Fixed; \
                  fixed-mode components charge their own constants"
             ),
-            CostModel::Fabric(t) => t.transfer_detailed(src, dst, bytes, at),
+            CostModel::Fabric(t) => {
+                fabric_timed(self.fabric_ns, || t.transfer_detailed(src, dst, bytes, at))
+            }
         }
     }
 
@@ -686,7 +716,9 @@ impl<M> Ctx<'_, M> {
                 "fabric rpc requested under CostModel::Fixed; \
                  fixed-mode components charge their own constants"
             ),
-            CostModel::Fabric(t) => t.rpc_detailed(src, dst, request_bytes, response_bytes, now),
+            CostModel::Fabric(t) => fabric_timed(self.fabric_ns, || {
+                t.rpc_detailed(src, dst, request_bytes, response_bytes, now)
+            }),
         }
     }
 }
@@ -735,6 +767,76 @@ pub struct Engine<M> {
     /// engine, lent to each dispatch's `Ctx` instead of constructing a
     /// fresh `Vec` per envelope.
     blame_buf: Vec<(&'static str, SimDuration)>,
+    /// Host-time profiler state; `None` (the default) keeps dispatch free
+    /// of any timing work.
+    profiler: Option<ProfilerState>,
+}
+
+/// Accumulators behind [`Engine::enable_profiler`]: per-component host
+/// time with the cost-model share split out.
+struct ProfilerState {
+    /// Display labels in registration order; indices past the end render
+    /// as `component<i>`.
+    labels: Vec<String>,
+    /// Handler wall-ns per component, cost model excluded.
+    self_ns: Vec<u64>,
+    /// Cost-model wall-ns charged while handling each component's events.
+    fabric_ns: Vec<u64>,
+    /// Events dispatched per component.
+    events: Vec<u64>,
+    /// Wall-ns inside [`Engine::run`].
+    wall_ns: u64,
+    /// Scratch cell the dispatch lends to [`Ctx`] so transfer calls can
+    /// report their wall time back.
+    fabric_cell: Cell<u64>,
+}
+
+impl ProfilerState {
+    fn new(labels: &[&str]) -> ProfilerState {
+        ProfilerState {
+            labels: labels.iter().map(|l| l.to_string()).collect(),
+            self_ns: Vec::new(),
+            fabric_ns: Vec::new(),
+            events: Vec::new(),
+            wall_ns: 0,
+            fabric_cell: Cell::new(0),
+        }
+    }
+
+    fn charge(&mut self, component: usize, total_ns: u64, fabric_ns: u64) {
+        if component >= self.events.len() {
+            self.self_ns.resize(component + 1, 0);
+            self.fabric_ns.resize(component + 1, 0);
+            self.events.resize(component + 1, 0);
+        }
+        self.self_ns[component] += total_ns.saturating_sub(fabric_ns);
+        self.fabric_ns[component] += fabric_ns;
+        self.events[component] += 1;
+    }
+
+    fn into_profile(self) -> HostProfile {
+        let components = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|&(_, &events)| events > 0)
+            .map(|(i, &events)| ComponentProfile {
+                label: self
+                    .labels
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| format!("component{i}")),
+                events,
+                self_ns: self.self_ns[i],
+                fabric_ns: self.fabric_ns[i],
+            })
+            .collect();
+        HostProfile {
+            wall_ns: self.wall_ns,
+            events: self.events.iter().sum(),
+            components,
+        }
+    }
 }
 
 impl<M: 'static> Default for Engine<M> {
@@ -763,7 +865,24 @@ impl<M: 'static> Engine<M> {
             cost,
             causal: None,
             blame_buf: Vec::new(),
+            profiler: None,
         }
+    }
+
+    /// Enables host-time profiling: every subsequent dispatch is timed
+    /// with the wall clock and attributed to its component (`labels` by
+    /// registration order), with time inside [`Transport`] calls split
+    /// out per component. Profiling observes the host, not the
+    /// simulation — event history is identical with it on or off — and
+    /// without this call dispatch does no timing work at all.
+    pub fn enable_profiler(&mut self, labels: &[&str]) {
+        self.profiler = Some(ProfilerState::new(labels));
+    }
+
+    /// Takes the accumulated [`HostProfile`], disabling the profiler.
+    /// `None` if [`Engine::enable_profiler`] was never called.
+    pub fn take_profile(&mut self) -> Option<HostProfile> {
+        self.profiler.take().map(ProfilerState::into_profile)
     }
 
     /// Enables causal tracing: every event scheduled from here on gets a
@@ -881,8 +1000,12 @@ impl<M: 'static> Engine<M> {
     ///
     /// Panics if an event addresses an unregistered component.
     pub fn run(&mut self) {
+        let run_start = self.profiler.as_ref().map(|_| Instant::now());
         while let Some((_, id, envelope)) = self.queue.pop_with_id() {
             self.dispatch(id, envelope, None);
+        }
+        if let (Some(start), Some(profiler)) = (run_start, self.profiler.as_mut()) {
+            profiler.wall_ns += start.elapsed().as_nanos() as u64;
         }
     }
 
@@ -906,6 +1029,10 @@ impl<M: 'static> Engine<M> {
                 envelope.dst
             ),
         };
+        let timing = self.profiler.as_ref().map(|p| {
+            p.fabric_cell.set(0);
+            Instant::now()
+        });
         let mut ctx = Ctx {
             queue: &mut self.queue,
             cost: &mut self.cost,
@@ -915,12 +1042,22 @@ impl<M: 'static> Engine<M> {
             current_trace: envelope.trace,
             pending_blame: &mut self.blame_buf,
             remote,
+            fabric_ns: self.profiler.as_ref().map(|p| &p.fabric_cell),
         };
         component.on_event(&mut ctx, envelope.event);
         // Blame not drained by a schedule/mark is discarded, as the
         // Ctx contract states; clearing here keeps the shared buffer
         // from leaking one event's segments into the next.
         self.blame_buf.clear();
+        if let Some(start) = timing {
+            let total = start.elapsed().as_nanos() as u64;
+            let profiler = self
+                .profiler
+                .as_mut()
+                .expect("profiler vanished mid-dispatch");
+            let fabric = profiler.fabric_cell.get();
+            profiler.charge(envelope.dst.0, total, fabric);
+        }
     }
 
     /// The timestamp of the next pending event, if any — the input to
@@ -1363,6 +1500,98 @@ mod tests {
         let records = sink.0.lock().unwrap();
         let roots = records.iter().filter(|r| r.parent.is_none()).count();
         assert_eq!(roots, 4, "sampling of 1 keeps every chain");
+    }
+
+    #[test]
+    fn profiler_attributes_events_without_changing_history() {
+        struct SlowWire;
+        impl Transport for SlowWire {
+            fn transfer(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> SimTime {
+                if src == dst {
+                    return now;
+                }
+                now + SimDuration::from_nanos(bytes)
+            }
+        }
+        struct Talker {
+            peer: ComponentId,
+            hops_left: u32,
+            seen: Vec<u64>,
+        }
+        impl Component<u32> for Talker {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, n: u32) {
+                self.seen.push(ctx.now().as_nanos());
+                let delivered = ctx.transfer(0, 1, 1_000);
+                if self.hops_left > 0 {
+                    self.hops_left -= 1;
+                    ctx.send_to_at(self.peer, delivered, n + 1);
+                }
+            }
+        }
+        let run = |profiled: bool| {
+            let mut engine = Engine::with_transport(Box::new(SlowWire));
+            if profiled {
+                engine.enable_profiler(&["talker-a", "talker-b"]);
+            }
+            let b = ComponentId(1);
+            let a = engine.register(Talker {
+                peer: b,
+                hops_left: 6,
+                seen: Vec::new(),
+            });
+            engine.register(Talker {
+                peer: a,
+                hops_left: 6,
+                seen: Vec::new(),
+            });
+            engine.schedule_at(a, SimTime::ZERO, 0);
+            engine.run();
+            let history = engine.component::<Talker>(a).seen.clone();
+            (history, engine.take_profile())
+        };
+        let (plain_history, no_profile) = run(false);
+        assert!(no_profile.is_none());
+        let (profiled_history, profile) = run(true);
+        assert_eq!(
+            plain_history, profiled_history,
+            "profiling is pure observation"
+        );
+        let profile = profile.unwrap();
+        // 13 events total: the seed plus 6 hops from each side.
+        assert_eq!(profile.events, 13);
+        assert_eq!(profile.components.len(), 2);
+        assert_eq!(profile.components[0].label, "talker-a");
+        assert_eq!(profile.components[0].events, 7);
+        assert_eq!(profile.components[1].label, "talker-b");
+        assert_eq!(profile.components[1].events, 6);
+        // Taking the profile disabled the profiler.
+        let collapsed = profile.collapsed();
+        for line in collapsed.lines() {
+            let (_, count) = line.rsplit_once(' ').unwrap();
+            count.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn profiler_labels_default_past_the_given_list() {
+        struct Quiet;
+        impl Component<u32> for Quiet {
+            fn on_event(&mut self, _: &mut Ctx<'_, u32>, _: u32) {}
+        }
+        let mut engine = Engine::new();
+        engine.enable_profiler(&["only"]);
+        let a = engine.register(Quiet);
+        let b = engine.register(Quiet);
+        engine.schedule_at(a, SimTime::ZERO, 0);
+        engine.schedule_at(b, SimTime::ZERO, 0);
+        engine.run();
+        let profile = engine.take_profile().unwrap();
+        let labels: Vec<_> = profile
+            .components
+            .iter()
+            .map(|c| c.label.as_str())
+            .collect();
+        assert_eq!(labels, ["only", "component1"]);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 
 mod engine;
 mod partition;
+mod profile;
 mod queue;
 mod rng;
 mod time;
@@ -69,6 +70,7 @@ pub use engine::{
     TransferCost, Transport,
 };
 pub use partition::{Lookahead, PartitionedEngine};
+pub use profile::{ComponentProfile, HostProfile};
 pub use queue::{EventId, EventQueue};
 pub use rng::{SimRng, ZipfSampler};
 pub use time::{SimDuration, SimTime};
