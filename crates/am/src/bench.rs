@@ -5,7 +5,7 @@
 use now_net::{Network, NodeId};
 use now_sim::{SimDuration, SimTime};
 
-use crate::{ActiveMessages, AmConfig, Notification};
+use crate::{ActiveMessages, AmConfig, BatchConfig, Notification};
 
 /// One point of a sweep: message size against achieved metric.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,6 +100,73 @@ pub fn hotspot_throughput(net: Network, config: AmConfig, senders: u32, per_send
     total as f64 / last.saturating_since(SimTime::ZERO).as_secs_f64()
 }
 
+/// One point of the message-rate-vs-batch-quantum sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatePoint {
+    /// Flush quantum, microseconds (0 = batching off).
+    pub quantum_us: u64,
+    /// Requests delivered per simulated second.
+    pub msgs_per_s: f64,
+    /// Mean members per wire transfer (1.0 with batching off).
+    pub mean_batch: f64,
+}
+
+/// Message rate through the hot-spot pattern at a given flush quantum:
+/// `senders` nodes each fire `per_sender` minimal (8-byte) requests at
+/// node 0, four per microsecond, and the achieved rate is requests
+/// delivered per simulated second. Re-derives the paper's "overhead is
+/// everything" claim at modern scale: for small messages the per-message
+/// protocol cost — a credit held and a reply paid across a round trip
+/// dominated by `o` and switch latency, not by wire bytes — bounds the
+/// rate, and a batch pays all of it once for every member.
+pub fn batched_hotspot_rate(
+    net: Network,
+    mut config: AmConfig,
+    quantum_us: u64,
+    senders: u32,
+    per_sender: u32,
+) -> RatePoint {
+    assert!(net.nodes() > senders, "need a receiver beyond the senders");
+    config.batch = BatchConfig {
+        flush_quantum: SimDuration::from_micros(quantum_us),
+        max_batch_bytes: 32 * 1024,
+        max_batch_msgs: 64,
+    };
+    let mut am = ActiveMessages::new(net, config, 3);
+    for s in 1..=senders {
+        for i in 0..per_sender {
+            am.request_at(
+                SimTime::from_nanos(u64::from(i) * 250),
+                NodeId(s),
+                NodeId(0),
+                8,
+            );
+        }
+    }
+    let notes = am.run_to_completion();
+    let last = notes
+        .iter()
+        .filter_map(|n| match n {
+            Notification::RequestDelivered { at, .. } => Some(*at),
+            _ => None,
+        })
+        .max()
+        .expect("hotspot must deliver");
+    let stats = am.stats();
+    let total = u64::from(senders) * u64::from(per_sender);
+    debug_assert_eq!(stats.delivered, total, "lossless hotspot delivers all");
+    let mean_batch = if stats.batches > 0 {
+        stats.batched_msgs as f64 / stats.batches as f64
+    } else {
+        1.0
+    };
+    RatePoint {
+        quantum_us,
+        msgs_per_s: total as f64 / last.saturating_since(SimTime::ZERO).as_secs_f64(),
+        mean_batch,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +214,24 @@ mod tests {
         let t6 = hotspot_throughput(presets::am_atm(8), config, 6, 50);
         // More senders should not reduce total delivered throughput.
         assert!(t6 > t2 * 0.8, "hotspot collapse: {t2} vs {t6}");
+    }
+
+    #[test]
+    fn batching_amortizes_overhead_into_rate_gain() {
+        let config = AmConfig {
+            timeout: now_sim::SimDuration::from_secs(1),
+            ..AmConfig::default()
+        };
+        let base = batched_hotspot_rate(presets::am_atm(8), config, 0, 4, 256);
+        let batched = batched_hotspot_rate(presets::am_atm(8), config, 32, 4, 256);
+        assert!((base.mean_batch - 1.0).abs() < f64::EPSILON);
+        assert!(
+            batched.mean_batch > 4.0,
+            "mean batch {}",
+            batched.mean_batch
+        );
+        let gain = batched.msgs_per_s / base.msgs_per_s;
+        assert!(gain >= 5.0, "rate gain only {gain:.2}x");
     }
 
     #[test]

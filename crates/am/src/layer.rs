@@ -29,6 +29,10 @@ pub struct AmConfig {
     pub loss_probability: f64,
     /// Size of a reply message on the wire, bytes.
     pub reply_bytes: u64,
+    /// Per-destination aggregation (disabled by default: a zero flush
+    /// quantum reproduces the per-message protocol byte-identically).
+    #[serde(default)]
+    pub batch: BatchConfig,
 }
 
 impl Default for AmConfig {
@@ -41,7 +45,147 @@ impl Default for AmConfig {
             recv_buffer_msgs: 64,
             loss_probability: 0.0,
             reply_bytes: 16,
+            batch: BatchConfig::disabled(),
         }
+    }
+}
+
+/// Per-`(src, dst)` request aggregation: small requests issued within one
+/// flush quantum coalesce into a single wire transfer, so the per-message
+/// software overhead `o` — the term the paper shows dominating small
+/// messages — is paid once per batch instead of once per message.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// How long the first request of a batch waits for company before the
+    /// batch is flushed. Zero disables batching entirely: every request
+    /// takes the classic per-message path, byte-identically.
+    pub flush_quantum: SimDuration,
+    /// Payload bytes that flush a batch early.
+    pub max_batch_bytes: u64,
+    /// Member count that flushes a batch early. Clamped to at least 1;
+    /// exactly 1 makes every message its own batch.
+    pub max_batch_msgs: u32,
+}
+
+impl BatchConfig {
+    /// Batching off: the per-message protocol, unchanged.
+    pub fn disabled() -> Self {
+        BatchConfig {
+            flush_quantum: SimDuration::ZERO,
+            max_batch_bytes: 32 * 1024,
+            max_batch_msgs: 32,
+        }
+    }
+
+    /// Batching with a `quantum_us`-microsecond flush quantum and the
+    /// default size bounds (`0` yields [`BatchConfig::disabled`]).
+    pub fn quantum_us(quantum_us: u64) -> Self {
+        BatchConfig {
+            flush_quantum: SimDuration::from_micros(quantum_us),
+            ..BatchConfig::disabled()
+        }
+    }
+
+    /// Is aggregation active?
+    pub fn enabled(&self) -> bool {
+        self.flush_quantum > SimDuration::ZERO
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::disabled()
+    }
+}
+
+/// A registered handler label: batch headers carry this two-byte id on
+/// the wire instead of the `&'static str` it interns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HandlerId(pub u16);
+
+/// The registered handler-id table: interns the `&'static str` handler
+/// and blame labels this crate puts on the wire or into causal records,
+/// so protocol headers ship a [`HandlerId`] instead of a string.
+///
+/// Registration order is fixed at construction (the protocol labels are
+/// interned first), so ids are stable across runs and across peers built
+/// from the same binary — the property that lets a header id be decoded
+/// without negotiation.
+#[derive(Debug, Clone, Default)]
+pub struct HandlerTable {
+    names: Vec<&'static str>,
+}
+
+/// The request handler every [`ActiveMessages::request_at`] message runs.
+pub const HANDLER_REQUEST: &str = "am.request";
+/// The reply handler that returns the sender's credit.
+pub const HANDLER_REPLY: &str = "am.reply";
+/// The batch-header handler: unpacks members and runs each in FIFO order.
+pub const HANDLER_BATCH: &str = "am.batch";
+
+/// Every label the protocol engine and the fabric transports attach to
+/// wire headers or blame records, in interning order.
+const PROTOCOL_LABELS: [&str; 6] = [
+    HANDLER_REQUEST,
+    HANDLER_REPLY,
+    HANDLER_BATCH,
+    "net.overhead",
+    "net.wait",
+    "net.wire",
+];
+
+impl HandlerTable {
+    /// A table pre-loaded with the protocol's own labels.
+    pub fn with_protocol_labels() -> Self {
+        let mut table = HandlerTable::default();
+        for label in PROTOCOL_LABELS {
+            table.register(label);
+        }
+        table
+    }
+
+    /// Interns `name`, returning its id (existing id if already interned).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table outgrows the two-byte id space.
+    pub fn register(&mut self, name: &'static str) -> HandlerId {
+        if let Some(i) = self.names.iter().position(|&n| n == name) {
+            return HandlerId(i as u16);
+        }
+        assert!(
+            self.names.len() < usize::from(u16::MAX),
+            "handler-id space exhausted"
+        );
+        self.names.push(name);
+        HandlerId((self.names.len() - 1) as u16)
+    }
+
+    /// The label an id was registered under.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unregistered id.
+    pub fn name(&self, id: HandlerId) -> &'static str {
+        self.names[usize::from(id.0)]
+    }
+
+    /// The id a label was registered under, if any.
+    pub fn lookup(&self, name: &str) -> Option<HandlerId> {
+        self.names
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| HandlerId(i as u16))
+    }
+
+    /// Registered labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
     }
 }
 
@@ -94,6 +238,16 @@ pub struct AmStats {
     pub failed: u64,
     /// Duplicate requests suppressed at receivers.
     pub duplicates: u64,
+    /// Batches assembled (one wire transfer each). Zero with batching off.
+    pub batches: u64,
+    /// Requests that rode a batch. With batching on, every accepted
+    /// request batches, so this reconciles with `requests`.
+    pub batched_msgs: u64,
+    /// Batches flushed by the quantum timer expiring.
+    pub flush_timeouts: u64,
+    /// Batches flushed early by a size bound (bytes or member count).
+    /// `batches == flush_timeouts + flush_on_size` always.
+    pub flush_on_size: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +269,40 @@ enum Event {
     Timeout { id: MsgId },
     /// Application-scheduled send.
     UserSend { id: MsgId },
+    /// The flush-quantum timer of the open `(src, dst)` batch expired.
+    Flush { src: NodeId, dst: NodeId },
+}
+
+/// Why a batch left its aggregation queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushCause {
+    /// The flush quantum expired.
+    Quantum,
+    /// A size bound (bytes or member count) was hit.
+    Size,
+}
+
+/// An open aggregation queue: requests from one `(src, dst)` pair waiting
+/// out the flush quantum together.
+#[derive(Debug, Default)]
+struct Aggregation {
+    /// `(member id, payload bytes)` in arrival order — the FIFO order
+    /// delivery notifications fan back out in.
+    members: Vec<(MsgId, u64)>,
+    /// Payload bytes aggregated so far.
+    bytes: u64,
+    /// The pending [`Event::Flush`], cancelled on an early size flush.
+    flush_event: Option<EventId>,
+}
+
+/// An in-flight batch: the wire-level unit the credit/timeout/retry
+/// machinery sees, with the member list its notifications fan out from.
+#[derive(Debug)]
+struct Batch {
+    /// The handler id the batch header carries on the wire.
+    handler: HandlerId,
+    /// `(member id, payload bytes)` in FIFO order.
+    members: Vec<(MsgId, u64)>,
 }
 
 #[derive(Debug, Clone)]
@@ -158,6 +346,21 @@ pub struct ActiveMessages {
     outstanding: HashMap<MsgId, OutstandingReq>,
     /// Parameters of requests not yet sent (scheduled or stalled).
     pending_params: HashMap<MsgId, (NodeId, NodeId, u64)>,
+    /// Open aggregation queues, one per `(src, dst)` with batching on.
+    agg: HashMap<(NodeId, NodeId), Aggregation>,
+    /// In-flight batches keyed by their wire-level [`MsgId`].
+    batches: HashMap<MsgId, Batch>,
+    /// Free list of member buffers recycled across batches, so the
+    /// steady-state batching path allocates nothing once warm.
+    batch_pool: Vec<Vec<(MsgId, u64)>>,
+    /// Notifications fanned out of a batch beyond the first, drained by
+    /// [`ActiveMessages::advance`] before the event queue is popped so
+    /// per-member notifications come out in FIFO order.
+    pending_notes: VecDeque<Notification>,
+    /// The registered handler-id table batch headers index into.
+    handlers: HandlerTable,
+    /// The id batch headers carry (the request handler's).
+    request_handler: HandlerId,
     next_id: u64,
     stats: AmStats,
     probe: Probe,
@@ -174,6 +377,8 @@ impl ActiveMessages {
                 ..Default::default()
             });
         }
+        let mut handlers = HandlerTable::with_protocol_labels();
+        let request_handler = handlers.register(HANDLER_BATCH);
         ActiveMessages {
             net,
             config,
@@ -184,10 +389,21 @@ impl ActiveMessages {
             stalled: HashMap::new(),
             outstanding: HashMap::new(),
             pending_params: HashMap::new(),
+            agg: HashMap::new(),
+            batches: HashMap::new(),
+            batch_pool: Vec::new(),
+            pending_notes: VecDeque::new(),
+            handlers,
+            request_handler,
             next_id: 0,
             stats: AmStats::default(),
             probe: Probe::disabled(),
         }
+    }
+
+    /// The registered handler-id table (batch headers carry its ids).
+    pub fn handlers(&self) -> &HandlerTable {
+        &self.handlers
     }
 
     /// Attaches a telemetry probe. Counters mirror [`AmStats`] under
@@ -250,6 +466,11 @@ impl ActiveMessages {
             let now = self.queue.now();
             for (id, src, _bytes) in drained {
                 notes.push(self.handle_request(id, src, node, now));
+                // A drained batch fans its remaining members out here, in
+                // the same FIFO order `advance` would deliver them.
+                while let Some(n) = self.pending_notes.pop_front() {
+                    notes.push(n);
+                }
             }
         }
         notes
@@ -259,6 +480,12 @@ impl ActiveMessages {
     /// the event is application-visible. Returns `None` when no events
     /// remain.
     pub fn advance(&mut self) -> Option<Notification> {
+        // Per-member notifications fanned out of a batch drain before the
+        // next event pops, keeping the one-notification-per-advance API
+        // while a single arrival delivers many requests.
+        if let Some(note) = self.pending_notes.pop_front() {
+            return Some(note);
+        }
         while let Some((now, ev)) = self.queue.pop() {
             if let Some(note) = self.dispatch(now, ev) {
                 return Some(note);
@@ -290,6 +517,9 @@ impl ActiveMessages {
             if let Some(n) = self.dispatch(now, ev) {
                 out.push(n);
             }
+            while let Some(n) = self.pending_notes.pop_front() {
+                out.push(n);
+            }
         }
         out
     }
@@ -311,11 +541,17 @@ impl ActiveMessages {
                     .pending_params
                     .get(&id)
                     .expect("user send for unknown id");
-                if *self.credits_mut(src, dst) > 0 {
+                if self.config.batch.enabled() {
+                    self.enqueue_into_batch(id, src, dst, now);
+                } else if *self.credits_mut(src, dst) > 0 {
                     self.launch(id, now, 0, now);
                 } else {
                     self.stalled.entry((src, dst)).or_default().push_back(id);
                 }
+                None
+            }
+            Event::Flush { src, dst } => {
+                self.flush_batch(src, dst, now, FlushCause::Quantum);
                 None
             }
             Event::Timeout { id } => {
@@ -324,10 +560,27 @@ impl ActiveMessages {
                 };
                 if req.attempt >= self.config.max_retries {
                     self.outstanding.remove(&id);
-                    self.stats.failed += 1;
-                    self.probe.count("am.failed", 1);
                     // Release the credit so the pair does not deadlock.
                     self.return_credit(req.src, req.dst, now);
+                    if let Some(batch) = self.batches.remove(&id) {
+                        // The whole batch fails: one RequestFailed per
+                        // member, FIFO, the first returned directly.
+                        self.pending_params.remove(&id);
+                        let n = batch.members.len() as u64;
+                        self.stats.failed += n;
+                        self.probe.count("am.failed", n);
+                        let mut members = batch.members;
+                        let mut it = members.drain(..);
+                        let (first, _) = it.next().expect("a batch is never empty");
+                        for (m, _) in it {
+                            self.pending_notes
+                                .push_back(Notification::RequestFailed { id: m, at: now });
+                        }
+                        self.batch_pool.push(members);
+                        return Some(Notification::RequestFailed { id: first, at: now });
+                    }
+                    self.stats.failed += 1;
+                    self.probe.count("am.failed", 1);
                     return Some(Notification::RequestFailed { id, at: now });
                 }
                 self.stats.retransmits += 1;
@@ -388,6 +641,94 @@ impl ActiveMessages {
         );
     }
 
+    /// Adds a scheduled request to its pair's aggregation queue. A full
+    /// queue (member or byte bound) flushes immediately — without ever
+    /// arming the quantum timer when the first member already fills it,
+    /// so `max_batch_msgs == 1` performs exactly the same event-queue
+    /// operations as the unbatched path. Otherwise the first member of a
+    /// fresh queue arms one [`Event::Flush`] a quantum out.
+    fn enqueue_into_batch(&mut self, id: MsgId, src: NodeId, dst: NodeId, now: SimTime) {
+        let bytes = self.pending_params.get(&id).expect("batching unknown id").2;
+        let cfg = self.config.batch;
+        let max_msgs = cfg.max_batch_msgs.max(1);
+        let (full, armed) = {
+            let entry = self.agg.entry((src, dst)).or_default();
+            if entry.members.capacity() == 0 {
+                if let Some(buf) = self.batch_pool.pop() {
+                    entry.members = buf;
+                }
+            }
+            entry.members.push((id, bytes));
+            entry.bytes += bytes;
+            (
+                entry.members.len() as u32 >= max_msgs || entry.bytes >= cfg.max_batch_bytes,
+                entry.flush_event.is_some(),
+            )
+        };
+        if full {
+            self.flush_batch(src, dst, now, FlushCause::Size);
+        } else if !armed {
+            let ev = self
+                .queue
+                .schedule_at(now + cfg.flush_quantum, Event::Flush { src, dst });
+            self.agg
+                .get_mut(&(src, dst))
+                .expect("queue just populated")
+                .flush_event = Some(ev);
+        }
+    }
+
+    /// Closes the `(src, dst)` aggregation queue: its members become one
+    /// wire-level batch message — one overhead and one wire charge for the
+    /// summed payload — that the credit/timeout/retry machinery carries
+    /// exactly like a single request.
+    fn flush_batch(&mut self, src: NodeId, dst: NodeId, now: SimTime, cause: FlushCause) {
+        let Some(agg) = self.agg.remove(&(src, dst)) else {
+            return; // already flushed by a size bound
+        };
+        if let (FlushCause::Size, Some(ev)) = (cause, agg.flush_event) {
+            self.queue.cancel(ev);
+        }
+        debug_assert!(!agg.members.is_empty(), "a batch is never empty");
+        self.stats.batches += 1;
+        self.probe.count("am.batches", 1);
+        match cause {
+            FlushCause::Quantum => {
+                self.stats.flush_timeouts += 1;
+                self.probe.count("am.flush_timeouts", 1);
+            }
+            FlushCause::Size => {
+                self.stats.flush_on_size += 1;
+                self.probe.count("am.flush_on_size", 1);
+            }
+        }
+        let n = agg.members.len() as u64;
+        self.stats.batched_msgs += n;
+        self.probe.count("am.batched_msgs", n);
+        // Member parameters are subsumed by the batch header from here on.
+        for &(m, _) in &agg.members {
+            self.pending_params.remove(&m);
+        }
+        let batch_id = MsgId(self.next_id);
+        self.next_id += 1;
+        self.pending_params.insert(batch_id, (src, dst, agg.bytes));
+        self.batches.insert(
+            batch_id,
+            Batch {
+                handler: self.request_handler,
+                members: agg.members,
+            },
+        );
+        if *self.credits_mut(src, dst) > 0 {
+            self.launch(batch_id, now, 0, now);
+        } else {
+            self.stalled
+                .entry((src, dst))
+                .or_default()
+                .push_back(batch_id);
+        }
+    }
+
     fn arrive_request(
         &mut self,
         id: MsgId,
@@ -432,6 +773,33 @@ impl ActiveMessages {
     ) -> Notification {
         let inserted = self.endpoints[dst.0 as usize].handled.insert(id);
         debug_assert!(inserted, "handler must run exactly once");
+        if self.batches.contains_key(&id) {
+            // A batch header: the unpacking handler runs each member in
+            // FIFO order. One reply acknowledges the whole batch.
+            let n = self.batches[&id].members.len() as u64;
+            self.stats.delivered += n;
+            self.probe.count("am.delivered", n);
+            self.send_reply(id, dst, src, now);
+            let batch = &self.batches[&id];
+            debug_assert_eq!(self.handlers.name(batch.handler), HANDLER_BATCH);
+            let mut it = batch.members.iter();
+            let &(first, _) = it.next().expect("a batch is never empty");
+            for &(m, _) in it {
+                self.pending_notes
+                    .push_back(Notification::RequestDelivered {
+                        id: m,
+                        src,
+                        dst,
+                        at: now,
+                    });
+            }
+            return Notification::RequestDelivered {
+                id: first,
+                src,
+                dst,
+                at: now,
+            };
+        }
         self.stats.delivered += 1;
         self.probe.count("am.delivered", 1);
         self.send_reply(id, dst, src, now);
@@ -462,6 +830,26 @@ impl ActiveMessages {
         };
         debug_assert_eq!(req.src, at, "reply must return to the sender");
         self.queue.cancel(req.timeout_event);
+        if let Some(batch) = self.batches.remove(&id) {
+            // The batch acknowledgment completes every member; the RTT
+            // histogram records the batch round trip once.
+            let n = batch.members.len() as u64;
+            self.stats.replies += n;
+            self.probe.count("am.replies", n);
+            self.probe
+                .record("am.rtt.ns", now.saturating_since(req.issued));
+            self.pending_params.remove(&id);
+            self.return_credit(req.src, req.dst, now);
+            let mut members = batch.members;
+            let mut it = members.drain(..);
+            let (first, _) = it.next().expect("a batch is never empty");
+            for (m, _) in it {
+                self.pending_notes
+                    .push_back(Notification::ReplyDelivered { id: m, at: now });
+            }
+            self.batch_pool.push(members);
+            return Some(Notification::ReplyDelivered { id: first, at: now });
+        }
         self.stats.replies += 1;
         self.probe.count("am.replies", 1);
         self.probe

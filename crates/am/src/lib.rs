@@ -54,7 +54,12 @@ mod bulk;
 mod layer;
 mod transport;
 
-pub use bench::{bandwidth_sweep, hotspot_throughput, ping_pong, BenchPoint};
+pub use bench::{
+    bandwidth_sweep, batched_hotspot_rate, hotspot_throughput, ping_pong, BenchPoint, RatePoint,
+};
 pub use bulk::{barrier, broadcast, bulk_put, bulk_put_probed, BulkOutcome, FRAGMENT_BYTES};
-pub use layer::{ActiveMessages, AmConfig, AmStats, MsgId, Notification};
-pub use transport::{CsmaTransport, FabricTransport};
+pub use layer::{
+    ActiveMessages, AmConfig, AmStats, BatchConfig, HandlerId, HandlerTable, MsgId, Notification,
+    HANDLER_BATCH, HANDLER_REPLY, HANDLER_REQUEST,
+};
+pub use transport::{BatchingTransport, CsmaTransport, FabricTransport};

@@ -7,10 +7,14 @@
 //! collisions — so components that share one transport contend with each
 //! other exactly as the paper argues NOW subsystems must.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use now_net::{CsmaBus, Fabric, Network, NicAttachment, NodeId, SoftwareCosts};
-use now_sim::{SimTime, TransferCost, Transport};
+use now_probe::Probe;
+use now_sim::{SimDuration, SimTime, TransferCost, Transport};
+
+use crate::layer::BatchConfig;
 
 /// A [`Transport`] that charges every transfer against one shared
 /// [`Network`] — fabric occupancy, software stack, and NIC overhead
@@ -137,6 +141,126 @@ impl Transport for CsmaTransport {
             wait: timing.tx_start.saturating_since(wire_request),
             wire: timing.rx_done.saturating_since(timing.tx_start),
         }
+    }
+}
+
+/// One open aggregation window on a `(src, dst)` pair.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    /// Transfers starting before this instant may join the window.
+    open_until: SimTime,
+    /// Members so far (including the leader).
+    msgs: u32,
+    /// Payload bytes so far.
+    bytes: u64,
+}
+
+/// Wraps any [`Transport`] with per-`(src, dst)` aggregation windows: the
+/// *leader* transfer of each window pays the full per-message software
+/// overhead `o`, and every transfer that follows within one flush quantum
+/// rides the same wire launch with its overhead term zeroed — the LogP
+/// amortization the paper argues for, applied at the engine's transport
+/// seam so every `now-core` scenario can batch without protocol changes.
+///
+/// With batching disabled ([`BatchConfig::enabled`] false) every call
+/// passes straight through to the inner transport, byte-identically, so
+/// the wrapper can be installed unconditionally.
+///
+/// Joiners still run the inner model (keeping fabric occupancy and
+/// determinism exact); only the reported CPU overhead is amortized, so
+/// `delivered == now + wait + wire` for a joiner and
+/// `delivered == now + overhead + wait + wire` for a leader.
+#[derive(Debug, Clone)]
+pub struct BatchingTransport<T> {
+    inner: T,
+    config: BatchConfig,
+    probe: Probe,
+    windows: HashMap<(u32, u32), Window>,
+}
+
+impl<T> BatchingTransport<T> {
+    /// Wraps `inner` with the given batching window configuration.
+    pub fn new(inner: T, config: BatchConfig) -> Self {
+        BatchingTransport {
+            inner,
+            config,
+            probe: Probe::disabled(),
+            windows: HashMap::new(),
+        }
+    }
+
+    /// Attaches a telemetry probe: `am.batches`, `am.batched_msgs`,
+    /// `am.flush_timeouts`, `am.flush_on_size` counters and the
+    /// `net.batch_occupancy` gauge (members in the most recent window).
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The wrapped transport, mutably.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: Transport> Transport for BatchingTransport<T> {
+    fn transfer(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> SimTime {
+        self.transfer_detailed(src, dst, bytes, now).delivered
+    }
+
+    fn transfer_detailed(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> TransferCost {
+        if !self.config.enabled() || src == dst {
+            return self.inner.transfer_detailed(src, dst, bytes, now);
+        }
+        let cost = self.inner.transfer_detailed(src, dst, bytes, now);
+        let max_msgs = self.config.max_batch_msgs.max(1);
+        let joined = match self.windows.get_mut(&(src, dst)) {
+            Some(w)
+                if now < w.open_until
+                    && w.msgs < max_msgs
+                    && w.bytes + bytes <= self.config.max_batch_bytes =>
+            {
+                w.msgs += 1;
+                w.bytes += bytes;
+                Some(w.msgs)
+            }
+            _ => None,
+        };
+        if let Some(occupancy) = joined {
+            self.probe.count("am.batched_msgs", 1);
+            self.probe
+                .gauge_set("net.batch_occupancy", f64::from(occupancy));
+            return TransferCost {
+                delivered: now + cost.wait + cost.wire,
+                overhead: SimDuration::ZERO,
+                wait: cost.wait,
+                wire: cost.wire,
+            };
+        }
+        // Leader: pays `o` in full and opens a fresh window; the window it
+        // displaces closes by timeout (expired) or by a size bound (full).
+        if let Some(old) = self.windows.insert(
+            (src, dst),
+            Window {
+                open_until: now + self.config.flush_quantum,
+                msgs: 1,
+                bytes,
+            },
+        ) {
+            if now >= old.open_until {
+                self.probe.count("am.flush_timeouts", 1);
+            } else {
+                self.probe.count("am.flush_on_size", 1);
+            }
+        }
+        self.probe.count("am.batches", 1);
+        self.probe.count("am.batched_msgs", 1);
+        self.probe.gauge_set("net.batch_occupancy", 1.0);
+        cost
     }
 }
 

@@ -1,0 +1,117 @@
+//! Batching equivalence and reconciliation properties.
+//!
+//! The contract under test: a zero flush quantum reproduces the unbatched
+//! protocol byte-identically; `max_batch_msgs == 1` makes every message
+//! its own batch without perturbing the notification stream; and the
+//! batch counters reconcile exactly with `am.requests`.
+
+use now_am::{ActiveMessages, AmConfig, AmStats, BatchConfig, Notification};
+use now_net::{presets, NodeId};
+use now_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A random workload: (send offset µs, src, dst-offset) triples.
+fn workload(nodes: u32) -> impl Strategy<Value = Vec<(u64, u32, u32)>> {
+    prop::collection::vec((0u64..5_000, 0..nodes, 1..nodes), 1..60)
+}
+
+fn run(config: AmConfig, sends: &[(u64, u32, u32)], seed: u64) -> (Vec<Notification>, AmStats) {
+    let mut am = ActiveMessages::new(presets::am_atm(5), config, seed);
+    for &(t, src, doff) in sends {
+        let dst = (src + doff) % 5;
+        if dst == src {
+            continue;
+        }
+        am.request_at(SimTime::from_micros(t), NodeId(src), NodeId(dst), 64);
+    }
+    let notes = am.run_to_completion();
+    (notes, am.stats())
+}
+
+proptest! {
+    /// `flush_quantum == 0` disables batching entirely: notifications and
+    /// stats are byte-identical to the stock config whatever the other
+    /// batch knobs say, for random scenarios under loss.
+    #[test]
+    fn zero_quantum_is_byte_identical(
+        sends in workload(5),
+        loss in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let base = AmConfig {
+            loss_probability: loss,
+            timeout: SimDuration::from_micros(700),
+            max_retries: 200,
+            ..AmConfig::default()
+        };
+        let off = AmConfig {
+            batch: BatchConfig {
+                flush_quantum: SimDuration::ZERO,
+                max_batch_bytes: 123,
+                max_batch_msgs: 7,
+            },
+            ..base
+        };
+        let (n1, s1) = run(base, &sends, seed);
+        let (n2, s2) = run(off, &sends, seed);
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// With `max_batch_msgs == 1` every message is its own batch, flushed
+    /// by the size bound before any quantum timer is armed — the same
+    /// event-queue operations as the unbatched path, so the notification
+    /// stream (order and contents) matches at any quantum, and even the
+    /// loss model's random draws line up.
+    #[test]
+    fn batch_of_one_matches_unbatched(
+        sends in workload(5),
+        loss in 0.0f64..0.4,
+        quantum_us in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        let base = AmConfig {
+            loss_probability: loss,
+            timeout: SimDuration::from_micros(700),
+            max_retries: 200,
+            ..AmConfig::default()
+        };
+        let one = AmConfig {
+            batch: BatchConfig {
+                flush_quantum: SimDuration::from_micros(quantum_us),
+                max_batch_msgs: 1,
+                ..BatchConfig::disabled()
+            },
+            ..base
+        };
+        let (n1, _) = run(base, &sends, seed);
+        let (n2, s2) = run(one, &sends, seed);
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(s2.batches, s2.flush_on_size, "all size-flushed");
+        prop_assert_eq!(s2.flush_timeouts, 0, "the quantum timer never arms");
+        prop_assert_eq!(s2.batched_msgs, s2.requests);
+    }
+
+    /// Batch accounting reconciles: every accepted request rides exactly
+    /// one batch, and every batch flushes for exactly one reason.
+    #[test]
+    fn batch_counters_reconcile(
+        sends in workload(5),
+        quantum_us in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        let config = AmConfig {
+            timeout: SimDuration::from_secs(1),
+            batch: BatchConfig {
+                flush_quantum: SimDuration::from_micros(quantum_us),
+                ..BatchConfig::disabled()
+            },
+            ..AmConfig::default()
+        };
+        let (_, s) = run(config, &sends, seed);
+        prop_assert_eq!(s.batched_msgs, s.requests);
+        prop_assert_eq!(s.batches, s.flush_timeouts + s.flush_on_size);
+        prop_assert_eq!(s.delivered, s.requests, "lossless wire delivers all");
+        prop_assert_eq!(s.replies, s.requests);
+    }
+}

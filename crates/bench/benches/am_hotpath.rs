@@ -1,0 +1,110 @@
+//! Active-message hot path: batched vs unbatched dispatch rate, and the
+//! allocation bill for each.
+//!
+//! The `am_batching` cases drive the same hot-spot workload (4 senders,
+//! 256 8-byte requests each, all aimed at one node) through the AM layer
+//! with the flush quantum off and at 8 us. The unbatched side is
+//! credit-window limited — every small request pays a full credit/reply
+//! round trip — so the batched side should run several times faster per
+//! simulated second while performing strictly fewer event-queue and
+//! transfer operations.
+//!
+//! A counting global allocator reports the heap-allocation totals for one
+//! run of each case (printed once at startup). Both totals are
+//! setup-dominated — well under one allocation per message — because the
+//! engine's dispatch structures and the batch envelope pool are recycled
+//! once warm; batching's extra allocations are the one-time batch
+//! buffers, not a per-message tax.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use now_am::{AmConfig, RatePoint};
+use now_net::presets;
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const SENDERS: u32 = 4;
+const PER_SENDER: u32 = 256;
+
+fn config() -> AmConfig {
+    AmConfig {
+        timeout: now_sim::SimDuration::from_secs(1),
+        ..AmConfig::default()
+    }
+}
+
+fn hotspot(quantum_us: u64) -> RatePoint {
+    now_am::batched_hotspot_rate(
+        presets::am_atm(8),
+        config(),
+        quantum_us,
+        SENDERS,
+        PER_SENDER,
+    )
+}
+
+fn counted_allocs(quantum_us: u64) -> u64 {
+    ALLOCS.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+    black_box(hotspot(quantum_us));
+    ARMED.store(false, Ordering::Relaxed);
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn bench(c: &mut Criterion) {
+    let unbatched_allocs = counted_allocs(0);
+    let batched_allocs = counted_allocs(8);
+    let unbatched = hotspot(0);
+    let batched = hotspot(8);
+    eprintln!(
+        "am_batching: {:.0} -> {:.0} msgs/s ({:.2}x), allocs/run {} -> {}",
+        unbatched.msgs_per_s,
+        batched.msgs_per_s,
+        batched.msgs_per_s / unbatched.msgs_per_s,
+        unbatched_allocs,
+        batched_allocs,
+    );
+    assert!(
+        batched.msgs_per_s > unbatched.msgs_per_s,
+        "batching must raise the hot-spot message rate"
+    );
+
+    let mut g = c.benchmark_group("am_batching");
+    g.bench_function("unbatched_hotspot_1k", |b| b.iter(|| hotspot(black_box(0))));
+    g.bench_function("batched_hotspot_1k_q8", |b| {
+        b.iter(|| hotspot(black_box(8)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

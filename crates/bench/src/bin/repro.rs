@@ -109,6 +109,7 @@ fn usage() -> String {
          \x20 --jobs N               fan independent runs over N worker threads\n\
          \x20 --partitions N         shard each run over N engine partitions (0 = per core)\n\
          \x20 --nodes N              scale scaled scenarios to N nodes (multiple of 32)\n\
+         \x20 --am-batch N           active-message flush quantum in us (0 = batching off)\n\
          \x20 --metrics[=FMT]        append the probe snapshot (text|csv|json)\n\
          \x20 --metrics-out PATH     write the JSON probe snapshot to a file (for repro diff)\n\
          \x20 --util                 append the resource-utilization table and bottlenecks\n\
@@ -216,6 +217,7 @@ fn main() {
     let mut jobs_arg: Option<usize> = None;
     let mut partitions_arg: Option<u32> = None;
     let mut nodes: u32 = 32;
+    let mut am_batch: u64 = 0;
     let mut metrics: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
@@ -282,6 +284,22 @@ fn main() {
                 Ok(n) if n >= 32 && n % 32 == 0 => nodes = n,
                 _ => {
                     eprintln!("--nodes needs a positive multiple of 32, got {n:?}");
+                    exit(2);
+                }
+            }
+        } else if arg == "--am-batch" {
+            match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => am_batch = n,
+                _ => {
+                    eprintln!("--am-batch needs a flush quantum in microseconds (0 = off)");
+                    exit(2);
+                }
+            }
+        } else if let Some(n) = arg.strip_prefix("--am-batch=") {
+            match n.parse() {
+                Ok(n) => am_batch = n,
+                _ => {
+                    eprintln!("--am-batch needs a flush quantum in microseconds, got {n:?}");
                     exit(2);
                 }
             }
@@ -381,9 +399,10 @@ fn main() {
         let entries = run_bench_harness(smoke, jobs);
         let partitioned = run_partition_harness();
         let distribute = now_bench::distribute_summary(true);
+        let batching = now_bench::am_batching_summary();
         if let Err(e) = std::fs::write(
             &path,
-            render_bench_json(&entries, &partitioned, &distribute),
+            render_bench_json(&entries, &partitioned, &distribute, &batching),
         ) {
             eprintln!("cannot write bench results to {path}: {e}");
             exit(1);
@@ -413,6 +432,13 @@ fn main() {
             distribute.cooperative_ms,
             distribute.dedup_factor,
             distribute.crossover_nodes
+        );
+        eprintln!(
+            "am_batching: {:.0} -> {:.0} msgs/s at mean batch {:.1} ({:.2}x)",
+            batching.unbatched_msgs_per_s,
+            batching.batched_msgs_per_s,
+            batching.batch_size,
+            batching.rate_gain
         );
         eprintln!("wrote bench trajectory to {path}");
         return;
@@ -482,7 +508,7 @@ fn main() {
     if want("contention") {
         if observe {
             let mut r = now_bench::contention_observed_scaled(
-                smoke, blame, record, profile, &probe, jobs, nodes, partitions,
+                smoke, blame, record, profile, &probe, jobs, nodes, partitions, am_batch,
             );
             println!("{}", r.text);
             series.append(&mut r.series);
@@ -490,9 +516,14 @@ fn main() {
         } else {
             println!(
                 "{}",
-                now_bench::contention_scaled_jobs(smoke, jobs, nodes, partitions)
+                now_bench::contention_scaled_jobs(smoke, jobs, nodes, partitions, am_batch)
             );
         }
+        // The message-rate-vs-batch-quantum deliverable rides with the
+        // contention report. It sweeps its own quanta internally, so the
+        // table is identical whatever --am-batch (or any other flag)
+        // says — the byte-diff gates stay honest.
+        println!("{}", now_bench::am_batching_table());
     }
     if want("availability") {
         if observe {
@@ -515,8 +546,9 @@ fn main() {
     // The serving sweep is opt-in like the ablations: it is the unified
     // engine's population-scale story, not a paper table.
     if selected.iter().any(|s| s == "serve") {
-        let mut r =
-            now_bench::serve_report_scaled(smoke, blame, record, profile, &probe, jobs, partitions);
+        let mut r = now_bench::serve_report_scaled(
+            smoke, blame, record, profile, &probe, jobs, partitions, am_batch,
+        );
         println!("{}", r.text);
         windowed.append(&mut r.windowed);
         merge_host(&r.profile);
@@ -525,7 +557,7 @@ fn main() {
     // from a content-addressed registry, registry-only vs cooperative.
     if selected.iter().any(|s| s == "distribute") {
         let mut r = now_bench::distribute_report_scaled(
-            smoke, blame, record, profile, &probe, jobs, nodes, partitions,
+            smoke, blame, record, profile, &probe, jobs, nodes, partitions, am_batch,
         );
         println!("{}", r.text);
         series.append(&mut r.series);
@@ -701,13 +733,18 @@ fn time_ms(f: impl FnOnce()) -> f64 {
 /// Times the availability Monte-Carlo and the contention sweep at one
 /// worker and at `jobs` workers. Each pair also cross-checks what the
 /// parallel layer promises: identical output, faster wall clock.
+///
+/// At `--jobs 1` the "parallel" leg would be the serial leg rerun under
+/// a different label — same code path, same thread — so it is skipped
+/// and the serial time reported for both columns (speedup 1.0 by
+/// construction). That halves harness wall time on 1-core containers,
+/// where fan-out has no parallelism to find anyway.
 fn run_bench_harness(smoke: bool, jobs: usize) -> Vec<BenchEntry> {
     use now_raid::availability::FailureModel;
 
     let model = FailureModel::paper_defaults();
     let trials: u64 = 2_000;
     let mut serial_mc = 0.0;
-    let mut parallel_mc = 0.0;
     let serial_mc_ms = time_ms(|| {
         serial_mc = now_fault::montecarlo::software_service_mttf_hours_jobs(
             &model,
@@ -717,43 +754,59 @@ fn run_bench_harness(smoke: bool, jobs: usize) -> Vec<BenchEntry> {
             1,
         );
     });
-    let parallel_mc_ms = time_ms(|| {
-        parallel_mc = now_fault::montecarlo::software_service_mttf_hours_jobs(
-            &model,
-            8,
-            trials,
-            now_bench::SEED,
-            jobs,
+    let parallel_mc_ms = if jobs == 1 {
+        serial_mc_ms
+    } else {
+        let mut parallel_mc = 0.0;
+        let ms = time_ms(|| {
+            parallel_mc = now_fault::montecarlo::software_service_mttf_hours_jobs(
+                &model,
+                8,
+                trials,
+                now_bench::SEED,
+                jobs,
+            );
+        });
+        assert_eq!(
+            serial_mc.to_bits(),
+            parallel_mc.to_bits(),
+            "parallel Monte-Carlo must match serial bit-for-bit"
         );
-    });
-    assert_eq!(
-        serial_mc.to_bits(),
-        parallel_mc.to_bits(),
-        "parallel Monte-Carlo must match serial bit-for-bit"
-    );
+        ms
+    };
 
     let mut serial_table = String::new();
-    let mut parallel_table = String::new();
     let serial_sweep_ms = time_ms(|| serial_table = now_bench::contention_jobs(smoke, 1));
-    let parallel_sweep_ms = time_ms(|| parallel_table = now_bench::contention_jobs(smoke, jobs));
-    assert_eq!(
-        serial_table, parallel_table,
-        "parallel contention sweep must match serial byte-for-byte"
-    );
+    let parallel_sweep_ms = if jobs == 1 {
+        serial_sweep_ms
+    } else {
+        let mut parallel_table = String::new();
+        let ms = time_ms(|| parallel_table = now_bench::contention_jobs(smoke, jobs));
+        assert_eq!(
+            serial_table, parallel_table,
+            "parallel contention sweep must match serial byte-for-byte"
+        );
+        ms
+    };
 
     let mut serial_serve = String::new();
-    let mut parallel_serve = String::new();
     let serial_serve_ms = time_ms(|| {
         serial_serve = now_bench::serve_report_jobs(true, false, false, &Probe::disabled(), 1).text
     });
-    let parallel_serve_ms = time_ms(|| {
-        parallel_serve =
-            now_bench::serve_report_jobs(true, false, false, &Probe::disabled(), jobs).text
-    });
-    assert_eq!(
-        serial_serve, parallel_serve,
-        "parallel serve sweep must match serial byte-for-byte"
-    );
+    let parallel_serve_ms = if jobs == 1 {
+        serial_serve_ms
+    } else {
+        let mut parallel_serve = String::new();
+        let ms = time_ms(|| {
+            parallel_serve =
+                now_bench::serve_report_jobs(true, false, false, &Probe::disabled(), jobs).text
+        });
+        assert_eq!(
+            serial_serve, parallel_serve,
+            "parallel serve sweep must match serial byte-for-byte"
+        );
+        ms
+    };
 
     vec![
         BenchEntry {
@@ -805,6 +858,7 @@ fn render_bench_json(
     entries: &[BenchEntry],
     partitioned: &PartitionedBenchEntry,
     distribute: &now_bench::DistributeSummary,
+    batching: &now_bench::AmBatchingSummary,
 ) -> String {
     let mut rows: Vec<String> = entries
         .iter()
@@ -836,6 +890,14 @@ fn render_bench_json(
         distribute.cooperative_ms,
         distribute.dedup_factor,
         distribute.crossover_nodes
+    ));
+    rows.push(format!(
+        "  {{\"bench\": \"am_batching\", \"unbatched_msgs_per_s\": {:.1}, \
+         \"batched_msgs_per_s\": {:.1}, \"batch_size\": {:.2}, \"rate_gain\": {:.3}}}",
+        batching.unbatched_msgs_per_s,
+        batching.batched_msgs_per_s,
+        batching.batch_size,
+        batching.rate_gain
     ));
     format!("[\n{}\n]\n", rows.join(",\n"))
 }

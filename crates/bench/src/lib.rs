@@ -372,7 +372,13 @@ pub fn contention_jobs(smoke: bool, jobs: usize) -> String {
 /// is byte-identical at every `partitions` value — the knob only moves
 /// wall-clock time, which is the point of `repro --bench-out`'s
 /// single-run speedup entry.
-pub fn contention_scaled_jobs(smoke: bool, jobs: usize, nodes: u32, partitions: u32) -> String {
+pub fn contention_scaled_jobs(
+    smoke: bool,
+    jobs: usize,
+    nodes: u32,
+    partitions: u32,
+    am_batch_us: u64,
+) -> String {
     contention_observed_scaled(
         smoke,
         false,
@@ -382,6 +388,7 @@ pub fn contention_scaled_jobs(smoke: bool, jobs: usize, nodes: u32, partitions: 
         jobs,
         nodes,
         partitions,
+        am_batch_us,
     )
     .text
 }
@@ -504,13 +511,15 @@ pub fn contention_observed_jobs(
     probe: &Probe,
     jobs: usize,
 ) -> ObservedReport {
-    contention_observed_scaled(smoke, blame, record, false, probe, jobs, 32, 1)
+    contention_observed_scaled(smoke, blame, record, false, probe, jobs, 32, 1, 0)
 }
 
 /// [`contention_observed_jobs`] on a scaled cluster (see
 /// [`contention_scaled_jobs`] for the `nodes` / `partitions` contract).
 /// At `nodes = 32` this is exactly the classic report; beyond that each
 /// point is a population of cells and the table says so in its title.
+/// `am_batch_us` sets the active-message flush quantum on every run's
+/// fabric (0 = batching off, byte-identical to the classic transport).
 ///
 /// # Panics
 ///
@@ -525,6 +534,7 @@ pub fn contention_observed_scaled(
     jobs: usize,
     nodes: u32,
     partitions: u32,
+    am_batch_us: u64,
 ) -> ObservedReport {
     use now_core::{NowCluster, ScenarioSpec};
     assert!(
@@ -563,6 +573,7 @@ pub fn contention_observed_scaled(
                     seed: SEED,
                     cells,
                     partitions,
+                    am_batch: now_am::BatchConfig::quantum_us(am_batch_us),
                     ..ScenarioSpec::contention_default()
                 },
                 observer_for(blame, record, profile, probe),
@@ -653,6 +664,107 @@ pub fn contention_point(flows: u32, nodes: u32, partitions: u32) -> now_core::Sc
         partitions,
         ..ScenarioSpec::contention_default()
     })
+}
+
+/// The flush quanta the message-rate sweep visits, in microseconds.
+/// 0 is the unbatched baseline every gain is measured against.
+const AM_BATCH_QUANTA: [u64; 6] = [0, 2, 4, 8, 16, 32];
+
+/// Hot-spot sender count and per-sender request count for the
+/// message-rate sweep: 4 senders each firing 256 8-byte requests at
+/// 4/µs — the paper's small-message regime, where per-message protocol
+/// cost (a credit held across a round trip dominated by `o` and switch
+/// latency), not wire bytes, bounds the rate.
+const AM_BATCH_SENDERS: u32 = 4;
+const AM_BATCH_PER_SENDER: u32 = 256;
+
+/// The active-message config the message-rate sweep runs under: default
+/// credits, lossless wire, and a timeout generous enough that deep
+/// batches never trip spurious retransmissions.
+fn am_batch_config() -> now_am::AmConfig {
+    now_am::AmConfig {
+        timeout: SimDuration::from_secs(1),
+        ..now_am::AmConfig::default()
+    }
+}
+
+/// The message-rate-vs-batch-quantum table: the hot-spot pattern rerun
+/// at each flush quantum of [`AM_BATCH_QUANTA`], reporting achieved
+/// messages per simulated second, the mean batch depth, and the gain
+/// over the unbatched baseline. Deterministic — same table every run —
+/// and independent of every CLI knob, so the byte-diff gates hold.
+pub fn am_batching_table() -> String {
+    use now_net::presets;
+    let mut t = TextTable::new(&[
+        "Flush quantum (us)",
+        "Msgs/s",
+        "Mean batch",
+        "Gain vs unbatched",
+    ]);
+    t.title(
+        "Message batching - hot-spot rate vs flush quantum \
+         (4 senders x 256 8-byte requests)",
+    );
+    let mut base_rate = None;
+    for &q in &AM_BATCH_QUANTA {
+        let point = now_am::batched_hotspot_rate(
+            presets::am_atm(8),
+            am_batch_config(),
+            q,
+            AM_BATCH_SENDERS,
+            AM_BATCH_PER_SENDER,
+        );
+        let base = *base_rate.get_or_insert(point.msgs_per_s);
+        t.row_owned(vec![
+            format!("{q}"),
+            format!("{:.0}", point.msgs_per_s),
+            format!("{:.1}", point.mean_batch),
+            format!("{:.2}x", point.msgs_per_s / base),
+        ]);
+    }
+    t.render()
+}
+
+/// The batching headline for `repro --bench-out`: unbatched vs batched
+/// message rate at the sweep's densest point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmBatchingSummary {
+    /// Hot-spot message rate with batching off.
+    pub unbatched_msgs_per_s: f64,
+    /// Hot-spot message rate at the best swept quantum.
+    pub batched_msgs_per_s: f64,
+    /// Mean batch depth at that quantum.
+    pub batch_size: f64,
+    /// `batched / unbatched`.
+    pub rate_gain: f64,
+}
+
+/// Measures [`AmBatchingSummary`]: the unbatched baseline against the
+/// best point of the [`AM_BATCH_QUANTA`] sweep. Simulated-time rates,
+/// so the entry is deterministic run to run.
+pub fn am_batching_summary() -> AmBatchingSummary {
+    use now_net::presets;
+    let run = |q| {
+        now_am::batched_hotspot_rate(
+            presets::am_atm(8),
+            am_batch_config(),
+            q,
+            AM_BATCH_SENDERS,
+            AM_BATCH_PER_SENDER,
+        )
+    };
+    let base = run(0);
+    let best = AM_BATCH_QUANTA[1..]
+        .iter()
+        .map(|&q| run(q))
+        .max_by(|a, b| a.msgs_per_s.total_cmp(&b.msgs_per_s))
+        .expect("the sweep has batched points");
+    AmBatchingSummary {
+        unbatched_msgs_per_s: base.msgs_per_s,
+        batched_msgs_per_s: best.msgs_per_s,
+        batch_size: best.mean_batch,
+        rate_gain: best.msgs_per_s / base.msgs_per_s,
+    }
 }
 
 /// The availability experiment: Monte-Carlo failure simulation
@@ -938,6 +1050,7 @@ fn serve_spec(population: u64) -> now_core::ServeSpec {
         },
         front_ends: 8,
         partitions: 1,
+        am_batch: now_am::BatchConfig::disabled(),
     }
 }
 
@@ -1001,7 +1114,7 @@ pub fn serve_report_jobs(
     probe: &Probe,
     jobs: usize,
 ) -> ObservedReport {
-    serve_report_scaled(smoke, blame, record, false, probe, jobs, 1)
+    serve_report_scaled(smoke, blame, record, false, probe, jobs, 1, 0)
 }
 
 /// [`serve_report_jobs`] with a `partitions` request threaded onto every
@@ -1009,6 +1122,7 @@ pub fn serve_report_jobs(
 /// population is one event-coupled component (every request contends for
 /// one server cache), so the request clamps to 1 and the report is
 /// byte-identical at any value.
+#[allow(clippy::too_many_arguments)] // the CLI's flag set, in flag order
 pub fn serve_report_scaled(
     smoke: bool,
     blame: bool,
@@ -1017,6 +1131,7 @@ pub fn serve_report_scaled(
     probe: &Probe,
     jobs: usize,
     partitions: u32,
+    am_batch_us: u64,
 ) -> ObservedReport {
     use now_core::{NowCluster, ScenarioObserver, ServeSpec};
     let populations: &[u64] = if smoke {
@@ -1042,6 +1157,7 @@ pub fn serve_report_scaled(
         .map(|&p| {
             let mut spec = serve_spec(p);
             spec.partitions = partitions;
+            spec.am_batch = now_am::BatchConfig::quantum_us(am_batch_us);
             let expected = serve_expected_requests(&spec);
             (
                 spec,
@@ -1181,6 +1297,7 @@ fn distribute_spec(
     strategy: now_core::FetchStrategy,
     fetchers: u32,
     partitions: u32,
+    am_batch_us: u64,
 ) -> now_core::DistributeSpec {
     now_core::DistributeSpec {
         catalog: distribute_catalog(smoke),
@@ -1191,6 +1308,7 @@ fn distribute_spec(
         seed: SEED,
         horizon: now_sim::SimTime::from_secs(1),
         partitions,
+        am_batch: now_am::BatchConfig::quantum_us(am_batch_us),
     }
 }
 
@@ -1212,6 +1330,7 @@ fn distribute_points(
     jobs: usize,
     nodes: u32,
     partitions: u32,
+    am_batch_us: u64,
 ) -> Vec<DistributePoint> {
     use now_core::{DistributeSpec, FetchStrategy, NowCluster, ScenarioObserver};
     let sweep = distribute_sweep(smoke, nodes);
@@ -1227,7 +1346,7 @@ fn distribute_points(
         .flat_map(|&f| {
             [FetchStrategy::Registry, FetchStrategy::Cooperative].map(|s| {
                 (
-                    distribute_spec(smoke, s, f, partitions),
+                    distribute_spec(smoke, s, f, partitions, am_batch_us),
                     distribute_observer_for(blame, record, profile, probe),
                 )
             })
@@ -1273,7 +1392,7 @@ pub fn distribute_report_jobs(
     probe: &Probe,
     jobs: usize,
 ) -> ObservedReport {
-    distribute_report_scaled(smoke, blame, record, false, probe, jobs, 32, 1)
+    distribute_report_scaled(smoke, blame, record, false, probe, jobs, 32, 1, 0)
 }
 
 /// [`distribute_report_jobs`] with the sweep extended to `nodes`
@@ -1297,6 +1416,7 @@ pub fn distribute_report_scaled(
     jobs: usize,
     nodes: u32,
     partitions: u32,
+    am_batch_us: u64,
 ) -> ObservedReport {
     assert!(
         nodes >= 32 && nodes.is_multiple_of(32),
@@ -1304,7 +1424,15 @@ pub fn distribute_report_scaled(
          is not a positive multiple of 32"
     );
     let points = distribute_points(
-        smoke, blame, record, profile, probe, jobs, nodes, partitions,
+        smoke,
+        blame,
+        record,
+        profile,
+        probe,
+        jobs,
+        nodes,
+        partitions,
+        am_batch_us,
     );
     let mut t = TextTable::new(&[
         "Nodes",
@@ -1393,7 +1521,7 @@ pub struct DistributeSummary {
 /// Runs the (smoke or full) sweep unobserved and extracts the headline
 /// numbers the bench JSON records.
 pub fn distribute_summary(smoke: bool) -> DistributeSummary {
-    let points = distribute_points(smoke, false, false, false, &Probe::disabled(), 1, 32, 1);
+    let points = distribute_points(smoke, false, false, false, &Probe::disabled(), 1, 32, 1, 0);
     let crossover = points
         .iter()
         .find(|(_, (reg, _), (coop, _))| coop.makespan_ms() < reg.makespan_ms())
@@ -1540,7 +1668,7 @@ mod tests {
     fn distribute_crossover_emerges_within_the_smoke_sweep() {
         // The subsystem's headline claim: registry-only wins (or ties)
         // while its NICs are idle, cooperative wins once they saturate.
-        let points = distribute_points(true, false, false, false, &Probe::disabled(), 1, 32, 1);
+        let points = distribute_points(true, false, false, false, &Probe::disabled(), 1, 32, 1, 0);
         let (first, (first_reg, _), (first_coop, _)) = points.first().expect("sweep");
         assert!(
             first_reg.makespan_ms() <= first_coop.makespan_ms(),

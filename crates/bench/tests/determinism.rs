@@ -47,6 +47,61 @@ fn table2_gauges_match_paper_constants() {
 }
 
 #[test]
+fn batching_probe_counters_reconcile_with_requests() {
+    // The batching counters are a partition of the request stream: every
+    // request rides in exactly one batch, and every batch closes for
+    // exactly one reason (quantum expiry or a size bound). The probed
+    // counters must agree with the in-engine `AmStats` ledger and with
+    // each other — the same cross-check discipline as the Table 2 gauges.
+    use now_am::{ActiveMessages, AmConfig, BatchConfig};
+    use now_net::{presets, NodeId};
+    use now_sim::{SimDuration, SimTime};
+
+    let registry = Registry::new();
+    let config = AmConfig {
+        timeout: SimDuration::from_secs(1),
+        batch: BatchConfig {
+            flush_quantum: SimDuration::from_micros(8),
+            max_batch_bytes: 32 * 1024,
+            max_batch_msgs: 16,
+        },
+        ..AmConfig::default()
+    };
+    let mut am = ActiveMessages::new(presets::am_atm(8), config, 3);
+    am.set_probe(registry.probe());
+    for s in 1..=4u32 {
+        for i in 0..128u64 {
+            am.request_at(SimTime::from_nanos(i * 250), NodeId(s), NodeId(0), 8);
+        }
+    }
+    am.run_to_completion();
+
+    let stats = am.stats();
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    assert_eq!(counter("am.requests"), 4 * 128, "every request counted");
+    assert_eq!(
+        counter("am.batched_msgs"),
+        counter("am.requests"),
+        "every request travels in exactly one batch"
+    );
+    assert_eq!(
+        counter("am.batches"),
+        counter("am.flush_timeouts") + counter("am.flush_on_size"),
+        "every batch closes for exactly one reason"
+    );
+    for (name, want) in [
+        ("am.batches", stats.batches),
+        ("am.batched_msgs", stats.batched_msgs),
+        ("am.flush_timeouts", stats.flush_timeouts),
+        ("am.flush_on_size", stats.flush_on_size),
+        ("am.requests", stats.requests),
+    ] {
+        assert_eq!(counter(name), want, "{name} disagrees with AmStats");
+    }
+}
+
+#[test]
 fn probe_free_runs_match_probed_runs() {
     // Telemetry is an observer: the rendered artifact must not change
     // when a live probe rides along.

@@ -28,10 +28,10 @@ fn distribute_report_is_byte_identical_across_partitions() {
     // A distribution run is one event-coupled component, so partition
     // requests clamp to 1 — the report must not change for any value.
     let probe = Probe::disabled();
-    let one = now_bench::distribute_report_scaled(true, false, false, false, &probe, 1, 32, 1);
+    let one = now_bench::distribute_report_scaled(true, false, false, false, &probe, 1, 32, 1, 0);
     for partitions in [0u32, 4] {
         let sharded = now_bench::distribute_report_scaled(
-            true, false, false, false, &probe, 1, 32, partitions,
+            true, false, false, false, &probe, 1, 32, partitions, 0,
         );
         assert_eq!(
             one.text, sharded.text,

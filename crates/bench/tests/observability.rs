@@ -158,6 +158,7 @@ fn distribute_blame_partitions_the_cold_start_makespan() {
             seed: SEED,
             horizon: SimTime::from_secs(1),
             partitions: 1,
+            am_batch: now_am::BatchConfig::disabled(),
         };
         let observer = ScenarioObserver {
             probe: Probe::disabled(),

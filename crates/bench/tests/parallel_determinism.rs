@@ -59,6 +59,27 @@ fn blame_tables_are_byte_identical_across_jobs() {
 }
 
 #[test]
+fn batched_contention_is_byte_identical_across_jobs_and_partitions() {
+    // Batching state is per cell-fabric, so neither the fan-out worker
+    // count nor the partition count may leak into a batched report.
+    let serial = now_bench::contention_scaled_jobs(true, 1, 32, 1, 8);
+    for jobs in [2usize, 8] {
+        assert_eq!(
+            serial,
+            now_bench::contention_scaled_jobs(true, jobs, 32, 1, 8),
+            "batched contention diverged at jobs={jobs}"
+        );
+    }
+    for partitions in [2u32, 4] {
+        assert_eq!(
+            serial,
+            now_bench::contention_scaled_jobs(true, 1, 32, partitions, 8),
+            "batched contention diverged at partitions={partitions}"
+        );
+    }
+}
+
+#[test]
 fn contention_series_matches_across_jobs() {
     let serial = now_bench::contention_series_jobs(&[0, 4], 1);
     let parallel = now_bench::contention_series_jobs(&[0, 4], 8);

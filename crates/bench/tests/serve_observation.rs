@@ -34,6 +34,7 @@ fn spec(population: u64, retain_exact: bool) -> ServeSpec {
         },
         front_ends: 8,
         partitions: 1,
+        am_batch: now_am::BatchConfig::disabled(),
     }
 }
 

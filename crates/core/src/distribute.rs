@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use now_am::FabricTransport;
+use now_am::BatchConfig;
 use now_cas::{
     CasEvent, CooperativeFetch, FetchConfig, FetchCore, FetchStrategy, ImageCatalog,
     ImageCatalogSpec, RegistryFetch,
@@ -30,7 +30,10 @@ use now_sim::parallel::run_indexed;
 use now_sim::{Engine, EventCast, SimTime};
 
 use crate::cluster::NowCluster;
-use crate::scenario::{RecorderComponent, RecorderEvent, ScenarioObservations, ScenarioObserver};
+use crate::scenario::{
+    batched_fabric, gauges_with_batch, RecorderComponent, RecorderEvent, ScenarioObservations,
+    ScenarioObserver,
+};
 
 /// Events of the distribution engine: the fetch strategy plus the
 /// flight recorder.
@@ -93,6 +96,10 @@ pub struct DistributeSpec {
     /// tracker), so there is no event-closed cut to shard along and the
     /// run is serial at any requested value.
     pub partitions: u32,
+    /// Active-message batching knobs for the distribution fabric (the
+    /// default zero quantum is batching off, byte-identical to the
+    /// classic path).
+    pub am_batch: BatchConfig,
 }
 
 /// The gauges the distribution flight recorder samples, in column order.
@@ -215,7 +222,7 @@ impl NowCluster {
         let mut network = self.interconnect().network(n);
         network.set_probe(probe.clone());
         let mut engine: Engine<DistributeScenarioEvent> =
-            Engine::with_transport(Box::new(FabricTransport::new(network)));
+            Engine::with_transport(batched_fabric(network, spec.am_batch, probe));
         if let Some(log) = &observer.causal {
             engine.set_causal_sink_sampled(
                 Arc::clone(log) as Arc<dyn now_sim::CausalSink>,
@@ -239,7 +246,7 @@ impl NowCluster {
         let recorder_id = observer.sample_every.map(|every| {
             engine.register(RecorderComponent::with_gauges(
                 probe,
-                &DISTRIBUTE_RECORDED_GAUGES,
+                &gauges_with_batch(&DISTRIBUTE_RECORDED_GAUGES, spec.am_batch),
                 every,
                 spec.horizon,
                 observer.window_budget,
@@ -379,6 +386,7 @@ mod tests {
             seed: 11,
             horizon: SimTime::from_millis(500),
             partitions: 1,
+            am_batch: BatchConfig::disabled(),
         }
     }
 

@@ -20,7 +20,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use now_am::FabricTransport;
+use now_am::{BatchConfig, BatchingTransport, FabricTransport};
 use now_cache::{CacheComponent, CacheConfig, CacheEvent, Policy, SimResult};
 use now_fault::{Fault, FaultInjectorComponent, FaultPlan, InjectorEvent};
 use now_glunix::membership::MembershipConfig;
@@ -467,17 +467,9 @@ pub(crate) struct RecorderComponent {
 }
 
 impl RecorderComponent {
-    fn new(
-        probe: &Probe,
-        interval: SimDuration,
-        horizon: SimTime,
-        window_budget: Option<usize>,
-    ) -> Self {
-        Self::with_gauges(probe, &RECORDED_GAUGES, interval, horizon, window_budget)
-    }
-
     /// A recorder over an explicit gauge list (the serving scenario
-    /// samples its own gauges, not the coupled scenario's).
+    /// samples its own gauges, not the coupled scenario's, and batched
+    /// runs append `net.batch_occupancy` — see [`gauges_with_batch`]).
     pub(crate) fn with_gauges(
         probe: &Probe,
         names: &[&str],
@@ -600,6 +592,11 @@ pub struct ScenarioSpec {
     /// every observation are byte-identical at any value — partitioning
     /// only changes wall-clock time.
     pub partitions: u32,
+    /// Active-message batching knobs for the scenario fabric. The
+    /// default (zero flush quantum) is batching off, which reproduces
+    /// the per-message transport byte-identically.
+    #[serde(default)]
+    pub am_batch: BatchConfig,
 }
 
 impl ScenarioSpec {
@@ -634,6 +631,7 @@ impl ScenarioSpec {
             raid_rebuild_mb: 8,
             cells: 1,
             partitions: 1,
+            am_batch: BatchConfig::disabled(),
         }
     }
 }
@@ -733,7 +731,7 @@ const SCENARIO_COMPONENT_NAMES: [&str; 7] = [
 /// panics.
 struct CellTransport {
     nodes_per_cell: u32,
-    cells: BTreeMap<u32, FabricTransport>,
+    cells: BTreeMap<u32, BatchingTransport<FabricTransport>>,
 }
 
 impl Transport for CellTransport {
@@ -754,6 +752,40 @@ impl Transport for CellTransport {
             .expect("transfer from a cell homed in another partition")
             .transfer_detailed(src % npc, dst % npc, bytes, now)
     }
+}
+
+/// Boxes a run's cost-model transport: the priced fabric, wrapped in the
+/// batching aggregator when a nonzero flush quantum asks for it. With
+/// batching off the fabric is boxed bare, so disabled runs carry zero
+/// extra state and stay byte-identical to the pre-batching transport.
+pub(crate) fn batched_fabric(
+    network: now_net::Network,
+    batch: BatchConfig,
+    probe: &Probe,
+) -> Box<dyn Transport> {
+    let fabric = FabricTransport::new(network);
+    if batch.enabled() {
+        let mut wrapped = BatchingTransport::new(fabric, batch);
+        wrapped.set_probe(probe.clone());
+        Box::new(wrapped)
+    } else {
+        Box::new(fabric)
+    }
+}
+
+/// The recorder's gauge list for a run: the scenario's base columns,
+/// plus `net.batch_occupancy` only when batching is on — disabled runs
+/// must record exactly the pre-batching columns or their observation
+/// snapshots (and the repro diff gate) would change.
+pub(crate) fn gauges_with_batch(
+    base: &'static [&'static str],
+    batch: BatchConfig,
+) -> Vec<&'static str> {
+    let mut names = base.to_vec();
+    if batch.enabled() {
+        names.push("net.batch_occupancy");
+    }
+    names
 }
 
 /// The completion marks the blame extractor walks back from, with the
@@ -838,7 +870,7 @@ impl NowCluster {
         let mut network = self.interconnect().network(n);
         network.set_probe(probe.clone());
         let mut engine: Engine<ScenarioEvent> =
-            Engine::with_transport(Box::new(FabricTransport::new(network)));
+            Engine::with_transport(batched_fabric(network, spec.am_batch, probe));
         if let Some(log) = &observer.causal {
             engine.set_causal_sink_sampled(
                 Arc::clone(log) as Arc<dyn now_sim::CausalSink>,
@@ -964,8 +996,9 @@ impl NowCluster {
         // The flight recorder registers last (component ids above are
         // stable whether or not it exists) and only when asked for.
         let recorder_id = observer.sample_every.map(|every| {
-            engine.register(RecorderComponent::new(
+            engine.register(RecorderComponent::with_gauges(
                 probe,
+                &gauges_with_batch(&RECORDED_GAUGES, spec.am_batch),
                 every,
                 SimTime::ZERO + spec.horizon,
                 observer.window_budget,
@@ -1120,12 +1153,17 @@ impl NowCluster {
 
         // One private fabric per cell; each partition's cost model
         // multiplexes the fabrics of the cells homed there.
-        let mut fabrics: Vec<BTreeMap<u32, FabricTransport>> =
+        let mut fabrics: Vec<BTreeMap<u32, BatchingTransport<FabricTransport>>> =
             (0..partitions).map(|_| BTreeMap::new()).collect();
         for c in 0..cells {
             let mut network = self.interconnect().network(n);
-            network.set_probe(probe.scoped(&format!("cell{c}.")));
-            fabrics[home[c as usize] as usize].insert(c, FabricTransport::new(network));
+            let scoped = probe.scoped(&format!("cell{c}."));
+            network.set_probe(scoped.clone());
+            // The wrapper with a zero quantum is a pure pass-through, so
+            // unbatched multi-cell runs stay byte-identical.
+            let mut fabric = BatchingTransport::new(FabricTransport::new(network), spec.am_batch);
+            fabric.set_probe(scoped);
+            fabrics[home[c as usize] as usize].insert(c, fabric);
         }
         let cost_models: Vec<CostModel> = fabrics
             .into_iter()
@@ -1283,7 +1321,7 @@ impl NowCluster {
                 0,
                 RecorderComponent::with_gauges(
                     &probe.scoped("cell0."),
-                    &RECORDED_GAUGES,
+                    &gauges_with_batch(&RECORDED_GAUGES, spec.am_batch),
                     every,
                     SimTime::ZERO + spec.horizon,
                     observer.window_budget,
@@ -1693,6 +1731,53 @@ mod tests {
         for partitions in [2, 4] {
             assert_eq!(serial, observed(partitions), "partitions = {partitions}");
         }
+    }
+
+    /// Batching preserves the partition-count invariance: a multi-cell
+    /// run with a nonzero flush quantum plays out the same simulation —
+    /// outcome and probe snapshot, batch counters included — whether the
+    /// cells share one thread or shard across scoped threads.
+    #[test]
+    fn batched_cells_are_identical_at_any_partition_count() {
+        use now_probe::Registry;
+        let spec = ScenarioSpec {
+            cells: 2,
+            background_flows: 2,
+            am_batch: BatchConfig::quantum_us(8),
+            ..small_spec()
+        };
+        let observed = |partitions: u32| {
+            let registry = Registry::new();
+            let observer = ScenarioObserver {
+                probe: registry.probe(),
+                ..ScenarioObserver::disabled()
+            };
+            let (out, _) = cluster().run_scenario_observed(
+                &ScenarioSpec {
+                    partitions,
+                    ..spec.clone()
+                },
+                &observer,
+            );
+            (out, registry.render_text())
+        };
+        assert_eq!(observed(1), observed(2));
+    }
+
+    /// A zero flush quantum leaves the multi-cell transport a pure
+    /// pass-through: the wrapped fabric reproduces the unbatched run.
+    #[test]
+    fn disabled_batching_leaves_cells_byte_identical() {
+        let plain = cluster().run_scenario(&ScenarioSpec {
+            cells: 2,
+            ..small_spec()
+        });
+        let wrapped = cluster().run_scenario(&ScenarioSpec {
+            cells: 2,
+            am_batch: BatchConfig::disabled(),
+            ..small_spec()
+        });
+        assert_eq!(plain, wrapped);
     }
 
     /// Cell 0 of a multi-cell run replays the single-cell simulation

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use now_am::FabricTransport;
+use now_am::BatchConfig;
 use now_cache::{ServeComponent, ServeConfig, ServeEvent};
 use now_probe::causal::critical_path;
 use now_probe::recorder::{TimeSeries, WindowedSeries};
@@ -26,7 +26,10 @@ use now_sim::parallel::run_indexed;
 use now_sim::{Engine, EventCast, SimTime};
 
 use crate::cluster::NowCluster;
-use crate::scenario::{RecorderComponent, RecorderEvent, ScenarioObservations, ScenarioObserver};
+use crate::scenario::{
+    batched_fabric, gauges_with_batch, RecorderComponent, RecorderEvent, ScenarioObservations,
+    ScenarioObserver,
+};
 
 /// Events of the serving engine: the workload plus the flight recorder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +79,9 @@ pub struct ServeSpec {
     /// cache and fabric), so there is no event-closed cut to shard along
     /// and the run is serial at any requested value.
     pub partitions: u32,
+    /// Active-message batching knobs for the serving fabric (the default
+    /// zero quantum is batching off, byte-identical to the classic path).
+    pub am_batch: BatchConfig,
 }
 
 /// The gauges the serving flight recorder samples, in column order.
@@ -176,7 +182,7 @@ impl NowCluster {
         let mut network = self.interconnect().network(n);
         network.set_probe(probe.clone());
         let mut engine: Engine<ServeScenarioEvent> =
-            Engine::with_transport(Box::new(FabricTransport::new(network)));
+            Engine::with_transport(batched_fabric(network, spec.am_batch, probe));
         if let Some(log) = &observer.causal {
             engine.set_causal_sink_sampled(
                 Arc::clone(log) as Arc<dyn now_sim::CausalSink>,
@@ -192,7 +198,7 @@ impl NowCluster {
         let recorder_id = observer.sample_every.map(|every| {
             engine.register(RecorderComponent::with_gauges(
                 probe,
-                &SERVE_RECORDED_GAUGES,
+                &gauges_with_batch(&SERVE_RECORDED_GAUGES, spec.am_batch),
                 every,
                 spec.config.horizon,
                 observer.window_budget,
@@ -324,6 +330,7 @@ mod tests {
             },
             front_ends: 8,
             partitions: 1,
+            am_batch: BatchConfig::disabled(),
         }
     }
 

@@ -71,6 +71,7 @@ pub fn run_am(config: &CrossvalConfig, scheduling: Scheduling) -> SimDuration {
         recv_buffer_msgs: 1_024,
         loss_probability: 0.0,
         reply_bytes: 16,
+        batch: now_am::BatchConfig::disabled(),
     };
     let mut am = ActiveMessages::new(presets::am_atm(n), am_config, config.seed);
     let mut rng = SimRng::new(config.seed ^ 0xC0FFEE);

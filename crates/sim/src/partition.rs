@@ -71,6 +71,13 @@ pub struct PartitionedEngine<M> {
     /// `home[c]` = partition owning component `c`.
     home: Vec<u32>,
     lookahead: Lookahead,
+    /// Per-partition outbox buffers, recycled across windows (and runs):
+    /// each window borrows its partition's buffer, drains it at the
+    /// barrier, and hands the empty allocation back, so the window loop
+    /// allocates nothing once the buffers are warm.
+    outboxes: Vec<Vec<RemoteEnvelope<M>>>,
+    /// The barrier merge buffer, recycled the same way.
+    merge: Vec<RemoteEnvelope<M>>,
 }
 
 impl<M: Send + 'static> PartitionedEngine<M> {
@@ -84,6 +91,7 @@ impl<M: Send + 'static> PartitionedEngine<M> {
     /// Panics on an empty cost-model list.
     pub fn new(cost_models: Vec<CostModel>, lookahead: Lookahead) -> Self {
         assert!(!cost_models.is_empty(), "need at least one partition");
+        let partitions = cost_models.len();
         PartitionedEngine {
             parts: cost_models
                 .into_iter()
@@ -91,6 +99,8 @@ impl<M: Send + 'static> PartitionedEngine<M> {
                 .collect(),
             home: Vec::new(),
             lookahead,
+            outboxes: (0..partitions).map(|_| Vec::new()).collect(),
+            merge: Vec::new(),
         }
     }
 
@@ -186,51 +196,58 @@ impl<M: Send + 'static> PartitionedEngine<M> {
             // A `None` edge (closed map, or a window reaching past the
             // end of representable time) drains everything in one pass.
             let edge = lookahead.and_then(|l| start.checked_add(l));
-            let mut batch: Vec<RemoteEnvelope<M>> = if self.parts.len() == 1 {
+            if self.parts.len() == 1 {
                 let mut routing = WindowRouting {
                     home: home.clone(),
                     my_partition: 0,
                     lookahead,
-                    outbox: Vec::new(),
+                    outbox: std::mem::take(&mut self.outboxes[0]),
                 };
                 self.parts[0].run_window(edge, &mut routing);
-                routing.outbox
+                self.merge.append(&mut routing.outbox);
+                self.outboxes[0] = routing.outbox;
             } else {
                 let home = &home;
+                let merge = &mut self.merge;
+                let outboxes = &mut self.outboxes;
                 std::thread::scope(|scope| {
                     let workers: Vec<_> = self
                         .parts
                         .iter_mut()
+                        .zip(outboxes.iter_mut())
                         .enumerate()
-                        .map(|(p, engine)| {
+                        .map(|(p, (engine, slot))| {
+                            let outbox = std::mem::take(slot);
                             scope.spawn(move || {
                                 let mut routing = WindowRouting {
                                     home: home.clone(),
                                     my_partition: p as u32,
                                     lookahead,
-                                    outbox: Vec::new(),
+                                    outbox,
                                 };
                                 engine.run_window(edge, &mut routing);
                                 routing.outbox
                             })
                         })
                         .collect();
-                    workers
-                        .into_iter()
-                        .flat_map(|w| match w.join() {
-                            Ok(outbox) => outbox,
+                    for (w, slot) in workers.into_iter().zip(outboxes.iter_mut()) {
+                        match w.join() {
+                            Ok(mut outbox) => {
+                                merge.append(&mut outbox);
+                                *slot = outbox;
+                            }
                             Err(payload) => std::panic::resume_unwind(payload),
-                        })
-                        .collect()
-                })
-            };
+                        }
+                    }
+                });
+            }
             // Deterministic merge: stable sort by (time, sender). Each
             // sender's envelopes live in exactly one outbox in emission
             // order, so the resulting total order — and therefore the
             // seqs the destination queues assign — does not depend on
             // how components were divided into partitions.
-            batch.sort_by_key(|env| (env.fires_at, env.src.0));
-            for env in batch {
+            self.merge.sort_by_key(|env| (env.fires_at, env.src.0));
+            for env in self.merge.drain(..) {
                 let dst_part = home[env.dst.0] as usize;
                 self.parts[dst_part].inject_remote(env);
             }
